@@ -1,0 +1,39 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs its experiment exactly once (``benchmark.pedantic`` with
+one round — these are minutes-long simulations, not microbenchmarks), saves
+the figure's table to ``benchmarks/results/<name>.txt``, and asserts the
+paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a rendered figure table to the results directory."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Also emit to stdout so `pytest -s` shows the tables inline.
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

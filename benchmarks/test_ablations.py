@@ -1,0 +1,54 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_bundle_interleaving(benchmark, save_result):
+    rows = run_once(benchmark, ablations.bundle_interleaving)
+    save_result("ablation_bundles", ablations.format_bundle_rows(rows))
+    by_count = {r.interleaved_bundles: r for r in rows}
+    # One space pays a visible row-switch penalty; two hide it; four add
+    # nothing more (tRC is already covered).
+    assert by_count[1].bandwidth_gb_s < 0.9 * by_count[2].bandwidth_gb_s
+    assert abs(by_count[4].bandwidth_gb_s - by_count[2].bandwidth_gb_s) < 0.05 * by_count[2].bandwidth_gb_s
+    benchmark.extra_info["single_space_penalty"] = (
+        by_count[1].bandwidth_gb_s / by_count[2].bandwidth_gb_s
+    )
+
+
+def test_ablation_coprocessing_granularity(benchmark, save_result):
+    rows = run_once(benchmark, ablations.coprocessing_granularity)
+    save_result("ablation_granularity", ablations.format_granularity_rows(rows))
+    for row in rows:
+        # Space granularity can never beat free assignment, and costs at
+        # most ~25% makespan — the price of conflict-free bundles.
+        assert 1.0 - 1e-9 <= row.space_penalty < 1.25, row
+    benchmark.extra_info["max_space_penalty"] = max(r.space_penalty for r in rows)
+
+
+def test_ablation_dispatch_policy(benchmark, save_result):
+    rows = run_once(benchmark, ablations.dispatch_policy)
+    save_result("ablation_dispatch", ablations.format_dispatch_rows(rows))
+    by_policy = {r.policy: r for r in rows}
+    duplex = by_policy["Op/B-driven (Duplex)"]
+    gpu = by_policy["always-xPU (GPU)"]
+    pim = by_policy["always-PIM (hetero rule)"]
+    # Op/B-driven selection wins the decode stage against always-xPU and
+    # the mixed stage against always-PIM — neither fixed rule wins both.
+    assert duplex.decode_stage_ms < gpu.decode_stage_ms
+    assert duplex.mixed_stage_ms < 0.5 * pim.mixed_stage_ms
+    assert pim.mixed_stage_ms > gpu.mixed_stage_ms
+    benchmark.extra_info["pim_mixed_blowup"] = pim.mixed_stage_ms / gpu.mixed_stage_ms
+
+
+def test_ablation_skew_sensitivity(benchmark, save_result):
+    rows = run_once(benchmark, ablations.skew_sensitivity)
+    save_result("ablation_skew", ablations.format_skew_rows(rows))
+    gains = [r.gain for r in rows]
+    # Co-processing always helps, and helps more as experts get hotter.
+    assert all(g > 1.0 for g in gains)
+    assert gains[-1] > gains[0]
+    benchmark.extra_info["uniform_gain"] = gains[0]
+    benchmark.extra_info["skewed_gain"] = gains[-1]

@@ -1,0 +1,21 @@
+"""Section VII-E: Duplex's area overhead."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import area
+
+
+def test_area_overhead(benchmark, save_result):
+    report = run_once(benchmark, area.run)
+    save_result("area_overhead", area.format_report(report))
+
+    # The paper's published numbers, verbatim.
+    assert report.total_mm2 == pytest.approx(17.80, abs=0.05)
+    assert report.fraction_of_logic_die == pytest.approx(0.1471, abs=0.002)
+    assert report.tsv_fraction == pytest.approx(0.09, abs=0.002)
+    assert report.macs_per_stack == 16384
+    assert report.peak_tflops_per_stack == pytest.approx(21.3, abs=0.05)
+    # Well under the 20-27% overhead of in-DRAM PIMs.
+    assert report.fraction_of_logic_die < 0.20
+    benchmark.extra_info["fraction_of_logic_die"] = report.fraction_of_logic_die

@@ -1,0 +1,23 @@
+"""Fig. 4(a): MoE and attention dominate GPU execution time."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+from repro.models.ops import OpCategory
+
+
+def test_fig4a_time_breakdown(benchmark, save_result):
+    rows = run_once(benchmark, fig4.run_breakdown)
+    save_result("fig04a_breakdown", fig4.format_breakdown(rows))
+
+    decode_rows = [r for r in rows if r.stage == "decoding-only"]
+    # The paper's headline: low-Op/B layers (MoE + attention) dominate.
+    for row in decode_rows:
+        assert row.low_opb_share > 0.6, f"{row.model} batch {row.batch}: {row.low_opb_share}"
+    # Attention share grows with Lout (KV grows), MoE share shrinks.
+    for model in ("Mixtral-47B", "GLaM-143B"):
+        batch32 = [r for r in decode_rows if r.model == model and r.batch == 32]
+        batch32.sort(key=lambda r: r.lout)
+        attention = [r.shares.get(OpCategory.ATTENTION_DECODE, 0.0) for r in batch32]
+        assert attention[-1] > attention[0]
+    benchmark.extra_info["min_low_opb_share"] = min(r.low_opb_share for r in decode_rows)

@@ -1,0 +1,31 @@
+"""Fig. 4(b): layer rooflines on the GPU — low Op/B, low utilisation."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+from repro.hardware.specs import h100_xpu
+from repro.models.config import glam, mixtral
+
+
+def test_fig4b_roofline(benchmark, save_result):
+    points_by_model = run_once(benchmark, fig4.run_roofline)
+    save_result("fig04b_roofline", fig4.format_roofline(points_by_model))
+
+    unit = h100_xpu()
+    for key, model in (("mixtral", mixtral()), ("glam", glam())):
+        points = {p.label: p for p in points_by_model[key]}
+        # Attention is pinned at Op/B ~ deggrp regardless of batch.
+        for batch in (32, 64, 128):
+            attention = points[f"Attention @ batch {batch}"]
+            assert 0.8 * model.group_degree < attention.opb < 1.3 * model.group_degree
+            assert attention.memory_bound
+            # Section III: attention utilisation below ~2.1% of peak.
+            assert attention.achieved_tflops * 1e12 / unit.peak_flops < 0.03
+        # MoE Op/B grows with batch but stays memory-bound (< ridge).
+        moe_opbs = [points[f"MoE @ batch {b}"].opb for b in (32, 64, 128)]
+        assert moe_opbs == sorted(moe_opbs)
+        assert all(opb < unit.ridge_opb for opb in moe_opbs)
+        # Section III: MoE utilisation under ~11% of peak.
+        moe_util = points["MoE @ batch 128"].achieved_tflops * 1e12 / unit.peak_flops
+        assert moe_util < 0.11
+    benchmark.extra_info["mixtral_attention_opb"] = points_by_model["mixtral"][1].opb

@@ -1,0 +1,23 @@
+"""Fig. 5(b): the hetero system helps medians but wrecks tails."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5b_hetero_latency(benchmark, save_result):
+    results = run_once(benchmark, fig5.run_hetero_latency)
+    save_result("fig05b_hetero_latency", fig5.format_hetero_latency(results))
+
+    gpu = {(r.lin, r.lout): r for r in results["GPU"]}
+    tail_blowups = []
+    for het in results["Hetero"]:
+        base = gpu[(het.lin, het.lout)]
+        # Median TBT improves (PIM bandwidth on decoding-only stages).
+        assert het.tbt_p50 < base.tbt_p50
+        # Tail TBT explodes (PIM-only mixed-stage MoE).
+        assert het.tbt_p99 > 1.5 * base.tbt_p99
+        tail_blowups.append(het.tbt_p99 / base.tbt_p99)
+        # T2FT suffers too (prefill MoE on weak compute).
+        assert het.t2ft_p50 > base.t2ft_p50
+    benchmark.extra_info["max_tail_blowup"] = max(tail_blowups)

@@ -1,0 +1,21 @@
+"""Fig. 5(c): weight duplication costs the hetero system its batch size."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5c_hetero_throughput(benchmark, save_result):
+    rows = run_once(benchmark, fig5.run_hetero_throughput)
+    save_result("fig05c_hetero_throughput", fig5.format_hetero_throughput(rows))
+
+    for row in rows:
+        # KV lives on half the devices: the batch never exceeds the GPU's...
+        assert row.hetero_batch <= row.gpu_batch
+        # ...and the hetero throughput falls below the GPU system.
+        assert row.normalized < 1.0
+    # Long sequences overflow the PIM devices' capacity (the paper's stars):
+    # the effective batch visibly shrinks at the large (Lin, Lout) points.
+    assert rows[-1].hetero_batch < rows[0].hetero_batch
+    assert any(row.hetero_batch < row.gpu_batch for row in rows)
+    benchmark.extra_info["min_normalized_throughput"] = min(r.normalized for r in rows)

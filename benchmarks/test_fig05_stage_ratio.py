@@ -1,0 +1,30 @@
+"""Fig. 5(a): decoding-only stages dominate continuous batching."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5a_stage_ratio(benchmark, save_result):
+    rows = run_once(benchmark, fig5.run_stage_ratio)
+    save_result("fig05a_stage_ratio", fig5.format_stage_ratio(rows))
+
+    for row in rows:
+        # Each request is one prefill plus Lout decodes, so at steady state
+        # the decoding-only share is ~ 1 - batch/Lout (and never below 1/2:
+        # decoding-only stages dominate everywhere, the paper's point).
+        expected = max(0.5, 1.0 - row.batch / row.lout)
+        assert row.decoding_only_ratio >= expected - 0.05, (
+            f"(Lin={row.lin}, Lout={row.lout}, batch={row.batch}): "
+            f"{row.decoding_only_ratio} vs expected ~{expected}"
+        )
+        assert row.decoding_only_ratio >= 0.5
+    # Longer outputs mean proportionally fewer prefills.
+    by_batch = {}
+    for row in rows:
+        by_batch.setdefault((row.lin, row.batch), []).append(row)
+    for group in by_batch.values():
+        group.sort(key=lambda r: r.lout)
+        ratios = [r.decoding_only_ratio for r in group]
+        assert ratios == sorted(ratios)
+    benchmark.extra_info["min_decode_ratio"] = min(r.decoding_only_ratio for r in rows)

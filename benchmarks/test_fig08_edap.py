@@ -1,0 +1,28 @@
+"""Fig. 8: EDAP orderings of the PIM microarchitectures."""
+
+from conftest import run_once
+
+from repro.analysis.edap import best_architecture
+from repro.experiments import fig8
+from repro.hardware.processor import UnitKind
+
+
+def test_fig8_edap(benchmark, save_result):
+    study = run_once(benchmark, fig8.run)
+    save_result("fig08_edap", fig8.format_rows(study))
+
+    # Bank-PIM wins below Op/B 8; Logic-PIM wins at and above 8.
+    assert fig8.crossover_opb(study) == 8
+    for opb, points in study.items():
+        values = {p.kind: p.normalized for p in points}
+        # BankGroup-PIM never beats Logic-PIM (same roofline, worse area).
+        assert values[UnitKind.BANKGROUP_PIM] >= values[UnitKind.LOGIC_PIM]
+        # Match the published matrix to within 0.2 absolute.
+        for kind, paper_value in fig8.PAPER_VALUES[opb].items():
+            assert abs(values[kind] - paper_value) < 0.2, (
+                f"Op/B {opb} {kind.value}: measured {values[kind]:.2f} "
+                f"vs paper {paper_value:.2f}"
+            )
+    best_at_1 = best_architecture(study[1])
+    assert best_at_1 is UnitKind.BANK_PIM
+    benchmark.extra_info["crossover_opb"] = fig8.crossover_opb(study)

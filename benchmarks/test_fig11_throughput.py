@@ -1,0 +1,51 @@
+"""Fig. 11: the headline throughput sweep across the five systems."""
+
+from conftest import run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11_throughput(benchmark, save_result):
+    rows = run_once(benchmark, fig11.run)
+    save_result("fig11_throughput", fig11.format_rows(rows))
+
+    # Headline: Duplex+PE+ET reaches ~2.7x the GPU somewhere in the sweep.
+    # (Grok1's expert-parallel baseline suffers token-count imbalance that
+    # ET removes, so its best point can overshoot the single-node models'.)
+    peak = fig11.peak_speedup(rows)
+    assert 2.2 < peak < 3.9, f"peak Duplex+PE+ET speedup {peak:.2f}"
+    mixtral_peak = fig11.peak_speedup([r for r in rows if r.model == "Mixtral-47B"])
+    assert 2.3 < mixtral_peak < 3.2, f"Mixtral peak {mixtral_peak:.2f}"
+
+    duplex_wins_over_2x = 0
+    comparisons = 0
+    et_gains = []
+    for row in rows:
+        normalized = row.normalized()
+        # Duplex never loses to the GPU; at batch 32 (the mostly-decode
+        # regime) the single-node MoE models gain at least 2x.  Larger
+        # batches finish requests faster, so prefill-heavy mixed stages —
+        # which base Duplex runs GPU-style — dilute the gain.
+        assert normalized["Duplex"] > 0.98, f"{row.model} {row.batch}: {normalized}"
+        if row.batch == 32 and row.model in ("Mixtral-47B", "GLaM-143B"):
+            assert normalized["Duplex"] > 2.0, f"{row.model}: {normalized}"
+        # ET is near-neutral at worst (its extra tensor-parallel all-reduce
+        # can cost a few percent when routing is already balanced).
+        if "Duplex+PE+ET" in normalized:
+            et_gains.append(normalized["Duplex+PE+ET"] / normalized["Duplex"])
+            assert et_gains[-1] > 0.94
+        comparisons += 1
+        if normalized["Duplex+PE+ET"] > normalized["2xGPU"]:
+            duplex_wins_over_2x += 1
+    # "...higher throughput than even 2xGPU in most cases."
+    assert duplex_wins_over_2x / comparisons > 0.5
+
+    # Grok1's two-node deployment gains least (inter-node all-to-all).
+    def mean_speedup(model_name):
+        model_rows = [r.normalized()["Duplex+PE+ET"] for r in rows if r.model == model_name]
+        return sum(model_rows) / len(model_rows)
+
+    assert mean_speedup("Grok1-314B") < mean_speedup("Mixtral-47B")
+
+    benchmark.extra_info["peak_speedup"] = peak
+    benchmark.extra_info["max_et_gain"] = max(et_gains)

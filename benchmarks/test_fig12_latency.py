@@ -1,0 +1,33 @@
+"""Fig. 12: GLaM latency percentiles across the five systems."""
+
+from conftest import run_once
+
+from repro.experiments import fig12
+
+
+def test_fig12_latency(benchmark, save_result):
+    rows = run_once(benchmark, fig12.run)
+    save_result("fig12_latency", fig12.format_rows(rows))
+
+    # Paper: Duplex cuts median TBT by ~58% on average.
+    reduction = fig12.median_tbt_reduction(rows, "Duplex")
+    assert 0.45 < reduction < 0.75, f"median TBT reduction {reduction:.2f}"
+
+    normalized = fig12.normalized_to_gpu(rows)
+    by_system = {}
+    for entry in normalized:
+        by_system.setdefault(entry["system"], []).append(entry)
+
+    # Duplex's median TBT beats even 2xGPU (bandwidth-bound decode stages).
+    for duplex, double in zip(by_system["Duplex"], by_system["2xGPU"]):
+        assert duplex["tbt_p50"] < double["tbt_p50"]
+
+    # Co-processing pulls the tail in vs base Duplex.
+    for pe, base in zip(by_system["Duplex+PE"], by_system["Duplex"]):
+        assert pe["tbt_p99"] <= base["tbt_p99"] * 1.02
+
+    # E2E improves substantially over the GPU for the full configuration.
+    for entry in by_system["Duplex+PE+ET"]:
+        assert entry["e2e_p50"] < 0.7
+
+    benchmark.extra_info["median_tbt_reduction"] = reduction

@@ -1,0 +1,35 @@
+"""Fig. 13: latency vs arrival rate (Poisson)."""
+
+from conftest import run_once
+
+from repro.experiments import fig13
+
+
+def test_fig13_qps(benchmark, save_result):
+    rows = run_once(benchmark, fig13.run)
+    save_result("fig13_qps", fig13.format_rows(rows))
+
+    by_system = {}
+    for row in rows:
+        by_system.setdefault(row.system, []).append(row)
+    for group in by_system.values():
+        group.sort(key=lambda r: r.qps)
+
+    # Duplex's median TBT beats 2xGPU at every load (paper: "always").
+    for duplex, double in zip(by_system["Duplex"], by_system["2xGPU"]):
+        assert duplex.tbt_p50 < double.tbt_p50
+
+    # The GPU saturates first: its T2FT blows up at a lower QPS than
+    # Duplex's, and Duplex sustains roughly what 2xGPU sustains.
+    gpu_sat = fig13.saturation_qps(rows, "GPU")
+    duplex_sat = fig13.saturation_qps(rows, "Duplex")
+    double_sat = fig13.saturation_qps(rows, "2xGPU")
+    assert gpu_sat < duplex_sat
+    assert gpu_sat < double_sat
+
+    # Throughput rises with offered load until saturation.
+    for group in by_system.values():
+        assert group[-1].throughput > group[0].throughput
+
+    benchmark.extra_info["gpu_saturation_qps"] = gpu_sat
+    benchmark.extra_info["duplex_saturation_qps"] = duplex_sat

@@ -1,0 +1,35 @@
+"""Fig. 14: Duplex vs Bank-PIM across MoE/GQA/MHA model classes."""
+
+from conftest import run_once
+
+from repro.experiments import fig14
+
+
+def test_fig14_bank_pim(benchmark, save_result):
+    rows = run_once(benchmark, fig14.run)
+    save_result("fig14_bankpim", fig14.format_rows(rows))
+
+    # Mixtral (MoE + GQA): Duplex ~1.5x Bank-PIM on average (paper: 1.49x).
+    mixtral_advantage = fig14.mean_duplex_advantage(rows, "Mixtral-47B")
+    assert 1.2 < mixtral_advantage < 2.0, f"Mixtral advantage {mixtral_advantage:.2f}"
+
+    # Llama3 (GQA, deggrp 8): Duplex wins — Bank-PIM lacks compute.
+    llama_advantage = fig14.mean_duplex_advantage(rows, "Llama3-70B")
+    assert llama_advantage > 1.0
+
+    # OPT (MHA, Op/B ~ 1): Bank-PIM's raw bandwidth wins.
+    opt_advantage = fig14.mean_duplex_advantage(rows, "OPT-66B")
+    assert opt_advantage < 1.0
+
+    # Both PIM devices beat the GPU on every model (decode is low Op/B).
+    for row in rows:
+        assert row.duplex_speedup > 1.0
+        assert row.bank_pim_speedup > 1.0
+
+    # Bank-PIM's edge on Mixtral shrinks as batch (and so MoE Op/B) grows.
+    batch32 = [r.bank_pim_speedup for r in rows if r.model == "Mixtral-47B" and r.batch == 32]
+    batch64 = [r.bank_pim_speedup for r in rows if r.model == "Mixtral-47B" and r.batch == 64]
+    assert sum(batch64) / len(batch64) < sum(batch32) / len(batch32) * 1.05
+
+    benchmark.extra_info["mixtral_duplex_over_bankpim"] = mixtral_advantage
+    benchmark.extra_info["opt_duplex_over_bankpim"] = opt_advantage

@@ -1,0 +1,29 @@
+"""Fig. 15: per-token energy breakdown, GPU vs Duplex."""
+
+from conftest import run_once
+
+from repro.experiments import fig15
+
+
+def test_fig15_energy(benchmark, save_result):
+    rows = run_once(benchmark, fig15.run)
+    save_result("fig15_energy", fig15.format_rows(rows))
+
+    # The paper's savings: up to 33/42/35% for Mixtral/GLaM/Grok1.
+    savings = {name: fig15.energy_savings(rows, name) for name in
+               ("Mixtral-47B", "GLaM-143B", "Grok1-314B")}
+    for name, value in savings.items():
+        assert 0.1 < value < 0.6, f"{name} energy saving {value:.2f}"
+    # GLaM (64 experts, low per-expert Op/B) saves the most.
+    assert savings["GLaM-143B"] >= savings["Mixtral-47B"] - 0.02
+
+    # DRAM traffic of MoE + attention dominates the GPU's energy at batch
+    # 32 (at batch 128 the MoE reads amortise over more tokens per expert
+    # and compute energy catches up, as the paper's Fig. 15 also shows).
+    for row in rows:
+        if row.system != "GPU" or row.batch != 32:
+            continue
+        dram_low_opb = row.joules_per_token["moe:dram"] + row.joules_per_token["attention:dram"]
+        assert dram_low_opb > 0.5 * row.total
+
+    benchmark.extra_info.update({f"savings_{k}": v for k, v in savings.items()})

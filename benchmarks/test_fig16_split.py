@@ -1,0 +1,28 @@
+"""Fig. 16: Duplex-Split (Splitwise-style) vs non-split Duplex."""
+
+from conftest import run_once
+
+from repro.experiments import fig16
+
+
+def test_fig16_split(benchmark, save_result):
+    rows = run_once(benchmark, fig16.run)
+    save_result("fig16_split", fig16.format_rows(rows))
+
+    for row in rows:
+        # The split system loses throughput at every configuration...
+        assert row.split_throughput_ratio < 1.0
+        # ...and duplicated weights shrink its effective batch.
+        assert row.split_batch <= row.duplex_batch
+        # Its benefit: decode TBT has no mixed-stage tail.
+        split_flatness = row.split_tbt["p99"] / row.split_tbt["p50"]
+        duplex_flatness = row.duplex_tbt["p99"] / row.duplex_tbt["p50"]
+        assert split_flatness < duplex_flatness
+        assert split_flatness < 1.5
+
+    # Capacity pressure bites hardest at the longest sequences.
+    assert rows[-1].split_batch < rows[0].split_batch
+
+    benchmark.extra_info["min_split_throughput_ratio"] = min(
+        r.split_throughput_ratio for r in rows
+    )

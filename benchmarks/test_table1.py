@@ -1,0 +1,13 @@
+"""Table I: derived model sizes match the advertised parameter counts."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_model_sizes(benchmark, save_result):
+    rows = run_once(benchmark, table1.run)
+    save_result("table1_models", table1.format_rows(rows))
+    for row in rows:
+        assert row.relative_error < 0.02, f"{row.model.name} derived size off by >2%"
+    benchmark.extra_info["max_relative_error"] = max(r.relative_error for r in rows)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Continuous vs request-level batching (the paper's Fig. 2 motivation).
+
+Serves the same Gaussian workload through ORCA-style continuous batching
+and through the request-level baseline (a cohort prefills together and
+blocks until its longest member finishes).  Continuous batching keeps every
+slot busy, so it wins on throughput — which is also what creates the mixed
+stages Duplex is designed to handle.
+
+Run:
+    python examples/batching_strategies.py
+"""
+
+import numpy as np
+
+from repro import SimulationLimits, StageExecutor, gpu_system, mixtral
+from repro.analysis.report import format_table
+from repro.serving.generator import RequestGenerator, WorkloadSpec
+from repro.serving.metrics import MetricsCollector
+from repro.serving.request import RequestState
+from repro.serving.scheduler import ContinuousBatchingScheduler, StaticBatchingScheduler
+
+
+def serve(scheduler, executor, max_stages: int) -> MetricsCollector:
+    metrics = MetricsCollector()
+    for _ in range(max_stages):
+        workload = scheduler.build_stage()
+        if workload is None:
+            break
+        result = executor.run_stage(workload)
+        prefilling = [
+            r for r in scheduler.running if r.state is RequestState.PREFILLING
+        ]
+        finished = scheduler.complete_stage(result.latency_s)
+        metrics.record_stage(
+            latency_s=result.latency_s,
+            is_mixed=result.is_mixed,
+            decode_tokens=workload.n_decode,
+            total_tokens_generated=result.tokens_generated,
+            dram_energy=result.dram_energy_by_category,
+            compute_energy=result.compute_energy_by_category,
+            comm_energy_j=result.comm_energy_j,
+        )
+        for request in prefilling:
+            metrics.record_first_token(request.t2ft_s)
+        for request in finished:
+            metrics.record_completion(request.e2e_s)
+    return metrics
+
+
+def main() -> None:
+    model = mixtral()
+    system = gpu_system(model)
+    executor = StageExecutor(system, model, seed=0)
+    spec = WorkloadSpec(lin_mean=1024, lout_mean=256, lout_cv=0.5)
+    capacity = system.max_resident_kv_tokens(model)
+
+    continuous = ContinuousBatchingScheduler(RequestGenerator(spec, seed=2), 32, capacity)
+    static = StaticBatchingScheduler(RequestGenerator(spec, seed=2), 32, capacity)
+
+    rows = []
+    for name, scheduler in (("continuous", continuous), ("request-level", static)):
+        report = serve(scheduler, executor, max_stages=700).report()
+        rows.append(
+            [
+                name,
+                report.throughput_tokens_per_s,
+                report.t2ft_p50_s,
+                report.e2e_p50_s,
+                report.decoding_only_stage_ratio,
+            ]
+        )
+
+    print(
+        format_table(
+            headers=["scheduler", "tokens/s", "T2FT p50 (s)", "E2E p50 (s)", "decode-only share"],
+            rows=rows,
+            title="Batching strategies on the GPU system (Mixtral, batch 32, Lout ~ N(256, 128))",
+        )
+    )
+    print()
+    print("Request-level batching wastes slots on finished requests until the cohort's")
+    print("straggler completes; continuous batching refills them immediately — higher")
+    print("throughput and lower queueing delay, at the cost of mixed stages.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Conversational serving: growing contexts under live load.
+
+The paper motivates Duplex with multi-round chatbots (Section III-B): every
+round resubmits the whole dialogue, so input lengths grow as conversations
+progress, and T2FT/TBT are what the user feels.  This example serves three
+conversation depths under Poisson arrivals and shows how each system's
+latency holds up as contexts grow.
+
+Run:
+    python examples/chatbot_serving.py
+"""
+
+from repro import (
+    ServingSimulator,
+    SimulationLimits,
+    WorkloadSpec,
+    duplex_system,
+    gpu_system,
+    mixtral,
+)
+from repro.analysis.report import format_table
+
+#: (round label, mean input length, mean output length) — each round folds
+#: the previous dialogue into the prompt.
+CONVERSATION_ROUNDS = (
+    ("round 1 (fresh)", 512, 256),
+    ("round 3 (warmed up)", 2048, 256),
+    ("round 6 (long dialogue)", 6144, 256),
+)
+
+
+def main() -> None:
+    model = mixtral()
+    systems = {
+        "GPU": gpu_system(model),
+        "Duplex": duplex_system(model, co_processing=True, expert_tensor_parallel=True),
+    }
+    limits = SimulationLimits(max_stages=900, warmup_stages=100)
+
+    rows = []
+    for label, lin, lout in CONVERSATION_ROUNDS:
+        for name, system in systems.items():
+            workload = WorkloadSpec(
+                lin_mean=lin, lout_mean=lout, lin_cv=0.2, lout_cv=0.3, qps=4.0
+            )
+            report = ServingSimulator(system, model, workload, max_batch=64, seed=7).run(limits)
+            rows.append(
+                [
+                    label,
+                    name,
+                    report.tbt_p50_s * 1e3,
+                    report.tbt_p99_s * 1e3,
+                    report.t2ft_p50_s,
+                    report.throughput_tokens_per_s,
+                ]
+            )
+
+    print(
+        format_table(
+            headers=["conversation", "system", "TBT p50 (ms)", "TBT p99 (ms)",
+                     "T2FT p50 (s)", "tokens/s"],
+            rows=rows,
+            title="Multi-round chatbot on Mixtral, Poisson arrivals at 4 QPS",
+        )
+    )
+    print()
+    print("As the dialogue grows, decode attention traffic rises with context and the")
+    print("prefill gets heavier; Duplex absorbs the former on Logic-PIM and keeps the")
+    print("latter on the xPU, so its TBT stays flat where the GPU's climbs.")
+
+
+if __name__ == "__main__":
+    main()

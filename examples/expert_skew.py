@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Expert skew and co-processing (the paper's Section VIII-B discussion).
+
+Real MoE deployments see *hot* experts that swallow far more tokens than
+cold ones.  Expert co-processing thrives on skew: hot experts (high Op/B)
+go to the xPU, cold ones (low Op/B) to Logic-PIM.  This example sweeps a
+Zipf skew parameter over the router and measures how much co-processing
+buys over base Duplex at each level.
+
+Run:
+    python examples/expert_skew.py
+"""
+
+from repro import (
+    ServingSimulator,
+    SimulationLimits,
+    WorkloadSpec,
+    duplex_system,
+    mixtral,
+)
+from repro.analysis.report import format_table
+
+SKEWS = (0.0, 0.5, 1.0, 1.5, 2.0)
+
+
+def main() -> None:
+    model = mixtral()
+    workload = WorkloadSpec(lin_mean=1024, lout_mean=1024)
+    limits = SimulationLimits(max_stages=300, warmup_stages=16)
+
+    base = duplex_system(model)  # no co-processing
+    full = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+
+    rows = []
+    for skew in SKEWS:
+        base_report = ServingSimulator(
+            base, model, workload, max_batch=64, seed=3, gating_skew=skew
+        ).run(limits)
+        full_report = ServingSimulator(
+            full, model, workload, max_batch=64, seed=3, gating_skew=skew
+        ).run(limits)
+        rows.append(
+            [
+                skew,
+                base_report.throughput_tokens_per_s,
+                full_report.throughput_tokens_per_s,
+                full_report.throughput_tokens_per_s / base_report.throughput_tokens_per_s,
+            ]
+        )
+
+    print(
+        format_table(
+            headers=["Zipf skew", "Duplex tokens/s", "+PE+ET tokens/s", "co-processing gain"],
+            rows=rows,
+            title="Expert co-processing vs routing skew (Mixtral, batch 64)",
+        )
+    )
+    print()
+    print("With uniform routing the split is bandwidth-balanced; as hot experts")
+    print("emerge, the xPU absorbs them and the co-processing gain widens —")
+    print("the Section VIII-B argument, quantified.")
+
+
+if __name__ == "__main__":
+    main()

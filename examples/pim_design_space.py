@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""PIM design-space exploration: bandwidth, rooflines, and EDAP.
+
+Walks the hardware story of the paper bottom-up:
+
+1. runs the cycle-level HBM3 engine to measure what the external (xPU) and
+   bank-bundle (Logic-PIM) datapaths actually sustain;
+2. prints the rooflines of the four processing units;
+3. reproduces the Fig. 8 EDAP comparison that justifies putting the compute
+   on the logic die rather than the DRAM dies.
+
+Run:
+    python examples/pim_design_space.py
+"""
+
+from repro.analysis.edap import best_architecture, edap_study
+from repro.analysis.report import format_table
+from repro.hardware.processor import UnitKind
+from repro.hardware.specs import bank_pim_unit, bankgroup_pim_unit, h100_xpu, logic_pim_unit
+from repro.memory.engine import AccessMode, StreamingReadEngine
+from repro.units import GB_PER_S, MiB, TB_PER_S, TFLOPS
+
+
+def show_measured_bandwidth() -> None:
+    engine = StreamingReadEngine()
+    rows = []
+    for label, mode, bundles in (
+        ("external (xPU path)", AccessMode.EXTERNAL, 2),
+        ("bundle (Logic-PIM, 2 spaces)", AccessMode.BUNDLE, 2),
+        ("bundle (pinned to 1 space)", AccessMode.BUNDLE, 1),
+    ):
+        result = engine.stream(1 * MiB, mode, interleaved_bundles=bundles)
+        rows.append(
+            [label, result.channel_bandwidth / GB_PER_S, result.bus_utilization, result.activates]
+        )
+    print(
+        format_table(
+            headers=["datapath", "GB/s per pseudo-channel", "bus util", "ACTs"],
+            rows=rows,
+            title="Cycle-level HBM3 streaming bandwidth (1 MiB per channel)",
+        )
+    )
+    print()
+
+
+def show_rooflines() -> None:
+    rows = []
+    for unit in (h100_xpu(), logic_pim_unit(), bank_pim_unit(), bankgroup_pim_unit()):
+        rows.append(
+            [
+                unit.name,
+                unit.peak_flops / TFLOPS,
+                unit.mem_bandwidth / TB_PER_S,
+                unit.ridge_opb,
+                unit.read_energy_pj_per_bit,
+            ]
+        )
+    print(
+        format_table(
+            headers=["unit", "peak TFLOPS", "eff. TB/s", "ridge Op/B", "read pJ/bit"],
+            rows=rows,
+            title="Processing-unit rooflines (per 5-stack device)",
+        )
+    )
+    print()
+
+
+def show_edap() -> None:
+    study = edap_study()
+    rows = []
+    for opb in sorted(study):
+        values = {p.kind: p.normalized for p in study[opb]}
+        rows.append(
+            [
+                opb,
+                values[UnitKind.BANK_PIM],
+                values[UnitKind.BANKGROUP_PIM],
+                values[UnitKind.LOGIC_PIM],
+                best_architecture(study[opb]).value,
+            ]
+        )
+    print(
+        format_table(
+            headers=["GEMM Op/B", "Bank-PIM", "BankGroup-PIM", "Logic-PIM", "best"],
+            rows=rows,
+            title="EDAP (normalised per row) — Fig. 8",
+        )
+    )
+    print()
+    print("Bank-PIM's raw bandwidth wins below Op/B ~ 8; the MoE and GQA layers of")
+    print("modern LLMs live at Op/B 1-32, which is exactly Logic-PIM's territory.")
+
+
+def main() -> None:
+    show_measured_bandwidth()
+    show_rooflines()
+    show_edap()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Duplex (MICRO 2024) reproduction.
+
+A device-level simulator for LLM inference on hybrid xPU + Logic-PIM
+accelerators, with a full serving stack: HBM3 memory model with bank
+bundles, roofline processing units, MoE/GQA workload models, tensor/expert/
+data parallelism, expert and attention co-processing, and an ORCA-style
+continuous-batching serving simulator.
+
+Quick start::
+
+    from repro import (
+        ServingSimulator, SimulationLimits, WorkloadSpec,
+        duplex_system, gpu_system, mixtral,
+    )
+
+    model = mixtral()
+    spec = WorkloadSpec(lin_mean=1024, lout_mean=1024)
+    duplex = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    report = ServingSimulator(duplex, model, spec, max_batch=32).run(SimulationLimits())
+    print(report.throughput_tokens_per_s, report.tbt_p50_s)
+
+The paper's figures live in :mod:`repro.experiments`; the substrates in
+:mod:`repro.memory`, :mod:`repro.hardware`, :mod:`repro.models`,
+:mod:`repro.parallel`, :mod:`repro.core` and :mod:`repro.serving`.
+"""
+
+from repro.core.executor import StageExecutor, StageResult, StageWorkload
+from repro.core.system import (
+    SystemConfig,
+    SystemKind,
+    bank_pim_system,
+    default_topology,
+    duplex_system,
+    gpu_system,
+    hetero_system,
+)
+from repro.errors import (
+    AllocationError,
+    CapacityError,
+    ConfigError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TimingError,
+)
+from repro.models.config import (
+    ModelConfig,
+    glam,
+    grok1,
+    llama3_70b,
+    mixtral,
+    opt_66b,
+    paper_models,
+)
+from repro.serving.generator import WorkloadSpec
+from repro.serving.metrics import ServingReport
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+from repro.serving.split import SplitServingSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "CapacityError",
+    "ConfigError",
+    "ModelConfig",
+    "ReproError",
+    "SchedulingError",
+    "ServingReport",
+    "ServingSimulator",
+    "SimulationError",
+    "SimulationLimits",
+    "SplitServingSimulator",
+    "StageExecutor",
+    "StageResult",
+    "StageWorkload",
+    "SystemConfig",
+    "SystemKind",
+    "TimingError",
+    "WorkloadSpec",
+    "__version__",
+    "bank_pim_system",
+    "default_topology",
+    "duplex_system",
+    "glam",
+    "gpu_system",
+    "grok1",
+    "hetero_system",
+    "llama3_70b",
+    "mixtral",
+    "opt_66b",
+    "paper_models",
+]

@@ -1,0 +1,24 @@
+"""Analysis utilities shared by experiments and benchmarks.
+
+* :mod:`repro.analysis.report` — ASCII table rendering and normalisation.
+* :mod:`repro.analysis.roofline` — Op/B and achieved-FLOPS data (Fig. 4(b)).
+* :mod:`repro.analysis.breakdown` — representative-stage time and energy
+  breakdowns (Fig. 4(a), Fig. 15).
+* :mod:`repro.analysis.edap` — the energy-delay-area-product study (Fig. 8).
+"""
+
+from repro.analysis.breakdown import representative_stage, stage_time_shares
+from repro.analysis.edap import EdapPoint, edap_study
+from repro.analysis.report import format_table, normalize
+from repro.analysis.roofline import RooflinePoint, decode_stage_roofline
+
+__all__ = [
+    "EdapPoint",
+    "RooflinePoint",
+    "decode_stage_roofline",
+    "edap_study",
+    "format_table",
+    "normalize",
+    "representative_stage",
+    "stage_time_shares",
+]

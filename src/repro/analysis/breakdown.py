@@ -1,0 +1,74 @@
+"""Representative-stage breakdowns (Fig. 4(a)).
+
+A *representative* decoding-only stage has every request mid-generation
+(context = Lin + Lout/2); a representative mixed stage swaps one decode for
+a fresh prefill of Lin tokens.  The stage executor prices them and the
+category shares are the figure's stacked bars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.executor import StageExecutor, StageResult, StageWorkload
+from repro.core.system import SystemConfig
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+from repro.models.ops import OpCategory
+
+
+def representative_stage(batch: int, lin: int, lout: int, mixed: bool) -> StageWorkload:
+    """Build the representative stage the breakdown figures use."""
+    if batch < 1:
+        raise ConfigError("batch must be at least 1")
+    context = lin + lout // 2
+    if mixed:
+        decode = np.full(max(0, batch - 1), context, dtype=np.int64)
+        return StageWorkload(decode_context_lengths=decode, prefill_lengths=(lin,))
+    return StageWorkload(decode_context_lengths=np.full(batch, context, dtype=np.int64))
+
+
+def stage_time_shares(
+    system: SystemConfig,
+    model: ModelConfig,
+    batch: int,
+    lin: int,
+    lout: int,
+    mixed: bool,
+    seed: int | None = 0,
+) -> dict[OpCategory, float]:
+    """Category time shares of one representative stage (sums to ~1).
+
+    Shares are taken over the recorded busy times, which for serial systems
+    (the GPU baseline the paper plots) exactly partition the latency.
+    """
+    executor = StageExecutor(system, model, seed=seed, deterministic_gating=True)
+    result = executor.run_stage(representative_stage(batch, lin, lout, mixed))
+    total = sum(result.time_by_category.values())
+    return {category: time / total for category, time in result.time_by_category.items()}
+
+
+def stage_energy_breakdown(
+    system: SystemConfig,
+    model: ModelConfig,
+    batch: int,
+    lin: int,
+    lout: int,
+    mixed: bool,
+    seed: int | None = 0,
+) -> tuple[StageResult, dict[str, float]]:
+    """Absolute per-stage energy split (Fig. 15's six stacks).
+
+    Returns:
+        The stage result and a mapping like ``{"moe:dram": J, ...}``.
+    """
+    executor = StageExecutor(system, model, seed=seed, deterministic_gating=True)
+    result = executor.run_stage(representative_stage(batch, lin, lout, mixed))
+    split: dict[str, float] = {}
+    for category, joules in result.dram_energy_by_category.items():
+        split[f"{category.value}:dram"] = joules
+    for category, joules in result.compute_energy_by_category.items():
+        split[f"{category.value}:compute"] = joules
+    if result.comm_energy_j:
+        split["fabric"] = result.comm_energy_j
+    return result, split

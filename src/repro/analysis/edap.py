@@ -1,0 +1,112 @@
+"""The energy-delay-area-product study (Fig. 8).
+
+An FP16 GEMM with a (16384 x 4096) weight matrix is run at Op/B from 1 to
+32 (Op/B of such a GEMM ~ its token count) on one stack's worth of each PIM
+microarchitecture.  EDAP = op energy x op delay x processing-unit area,
+normalised per Op/B column to the worst architecture, exactly as the figure
+presents it.
+
+Expected shape (the paper's numbers): Bank-PIM wins below Op/B ~ 8 on raw
+bandwidth, Logic-PIM wins at and above 8, and BankGroup-PIM — the same
+roofline as Logic-PIM but paying DRAM-process area and on-die buffer costs —
+never beats Logic-PIM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.area import AreaModel
+from repro.hardware.processor import ProcessingUnit, UnitKind
+from repro.hardware.specs import bank_pim_unit, bankgroup_pim_unit, logic_pim_unit
+from repro.units import FP16_BYTES
+
+
+@dataclass(frozen=True)
+class EdapPoint:
+    """EDAP of one architecture at one Op/B.
+
+    Attributes:
+        kind: PIM microarchitecture.
+        opb: GEMM arithmetic intensity (= token count).
+        delay_s: operator latency.
+        energy_j: operator energy.
+        area_mm2: processing-unit area charged to the stack.
+        edap: energy * delay * area (J * s * mm^2).
+        normalized: edap / max(edap over architectures at this Op/B).
+    """
+
+    kind: UnitKind
+    opb: int
+    delay_s: float
+    energy_j: float
+    area_mm2: float
+    edap: float
+    normalized: float
+
+
+def _gemm_cost(unit: ProcessingUnit, tokens: int, rows: int, cols: int) -> tuple[float, float]:
+    weight_bytes = rows * cols * FP16_BYTES
+    act_bytes = tokens * (rows + cols) * FP16_BYTES
+    flops = 2.0 * tokens * rows * cols
+    delay = unit.op_time(flops, weight_bytes + act_bytes * 0.5, act_bytes * 0.5)
+    energy = unit.op_energy(flops, weight_bytes + act_bytes * 0.5, act_bytes * 0.5)
+    return delay, energy
+
+
+def edap_study(
+    opbs: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    weight_rows: int = 16384,
+    weight_cols: int = 4096,
+    area_model: AreaModel | None = None,
+) -> dict[int, list[EdapPoint]]:
+    """Run the Fig. 8 study.
+
+    Args:
+        opbs: GEMM Op/B values (token counts) to sweep.
+        weight_rows / weight_cols: weight matrix shape (paper: 16384 x 4096).
+        area_model: area terms (defaults to the calibrated model).
+
+    Returns:
+        Mapping of Op/B to the three architectures' points, each normalised
+        to that column's maximum.
+    """
+    if not opbs:
+        raise ConfigError("need at least one Op/B value")
+    area_model = area_model or AreaModel()
+    units = {
+        UnitKind.BANK_PIM: bank_pim_unit(stacks=1),
+        UnitKind.BANKGROUP_PIM: bankgroup_pim_unit(stacks=1),
+        UnitKind.LOGIC_PIM: logic_pim_unit(stacks=1),
+    }
+    study: dict[int, list[EdapPoint]] = {}
+    for opb in opbs:
+        if opb < 1:
+            raise ConfigError("Op/B values must be >= 1")
+        raw: list[tuple[UnitKind, float, float, float, float]] = []
+        for kind, unit in units.items():
+            delay, energy = _gemm_cost(unit, opb, weight_rows, weight_cols)
+            area = area_model.area_mm2(kind)
+            raw.append((kind, delay, energy, area, energy * delay * area))
+        worst = max(entry[4] for entry in raw)
+        study[opb] = [
+            EdapPoint(
+                kind=kind,
+                opb=opb,
+                delay_s=delay,
+                energy_j=energy,
+                area_mm2=area,
+                edap=edap,
+                normalized=edap / worst,
+            )
+            for kind, delay, energy, area, edap in raw
+        ]
+    return study
+
+
+def best_architecture(points: list[EdapPoint]) -> UnitKind:
+    """The architecture with the lowest EDAP among ``points``."""
+    if not points:
+        raise ConfigError("no points to compare")
+    return min(points, key=lambda point: point.edap).kind

@@ -1,0 +1,55 @@
+"""Plain-text table rendering and normalisation helpers.
+
+Every experiment prints the rows/series its paper figure shows; these
+helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+
+
+def normalize(values: Sequence[float], baseline: float | None = None) -> list[float]:
+    """Normalise ``values`` by ``baseline`` (default: the first value)."""
+    if not values:
+        return []
+    reference = values[0] if baseline is None else baseline
+    if reference == 0:
+        raise ConfigError("cannot normalise by zero")
+    return [value / reference for value in values]
+
+
+def format_cell(value: object, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None) -> str:
+    """Render an ASCII table with right-aligned columns."""
+    materialised = [list(row) for row in rows]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+    widths = [len(str(header)) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            rendered = f"{cell:.3f}" if isinstance(cell, float) and abs(cell) < 1000 else str(cell)
+            if isinstance(cell, float) and abs(cell) >= 1000:
+                rendered = f"{cell:.1f}"
+            widths[index] = max(widths[index], len(rendered))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialised:
+        lines.append("  ".join(format_cell(cell, width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

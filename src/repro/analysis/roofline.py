@@ -1,0 +1,95 @@
+"""Roofline data for Fig. 4(b).
+
+The paper plots each layer family (FC, MoE, attention) of Mixtral and GLaM
+on a GPU roofline at batch sizes 32-128: FC and MoE climb with batch size
+(weights are shared across the batch) while attention stays pinned at
+Op/B ~ deggrp, far below the GPU ridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.system import SystemConfig, gpu_system
+from repro.hardware.processor import ProcessingUnit
+from repro.models.config import ModelConfig
+from repro.models.layers import LayerMath
+from repro.models.ops import Operator
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One operator family at one batch size on one unit.
+
+    Attributes:
+        label: series label ("MoE @ batch 64").
+        opb: arithmetic intensity of the aggregated operator.
+        achieved_tflops: delivered TFLOP/s on the unit.
+        memory_bound: whether the operator sits left of the ridge.
+    """
+
+    label: str
+    opb: float
+    achieved_tflops: float
+    memory_bound: bool
+
+
+def _point(label: str, op: Operator, unit: ProcessingUnit) -> RooflinePoint:
+    achieved = unit.achieved_flops(op.flops, op.bytes_read, op.bytes_written)
+    return RooflinePoint(
+        label=label,
+        opb=op.opb,
+        achieved_tflops=achieved / 1e12,
+        memory_bound=op.opb < unit.ridge_opb,
+    )
+
+
+def decode_stage_roofline(
+    model: ModelConfig,
+    batch_sizes: tuple[int, ...] = (32, 64, 128),
+    lin: int = 2048,
+    lout: int = 1024,
+    system: SystemConfig | None = None,
+) -> list[RooflinePoint]:
+    """Roofline points for a decoding-only stage on a GPU system.
+
+    Args:
+        model: model whose layers are plotted.
+        batch_sizes: batch sizes to sweep (the paper uses 32-128).
+        lin: input length (context at decode ~ lin + lout/2).
+        lout: output length.
+        system: GPU system (defaults to the paper's deployment).
+
+    Returns:
+        One point per (layer family, batch size).
+    """
+    system = system or gpu_system(model)
+    unit = system.device.require_xpu()
+    placement = system.placement(model)
+    math = LayerMath(model)
+    context = lin + lout // 2
+    points: list[RooflinePoint] = []
+    for batch in batch_sizes:
+        node_batch = max(1, int(batch * placement.node_batch_fraction))
+        fc = math.qkv_and_projection(node_batch, placement.fc_fraction)
+        points.append(_point(f"FC @ batch {batch}", fc, unit))
+        attention = math.attention_decode(np.full(node_batch, context), placement.kv_fraction)
+        points.append(_point(f"Attention @ batch {batch}", attention, unit))
+        if model.is_moe:
+            # Aggregate MoE of one layer: uniform expected routing.
+            expected = batch * model.top_k / model.n_experts
+            per_device = placement.per_device_expert_counts(
+                np.full(model.n_experts, int(round(expected)))
+            )[0]
+            ops = math.expert_ffns(per_device, placement.expert_fraction)
+            if ops:
+                moe = ops[0]
+                for op in ops[1:]:
+                    moe = moe.merged_with(op, name="moe_layer")
+                points.append(_point(f"MoE @ batch {batch}", moe, unit))
+        else:
+            ffn = math.dense_ffn(node_batch, placement.fc_fraction)
+            points.append(_point(f"FFN @ batch {batch}", ffn, unit))
+    return points

@@ -1,0 +1,180 @@
+"""Expert co-processing: the lookup table and greedy assignment (Section V-B).
+
+At runtime Duplex must decide, per MoE layer, which experts the xPU runs and
+which Logic-PIM runs.  The paper's algorithm:
+
+1. precompute (and cache) per-unit processing times as a function of routed
+   token count — the "lookup table";
+2. start with every expert on the xPU;
+3. repeatedly move the expert with the fewest tokens to Logic-PIM while the
+   makespan ``max(xpu_total, pim_total)`` keeps improving.
+
+Section V-C adds a granularity constraint: experts living in the same
+bank-bundle memory space must move together, so the two units never touch
+the same bundle concurrently.  :func:`assign_experts` supports both expert
+granularity (``groups=None``) and space granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.hardware.processor import ProcessingUnit
+from repro.models.layers import LayerMath
+
+
+@dataclass(frozen=True)
+class ExpertAssignment:
+    """Outcome of one co-processing decision.
+
+    Attributes:
+        xpu_experts: resident-expert indices assigned to the xPU.
+        pim_experts: resident-expert indices assigned to Logic-PIM.
+        xpu_time_s: total xPU time for its experts.
+        pim_time_s: total Logic-PIM time for its experts.
+    """
+
+    xpu_experts: tuple[int, ...]
+    pim_experts: tuple[int, ...]
+    xpu_time_s: float
+    pim_time_s: float
+
+    @property
+    def makespan_s(self) -> float:
+        """Layer completion time: both units run concurrently."""
+        return max(self.xpu_time_s, self.pim_time_s)
+
+    @property
+    def serial_time_s(self) -> float:
+        """What the same work would cost with no overlap (base Duplex)."""
+        return self.xpu_time_s + self.pim_time_s
+
+
+@dataclass
+class ExpertTimeLookup:
+    """Cached per-unit expert processing times keyed by token count.
+
+    Mirrors the paper's runtime lookup table: the first query for a token
+    count computes the roofline time; later queries hit the cache.
+
+    Args:
+        layer_math: layer math of the model being served.
+        xpu: the high-Op/B unit.
+        pim: the low-Op/B unit.
+        expert_fraction: weight share of each resident expert on this device.
+    """
+
+    layer_math: LayerMath
+    xpu: ProcessingUnit
+    pim: ProcessingUnit
+    expert_fraction: float = 1.0
+    _xpu_cache: dict[int, float] = field(default_factory=dict, repr=False)
+    _pim_cache: dict[int, float] = field(default_factory=dict, repr=False)
+
+    def xpu_time(self, tokens: int) -> float:
+        """xPU time for one expert processing ``tokens`` tokens."""
+        cached = self._xpu_cache.get(tokens)
+        if cached is None:
+            cached = self._op_time(self.xpu, tokens)
+            self._xpu_cache[tokens] = cached
+        return cached
+
+    def pim_time(self, tokens: int) -> float:
+        """Logic-PIM time for one expert processing ``tokens`` tokens."""
+        cached = self._pim_cache.get(tokens)
+        if cached is None:
+            cached = self._op_time(self.pim, tokens)
+            self._pim_cache[tokens] = cached
+        return cached
+
+    def _op_time(self, unit: ProcessingUnit, tokens: int) -> float:
+        op = self.layer_math.expert_ffn(0, tokens, self.expert_fraction)
+        return unit.op_time(op.flops, op.bytes_read, op.bytes_written)
+
+
+def assign_experts(
+    token_counts: np.ndarray | Sequence[int],
+    lookup: ExpertTimeLookup,
+    groups: Sequence[Sequence[int]] | None = None,
+) -> ExpertAssignment:
+    """Split resident experts between the xPU and Logic-PIM.
+
+    Args:
+        token_counts: tokens routed to each resident expert.
+        lookup: per-unit expert time oracle.
+        groups: optional memory-space granularity — each inner sequence
+            lists resident-expert indices that must move together
+            (Section V-C).  ``None`` moves experts individually.
+
+    Returns:
+        The greedy assignment; zero-token experts contribute no time and are
+        left on Logic-PIM by convention (their weights are never streamed).
+    """
+    counts = np.asarray(token_counts, dtype=np.int64)
+    if counts.ndim != 1:
+        raise ConfigError("token_counts must be one-dimensional")
+    if (counts < 0).any():
+        raise ConfigError("token counts must be non-negative")
+    n_experts = counts.size
+
+    if groups is None:
+        units: list[tuple[int, ...]] = [(i,) for i in range(n_experts)]
+    else:
+        seen = [index for group in groups for index in group]
+        if sorted(seen) != list(range(n_experts)):
+            raise ConfigError("groups must partition the resident experts exactly")
+        units = [tuple(group) for group in groups]
+
+    def group_tokens(group: tuple[int, ...]) -> int:
+        return int(counts[list(group)].sum())
+
+    def group_time(group: tuple[int, ...], on_pim: bool) -> float:
+        time = 0.0
+        for index in group:
+            tokens = int(counts[index])
+            if tokens == 0:
+                continue
+            time += lookup.pim_time(tokens) if on_pim else lookup.xpu_time(tokens)
+        return time
+
+    # Start with everything on the xPU, then move the lightest groups to
+    # Logic-PIM while the makespan improves (the paper's greedy).
+    order = sorted(range(len(units)), key=lambda g: group_tokens(units[g]))
+    xpu_total = sum(group_time(group, on_pim=False) for group in units)
+    pim_total = 0.0
+    on_pim: set[int] = set()
+    best = (max(xpu_total, pim_total), frozenset(on_pim), xpu_total, pim_total)
+    for g in order:
+        xpu_total -= group_time(units[g], on_pim=False)
+        pim_total += group_time(units[g], on_pim=True)
+        on_pim.add(g)
+        makespan = max(xpu_total, pim_total)
+        if makespan < best[0]:
+            best = (makespan, frozenset(on_pim), xpu_total, pim_total)
+
+    _, chosen, best_xpu, best_pim = best
+    xpu_experts: list[int] = []
+    pim_experts: list[int] = []
+    for g, group in enumerate(units):
+        target = pim_experts if g in chosen else xpu_experts
+        target.extend(group)
+    return ExpertAssignment(
+        xpu_experts=tuple(sorted(xpu_experts)),
+        pim_experts=tuple(sorted(pim_experts)),
+        xpu_time_s=best_xpu,
+        pim_time_s=best_pim,
+    )
+
+
+def round_robin_space_groups(n_experts: int, num_spaces: int) -> list[list[int]]:
+    """Memory-space groups for experts placed round-robin (Section V-C)."""
+    if n_experts < 0 or num_spaces < 1:
+        raise ConfigError("need non-negative experts and at least one space")
+    groups: list[list[int]] = [[] for _ in range(min(num_spaces, max(1, n_experts)))]
+    for expert in range(n_experts):
+        groups[expert % len(groups)].append(expert)
+    return [group for group in groups if group]

@@ -1,0 +1,526 @@
+"""The stage executor: one continuous-batching stage -> latency and energy.
+
+A *stage* is the unit of continuous batching (Section II-C): every running
+request advances one token.  The executor receives the stage's composition
+(ongoing decode context lengths, new prefill lengths), routes tokens through
+one representative decoder layer of each type, applies the system's unit
+selection and co-processing policy, scales by layer counts, adds
+communication and stage-level work, and returns a :class:`StageResult`.
+
+Timing semantics by system:
+
+* **GPU** — every operator on the xPU, serial.
+* **Duplex (base)** — each layer on the unit that finishes it sooner
+  (the Op/B-driven choice of Section IV), but only one unit is active at a
+  time (Fig. 10(a)/(b)).
+* **Duplex+PE(+ET)** — expert co-processing splits each MoE layer's experts
+  across both units (layer time = makespan of the two sides, Fig. 10(d));
+  attention co-processing overlaps prefill attention (xPU) with decode
+  attention (Logic-PIM) in mixed stages.
+* **Hetero** — MoE layers of *all* stages and decode attention run on the
+  PIM-only devices; everything else on the GPUs (Section III-B).
+
+Accounting conventions:
+
+* ``latency_s`` is the critical path through the worst device.
+* ``time_by_category`` holds critical-path contributions; in co-processed
+  mixed stages, the overlapped attention categories are each recorded at
+  full busy time, so their sum can slightly exceed ``latency_s`` there
+  (decoding-only stages — the dominant kind — are exact).
+* Energies are charged on *every* device that works (tensor-parallel
+  replicas included), for all layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.coprocessing import ExpertTimeLookup, assign_experts, round_robin_space_groups
+from repro.core.system import SystemConfig, SystemKind
+from repro.errors import ConfigError, SimulationError
+from repro.hardware.processor import ProcessingUnit
+from repro.models.config import ModelConfig
+from repro.models.gating import ExpertRouter
+from repro.models.layers import LayerMath
+from repro.models.ops import OpCategory, Operator
+from repro.parallel.collectives import CollectiveModel
+
+
+@dataclass(frozen=True)
+class StageWorkload:
+    """Composition of one continuous-batching stage (global, all nodes).
+
+    Attributes:
+        decode_context_lengths: cached KV length per ongoing decode request.
+        prefill_lengths: input length per newly admitted request.
+    """
+
+    decode_context_lengths: np.ndarray
+    prefill_lengths: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        lengths = np.asarray(self.decode_context_lengths)
+        object.__setattr__(self, "decode_context_lengths", lengths)
+        if lengths.size and (lengths < 0).any():
+            raise ConfigError("decode context lengths must be non-negative")
+        if any(length < 1 for length in self.prefill_lengths):
+            raise ConfigError("prefill lengths must be positive")
+        if lengths.size == 0 and not self.prefill_lengths:
+            raise ConfigError("a stage needs at least one request")
+
+    @property
+    def is_mixed(self) -> bool:
+        """True when a prefill participates in the stage."""
+        return len(self.prefill_lengths) > 0
+
+    @property
+    def n_decode(self) -> int:
+        return int(self.decode_context_lengths.size)
+
+    @property
+    def n_prefill(self) -> int:
+        return len(self.prefill_lengths)
+
+    @property
+    def n_requests(self) -> int:
+        return self.n_decode + self.n_prefill
+
+    @property
+    def prefill_tokens(self) -> int:
+        return int(sum(self.prefill_lengths))
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens flowing through the FC/MoE layers this stage."""
+        return self.n_decode + self.prefill_tokens
+
+
+@dataclass
+class StageResult:
+    """Latency and energy of one stage, with per-category breakdowns."""
+
+    latency_s: float = 0.0
+    time_by_category: dict[OpCategory, float] = field(default_factory=dict)
+    dram_energy_by_category: dict[OpCategory, float] = field(default_factory=dict)
+    compute_energy_by_category: dict[OpCategory, float] = field(default_factory=dict)
+    comm_energy_j: float = 0.0
+    is_mixed: bool = False
+    tokens_generated: int = 0
+
+    @property
+    def energy_j(self) -> float:
+        """Total stage energy: DRAM + compute + fabric."""
+        return (
+            sum(self.dram_energy_by_category.values())
+            + sum(self.compute_energy_by_category.values())
+            + self.comm_energy_j
+        )
+
+    def busy_time(self, category: OpCategory) -> float:
+        return self.time_by_category.get(category, 0.0)
+
+    def add_time(self, category: OpCategory, seconds: float) -> None:
+        self.time_by_category[category] = self.time_by_category.get(category, 0.0) + seconds
+
+    def add_dram_energy(self, category: OpCategory, joules: float) -> None:
+        self.dram_energy_by_category[category] = (
+            self.dram_energy_by_category.get(category, 0.0) + joules
+        )
+
+    def add_compute_energy(self, category: OpCategory, joules: float) -> None:
+        self.compute_energy_by_category[category] = (
+            self.compute_energy_by_category.get(category, 0.0) + joules
+        )
+
+
+class StageExecutor:
+    """Times and energises stages for one system serving one model.
+
+    Args:
+        system: the system configuration (GPU / Duplex / Hetero ...).
+        model: the model being served.
+        gating_skew: 0.0 for the paper's uniform expert routing; larger
+            values model hot experts (Section VIII-B).
+        seed: RNG seed for gating.
+        deterministic_gating: use expected token counts instead of sampling
+            (useful for tests and calibration sweeps).
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        model: ModelConfig,
+        gating_skew: float = 0.0,
+        seed: int | None = 0,
+        deterministic_gating: bool = False,
+    ) -> None:
+        self.system = system
+        self.model = model
+        self.math = LayerMath(model)
+        self.collectives = CollectiveModel(system.topology)
+        self.deterministic_gating = deterministic_gating
+
+        if system.kind is SystemKind.HETERO:
+            n_gpu, n_pim = system.hetero_gpu_count, system.hetero_pim_count
+            self._fc_fraction = 1.0 / n_gpu
+            self._decode_kv_fraction = 1.0 / n_pim
+            self._prefill_kv_fraction = 1.0 / n_gpu
+            self._expert_fraction = min(1.0, model.n_experts / n_pim) if model.is_moe else 1.0
+            self._placement = None
+        else:
+            placement = system.placement(model)
+            self._placement = placement
+            self._fc_fraction = placement.fc_fraction
+            self._decode_kv_fraction = placement.kv_fraction
+            self._prefill_kv_fraction = placement.kv_fraction
+            self._expert_fraction = placement.expert_fraction
+
+        self._router = (
+            ExpertRouter(model.n_experts, model.top_k, skew=gating_skew, seed=seed)
+            if model.is_moe
+            else None
+        )
+        self._xpu = self._resolve_xpu()
+        self._pim = self._resolve_pim()
+        self._lookup = (
+            ExpertTimeLookup(self.math, self._xpu, self._pim, self._expert_fraction)
+            if self._xpu is not None and self._pim is not None
+            else None
+        )
+        if model.is_moe and self._placement is not None:
+            self._space_groups = round_robin_space_groups(
+                self._placement.resident_experts_per_device, system.device.num_memory_spaces
+            )
+        else:
+            self._space_groups = None
+        self._n_nodes = system.topology.n_nodes
+        self._n_devices = system.topology.n_devices
+
+    # ------------------------------------------------------------------
+    # unit resolution
+    # ------------------------------------------------------------------
+    def _resolve_xpu(self) -> ProcessingUnit | None:
+        if self.system.kind is SystemKind.HETERO:
+            return self.system.device.require_xpu()
+        return self.system.device.xpu
+
+    def _resolve_pim(self) -> ProcessingUnit | None:
+        if self.system.kind is SystemKind.HETERO:
+            assert self.system.pim_device is not None
+            return self.system.pim_device.require_pim()
+        return self.system.device.pim
+
+    # ------------------------------------------------------------------
+    # main entry
+    # ------------------------------------------------------------------
+    def run_stage(self, workload: StageWorkload) -> StageResult:
+        """Execute one stage and return its latency/energy breakdown."""
+        result = StageResult(is_mixed=workload.is_mixed, tokens_generated=workload.n_requests)
+        model, system = self.model, self.system
+
+        # Data parallelism: node 0 takes the round-robin share (worst case).
+        local_ctx = np.asarray(workload.decode_context_lengths)[:: self._n_nodes]
+        local_prefill = tuple(workload.prefill_lengths[:: self._n_nodes])
+        local_tokens = int(local_ctx.size) + int(sum(local_prefill))
+
+        fc_unit = self._xpu if self._xpu is not None else self._pim
+        assert fc_unit is not None
+        n_layers = model.n_layers
+        latency = 0.0
+
+        # ---- per-layer FC work (QKV generation + projection) --------------
+        if local_tokens > 0:
+            qkv = self.math.qkv_and_projection(local_tokens, self._fc_fraction)
+            latency += self._charge(result, fc_unit, qkv, self._fc_replicas(), n_layers) * n_layers
+
+        # ---- attention ------------------------------------------------------
+        decode_time = 0.0
+        prefill_time = 0.0
+        if local_ctx.size:
+            decode_op = self.math.attention_decode(local_ctx, self._decode_kv_fraction)
+            decode_unit = self._attention_decode_unit(decode_op)
+            decode_time = self._charge(
+                result, decode_unit, decode_op, self._attention_replicas(), n_layers
+            )
+        if local_prefill:
+            prefill_op = self.math.attention_prefill(local_prefill, self._prefill_kv_fraction)
+            prefill_time = self._charge(result, fc_unit, prefill_op, self._fc_replicas(), n_layers)
+        overlap = (
+            workload.is_mixed
+            and system.attention_coprocessing
+            and self._pim is not None
+            and self._xpu is not None
+        )
+        attention_contrib = max(decode_time, prefill_time) if overlap else decode_time + prefill_time
+        latency += attention_contrib * n_layers
+
+        # ---- FFN / MoE ------------------------------------------------------
+        if model.is_moe:
+            latency += self._moe_layers_time(result, workload, local_tokens)
+            if model.n_dense_ffn_layers > 0 and local_tokens > 0:
+                latency += self._dense_ffn_time(result, local_tokens, model.n_dense_ffn_layers)
+        elif local_tokens > 0:
+            latency += self._dense_ffn_time(result, local_tokens, n_layers)
+
+        # ---- communication ---------------------------------------------------
+        latency += self._communication_time(result, local_tokens)
+
+        # ---- stage-level work -------------------------------------------------
+        if local_tokens > 0:
+            embed = self.math.embedding(local_tokens)
+            latency += self._charge(result, fc_unit, embed, self._fc_replicas(), 1)
+            outputs = int(local_ctx.size) + len(local_prefill)
+            head = self.math.lm_head(outputs, self._fc_fraction)
+            latency += self._charge(result, fc_unit, head, self._fc_replicas(), 1)
+        latency += self._kv_migration_time(result, local_prefill)
+
+        result.latency_s = latency
+        if latency <= 0:
+            raise SimulationError("stage produced non-positive latency")
+        return result
+
+    # ------------------------------------------------------------------
+    # MoE
+    # ------------------------------------------------------------------
+    def _moe_layers_time(
+        self, result: StageResult, workload: StageWorkload, local_tokens: int
+    ) -> float:
+        """Latency contribution of all MoE layers (gate + experts)."""
+        assert self._router is not None
+        model = self.model
+        layers = model.n_moe_layers
+        if workload.total_tokens == 0 or layers == 0:
+            return 0.0
+        if self.deterministic_gating:
+            counts = np.rint(self._router.expected_counts(workload.total_tokens)).astype(np.int64)
+        else:
+            counts = self._router.route(workload.total_tokens)
+
+        gate_unit = self._xpu if self._xpu is not None else self._pim
+        assert gate_unit is not None
+        gate_time = 0.0
+        if local_tokens > 0:
+            gate = self.math.gate(local_tokens, self._fc_fraction)
+            gate_time = self._charge(result, gate_unit, gate, self._fc_replicas(), layers)
+
+        # Devices sharing the same count array (tensor-parallel expert
+        # replicas, sharded-expert groups) are priced once; energy is still
+        # charged per replica via the multiplicity.
+        unique: dict[int, tuple[np.ndarray, int]] = {}
+        for device_counts in self._per_device_expert_counts(counts):
+            key = id(device_counts)
+            if key in unique:
+                unique[key] = (device_counts, unique[key][1] + 1)
+            else:
+                unique[key] = (device_counts, 1)
+        worst = 0.0
+        for device_counts, multiplicity in unique.values():
+            worst = max(
+                worst, self._device_expert_time(result, device_counts, layers * multiplicity)
+            )
+        result.add_time(OpCategory.MOE, worst * layers)
+        return (gate_time + worst) * layers
+
+    def _per_device_expert_counts(self, counts: np.ndarray) -> list[np.ndarray]:
+        if self.system.kind is SystemKind.HETERO:
+            return list(np.array_split(counts, self.system.hetero_pim_count))
+        assert self._placement is not None
+        return self._placement.per_device_expert_counts(counts)
+
+    def _device_expert_time(
+        self, result: StageResult, device_counts: np.ndarray, layers: int
+    ) -> float:
+        """One device's expert time per MoE layer; charges its energy."""
+        system = self.system
+        if not device_counts.size or device_counts.sum() == 0:
+            return 0.0
+        if system.kind is SystemKind.GPU:
+            assert self._xpu is not None
+            return self._expert_set_cost(result, self._xpu, device_counts, range(len(device_counts)), layers)
+        if system.kind is SystemKind.HETERO:
+            assert self._pim is not None
+            return self._expert_set_cost(result, self._pim, device_counts, range(len(device_counts)), layers)
+        # Duplex family.
+        assert self._xpu is not None and self._pim is not None and self._lookup is not None
+        if not system.expert_coprocessing or not system.device.supports_coprocessing:
+            # Base Duplex: the whole layer on whichever unit finishes sooner.
+            xpu_total = sum(self._lookup.xpu_time(int(t)) for t in device_counts if t > 0)
+            pim_total = sum(self._lookup.pim_time(int(t)) for t in device_counts if t > 0)
+            unit = self._xpu if xpu_total <= pim_total else self._pim
+            return self._expert_set_cost(result, unit, device_counts, range(len(device_counts)), layers)
+        groups = self._space_groups if self._space_groups and len(self._space_groups) > 1 else None
+        assignment = assign_experts(device_counts, self._lookup, groups)
+        self._expert_set_cost(result, self._xpu, device_counts, assignment.xpu_experts, layers)
+        self._expert_set_cost(result, self._pim, device_counts, assignment.pim_experts, layers)
+        return assignment.makespan_s
+
+    def _expert_set_cost(
+        self,
+        result: StageResult,
+        unit: ProcessingUnit,
+        counts: np.ndarray,
+        expert_indices,
+        layers: int,
+    ) -> float:
+        """Serial time of a set of experts on one unit; charges energy x layers.
+
+        Critical-path MoE *time* is recorded by the caller (it is a max over
+        devices, not a sum), so only energy is charged here.
+        """
+        total = 0.0
+        for expert_index in expert_indices:
+            tokens = int(counts[expert_index])
+            if tokens == 0:
+                continue
+            op = self.math.expert_ffn(expert_index, tokens, self._expert_fraction)
+            total += unit.op_time(op.flops, op.bytes_read, op.bytes_written)
+            result.add_dram_energy(
+                OpCategory.MOE, unit.dram_energy(op.bytes_read, op.bytes_written) * layers
+            )
+            result.add_compute_energy(OpCategory.MOE, unit.compute_energy(op.flops) * layers)
+        return total
+
+    # ------------------------------------------------------------------
+    # dense FFN
+    # ------------------------------------------------------------------
+    def _dense_ffn_time(self, result: StageResult, local_tokens: int, layers: int) -> float:
+        """Latency contribution of ``layers`` dense FFN layers."""
+        op = self.math.dense_ffn(local_tokens, self._fc_fraction)
+        if self.system.kind is SystemKind.DUPLEX:
+            unit = self._min_time_unit(op)
+        else:
+            unit = self._xpu if self._xpu is not None else self._pim
+        assert unit is not None
+        return self._charge(result, unit, op, self._fc_replicas(), layers) * layers
+
+    # ------------------------------------------------------------------
+    # attention unit selection
+    # ------------------------------------------------------------------
+    def _attention_decode_unit(self, op: Operator) -> ProcessingUnit:
+        system = self.system
+        if system.kind is SystemKind.GPU or self._pim is None:
+            assert self._xpu is not None
+            return self._xpu
+        if system.kind is SystemKind.HETERO:
+            return self._pim
+        chosen = self._min_time_unit(op)
+        assert chosen is not None
+        return chosen
+
+    def _min_time_unit(self, op: Operator) -> ProcessingUnit | None:
+        if self._xpu is None:
+            return self._pim
+        if self._pim is None:
+            return self._xpu
+        t_x = self._xpu.op_time(op.flops, op.bytes_read, op.bytes_written)
+        t_p = self._pim.op_time(op.flops, op.bytes_read, op.bytes_written)
+        return self._xpu if t_x <= t_p else self._pim
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def _communication_time(self, result: StageResult, local_tokens: int) -> float:
+        """Per-stage collective time (all layers), recorded and returned."""
+        model, system = self.model, self.system
+        if local_tokens == 0:
+            return 0.0
+        coll = self.collectives
+        activation_bytes = local_tokens * model.hidden * model.dtype_bytes
+        if system.kind is SystemKind.HETERO:
+            tp_group = system.hetero_gpu_count
+        else:
+            assert self._placement is not None
+            tp_group = self._placement.tp_group_size
+
+        total = 0.0
+        wire = 0.0
+        # Attention-output all-reduce, every layer.
+        if tp_group > 1:
+            total += coll.all_reduce_time(activation_bytes, tp_group) * model.n_layers
+            wire += coll.all_reduce_wire_bytes(activation_bytes, tp_group) * model.n_layers
+
+        if model.is_moe:
+            moe_bytes = local_tokens * model.top_k * model.hidden * model.dtype_bytes
+            if system.kind is SystemKind.HETERO:
+                uses_a2a, uses_ar = True, False
+                group, group_crosses = system.topology.n_devices, False
+            else:
+                assert self._placement is not None
+                uses_a2a = self._placement.moe_uses_all_to_all
+                uses_ar = self._placement.moe_uses_tp_all_reduce
+                group, group_crosses = self._placement.moe_all_to_all_group
+            if uses_a2a:
+                total += 2 * coll.all_to_all_time(moe_bytes, group, group_crosses) * model.n_moe_layers
+                wire += 2 * coll.all_to_all_wire_bytes(moe_bytes, group) * model.n_moe_layers
+            if uses_ar and tp_group > 1:
+                total += coll.all_reduce_time(activation_bytes, tp_group) * model.n_moe_layers
+                wire += coll.all_reduce_wire_bytes(activation_bytes, tp_group) * model.n_moe_layers
+            if model.n_dense_ffn_layers > 0 and tp_group > 1:
+                total += coll.all_reduce_time(activation_bytes, tp_group) * model.n_dense_ffn_layers
+                wire += (
+                    coll.all_reduce_wire_bytes(activation_bytes, tp_group) * model.n_dense_ffn_layers
+                )
+        elif tp_group > 1:
+            # Dense model: FFN all-reduce per layer.
+            total += coll.all_reduce_time(activation_bytes, tp_group) * model.n_layers
+            wire += coll.all_reduce_wire_bytes(activation_bytes, tp_group) * model.n_layers
+
+        if total > 0:
+            result.add_time(OpCategory.COMMUNICATION, total)
+            result.comm_energy_j += coll.wire_energy(wire) * self._n_devices
+        return total
+
+    # ------------------------------------------------------------------
+    # KV migration (Section V-C)
+    # ------------------------------------------------------------------
+    def _kv_migration_time(self, result: StageResult, local_prefill: tuple[int, ...]) -> float:
+        if not local_prefill:
+            return 0.0
+        system, model = self.system, self.model
+        if system.kind is SystemKind.GPU:
+            return 0.0  # KV is written to its final location directly
+        produced = sum(local_prefill) * model.kv_bytes_per_token
+        if system.kind is SystemKind.HETERO:
+            # Prefill KV is produced on the GPUs and shipped to the PIM devices.
+            time = self.collectives.point_to_point_time(produced / system.hetero_gpu_count)
+            result.add_time(OpCategory.MIGRATION, time)
+            result.comm_energy_j += self.collectives.wire_energy(produced)
+            return time
+        # Duplex: the xPU moves K/V from the scratch space to the KV spaces.
+        moved = produced * self._decode_kv_fraction
+        op = Operator("kv_migration", OpCategory.MIGRATION, 0.0, moved, moved)
+        assert self._xpu is not None
+        return self._charge(result, self._xpu, op, self._n_devices, 1)
+
+    # ------------------------------------------------------------------
+    # charging helper
+    # ------------------------------------------------------------------
+    def _fc_replicas(self) -> int:
+        """Devices doing replicated/tensor-parallel FC work (for energy)."""
+        if self.system.kind is SystemKind.HETERO:
+            return self.system.hetero_gpu_count
+        return self._n_devices
+
+    def _attention_replicas(self) -> int:
+        if self.system.kind is SystemKind.HETERO:
+            return self.system.hetero_pim_count
+        return self._n_devices
+
+    def _charge(
+        self,
+        result: StageResult,
+        unit: ProcessingUnit,
+        op: Operator,
+        replicas: int,
+        layers: int,
+    ) -> float:
+        """Record an operator across ``layers`` layers; return per-layer time."""
+        time = unit.op_time(op.flops, op.bytes_read, op.bytes_written)
+        result.add_time(op.category, time * layers)
+        result.add_dram_energy(
+            op.category, unit.dram_energy(op.bytes_read, op.bytes_written) * replicas * layers
+        )
+        result.add_compute_energy(op.category, unit.compute_energy(op.flops) * replicas * layers)
+        return time

@@ -1,0 +1,271 @@
+"""System configurations: devices + topology + execution policy.
+
+The paper evaluates six system families; each has a factory here:
+
+* ``gpu_system``        — the H100 baseline (and ``doubled=True`` for 2xGPU).
+* ``duplex_system``     — Duplex, optionally with expert/attention
+  co-processing (+PE) and expert tensor parallelism (+PE+ET).
+* ``bank_pim_system``   — the Section VII-C device with in-bank PIM.
+* ``hetero_system``     — Section III-B's heterogeneous system: half the
+  devices are GPUs, half are PIM-only; MoE layers of *all* stages and decode
+  attention run on the PIM devices (this is what blows up its tail latency).
+
+Device counts follow the paper's Section VI sizing: enough 80 GB devices
+(power of two, at most eight per node) to hold the weights with comparable
+headroom for KV cache — one node of four for Mixtral/OPT/Llama3, one node of
+eight for GLaM, two nodes of eight for Grok1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.core.device import (
+    DeviceModel,
+    bank_pim_duplex_device,
+    duplex_device,
+    gpu_device,
+    pim_only_device,
+)
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+from repro.parallel.placement import ExpertPlacement, ModelPlacement
+from repro.parallel.topology import ClusterTopology
+from repro.units import GiB
+
+
+class SystemKind(enum.Enum):
+    """Execution-policy families."""
+
+    GPU = "gpu"  # everything on the xPU
+    DUPLEX = "duplex"  # per-layer unit selection, optional co-processing
+    HETERO = "hetero"  # separate GPU and PIM-only devices
+
+
+@dataclass(frozen=True)
+class DeviceMemoryProfile:
+    """Capacity-relevant footprint of one device class.
+
+    Attributes:
+        name: device-class label.
+        count: devices of this class in the system.
+        weight_bytes: static weights resident per device.
+        kv_bytes_per_token: KV bytes per cached token per device.
+        capacity_bytes: HBM capacity per device.
+    """
+
+    name: str
+    count: int
+    weight_bytes: float
+    kv_bytes_per_token: float
+    capacity_bytes: float
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete evaluable system.
+
+    Attributes:
+        name: report label ("GPU", "Duplex+PE+ET", ...).
+        kind: execution-policy family.
+        device: the (homogeneous) device model; for HETERO, the GPU half.
+        topology: nodes and devices.
+        expert_placement: MoE weight distribution.
+        expert_coprocessing: split experts across xPU and PIM (+PE).
+        attention_coprocessing: overlap prefill (xPU) and decode (PIM)
+            attention in mixed stages (+PE).
+        pim_device: HETERO only — the PIM-only device model.
+        hetero_pim_count: HETERO only — how many devices are PIM-only.
+        memory_reserve_fraction: HBM share reserved for activations and
+            fragmentation when computing batch-size limits.
+    """
+
+    name: str
+    kind: SystemKind
+    device: DeviceModel
+    topology: ClusterTopology
+    expert_placement: ExpertPlacement = ExpertPlacement.EXPERT_PARALLEL
+    expert_coprocessing: bool = False
+    attention_coprocessing: bool = False
+    pim_device: DeviceModel | None = None
+    hetero_pim_count: int = 0
+    memory_reserve_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind is SystemKind.HETERO:
+            if self.pim_device is None or self.hetero_pim_count < 1:
+                raise ConfigError("a hetero system needs PIM-only devices")
+            if self.hetero_pim_count >= self.topology.n_devices:
+                raise ConfigError("a hetero system needs at least one GPU device")
+            if self.topology.spans_nodes:
+                raise ConfigError("the hetero comparison is defined within one node")
+        if not 0.0 <= self.memory_reserve_fraction < 0.5:
+            raise ConfigError("memory_reserve_fraction must be in [0, 0.5)")
+
+    # ------------------------------------------------------------------
+    # structure helpers
+    # ------------------------------------------------------------------
+    @property
+    def hetero_gpu_count(self) -> int:
+        return self.topology.n_devices - self.hetero_pim_count
+
+    def placement(self, model: ModelConfig) -> ModelPlacement:
+        """Weight/work distribution for homogeneous systems."""
+        if self.kind is SystemKind.HETERO:
+            raise ConfigError("hetero systems use role-specific fractions, not a placement")
+        return ModelPlacement(model, self.topology, self.expert_placement)
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+    def memory_profiles(self, model: ModelConfig) -> list[DeviceMemoryProfile]:
+        """Per-device-class weight and KV footprints for capacity checks."""
+        if self.kind is not SystemKind.HETERO:
+            placement = self.placement(model)
+            return [
+                DeviceMemoryProfile(
+                    name=self.device.name,
+                    count=self.topology.n_devices,
+                    weight_bytes=placement.weight_bytes_per_device(),
+                    kv_bytes_per_token=placement.kv_bytes_per_token_per_device(),
+                    capacity_bytes=self.device.hbm_capacity_bytes,
+                )
+            ]
+        # Hetero: GPUs hold the non-expert weights (tensor parallel among
+        # themselves); PIM devices hold every expert plus the KV cache.
+        n_gpu, n_pim = self.hetero_gpu_count, self.hetero_pim_count
+        expert_bytes = model.n_moe_layers * model.n_experts * model.expert_bytes
+        assert self.pim_device is not None  # validated in __post_init__
+        return [
+            DeviceMemoryProfile(
+                name=self.device.name,
+                count=n_gpu,
+                weight_bytes=model.non_expert_weight_bytes / n_gpu,
+                kv_bytes_per_token=0.0,
+                capacity_bytes=self.device.hbm_capacity_bytes,
+            ),
+            DeviceMemoryProfile(
+                name=self.pim_device.name,
+                count=n_pim,
+                weight_bytes=expert_bytes / n_pim,
+                kv_bytes_per_token=model.kv_bytes_per_token / n_pim,
+                capacity_bytes=self.pim_device.hbm_capacity_bytes,
+            ),
+        ]
+
+    def max_resident_kv_tokens(self, model: ModelConfig) -> int:
+        """Cluster-wide cached tokens that fit after weights are resident.
+
+        The binding device class is the one whose free-capacity-per-KV-byte
+        is smallest; data parallelism scales the per-node limit by the node
+        count.
+        """
+        limit = float("inf")
+        for profile in self.memory_profiles(model):
+            usable = profile.capacity_bytes * (1 - self.memory_reserve_fraction)
+            free = usable - profile.weight_bytes
+            if free <= 0:
+                return 0
+            if profile.kv_bytes_per_token == 0.0:
+                continue
+            limit = min(limit, free / profile.kv_bytes_per_token)
+        if limit == float("inf"):
+            raise ConfigError("no device class holds KV cache — capacity undefined")
+        return int(limit) * self.topology.n_nodes
+
+    def max_batch_for(self, model: ModelConfig, max_seq_len: int) -> int:
+        """Largest batch whose KV fits every device class (Fig. 5(c) stars).
+
+        Args:
+            model: the model being served.
+            max_seq_len: worst-case cached tokens per request (Lin + Lout).
+        """
+        if max_seq_len < 1:
+            raise ConfigError("max_seq_len must be positive")
+        return self.max_resident_kv_tokens(model) // max_seq_len
+
+
+# ----------------------------------------------------------------------
+# sizing rule and factories
+# ----------------------------------------------------------------------
+def default_topology(model: ModelConfig, device_capacity_bytes: float = 80 * GiB) -> ClusterTopology:
+    """Device count per the paper's sizing: weights plus comparable KV headroom."""
+    needed = 2.0 * model.total_weight_bytes
+    devices = 1
+    while devices * device_capacity_bytes < needed:
+        devices *= 2
+    if devices <= 8:
+        return ClusterTopology(1, devices)
+    if devices % 8 != 0:
+        raise ConfigError(f"{model.name}: cannot arrange {devices} devices into nodes of 8")
+    return ClusterTopology(devices // 8, 8)
+
+
+def gpu_system(model: ModelConfig, doubled: bool = False) -> SystemConfig:
+    """The GPU baseline, or the 2xGPU system with twice the devices."""
+    topology = default_topology(model)
+    if doubled:
+        topology = topology.doubled()
+    return SystemConfig(
+        name="2xGPU" if doubled else "GPU",
+        kind=SystemKind.GPU,
+        device=gpu_device(),
+        topology=topology,
+    )
+
+
+def duplex_system(
+    model: ModelConfig,
+    co_processing: bool = False,
+    expert_tensor_parallel: bool = False,
+    topology: ClusterTopology | None = None,
+) -> SystemConfig:
+    """Duplex, Duplex+PE, or Duplex+PE+ET (Section VII's three configs)."""
+    if expert_tensor_parallel and not co_processing:
+        raise ConfigError("the paper only evaluates ET on top of co-processing (+PE+ET)")
+    name = "Duplex"
+    if co_processing:
+        name += "+PE"
+    if expert_tensor_parallel:
+        name += "+ET"
+    placement = (
+        ExpertPlacement.EXPERT_TENSOR_PARALLEL
+        if expert_tensor_parallel
+        else ExpertPlacement.EXPERT_PARALLEL
+    )
+    if not model.is_moe:
+        placement = ExpertPlacement.EXPERT_PARALLEL
+    return SystemConfig(
+        name=name,
+        kind=SystemKind.DUPLEX,
+        device=duplex_device(),
+        topology=topology or default_topology(model),
+        expert_placement=placement,
+        expert_coprocessing=co_processing,
+        attention_coprocessing=co_processing,
+    )
+
+
+def bank_pim_system(model: ModelConfig, co_processing: bool = True) -> SystemConfig:
+    """The Bank-PIM device of Section VII-C under the Duplex policy."""
+    base = duplex_system(model, co_processing=co_processing)
+    return replace(base, name="BankPIM", device=bank_pim_duplex_device())
+
+
+def hetero_system(model: ModelConfig) -> SystemConfig:
+    """Section III-B's heterogeneous system: half GPUs, half PIM-only devices."""
+    topology = default_topology(model)
+    if topology.spans_nodes:
+        raise ConfigError(f"{model.name}: the hetero comparison is single-node only")
+    n_pim = topology.devices_per_node // 2
+    if n_pim < 1:
+        raise ConfigError("hetero system needs at least two devices")
+    return SystemConfig(
+        name="Hetero",
+        kind=SystemKind.HETERO,
+        device=gpu_device(),
+        topology=topology,
+        pim_device=pim_only_device(),
+        hetero_pim_count=n_pim,
+    )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the Duplex reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subclasses mark
+the subsystem at fault; they carry no extra state beyond the message.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class TimingError(ReproError):
+    """A DRAM command violates a timing constraint it should have respected."""
+
+
+class CapacityError(ReproError):
+    """Weights or KV cache do not fit in the available device memory."""
+
+
+class AllocationError(ReproError):
+    """A memory-space or bank-bundle allocation request cannot be satisfied."""
+
+
+class SchedulingError(ReproError):
+    """The serving scheduler reached an inconsistent state."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven in an unsupported way (e.g. time going backwards)."""

@@ -1,0 +1,27 @@
+"""Paper experiments: one module per table/figure of the evaluation.
+
+Every module exposes ``run()`` returning structured rows and a
+``format_rows()`` helper that renders the same table the paper's figure
+plots.  The benchmark suite (``benchmarks/``) executes each experiment once
+per session and records the headline ratios; EXPERIMENTS.md collects the
+paper-vs-measured comparison.
+
+| Module     | Paper artefact                                            |
+|------------|-----------------------------------------------------------|
+| `table1`   | Table I (model configurations, derived sizes)             |
+| `fig4`     | Fig. 4(a) time breakdown, Fig. 4(b) roofline              |
+| `fig5`     | Fig. 5(a) stage ratio, 5(b) hetero latency, 5(c) hetero   |
+|            | throughput under capacity pressure                        |
+| `fig8`     | Fig. 8 EDAP of the PIM microarchitectures                 |
+| `fig11`    | Fig. 11 throughput: GPU / 2xGPU / Duplex / +PE / +PE+ET   |
+| `fig12`    | Fig. 12 GLaM latency percentiles                          |
+| `fig13`    | Fig. 13 latency vs queries-per-second                     |
+| `fig14`    | Fig. 14 Duplex vs Bank-PIM across model classes           |
+| `fig15`    | Fig. 15 energy breakdown per generated token              |
+| `fig16`    | Fig. 16 Duplex-Split vs Duplex                            |
+| `area`     | Section VII-E area overheads                              |
+"""
+
+from repro.experiments import presets
+
+__all__ = ["presets"]

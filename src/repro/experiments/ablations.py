@@ -1,0 +1,227 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Four studies, each isolating one decision the paper makes:
+
+* :func:`bundle_interleaving` — Section IV-C: how many memory spaces the
+  Logic-PIM controller may ping-pong between while streaming.  One space
+  pays the row-switch penalty; two already hide it — which is why the
+  co-processing allocation (Section V-C) keeps at least two spaces per
+  unit.
+* :func:`coprocessing_granularity` — Section V-C: expert-level assignment
+  vs bank-bundle-space granularity.  Space granularity costs a little
+  makespan but guarantees conflict-free bundles.
+* :func:`dispatch_policy` — Section IV: Op/B-driven unit selection vs
+  pinning all low-Op/B work to the PIM (the hetero system's rule) vs
+  all-xPU.  Min-time selection must win on both stage types.
+* :func:`skew_sensitivity` — Section VIII-B: expert co-processing benefit
+  as routing skew grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.coprocessing import ExpertTimeLookup, assign_experts, round_robin_space_groups
+from repro.core.executor import StageExecutor, StageWorkload
+from repro.core.system import duplex_system, gpu_system, hetero_system
+from repro.experiments.presets import THROUGHPUT_LIMITS, model_by_key
+from repro.hardware.specs import h100_xpu, logic_pim_unit
+from repro.memory.engine import AccessMode, StreamingReadEngine
+from repro.models.gating import ExpertRouter
+from repro.models.layers import LayerMath
+from repro.serving.generator import WorkloadSpec
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+from repro.units import GB_PER_S, MiB
+
+
+# ----------------------------------------------------------------------
+# 1. bundle interleaving
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BundleRow:
+    interleaved_bundles: int
+    bandwidth_gb_s: float
+    bus_utilization: float
+
+
+def bundle_interleaving(stream_bytes: float = 1 * MiB) -> list[BundleRow]:
+    """Measured bundle-path bandwidth vs memory spaces available."""
+    engine = StreamingReadEngine()
+    rows = []
+    for bundles in (1, 2, 4):
+        result = engine.stream(stream_bytes, AccessMode.BUNDLE, interleaved_bundles=bundles)
+        rows.append(
+            BundleRow(
+                interleaved_bundles=bundles,
+                bandwidth_gb_s=result.channel_bandwidth / GB_PER_S,
+                bus_utilization=result.bus_utilization,
+            )
+        )
+    return rows
+
+
+def format_bundle_rows(rows: list[BundleRow]) -> str:
+    return format_table(
+        headers=["spaces available", "GB/s per channel", "bus utilisation"],
+        rows=[[r.interleaved_bundles, r.bandwidth_gb_s, r.bus_utilization] for r in rows],
+        title="Ablation — Logic-PIM streaming vs memory spaces (Section IV-C)",
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. co-processing granularity
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GranularityRow:
+    scenario: str
+    expert_level_makespan_s: float
+    space_level_makespan_s: float
+
+    @property
+    def space_penalty(self) -> float:
+        if self.expert_level_makespan_s == 0:
+            return 1.0
+        return self.space_level_makespan_s / self.expert_level_makespan_s
+
+
+def coprocessing_granularity(seed: int = 0, samples: int = 64) -> list[GranularityRow]:
+    """Makespan of expert-level vs memory-space-level greedy assignment."""
+    model = model_by_key("mixtral")
+    lookup = ExpertTimeLookup(LayerMath(model), h100_xpu(), logic_pim_unit(), expert_fraction=0.25)
+    groups = round_robin_space_groups(model.n_experts, 4)
+    rows = []
+    scenarios = {
+        "decode (64 tokens)": 64,
+        "mixed (2048 prefill)": 2048 + 64,
+    }
+    rng = np.random.default_rng(seed)
+    for label, tokens in scenarios.items():
+        router = ExpertRouter(model.n_experts, model.top_k, seed=int(rng.integers(1 << 30)))
+        expert_total = 0.0
+        space_total = 0.0
+        for _ in range(samples):
+            counts = router.route(tokens)
+            expert_total += assign_experts(counts, lookup).makespan_s
+            space_total += assign_experts(counts, lookup, groups).makespan_s
+        rows.append(
+            GranularityRow(
+                scenario=label,
+                expert_level_makespan_s=expert_total / samples,
+                space_level_makespan_s=space_total / samples,
+            )
+        )
+    return rows
+
+
+def format_granularity_rows(rows: list[GranularityRow]) -> str:
+    return format_table(
+        headers=["scenario", "expert-level (us)", "space-level (us)", "space penalty"],
+        rows=[
+            [r.scenario, r.expert_level_makespan_s * 1e6, r.space_level_makespan_s * 1e6,
+             r.space_penalty]
+            for r in rows
+        ],
+        title="Ablation — co-processing granularity (Section V-C)",
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. dispatch policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DispatchRow:
+    policy: str
+    decode_stage_ms: float
+    mixed_stage_ms: float
+
+
+def dispatch_policy(batch: int = 32, lin: int = 2048, seed: int = 0) -> list[DispatchRow]:
+    """Stage latencies under the three unit-selection policies.
+
+    ``always-PIM`` is approximated by the hetero system (its defining rule
+    is exactly "all MoE and decode attention on the PIM, always"); the
+    GPU system is ``always-xPU``; Duplex is the paper's Op/B-driven choice.
+    """
+    model = model_by_key("mixtral")
+    context = lin + 512
+    decode = StageWorkload(decode_context_lengths=np.full(batch, context))
+    mixed = StageWorkload(
+        decode_context_lengths=np.full(batch - 1, context), prefill_lengths=(lin,)
+    )
+    rows = []
+    for label, system in (
+        ("always-xPU (GPU)", gpu_system(model)),
+        ("always-PIM (hetero rule)", hetero_system(model)),
+        ("Op/B-driven (Duplex)", duplex_system(model, co_processing=True)),
+    ):
+        executor = StageExecutor(system, model, seed=seed, deterministic_gating=True)
+        rows.append(
+            DispatchRow(
+                policy=label,
+                decode_stage_ms=executor.run_stage(decode).latency_s * 1e3,
+                mixed_stage_ms=executor.run_stage(mixed).latency_s * 1e3,
+            )
+        )
+    return rows
+
+
+def format_dispatch_rows(rows: list[DispatchRow]) -> str:
+    return format_table(
+        headers=["policy", "decode stage (ms)", "mixed stage (ms)"],
+        rows=[[r.policy, r.decode_stage_ms, r.mixed_stage_ms] for r in rows],
+        title="Ablation — unit-selection policy (Section IV)",
+    )
+
+
+# ----------------------------------------------------------------------
+# 4. routing-skew sensitivity
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SkewRow:
+    skew: float
+    base_tokens_per_s: float
+    coprocessed_tokens_per_s: float
+
+    @property
+    def gain(self) -> float:
+        return self.coprocessed_tokens_per_s / self.base_tokens_per_s
+
+
+def skew_sensitivity(
+    skews: tuple[float, ...] = (0.0, 1.0, 2.0),
+    batch: int = 64,
+    limits: SimulationLimits = THROUGHPUT_LIMITS,
+    seed: int = 3,
+) -> list[SkewRow]:
+    """Co-processing gain over base Duplex as hot experts emerge."""
+    model = model_by_key("mixtral")
+    spec = WorkloadSpec(lin_mean=1024, lout_mean=1024)
+    base = duplex_system(model)
+    full = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    rows = []
+    for skew in skews:
+        base_report = ServingSimulator(
+            base, model, spec, max_batch=batch, seed=seed, gating_skew=skew
+        ).run(limits)
+        full_report = ServingSimulator(
+            full, model, spec, max_batch=batch, seed=seed, gating_skew=skew
+        ).run(limits)
+        rows.append(
+            SkewRow(
+                skew=skew,
+                base_tokens_per_s=base_report.throughput_tokens_per_s,
+                coprocessed_tokens_per_s=full_report.throughput_tokens_per_s,
+            )
+        )
+    return rows
+
+
+def format_skew_rows(rows: list[SkewRow]) -> str:
+    return format_table(
+        headers=["Zipf skew", "Duplex tokens/s", "+PE+ET tokens/s", "gain"],
+        rows=[[r.skew, r.base_tokens_per_s, r.coprocessed_tokens_per_s, r.gain] for r in rows],
+        title="Ablation — co-processing vs expert skew (Section VIII-B)",
+    )

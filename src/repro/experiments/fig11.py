@@ -1,0 +1,87 @@
+"""Fig. 11: serving throughput of the five systems on the MoE models.
+
+GPU / 2xGPU / Duplex / Duplex+PE / Duplex+PE+ET on Mixtral, GLaM and Grok1
+across (Lin, Lout) pairs and batch sizes.  Expected shape: Duplex 2-2.7x the
+GPU and above 2xGPU in most configurations; +PE adds a few percent; +PE+ET
+adds up to ~1.36x on top of base Duplex; Grok1's two-node deployment shows
+the smallest gains (inter-node all-to-all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.experiments.presets import (
+    BATCH_GRID,
+    LENGTH_GRID,
+    THROUGHPUT_LIMITS,
+    eval_systems,
+    model_by_key,
+)
+from repro.serving.generator import WorkloadSpec
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+
+
+@dataclass(frozen=True)
+class ThroughputRow:
+    """One group of Fig. 11 bars."""
+
+    model: str
+    lin: int
+    lout: int
+    batch: int
+    tokens_per_s: dict[str, float]  # system name -> absolute throughput
+    effective_batch: dict[str, int]
+
+    def normalized(self, baseline: str = "GPU") -> dict[str, float]:
+        base = self.tokens_per_s[baseline]
+        return {name: value / base for name, value in self.tokens_per_s.items()}
+
+
+def run(
+    model_keys: tuple[str, ...] = ("mixtral", "glam", "grok1"),
+    batches: tuple[int, ...] = BATCH_GRID,
+    pairs_by_model: dict[str, tuple[tuple[int, int], ...]] | None = None,
+    limits: SimulationLimits = THROUGHPUT_LIMITS,
+    seed: int = 0,
+) -> list[ThroughputRow]:
+    """Regenerate the Fig. 11 throughput sweep."""
+    pairs_by_model = pairs_by_model or LENGTH_GRID
+    rows = []
+    for key in model_keys:
+        model = model_by_key(key)
+        systems = eval_systems(model)
+        for lin, lout in pairs_by_model[key]:
+            for batch in batches:
+                spec = WorkloadSpec(lin_mean=lin, lout_mean=lout)
+                tokens: dict[str, float] = {}
+                batches_used: dict[str, int] = {}
+                for name, system in systems.items():
+                    sim = ServingSimulator(system, model, spec, max_batch=batch, seed=seed)
+                    report = sim.run(limits)
+                    tokens[name] = report.throughput_tokens_per_s
+                    batches_used[name] = report.effective_batch
+                rows.append(ThroughputRow(model.name, lin, lout, batch, tokens, batches_used))
+    return rows
+
+
+def peak_speedup(rows: list[ThroughputRow], system: str = "Duplex+PE+ET") -> float:
+    """Best speedup of ``system`` over the GPU across the sweep."""
+    return max(row.normalized()[system] for row in rows if system in row.tokens_per_s)
+
+
+def format_rows(rows: list[ThroughputRow]) -> str:
+    names = sorted({name for row in rows for name in row.tokens_per_s})
+    table_rows = []
+    for row in rows:
+        normalized = row.normalized()
+        table_rows.append(
+            [row.model, row.lin, row.lout, row.batch]
+            + [normalized.get(name, float("nan")) for name in names]
+        )
+    return format_table(
+        headers=["model", "Lin", "Lout", "batch"] + names,
+        rows=table_rows,
+        title="Fig. 11 — throughput normalised to the GPU system",
+    )

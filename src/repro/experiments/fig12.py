@@ -1,0 +1,99 @@
+"""Fig. 12: latency percentiles of GLaM at batch 64.
+
+TBT p50/p90/p99, T2FT p50 and E2E p50 for every system, normalised to the
+GPU.  Expected shape: Duplex cuts median TBT by ~58% and beats even 2xGPU
+on it (decoding-only stages are bandwidth-bound); +PE+ET keeps the tail
+(p99 TBT, T2FT) competitive with 2xGPU because mixed-stage MoE runs on the
+xPU with co-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.experiments.presets import eval_systems, latency_limits, model_by_key
+from repro.serving.generator import WorkloadSpec
+from repro.serving.simulator import ServingSimulator
+
+
+@dataclass(frozen=True)
+class LatencyRow:
+    """Latency metrics of one system at one (Lin, Lout)."""
+
+    system: str
+    lin: int
+    lout: int
+    tbt_p50: float
+    tbt_p90: float
+    tbt_p99: float
+    t2ft_p50: float
+    e2e_p50: float
+
+
+def run(
+    model_key: str = "glam",
+    pairs: tuple[tuple[int, int], ...] = ((512, 512), (1024, 1024), (2048, 2048)),
+    batch: int = 64,
+    seed: int = 0,
+) -> list[LatencyRow]:
+    """Regenerate the Fig. 12 latency sweep."""
+    model = model_by_key(model_key)
+    systems = eval_systems(model)
+    rows = []
+    for lin, lout in pairs:
+        for name, system in systems.items():
+            sim = ServingSimulator(
+                system, model, WorkloadSpec(lin_mean=lin, lout_mean=lout), max_batch=batch, seed=seed
+            )
+            report = sim.run(latency_limits(lout))
+            rows.append(
+                LatencyRow(
+                    name, lin, lout,
+                    report.tbt_p50_s, report.tbt_p90_s, report.tbt_p99_s,
+                    report.t2ft_p50_s, report.e2e_p50_s,
+                )
+            )
+    return rows
+
+
+def normalized_to_gpu(rows: list[LatencyRow]) -> list[dict[str, object]]:
+    """Normalise every metric to the GPU row of the same (Lin, Lout)."""
+    gpu = {(r.lin, r.lout): r for r in rows if r.system == "GPU"}
+    out = []
+    for row in rows:
+        base = gpu[(row.lin, row.lout)]
+        out.append(
+            {
+                "system": row.system,
+                "lin": row.lin,
+                "lout": row.lout,
+                "tbt_p50": row.tbt_p50 / base.tbt_p50,
+                "tbt_p90": row.tbt_p90 / base.tbt_p90,
+                "tbt_p99": row.tbt_p99 / base.tbt_p99,
+                "t2ft_p50": row.t2ft_p50 / base.t2ft_p50 if base.t2ft_p50 else float("nan"),
+                "e2e_p50": row.e2e_p50 / base.e2e_p50 if base.e2e_p50 else float("nan"),
+            }
+        )
+    return out
+
+
+def median_tbt_reduction(rows: list[LatencyRow], system: str = "Duplex") -> float:
+    """Average p50-TBT reduction of ``system`` vs GPU (paper: ~58.3%)."""
+    normalized = [
+        entry["tbt_p50"] for entry in normalized_to_gpu(rows) if entry["system"] == system
+    ]
+    assert normalized, f"no rows for {system}"
+    return 1.0 - sum(normalized) / len(normalized)  # type: ignore[arg-type]
+
+
+def format_rows(rows: list[LatencyRow]) -> str:
+    return format_table(
+        headers=["system", "Lin", "Lout", "TBT p50", "TBT p90", "TBT p99", "T2FT p50", "E2E p50"],
+        rows=[
+            [e["system"], e["lin"], e["lout"], e["tbt_p50"], e["tbt_p90"], e["tbt_p99"],
+             e["t2ft_p50"], e["e2e_p50"]]
+            for e in normalized_to_gpu(rows)
+        ],
+        title="Fig. 12 — GLaM latency normalised to the GPU system (batch 64)",
+    )

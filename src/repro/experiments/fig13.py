@@ -1,0 +1,97 @@
+"""Fig. 13: latency under Poisson load (queries per second).
+
+Mixtral at (Lin, Lout) = (4096, 512), max batch 128, QPS swept 4-16.
+Expected shape: Duplex's median TBT beats 2xGPU at every load (decode
+stages are bandwidth-bound); at high QPS the 2xGPU system wins the tail
+(it has twice the compute for the now-frequent mixed stages); the GPU
+saturates first — beyond its capacity the queue grows without bound and
+T2FT explodes — while Duplex sustains roughly the 2xGPU arrival rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.system import SystemConfig, duplex_system, gpu_system
+from repro.experiments.presets import model_by_key
+from repro.serving.generator import WorkloadSpec
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+
+
+@dataclass(frozen=True)
+class QpsRow:
+    """Latency metrics of one system at one arrival rate."""
+
+    system: str
+    qps: float
+    tbt_p50: float
+    tbt_p90: float
+    tbt_p99: float
+    t2ft_p50: float
+    e2e_p50: float
+    throughput: float
+
+
+def default_systems() -> dict[str, SystemConfig]:
+    model = model_by_key("mixtral")
+    return {
+        "GPU": gpu_system(model),
+        "2xGPU": gpu_system(model, doubled=True),
+        "Duplex": duplex_system(model, co_processing=True, expert_tensor_parallel=True),
+    }
+
+
+def run(
+    qps_values: tuple[float, ...] = (4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0),
+    lin: int = 4096,
+    lout: int = 512,
+    max_batch: int = 128,
+    limits: SimulationLimits | None = None,
+    seed: int = 0,
+) -> list[QpsRow]:
+    """Regenerate the Fig. 13 QPS sweep."""
+    limits = limits or SimulationLimits(max_stages=1500, warmup_stages=150)
+    model = model_by_key("mixtral")
+    rows = []
+    for name, system in default_systems().items():
+        for qps in qps_values:
+            spec = WorkloadSpec(lin_mean=lin, lout_mean=lout, qps=qps)
+            sim = ServingSimulator(system, model, spec, max_batch=max_batch, seed=seed)
+            report = sim.run(limits)
+            rows.append(
+                QpsRow(
+                    name, qps,
+                    report.tbt_p50_s, report.tbt_p90_s, report.tbt_p99_s,
+                    report.t2ft_p50_s, report.e2e_p50_s, report.throughput_tokens_per_s,
+                )
+            )
+    return rows
+
+
+def saturation_qps(rows: list[QpsRow], system: str, blowup_factor: float = 10.0) -> float:
+    """Smallest swept QPS at which ``system``'s T2FT has blown up.
+
+    Returns infinity if it never blows up within the sweep (compared to the
+    system's own T2FT at the lightest load).
+    """
+    mine = sorted((r for r in rows if r.system == system), key=lambda r: r.qps)
+    assert mine, f"no rows for {system}"
+    baseline = mine[0].t2ft_p50
+    for row in mine:
+        if baseline > 0 and row.t2ft_p50 > blowup_factor * baseline:
+            return row.qps
+    return float("inf")
+
+
+def format_rows(rows: list[QpsRow]) -> str:
+    return format_table(
+        headers=["system", "QPS", "TBT p50(ms)", "TBT p90(ms)", "TBT p99(ms)",
+                 "T2FT p50(s)", "E2E p50(s)", "tokens/s"],
+        rows=[
+            [r.system, r.qps, r.tbt_p50 * 1e3, r.tbt_p90 * 1e3, r.tbt_p99 * 1e3,
+             r.t2ft_p50, r.e2e_p50, r.throughput]
+            for r in rows
+        ],
+        title="Fig. 13 — Mixtral latency vs queries per second (Lin 4096, Lout 512)",
+    )

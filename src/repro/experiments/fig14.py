@@ -1,0 +1,112 @@
+"""Fig. 14: Duplex vs Bank-PIM across model classes.
+
+Throughput of Bank-PIM and Duplex (both under the Duplex policy with
+co-processing) normalised to the GPU, on Mixtral (MoE + GQA), Llama3
+(dense + GQA) and OPT (dense + MHA).  Expected shape:
+
+* Mixtral: Duplex ~1.5x Bank-PIM on average (Bank-PIM lacks compute for
+  MoE layers whose Op/B exceeds 1, especially at batch 64);
+* Llama3: Duplex wins (deggrp = 8 decode attention overwhelms Bank-PIM's
+  ratio-1 compute);
+* OPT: Bank-PIM wins (MHA decode attention has Op/B ~ 1, where raw in-bank
+  bandwidth is king).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.system import bank_pim_system, duplex_system, gpu_system
+from repro.experiments.presets import THROUGHPUT_LIMITS, model_by_key
+from repro.serving.generator import WorkloadSpec
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+
+#: (Lin, Lout) grid per model, from the figure.
+FIG14_PAIRS: dict[str, tuple[tuple[int, int], ...]] = {
+    "mixtral": ((256, 256), (1024, 1024), (4096, 4096)),
+    "llama3": ((256, 256), (1024, 1024), (4096, 4096)),
+    "opt": ((256, 256), (512, 512), (1024, 1024)),
+}
+
+
+@dataclass(frozen=True)
+class BankPimRow:
+    """One group of Fig. 14 bars."""
+
+    model: str
+    lin: int
+    lout: int
+    batch: int
+    gpu_tokens_per_s: float
+    bank_pim_tokens_per_s: float
+    duplex_tokens_per_s: float
+    effective_batch: dict[str, int]
+
+    @property
+    def bank_pim_speedup(self) -> float:
+        return self.bank_pim_tokens_per_s / self.gpu_tokens_per_s
+
+    @property
+    def duplex_speedup(self) -> float:
+        return self.duplex_tokens_per_s / self.gpu_tokens_per_s
+
+
+def run(
+    model_keys: tuple[str, ...] = ("mixtral", "llama3", "opt"),
+    batches: tuple[int, ...] = (32, 64),
+    limits: SimulationLimits = THROUGHPUT_LIMITS,
+    seed: int = 0,
+) -> list[BankPimRow]:
+    """Regenerate the Fig. 14 sweep."""
+    rows = []
+    for key in model_keys:
+        model = model_by_key(key)
+        systems = {
+            "GPU": gpu_system(model),
+            "BankPIM": bank_pim_system(model),
+            "Duplex": duplex_system(model, co_processing=True),
+        }
+        for lin, lout in FIG14_PAIRS[key]:
+            for batch in batches:
+                spec = WorkloadSpec(lin_mean=lin, lout_mean=lout)
+                reports = {}
+                for name, system in systems.items():
+                    sim = ServingSimulator(system, model, spec, max_batch=batch, seed=seed)
+                    reports[name] = sim.run(limits)
+                rows.append(
+                    BankPimRow(
+                        model=model.name,
+                        lin=lin,
+                        lout=lout,
+                        batch=batch,
+                        gpu_tokens_per_s=reports["GPU"].throughput_tokens_per_s,
+                        bank_pim_tokens_per_s=reports["BankPIM"].throughput_tokens_per_s,
+                        duplex_tokens_per_s=reports["Duplex"].throughput_tokens_per_s,
+                        effective_batch={n: r.effective_batch for n, r in reports.items()},
+                    )
+                )
+    return rows
+
+
+def mean_duplex_advantage(rows: list[BankPimRow], model_name: str) -> float:
+    """Average Duplex-over-Bank-PIM throughput ratio for one model."""
+    ratios = [
+        row.duplex_tokens_per_s / row.bank_pim_tokens_per_s
+        for row in rows
+        if row.model == model_name
+    ]
+    assert ratios, f"no rows for {model_name}"
+    return sum(ratios) / len(ratios)
+
+
+def format_rows(rows: list[BankPimRow]) -> str:
+    return format_table(
+        headers=["model", "Lin", "Lout", "batch", "BankPIM/GPU", "Duplex/GPU", "Duplex/BankPIM"],
+        rows=[
+            [r.model, r.lin, r.lout, r.batch, r.bank_pim_speedup, r.duplex_speedup,
+             r.duplex_tokens_per_s / r.bank_pim_tokens_per_s]
+            for r in rows
+        ],
+        title="Fig. 14 — Bank-PIM vs Duplex throughput (normalised to GPU)",
+    )

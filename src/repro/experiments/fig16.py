@@ -1,0 +1,100 @@
+"""Fig. 16: Duplex-Split (Splitwise-style) vs Duplex.
+
+Four Duplex devices either serve jointly (continuous batching, mixed
+stages) or split 2/2 into prefill and decode partitions with full weight
+duplication.  Expected shape: the split system's decode TBT is flat (p99 ~
+p50 — no mixed stages), but its throughput falls well below non-split and
+its effective batch shrinks from the duplicated weights; at long sequences
+the capacity loss bites hardest (the paper's starred bar at (4096, 4096)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.system import duplex_system
+from repro.experiments.presets import THROUGHPUT_LIMITS, latency_limits, model_by_key
+from repro.serving.generator import WorkloadSpec
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+from repro.serving.split import SplitServingSimulator
+
+
+@dataclass(frozen=True)
+class SplitRow:
+    """Duplex vs Duplex-Split at one (Lin, Lout)."""
+
+    lin: int
+    lout: int
+    duplex_tokens_per_s: float
+    split_tokens_per_s: float
+    duplex_batch: int
+    split_batch: int
+    duplex_tbt: dict[str, float]  # p50/p90/p99
+    split_tbt: dict[str, float]
+    duplex_t2ft_p50: float
+    split_t2ft_p50: float
+
+    @property
+    def split_throughput_ratio(self) -> float:
+        return self.split_tokens_per_s / self.duplex_tokens_per_s
+
+
+def run(
+    pairs: tuple[tuple[int, int], ...] = ((256, 256), (1024, 1024), (4096, 4096)),
+    batch: int = 128,
+    limits: SimulationLimits = THROUGHPUT_LIMITS,
+    seed: int = 0,
+) -> list[SplitRow]:
+    """Regenerate the Fig. 16 comparison."""
+    model = model_by_key("mixtral")
+    system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    rows = []
+    for lin, lout in pairs:
+        spec = WorkloadSpec(lin_mean=lin, lout_mean=lout)
+        lat_limits = latency_limits(lout)
+        duplex_report = ServingSimulator(system, model, spec, max_batch=batch, seed=seed).run(
+            lat_limits
+        )
+        split_report = SplitServingSimulator(model, spec, max_batch=batch, seed=seed).run(
+            lat_limits
+        )
+        rows.append(
+            SplitRow(
+                lin=lin,
+                lout=lout,
+                duplex_tokens_per_s=duplex_report.throughput_tokens_per_s,
+                split_tokens_per_s=split_report.throughput_tokens_per_s,
+                duplex_batch=duplex_report.effective_batch,
+                split_batch=split_report.effective_batch,
+                duplex_tbt={
+                    "p50": duplex_report.tbt_p50_s,
+                    "p90": duplex_report.tbt_p90_s,
+                    "p99": duplex_report.tbt_p99_s,
+                },
+                split_tbt={
+                    "p50": split_report.tbt_p50_s,
+                    "p90": split_report.tbt_p90_s,
+                    "p99": split_report.tbt_p99_s,
+                },
+                duplex_t2ft_p50=duplex_report.t2ft_p50_s,
+                split_t2ft_p50=split_report.t2ft_p50_s,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: list[SplitRow]) -> str:
+    return format_table(
+        headers=["Lin", "Lout", "split thr/duplex", "duplex batch", "split batch",
+                 "duplex TBT p99/p50", "split TBT p99/p50"],
+        rows=[
+            [
+                r.lin, r.lout, r.split_throughput_ratio, r.duplex_batch, r.split_batch,
+                r.duplex_tbt["p99"] / r.duplex_tbt["p50"],
+                r.split_tbt["p99"] / r.split_tbt["p50"],
+            ]
+            for r in rows
+        ],
+        title="Fig. 16 — Duplex-Split vs Duplex (Mixtral, requested batch 128)",
+    )

@@ -1,0 +1,109 @@
+"""Fig. 4: why GPUs struggle — time breakdown and roofline.
+
+(a) Execution-time shares of FC / attention (prefill, decode) / MoE /
+communication on the GPU system for Mixtral and GLaM, across output lengths
+and batch sizes, separately for decoding-only and mixed stages.  Expected
+shape: MoE and attention dominate; their share grows with Lout.
+
+(b) Roofline points of each layer family at batch 32-128 with Lin = 2048,
+Lout = 1024.  Expected shape: attention pinned at Op/B ~ deggrp, MoE in the
+low tens, both far below the GPU ridge (compute utilisation < 11%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.breakdown import stage_time_shares
+from repro.analysis.report import format_table
+from repro.analysis.roofline import RooflinePoint, decode_stage_roofline
+from repro.core.system import gpu_system
+from repro.experiments.presets import model_by_key
+from repro.models.ops import OpCategory
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One stacked bar of Fig. 4(a)."""
+
+    model: str
+    batch: int
+    lout: int
+    stage: str  # "decoding-only" | "mixed"
+    shares: dict[OpCategory, float]
+
+    @property
+    def low_opb_share(self) -> float:
+        """MoE plus attention share — the paper's headline observation."""
+        return (
+            self.shares.get(OpCategory.MOE, 0.0)
+            + self.shares.get(OpCategory.ATTENTION_DECODE, 0.0)
+            + self.shares.get(OpCategory.ATTENTION_PREFILL, 0.0)
+        )
+
+
+def run_breakdown(
+    model_keys: tuple[str, ...] = ("mixtral", "glam"),
+    batches: tuple[int, ...] = (32, 64, 128),
+    lin: int = 2048,
+    louts: dict[str, tuple[int, ...]] | None = None,
+) -> list[BreakdownRow]:
+    """Regenerate Fig. 4(a)'s stacked bars."""
+    louts = louts or {"mixtral": (256, 1024, 4096), "glam": (512, 1024, 2048)}
+    rows = []
+    for key in model_keys:
+        model = model_by_key(key)
+        system = gpu_system(model)
+        for batch in batches:
+            for lout in louts[key]:
+                for stage_name, mixed in (("decoding-only", False), ("mixed", True)):
+                    shares = stage_time_shares(system, model, batch, lin, lout, mixed)
+                    rows.append(
+                        BreakdownRow(
+                            model=model.name,
+                            batch=batch,
+                            lout=lout,
+                            stage=stage_name,
+                            shares=shares,
+                        )
+                    )
+    return rows
+
+
+def run_roofline(model_keys: tuple[str, ...] = ("mixtral", "glam")) -> dict[str, list[RooflinePoint]]:
+    """Regenerate Fig. 4(b)'s roofline points."""
+    return {key: decode_stage_roofline(model_by_key(key)) for key in model_keys}
+
+
+def format_breakdown(rows: list[BreakdownRow]) -> str:
+    return format_table(
+        headers=["model", "batch", "Lout", "stage", "FC", "attn(pre)", "attn(dec)", "MoE", "comm"],
+        rows=[
+            [
+                row.model,
+                row.batch,
+                row.lout,
+                row.stage,
+                row.shares.get(OpCategory.FC, 0.0),
+                row.shares.get(OpCategory.ATTENTION_PREFILL, 0.0),
+                row.shares.get(OpCategory.ATTENTION_DECODE, 0.0),
+                row.shares.get(OpCategory.MOE, 0.0),
+                row.shares.get(OpCategory.COMMUNICATION, 0.0),
+            ]
+            for row in rows
+        ],
+        title="Fig. 4(a) — GPU execution-time breakdown (shares of stage latency)",
+    )
+
+
+def format_roofline(points_by_model: dict[str, list[RooflinePoint]]) -> str:
+    rows = []
+    for key, points in points_by_model.items():
+        for point in points:
+            rows.append([key, point.label, point.opb, point.achieved_tflops,
+                         "mem" if point.memory_bound else "compute"])
+    return format_table(
+        headers=["model", "series", "Op/B", "TFLOPS", "bound"],
+        rows=rows,
+        title="Fig. 4(b) — roofline points on the GPU system",
+    )

@@ -1,0 +1,165 @@
+"""Fig. 5: stage mix and the limits of the heterogeneous system.
+
+(a) The decoding-only share of stages in Mixtral serving — expected to
+dominate everywhere (each request contributes one prefill and Lout decodes).
+
+(b) Latency of the hetero system (2 GPUs + 2 Logic-PIM-only devices)
+normalised to the 4-GPU system at batch 32: p50 TBT and E2E improve, but
+p90/p99 TBT and T2FT blow up because the PIM devices must also run
+mixed-stage MoE.
+
+(c) Throughput at batch 128 with long sequences: the hetero system's KV
+lives on half the devices, so capacity shrinks its effective batch
+(the paper's starred bars) and its throughput falls below the GPU system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.system import gpu_system, hetero_system
+from repro.experiments.presets import THROUGHPUT_LIMITS, latency_limits, model_by_key
+from repro.serving.generator import WorkloadSpec
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+
+
+@dataclass(frozen=True)
+class StageRatioRow:
+    lin: int
+    lout: int
+    batch: int
+    decoding_only_ratio: float
+
+
+@dataclass(frozen=True)
+class HeteroLatencyRow:
+    lin: int
+    lout: int
+    tbt_p50: float
+    tbt_p90: float
+    tbt_p99: float
+    t2ft_p50: float
+    e2e_p50: float
+
+
+@dataclass(frozen=True)
+class HeteroThroughputRow:
+    lin: int
+    lout: int
+    gpu_tokens_per_s: float
+    hetero_tokens_per_s: float
+    gpu_batch: int
+    hetero_batch: int
+
+    @property
+    def normalized(self) -> float:
+        return self.hetero_tokens_per_s / self.gpu_tokens_per_s
+
+
+def run_stage_ratio(
+    pairs: tuple[tuple[int, int], ...] = ((256, 256), (2048, 256), (2048, 2048)),
+    batches: tuple[int, ...] = (32, 64, 128),
+    limits: SimulationLimits = THROUGHPUT_LIMITS,
+    seed: int = 0,
+) -> list[StageRatioRow]:
+    """Fig. 5(a): decoding-only stage share on the GPU system."""
+    model = model_by_key("mixtral")
+    system = gpu_system(model)
+    rows = []
+    for lin, lout in pairs:
+        for batch in batches:
+            sim = ServingSimulator(
+                system, model, WorkloadSpec(lin_mean=lin, lout_mean=lout), max_batch=batch, seed=seed
+            )
+            report = sim.run(limits)
+            rows.append(StageRatioRow(lin, lout, batch, report.decoding_only_stage_ratio))
+    return rows
+
+
+def run_hetero_latency(
+    pairs: tuple[tuple[int, int], ...] = ((256, 256), (256, 2048), (2048, 2048)),
+    batch: int = 32,
+    seed: int = 0,
+) -> dict[str, list[HeteroLatencyRow]]:
+    """Fig. 5(b): hetero-vs-GPU latency rows (normalise hetero by GPU)."""
+    model = model_by_key("mixtral")
+    out: dict[str, list[HeteroLatencyRow]] = {}
+    for name, system in (("GPU", gpu_system(model)), ("Hetero", hetero_system(model))):
+        rows = []
+        for lin, lout in pairs:
+            sim = ServingSimulator(
+                system, model, WorkloadSpec(lin_mean=lin, lout_mean=lout), max_batch=batch, seed=seed
+            )
+            report = sim.run(latency_limits(lout))
+            rows.append(
+                HeteroLatencyRow(
+                    lin, lout, report.tbt_p50_s, report.tbt_p90_s, report.tbt_p99_s,
+                    report.t2ft_p50_s, report.e2e_p50_s,
+                )
+            )
+        out[name] = rows
+    return out
+
+
+def run_hetero_throughput(
+    pairs: tuple[tuple[int, int], ...] = ((2048, 2048), (2048, 4096), (4096, 4096), (8192, 4096)),
+    batch: int = 128,
+    limits: SimulationLimits = THROUGHPUT_LIMITS,
+    seed: int = 0,
+) -> list[HeteroThroughputRow]:
+    """Fig. 5(c): capacity-pressured throughput of hetero vs GPU."""
+    model = model_by_key("mixtral")
+    rows = []
+    for lin, lout in pairs:
+        spec = WorkloadSpec(lin_mean=lin, lout_mean=lout)
+        gpu_sim = ServingSimulator(gpu_system(model), model, spec, max_batch=batch, seed=seed)
+        het_sim = ServingSimulator(hetero_system(model), model, spec, max_batch=batch, seed=seed)
+        gpu_report = gpu_sim.run(limits)
+        het_report = het_sim.run(limits)
+        rows.append(
+            HeteroThroughputRow(
+                lin, lout,
+                gpu_report.throughput_tokens_per_s, het_report.throughput_tokens_per_s,
+                gpu_report.effective_batch, het_report.effective_batch,
+            )
+        )
+    return rows
+
+
+def format_stage_ratio(rows: list[StageRatioRow]) -> str:
+    return format_table(
+        headers=["Lin", "Lout", "batch", "decoding-only share"],
+        rows=[[r.lin, r.lout, r.batch, r.decoding_only_ratio] for r in rows],
+        title="Fig. 5(a) — stage-type mix (Mixtral, GPU system)",
+    )
+
+
+def format_hetero_latency(results: dict[str, list[HeteroLatencyRow]]) -> str:
+    gpu_rows = {(r.lin, r.lout): r for r in results["GPU"]}
+    rows = []
+    for het in results["Hetero"]:
+        gpu = gpu_rows[(het.lin, het.lout)]
+        rows.append(
+            [
+                het.lin, het.lout,
+                het.tbt_p50 / gpu.tbt_p50,
+                het.tbt_p90 / gpu.tbt_p90,
+                het.tbt_p99 / gpu.tbt_p99,
+                het.t2ft_p50 / gpu.t2ft_p50 if gpu.t2ft_p50 else float("nan"),
+                het.e2e_p50 / gpu.e2e_p50 if gpu.e2e_p50 else float("nan"),
+            ]
+        )
+    return format_table(
+        headers=["Lin", "Lout", "TBT p50", "TBT p90", "TBT p99", "T2FT p50", "E2E p50"],
+        rows=rows,
+        title="Fig. 5(b) — hetero latency normalised to the GPU system (batch 32)",
+    )
+
+
+def format_hetero_throughput(rows: list[HeteroThroughputRow]) -> str:
+    return format_table(
+        headers=["Lin", "Lout", "hetero/GPU", "GPU batch", "hetero batch"],
+        rows=[[r.lin, r.lout, r.normalized, r.gpu_batch, r.hetero_batch] for r in rows],
+        title="Fig. 5(c) — hetero throughput normalised to GPU (requested batch 128)",
+    )

@@ -1,0 +1,59 @@
+"""Fig. 8: EDAP of the three PIM microarchitectures vs GEMM Op/B.
+
+Thin wrapper over :mod:`repro.analysis.edap` with the figure's exact
+parameters (FP16 GEMM, 16384 x 4096 weights, Op/B 1-32) and the paper's
+published matrix for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.edap import EdapPoint, best_architecture, edap_study
+from repro.analysis.report import format_table
+from repro.hardware.processor import UnitKind
+
+#: The numbers printed in the paper's Fig. 8, keyed by Op/B.
+PAPER_VALUES: dict[int, dict[UnitKind, float]] = {
+    1: {UnitKind.BANK_PIM: 0.08, UnitKind.BANKGROUP_PIM: 1.00, UnitKind.LOGIC_PIM: 0.66},
+    2: {UnitKind.BANK_PIM: 0.16, UnitKind.BANKGROUP_PIM: 1.00, UnitKind.LOGIC_PIM: 0.66},
+    4: {UnitKind.BANK_PIM: 0.35, UnitKind.BANKGROUP_PIM: 1.00, UnitKind.LOGIC_PIM: 0.65},
+    8: {UnitKind.BANK_PIM: 0.81, UnitKind.BANKGROUP_PIM: 1.00, UnitKind.LOGIC_PIM: 0.65},
+    16: {UnitKind.BANK_PIM: 1.00, UnitKind.BANKGROUP_PIM: 0.96, UnitKind.LOGIC_PIM: 0.61},
+    32: {UnitKind.BANK_PIM: 1.00, UnitKind.BANKGROUP_PIM: 0.67, UnitKind.LOGIC_PIM: 0.40},
+}
+
+
+def run() -> dict[int, list[EdapPoint]]:
+    """Regenerate the Fig. 8 EDAP matrix."""
+    return edap_study(opbs=tuple(PAPER_VALUES))
+
+
+def crossover_opb(study: dict[int, list[EdapPoint]]) -> int:
+    """First Op/B at which Logic-PIM becomes the best architecture."""
+    for opb in sorted(study):
+        if best_architecture(study[opb]) is UnitKind.LOGIC_PIM:
+            return opb
+    return max(study) + 1
+
+
+def format_rows(study: dict[int, list[EdapPoint]]) -> str:
+    rows = []
+    for opb in sorted(study):
+        measured = {point.kind: point.normalized for point in study[opb]}
+        paper = PAPER_VALUES.get(opb, {})
+        rows.append(
+            [
+                opb,
+                measured[UnitKind.BANK_PIM],
+                paper.get(UnitKind.BANK_PIM, float("nan")),
+                measured[UnitKind.BANKGROUP_PIM],
+                paper.get(UnitKind.BANKGROUP_PIM, float("nan")),
+                measured[UnitKind.LOGIC_PIM],
+                paper.get(UnitKind.LOGIC_PIM, float("nan")),
+                best_architecture(study[opb]).value,
+            ]
+        )
+    return format_table(
+        headers=["Op/B", "Bank", "(paper)", "BankGroup", "(paper)", "Logic", "(paper)", "best"],
+        rows=rows,
+        title="Fig. 8 — normalised EDAP of FP16 GEMM (weight 16384x4096)",
+    )

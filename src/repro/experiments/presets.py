@@ -1,0 +1,60 @@
+"""Shared experiment presets: systems, workload grids, simulation limits.
+
+The grids mirror Section VII; the simulation limits are sized so the whole
+benchmark suite regenerates every figure in minutes on a laptop while still
+sampling enough stages for stable medians (throughput converges within a
+few hundred steady-state stages because the decode-stage latency is tightly
+clustered; tail percentiles get dedicated longer runs in fig12/fig13).
+"""
+
+from __future__ import annotations
+
+from repro.core.system import SystemConfig, duplex_system, gpu_system
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig, paper_models
+from repro.serving.simulator import SimulationLimits
+
+#: (Lin, Lout) grid per model, straight from Fig. 11.
+LENGTH_GRID: dict[str, tuple[tuple[int, int], ...]] = {
+    "mixtral": ((256, 256), (1024, 1024), (4096, 4096)),
+    "glam": ((512, 512), (1024, 1024), (2048, 2048)),
+    "grok1": ((256, 256), (1024, 1024), (4096, 4096)),
+}
+
+#: Batch sizes swept in the throughput figures.
+BATCH_GRID: tuple[int, ...] = (32, 64, 128)
+
+#: Steady-state throughput window (warm-started, stage-level simulation).
+THROUGHPUT_LIMITS = SimulationLimits(max_stages=300, warmup_stages=16)
+
+#: Longer window with completions for percentile latency figures.
+def latency_limits(lout: int) -> SimulationLimits:
+    """A window long enough to complete a request cohort of length ``lout``."""
+    if lout < 1:
+        raise ConfigError("lout must be positive")
+    return SimulationLimits(
+        max_stages=lout + 600, warmup_stages=16, target_completions=48
+    )
+
+
+def eval_systems(model: ModelConfig, include_baselines: bool = True) -> dict[str, SystemConfig]:
+    """The five systems of Fig. 11/12 for ``model``, keyed by paper name."""
+    systems: dict[str, SystemConfig] = {}
+    if include_baselines:
+        systems["GPU"] = gpu_system(model)
+        systems["2xGPU"] = gpu_system(model, doubled=True)
+    systems["Duplex"] = duplex_system(model)
+    systems["Duplex+PE"] = duplex_system(model, co_processing=True)
+    if model.is_moe:
+        systems["Duplex+PE+ET"] = duplex_system(
+            model, co_processing=True, expert_tensor_parallel=True
+        )
+    return systems
+
+
+def model_by_key(key: str) -> ModelConfig:
+    """Look up a Table I model by short name."""
+    models = paper_models()
+    if key not in models:
+        raise ConfigError(f"unknown model '{key}'; choose from {sorted(models)}")
+    return models[key]

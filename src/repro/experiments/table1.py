@@ -1,0 +1,81 @@
+"""Table I: model configurations and the sizes they imply.
+
+The paper's table lists the structural parameters; this experiment derives
+total parameters, weight bytes, expert share and KV-per-token from them —
+the quantities every other experiment depends on — and checks they land on
+the advertised model sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.models.config import ModelConfig, paper_models
+from repro.units import GiB, KiB
+
+#: Advertised parameter counts (billions), from the models' names.
+ADVERTISED_PARAMS_B = {
+    "mixtral": 47,
+    "glam": 143,
+    "grok1": 314,
+    "opt": 66,
+    "llama3": 70,
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Derived sizes for one model."""
+
+    model: ModelConfig
+    advertised_b: float
+    derived_b: float
+    weight_gib: float
+    expert_share: float
+    kv_per_token_kib: float
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.derived_b - self.advertised_b) / self.advertised_b
+
+
+def run() -> list[Table1Row]:
+    """Derive Table I quantities for every model."""
+    rows = []
+    for key, model in paper_models().items():
+        expert_bytes = model.total_weight_bytes - model.non_expert_weight_bytes
+        rows.append(
+            Table1Row(
+                model=model,
+                advertised_b=ADVERTISED_PARAMS_B[key],
+                derived_b=model.total_params / 1e9,
+                weight_gib=model.total_weight_bytes / GiB,
+                expert_share=expert_bytes / model.total_weight_bytes,
+                kv_per_token_kib=model.kv_bytes_per_token / KiB,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: list[Table1Row]) -> str:
+    return format_table(
+        headers=["model", "layers", "hidden", "deggrp", "Nex", "params(B)", "target(B)",
+                 "weights(GiB)", "expert%", "KV/token(KiB)"],
+        rows=[
+            [
+                row.model.name,
+                row.model.n_layers,
+                row.model.hidden,
+                row.model.group_degree,
+                row.model.n_experts,
+                row.derived_b,
+                row.advertised_b,
+                row.weight_gib,
+                100.0 * row.expert_share,
+                row.kv_per_token_kib,
+            ]
+            for row in rows
+        ],
+        title="Table I — model configurations and derived sizes",
+    )

@@ -1,0 +1,47 @@
+"""Processor, energy, and area models.
+
+This package turns the memory substrate into *devices you can time*:
+
+* :mod:`repro.hardware.processor` — the roofline execution model shared by
+  every processing unit, plus the unit taxonomy (xPU, Logic-PIM, Bank-PIM,
+  BankGroup-PIM).
+* :mod:`repro.hardware.specs` — factory functions that build the paper's
+  units from the calibrated HBM3 bandwidth model (H100-class xPU, 21.3
+  TFLOPS-per-stack Logic-PIM, 16x-bandwidth ratio-1 Bank-PIM, ...).
+* :mod:`repro.hardware.compute` — MAC-array arithmetic (how many GEMM
+  modules / MACs realise a peak FLOPS at a frequency).
+* :mod:`repro.hardware.energy` — per-bit DRAM read-path energies (in-bank,
+  bank-group, logic-die TSV, external interposer) and per-FLOP compute
+  energies.
+* :mod:`repro.hardware.area` — the Section VII-E area accounting (17.80 mm^2
+  per Logic-PIM stack) and calibrated areas for the DRAM-die PIMs.
+"""
+
+from repro.hardware.area import AreaModel, LogicPimAreaBudget
+from repro.hardware.compute import MacArray
+from repro.hardware.energy import ComputeEnergyModel, DramEnergyModel, EnergyModel, ReadPath
+from repro.hardware.processor import ProcessingUnit, UnitKind
+from repro.hardware.specs import (
+    DUPLEX_STACKS,
+    bank_pim_unit,
+    bankgroup_pim_unit,
+    h100_xpu,
+    logic_pim_unit,
+)
+
+__all__ = [
+    "AreaModel",
+    "ComputeEnergyModel",
+    "DUPLEX_STACKS",
+    "DramEnergyModel",
+    "EnergyModel",
+    "LogicPimAreaBudget",
+    "MacArray",
+    "ProcessingUnit",
+    "ReadPath",
+    "UnitKind",
+    "bank_pim_unit",
+    "bankgroup_pim_unit",
+    "h100_xpu",
+    "logic_pim_unit",
+]

@@ -1,0 +1,96 @@
+"""Area accounting (Section VII-E) and the EDAP area terms.
+
+The Logic-PIM budget is taken verbatim from the paper: per stack, 10.89 mm^2
+of added TSVs, 3.02 mm^2 for 32 GEMM modules (512 FP16 MACs + 8 KB buffer
+each), 2.26 mm^2 for two 1 MB operand/result buffers, and 1.64 mm^2 for the
+softmax unit — 17.80 mm^2 total, 14.71% of a 121 mm^2 HBM3 logic die.
+
+For the DRAM-die PIMs the paper gives bounds (processing units occupy 20-27%
+of a DRAM die in commercial parts; DRAM process costs ~10x the area of a
+logic process at the same feature size) but not exact per-stack figures, so
+the defaults here are *calibrated*: with our energy model fixed, the
+published Fig. 8 column ratios pin the area terms to ~8.7 mm^2 per stack for
+Bank-PIM (bare per-bank MAC rows sharing existing bank I/O — no buffers, no
+TSVs) and ~30 mm^2 for BankGroup-PIM (Logic-PIM's compute plus operand
+buffers on the DRAM die at the process premium).  DESIGN.md records the
+calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.processor import UnitKind
+
+
+@dataclass(frozen=True)
+class LogicPimAreaBudget:
+    """Per-stack area budget of Logic-PIM (mm^2), Section VII-E."""
+
+    tsv: float = 10.89
+    gemm_modules: float = 3.02
+    buffers: float = 2.26
+    softmax: float = 1.64
+    logic_die: float = 121.0
+
+    def __post_init__(self) -> None:
+        for name in ("tsv", "gemm_modules", "buffers", "softmax", "logic_die"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"area component {name} must be positive")
+
+    @property
+    def total(self) -> float:
+        """Total Logic-PIM overhead per stack (the paper's 17.80 mm^2)."""
+        return self.tsv + self.gemm_modules + self.buffers + self.softmax
+
+    @property
+    def fraction_of_logic_die(self) -> float:
+        """Overhead as a fraction of the logic die (the paper's 14.71%)."""
+        return self.total / self.logic_die
+
+    @property
+    def tsv_fraction_of_logic_die(self) -> float:
+        """TSV-only overhead (the paper's ~9% for 4x the TSVs at 22 um pitch)."""
+        return self.tsv / self.logic_die
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Per-stack processing-overhead areas (mm^2) used in EDAP.
+
+    Attributes:
+        logic_pim_budget: itemised Logic-PIM budget.
+        bank_pim_mm2: calibrated Bank-PIM overhead per stack.
+        bankgroup_pim_mm2: calibrated BankGroup-PIM overhead per stack.
+        dram_process_factor: DRAM-vs-logic area factor at equal feature size.
+        dram_die_mm2: area of one DRAM die (for overhead-fraction reporting).
+    """
+
+    logic_pim_budget: LogicPimAreaBudget = LogicPimAreaBudget()
+    bank_pim_mm2: float = 8.7
+    bankgroup_pim_mm2: float = 30.0
+    dram_process_factor: float = 10.0
+    dram_die_mm2: float = 121.0
+
+    def __post_init__(self) -> None:
+        if self.bank_pim_mm2 <= 0 or self.bankgroup_pim_mm2 <= 0:
+            raise ConfigError("PIM areas must be positive")
+        if self.dram_process_factor < 1:
+            raise ConfigError("the DRAM process is never denser than the logic process")
+
+    def area_mm2(self, kind: UnitKind) -> float:
+        """EDAP area term for one stack of the given PIM microarchitecture."""
+        if kind is UnitKind.LOGIC_PIM:
+            return self.logic_pim_budget.total
+        if kind is UnitKind.BANK_PIM:
+            return self.bank_pim_mm2
+        if kind is UnitKind.BANKGROUP_PIM:
+            return self.bankgroup_pim_mm2
+        raise ConfigError("EDAP area is defined for PIM units, not the xPU")
+
+    def dram_die_overhead_fraction(self, kind: UnitKind, dies_per_stack: int = 8) -> float:
+        """Overhead as a fraction of the DRAM dies it is spread across."""
+        if kind is UnitKind.LOGIC_PIM:
+            raise ConfigError("Logic-PIM lives on the logic die, not the DRAM dies")
+        return self.area_mm2(kind) / (self.dram_die_mm2 * dies_per_stack)

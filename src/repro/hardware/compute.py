@@ -1,0 +1,62 @@
+"""MAC-array arithmetic.
+
+The paper sizes Logic-PIM as 32 GEMM modules of 512 FP16 MACs at 650 MHz per
+stack; this module does the FLOPS <-> MAC-count algebra so specs and area
+accounting agree by construction (2 FLOPs per MAC per cycle):
+
+    32 modules x 512 MACs x 650 MHz x 2 = 21.3 TFLOPS per stack
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import MHZ
+
+
+@dataclass(frozen=True)
+class MacArray:
+    """A bank of MAC units running at a fixed frequency.
+
+    Attributes:
+        modules: number of GEMM modules.
+        macs_per_module: FP16 MAC units per module.
+        frequency_hz: operating frequency.
+    """
+
+    modules: int
+    macs_per_module: int
+    frequency_hz: float
+
+    FLOPS_PER_MAC_PER_CYCLE = 2  # one multiply + one accumulate
+
+    def __post_init__(self) -> None:
+        if self.modules < 1 or self.macs_per_module < 1:
+            raise ConfigError("MacArray needs at least one module and one MAC")
+        if self.frequency_hz <= 0:
+            raise ConfigError("MacArray frequency must be positive")
+
+    @property
+    def total_macs(self) -> int:
+        return self.modules * self.macs_per_module
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s of the whole array."""
+        return self.total_macs * self.frequency_hz * self.FLOPS_PER_MAC_PER_CYCLE
+
+    @classmethod
+    def for_peak_flops(
+        cls, peak_flops: float, frequency_hz: float, macs_per_module: int = 512
+    ) -> "MacArray":
+        """Size an array (rounding modules up) that reaches ``peak_flops``."""
+        if peak_flops <= 0:
+            raise ConfigError("peak_flops must be positive")
+        macs_needed = peak_flops / (frequency_hz * cls.FLOPS_PER_MAC_PER_CYCLE)
+        modules = max(1, round(macs_needed / macs_per_module))
+        return cls(modules=modules, macs_per_module=macs_per_module, frequency_hz=frequency_hz)
+
+
+#: Logic-PIM's GEMM array per stack, straight from Section VII-E.
+LOGIC_PIM_MAC_ARRAY = MacArray(modules=32, macs_per_module=512, frequency_hz=650 * MHZ)

@@ -1,0 +1,123 @@
+"""Energy models: DRAM read paths and compute.
+
+The DRAM path energies follow the fine-grained-DRAM accounting of O'Connor
+et al. [37 in the paper], which Duplex also uses: a bit read from an HBM
+array costs row-activation + array-read energy; moving it up the stack adds
+TSV energy; moving it across the interposer to the xPU adds PHY/interposer
+energy.  Each PIM variant stops at a different point on that path, which is
+exactly why PIM saves energy:
+
+    in-bank (Bank-PIM)        act + array                 = 1.62 pJ/b
+    bank-group (BG-PIM)       + bank-group I/O            = 1.92 pJ/b
+    logic die (Logic-PIM)     act + array + TSV           = 2.42 pJ/b
+    external (xPU)            + PHY/interposer            = 3.97 pJ/b
+
+Compute energies are per-FLOP aggregates (MAC + local SRAM/register traffic)
+for a 7 nm logic process, with DRAM-process units paying a premium; the xPU
+pays a SIMT/scheduling premium instead.  These constants were calibrated so
+the Fig. 8 EDAP trends and Fig. 15 energy savings land where the paper puts
+them; DESIGN.md documents the calibration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.hardware.processor import UnitKind
+
+
+class ReadPath(enum.Enum):
+    """How far a bit travels before it is consumed."""
+
+    BANK_LOCAL = "bank_local"
+    BANKGROUP_LOCAL = "bankgroup_local"
+    LOGIC_DIE = "logic_die"
+    EXTERNAL = "external"
+
+
+@dataclass(frozen=True)
+class DramEnergyModel:
+    """Per-bit energies (pJ/bit) of the HBM read path segments."""
+
+    row_activation: float = 0.11  # amortised over a streamed 1 KB row
+    array_read: float = 1.51
+    bankgroup_io: float = 0.30
+    tsv: float = 0.80
+    interposer_phy: float = 1.55
+
+    def __post_init__(self) -> None:
+        for name in ("row_activation", "array_read", "bankgroup_io", "tsv", "interposer_phy"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"energy component {name} must be >= 0")
+
+    def read_pj_per_bit(self, path: ReadPath) -> float:
+        """Total pJ/bit to deliver a bit over ``path``."""
+        base = self.row_activation + self.array_read
+        if path is ReadPath.BANK_LOCAL:
+            return base
+        if path is ReadPath.BANKGROUP_LOCAL:
+            return base + self.bankgroup_io
+        if path is ReadPath.LOGIC_DIE:
+            return base + self.tsv
+        return base + self.tsv + self.interposer_phy
+
+    def write_pj_per_bit(self, path: ReadPath) -> float:
+        """Writes traverse the same wires; we charge the same energy."""
+        return self.read_pj_per_bit(path)
+
+
+@dataclass(frozen=True)
+class ComputeEnergyModel:
+    """Per-FLOP energies (pJ/FLOP) including local data movement.
+
+    The xPU premium covers SIMT scheduling and register-file traffic; the
+    DRAM-process premium covers the slower, leakier transistors available on
+    a DRAM die; Bank-PIM pays most because its MACs are scattered per-bank
+    and cannot share operand buffers.
+    """
+
+    xpu: float = 0.9
+    logic_pim: float = 0.4
+    bankgroup_pim: float = 0.8
+    bank_pim: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("xpu", "logic_pim", "bankgroup_pim", "bank_pim"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"compute energy {name} must be positive")
+
+    def pj_per_flop(self, kind: UnitKind) -> float:
+        return {
+            UnitKind.XPU: self.xpu,
+            UnitKind.LOGIC_PIM: self.logic_pim,
+            UnitKind.BANKGROUP_PIM: self.bankgroup_pim,
+            UnitKind.BANK_PIM: self.bank_pim,
+        }[kind]
+
+
+#: DRAM path each unit kind consumes data on.
+READ_PATH_BY_KIND = {
+    UnitKind.XPU: ReadPath.EXTERNAL,
+    UnitKind.LOGIC_PIM: ReadPath.LOGIC_DIE,
+    UnitKind.BANKGROUP_PIM: ReadPath.BANKGROUP_LOCAL,
+    UnitKind.BANK_PIM: ReadPath.BANK_LOCAL,
+}
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Bundle of the DRAM and compute energy models."""
+
+    dram: DramEnergyModel = field(default_factory=DramEnergyModel)
+    compute: ComputeEnergyModel = field(default_factory=ComputeEnergyModel)
+
+    def read_pj_per_bit(self, kind: UnitKind) -> float:
+        return self.dram.read_pj_per_bit(READ_PATH_BY_KIND[kind])
+
+    def write_pj_per_bit(self, kind: UnitKind) -> float:
+        return self.dram.write_pj_per_bit(READ_PATH_BY_KIND[kind])
+
+    def flop_pj(self, kind: UnitKind) -> float:
+        return self.compute.pj_per_flop(kind)

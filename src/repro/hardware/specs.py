@@ -1,0 +1,154 @@
+"""Factory functions for the paper's processing units (Section VI).
+
+All units are built on top of the same calibrated HBM3 bandwidth model so
+their memory systems are mutually consistent:
+
+* **xPU** — H100-class: 989.5 TFLOPS peak FP16 tensor compute, five HBM3
+  stacks on the external (interposer) path, ~3.1 TB/s effective.
+* **Logic-PIM** — 32 GEMM modules x 512 MACs x 650 MHz = 21.3 TFLOPS per
+  stack on the 4x-TSV internal path (~2.6 TB/s effective per stack), a
+  compute-to-bandwidth ratio of 8.
+* **Bank-PIM** — in-bank units, 16x the bandwidth of conventional HBM at a
+  peak Op/B of 1 (twice HBM-PIM [29]).
+* **BankGroup-PIM** — Logic-PIM's bandwidth and compute, but the units sit
+  on the DRAM dies (worse energy and area, same roofline).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.compute import LOGIC_PIM_MAC_ARRAY
+from repro.hardware.energy import EnergyModel
+from repro.hardware.processor import ProcessingUnit, UnitKind
+from repro.memory.bandwidth import BandwidthModel
+from repro.memory.engine import AccessMode
+from repro.memory.geometry import HBMGeometry
+from repro.memory.timing import HBM3Timing
+from repro.units import TFLOPS, US
+
+#: HBM3 stacks per device: 80 GB device / 16 GB stacks (Section VI).
+DUPLEX_STACKS = 5
+
+#: H100 peak FP16 tensor throughput (dense), FLOP/s.
+H100_PEAK_FLOPS = 989.5 * TFLOPS
+
+#: Fraction of peak an optimised GEMM sustains on a GPU (model-FLOPS utilisation).
+XPU_COMPUTE_EFFICIENCY = 0.70
+
+#: PIM GEMM modules are dataflow engines sized for these exact kernels.
+PIM_COMPUTE_EFFICIENCY = 0.90
+
+#: Per-operator dispatch cost: CUDA kernel launch vs PIM instruction queue.
+XPU_LAUNCH_OVERHEAD_S = 2.0 * US
+PIM_LAUNCH_OVERHEAD_S = 1.0 * US
+
+#: Bank-PIM's bandwidth multiple over conventional HBM (Section VI).
+BANK_PIM_BANDWIDTH_MULTIPLE = 16.0
+
+#: Bank-PIM's compute-to-bandwidth ratio ("peak Op/B of 1").
+BANK_PIM_PEAK_OPB = 1.0
+
+
+def default_bandwidth_model() -> BandwidthModel:
+    """The bandwidth model every factory shares unless told otherwise.
+
+    Static efficiencies of 0.95 are used so unit construction is cheap and
+    deterministic; ``tests/memory`` verifies they sit within a few percent
+    of what the cycle engine measures.
+    """
+    return BandwidthModel(timing=HBM3Timing(), geometry=HBMGeometry())
+
+
+def h100_xpu(
+    stacks: int = DUPLEX_STACKS,
+    bandwidth_model: BandwidthModel | None = None,
+    energy_model: EnergyModel | None = None,
+) -> ProcessingUnit:
+    """Build the H100-class xPU (the paper's baseline GPU and Duplex's xPU)."""
+    bandwidth_model = bandwidth_model or default_bandwidth_model()
+    energy_model = energy_model or EnergyModel()
+    kind = UnitKind.XPU
+    return ProcessingUnit(
+        name=f"xPU (H100-class, {stacks} stacks)",
+        kind=kind,
+        peak_flops=H100_PEAK_FLOPS,
+        mem_bandwidth=stacks * bandwidth_model.effective(AccessMode.EXTERNAL),
+        compute_efficiency=XPU_COMPUTE_EFFICIENCY,
+        launch_overhead_s=XPU_LAUNCH_OVERHEAD_S,
+        read_energy_pj_per_bit=energy_model.read_pj_per_bit(kind),
+        write_energy_pj_per_bit=energy_model.write_pj_per_bit(kind),
+        flop_energy_pj=energy_model.flop_pj(kind),
+    )
+
+
+def logic_pim_unit(
+    stacks: int = DUPLEX_STACKS,
+    bandwidth_model: BandwidthModel | None = None,
+    energy_model: EnergyModel | None = None,
+) -> ProcessingUnit:
+    """Build the Logic-PIM aggregate across a device's stacks."""
+    bandwidth_model = bandwidth_model or default_bandwidth_model()
+    energy_model = energy_model or EnergyModel()
+    kind = UnitKind.LOGIC_PIM
+    return ProcessingUnit(
+        name=f"Logic-PIM ({stacks} stacks)",
+        kind=kind,
+        peak_flops=stacks * LOGIC_PIM_MAC_ARRAY.peak_flops,
+        mem_bandwidth=stacks * bandwidth_model.effective(AccessMode.BUNDLE),
+        compute_efficiency=PIM_COMPUTE_EFFICIENCY,
+        launch_overhead_s=PIM_LAUNCH_OVERHEAD_S,
+        read_energy_pj_per_bit=energy_model.read_pj_per_bit(kind),
+        write_energy_pj_per_bit=energy_model.write_pj_per_bit(kind),
+        flop_energy_pj=energy_model.flop_pj(kind),
+    )
+
+
+def bank_pim_unit(
+    stacks: int = DUPLEX_STACKS,
+    bandwidth_model: BandwidthModel | None = None,
+    energy_model: EnergyModel | None = None,
+) -> ProcessingUnit:
+    """Build the Bank-PIM aggregate (in-bank units, 16x bandwidth, ridge 1)."""
+    bandwidth_model = bandwidth_model or default_bandwidth_model()
+    energy_model = energy_model or EnergyModel()
+    kind = UnitKind.BANK_PIM
+    # In-bank units never contend for shared wires; they see the array
+    # bandwidth scaled by the paper's 16x, derated like the bundle path.
+    per_stack_bw = (
+        BANK_PIM_BANDWIDTH_MULTIPLE
+        * bandwidth_model.peak_external_per_stack()
+        * bandwidth_model.bundle_efficiency
+        * bandwidth_model.timing.refresh_availability
+    )
+    return ProcessingUnit(
+        name=f"Bank-PIM ({stacks} stacks)",
+        kind=kind,
+        peak_flops=stacks * per_stack_bw * BANK_PIM_PEAK_OPB,
+        mem_bandwidth=stacks * per_stack_bw,
+        compute_efficiency=PIM_COMPUTE_EFFICIENCY,
+        launch_overhead_s=PIM_LAUNCH_OVERHEAD_S,
+        read_energy_pj_per_bit=energy_model.read_pj_per_bit(kind),
+        write_energy_pj_per_bit=energy_model.write_pj_per_bit(kind),
+        flop_energy_pj=energy_model.flop_pj(kind),
+    )
+
+
+def bankgroup_pim_unit(
+    stacks: int = DUPLEX_STACKS,
+    bandwidth_model: BandwidthModel | None = None,
+    energy_model: EnergyModel | None = None,
+) -> ProcessingUnit:
+    """Build the BankGroup-PIM aggregate (Logic-PIM's roofline on DRAM dies)."""
+    bandwidth_model = bandwidth_model or default_bandwidth_model()
+    energy_model = energy_model or EnergyModel()
+    kind = UnitKind.BANKGROUP_PIM
+    return ProcessingUnit(
+        name=f"BankGroup-PIM ({stacks} stacks)",
+        kind=kind,
+        peak_flops=stacks * LOGIC_PIM_MAC_ARRAY.peak_flops,
+        mem_bandwidth=stacks * bandwidth_model.effective(AccessMode.BUNDLE),
+        compute_efficiency=PIM_COMPUTE_EFFICIENCY,
+        launch_overhead_s=PIM_LAUNCH_OVERHEAD_S,
+        read_energy_pj_per_bit=energy_model.read_pj_per_bit(kind),
+        write_energy_pj_per_bit=energy_model.write_pj_per_bit(kind),
+        flop_energy_pj=energy_model.flop_pj(kind),
+    )

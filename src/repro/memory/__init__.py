@@ -1,0 +1,38 @@
+"""HBM3 memory substrate.
+
+This package models the memory system that both the xPU and Logic-PIM share:
+
+* :mod:`repro.memory.timing` — HBM3 timing parameters (tRCD, tCCD_S/L, ...).
+* :mod:`repro.memory.geometry` — stack organisation: dies, ranks,
+  pseudo-channels, bank groups, banks, and Duplex's *bank bundles*.
+* :mod:`repro.memory.engine` — a cycle-level streaming-read engine (a small
+  Ramulator stand-in) used to derive and validate effective bandwidth for the
+  xPU path (one bank at a time per pseudo channel) and the Logic-PIM path
+  (eight banks of a bundle in lockstep over the added TSVs).
+* :mod:`repro.memory.bandwidth` — the analytic effective-bandwidth model used
+  in the simulation hot path, calibrated against the engine.
+* :mod:`repro.memory.layout` — memory spaces keyed by bank-bundle index and
+  the allocator that places expert weights, KV cache and scratch buffers so
+  xPU and Logic-PIM never touch the same bundle concurrently.
+* :mod:`repro.memory.stack` — the `HBMStack` facade combining all of the
+  above with capacity accounting.
+"""
+
+from repro.memory.bandwidth import BandwidthModel
+from repro.memory.engine import AccessMode, StreamingReadEngine, StreamResult
+from repro.memory.geometry import HBMGeometry
+from repro.memory.layout import MemoryLayout, MemorySpace
+from repro.memory.stack import HBMStack
+from repro.memory.timing import HBM3Timing
+
+__all__ = [
+    "AccessMode",
+    "BandwidthModel",
+    "HBM3Timing",
+    "HBMGeometry",
+    "HBMStack",
+    "MemoryLayout",
+    "MemorySpace",
+    "StreamResult",
+    "StreamingReadEngine",
+]

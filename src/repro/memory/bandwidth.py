@@ -1,0 +1,106 @@
+"""Analytic effective-bandwidth model for the simulation hot path.
+
+The serving simulator evaluates hundreds of thousands of operators; it cannot
+afford burst-level simulation per operator.  Instead it uses this model:
+
+    effective_bw = peak_bw * stream_efficiency * refresh_availability
+
+where ``peak_bw`` comes from the timing/geometry (one burst per tCCD_S on the
+external path, an 8-wide burst per tCCD_L on the bundle path) and
+``stream_efficiency`` captures what the cycle engine loses to row switches
+under realistic interleaving.  :meth:`BandwidthModel.calibrated` runs the
+cycle engine once per path and snapshots the measured efficiencies, so the
+hot path stays honest to the detailed model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.memory.engine import AccessMode, StreamingReadEngine
+from repro.memory.geometry import HBMGeometry
+from repro.memory.timing import HBM3Timing
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Effective per-stack bandwidths for both datapaths.
+
+    Attributes:
+        timing: pseudo-channel timing.
+        geometry: stack organisation.
+        external_efficiency: achieved / peak for xPU streaming reads.
+        bundle_efficiency: achieved / peak for Logic-PIM bundle reads.
+    """
+
+    timing: HBM3Timing
+    geometry: HBMGeometry
+    external_efficiency: float = 0.95
+    bundle_efficiency: float = 0.95
+
+    def __post_init__(self) -> None:
+        for name in ("external_efficiency", "bundle_efficiency"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigError(f"{name} must be in (0, 1], got {value}")
+
+    # ------------------------------------------------------------------
+    # peak (timing-limited) bandwidths
+    # ------------------------------------------------------------------
+    def peak_external_per_stack(self) -> float:
+        """Timing-limited external bandwidth of one stack (bytes/s)."""
+        return self.timing.peak_channel_bandwidth() * self.geometry.pseudo_channels
+
+    def peak_bundle_per_stack(self) -> float:
+        """Timing-limited Logic-PIM bandwidth of one stack (bytes/s)."""
+        return self.timing.peak_bundle_bandwidth() * self.geometry.pseudo_channels
+
+    # ------------------------------------------------------------------
+    # effective bandwidths (what the roofline uses)
+    # ------------------------------------------------------------------
+    def effective(self, mode: AccessMode) -> float:
+        """Effective per-stack bandwidth (bytes/s) for a datapath."""
+        avail = self.timing.refresh_availability
+        if mode is AccessMode.EXTERNAL:
+            return self.peak_external_per_stack() * self.external_efficiency * avail
+        return self.peak_bundle_per_stack() * self.bundle_efficiency * avail
+
+    @property
+    def bundle_speedup(self) -> float:
+        """Effective bundle-path bandwidth over effective external bandwidth."""
+        return self.effective(AccessMode.BUNDLE) / self.effective(AccessMode.EXTERNAL)
+
+    # ------------------------------------------------------------------
+    # calibration against the cycle engine
+    # ------------------------------------------------------------------
+    @classmethod
+    def calibrated(
+        cls,
+        timing: HBM3Timing | None = None,
+        geometry: HBMGeometry | None = None,
+        stream_bytes: float = 1 * MiB,
+    ) -> "BandwidthModel":
+        """Build a model whose efficiencies are measured by the cycle engine.
+
+        Args:
+            timing: pseudo-channel timing (defaults to HBM3 at 5.2 Gb/s).
+            geometry: stack organisation (defaults to 16 GB 8-hi HBM3).
+            stream_bytes: per-channel payload used for the calibration run;
+                1 MiB amortises warm-up to well under a percent.
+        """
+        timing = timing or HBM3Timing()
+        geometry = geometry or HBMGeometry()
+        engine = StreamingReadEngine(timing, geometry)
+        avail = timing.refresh_availability
+        external = engine.stream(stream_bytes, AccessMode.EXTERNAL)
+        bundle = engine.stream(stream_bytes, AccessMode.BUNDLE)
+        model = cls(timing=timing, geometry=geometry)
+        external_eff = external.channel_bandwidth / (timing.peak_channel_bandwidth() * avail)
+        bundle_eff = bundle.channel_bandwidth / (timing.peak_bundle_bandwidth() * avail)
+        return replace(
+            model,
+            external_efficiency=min(1.0, external_eff),
+            bundle_efficiency=min(1.0, bundle_eff),
+        )

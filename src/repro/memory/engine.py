@@ -1,0 +1,262 @@
+"""Cycle-level streaming-read engine for one HBM3 pseudo channel.
+
+The Duplex evaluation rests on two bandwidth facts:
+
+* the **external path** (xPU) moves one 256-bit burst per ``tCCD_S`` out of
+  a pseudo channel — banks share the channel's external wires; and
+* the **bundle path** (Logic-PIM) moves eight bursts in lockstep from a bank
+  bundle every ``tCCD_L`` over added TSVs, which with HBM3's
+  ``tCCD_L = 2 * tCCD_S`` is 4x the external path.
+
+This module simulates those streams at burst granularity with the real bank
+state machine in the loop: activates (tRCD, tRRD, tFAW), row drains, and
+precharges (tRP, tRC).  It exists to *derive and validate* the effective
+bandwidths the analytic model (:mod:`repro.memory.bandwidth`) uses in the
+simulation hot path — the serving simulator never pays burst-level cost.
+
+Simplifications, each chosen to keep the streaming behaviour honest:
+
+* Reads only.  LLM inference weight/KV traffic is overwhelmingly reads; the
+  few writes (KV append) ride along at the same spacing rules.
+* A bundle activate opens the row in all eight banks with one C/A (the paper
+  sends a single command to the bundle) and is charged as one ACT against
+  tRRD/tFAW.
+* Refresh is folded in analytically as ``1 - tRFC / tREFI`` instead of
+  injecting REF commands; for streaming reads the two are equivalent to
+  within a fraction of a percent.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.memory.geometry import HBMGeometry
+from repro.memory.timing import HBM3Timing
+from repro.units import NS
+
+
+class AccessMode(enum.Enum):
+    """Which datapath a stream uses."""
+
+    EXTERNAL = "external"  # xPU: per-bank bursts over the channel's shared DQ
+    BUNDLE = "bundle"  # Logic-PIM: 8-bank lockstep bursts over added TSVs
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one simulated stream.
+
+    Attributes:
+        mode: datapath used.
+        total_bytes: bytes transferred by this channel.
+        elapsed_ns: simulated wall time including the refresh penalty.
+        bursts: data-bus bursts issued.
+        activates: ACT commands issued (a bundle ACT counts once).
+        channel_bandwidth: achieved bytes/s for this pseudo channel.
+        bus_utilization: fraction of elapsed time the data bus carried data.
+    """
+
+    mode: AccessMode
+    total_bytes: float
+    elapsed_ns: float
+    bursts: int
+    activates: int
+    channel_bandwidth: float
+    bus_utilization: float
+
+
+class _Bank:
+    """Mutable state of one bank (or one bundle acting as a super-bank)."""
+
+    __slots__ = ("group", "rows_pending", "bursts_left", "row_ready_ns", "act_ready_ns", "act_time_ns")
+
+    def __init__(self, group: int, rows_pending: int) -> None:
+        self.group = group
+        self.rows_pending = rows_pending
+        self.bursts_left = 0
+        self.row_ready_ns = 0.0  # first burst of the open row may issue at this time
+        self.act_ready_ns = 0.0  # next ACT may issue at this time
+        self.act_time_ns = -math.inf  # when the open row was activated
+
+
+class StreamingReadEngine:
+    """Burst-level simulator for sequential streaming reads.
+
+    The engine models one pseudo channel; all pseudo channels of a stack see
+    identical streams in the workloads we care about, so device bandwidth is
+    the per-channel result scaled by the channel count (the
+    :class:`~repro.memory.stack.HBMStack` facade does that scaling).
+    """
+
+    def __init__(self, timing: HBM3Timing | None = None, geometry: HBMGeometry | None = None) -> None:
+        self.timing = timing or HBM3Timing()
+        self.geometry = geometry or HBMGeometry()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        bytes_per_channel: float,
+        mode: AccessMode,
+        interleaved_bundles: int = 2,
+    ) -> StreamResult:
+        """Simulate a sequential read of ``bytes_per_channel`` and report bandwidth.
+
+        Args:
+            bytes_per_channel: payload this pseudo channel must deliver.
+            mode: external (xPU) or bundle (Logic-PIM) datapath.
+            interleaved_bundles: for the bundle path, how many bank bundles
+                the Logic-PIM controller ping-pongs between to hide row
+                switches.  The decoding-only stage has all four memory
+                spaces available (the default 2 already hides tRCD and
+                tRP); pass 1 to model co-processing phases pinned to a
+                single memory space.
+
+        Returns:
+            A :class:`StreamResult` with elapsed time and achieved bandwidth.
+        """
+        if bytes_per_channel <= 0:
+            raise ConfigError("stream size must be positive")
+        if mode is AccessMode.EXTERNAL:
+            banks = self._external_banks(bytes_per_channel)
+            return self._run(banks, bytes_per_channel, mode, bundle=False)
+        if interleaved_bundles < 1 or interleaved_bundles > self.geometry.bundles_per_channel:
+            raise ConfigError(f"interleaved_bundles must be in 1..{self.geometry.bundles_per_channel}")
+        banks = self._bundle_banks(bytes_per_channel, interleaved_bundles)
+        return self._run(banks, bytes_per_channel, mode, bundle=True)
+
+    # ------------------------------------------------------------------
+    # stream construction
+    # ------------------------------------------------------------------
+    def _external_banks(self, payload: float) -> list[_Bank]:
+        """Spread rows round-robin over every bank, groups interleaved."""
+        geo = self.geometry
+        rows = math.ceil(payload / geo.row_bytes)
+        total_banks = geo.banks_per_channel
+        banks = []
+        for index in range(total_banks):
+            group = index % geo.bank_groups
+            share = rows // total_banks + (1 if index < rows % total_banks else 0)
+            if share > 0:
+                banks.append(_Bank(group=group, rows_pending=share))
+        return banks
+
+    def _bundle_banks(self, payload: float, interleaved_bundles: int) -> list[_Bank]:
+        """Treat each bundle as a super-bank delivering 8-wide bursts."""
+        geo = self.geometry
+        bundle_row_bytes = geo.row_bytes * geo.banks_per_bundle
+        rows = math.ceil(payload / bundle_row_bytes)
+        banks = []
+        for index in range(interleaved_bundles):
+            share = rows // interleaved_bundles + (1 if index < rows % interleaved_bundles else 0)
+            # A bundle spans every bank group, so group-based bus spacing does
+            # not help it; give each bundle its own pseudo-group id.
+            if share > 0:
+                banks.append(_Bank(group=index, rows_pending=share))
+        return banks
+
+    # ------------------------------------------------------------------
+    # core loop
+    # ------------------------------------------------------------------
+    def _run(self, banks: list[_Bank], payload: float, mode: AccessMode, bundle: bool) -> StreamResult:
+        timing = self.timing
+        geo = self.geometry
+        bursts_per_row = geo.row_bytes // timing.burst_bytes
+        if bundle:
+            burst_bytes = timing.burst_bytes * geo.banks_per_bundle
+            gap_same = gap_other = timing.tCCD_L
+        else:
+            burst_bytes = timing.burst_bytes
+            gap_same = timing.tCCD_L  # back-to-back bursts within one bank group
+            gap_other = timing.tCCD_S
+
+        now = 0.0
+        last_burst_start = -math.inf
+        last_group: int | None = None
+        last_bank: _Bank | None = None
+        last_act = -math.inf
+        act_window: deque[float] = deque()  # ACT timestamps inside the tFAW window
+        bursts = 0
+        activates = 0
+
+        def try_activate(current: float) -> None:
+            """Open rows in idle banks as soon as ACT constraints allow."""
+            nonlocal last_act, activates
+            for bank in banks:
+                if bank.bursts_left > 0 or bank.rows_pending == 0:
+                    continue
+                while act_window and act_window[0] <= current - timing.tFAW:
+                    act_window.popleft()
+                act_at = max(bank.act_ready_ns, last_act + timing.tRRD_S, 0.0)
+                if len(act_window) >= 4:
+                    act_at = max(act_at, act_window[0] + timing.tFAW)
+                if act_at > current:
+                    continue
+                bank.rows_pending -= 1
+                bank.bursts_left = bursts_per_row
+                bank.act_time_ns = act_at
+                bank.row_ready_ns = act_at + timing.tRCD
+                last_act = act_at
+                act_window.append(act_at)
+                activates += 1
+
+        # Only as many bursts as the payload needs; the final row may be
+        # read partially.
+        capacity_bursts = sum(bank.rows_pending for bank in banks) * bursts_per_row
+        remaining = min(capacity_bursts, math.ceil(payload / burst_bytes))
+        try_activate(now)
+        while remaining > 0:
+            ready = [bank for bank in banks if bank.bursts_left > 0]
+            if not ready:
+                # Everything waits on an ACT; jump to the earliest legal one.
+                horizon = min(
+                    max(bank.act_ready_ns, last_act + timing.tRRD_S)
+                    for bank in banks
+                    if bank.rows_pending > 0
+                )
+                now = max(now + timing.tCK, horizon)
+                try_activate(now)
+                continue
+            # Pick the bank whose burst can go earliest; on ties, stay on the
+            # bank we just read (draining one bundle while the other
+            # re-activates keeps the TSV bus seamless in bundle mode).
+            best: _Bank | None = None
+            best_key = (math.inf, 2)
+            for bank in ready:
+                gap = gap_same if bank.group == last_group else gap_other
+                at = max(bank.row_ready_ns, last_burst_start + gap)
+                key = (at, 0 if bank is last_bank else 1)
+                if key < best_key:
+                    best_key = key
+                    best = bank
+            assert best is not None  # ready is non-empty
+            now = best_key[0]
+            best.bursts_left -= 1
+            remaining -= 1
+            bursts += 1
+            last_group = best.group
+            last_bank = best
+            last_burst_start = now
+            if best.bursts_left == 0:
+                # Row drained: precharge, honour tRAS/tRC before the next ACT.
+                precharge_at = max(now, best.act_time_ns + timing.tRAS)
+                best.act_ready_ns = max(precharge_at + timing.tRP, best.act_time_ns + timing.tRC)
+            try_activate(now)
+
+        transfer_end = last_burst_start + gap_other
+        elapsed = transfer_end / timing.refresh_availability
+        busy_ns = bursts * gap_other
+        return StreamResult(
+            mode=mode,
+            total_bytes=payload,
+            elapsed_ns=elapsed,
+            bursts=bursts,
+            activates=activates,
+            channel_bandwidth=payload / (elapsed * NS),
+            bus_utilization=min(1.0, busy_ns / elapsed),
+        )

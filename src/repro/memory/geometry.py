@@ -1,0 +1,114 @@
+"""HBM3 stack geometry and Duplex bank bundles.
+
+The paper's organisation (Section II-D, IV-C): an 8-hi HBM3 stack has two
+ranks of four DRAM dies; 32 pseudo channels; each pseudo channel sees four
+bank groups of four banks per rank (16 banks per rank).  Duplex splits those
+16 banks into an *upper* and a *lower* half — two banks from each bank group
+— called a **bank bundle** of eight banks that answers one Logic-PIM fetch in
+lockstep.  With two ranks, a pseudo channel has four bundles, indexed 1–4;
+the device-level memory allocator (:mod:`repro.memory.layout`) keys its four
+memory spaces on that index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import GiB
+
+
+@dataclass(frozen=True)
+class HBMGeometry:
+    """Physical organisation of one HBM stack.
+
+    Attributes:
+        capacity_bytes: usable capacity of the stack.
+        pseudo_channels: pseudo channels per stack.
+        ranks: ranks per stack (8-hi = 2 ranks of 4 dies).
+        bank_groups: bank groups visible to one pseudo channel in one rank.
+        banks_per_group: banks per bank group.
+        row_bytes: bytes per DRAM row (page) per bank.
+        banks_per_bundle: banks fetched in lockstep by one Logic-PIM access.
+    """
+
+    capacity_bytes: float = 16 * GiB
+    pseudo_channels: int = 32
+    ranks: int = 2
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    row_bytes: int = 1024
+    banks_per_bundle: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("stack capacity must be positive")
+        for name in ("pseudo_channels", "ranks", "bank_groups", "banks_per_group", "row_bytes"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        banks_per_rank = self.bank_groups * self.banks_per_group
+        if self.banks_per_bundle < 1 or banks_per_rank % self.banks_per_bundle != 0:
+            raise ConfigError(
+                "banks_per_bundle must evenly divide the banks of one rank "
+                f"({self.banks_per_bundle} vs {banks_per_rank})"
+            )
+        if self.banks_per_bundle % self.bank_groups != 0:
+            raise ConfigError(
+                "a bundle must take the same number of banks from every bank group "
+                "so one fetch spreads across all groups"
+            )
+
+    @property
+    def banks_per_rank(self) -> int:
+        """Banks one pseudo channel addresses within one rank."""
+        return self.bank_groups * self.banks_per_group
+
+    @property
+    def banks_per_channel(self) -> int:
+        """Banks one pseudo channel addresses across all ranks."""
+        return self.banks_per_rank * self.ranks
+
+    @property
+    def bundles_per_rank(self) -> int:
+        """Bank bundles per rank per pseudo channel (2 for the paper's HBM3)."""
+        return self.banks_per_rank // self.banks_per_bundle
+
+    @property
+    def bundles_per_channel(self) -> int:
+        """Bank bundles per pseudo channel (4 for the paper's HBM3)."""
+        return self.bundles_per_rank * self.ranks
+
+    @property
+    def banks_per_bundle_per_group(self) -> int:
+        """Banks one bundle takes from each bank group (2 for the paper's HBM3)."""
+        return self.banks_per_bundle // self.bank_groups
+
+    @property
+    def bundle_capacity_bytes(self) -> float:
+        """Capacity of one bank bundle across the whole stack.
+
+        All pseudo channels contribute the same bundle index, so a bundle's
+        share of the stack is ``1 / bundles_per_channel``.
+        """
+        return self.capacity_bytes / self.bundles_per_channel
+
+    @property
+    def rows_per_bank(self) -> int:
+        """Rows in one bank (derived from capacity and organisation)."""
+        bank_bytes = self.capacity_bytes / (self.pseudo_channels * self.banks_per_channel)
+        return int(bank_bytes // self.row_bytes)
+
+    def bundle_index(self, rank: int, bank: int) -> int:
+        """Map a (rank, bank-within-rank) pair to its 1-based bundle index.
+
+        Banks ``0 .. banks_per_bundle_per_group - 1`` of every group form the
+        lower bundle; the rest form the upper bundle, matching Fig. 6 where a
+        bundle takes the same rows of banks from each group.
+        """
+        if not 0 <= rank < self.ranks:
+            raise ConfigError(f"rank {rank} out of range 0..{self.ranks - 1}")
+        if not 0 <= bank < self.banks_per_rank:
+            raise ConfigError(f"bank {bank} out of range 0..{self.banks_per_rank - 1}")
+        within_group = bank % self.banks_per_group
+        half = 0 if within_group < self.banks_per_bundle_per_group else 1
+        return 1 + rank * self.bundles_per_rank + half

@@ -1,0 +1,225 @@
+"""Bank-bundle memory spaces and the Duplex allocation policy.
+
+Section V-C of the paper: device memory is divided into four *memory
+spaces*, one per bank-bundle index, each spanning that bundle in every
+pseudo channel of every stack.  The allocation rules are:
+
+* expert FFN weights are placed round-robin, one expert per space, so expert
+  co-processing can hand whole spaces to either the xPU or Logic-PIM without
+  bundle conflicts;
+* the KV cache of decoding sequences alternates over three spaces;
+* the fourth space holds the Q/K/V scratch of prefilling sequences (so
+  attention co-processing reads prefill data and decode KV from different
+  bundles);
+* remaining weights (used only by the xPU) go wherever space is left.
+
+After a mixed stage, the K/V produced by prefill must migrate from the
+scratch space to a KV space; :meth:`MemoryLayout.migration_bytes` exposes the
+cost so the executor can charge it (the paper calls it negligible — we charge
+it anyway and the benchmarks confirm it is small).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError, ConfigError
+
+
+class SpaceRole(enum.Enum):
+    """What a memory space is reserved for."""
+
+    EXPERT = "expert"
+    KV_CACHE = "kv_cache"
+    PREFILL_SCRATCH = "prefill_scratch"
+    GENERAL = "general"
+
+
+@dataclass
+class MemorySpace:
+    """One bank-bundle-indexed slice of device memory.
+
+    Attributes:
+        index: 1-based bank-bundle index (matches the paper's numbering).
+        capacity_bytes: capacity of this slice across the device.
+        used_bytes: bytes currently allocated.
+        roles: roles this space serves (Duplex overlays experts with KV or
+            scratch because expert weights alone do not fill a space).
+    """
+
+    index: int
+    capacity_bytes: float
+    used_bytes: float = 0.0
+    roles: set[SpaceRole] = field(default_factory=set)
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, nbytes: float) -> None:
+        """Reserve ``nbytes``; raises :class:`AllocationError` if it does not fit."""
+        if nbytes < 0:
+            raise ConfigError("allocation size must be non-negative")
+        if nbytes > self.free_bytes * (1 + 1e-12):
+            raise AllocationError(
+                f"memory space {self.index}: requested {nbytes / 2**30:.2f} GiB "
+                f"but only {self.free_bytes / 2**30:.2f} GiB free"
+            )
+        self.used_bytes += nbytes
+
+    def release(self, nbytes: float) -> None:
+        """Return ``nbytes`` to the space."""
+        if nbytes < 0:
+            raise ConfigError("release size must be non-negative")
+        if nbytes > self.used_bytes * (1 + 1e-9) + 1e-6:
+            raise AllocationError(f"memory space {self.index}: releasing more than allocated")
+        self.used_bytes = max(0.0, self.used_bytes - nbytes)
+
+
+@dataclass
+class _ExpertPlacementEntry:
+    expert_id: int
+    space_index: int
+    nbytes: float
+
+
+class MemoryLayout:
+    """Device-level allocator over bank-bundle memory spaces.
+
+    Args:
+        device_capacity_bytes: total HBM capacity of the device.
+        num_spaces: bank bundles per pseudo channel (4 for 8-hi HBM3).
+        kv_spaces: how many spaces the decode KV cache rotates over.
+    """
+
+    def __init__(self, device_capacity_bytes: float, num_spaces: int = 4, kv_spaces: int = 3) -> None:
+        if device_capacity_bytes <= 0:
+            raise ConfigError("device capacity must be positive")
+        if num_spaces < 2:
+            raise ConfigError("Duplex needs at least two memory spaces for co-processing")
+        if not 1 <= kv_spaces < num_spaces:
+            raise ConfigError("kv_spaces must leave at least one space for prefill scratch")
+        per_space = device_capacity_bytes / num_spaces
+        self.spaces = [MemorySpace(index=i + 1, capacity_bytes=per_space) for i in range(num_spaces)]
+        self._kv_space_count = kv_spaces
+        self._expert_entries: list[_ExpertPlacementEntry] = []
+        self._kv_bytes = 0.0
+        self._scratch_bytes = 0.0
+        for space in self.spaces[:kv_spaces]:
+            space.roles.add(SpaceRole.KV_CACHE)
+        self.spaces[kv_spaces].roles.add(SpaceRole.PREFILL_SCRATCH)
+
+    # ------------------------------------------------------------------
+    # weights
+    # ------------------------------------------------------------------
+    def place_experts(self, expert_bytes: dict[int, float]) -> dict[int, int]:
+        """Place expert weights round-robin across spaces.
+
+        Args:
+            expert_bytes: mapping of expert id to its local weight footprint.
+
+        Returns:
+            Mapping of expert id to the 1-based space index holding it.
+        """
+        assignment: dict[int, int] = {}
+        for position, (expert_id, nbytes) in enumerate(sorted(expert_bytes.items())):
+            space = self.spaces[position % len(self.spaces)]
+            space.allocate(nbytes)
+            space.roles.add(SpaceRole.EXPERT)
+            self._expert_entries.append(
+                _ExpertPlacementEntry(expert_id=expert_id, space_index=space.index, nbytes=nbytes)
+            )
+            assignment[expert_id] = space.index
+        return assignment
+
+    def place_general_weights(self, nbytes: float) -> None:
+        """Place non-expert weights wherever capacity remains (xPU-only data)."""
+        remaining = nbytes
+        for space in sorted(self.spaces, key=lambda s: s.free_bytes, reverse=True):
+            if remaining <= 0:
+                break
+            chunk = min(remaining, space.free_bytes)
+            if chunk > 0:
+                space.allocate(chunk)
+                space.roles.add(SpaceRole.GENERAL)
+                remaining -= chunk
+        if remaining > 1e-6:
+            raise AllocationError(
+                f"general weights overflow device memory by {remaining / 2**30:.2f} GiB"
+            )
+
+    # ------------------------------------------------------------------
+    # KV cache and prefill scratch
+    # ------------------------------------------------------------------
+    @property
+    def kv_space_indices(self) -> list[int]:
+        """1-based indices of the spaces the decode KV cache rotates over."""
+        return [space.index for space in self.spaces[: self._kv_space_count]]
+
+    @property
+    def scratch_space_index(self) -> int:
+        """1-based index of the prefill Q/K/V scratch space."""
+        return self.spaces[self._kv_space_count].index
+
+    def reserve_kv(self, nbytes: float) -> None:
+        """Grow the decode KV cache, spread evenly over the KV spaces."""
+        share = nbytes / self._kv_space_count
+        for space in self.spaces[: self._kv_space_count]:
+            space.allocate(share)
+        self._kv_bytes += nbytes
+
+    def release_kv(self, nbytes: float) -> None:
+        """Shrink the decode KV cache (request finished or evicted)."""
+        share = nbytes / self._kv_space_count
+        for space in self.spaces[: self._kv_space_count]:
+            space.release(share)
+        self._kv_bytes = max(0.0, self._kv_bytes - nbytes)
+
+    def reserve_scratch(self, nbytes: float) -> None:
+        """Reserve prefill Q/K/V scratch in the dedicated space."""
+        self.spaces[self._kv_space_count].allocate(nbytes)
+        self._scratch_bytes += nbytes
+
+    def release_scratch(self, nbytes: float) -> None:
+        """Release prefill scratch after KV migration."""
+        self.spaces[self._kv_space_count].release(nbytes)
+        self._scratch_bytes = max(0.0, self._scratch_bytes - nbytes)
+
+    @staticmethod
+    def migration_bytes(kv_bytes_produced: float) -> float:
+        """Bytes moved to migrate prefill K/V into the KV-cache spaces.
+
+        One read plus one write of the produced K/V (Section V-C: xPU moves
+        the matrices once after the attention finishes).
+        """
+        return 2.0 * kv_bytes_produced
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def kv_bytes(self) -> float:
+        return self._kv_bytes
+
+    @property
+    def total_free_bytes(self) -> float:
+        return sum(space.free_bytes for space in self.spaces)
+
+    def expert_space(self, expert_id: int) -> int:
+        """Return the space index holding ``expert_id``'s weights."""
+        for entry in self._expert_entries:
+            if entry.expert_id == expert_id:
+                return entry.space_index
+        raise AllocationError(f"expert {expert_id} has no placement")
+
+    def experts_by_space(self) -> dict[int, list[int]]:
+        """Group placed expert ids by space index (co-processing granularity)."""
+        grouping: dict[int, list[int]] = {}
+        for entry in self._expert_entries:
+            grouping.setdefault(entry.space_index, []).append(entry.expert_id)
+        return grouping
+
+    def conflict_free(self, xpu_spaces: set[int], pim_spaces: set[int]) -> bool:
+        """True when xPU and Logic-PIM touch disjoint bank bundles."""
+        return not (xpu_spaces & pim_spaces)

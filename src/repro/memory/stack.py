@@ -1,0 +1,63 @@
+"""The `HBMStack` facade: geometry + timing + bandwidth in one object.
+
+A Duplex device carries several stacks (five on an H100-class device for
+80 GB); the device model in :mod:`repro.core.device` aggregates per-stack
+numbers from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.memory.bandwidth import BandwidthModel
+from repro.memory.engine import AccessMode
+from repro.memory.geometry import HBMGeometry
+from repro.memory.timing import HBM3Timing
+
+
+@dataclass(frozen=True)
+class HBMStack:
+    """One HBM3 stack with optional Logic-PIM datapath.
+
+    Attributes:
+        timing: pseudo-channel timing parameters.
+        geometry: stack organisation.
+        bandwidth: analytic effective-bandwidth model.
+        has_logic_pim_path: whether the stack carries the extra TSVs that
+            feed a logic-die processor (plain HBM3 stacks do not).
+    """
+
+    timing: HBM3Timing = field(default_factory=HBM3Timing)
+    geometry: HBMGeometry = field(default_factory=HBMGeometry)
+    bandwidth: BandwidthModel | None = None
+    has_logic_pim_path: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth is None:
+            object.__setattr__(
+                self, "bandwidth", BandwidthModel(timing=self.timing, geometry=self.geometry)
+            )
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.geometry.capacity_bytes
+
+    @property
+    def external_bandwidth(self) -> float:
+        """Effective xPU-visible bandwidth of this stack (bytes/s)."""
+        assert self.bandwidth is not None
+        return self.bandwidth.effective(AccessMode.EXTERNAL)
+
+    @property
+    def internal_bandwidth(self) -> float:
+        """Effective Logic-PIM bandwidth of this stack (bytes/s)."""
+        if not self.has_logic_pim_path:
+            raise ConfigError("this stack has no Logic-PIM TSV path")
+        assert self.bandwidth is not None
+        return self.bandwidth.effective(AccessMode.BUNDLE)
+
+    @property
+    def internal_speedup(self) -> float:
+        """Logic-PIM bandwidth over external bandwidth (the paper's 4x)."""
+        return self.internal_bandwidth / self.external_bandwidth

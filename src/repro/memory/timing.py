@@ -1,0 +1,100 @@
+"""HBM3 timing parameters.
+
+Values follow JESD238 HBM3 [21 in the paper] at a 5.2 Gb/s pin rate, the
+speed bin NVIDIA ships on the H100 (3.35 TB/s over five stacks).  The paper
+keys Logic-PIM's operating frequency off ``tCCD_S`` = 1.5 ns, so that value
+is load-bearing here; the row-timing values control how much of the peak a
+streaming read can sustain once activates and precharges are in the loop.
+
+All times are in nanoseconds to match datasheet convention; helpers convert
+to seconds where the rest of the library needs SI units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigError
+from repro.units import NS
+
+
+@dataclass(frozen=True)
+class HBM3Timing:
+    """Timing constraints of one HBM3 pseudo channel (all in ns).
+
+    Attributes:
+        tCK: command clock period.
+        tCCD_S: column-to-column delay, different bank groups.  One burst
+            occupies the pseudo-channel data bus for this long.
+        tCCD_L: column-to-column delay, same bank group (= 2 * tCCD_S in
+            HBM3); a Logic-PIM bank bundle streams one 8-bank fetch per
+            tCCD_L over the added TSVs.
+        tRCD: ACT to first column command on the activated row.
+        tRP: precharge period before the next ACT to the same bank.
+        tRAS: minimum row-open time (ACT to PRE).
+        tRRD_S: ACT-to-ACT delay, different bank groups.
+        tRRD_L: ACT-to-ACT delay, same bank group.
+        tFAW: rolling window that may contain at most four ACTs.
+        tREFI: average refresh interval.
+        tRFC: refresh cycle time (channel blocked).
+        burst_bits: data bits moved per column burst per bank (BL8 over the
+            32-bit pseudo-channel DQ = 256 bits).
+    """
+
+    tCK: float = 0.769
+    tCCD_S: float = 1.5
+    tCCD_L: float = 3.0
+    tRCD: float = 14.0
+    tRP: float = 14.0
+    tRAS: float = 33.0
+    tRRD_S: float = 4.0
+    tRRD_L: float = 6.0
+    tFAW: float = 16.0
+    tREFI: float = 3900.0
+    tRFC: float = 350.0
+    burst_bits: int = 256
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value <= 0:
+                raise ConfigError(f"timing parameter {field.name} must be positive, got {value}")
+        if self.tCCD_L < self.tCCD_S:
+            raise ConfigError("tCCD_L must be >= tCCD_S")
+        if self.tRRD_L < self.tRRD_S:
+            raise ConfigError("tRRD_L must be >= tRRD_S")
+        if self.tRAS < self.tRCD:
+            raise ConfigError("tRAS must be >= tRCD (a row stays open at least until first read)")
+
+    @property
+    def tRC(self) -> float:
+        """Row cycle time: minimum ACT-to-ACT delay for one bank."""
+        return self.tRAS + self.tRP
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes delivered by one column burst from one bank."""
+        return self.burst_bits // 8
+
+    @property
+    def refresh_availability(self) -> float:
+        """Fraction of time the channel is not blocked by refresh."""
+        return 1.0 - self.tRFC / self.tREFI
+
+    def peak_channel_bandwidth(self) -> float:
+        """Peak pseudo-channel bandwidth (bytes/s) on the external path.
+
+        One burst of :attr:`burst_bits` every ``tCCD_S``: with four bank
+        groups interleaved, the data bus never idles.
+        """
+        return self.burst_bytes / (self.tCCD_S * NS)
+
+    def peak_bundle_bandwidth(self) -> float:
+        """Peak bundle bandwidth (bytes/s) on the Logic-PIM TSV path.
+
+        A bank bundle returns eight bursts (one per bank, two banks in each
+        of the four bank groups) every ``tCCD_L``.  With HBM3's
+        ``tCCD_L = 2 * tCCD_S`` this is exactly 4x the external path, the
+        ratio the paper designs for.
+        """
+        return 8 * self.burst_bytes / (self.tCCD_L * NS)

@@ -1,0 +1,44 @@
+"""LLM workload models.
+
+* :mod:`repro.models.config` — model configurations (the paper's Table I:
+  Mixtral 47B, GLaM 143B, Grok1 314B, OPT 66B, Llama3 70B) with derived
+  parameter counts and weight footprints.
+* :mod:`repro.models.ops` — the operator descriptor (FLOPs / bytes / Op/B)
+  and the category taxonomy the breakdowns report on.
+* :mod:`repro.models.layers` — closed-form FLOP/byte math for every layer
+  type at a given token count and shard fraction.
+* :mod:`repro.models.gating` — expert routing (uniform as in the paper's
+  setup, Zipf-skewed for the Section VIII-B discussion).
+* :mod:`repro.models.kv_cache` — KV-cache sizing.
+"""
+
+from repro.models.config import (
+    ModelConfig,
+    glam,
+    grok1,
+    llama3_70b,
+    mixtral,
+    opt_66b,
+    paper_models,
+)
+from repro.models.gating import ExpertRouter
+from repro.models.kv_cache import kv_bytes_per_token, request_kv_bytes
+from repro.models.layers import DeviceShard, LayerMath
+from repro.models.ops import OpCategory, Operator
+
+__all__ = [
+    "DeviceShard",
+    "ExpertRouter",
+    "LayerMath",
+    "ModelConfig",
+    "OpCategory",
+    "Operator",
+    "glam",
+    "grok1",
+    "kv_bytes_per_token",
+    "llama3_70b",
+    "mixtral",
+    "opt_66b",
+    "paper_models",
+    "request_kv_bytes",
+]

@@ -1,0 +1,30 @@
+"""KV-cache sizing helpers.
+
+The KV cache is the capacity term that limits batch size (Fig. 5(c),
+Fig. 14, Fig. 16 all carry capacity-starred bars); these helpers keep its
+arithmetic in one place.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+
+
+def kv_bytes_per_token(model: ModelConfig) -> float:
+    """K+V bytes one token adds across all layers of the model."""
+    return model.kv_bytes_per_token
+
+
+def request_kv_bytes(model: ModelConfig, seq_len: int) -> float:
+    """K+V bytes a request holds once its context reaches ``seq_len`` tokens."""
+    if seq_len < 0:
+        raise ConfigError("sequence length must be non-negative")
+    return seq_len * model.kv_bytes_per_token
+
+
+def max_resident_tokens(model: ModelConfig, free_bytes: float) -> int:
+    """How many cached tokens fit in ``free_bytes`` of device memory."""
+    if free_bytes <= 0:
+        return 0
+    return int(free_bytes // model.kv_bytes_per_token)

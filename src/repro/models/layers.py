@@ -1,0 +1,247 @@
+"""Closed-form FLOP/byte math for every layer type.
+
+The serving simulator times hundreds of thousands of stages, so layer costs
+are computed in closed form per *representative layer* and scaled by layer
+counts, instead of materialising a graph of thousands of operators.  All
+functions return :class:`~repro.models.ops.Operator` values for **one
+device**, parameterised by that device's shard fractions.
+
+Accounting conventions (consistent across layers so totals balance):
+
+* Weights are streamed once per operator (no cross-layer caching — they are
+  far too large for SRAM).
+* Activations are charged one read of the input and one write of the output
+  per fused operator; attention scores are never materialised to DRAM
+  (FlashAttention-style).
+* KV vectors are written where they are produced (the QKV projection) and
+  read where they are consumed (the attention operator).
+* Light layers (LayerNorm, residual adds) ride along as extra activation
+  bytes inside the FC operator, as in the paper's breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+from repro.models.ops import OpCategory, Operator
+
+#: FLOPs charged per attention score for softmax (max, sub, exp, sum, div).
+SOFTMAX_FLOPS_PER_SCORE = 5.0
+
+
+@dataclass(frozen=True)
+class DeviceShard:
+    """Shard fractions of one device.
+
+    Attributes:
+        fc_fraction: tensor-parallel share of non-expert weights and heads.
+        expert_fraction: share of each *resident* expert's weights
+            (1.0 under expert parallelism, 1/N under expert tensor
+            parallelism).
+        kv_fraction: share of each request's KV heads this device processes.
+    """
+
+    fc_fraction: float = 1.0
+    expert_fraction: float = 1.0
+    kv_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("fc_fraction", "expert_fraction", "kv_fraction"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigError(f"shard fraction {name} must be in (0, 1], got {value}")
+
+
+class LayerMath:
+    """Per-layer operator math for one model.
+
+    Args:
+        model: the model configuration the math describes.
+    """
+
+    def __init__(self, model: ModelConfig) -> None:
+        self.model = model
+
+    # ------------------------------------------------------------------
+    # FC side (QKV generation + projection + light layers)
+    # ------------------------------------------------------------------
+    def qkv_and_projection(self, n_tokens: float, fc_fraction: float = 1.0) -> Operator:
+        """QKV generation and output projection of one block (plus light layers).
+
+        KV-cache appends for the ``n_tokens`` processed tokens are charged
+        here as writes (this is where K and V are produced).
+        """
+        self._check_tokens(n_tokens)
+        m = self.model
+        params = m.attention_params_per_layer * fc_fraction
+        flops = 2.0 * n_tokens * params
+        act = n_tokens * m.hidden * m.dtype_bytes
+        kv_append = n_tokens * m.kv_bytes_per_token_per_layer * fc_fraction
+        # Input read for QKV and for projection, plus LayerNorm/residual traffic.
+        bytes_read = params * m.dtype_bytes + 4.0 * act
+        bytes_written = 2.0 * act + kv_append
+        return Operator("qkv_proj", OpCategory.FC, flops, bytes_read, bytes_written)
+
+    def dense_ffn(self, n_tokens: float, fc_fraction: float = 1.0) -> Operator:
+        """One conventional FFN (GLaM's dense blocks, OPT, Llama3)."""
+        self._check_tokens(n_tokens)
+        m = self.model
+        params = m.dense_ffn_params * fc_fraction
+        flops = 2.0 * n_tokens * params + n_tokens * m.intermediate * fc_fraction
+        act = n_tokens * m.hidden * m.dtype_bytes
+        return Operator(
+            "dense_ffn",
+            OpCategory.FC,
+            flops,
+            params * m.dtype_bytes + act,
+            act,
+        )
+
+    def embedding(self, n_tokens: float) -> Operator:
+        """Token-embedding lookups for one stage (whole device group)."""
+        self._check_tokens(n_tokens)
+        m = self.model
+        act = n_tokens * m.hidden * m.dtype_bytes
+        return Operator("embedding", OpCategory.FC, 0.0, act, act)
+
+    def lm_head(self, n_tokens: float, fc_fraction: float = 1.0) -> Operator:
+        """LM head projection for the tokens that produce an output."""
+        self._check_tokens(n_tokens)
+        m = self.model
+        params = m.vocab_size * m.hidden * fc_fraction
+        flops = 2.0 * n_tokens * params
+        act = n_tokens * m.hidden * m.dtype_bytes
+        out = n_tokens * m.vocab_size * m.dtype_bytes * fc_fraction
+        return Operator("lm_head", OpCategory.FC, flops, params * m.dtype_bytes + act, out)
+
+    # ------------------------------------------------------------------
+    # attention
+    # ------------------------------------------------------------------
+    def attention_decode(
+        self, context_lengths: np.ndarray | Sequence[int], kv_fraction: float = 1.0
+    ) -> Operator:
+        """Decode attention of one block for a batch of ongoing requests.
+
+        Each request multiplies its (deggrp x d_head) query slice with its
+        own cached K and V — a GEMV for MHA, a narrow GEMM for GQA — so the
+        work is a sum over requests; the operator's Op/B works out to
+        ~deggrp regardless of context length, the paper's core observation.
+
+        Args:
+            context_lengths: per-request KV lengths (tokens already cached).
+            kv_fraction: share of KV heads this device holds.
+        """
+        lengths = np.asarray(context_lengths, dtype=np.float64)
+        if lengths.size == 0 or float(lengths.sum()) == 0.0:
+            return Operator("attention_decode", OpCategory.ATTENTION_DECODE, 0.0, 0.0)
+        if (lengths < 0).any():
+            raise ConfigError("context lengths must be non-negative")
+        m = self.model
+        total_ctx = float(lengths.sum())
+        n_requests = float(lengths.size)
+        # QK^T and PV: 2 GEMMs of (deggrp x d_head x L) per KV head.
+        flops = 4.0 * m.n_heads * m.d_head * total_ctx * kv_fraction
+        flops += SOFTMAX_FLOPS_PER_SCORE * m.n_heads * total_ctx * kv_fraction
+        kv_read = total_ctx * m.kv_bytes_per_token_per_layer * kv_fraction
+        q_read = n_requests * m.n_heads * m.d_head * m.dtype_bytes * kv_fraction
+        out_write = n_requests * m.n_heads * m.d_head * m.dtype_bytes * kv_fraction
+        return Operator(
+            "attention_decode",
+            OpCategory.ATTENTION_DECODE,
+            flops,
+            kv_read + q_read,
+            out_write,
+        )
+
+    def attention_prefill(
+        self, prefill_lengths: Iterable[int], kv_fraction: float = 1.0
+    ) -> Operator:
+        """Prefill (summarisation) attention of one block.
+
+        Causal attention over each new request's full input: L^2-scaled
+        compute against L-scaled traffic, i.e. high Op/B.
+        """
+        m = self.model
+        flops = 0.0
+        bytes_read = 0.0
+        bytes_written = 0.0
+        for length in prefill_lengths:
+            if length < 0:
+                raise ConfigError("prefill lengths must be non-negative")
+            if length == 0:
+                continue
+            causal_scores = 0.5 * length * length
+            flops += 4.0 * m.n_heads * m.d_head * causal_scores * kv_fraction
+            flops += SOFTMAX_FLOPS_PER_SCORE * m.n_heads * causal_scores * kv_fraction
+            q_bytes = length * m.n_heads * m.d_head * m.dtype_bytes * kv_fraction
+            kv_bytes = length * m.kv_bytes_per_token_per_layer * kv_fraction
+            bytes_read += q_bytes + kv_bytes
+            bytes_written += q_bytes  # attention output, same shape as Q
+        return Operator(
+            "attention_prefill", OpCategory.ATTENTION_PREFILL, flops, bytes_read, bytes_written
+        )
+
+    # ------------------------------------------------------------------
+    # MoE
+    # ------------------------------------------------------------------
+    def gate(self, n_tokens: float, fc_fraction: float = 1.0) -> Operator:
+        """The MoE router of one block."""
+        self._check_tokens(n_tokens)
+        m = self.model
+        if not m.is_moe:
+            raise ConfigError(f"{m.name} has no MoE layers")
+        params = m.gate_params * fc_fraction
+        act = n_tokens * m.hidden * m.dtype_bytes
+        scores = n_tokens * m.n_experts * m.dtype_bytes * fc_fraction
+        return Operator(
+            "gate", OpCategory.MOE, 2.0 * n_tokens * params, params * m.dtype_bytes + act, scores
+        )
+
+    def expert_ffn(self, expert_id: int, n_tokens: float, expert_fraction: float = 1.0) -> Operator:
+        """One expert FFN processing ``n_tokens`` routed tokens.
+
+        A zero-token expert costs nothing: its weights are never streamed.
+        """
+        self._check_tokens(n_tokens)
+        m = self.model
+        if not m.is_moe:
+            raise ConfigError(f"{m.name} has no MoE layers")
+        if n_tokens == 0:
+            return Operator(f"expert[{expert_id}]", OpCategory.MOE, 0.0, 0.0)
+        params = m.expert_params * expert_fraction
+        flops = 2.0 * n_tokens * params + n_tokens * m.intermediate * expert_fraction
+        act = n_tokens * m.hidden * m.dtype_bytes
+        return Operator(
+            f"expert[{expert_id}]",
+            OpCategory.MOE,
+            flops,
+            params * m.dtype_bytes + act,
+            act * expert_fraction,
+        )
+
+    def expert_ffns(
+        self, tokens_per_expert: dict[int, int] | np.ndarray, expert_fraction: float = 1.0
+    ) -> list[Operator]:
+        """Expert FFN operators for all resident experts with routed tokens."""
+        if isinstance(tokens_per_expert, np.ndarray):
+            items: Iterable[tuple[int, int]] = enumerate(tokens_per_expert.tolist())
+        else:
+            items = sorted(tokens_per_expert.items())
+        return [
+            self.expert_ffn(expert_id, count, expert_fraction)
+            for expert_id, count in items
+            if count > 0
+        ]
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_tokens(n_tokens: float) -> None:
+        if n_tokens < 0:
+            raise ConfigError("token count must be non-negative")

@@ -1,0 +1,89 @@
+"""Operator descriptors.
+
+An :class:`Operator` is the unit of timing and energy accounting: a named
+piece of work with FLOPs, DRAM bytes read, and DRAM bytes written.  Its
+:attr:`Operator.opb` (arithmetic intensity, FLOPs per byte) is the quantity
+Duplex dispatches on; its :attr:`Operator.category` is the bucket the
+paper's breakdown figures (4(a) and 15) report on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+class OpCategory(enum.Enum):
+    """Breakdown buckets, matching the paper's figures."""
+
+    FC = "fc"  # QKV generation, projection, dense FFN, LM head, embedding
+    ATTENTION_PREFILL = "attention_prefill"
+    ATTENTION_DECODE = "attention_decode"
+    MOE = "moe"  # expert FFNs and the gate
+    COMMUNICATION = "communication"
+    MIGRATION = "migration"  # KV migration after a mixed stage
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One schedulable piece of work.
+
+    Attributes:
+        name: human-readable label ("qkv_proj", "expert[3]", ...).
+        category: breakdown bucket.
+        flops: floating-point operations.
+        bytes_read: DRAM bytes streamed in.
+        bytes_written: DRAM bytes written back.
+    """
+
+    name: str
+    category: OpCategory
+    flops: float
+    bytes_read: float
+    bytes_written: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ConfigError(f"operator {self.name}: flops/bytes must be non-negative")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def opb(self) -> float:
+        """Arithmetic intensity (FLOPs per DRAM byte); inf for pure compute."""
+        if self.total_bytes == 0:
+            return float("inf") if self.flops > 0 else 0.0
+        return self.flops / self.total_bytes
+
+    def scaled(self, factor: float) -> "Operator":
+        """Return a copy with all work multiplied by ``factor``.
+
+        Used to expand one representative decoder layer to the model's layer
+        count without rebuilding operators.
+        """
+        if factor < 0:
+            raise ConfigError("scale factor must be non-negative")
+        return replace(
+            self,
+            flops=self.flops * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+        )
+
+    def merged_with(self, other: "Operator", name: str | None = None) -> "Operator":
+        """Combine two operators of the same category into one."""
+        if self.category is not other.category:
+            raise ConfigError(
+                f"cannot merge {self.name} ({self.category}) with {other.name} ({other.category})"
+            )
+        return Operator(
+            name=name or f"{self.name}+{other.name}",
+            category=self.category,
+            flops=self.flops + other.flops,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+        )

@@ -1,0 +1,24 @@
+"""Multi-device parallelism substrate.
+
+* :mod:`repro.parallel.topology` — nodes, devices, NVLink/InfiniBand links
+  (the paper's HGX-style system: 900 GB/s bidirectional NVLink inside a
+  node, 400 GB/s InfiniBand between nodes).
+* :mod:`repro.parallel.collectives` — cost models for all-reduce,
+  all-to-all, all-gather and point-to-point transfers.
+* :mod:`repro.parallel.placement` — how a model's weights and work are
+  spread over a cluster: tensor parallelism for non-expert layers within a
+  node, data parallelism across nodes, and expert parallelism or expert
+  tensor parallelism for MoE layers (Sections III and V-B).
+"""
+
+from repro.parallel.collectives import CollectiveModel
+from repro.parallel.placement import ExpertPlacement, ModelPlacement
+from repro.parallel.topology import ClusterTopology, InterconnectSpec
+
+__all__ = [
+    "ClusterTopology",
+    "CollectiveModel",
+    "ExpertPlacement",
+    "InterconnectSpec",
+    "ModelPlacement",
+]

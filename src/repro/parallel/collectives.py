@@ -1,0 +1,104 @@
+"""Collective-communication cost models.
+
+Standard ring/pairwise formulas over the bottleneck link of the group:
+
+* ring all-reduce of N bytes over n devices moves ``2 (n-1)/n * N`` per
+  device;
+* all-to-all (MoE dispatch/combine) moves ``(n-1)/n * N`` per device;
+* all-gather moves ``(n-1)/n * N`` per device;
+* point-to-point moves N over one link.
+
+Latency is charged per hop.  Energy is charged per bit actually on a wire.
+Groups that span nodes are bottlenecked by the inter-node link, matching the
+paper's observation that Grok1's two-node deployment blunts Duplex's gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.parallel.topology import ClusterTopology
+from repro.units import PJ
+
+
+@dataclass(frozen=True)
+class CollectiveModel:
+    """Times and energises collectives on a cluster topology."""
+
+    topology: ClusterTopology
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def all_reduce_time(self, nbytes: float, group_size: int, crosses_nodes: bool = False) -> float:
+        """Ring all-reduce completion time for ``nbytes`` per device."""
+        self._check(nbytes, group_size)
+        if group_size == 1 or nbytes == 0.0:
+            return 0.0
+        bandwidth, latency = self.topology.link(crosses_nodes)
+        steps = 2 * (group_size - 1)
+        wire_bytes_per_device = nbytes * steps / group_size
+        return wire_bytes_per_device / bandwidth + steps * latency
+
+    def all_to_all_time(self, nbytes: float, group_size: int, crosses_nodes: bool = False) -> float:
+        """All-to-all completion time; each device holds ``nbytes`` total.
+
+        Pairwise exchanges proceed in parallel (NCCL-style), so only one hop
+        of latency is exposed — unlike the ring all-reduce, whose steps are
+        serially dependent.
+        """
+        self._check(nbytes, group_size)
+        if group_size == 1 or nbytes == 0.0:
+            return 0.0
+        bandwidth, latency = self.topology.link(crosses_nodes)
+        wire_bytes = nbytes * (group_size - 1) / group_size
+        return wire_bytes / bandwidth + latency
+
+    def all_gather_time(self, nbytes: float, group_size: int, crosses_nodes: bool = False) -> float:
+        """All-gather completion time for ``nbytes`` contributed per device."""
+        self._check(nbytes, group_size)
+        if group_size == 1 or nbytes == 0.0:
+            return 0.0
+        bandwidth, latency = self.topology.link(crosses_nodes)
+        wire_bytes = nbytes * (group_size - 1)
+        return wire_bytes / bandwidth + (group_size - 1) * latency
+
+    def point_to_point_time(self, nbytes: float, crosses_nodes: bool = False) -> float:
+        """One transfer between two devices (KV handoff in split systems)."""
+        if nbytes < 0:
+            raise ConfigError("transfer size must be non-negative")
+        if nbytes == 0.0:
+            return 0.0
+        bandwidth, latency = self.topology.link(crosses_nodes)
+        return nbytes / bandwidth + latency
+
+    # ------------------------------------------------------------------
+    # energy
+    # ------------------------------------------------------------------
+    def wire_energy(self, wire_bytes: float) -> float:
+        """Transport energy (J) for bytes that actually crossed a link."""
+        if wire_bytes < 0:
+            raise ConfigError("wire bytes must be non-negative")
+        return wire_bytes * 8.0 * self.topology.interconnect.link_energy_pj_per_bit * PJ
+
+    def all_reduce_wire_bytes(self, nbytes: float, group_size: int) -> float:
+        """Bytes a ring all-reduce puts on the wire per device (for energy)."""
+        self._check(nbytes, group_size)
+        if group_size == 1:
+            return 0.0
+        return nbytes * 2 * (group_size - 1) / group_size
+
+    def all_to_all_wire_bytes(self, nbytes: float, group_size: int) -> float:
+        """Bytes an all-to-all puts on the wire per device (for energy)."""
+        self._check(nbytes, group_size)
+        if group_size == 1:
+            return 0.0
+        return nbytes * (group_size - 1) / group_size
+
+    @staticmethod
+    def _check(nbytes: float, group_size: int) -> None:
+        if nbytes < 0:
+            raise ConfigError("collective size must be non-negative")
+        if group_size < 1:
+            raise ConfigError("collective group must have at least one member")

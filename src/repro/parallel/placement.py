@@ -1,0 +1,209 @@
+"""Model placement: how weights and work are spread over a cluster.
+
+Following the paper's Section III (after DeepSpeed-MoE):
+
+* **non-expert layers** (QKV/projection, dense FFN, LM head) are tensor
+  parallel within a node and data parallel across nodes;
+* **attention** is head-parallel within a node; each node holds the KV of
+  its own (data-parallel) share of requests;
+* **MoE layers** use either *expert parallelism* (experts distributed over
+  all devices; every expert receives its tokens from the whole global batch
+  via all-to-all) or — for Duplex+PE+ET (Section V-B) — *expert tensor
+  parallelism* (each node holds all of its experts, sliced across the node's
+  devices, so expert co-processing has the full expert set to split).
+
+When there are more devices than experts, expert parallelism shards each
+expert over ``n_devices / n_experts`` devices (footnote 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig
+from repro.parallel.topology import ClusterTopology
+
+
+class ExpertPlacement(enum.Enum):
+    """How MoE expert weights are distributed."""
+
+    EXPERT_PARALLEL = "expert_parallel"
+    EXPERT_TENSOR_PARALLEL = "expert_tensor_parallel"
+
+
+@dataclass(frozen=True)
+class ModelPlacement:
+    """Per-device view of a model distributed over a cluster.
+
+    Attributes:
+        model: the model being served.
+        topology: the cluster serving it.
+        expert_placement: MoE distribution strategy.
+    """
+
+    model: ModelConfig
+    topology: ClusterTopology
+    expert_placement: ExpertPlacement = ExpertPlacement.EXPERT_PARALLEL
+
+    def __post_init__(self) -> None:
+        model, topo = self.model, self.topology
+        if not model.is_moe:
+            return
+        if self.expert_placement is ExpertPlacement.EXPERT_PARALLEL:
+            if topo.n_devices <= model.n_experts:
+                if model.n_experts % topo.n_devices != 0:
+                    raise ConfigError(
+                        f"{model.name}: {model.n_experts} experts do not divide over "
+                        f"{topo.n_devices} devices"
+                    )
+            elif topo.n_devices % model.n_experts != 0:
+                raise ConfigError(
+                    f"{model.name}: {topo.n_devices} devices do not shard "
+                    f"{model.n_experts} experts evenly"
+                )
+        else:
+            if model.n_experts % topo.n_nodes != 0:
+                raise ConfigError(
+                    f"{model.name}: {model.n_experts} experts do not divide over "
+                    f"{topo.n_nodes} nodes"
+                )
+
+    # ------------------------------------------------------------------
+    # shard fractions (plug into models.layers)
+    # ------------------------------------------------------------------
+    @property
+    def fc_fraction(self) -> float:
+        """Tensor-parallel share of non-expert weights per device."""
+        return 1.0 / self.topology.devices_per_node
+
+    @property
+    def kv_fraction(self) -> float:
+        """Share of each node-local request's KV heads per device."""
+        return 1.0 / self.topology.devices_per_node
+
+    @property
+    def node_batch_fraction(self) -> float:
+        """Data-parallel share of the global batch each node serves."""
+        return 1.0 / self.topology.n_nodes
+
+    @property
+    def expert_fraction(self) -> float:
+        """Share of each resident expert's weights a device holds."""
+        model, topo = self.model, self.topology
+        if not model.is_moe:
+            return 1.0
+        if self.expert_placement is ExpertPlacement.EXPERT_TENSOR_PARALLEL:
+            return 1.0 / topo.devices_per_node
+        if topo.n_devices > model.n_experts:
+            return model.n_experts / topo.n_devices
+        return 1.0
+
+    @property
+    def resident_experts_per_device(self) -> int:
+        """Distinct experts whose (possibly sharded) weights a device holds."""
+        model, topo = self.model, self.topology
+        if not model.is_moe:
+            return 0
+        if self.expert_placement is ExpertPlacement.EXPERT_TENSOR_PARALLEL:
+            return model.n_experts // topo.n_nodes
+        return max(1, model.n_experts // topo.n_devices)
+
+    # ------------------------------------------------------------------
+    # communication structure
+    # ------------------------------------------------------------------
+    @property
+    def tp_group_size(self) -> int:
+        """Tensor-parallel group (one node)."""
+        return self.topology.devices_per_node
+
+    @property
+    def moe_uses_all_to_all(self) -> bool:
+        """Whether MoE tokens are exchanged with an all-to-all."""
+        if not self.model.is_moe:
+            return False
+        if self.expert_placement is ExpertPlacement.EXPERT_PARALLEL:
+            return self.topology.n_devices > 1
+        return self.topology.spans_nodes  # ET: only the inter-node leg remains
+
+    @property
+    def moe_all_to_all_group(self) -> tuple[int, bool]:
+        """(group size, crosses_nodes) of the MoE all-to-all."""
+        if self.expert_placement is ExpertPlacement.EXPERT_PARALLEL:
+            return self.topology.n_devices, self.topology.spans_nodes
+        return self.topology.n_nodes, True
+
+    @property
+    def moe_uses_tp_all_reduce(self) -> bool:
+        """Whether expert partial sums need a tensor-parallel all-reduce."""
+        if not self.model.is_moe:
+            return False
+        if self.expert_placement is ExpertPlacement.EXPERT_TENSOR_PARALLEL:
+            return self.tp_group_size > 1
+        # EP shards experts over devices only when devices outnumber experts.
+        return self.topology.n_devices > self.model.n_experts
+
+    # ------------------------------------------------------------------
+    # token routing
+    # ------------------------------------------------------------------
+    def per_device_expert_counts(self, global_counts: np.ndarray) -> list[np.ndarray]:
+        """Split global per-expert token counts into per-device resident counts.
+
+        Args:
+            global_counts: token count per expert over the whole batch
+                (length ``n_experts``).
+
+        Returns:
+            One array per device holding the token counts of the experts
+            resident on that device.  Under expert tensor parallelism every
+            device of a node sees the same counts (each processes all tokens
+            against its weight slice); the returned list still has one entry
+            per device so callers can take a max over devices uniformly.
+        """
+        model, topo = self.model, self.topology
+        if not model.is_moe:
+            raise ConfigError(f"{model.name} has no experts to partition")
+        counts = np.asarray(global_counts)
+        if counts.shape != (model.n_experts,):
+            raise ConfigError(
+                f"expected {model.n_experts} expert counts, got shape {counts.shape}"
+            )
+        if self.expert_placement is ExpertPlacement.EXPERT_TENSOR_PARALLEL:
+            per_node = np.array_split(counts, topo.n_nodes)
+            result = []
+            for node in range(topo.n_nodes):
+                result.extend([per_node[node]] * topo.devices_per_node)
+            return result
+        if topo.n_devices <= model.n_experts:
+            return list(np.array_split(counts, topo.n_devices))
+        # More devices than experts: each expert's group shares its tokens
+        # via tensor parallelism, so each device sees its expert's full count.
+        devices_per_expert = topo.n_devices // model.n_experts
+        result = []
+        for expert_id in range(model.n_experts):
+            result.extend([counts[expert_id : expert_id + 1]] * devices_per_expert)
+        return result
+
+    # ------------------------------------------------------------------
+    # memory footprint
+    # ------------------------------------------------------------------
+    def weight_bytes_per_device(self) -> float:
+        """Model weight bytes resident on one device.
+
+        Non-expert weights are replicated per node (data parallelism) and
+        sharded within it; expert weights are spread over all devices with
+        no duplication under either expert strategy.
+        """
+        model, topo = self.model, self.topology
+        non_expert = model.non_expert_weight_bytes * self.fc_fraction
+        if not model.is_moe:
+            return non_expert
+        experts = model.n_moe_layers * model.n_experts * model.expert_bytes / topo.n_devices
+        return non_expert + experts
+
+    def kv_bytes_per_token_per_device(self) -> float:
+        """KV bytes one cached token of a node-local request costs a device."""
+        return self.model.kv_bytes_per_token * self.kv_fraction

@@ -1,0 +1,86 @@
+"""Cluster topology: nodes, devices, and the links between them.
+
+The paper's systems follow the HGX recipe (Section VI): up to eight devices
+per node on 900 GB/s bidirectional NVLink; nodes joined by 400 GB/s
+InfiniBand.  Default node counts per model: Mixtral/OPT/Llama3 one node of
+four devices, GLaM one node of eight, Grok1 two nodes of eight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import GB_PER_S, US
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Link characteristics of the system fabric.
+
+    Attributes:
+        intra_node_bandwidth: per-device NVLink bandwidth (bytes/s).
+        intra_node_latency_s: per-hop latency inside a node.
+        inter_node_bandwidth: per-node InfiniBand bandwidth (bytes/s).
+        inter_node_latency_s: per-hop latency between nodes.
+        link_energy_pj_per_bit: transport energy for data on the wire.
+    """
+
+    intra_node_bandwidth: float = 900 * GB_PER_S
+    intra_node_latency_s: float = 1.0 * US
+    inter_node_bandwidth: float = 400 * GB_PER_S
+    inter_node_latency_s: float = 5.0 * US
+    link_energy_pj_per_bit: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.intra_node_bandwidth <= 0 or self.inter_node_bandwidth <= 0:
+            raise ConfigError("link bandwidths must be positive")
+        if self.intra_node_latency_s < 0 or self.inter_node_latency_s < 0:
+            raise ConfigError("link latencies must be non-negative")
+        if self.link_energy_pj_per_bit < 0:
+            raise ConfigError("link energy must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A cluster of identical devices grouped into nodes.
+
+    Attributes:
+        n_nodes: number of nodes.
+        devices_per_node: devices in each node (at most eight, HGX-style).
+        interconnect: link characteristics.
+    """
+
+    n_nodes: int
+    devices_per_node: int
+    interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigError("a cluster needs at least one node")
+        if not 1 <= self.devices_per_node <= 8:
+            raise ConfigError("devices_per_node must be 1..8 (HGX limit)")
+
+    @property
+    def n_devices(self) -> int:
+        return self.n_nodes * self.devices_per_node
+
+    @property
+    def spans_nodes(self) -> bool:
+        return self.n_nodes > 1
+
+    def link(self, crosses_nodes: bool) -> tuple[float, float]:
+        """(bandwidth, latency) of the bottleneck link for a transfer."""
+        ic = self.interconnect
+        if crosses_nodes:
+            return ic.inter_node_bandwidth, ic.inter_node_latency_s
+        return ic.intra_node_bandwidth, ic.intra_node_latency_s
+
+    def doubled(self) -> "ClusterTopology":
+        """The paper's 2xGPU scaling rule: fill nodes to eight, then add nodes."""
+        target = self.n_devices * 2
+        if target <= 8:
+            return ClusterTopology(1, target, self.interconnect)
+        if target % 8 != 0:
+            raise ConfigError(f"cannot form {target} devices into 8-device nodes")
+        return ClusterTopology(target // 8, 8, self.interconnect)

@@ -1,0 +1,48 @@
+"""LLM serving substrate: requests, scheduling, metrics, simulation.
+
+* :mod:`repro.serving.request` — the request lifecycle.
+* :mod:`repro.serving.generator` — synthetic workloads: Gaussian
+  input/output lengths, Poisson or closed-loop arrivals (Section VI).
+* :mod:`repro.serving.metrics` — TBT / T2FT / E2E percentiles, throughput,
+  stage-type ratios, energy per token.
+* :mod:`repro.serving.scheduler` — ORCA-style continuous batching (and the
+  request-level static batching baseline of Fig. 2(a)).
+* :mod:`repro.serving.simulator` — the event loop tying scheduler, stage
+  executor, and metrics together.
+* :mod:`repro.serving.split` — Splitwise-style split prefill/decode serving
+  (Section VIII-A, Fig. 16).
+* :mod:`repro.serving.paging` — KV migration/recomputation under capacity
+  pressure (Section VIII-C).
+* :mod:`repro.serving.trace` — request-trace recording and replay.
+"""
+
+from repro.serving.generator import RequestGenerator, WorkloadSpec
+from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.paging import EvictionPolicy, HostLink, PagedKvManager
+from repro.serving.request import Request, RequestState
+from repro.serving.scheduler import ContinuousBatchingScheduler, StaticBatchingScheduler
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+from repro.serving.split import SplitServingSimulator, split_partitions
+from repro.serving.trace import TraceRecord, TraceReplayGenerator, load_trace, save_trace
+
+__all__ = [
+    "ContinuousBatchingScheduler",
+    "EvictionPolicy",
+    "HostLink",
+    "MetricsCollector",
+    "PagedKvManager",
+    "Request",
+    "RequestGenerator",
+    "RequestState",
+    "ServingReport",
+    "ServingSimulator",
+    "SimulationLimits",
+    "SplitServingSimulator",
+    "StaticBatchingScheduler",
+    "TraceRecord",
+    "TraceReplayGenerator",
+    "WorkloadSpec",
+    "load_trace",
+    "save_trace",
+    "split_partitions",
+]

@@ -1,0 +1,125 @@
+"""Synthetic request generation (the paper's Section VI setup).
+
+Input and output lengths are sampled from Gaussian distributions (the paper
+reports the means as the (Lin, Lout) labels); arrivals are either
+*closed-loop* — a new request is ready the moment a batch slot frees up,
+which is how the throughput figures are measured — or *Poisson* with a given
+queries-per-second rate (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.serving.request import Request
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of the synthetic workload.
+
+    Attributes:
+        lin_mean: mean input length (tokens).
+        lout_mean: mean output length (tokens).
+        lin_cv: coefficient of variation of input lengths (0 = fixed).
+        lout_cv: coefficient of variation of output lengths (0 = fixed).
+        qps: Poisson arrival rate; None = closed loop.
+        min_len: floor applied to sampled lengths.
+    """
+
+    lin_mean: float
+    lout_mean: float
+    lin_cv: float = 0.0
+    lout_cv: float = 0.0
+    qps: float | None = None
+    min_len: int = 4
+
+    def __post_init__(self) -> None:
+        if self.lin_mean < 1 or self.lout_mean < 1:
+            raise ConfigError("mean lengths must be at least one token")
+        if self.lin_cv < 0 or self.lout_cv < 0:
+            raise ConfigError("coefficients of variation must be non-negative")
+        if self.qps is not None and self.qps <= 0:
+            raise ConfigError("qps must be positive (or None for closed loop)")
+        if self.min_len < 1:
+            raise ConfigError("min_len must be at least one token")
+
+    @property
+    def closed_loop(self) -> bool:
+        return self.qps is None
+
+
+class RequestGenerator:
+    """Streams :class:`Request` objects according to a :class:`WorkloadSpec`.
+
+    Args:
+        spec: workload shape.
+        seed: RNG seed.
+    """
+
+    def __init__(self, spec: WorkloadSpec, seed: int | None = 0) -> None:
+        self.spec = spec
+        self._rng = np.random.default_rng(seed)
+        self._next_id = 0
+        self._next_arrival_s = 0.0
+        self._pending: Request | None = None
+
+    # ------------------------------------------------------------------
+    # queue interface
+    # ------------------------------------------------------------------
+    def peek_arrival(self) -> float:
+        """Arrival time of the next request (for idle-time advancement)."""
+        self._ensure_pending()
+        assert self._pending is not None
+        return self._pending.arrival_time_s
+
+    def has_request_at(self, now_s: float) -> bool:
+        """True when a request has arrived by ``now_s``.
+
+        Closed-loop workloads always have one ready.
+        """
+        if self.spec.closed_loop:
+            return True
+        self._ensure_pending()
+        assert self._pending is not None
+        return self._pending.arrival_time_s <= now_s
+
+    def take(self, now_s: float) -> Request:
+        """Pop the next request; closed-loop requests arrive exactly now."""
+        self._ensure_pending()
+        assert self._pending is not None
+        request = self._pending
+        self._pending = None
+        if self.spec.closed_loop:
+            request.arrival_time_s = now_s
+        return request
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _ensure_pending(self) -> None:
+        if self._pending is not None:
+            return
+        spec = self.spec
+        if spec.closed_loop:
+            arrival = 0.0
+        else:
+            assert spec.qps is not None
+            self._next_arrival_s += float(self._rng.exponential(1.0 / spec.qps))
+            arrival = self._next_arrival_s
+        self._pending = Request(
+            request_id=self._next_id,
+            arrival_time_s=arrival,
+            input_len=self._sample_length(spec.lin_mean, spec.lin_cv),
+            output_len=self._sample_length(spec.lout_mean, spec.lout_cv),
+        )
+        self._next_id += 1
+
+    def _sample_length(self, mean: float, cv: float) -> int:
+        if cv == 0.0:
+            return max(self.spec.min_len, int(round(mean)))
+        sampled = self._rng.normal(mean, cv * mean)
+        return max(self.spec.min_len, int(round(sampled)))

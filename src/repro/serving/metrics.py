@@ -1,0 +1,199 @@
+"""Serving metrics: the paper's TBT / T2FT / E2E, throughput, and energy.
+
+TBT samples are weighted (one stage latency counts once per decode token it
+produced), so percentiles are computed over the token population exactly as
+a per-token trace would give, without storing one entry per token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.models.ops import OpCategory
+
+
+def weighted_percentile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
+    """Percentile ``q`` (0-100) of a weighted sample.
+
+    Uses the cumulative-weight definition: the smallest value whose
+    cumulative weight share reaches ``q``.
+    """
+    if not 0 <= q <= 100:
+        raise ConfigError("percentile must be within 0..100")
+    if values.size == 0:
+        raise SimulationError("cannot take a percentile of an empty sample")
+    order = np.argsort(values)
+    sorted_values = values[order]
+    cumulative = np.cumsum(weights[order])
+    threshold = q / 100.0 * cumulative[-1]
+    index = int(np.searchsorted(cumulative, threshold, side="left"))
+    return float(sorted_values[min(index, sorted_values.size - 1)])
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Summary of one serving simulation.
+
+    Attributes:
+        tokens_generated: output tokens produced in the measured window.
+        elapsed_s: measured wall-clock time.
+        throughput_tokens_per_s: tokens / elapsed.
+        tbt_p50_s / tbt_p90_s / tbt_p99_s: token-between-token percentiles.
+        t2ft_p50_s: median time-to-first-token.
+        e2e_p50_s: median end-to-end latency.
+        decoding_only_stage_ratio: share of stages with no prefill (Fig. 5(a)).
+        energy_per_token_j: total energy / tokens generated.
+        energy_by_component: (category, dram|compute) -> joules.
+        requests_completed: finished requests in the window.
+        effective_batch: capacity-limited batch actually used.
+    """
+
+    tokens_generated: int
+    elapsed_s: float
+    throughput_tokens_per_s: float
+    tbt_p50_s: float
+    tbt_p90_s: float
+    tbt_p99_s: float
+    t2ft_p50_s: float
+    e2e_p50_s: float
+    decoding_only_stage_ratio: float
+    energy_per_token_j: float
+    energy_by_component: dict[str, float]
+    requests_completed: int
+    effective_batch: int
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-stage and per-request measurements."""
+
+    _tbt_values: list[float] = field(default_factory=list)
+    _tbt_weights: list[float] = field(default_factory=list)
+    _t2ft: list[float] = field(default_factory=list)
+    _e2e: list[float] = field(default_factory=list)
+    _stages_total: int = 0
+    _stages_mixed: int = 0
+    _tokens: int = 0
+    _elapsed_s: float = 0.0
+    _energy_by_component: dict[str, float] = field(default_factory=dict)
+    _requests_completed: int = 0
+    effective_batch: int = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_stage(
+        self,
+        latency_s: float,
+        is_mixed: bool,
+        decode_tokens: int,
+        total_tokens_generated: int,
+        dram_energy: dict[OpCategory, float],
+        compute_energy: dict[OpCategory, float],
+        comm_energy_j: float,
+    ) -> None:
+        """Record one executed stage.
+
+        Args:
+            latency_s: stage latency.
+            is_mixed: whether a prefill participated.
+            decode_tokens: tokens produced by ongoing decodes (TBT samples).
+            total_tokens_generated: all tokens produced (decode + first
+                tokens of prefills).
+            dram_energy / compute_energy / comm_energy_j: stage energy split.
+        """
+        if latency_s <= 0:
+            raise SimulationError("stage latency must be positive")
+        self._stages_total += 1
+        if is_mixed:
+            self._stages_mixed += 1
+        if decode_tokens > 0:
+            self._tbt_values.append(latency_s)
+            self._tbt_weights.append(float(decode_tokens))
+        self._tokens += total_tokens_generated
+        self._elapsed_s += latency_s
+        for category, joules in dram_energy.items():
+            key = f"{category.value}:dram"
+            self._energy_by_component[key] = self._energy_by_component.get(key, 0.0) + joules
+        for category, joules in compute_energy.items():
+            key = f"{category.value}:compute"
+            self._energy_by_component[key] = self._energy_by_component.get(key, 0.0) + joules
+        if comm_energy_j:
+            self._energy_by_component["fabric"] = (
+                self._energy_by_component.get("fabric", 0.0) + comm_energy_j
+            )
+
+    def record_first_token(self, t2ft_s: float) -> None:
+        """Record a T2FT sample (known at first token, before completion)."""
+        self._t2ft.append(t2ft_s)
+
+    def record_completion(self, e2e_s: float) -> None:
+        """Record an E2E sample (the request's T2FT was recorded earlier)."""
+        self._e2e.append(e2e_s)
+        self._requests_completed += 1
+
+    def record_idle(self, seconds: float) -> None:
+        """Advance measured time without work (open-loop idle gaps)."""
+        if seconds < 0:
+            raise SimulationError("idle time cannot be negative")
+        self._elapsed_s += seconds
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def stages_recorded(self) -> int:
+        return self._stages_total
+
+    def tbt_slo_attainment(self, slo_s: float) -> float:
+        """Fraction of generated tokens whose TBT met ``slo_s``.
+
+        The service-level objective the paper's Section III invokes when
+        bounding practical batch sizes.
+        """
+        if slo_s <= 0:
+            raise ConfigError("SLO must be positive")
+        values = np.asarray(self._tbt_values)
+        weights = np.asarray(self._tbt_weights)
+        if values.size == 0:
+            raise SimulationError("no TBT samples recorded")
+        met = weights[values <= slo_s].sum()
+        return float(met / weights.sum())
+
+    def t2ft_slo_attainment(self, slo_s: float) -> float:
+        """Fraction of requests whose time-to-first-token met ``slo_s``."""
+        if slo_s <= 0:
+            raise ConfigError("SLO must be positive")
+        if not self._t2ft:
+            raise SimulationError("no T2FT samples recorded")
+        met = sum(1 for value in self._t2ft if value <= slo_s)
+        return met / len(self._t2ft)
+
+    def report(self) -> ServingReport:
+        """Summarise everything recorded so far."""
+        if self._stages_total == 0:
+            raise SimulationError("no stages recorded")
+        tbt_values = np.asarray(self._tbt_values)
+        tbt_weights = np.asarray(self._tbt_weights)
+        if tbt_values.size == 0:
+            tbt_values = np.asarray([0.0])
+            tbt_weights = np.asarray([1.0])
+        total_energy = sum(self._energy_by_component.values())
+        return ServingReport(
+            tokens_generated=self._tokens,
+            elapsed_s=self._elapsed_s,
+            throughput_tokens_per_s=self._tokens / self._elapsed_s if self._elapsed_s > 0 else 0.0,
+            tbt_p50_s=weighted_percentile(tbt_values, tbt_weights, 50),
+            tbt_p90_s=weighted_percentile(tbt_values, tbt_weights, 90),
+            tbt_p99_s=weighted_percentile(tbt_values, tbt_weights, 99),
+            t2ft_p50_s=float(np.median(self._t2ft)) if self._t2ft else 0.0,
+            e2e_p50_s=float(np.median(self._e2e)) if self._e2e else 0.0,
+            decoding_only_stage_ratio=1.0 - self._stages_mixed / self._stages_total,
+            energy_per_token_j=total_energy / self._tokens if self._tokens else 0.0,
+            energy_by_component=dict(self._energy_by_component),
+            requests_completed=self._requests_completed,
+            effective_batch=self.effective_batch,
+        )

@@ -1,0 +1,240 @@
+"""KV-cache migration and recomputation (Section VIII-C / PagedAttention).
+
+When the KV cache outgrows device memory, a serving system can *evict* an
+ongoing request: either **migrate** its KV to host memory over the host link
+(and bring it back before the request resumes) or **recompute** — drop the
+KV and replay the prefill when the request resumes.  The paper notes these
+policies are complementary to Duplex; this module provides the capacity
+manager that prices them so schedulers can admit beyond device capacity.
+
+Design: the manager accounts *tokens* (the KV unit everything else in this
+library uses), charges migration traffic on a PCIe-class host link, and
+reports recompute debt in tokens so the caller — who owns the executor —
+can price the replayed prefill with the same model it prices everything
+else.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, ConfigError, SchedulingError
+from repro.units import GB_PER_S, US
+
+
+@dataclass(frozen=True)
+class HostLink:
+    """The device-to-host path (PCIe Gen5 x16-class by default).
+
+    Attributes:
+        bandwidth: bytes/s per direction.
+        latency_s: per-transfer setup latency.
+    """
+
+    bandwidth: float = 64 * GB_PER_S
+    latency_s: float = 10 * US
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigError("host link bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ConfigError("host link latency must be non-negative")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """One direction of a KV transfer."""
+        if nbytes < 0:
+            raise ConfigError("transfer size must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return nbytes / self.bandwidth + self.latency_s
+
+
+class EvictionPolicy(enum.Enum):
+    """What happens to an evicted request's KV (Section VIII-C)."""
+
+    MIGRATE = "migrate"  # KV moves to host memory and back
+    RECOMPUTE = "recompute"  # KV is dropped and the prefill replayed
+
+
+@dataclass(frozen=True)
+class EvictionOutcome:
+    """Cost of one eviction or resume step.
+
+    Attributes:
+        request_id: the affected request.
+        tokens: cached tokens involved.
+        transfer_time_s: host-link time (migration only).
+        recompute_tokens: prefill tokens the caller must replay (resume
+            under the recompute policy only).
+    """
+
+    request_id: int
+    tokens: int
+    transfer_time_s: float = 0.0
+    recompute_tokens: int = 0
+
+
+@dataclass
+class PagingStats:
+    """Aggregate paging activity."""
+
+    evictions: int = 0
+    resumes: int = 0
+    migrated_out_bytes: float = 0.0
+    migrated_in_bytes: float = 0.0
+    recomputed_tokens: int = 0
+    host_link_time_s: float = 0.0
+
+
+class PagedKvManager:
+    """Token-level KV capacity manager with host-memory spill.
+
+    Args:
+        capacity_tokens: cached tokens that fit on the devices.
+        kv_bytes_per_token: device-wide KV footprint of one token.
+        policy: what eviction does with the KV.
+        link: host link used for migration.
+        host_capacity_tokens: host-side KV budget (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        capacity_tokens: int,
+        kv_bytes_per_token: float,
+        policy: EvictionPolicy = EvictionPolicy.MIGRATE,
+        link: HostLink | None = None,
+        host_capacity_tokens: int | None = None,
+    ) -> None:
+        if capacity_tokens < 1:
+            raise ConfigError("capacity must be at least one token")
+        if kv_bytes_per_token <= 0:
+            raise ConfigError("kv_bytes_per_token must be positive")
+        self.capacity_tokens = capacity_tokens
+        self.kv_bytes_per_token = kv_bytes_per_token
+        self.policy = policy
+        self.link = link or HostLink()
+        self.host_capacity_tokens = host_capacity_tokens
+        self.stats = PagingStats()
+        self._resident: dict[int, int] = {}  # request id -> reserved tokens
+        self._evicted: dict[int, int] = {}  # request id -> reserved tokens
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    @property
+    def resident_tokens(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def evicted_tokens(self) -> int:
+        return sum(self._evicted.values())
+
+    def can_admit(self, tokens: int) -> bool:
+        """Whether ``tokens`` fit right now without eviction."""
+        return self.resident_tokens + tokens <= self.capacity_tokens
+
+    def admit(self, request_id: int, tokens: int) -> None:
+        """Reserve device KV for a request (must fit — evict first if not)."""
+        if tokens < 1:
+            raise ConfigError("a request reserves at least one token")
+        if tokens > self.capacity_tokens:
+            raise CapacityError(
+                f"request {request_id} needs {tokens} tokens; device holds "
+                f"{self.capacity_tokens}"
+            )
+        if request_id in self._resident or request_id in self._evicted:
+            raise SchedulingError(f"request {request_id} already tracked")
+        if not self.can_admit(tokens):
+            raise CapacityError(
+                f"request {request_id} does not fit; evict {tokens - (self.capacity_tokens - self.resident_tokens)} tokens first"
+            )
+        self._resident[request_id] = tokens
+
+    def release(self, request_id: int) -> None:
+        """A request finished: free its device KV."""
+        if request_id not in self._resident:
+            raise SchedulingError(f"request {request_id} is not resident")
+        del self._resident[request_id]
+
+    # ------------------------------------------------------------------
+    # eviction / resume
+    # ------------------------------------------------------------------
+    def evict(self, request_id: int, cached_tokens: int) -> EvictionOutcome:
+        """Evict a resident request; returns the immediate cost.
+
+        Args:
+            request_id: the victim.
+            cached_tokens: tokens actually cached so far (what must move or
+                be recomputed — at most the reservation).
+        """
+        if request_id not in self._resident:
+            raise SchedulingError(f"request {request_id} is not resident")
+        reservation = self._resident.pop(request_id)
+        if cached_tokens < 0 or cached_tokens > reservation:
+            raise ConfigError("cached tokens must be within the reservation")
+        if (
+            self.host_capacity_tokens is not None
+            and self.policy is EvictionPolicy.MIGRATE
+            and self.evicted_tokens + reservation > self.host_capacity_tokens
+        ):
+            raise CapacityError("host memory cannot hold another evicted request")
+        self._evicted[request_id] = reservation
+        self.stats.evictions += 1
+        if self.policy is EvictionPolicy.RECOMPUTE:
+            return EvictionOutcome(request_id=request_id, tokens=cached_tokens)
+        nbytes = cached_tokens * self.kv_bytes_per_token
+        time = self.link.transfer_time(nbytes)
+        self.stats.migrated_out_bytes += nbytes
+        self.stats.host_link_time_s += time
+        return EvictionOutcome(request_id=request_id, tokens=cached_tokens, transfer_time_s=time)
+
+    def resume(self, request_id: int, cached_tokens: int) -> EvictionOutcome:
+        """Bring an evicted request back; must fit (evict others first).
+
+        Under MIGRATE the KV streams back over the host link; under
+        RECOMPUTE the returned outcome carries the prefill tokens the
+        caller must replay through its executor.
+        """
+        if request_id not in self._evicted:
+            raise SchedulingError(f"request {request_id} is not evicted")
+        reservation = self._evicted[request_id]
+        if self.resident_tokens + reservation > self.capacity_tokens:
+            raise CapacityError(f"no room to resume request {request_id}")
+        del self._evicted[request_id]
+        self._resident[request_id] = reservation
+        self.stats.resumes += 1
+        if self.policy is EvictionPolicy.RECOMPUTE:
+            self.stats.recomputed_tokens += cached_tokens
+            return EvictionOutcome(
+                request_id=request_id, tokens=cached_tokens, recompute_tokens=cached_tokens
+            )
+        nbytes = cached_tokens * self.kv_bytes_per_token
+        time = self.link.transfer_time(nbytes)
+        self.stats.migrated_in_bytes += nbytes
+        self.stats.host_link_time_s += time
+        return EvictionOutcome(request_id=request_id, tokens=cached_tokens, transfer_time_s=time)
+
+    # ------------------------------------------------------------------
+    # victim selection
+    # ------------------------------------------------------------------
+    def pick_victims(self, needed_tokens: int) -> list[int]:
+        """Smallest set of resident requests freeing ``needed_tokens``.
+
+        Evicts largest reservations first (fewest victims, PagedAttention's
+        all-or-nothing per request granularity).
+        """
+        if needed_tokens < 1:
+            raise ConfigError("needed tokens must be positive")
+        free = self.capacity_tokens - self.resident_tokens
+        victims: list[int] = []
+        for request_id, reservation in sorted(
+            self._resident.items(), key=lambda item: item[1], reverse=True
+        ):
+            if free >= needed_tokens:
+                break
+            victims.append(request_id)
+            free += reservation
+        if free < needed_tokens:
+            raise CapacityError("evicting every request still cannot free enough KV")
+        return victims

@@ -1,0 +1,108 @@
+"""The inference-request lifecycle.
+
+A request arrives with an input of ``input_len`` tokens, is admitted to a
+batch, runs one prefill stage (producing its first token), then ``output_len
+- 1`` decoding stages.  The timestamps recorded along the way yield the
+paper's three latency metrics: T2FT (arrival to first token), TBT (between
+consecutive tokens), and E2E (arrival to completion) — Fig. 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, SchedulingError
+
+
+class RequestState(enum.Enum):
+    QUEUED = "queued"
+    PREFILLING = "prefilling"
+    DECODING = "decoding"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One inference request.
+
+    Attributes:
+        request_id: unique id.
+        arrival_time_s: when the request entered the system.
+        input_len: prompt tokens (Lin).
+        output_len: tokens to generate (Lout).
+    """
+
+    request_id: int
+    arrival_time_s: float
+    input_len: int
+    output_len: int
+    state: RequestState = RequestState.QUEUED
+    context_len: int = 0
+    tokens_generated: int = 0
+    first_token_time_s: float | None = field(default=None, repr=False)
+    completion_time_s: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.input_len < 1 or self.output_len < 1:
+            raise ConfigError("requests need at least one input and one output token")
+        if self.arrival_time_s < 0:
+            raise ConfigError("arrival time must be non-negative")
+
+    # ------------------------------------------------------------------
+    # lifecycle transitions
+    # ------------------------------------------------------------------
+    def start_prefill(self) -> None:
+        if self.state is not RequestState.QUEUED:
+            raise SchedulingError(f"request {self.request_id}: prefill from {self.state}")
+        self.state = RequestState.PREFILLING
+
+    def finish_prefill(self, now_s: float) -> None:
+        """The prefill stage produced the first output token."""
+        if self.state is not RequestState.PREFILLING:
+            raise SchedulingError(f"request {self.request_id}: finish_prefill from {self.state}")
+        self.state = RequestState.DECODING
+        self.context_len = self.input_len
+        self.tokens_generated = 1
+        self.first_token_time_s = now_s
+        if self.is_complete:
+            self.finish(now_s)
+
+    def advance_decode(self, now_s: float) -> None:
+        """One decoding stage produced one more token."""
+        if self.state is not RequestState.DECODING:
+            raise SchedulingError(f"request {self.request_id}: decode from {self.state}")
+        self.context_len += 1
+        self.tokens_generated += 1
+        if self.is_complete:
+            self.finish(now_s)
+
+    def finish(self, now_s: float) -> None:
+        self.state = RequestState.FINISHED
+        self.completion_time_s = now_s
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def is_complete(self) -> bool:
+        return self.tokens_generated >= self.output_len
+
+    @property
+    def total_seq_len(self) -> int:
+        """Worst-case cached tokens (what capacity is reserved for)."""
+        return self.input_len + self.output_len
+
+    @property
+    def t2ft_s(self) -> float:
+        """Time to first token (requires the first token to exist)."""
+        if self.first_token_time_s is None:
+            raise SchedulingError(f"request {self.request_id} has no first token yet")
+        return self.first_token_time_s - self.arrival_time_s
+
+    @property
+    def e2e_s(self) -> float:
+        """End-to-end latency (requires completion)."""
+        if self.completion_time_s is None:
+            raise SchedulingError(f"request {self.request_id} is not finished")
+        return self.completion_time_s - self.arrival_time_s

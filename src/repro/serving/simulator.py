@@ -1,0 +1,159 @@
+"""The serving simulator: scheduler + stage executor + metrics.
+
+Advances in stages (the unit of continuous batching), not cycles: the
+scheduler describes each stage's composition, the
+:class:`~repro.core.executor.StageExecutor` prices it, and the clock jumps
+by the stage latency.  Open-loop (Poisson) workloads can leave the system
+idle, in which case time advances to the next arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.executor import StageExecutor
+from repro.core.system import SystemConfig
+from repro.errors import CapacityError, ConfigError
+from repro.models.config import ModelConfig
+from repro.serving.generator import RequestGenerator, WorkloadSpec
+from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.request import Request, RequestState
+
+
+@dataclass(frozen=True)
+class SimulationLimits:
+    """When a simulation stops and what it measures.
+
+    Attributes:
+        max_stages: hard stage budget (post warm-up).
+        warmup_stages: stages executed but not recorded.
+        target_completions: stop once this many requests finish in the
+            measured window (None = run out the stage budget).
+        max_sim_time_s: stop once the simulated clock passes this.
+    """
+
+    max_stages: int = 2000
+    warmup_stages: int = 16
+    target_completions: int | None = None
+    max_sim_time_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_stages < 1:
+            raise ConfigError("max_stages must be positive")
+        if self.warmup_stages < 0:
+            raise ConfigError("warmup_stages must be non-negative")
+
+
+class ServingSimulator:
+    """Simulates one system serving one model under one workload.
+
+    Args:
+        system: system configuration.
+        model: model being served.
+        workload: synthetic workload spec.
+        max_batch: requested batch size; the effective batch is capped by
+            KV capacity (the paper's starred bars).
+        seed: RNG seed shared by the generator and gating.
+        warm_start: start closed-loop runs from the staggered steady state.
+        gating_skew: expert routing skew (Section VIII-B).
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        model: ModelConfig,
+        workload: WorkloadSpec,
+        max_batch: int = 32,
+        seed: int | None = 0,
+        warm_start: bool | None = None,
+        gating_skew: float = 0.0,
+    ) -> None:
+        self.system = system
+        self.model = model
+        self.workload = workload
+        self.executor = StageExecutor(system, model, gating_skew=gating_skew, seed=seed)
+        self.generator = RequestGenerator(workload, seed=seed)
+        worst_seq = int(
+            workload.lin_mean * (1 + 3 * workload.lin_cv)
+            + workload.lout_mean * (1 + 3 * workload.lout_cv)
+        )
+        self.effective_batch = min(max_batch, system.max_batch_for(model, worst_seq))
+        if self.effective_batch < 1:
+            raise CapacityError(
+                f"{system.name} cannot hold even one ({workload.lin_mean}, "
+                f"{workload.lout_mean}) request for {model.name}"
+            )
+        capacity_tokens = system.max_resident_kv_tokens(model)
+        self.scheduler = ContinuousBatchingScheduler(
+            self.generator, self.effective_batch, capacity_tokens
+        )
+        self.warm_start = workload.closed_loop if warm_start is None else warm_start
+        self._synthetic_ids: set[int] = set()
+
+    def run(self, limits: SimulationLimits | None = None) -> ServingReport:
+        """Run to the limits and return the measured report."""
+        limits = limits or SimulationLimits()
+        metrics = MetricsCollector()
+        metrics.effective_batch = self.effective_batch
+
+        if self.warm_start:
+            synthetic = self.scheduler.warm_start(self.effective_batch)
+            self._synthetic_ids = {r.request_id for r in synthetic}
+
+        completions = 0
+        stage_index = 0
+        measured_stages = 0
+        total_budget = limits.warmup_stages + limits.max_stages
+        while measured_stages < limits.max_stages:
+            if stage_index >= total_budget:
+                break
+            workload = self.scheduler.build_stage()
+            if workload is None:
+                # Idle: jump to the next arrival.
+                next_arrival = self.generator.peek_arrival()
+                gap = next_arrival - self.scheduler.now_s
+                if gap > 0:
+                    if stage_index >= limits.warmup_stages:
+                        metrics.record_idle(gap)
+                    self.scheduler.now_s = next_arrival
+                continue
+            prefilling = [
+                r for r in self.scheduler.running if r.state is RequestState.PREFILLING
+            ]
+            result = self.executor.run_stage(workload)
+            finished = self.scheduler.complete_stage(result.latency_s)
+            stage_index += 1
+            if stage_index > limits.warmup_stages:
+                measured_stages += 1
+                metrics.record_stage(
+                    latency_s=result.latency_s,
+                    is_mixed=result.is_mixed,
+                    decode_tokens=workload.n_decode,
+                    total_tokens_generated=result.tokens_generated,
+                    dram_energy=result.dram_energy_by_category,
+                    compute_energy=result.compute_energy_by_category,
+                    comm_energy_j=result.comm_energy_j,
+                )
+                for request in prefilling:
+                    if request.request_id not in self._synthetic_ids:
+                        metrics.record_first_token(request.t2ft_s)
+                completions += self._record_completions(metrics, finished)
+                if limits.target_completions is not None and completions >= limits.target_completions:
+                    break
+                if (
+                    limits.max_sim_time_s is not None
+                    and self.scheduler.now_s >= limits.max_sim_time_s
+                ):
+                    break
+        return metrics.report()
+
+    def _record_completions(self, metrics: MetricsCollector, finished: list[Request]) -> int:
+        counted = 0
+        for request in finished:
+            if request.request_id in self._synthetic_ids:
+                self._synthetic_ids.discard(request.request_id)
+                continue
+            metrics.record_completion(request.e2e_s)
+            counted += 1
+        return counted

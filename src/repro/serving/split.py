@@ -1,0 +1,185 @@
+"""Split prefill/decode serving (Section VIII-A, Fig. 16).
+
+Splitwise-style deployment: half the devices form a *prefill partition*,
+half a *decode partition*; each holds the **full** model (that duplication
+is the capacity cost the paper calls out).  New requests prefill on the
+prefill partition, their KV is shipped over NVLink, and they join the
+decode partition's continuous batch — which therefore only ever runs
+decoding-only stages (the latency benefit: no mixed-stage tail).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.executor import StageExecutor, StageWorkload
+from repro.core.system import SystemConfig, default_topology, duplex_system
+from repro.errors import CapacityError, ConfigError
+from repro.models.config import ModelConfig
+from repro.parallel.collectives import CollectiveModel
+from repro.parallel.topology import ClusterTopology
+from repro.serving.generator import RequestGenerator, WorkloadSpec
+from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.request import Request, RequestState
+from repro.serving.simulator import SimulationLimits
+
+
+def split_partitions(model: ModelConfig) -> tuple[SystemConfig, SystemConfig]:
+    """Build the two half-size Duplex partitions of a split deployment."""
+    topology = default_topology(model)
+    if topology.spans_nodes:
+        raise ConfigError("the split comparison is defined within one node")
+    half = topology.devices_per_node // 2
+    if half < 1:
+        raise ConfigError("splitting needs at least two devices")
+    half_topology = ClusterTopology(1, half)
+    prefill = replace(
+        duplex_system(model, co_processing=True, topology=half_topology),
+        name="Duplex-Split/prefill",
+    )
+    decode = replace(
+        duplex_system(model, co_processing=True, topology=half_topology),
+        name="Duplex-Split/decode",
+    )
+    return prefill, decode
+
+
+class SplitServingSimulator:
+    """Simulates a split prefill/decode deployment.
+
+    Args:
+        model: model being served.
+        workload: synthetic workload spec (closed loop).
+        max_batch: decode-partition batch-size request; capped by the decode
+            partition's (duplication-reduced) KV capacity.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        workload: WorkloadSpec,
+        max_batch: int = 128,
+        seed: int | None = 0,
+    ) -> None:
+        self.model = model
+        self.workload = workload
+        prefill_system, decode_system = split_partitions(model)
+        self.prefill_system = prefill_system
+        self.decode_system = decode_system
+        self.prefill_executor = StageExecutor(prefill_system, model, seed=seed)
+        self.decode_executor = StageExecutor(decode_system, model, seed=seed)
+        self.generator = RequestGenerator(workload, seed=seed)
+        self._collectives = CollectiveModel(decode_system.topology)
+        worst_seq = int(
+            workload.lin_mean * (1 + 3 * workload.lin_cv)
+            + workload.lout_mean * (1 + 3 * workload.lout_cv)
+        )
+        self.effective_batch = min(max_batch, decode_system.max_batch_for(model, worst_seq))
+        if self.effective_batch < 1:
+            raise CapacityError(
+                f"split decode partition cannot hold one ({workload.lin_mean}, "
+                f"{workload.lout_mean}) request for {model.name}"
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, limits: SimulationLimits | None = None) -> ServingReport:
+        """Run the two-partition pipeline and report decode-side metrics."""
+        limits = limits or SimulationLimits()
+        metrics = MetricsCollector()
+        metrics.effective_batch = self.effective_batch
+
+        now = 0.0
+        prefill_free = 0.0
+        ready_heap: list[tuple[float, int, Request]] = []  # (ready time, id, request)
+        batch: list[Request] = []
+        stage_index = 0
+        measured = 0
+        completions = 0
+        tie = 0
+
+        def dispatch_prefills() -> None:
+            """Send queued arrivals through the prefill partition."""
+            nonlocal prefill_free, tie
+            in_flight = len(batch) + len(ready_heap)
+            pending: list[Request] = []
+            while in_flight + len(pending) < self.effective_batch and self.generator.has_request_at(
+                now
+            ):
+                pending.append(self.generator.take(now))
+            if not pending:
+                return
+            start = max(now, prefill_free)
+            stage = StageWorkload(
+                decode_context_lengths=np.asarray([], dtype=np.int64),
+                prefill_lengths=tuple(r.input_len for r in pending),
+            )
+            result = self.prefill_executor.run_stage(stage)
+            prefill_free = start + result.latency_s
+            if stage_index >= limits.warmup_stages:
+                metrics.record_stage(
+                    latency_s=result.latency_s,
+                    is_mixed=True,
+                    decode_tokens=0,
+                    total_tokens_generated=len(pending),
+                    dram_energy=result.dram_energy_by_category,
+                    compute_energy=result.compute_energy_by_category,
+                    comm_energy_j=result.comm_energy_j,
+                )
+            for request in pending:
+                request.start_prefill()
+                request.finish_prefill(prefill_free)
+                if stage_index >= limits.warmup_stages:
+                    metrics.record_first_token(request.t2ft_s)
+                if request.state is RequestState.FINISHED:
+                    continue  # single-token output: done at prefill
+                kv_bytes = request.input_len * self.model.kv_bytes_per_token
+                transfer = self._collectives.point_to_point_time(kv_bytes)
+                heapq.heappush(ready_heap, (prefill_free + transfer, tie, request))
+                tie += 1
+
+        while measured < limits.max_stages:
+            if stage_index >= limits.warmup_stages + limits.max_stages:
+                break
+            dispatch_prefills()
+            while ready_heap and ready_heap[0][0] <= now:
+                batch.append(heapq.heappop(ready_heap)[2])
+            if not batch:
+                if ready_heap:
+                    now = max(now, ready_heap[0][0])
+                    continue
+                # Nothing anywhere: closed-loop should never get here.
+                now = max(now, prefill_free)
+                continue
+            stage = StageWorkload(
+                decode_context_lengths=np.asarray([r.context_len for r in batch], dtype=np.int64)
+            )
+            result = self.decode_executor.run_stage(stage)
+            now += result.latency_s
+            stage_index += 1
+            finished: list[Request] = []
+            for request in batch:
+                request.advance_decode(now)
+                if request.state is RequestState.FINISHED:
+                    finished.append(request)
+            batch = [r for r in batch if r.state is not RequestState.FINISHED]
+            if stage_index > limits.warmup_stages:
+                measured += 1
+                metrics.record_stage(
+                    latency_s=result.latency_s,
+                    is_mixed=False,
+                    decode_tokens=stage.n_decode,
+                    total_tokens_generated=stage.n_decode,
+                    dram_energy=result.dram_energy_by_category,
+                    compute_energy=result.compute_energy_by_category,
+                    comm_energy_j=result.comm_energy_j,
+                )
+                for request in finished:
+                    metrics.record_completion(request.e2e_s)
+                    completions += 1
+                if limits.target_completions is not None and completions >= limits.target_completions:
+                    break
+        return metrics.report()

@@ -1,0 +1,68 @@
+"""Unit constants and conversion helpers.
+
+All quantities in the library use SI base units internally: seconds, bytes,
+FLOPs, joules.  These constants make call sites read like the paper
+("``900 * GB_PER_S``", "``21.3 * TFLOPS``") without ad-hoc powers of ten.
+
+Bandwidths follow storage-industry convention (decimal: 1 GB = 1e9 bytes);
+capacities follow memory-industry convention (binary: 1 GiB = 2**30 bytes).
+HBM stack capacities in the paper ("16 GB per stack") are binary, matching
+how DRAM is sold, so :data:`GiB` is the right constant for them.
+"""
+
+from __future__ import annotations
+
+# --- time ---------------------------------------------------------------
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+# --- capacity (binary, for DRAM/SRAM sizes) ------------------------------
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+
+# --- capacity (decimal, for link payloads) -------------------------------
+KB = 1e3
+MB = 1e6
+GB = 1e9
+
+# --- bandwidth (decimal) --------------------------------------------------
+GB_PER_S = 1e9
+TB_PER_S = 1e12
+
+# --- compute ---------------------------------------------------------------
+GFLOPS = 1e9
+TFLOPS = 1e12
+
+# --- energy ----------------------------------------------------------------
+PJ = 1e-12
+NJ = 1e-9
+UJ = 1e-6
+MJ = 1e-3
+
+# --- frequency --------------------------------------------------------------
+MHZ = 1e6
+GHZ = 1e9
+
+# --- data types --------------------------------------------------------------
+FP16_BYTES = 2
+FP32_BYTES = 4
+
+
+def bits(byte_count: float) -> float:
+    """Return the number of bits in ``byte_count`` bytes."""
+    return byte_count * 8.0
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds (for report formatting)."""
+    return seconds / MS
+
+
+def tokens_per_second(tokens: float, seconds: float) -> float:
+    """Throughput helper; returns 0 for a zero-length interval."""
+    if seconds <= 0.0:
+        return 0.0
+    return tokens / seconds

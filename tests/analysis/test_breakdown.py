@@ -1,0 +1,59 @@
+"""Tests for representative-stage breakdowns."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    representative_stage,
+    stage_energy_breakdown,
+    stage_time_shares,
+)
+from repro.core.system import duplex_system, gpu_system
+from repro.errors import ConfigError
+from repro.models.config import mixtral
+from repro.models.ops import OpCategory
+
+
+class TestRepresentativeStage:
+    def test_decode_stage_shape(self):
+        stage = representative_stage(batch=32, lin=2048, lout=1024, mixed=False)
+        assert stage.n_decode == 32
+        assert not stage.is_mixed
+        assert int(stage.decode_context_lengths[0]) == 2048 + 512
+
+    def test_mixed_stage_swaps_one_decode(self):
+        stage = representative_stage(batch=32, lin=2048, lout=1024, mixed=True)
+        assert stage.n_decode == 31
+        assert stage.prefill_lengths == (2048,)
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            representative_stage(batch=0, lin=128, lout=128, mixed=False)
+
+
+class TestTimeShares:
+    def test_shares_sum_to_one(self):
+        shares = stage_time_shares(gpu_system(mixtral()), mixtral(), 32, 2048, 1024, False)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_moe_dominates_gpu_decode(self):
+        shares = stage_time_shares(gpu_system(mixtral()), mixtral(), 32, 2048, 1024, False)
+        assert shares[OpCategory.MOE] > 0.5
+
+    def test_mixed_stage_has_prefill_attention(self):
+        shares = stage_time_shares(gpu_system(mixtral()), mixtral(), 32, 2048, 1024, True)
+        assert shares.get(OpCategory.ATTENTION_PREFILL, 0.0) > 0
+
+
+class TestEnergyBreakdown:
+    def test_components_cover_total(self):
+        result, split = stage_energy_breakdown(
+            gpu_system(mixtral()), mixtral(), 32, 1024, 1024, False
+        )
+        assert sum(split.values()) == pytest.approx(result.energy_j)
+
+    def test_duplex_cuts_moe_dram_energy(self):
+        _, gpu = stage_energy_breakdown(gpu_system(mixtral()), mixtral(), 32, 1024, 1024, False)
+        _, duplex = stage_energy_breakdown(
+            duplex_system(mixtral()), mixtral(), 32, 1024, 1024, False
+        )
+        assert duplex["moe:dram"] < 0.75 * gpu["moe:dram"]

@@ -1,0 +1,68 @@
+"""Tests for the EDAP study."""
+
+import pytest
+
+from repro.analysis.edap import best_architecture, edap_study
+from repro.errors import ConfigError
+from repro.hardware.processor import UnitKind
+
+
+@pytest.fixture(scope="module")
+def study():
+    return edap_study()
+
+
+class TestStudyStructure:
+    def test_all_opbs_present(self, study):
+        assert sorted(study) == [1, 2, 4, 8, 16, 32]
+
+    def test_three_architectures_per_column(self, study):
+        for points in study.values():
+            assert {p.kind for p in points} == {
+                UnitKind.BANK_PIM,
+                UnitKind.BANKGROUP_PIM,
+                UnitKind.LOGIC_PIM,
+            }
+
+    def test_normalized_max_is_one(self, study):
+        for points in study.values():
+            assert max(p.normalized for p in points) == pytest.approx(1.0)
+
+    def test_edap_is_product(self, study):
+        for points in study.values():
+            for p in points:
+                assert p.edap == pytest.approx(p.energy_j * p.delay_s * p.area_mm2)
+
+
+class TestPaperShape:
+    def test_bank_pim_best_at_low_opb(self, study):
+        for opb in (1, 2, 4):
+            assert best_architecture(study[opb]) is UnitKind.BANK_PIM
+
+    def test_logic_pim_best_from_eight(self, study):
+        for opb in (8, 16, 32):
+            assert best_architecture(study[opb]) is UnitKind.LOGIC_PIM
+
+    def test_bankgroup_never_beats_logic(self, study):
+        for points in study.values():
+            values = {p.kind: p.edap for p in points}
+            assert values[UnitKind.BANKGROUP_PIM] >= values[UnitKind.LOGIC_PIM]
+
+    def test_bank_pim_delay_grows_linearly_beyond_ridge(self, study):
+        d8 = next(p for p in study[8] if p.kind is UnitKind.BANK_PIM).delay_s
+        d32 = next(p for p in study[32] if p.kind is UnitKind.BANK_PIM).delay_s
+        assert d32 == pytest.approx(4 * d8, rel=0.1)
+
+
+class TestValidation:
+    def test_empty_opbs_rejected(self):
+        with pytest.raises(ConfigError):
+            edap_study(opbs=())
+
+    def test_zero_opb_rejected(self):
+        with pytest.raises(ConfigError):
+            edap_study(opbs=(0,))
+
+    def test_best_of_nothing_rejected(self):
+        with pytest.raises(ConfigError):
+            best_architecture([])

@@ -1,0 +1,53 @@
+"""Tests for table rendering and normalisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.report import format_table, normalize
+from repro.errors import ConfigError
+
+
+class TestNormalize:
+    def test_default_baseline_is_first(self):
+        assert normalize([2.0, 4.0, 8.0]) == [1.0, 2.0, 4.0]
+
+    def test_explicit_baseline(self):
+        assert normalize([2.0, 4.0], baseline=4.0) == [0.5, 1.0]
+
+    def test_empty_ok(self):
+        assert normalize([]) == []
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigError):
+            normalize([0.0, 1.0])
+
+    @given(values=st.lists(st.floats(0.1, 1e6), min_size=1, max_size=20))
+    def test_first_is_always_one(self, values):
+        assert normalize(values)[0] == pytest.approx(1.0)
+
+
+class TestFormatTable:
+    def test_headers_and_rows_render(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [[1], [22], [333]])
+        rows = text.splitlines()[2:]
+        assert all(len(row) == len(rows[0]) for row in rows)
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ConfigError):
+            format_table(["a", "b"], [[1]])
+
+    def test_floats_formatted_to_three_decimals(self):
+        text = format_table(["v"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_large_floats_one_decimal(self):
+        text = format_table(["v"], [[12345.678]])
+        assert "12345.7" in text

@@ -1,0 +1,53 @@
+"""Tests for Fig. 4(b) roofline data."""
+
+import pytest
+
+from repro.analysis.roofline import decode_stage_roofline
+from repro.hardware.specs import h100_xpu
+from repro.models.config import glam, llama3_70b, mixtral
+
+
+@pytest.fixture(scope="module")
+def mixtral_points():
+    return {p.label: p for p in decode_stage_roofline(mixtral())}
+
+
+class TestAttentionSeries:
+    def test_opb_pinned_at_group_degree(self, mixtral_points):
+        for batch in (32, 64, 128):
+            point = mixtral_points[f"Attention @ batch {batch}"]
+            assert point.opb == pytest.approx(mixtral().group_degree, rel=0.2)
+
+    def test_mha_attention_opb_near_one(self):
+        points = {p.label: p for p in decode_stage_roofline(glam())}
+        assert points["Attention @ batch 64"].opb == pytest.approx(1.0, rel=0.2)
+
+    def test_attention_always_memory_bound(self, mixtral_points):
+        for batch in (32, 64, 128):
+            assert mixtral_points[f"Attention @ batch {batch}"].memory_bound
+
+
+class TestMoESeries:
+    def test_moe_opb_grows_with_batch(self, mixtral_points):
+        opbs = [mixtral_points[f"MoE @ batch {b}"].opb for b in (32, 64, 128)]
+        assert opbs == sorted(opbs)
+        assert opbs[0] > 1.0
+
+    def test_moe_utilization_low(self, mixtral_points):
+        # Section III: compute utilisation under 11% for the MoE layer.
+        unit = h100_xpu()
+        for batch in (32, 64, 128):
+            point = mixtral_points[f"MoE @ batch {batch}"]
+            assert point.achieved_tflops * 1e12 / unit.peak_flops < 0.11
+
+
+class TestFcSeries:
+    def test_fc_opb_scales_with_batch(self, mixtral_points):
+        small = mixtral_points["FC @ batch 32"].opb
+        large = mixtral_points["FC @ batch 128"].opb
+        assert large > 2.5 * small
+
+    def test_dense_model_has_ffn_series(self):
+        points = {p.label for p in decode_stage_roofline(llama3_70b())}
+        assert "FFN @ batch 64" in points
+        assert not any(label.startswith("MoE") for label in points)

@@ -1,0 +1,60 @@
+"""Tests for device models."""
+
+import pytest
+
+from repro.core.device import (
+    DeviceModel,
+    bank_pim_duplex_device,
+    duplex_device,
+    gpu_device,
+    pim_only_device,
+)
+from repro.errors import ConfigError
+from repro.units import GiB
+
+
+class TestFactories:
+    def test_gpu_has_no_pim(self):
+        device = gpu_device()
+        assert device.pim is None
+        assert device.xpu is not None
+
+    def test_duplex_has_both_units(self):
+        device = duplex_device()
+        assert device.supports_coprocessing
+
+    def test_bank_pim_uses_in_bank_unit(self):
+        device = bank_pim_duplex_device()
+        assert device.pim is not None
+        assert "Bank-PIM" in device.pim.name
+
+    def test_pim_only_has_no_xpu(self):
+        device = pim_only_device()
+        assert device.xpu is None
+        assert not device.supports_coprocessing
+
+    def test_default_capacity_is_80_gib(self):
+        assert gpu_device().hbm_capacity_bytes == 80 * GiB
+
+
+class TestAccessors:
+    def test_require_xpu_on_gpu(self):
+        assert gpu_device().require_xpu() is gpu_device().xpu or True  # does not raise
+
+    def test_require_pim_on_gpu_raises(self):
+        with pytest.raises(ConfigError):
+            gpu_device().require_pim()
+
+    def test_require_xpu_on_pim_only_raises(self):
+        with pytest.raises(ConfigError):
+            pim_only_device().require_xpu()
+
+
+class TestValidation:
+    def test_rejects_unitless_device(self):
+        with pytest.raises(ConfigError):
+            DeviceModel(name="empty", xpu=None, pim=None)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            DeviceModel(name="bad", xpu=gpu_device().xpu, pim=None, hbm_capacity_bytes=0)

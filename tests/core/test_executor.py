@@ -1,0 +1,210 @@
+"""Tests for the stage executor — the paper's headline effects in miniature.
+
+These tests check *shapes*, not absolute numbers: Duplex beats GPU on
+decoding-only stages, the hetero system collapses on mixed stages, MoE
+dominates GPU decode time, energy falls on Duplex, and so on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import StageExecutor, StageResult, StageWorkload
+from repro.core.system import (
+    bank_pim_system,
+    duplex_system,
+    gpu_system,
+    hetero_system,
+)
+from repro.errors import ConfigError
+from repro.models.config import glam, grok1, llama3_70b, mixtral, opt_66b
+from repro.models.ops import OpCategory
+
+
+def decode_stage(batch=32, ctx=3000):
+    return StageWorkload(decode_context_lengths=np.full(batch, ctx))
+
+def mixed_stage(batch=31, ctx=3000, lin=2048):
+    return StageWorkload(decode_context_lengths=np.full(batch, ctx), prefill_lengths=(lin,))
+
+
+@pytest.fixture(scope="module")
+def gpu_exec():
+    return StageExecutor(gpu_system(mixtral()), mixtral(), seed=0)
+
+
+@pytest.fixture(scope="module")
+def duplex_exec():
+    return StageExecutor(duplex_system(mixtral()), mixtral(), seed=0)
+
+
+@pytest.fixture(scope="module")
+def duplex_pe_et_exec():
+    return StageExecutor(
+        duplex_system(mixtral(), co_processing=True, expert_tensor_parallel=True),
+        mixtral(),
+        seed=0,
+    )
+
+
+class TestWorkload:
+    def test_mixed_detection(self):
+        assert mixed_stage().is_mixed
+        assert not decode_stage().is_mixed
+
+    def test_token_accounting(self):
+        stage = mixed_stage(batch=31, lin=2048)
+        assert stage.total_tokens == 31 + 2048
+        assert stage.n_requests == 32
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ConfigError):
+            StageWorkload(decode_context_lengths=np.array([]))
+
+    def test_negative_context_rejected(self):
+        with pytest.raises(ConfigError):
+            StageWorkload(decode_context_lengths=np.array([-1]))
+
+    def test_zero_prefill_rejected(self):
+        with pytest.raises(ConfigError):
+            StageWorkload(decode_context_lengths=np.array([5]), prefill_lengths=(0,))
+
+
+class TestGpuBaseline:
+    def test_moe_dominates_decode(self, gpu_exec):
+        # Fig. 4(a): MoE is the largest share of GPU decode time.
+        result = gpu_exec.run_stage(decode_stage())
+        moe = result.busy_time(OpCategory.MOE)
+        assert moe > 0.5 * result.latency_s
+
+    def test_mixed_slower_than_decode(self, gpu_exec):
+        assert gpu_exec.run_stage(mixed_stage()).latency_s > gpu_exec.run_stage(
+            decode_stage()
+        ).latency_s
+
+    def test_longer_context_costs_more(self, gpu_exec):
+        short = gpu_exec.run_stage(decode_stage(ctx=512)).latency_s
+        long = gpu_exec.run_stage(decode_stage(ctx=8000)).latency_s
+        assert long > short
+
+    def test_breakdown_sums_to_latency(self, gpu_exec):
+        # GPU is fully serial: the category times are the latency.
+        result = gpu_exec.run_stage(decode_stage())
+        assert sum(result.time_by_category.values()) == pytest.approx(result.latency_s)
+
+    def test_energy_positive_and_split(self, gpu_exec):
+        result = gpu_exec.run_stage(decode_stage())
+        assert result.energy_j > 0
+        assert result.dram_energy_by_category[OpCategory.MOE] > 0
+        assert result.compute_energy_by_category[OpCategory.FC] > 0
+
+
+class TestDuplexSpeedup:
+    def test_duplex_beats_gpu_on_decode(self, gpu_exec, duplex_exec):
+        gpu = gpu_exec.run_stage(decode_stage()).latency_s
+        duplex = duplex_exec.run_stage(decode_stage()).latency_s
+        assert 2.0 < gpu / duplex < 4.0
+
+    def test_duplex_beats_2xgpu_on_decode(self, duplex_exec):
+        double = StageExecutor(gpu_system(mixtral(), doubled=True), mixtral(), seed=0)
+        assert duplex_exec.run_stage(decode_stage()).latency_s < double.run_stage(
+            decode_stage()
+        ).latency_s
+
+    def test_et_beats_base_duplex_on_decode(self, duplex_exec, duplex_pe_et_exec):
+        base = duplex_exec.run_stage(decode_stage()).latency_s
+        et = duplex_pe_et_exec.run_stage(decode_stage()).latency_s
+        assert 1.0 < base / et < 1.5
+
+    def test_duplex_energy_lower_than_gpu(self, gpu_exec, duplex_exec):
+        gpu = gpu_exec.run_stage(decode_stage()).energy_j
+        duplex = duplex_exec.run_stage(decode_stage()).energy_j
+        assert 0.5 < duplex / gpu < 0.85
+
+    def test_mixed_stage_stays_near_gpu(self, gpu_exec, duplex_pe_et_exec):
+        # The xPU handles mixed-stage MoE; Duplex must not blow up there.
+        gpu = gpu_exec.run_stage(mixed_stage()).latency_s
+        duplex = duplex_pe_et_exec.run_stage(mixed_stage()).latency_s
+        assert duplex < 1.1 * gpu
+
+
+class TestHeteroCollapse:
+    def test_hetero_helps_decode_but_collapses_mixed(self, gpu_exec):
+        hetero = StageExecutor(hetero_system(mixtral()), mixtral(), seed=0)
+        gpu_decode = gpu_exec.run_stage(decode_stage()).latency_s
+        gpu_mixed = gpu_exec.run_stage(mixed_stage()).latency_s
+        het_decode = hetero.run_stage(decode_stage()).latency_s
+        het_mixed = hetero.run_stage(mixed_stage()).latency_s
+        assert het_decode < gpu_decode  # p50 TBT improves (Fig. 5(b))
+        assert het_mixed > 3 * gpu_mixed  # T2FT and tail TBT explode
+
+    def test_hetero_migration_charged(self):
+        hetero = StageExecutor(hetero_system(mixtral()), mixtral(), seed=0)
+        result = hetero.run_stage(mixed_stage())
+        assert result.busy_time(OpCategory.MIGRATION) > 0
+
+
+class TestBankPim:
+    def test_bank_pim_between_gpu_and_duplex_on_moe(self, gpu_exec, duplex_exec):
+        bank = StageExecutor(bank_pim_system(mixtral()), mixtral(), seed=0)
+        gpu = gpu_exec.run_stage(decode_stage(batch=64)).latency_s
+        duplex = duplex_exec.run_stage(decode_stage(batch=64)).latency_s
+        bank_t = bank.run_stage(decode_stage(batch=64)).latency_s
+        assert duplex < bank_t < gpu
+
+    def test_bank_pim_wins_on_mha_decode(self):
+        # OPT (MHA): Op/B ~ 1 suits Bank-PIM better than Logic-PIM (Fig. 14).
+        model = opt_66b()
+        bank = StageExecutor(bank_pim_system(model), model, seed=0)
+        duplex = StageExecutor(duplex_system(model, co_processing=True), model, seed=0)
+        stage = decode_stage(batch=32, ctx=4000)
+        assert bank.run_stage(stage).latency_s < duplex.run_stage(stage).latency_s
+
+    def test_duplex_wins_on_gqa_decode(self):
+        # Llama3 (GQA, deggrp 8): Bank-PIM lacks compute (Fig. 14).
+        model = llama3_70b()
+        bank = StageExecutor(bank_pim_system(model), model, seed=0)
+        duplex = StageExecutor(duplex_system(model, co_processing=True), model, seed=0)
+        stage = decode_stage(batch=64, ctx=4000)
+        assert duplex.run_stage(stage).latency_s < bank.run_stage(stage).latency_s
+
+
+class TestOtherModels:
+    def test_glam_runs_with_alternating_layers(self):
+        model = glam()
+        executor = StageExecutor(gpu_system(model), model, seed=0)
+        result = executor.run_stage(decode_stage(batch=64, ctx=1500))
+        assert result.latency_s > 0
+        assert result.busy_time(OpCategory.MOE) > 0
+        assert result.busy_time(OpCategory.FC) > 0
+
+    def test_grok1_two_nodes(self):
+        model = grok1()
+        executor = StageExecutor(gpu_system(model), model, seed=0)
+        result = executor.run_stage(decode_stage(batch=32, ctx=2000))
+        assert result.latency_s > 0
+        assert result.busy_time(OpCategory.COMMUNICATION) > 0
+
+    def test_dense_model_has_no_moe_time(self):
+        model = llama3_70b()
+        executor = StageExecutor(gpu_system(model), model, seed=0)
+        result = executor.run_stage(decode_stage())
+        assert result.busy_time(OpCategory.MOE) == 0.0
+
+
+class TestDeterminism:
+    def test_deterministic_gating_reproducible(self):
+        model = mixtral()
+        a = StageExecutor(gpu_system(model), model, deterministic_gating=True)
+        b = StageExecutor(gpu_system(model), model, deterministic_gating=True)
+        assert a.run_stage(decode_stage()).latency_s == b.run_stage(decode_stage()).latency_s
+
+    def test_seeded_sampling_reproducible(self):
+        model = mixtral()
+        a = StageExecutor(duplex_system(model), model, seed=42)
+        b = StageExecutor(duplex_system(model), model, seed=42)
+        assert a.run_stage(decode_stage()).latency_s == b.run_stage(decode_stage()).latency_s
+
+    def test_result_counts_tokens(self):
+        model = mixtral()
+        executor = StageExecutor(gpu_system(model), model, seed=0)
+        assert executor.run_stage(decode_stage(batch=32)).tokens_generated == 32

@@ -1,0 +1,122 @@
+"""Property-based invariants of the stage executor.
+
+These catch accounting bugs that individual shape tests miss: monotonicity
+in workload size, energy positivity and composition, and determinism.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.executor import StageExecutor, StageWorkload
+from repro.core.system import duplex_system, gpu_system
+from repro.models.config import mixtral
+from repro.models.ops import OpCategory
+
+
+@pytest.fixture(scope="module")
+def gpu_exec():
+    return StageExecutor(gpu_system(mixtral()), mixtral(), deterministic_gating=True)
+
+
+@pytest.fixture(scope="module")
+def duplex_exec():
+    return StageExecutor(
+        duplex_system(mixtral(), co_processing=True, expert_tensor_parallel=True),
+        mixtral(),
+        deterministic_gating=True,
+    )
+
+
+def decode(batch, ctx):
+    return StageWorkload(decode_context_lengths=np.full(batch, ctx, dtype=np.int64))
+
+
+class TestMonotonicity:
+    @settings(max_examples=15, deadline=None)
+    @given(batch=st.integers(1, 96), ctx=st.integers(64, 8192))
+    def test_latency_grows_with_batch(self, gpu_exec, batch, ctx):
+        small = gpu_exec.run_stage(decode(batch, ctx)).latency_s
+        large = gpu_exec.run_stage(decode(batch + 16, ctx)).latency_s
+        assert large > small
+
+    @settings(max_examples=15, deadline=None)
+    @given(batch=st.integers(1, 64), ctx=st.integers(64, 4096))
+    def test_latency_grows_with_context(self, duplex_exec, batch, ctx):
+        short = duplex_exec.run_stage(decode(batch, ctx)).latency_s
+        long = duplex_exec.run_stage(decode(batch, ctx * 2)).latency_s
+        assert long > short
+
+    @settings(max_examples=10, deadline=None)
+    @given(lin=st.integers(64, 4096))
+    def test_prefill_makes_stage_slower(self, gpu_exec, lin):
+        plain = gpu_exec.run_stage(decode(16, 1024)).latency_s
+        mixed = gpu_exec.run_stage(
+            StageWorkload(
+                decode_context_lengths=np.full(16, 1024, dtype=np.int64),
+                prefill_lengths=(lin,),
+            )
+        ).latency_s
+        assert mixed > plain
+
+
+class TestEnergyAccounting:
+    @settings(max_examples=10, deadline=None)
+    @given(batch=st.integers(1, 64), ctx=st.integers(64, 4096))
+    def test_energy_positive_and_composed(self, gpu_exec, batch, ctx):
+        result = gpu_exec.run_stage(decode(batch, ctx))
+        assert result.energy_j > 0
+        parts = (
+            sum(result.dram_energy_by_category.values())
+            + sum(result.compute_energy_by_category.values())
+            + result.comm_energy_j
+        )
+        assert result.energy_j == pytest.approx(parts)
+
+    @settings(max_examples=10, deadline=None)
+    @given(batch=st.integers(2, 64))
+    def test_duplex_energy_below_gpu_on_decode(self, gpu_exec, duplex_exec, batch):
+        stage = decode(batch, 2048)
+        assert duplex_exec.run_stage(stage).energy_j < gpu_exec.run_stage(stage).energy_j
+
+    def test_all_categories_non_negative(self, duplex_exec):
+        result = duplex_exec.run_stage(
+            StageWorkload(
+                decode_context_lengths=np.full(16, 1024, dtype=np.int64),
+                prefill_lengths=(512,),
+            )
+        )
+        for table in (
+            result.time_by_category,
+            result.dram_energy_by_category,
+            result.compute_energy_by_category,
+        ):
+            assert all(value >= 0 for value in table.values())
+
+
+class TestDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(batch=st.integers(1, 48), ctx=st.integers(64, 4096))
+    def test_deterministic_gating_is_pure(self, batch, ctx):
+        a = StageExecutor(gpu_system(mixtral()), mixtral(), deterministic_gating=True)
+        b = StageExecutor(gpu_system(mixtral()), mixtral(), deterministic_gating=True)
+        stage = decode(batch, ctx)
+        assert a.run_stage(stage).latency_s == b.run_stage(stage).latency_s
+
+    def test_gpu_breakdown_partitions_latency(self, gpu_exec):
+        # Serial system: categories partition the critical path exactly.
+        result = gpu_exec.run_stage(decode(32, 2048))
+        assert sum(result.time_by_category.values()) == pytest.approx(result.latency_s)
+
+    def test_coprocessed_mixed_stage_busy_can_exceed_latency(self, duplex_exec):
+        result = duplex_exec.run_stage(
+            StageWorkload(
+                decode_context_lengths=np.full(31, 2048, dtype=np.int64),
+                prefill_lengths=(2048,),
+            )
+        )
+        busy = sum(result.time_by_category.values())
+        assert busy >= result.latency_s * 0.99  # overlap never loses time
+        # MoE busy time includes both units' shares.
+        assert result.busy_time(OpCategory.MOE) > 0

@@ -1,0 +1,116 @@
+"""Tests for system configurations and capacity accounting."""
+
+import pytest
+
+from repro.core.system import (
+    SystemKind,
+    bank_pim_system,
+    default_topology,
+    duplex_system,
+    gpu_system,
+    hetero_system,
+)
+from repro.errors import ConfigError
+from repro.models.config import glam, grok1, llama3_70b, mixtral, opt_66b
+from repro.parallel.placement import ExpertPlacement
+
+
+class TestDefaultTopology:
+    @pytest.mark.parametrize(
+        ("model", "nodes", "devices"),
+        [
+            (mixtral(), 1, 4),
+            (glam(), 1, 8),
+            (grok1(), 2, 8),
+            (opt_66b(), 1, 4),
+            (llama3_70b(), 1, 4),
+        ],
+    )
+    def test_paper_deployments(self, model, nodes, devices):
+        topo = default_topology(model)
+        assert (topo.n_nodes, topo.devices_per_node) == (nodes, devices)
+
+
+class TestFactories:
+    def test_gpu_names(self):
+        assert gpu_system(mixtral()).name == "GPU"
+        assert gpu_system(mixtral(), doubled=True).name == "2xGPU"
+
+    def test_doubled_gpu_has_twice_the_devices(self):
+        assert gpu_system(mixtral(), doubled=True).topology.n_devices == 8
+
+    def test_duplex_variants(self):
+        assert duplex_system(mixtral()).name == "Duplex"
+        assert duplex_system(mixtral(), co_processing=True).name == "Duplex+PE"
+        full = duplex_system(mixtral(), co_processing=True, expert_tensor_parallel=True)
+        assert full.name == "Duplex+PE+ET"
+        assert full.expert_placement is ExpertPlacement.EXPERT_TENSOR_PARALLEL
+
+    def test_et_requires_pe(self):
+        with pytest.raises(ConfigError):
+            duplex_system(mixtral(), co_processing=False, expert_tensor_parallel=True)
+
+    def test_bank_pim_device(self):
+        system = bank_pim_system(mixtral())
+        assert system.device.pim is not None
+        assert "Bank-PIM" in system.device.pim.name
+
+    def test_hetero_splits_devices(self):
+        system = hetero_system(mixtral())
+        assert system.kind is SystemKind.HETERO
+        assert system.hetero_gpu_count == 2
+        assert system.hetero_pim_count == 2
+
+    def test_hetero_on_multi_node_model_rejected(self):
+        with pytest.raises(ConfigError):
+            hetero_system(grok1())
+
+
+class TestMemoryProfiles:
+    def test_homogeneous_profile_is_uniform(self):
+        profiles = gpu_system(mixtral()).memory_profiles(mixtral())
+        assert len(profiles) == 1
+        assert profiles[0].count == 4
+
+    def test_hetero_concentrates_kv_on_pim(self):
+        profiles = hetero_system(mixtral()).memory_profiles(mixtral())
+        by_name = {p.name: p for p in profiles}
+        assert by_name["GPU"].kv_bytes_per_token == 0.0
+        assert by_name["PIM-only"].kv_bytes_per_token > 0.0
+
+    def test_hetero_pim_devices_carry_all_experts(self):
+        model = mixtral()
+        profiles = hetero_system(model).memory_profiles(model)
+        pim = next(p for p in profiles if p.name == "PIM-only")
+        experts_total = model.n_moe_layers * model.n_experts * model.expert_bytes
+        assert pim.weight_bytes == pytest.approx(experts_total / 2)
+
+
+class TestBatchCapacity:
+    def test_gpu_fits_batch_128_at_moderate_lengths(self):
+        system = gpu_system(mixtral())
+        assert system.max_batch_for(mixtral(), max_seq_len=4096) >= 128
+
+    def test_hetero_holds_fewer_requests_than_gpu(self):
+        # Fig. 5(c): the hetero system's KV lives on half the devices.
+        model = mixtral()
+        seq = 8192 + 4096
+        assert hetero_system(model).max_batch_for(model, seq) < gpu_system(model).max_batch_for(
+            model, seq
+        )
+
+    def test_longer_sequences_shrink_batch(self):
+        system = gpu_system(mixtral())
+        short = system.max_batch_for(mixtral(), 2048)
+        long = system.max_batch_for(mixtral(), 8192)
+        assert long < short
+
+    def test_zero_seq_rejected(self):
+        with pytest.raises(ConfigError):
+            gpu_system(mixtral()).max_batch_for(mixtral(), 0)
+
+    def test_grok1_two_nodes_scale_batch(self):
+        # Data parallelism doubles the cluster-level batch limit.
+        system = gpu_system(grok1())
+        per_node_equivalent = duplex_system(grok1()).max_batch_for(grok1(), 4096)
+        assert system.max_batch_for(grok1(), 4096) == per_node_equivalent

@@ -1,0 +1,25 @@
+"""Smoke test for the run-all CLI plumbing."""
+
+from repro.experiments import run_all
+
+
+def test_artefact_registry_is_complete():
+    names = [name for name, _ in run_all._artefacts()]
+    # Every paper artefact plus the four ablations.
+    assert len(names) == 18
+    assert len(set(names)) == 18
+    for figure in ("fig08", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"):
+        assert any(name.startswith(figure) for name in names)
+
+
+def test_main_writes_fast_artefacts(tmp_path, monkeypatch):
+    # Restrict the registry to the cheap artefacts for the smoke test.
+    fast = [
+        entry
+        for entry in run_all._artefacts()
+        if entry[0] in ("table1_models", "fig08_edap", "area_overhead")
+    ]
+    monkeypatch.setattr(run_all, "_artefacts", lambda: iter(fast))
+    assert run_all.main([str(tmp_path)]) == 0
+    assert (tmp_path / "table1_models.txt").exists()
+    assert (tmp_path / "fig08_edap.txt").read_text()

@@ -1,0 +1,51 @@
+"""Tests for the Section VII-E area accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.area import AreaModel, LogicPimAreaBudget
+from repro.hardware.processor import UnitKind
+
+
+class TestLogicPimBudget:
+    def test_total_is_17_80_mm2(self):
+        assert LogicPimAreaBudget().total == pytest.approx(17.81, abs=0.02)
+
+    def test_fraction_is_14_71_percent(self):
+        assert LogicPimAreaBudget().fraction_of_logic_die == pytest.approx(0.1471, abs=0.002)
+
+    def test_tsv_fraction_is_9_percent(self):
+        assert LogicPimAreaBudget().tsv_fraction_of_logic_die == pytest.approx(0.09, abs=0.002)
+
+    def test_rejects_non_positive_component(self):
+        with pytest.raises(ConfigError):
+            LogicPimAreaBudget(tsv=0.0)
+
+
+class TestAreaModel:
+    def test_logic_pim_area_comes_from_budget(self):
+        model = AreaModel()
+        assert model.area_mm2(UnitKind.LOGIC_PIM) == pytest.approx(model.logic_pim_budget.total)
+
+    def test_bankgroup_pim_pays_the_process_premium(self):
+        model = AreaModel()
+        assert model.area_mm2(UnitKind.BANKGROUP_PIM) > 1.5 * model.area_mm2(UnitKind.LOGIC_PIM)
+
+    def test_xpu_has_no_edap_area(self):
+        with pytest.raises(ConfigError):
+            AreaModel().area_mm2(UnitKind.XPU)
+
+    def test_dram_overhead_fraction_in_published_range(self):
+        # Commercial in-DRAM PIMs overhead is 20-27% of a die; our per-stack
+        # figure spread over 8 dies must stay well below that ceiling.
+        model = AreaModel()
+        fraction = model.dram_die_overhead_fraction(UnitKind.BANK_PIM)
+        assert 0.0 < fraction < 0.27
+
+    def test_logic_pim_has_no_dram_overhead(self):
+        with pytest.raises(ConfigError):
+            AreaModel().dram_die_overhead_fraction(UnitKind.LOGIC_PIM)
+
+    def test_rejects_sub_unity_process_factor(self):
+        with pytest.raises(ConfigError):
+            AreaModel(dram_process_factor=0.5)

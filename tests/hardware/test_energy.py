@@ -1,0 +1,70 @@
+"""Tests for the DRAM-path and compute energy models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.energy import ComputeEnergyModel, DramEnergyModel, EnergyModel, ReadPath
+from repro.hardware.processor import UnitKind
+
+
+class TestDramPaths:
+    def test_paths_are_ordered_by_distance(self):
+        model = DramEnergyModel()
+        ordered = [
+            ReadPath.BANK_LOCAL,
+            ReadPath.BANKGROUP_LOCAL,
+            ReadPath.LOGIC_DIE,
+            ReadPath.EXTERNAL,
+        ]
+        energies = [model.read_pj_per_bit(path) for path in ordered]
+        assert energies == sorted(energies)
+
+    def test_external_matches_literature(self):
+        # O'Connor et al. put an HBM external read at ~3.97 pJ/b.
+        assert DramEnergyModel().read_pj_per_bit(ReadPath.EXTERNAL) == pytest.approx(3.97)
+
+    def test_logic_die_saves_interposer_energy(self):
+        model = DramEnergyModel()
+        saved = model.read_pj_per_bit(ReadPath.EXTERNAL) - model.read_pj_per_bit(ReadPath.LOGIC_DIE)
+        assert saved == pytest.approx(model.interposer_phy)
+
+    def test_writes_cost_like_reads(self):
+        model = DramEnergyModel()
+        for path in ReadPath:
+            assert model.write_pj_per_bit(path) == model.read_pj_per_bit(path)
+
+    def test_rejects_negative_component(self):
+        with pytest.raises(ConfigError):
+            DramEnergyModel(tsv=-0.1)
+
+
+class TestComputeEnergies:
+    def test_logic_pim_is_cheapest_flop(self):
+        model = ComputeEnergyModel()
+        cheapest = min(model.pj_per_flop(kind) for kind in UnitKind)
+        assert cheapest == model.pj_per_flop(UnitKind.LOGIC_PIM)
+
+    def test_bank_pim_is_most_expensive_flop(self):
+        model = ComputeEnergyModel()
+        priciest = max(model.pj_per_flop(kind) for kind in UnitKind)
+        assert priciest == model.pj_per_flop(UnitKind.BANK_PIM)
+
+    def test_rejects_zero_energy(self):
+        with pytest.raises(ConfigError):
+            ComputeEnergyModel(xpu=0.0)
+
+
+class TestEnergyModelBundle:
+    def test_kind_routing(self):
+        model = EnergyModel()
+        assert model.read_pj_per_bit(UnitKind.XPU) == model.dram.read_pj_per_bit(ReadPath.EXTERNAL)
+        assert model.read_pj_per_bit(UnitKind.LOGIC_PIM) == model.dram.read_pj_per_bit(
+            ReadPath.LOGIC_DIE
+        )
+        assert model.read_pj_per_bit(UnitKind.BANK_PIM) == model.dram.read_pj_per_bit(
+            ReadPath.BANK_LOCAL
+        )
+
+    def test_flop_routing(self):
+        model = EnergyModel()
+        assert model.flop_pj(UnitKind.XPU) == model.compute.xpu

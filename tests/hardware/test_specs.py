@@ -1,0 +1,88 @@
+"""Tests that the unit factories reproduce the paper's Section VI numbers."""
+
+import pytest
+
+from repro.hardware.compute import LOGIC_PIM_MAC_ARRAY, MacArray
+from repro.hardware.specs import (
+    DUPLEX_STACKS,
+    bank_pim_unit,
+    bankgroup_pim_unit,
+    h100_xpu,
+    logic_pim_unit,
+)
+from repro.units import MHZ, TB_PER_S, TFLOPS
+
+
+class TestMacArray:
+    def test_logic_pim_array_hits_21_3_tflops(self):
+        # 32 modules x 512 MACs x 650 MHz x 2 = 21.3 TFLOPS (Section VI).
+        assert LOGIC_PIM_MAC_ARRAY.peak_flops == pytest.approx(21.3 * TFLOPS, rel=0.01)
+
+    def test_for_peak_flops_round_trip(self):
+        array = MacArray.for_peak_flops(21.3 * TFLOPS, frequency_hz=650 * MHZ)
+        assert array.modules == 32
+
+    def test_total_macs(self):
+        assert LOGIC_PIM_MAC_ARRAY.total_macs == 16384
+
+
+class TestXpu:
+    def test_peak_flops_is_h100(self):
+        assert h100_xpu().peak_flops == pytest.approx(989.5 * TFLOPS)
+
+    def test_bandwidth_near_h100(self):
+        # Effective bandwidth should be a bit below the 3.35 TB/s nominal.
+        bw = h100_xpu().mem_bandwidth
+        assert 2.7 * TB_PER_S < bw < 3.35 * TB_PER_S
+
+    def test_ridge_in_the_hundreds(self):
+        assert 150 < h100_xpu().ridge_opb < 350
+
+
+class TestLogicPim:
+    def test_per_stack_flops(self):
+        unit = logic_pim_unit()
+        assert unit.peak_flops / DUPLEX_STACKS == pytest.approx(21.3 * TFLOPS, rel=0.01)
+
+    def test_ridge_near_eight(self):
+        # Compute-to-bandwidth ratio of 8 (Section IV-B), modulo efficiency.
+        assert 6.5 < logic_pim_unit().ridge_opb < 9.0
+
+    def test_bandwidth_is_4x_xpu(self):
+        ratio = logic_pim_unit().mem_bandwidth / h100_xpu().mem_bandwidth
+        assert ratio == pytest.approx(4.0, rel=0.02)
+
+
+class TestBankPim:
+    def test_ridge_near_one(self):
+        assert 0.7 < bank_pim_unit().ridge_opb < 1.1
+
+    def test_bandwidth_is_16x_conventional(self):
+        ratio = bank_pim_unit().mem_bandwidth / h100_xpu().mem_bandwidth
+        assert ratio == pytest.approx(16.0, rel=0.1)
+
+    def test_cheapest_read_path(self):
+        units = [h100_xpu(), logic_pim_unit(), bankgroup_pim_unit(), bank_pim_unit()]
+        energies = [u.read_energy_pj_per_bit for u in units]
+        assert energies == sorted(energies, reverse=True)
+
+
+class TestBankGroupPim:
+    def test_same_roofline_as_logic_pim(self):
+        bg, lp = bankgroup_pim_unit(), logic_pim_unit()
+        assert bg.peak_flops == lp.peak_flops
+        assert bg.mem_bandwidth == lp.mem_bandwidth
+
+    def test_cheaper_reads_but_pricier_flops_than_logic_pim(self):
+        bg, lp = bankgroup_pim_unit(), logic_pim_unit()
+        assert bg.read_energy_pj_per_bit < lp.read_energy_pj_per_bit
+        assert bg.flop_energy_pj > lp.flop_energy_pj
+
+
+class TestStackScaling:
+    @pytest.mark.parametrize("stacks", [1, 4, 5, 6])
+    def test_units_scale_linearly_with_stacks(self, stacks):
+        unit = logic_pim_unit(stacks=stacks)
+        base = logic_pim_unit(stacks=1)
+        assert unit.peak_flops == pytest.approx(stacks * base.peak_flops)
+        assert unit.mem_bandwidth == pytest.approx(stacks * base.mem_bandwidth)

@@ -1,0 +1,56 @@
+"""Tests for the analytic bandwidth model and its calibration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.bandwidth import BandwidthModel
+from repro.memory.engine import AccessMode
+from repro.memory.geometry import HBMGeometry
+from repro.memory.timing import HBM3Timing
+from repro.units import KiB, TB_PER_S
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    return BandwidthModel.calibrated(stream_bytes=256 * KiB)
+
+
+class TestPeaks:
+    def test_stack_peak_external_matches_hbm3(self):
+        model = BandwidthModel(timing=HBM3Timing(), geometry=HBMGeometry())
+        # 21.3 GB/s x 32 pseudo channels ~ 683 GB/s per stack.
+        assert model.peak_external_per_stack() == pytest.approx(0.683 * TB_PER_S, rel=0.01)
+
+    def test_stack_peak_bundle_is_4x(self):
+        model = BandwidthModel(timing=HBM3Timing(), geometry=HBMGeometry())
+        assert model.peak_bundle_per_stack() == pytest.approx(4 * model.peak_external_per_stack())
+
+
+class TestCalibration:
+    def test_external_efficiency_high(self, calibrated):
+        assert 0.9 < calibrated.external_efficiency <= 1.0
+
+    def test_bundle_efficiency_high(self, calibrated):
+        assert 0.9 < calibrated.bundle_efficiency <= 1.0
+
+    def test_speedup_near_four(self, calibrated):
+        assert 3.6 < calibrated.bundle_speedup < 4.4
+
+    def test_effective_below_peak(self, calibrated):
+        assert calibrated.effective(AccessMode.EXTERNAL) < calibrated.peak_external_per_stack()
+        assert calibrated.effective(AccessMode.BUNDLE) < calibrated.peak_bundle_per_stack()
+
+    def test_five_stack_device_near_h100(self, calibrated):
+        # Five stacks should land in the ballpark of the H100's 3.35 TB/s.
+        device = 5 * calibrated.effective(AccessMode.EXTERNAL)
+        assert 2.8 * TB_PER_S < device < 3.5 * TB_PER_S
+
+
+class TestValidation:
+    def test_rejects_zero_efficiency(self):
+        with pytest.raises(ConfigError):
+            BandwidthModel(timing=HBM3Timing(), geometry=HBMGeometry(), external_efficiency=0.0)
+
+    def test_rejects_efficiency_above_one(self):
+        with pytest.raises(ConfigError):
+            BandwidthModel(timing=HBM3Timing(), geometry=HBMGeometry(), bundle_efficiency=1.2)

@@ -1,0 +1,128 @@
+"""Tests for the cycle-level streaming-read engine.
+
+These pin down the bandwidth facts the whole evaluation rests on: the
+external path is tCCD_S-limited, the bundle path sustains ~4x that, and a
+single bundle (co-processing confinement) pays a visible row-switch penalty.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memory.engine import AccessMode, StreamingReadEngine
+from repro.memory.geometry import HBMGeometry
+from repro.memory.timing import HBM3Timing
+from repro.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return StreamingReadEngine()
+
+
+@pytest.fixture(scope="module")
+def external_result(engine):
+    return engine.stream(1 * MiB, AccessMode.EXTERNAL)
+
+
+@pytest.fixture(scope="module")
+def bundle_result(engine):
+    return engine.stream(1 * MiB, AccessMode.BUNDLE)
+
+
+class TestExternalPath:
+    def test_reaches_most_of_peak(self, engine, external_result):
+        peak = engine.timing.peak_channel_bandwidth() * engine.timing.refresh_availability
+        assert external_result.channel_bandwidth > 0.9 * peak
+
+    def test_never_exceeds_peak(self, engine, external_result):
+        assert external_result.channel_bandwidth <= engine.timing.peak_channel_bandwidth()
+
+    def test_burst_count_matches_payload(self, engine, external_result):
+        expected = (1 * MiB) / engine.timing.burst_bytes
+        assert external_result.bursts == expected
+
+    def test_activate_count_matches_rows(self, engine, external_result):
+        expected = (1 * MiB) / engine.geometry.row_bytes
+        assert external_result.activates == expected
+
+
+class TestBundlePath:
+    def test_speedup_close_to_four(self, external_result, bundle_result):
+        ratio = bundle_result.channel_bandwidth / external_result.channel_bandwidth
+        assert 3.7 < ratio < 4.3
+
+    def test_two_bundles_hide_row_switches(self, engine, bundle_result):
+        peak = engine.timing.peak_bundle_bandwidth() * engine.timing.refresh_availability
+        assert bundle_result.channel_bandwidth > 0.95 * peak
+
+    def test_single_bundle_pays_row_switch_penalty(self, engine, bundle_result):
+        confined = engine.stream(1 * MiB, AccessMode.BUNDLE, interleaved_bundles=1)
+        assert confined.channel_bandwidth < bundle_result.channel_bandwidth
+        # But it must still beat the external path by a wide margin.
+        external = engine.stream(1 * MiB, AccessMode.EXTERNAL)
+        assert confined.channel_bandwidth > 2.5 * external.channel_bandwidth
+
+    def test_one_activate_per_bundle_row(self, engine, bundle_result):
+        bundle_row = engine.geometry.row_bytes * engine.geometry.banks_per_bundle
+        assert bundle_result.activates == (1 * MiB) / bundle_row
+
+    def test_rejects_too_many_bundles(self, engine):
+        with pytest.raises(ConfigError):
+            engine.stream(1 * MiB, AccessMode.BUNDLE, interleaved_bundles=5)
+
+
+class TestEdgeCases:
+    def test_rejects_empty_stream(self, engine):
+        with pytest.raises(ConfigError):
+            engine.stream(0, AccessMode.EXTERNAL)
+
+    def test_tiny_stream_single_row(self, engine):
+        result = engine.stream(64, AccessMode.EXTERNAL)
+        assert result.bursts == 2
+        assert result.activates == 1
+
+    def test_sub_row_bundle_stream(self, engine):
+        result = engine.stream(100, AccessMode.BUNDLE)
+        assert result.activates == 1
+        assert result.elapsed_ns > 0
+
+    def test_partial_final_row(self, engine):
+        # 1.5 rows -> 2 activates, 48 bursts.
+        result = engine.stream(1536, AccessMode.EXTERNAL)
+        assert result.activates == 2
+        assert result.bursts == 48
+
+    def test_bus_utilization_bounded(self, external_result, bundle_result):
+        for result in (external_result, bundle_result):
+            assert 0.0 < result.bus_utilization <= 1.0
+
+
+class TestScalingProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(size_kib=st.integers(32, 256))
+    def test_bandwidth_stable_across_sizes(self, engine, size_kib):
+        # Streaming bandwidth should not depend on payload size once warm.
+        result = engine.stream(size_kib * KiB, AccessMode.EXTERNAL)
+        reference = engine.stream(128 * KiB, AccessMode.EXTERNAL)
+        assert result.channel_bandwidth == pytest.approx(reference.channel_bandwidth, rel=0.05)
+
+    def test_slower_tccd_lowers_bandwidth(self):
+        fast = StreamingReadEngine(HBM3Timing())
+        slow = StreamingReadEngine(HBM3Timing(tCCD_S=3.0, tCCD_L=6.0))
+        fast_bw = fast.stream(256 * KiB, AccessMode.EXTERNAL).channel_bandwidth
+        slow_bw = slow.stream(256 * KiB, AccessMode.EXTERNAL).channel_bandwidth
+        assert fast_bw > 1.5 * slow_bw
+
+    def test_elapsed_monotone_in_payload(self, engine):
+        small = engine.stream(64 * KiB, AccessMode.BUNDLE)
+        large = engine.stream(512 * KiB, AccessMode.BUNDLE)
+        assert large.elapsed_ns > small.elapsed_ns
+
+    def test_row_starved_stream_still_completes(self):
+        # A geometry with one bank group exposes the tCCD_L-only path.
+        geo = HBMGeometry(bank_groups=1, banks_per_group=4, banks_per_bundle=4)
+        engine = StreamingReadEngine(geometry=geo)
+        result = engine.stream(64 * KiB, AccessMode.EXTERNAL)
+        assert result.bursts == 64 * KiB / engine.timing.burst_bytes

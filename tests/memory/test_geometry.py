@@ -1,0 +1,103 @@
+"""Unit tests for HBM stack geometry and bank bundles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memory.geometry import HBMGeometry
+from repro.units import GiB
+
+
+class TestDefaults:
+    def test_paper_organisation(self):
+        geo = HBMGeometry()
+        assert geo.pseudo_channels == 32
+        assert geo.ranks == 2
+        assert geo.banks_per_rank == 16
+        assert geo.banks_per_channel == 32
+
+    def test_four_bundles_per_channel(self):
+        # Two ranks x two bundles per rank = the paper's four memory spaces.
+        geo = HBMGeometry()
+        assert geo.bundles_per_rank == 2
+        assert geo.bundles_per_channel == 4
+
+    def test_bundle_takes_two_banks_per_group(self):
+        assert HBMGeometry().banks_per_bundle_per_group == 2
+
+    def test_bundle_capacity_is_quarter_stack(self):
+        geo = HBMGeometry()
+        assert geo.bundle_capacity_bytes == pytest.approx(geo.capacity_bytes / 4)
+
+    def test_rows_per_bank_positive(self):
+        assert HBMGeometry().rows_per_bank > 0
+
+    def test_capacity_roundtrip_through_rows(self):
+        geo = HBMGeometry()
+        derived = geo.rows_per_bank * geo.row_bytes * geo.banks_per_channel * geo.pseudo_channels
+        assert derived == pytest.approx(16 * GiB, rel=0.01)
+
+
+class TestBundleIndex:
+    def test_indices_are_one_based_and_cover_range(self):
+        geo = HBMGeometry()
+        seen = {
+            geo.bundle_index(rank, bank)
+            for rank in range(geo.ranks)
+            for bank in range(geo.banks_per_rank)
+        }
+        assert seen == {1, 2, 3, 4}
+
+    def test_each_bundle_has_eight_banks(self):
+        geo = HBMGeometry()
+        counts = {}
+        for rank in range(geo.ranks):
+            for bank in range(geo.banks_per_rank):
+                idx = geo.bundle_index(rank, bank)
+                counts[idx] = counts.get(idx, 0) + 1
+        assert all(count == geo.banks_per_bundle for count in counts.values())
+
+    def test_bundle_spans_all_groups_evenly(self):
+        geo = HBMGeometry()
+        per_group = {}
+        for bank in range(geo.banks_per_rank):
+            idx = geo.bundle_index(0, bank)
+            group = bank // geo.banks_per_group
+            per_group.setdefault(idx, {}).setdefault(group, 0)
+            per_group[idx][group] += 1
+        for groups in per_group.values():
+            assert all(count == geo.banks_per_bundle_per_group for count in groups.values())
+
+    def test_rank_offsets_bundle_index(self):
+        geo = HBMGeometry()
+        assert geo.bundle_index(0, 0) != geo.bundle_index(1, 0)
+
+    def test_out_of_range_rank_rejected(self):
+        with pytest.raises(ConfigError):
+            HBMGeometry().bundle_index(2, 0)
+
+    def test_out_of_range_bank_rejected(self):
+        with pytest.raises(ConfigError):
+            HBMGeometry().bundle_index(0, 16)
+
+
+class TestValidation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            HBMGeometry(capacity_bytes=0)
+
+    def test_rejects_bundle_not_dividing_rank(self):
+        with pytest.raises(ConfigError):
+            HBMGeometry(banks_per_bundle=3)
+
+    def test_rejects_bundle_not_spanning_groups(self):
+        # 4 banks per bundle with 4 groups would be fine (1 per group), but 2
+        # banks per bundle cannot take the same number from each of 4 groups.
+        with pytest.raises(ConfigError):
+            HBMGeometry(banks_per_bundle=2)
+
+    @given(ranks=st.integers(1, 4))
+    def test_bundles_scale_with_ranks(self, ranks):
+        geo = HBMGeometry(ranks=ranks)
+        assert geo.bundles_per_channel == 2 * ranks

@@ -1,0 +1,137 @@
+"""Tests for bank-bundle memory spaces and the Duplex allocation policy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, ConfigError
+from repro.memory.layout import MemoryLayout, MemorySpace, SpaceRole
+from repro.units import GiB
+
+
+@pytest.fixture
+def layout():
+    return MemoryLayout(device_capacity_bytes=80 * GiB)
+
+
+class TestMemorySpace:
+    def test_allocate_and_release(self):
+        space = MemorySpace(index=1, capacity_bytes=10 * GiB)
+        space.allocate(4 * GiB)
+        assert space.free_bytes == pytest.approx(6 * GiB)
+        space.release(4 * GiB)
+        assert space.free_bytes == pytest.approx(10 * GiB)
+
+    def test_overflow_rejected(self):
+        space = MemorySpace(index=1, capacity_bytes=1 * GiB)
+        with pytest.raises(AllocationError):
+            space.allocate(2 * GiB)
+
+    def test_over_release_rejected(self):
+        space = MemorySpace(index=1, capacity_bytes=1 * GiB)
+        space.allocate(0.5 * GiB)
+        with pytest.raises(AllocationError):
+            space.release(1 * GiB)
+
+    def test_negative_allocation_rejected(self):
+        space = MemorySpace(index=1, capacity_bytes=1 * GiB)
+        with pytest.raises(ConfigError):
+            space.allocate(-1)
+
+
+class TestConstruction:
+    def test_four_equal_spaces(self, layout):
+        assert len(layout.spaces) == 4
+        assert all(s.capacity_bytes == pytest.approx(20 * GiB) for s in layout.spaces)
+
+    def test_roles_preassigned(self, layout):
+        assert layout.kv_space_indices == [1, 2, 3]
+        assert layout.scratch_space_index == 4
+
+    def test_rejects_single_space(self):
+        with pytest.raises(ConfigError):
+            MemoryLayout(device_capacity_bytes=80 * GiB, num_spaces=1)
+
+    def test_rejects_kv_using_all_spaces(self):
+        with pytest.raises(ConfigError):
+            MemoryLayout(device_capacity_bytes=80 * GiB, num_spaces=4, kv_spaces=4)
+
+
+class TestExpertPlacement:
+    def test_round_robin_over_spaces(self, layout):
+        assignment = layout.place_experts({i: 1 * GiB for i in range(8)})
+        assert [assignment[i] for i in range(8)] == [1, 2, 3, 4, 1, 2, 3, 4]
+
+    def test_experts_by_space_groups_round_robin(self, layout):
+        layout.place_experts({i: 1 * GiB for i in range(8)})
+        groups = layout.experts_by_space()
+        assert groups == {1: [0, 4], 2: [1, 5], 3: [2, 6], 4: [3, 7]}
+
+    def test_expert_space_lookup(self, layout):
+        layout.place_experts({3: 1 * GiB, 7: 1 * GiB})
+        assert layout.expert_space(3) == 1
+        assert layout.expert_space(7) == 2
+
+    def test_missing_expert_raises(self, layout):
+        with pytest.raises(AllocationError):
+            layout.expert_space(42)
+
+    def test_expert_role_recorded(self, layout):
+        layout.place_experts({0: 1 * GiB})
+        assert SpaceRole.EXPERT in layout.spaces[0].roles
+
+
+class TestKvAndScratch:
+    def test_kv_spread_over_three_spaces(self, layout):
+        layout.reserve_kv(6 * GiB)
+        for space in layout.spaces[:3]:
+            assert space.used_bytes == pytest.approx(2 * GiB)
+        assert layout.spaces[3].used_bytes == 0
+
+    def test_kv_release_restores(self, layout):
+        layout.reserve_kv(6 * GiB)
+        layout.release_kv(6 * GiB)
+        assert layout.kv_bytes == 0
+        assert layout.total_free_bytes == pytest.approx(80 * GiB)
+
+    def test_scratch_goes_to_fourth_space(self, layout):
+        layout.reserve_scratch(1 * GiB)
+        assert layout.spaces[3].used_bytes == pytest.approx(1 * GiB)
+        layout.release_scratch(1 * GiB)
+        assert layout.spaces[3].used_bytes == 0
+
+    def test_migration_costs_read_plus_write(self):
+        assert MemoryLayout.migration_bytes(100.0) == 200.0
+
+
+class TestConflicts:
+    def test_disjoint_spaces_are_conflict_free(self, layout):
+        assert layout.conflict_free({1, 2}, {3, 4})
+
+    def test_shared_space_conflicts(self, layout):
+        assert not layout.conflict_free({1, 2}, {2, 3})
+
+    @given(
+        xpu=st.sets(st.integers(1, 4), max_size=4),
+        pim=st.sets(st.integers(1, 4), max_size=4),
+    )
+    def test_conflict_symmetry(self, xpu, pim):
+        fresh = MemoryLayout(device_capacity_bytes=80 * GiB)
+        assert fresh.conflict_free(xpu, pim) == fresh.conflict_free(pim, xpu)
+
+
+class TestCapacityPressure:
+    def test_general_weights_fill_remaining(self, layout):
+        layout.place_experts({i: 10 * GiB for i in range(4)})
+        layout.place_general_weights(30 * GiB)
+        assert layout.total_free_bytes == pytest.approx(10 * GiB)
+
+    def test_general_weight_overflow_raises(self, layout):
+        layout.place_experts({i: 15 * GiB for i in range(4)})
+        with pytest.raises(AllocationError):
+            layout.place_general_weights(30 * GiB)
+
+    def test_kv_overflow_raises(self, layout):
+        layout.place_experts({i: 19 * GiB for i in range(4)})
+        with pytest.raises(AllocationError):
+            layout.reserve_kv(10 * GiB)

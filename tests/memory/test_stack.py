@@ -1,0 +1,28 @@
+"""Tests for the HBMStack facade."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.stack import HBMStack
+from repro.units import GiB, TB_PER_S
+
+
+class TestStack:
+    def test_default_capacity(self):
+        assert HBMStack().capacity_bytes == 16 * GiB
+
+    def test_external_bandwidth_reasonable(self):
+        stack = HBMStack()
+        assert 0.5 * TB_PER_S < stack.external_bandwidth < 0.7 * TB_PER_S
+
+    def test_internal_speedup_near_four(self):
+        stack = HBMStack()
+        assert 3.5 < stack.internal_speedup < 4.5
+
+    def test_plain_stack_has_no_pim_path(self):
+        stack = HBMStack(has_logic_pim_path=False)
+        with pytest.raises(ConfigError):
+            _ = stack.internal_bandwidth
+
+    def test_bandwidth_model_auto_created(self):
+        assert HBMStack().bandwidth is not None

@@ -1,0 +1,77 @@
+"""Unit tests for HBM3 timing parameters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memory.timing import HBM3Timing
+from repro.units import GB_PER_S
+
+
+class TestDefaults:
+    def test_default_timing_is_valid(self):
+        timing = HBM3Timing()
+        assert timing.tCK > 0
+
+    def test_tccd_l_is_twice_tccd_s(self):
+        timing = HBM3Timing()
+        assert timing.tCCD_L == pytest.approx(2 * timing.tCCD_S)
+
+    def test_trc_is_tras_plus_trp(self):
+        timing = HBM3Timing()
+        assert timing.tRC == pytest.approx(timing.tRAS + timing.tRP)
+
+    def test_burst_bytes(self):
+        assert HBM3Timing().burst_bytes == 32
+
+    def test_refresh_availability_below_one(self):
+        timing = HBM3Timing()
+        assert 0.8 < timing.refresh_availability < 1.0
+
+
+class TestPeakBandwidth:
+    def test_peak_channel_bandwidth_matches_hbm3(self):
+        # 32 B per 1.5 ns = 21.3 GB/s per pseudo channel.
+        timing = HBM3Timing()
+        assert timing.peak_channel_bandwidth() == pytest.approx(21.33 * GB_PER_S, rel=0.01)
+
+    def test_bundle_path_is_4x_external(self):
+        timing = HBM3Timing()
+        ratio = timing.peak_bundle_bandwidth() / timing.peak_channel_bandwidth()
+        assert ratio == pytest.approx(4.0)
+
+    def test_bundle_ratio_tracks_tccd_ratio(self):
+        # 8 banks per tCCD_L vs 1 bank per tCCD_S: ratio = 8 * tCCD_S / tCCD_L.
+        timing = HBM3Timing(tCCD_S=1.0, tCCD_L=4.0)
+        ratio = timing.peak_bundle_bandwidth() / timing.peak_channel_bandwidth()
+        assert ratio == pytest.approx(2.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["tCK", "tCCD_S", "tRCD", "tRP", "tRAS", "tFAW", "tREFI", "tRFC"])
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ConfigError):
+            HBM3Timing(**{field: 0.0})
+
+    def test_rejects_tccd_l_below_tccd_s(self):
+        with pytest.raises(ConfigError):
+            HBM3Timing(tCCD_S=2.0, tCCD_L=1.0)
+
+    def test_rejects_trrd_l_below_trrd_s(self):
+        with pytest.raises(ConfigError):
+            HBM3Timing(tRRD_S=6.0, tRRD_L=4.0)
+
+    def test_rejects_tras_below_trcd(self):
+        with pytest.raises(ConfigError):
+            HBM3Timing(tRCD=20.0, tRAS=10.0)
+
+
+class TestProperties:
+    @given(tccd_s=st.floats(0.5, 4.0), factor=st.floats(1.0, 4.0))
+    def test_peak_bandwidth_inverse_in_tccd(self, tccd_s, factor):
+        base = HBM3Timing(tCCD_S=tccd_s, tCCD_L=2 * tccd_s)
+        slower = HBM3Timing(tCCD_S=tccd_s * factor, tCCD_L=2 * tccd_s * factor)
+        assert base.peak_channel_bandwidth() == pytest.approx(
+            slower.peak_channel_bandwidth() * factor, rel=1e-9
+        )

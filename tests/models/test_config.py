@@ -1,0 +1,128 @@
+"""Tests for model configurations against the paper's Table I."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig, glam, grok1, llama3_70b, mixtral, opt_66b, paper_models
+
+
+class TestTable1Structure:
+    def test_mixtral(self):
+        m = mixtral()
+        assert (m.n_layers, m.hidden, m.intermediate) == (32, 4096, 14336)
+        assert (m.n_heads, m.group_degree, m.n_experts, m.top_k) == (32, 4, 8, 2)
+
+    def test_glam(self):
+        m = glam()
+        assert (m.n_layers, m.hidden, m.intermediate) == (32, 4096, 16384)
+        assert (m.n_heads, m.group_degree, m.n_experts, m.top_k) == (32, 1, 64, 2)
+
+    def test_grok1(self):
+        m = grok1()
+        assert (m.n_layers, m.hidden, m.intermediate) == (64, 6144, 32768)
+        assert (m.n_heads, m.group_degree, m.n_experts, m.top_k) == (48, 6, 8, 2)
+
+    def test_opt(self):
+        m = opt_66b()
+        assert (m.n_layers, m.hidden, m.intermediate) == (64, 9216, 36864)
+        assert (m.n_heads, m.group_degree) == (72, 1)
+        assert not m.is_moe
+
+    def test_llama3(self):
+        m = llama3_70b()
+        assert (m.n_layers, m.hidden, m.intermediate) == (80, 8192, 28672)
+        assert (m.n_heads, m.group_degree) == (64, 8)
+        assert not m.is_moe
+
+    def test_all_heads_are_128_wide(self):
+        for model in paper_models().values():
+            assert model.d_head == 128
+
+
+class TestParameterCounts:
+    @pytest.mark.parametrize(
+        ("key", "target_billions"),
+        [("mixtral", 47), ("glam", 143), ("grok1", 314), ("opt", 66), ("llama3", 70)],
+    )
+    def test_total_params_match_advertised(self, key, target_billions):
+        model = paper_models()[key]
+        assert model.total_params / 1e9 == pytest.approx(target_billions, rel=0.02)
+
+    def test_glam_alternates_moe_layers(self):
+        m = glam()
+        assert m.n_moe_layers == 16
+        assert m.n_dense_ffn_layers == 16
+
+    def test_all_moe_blocks_for_mixtral(self):
+        m = mixtral()
+        assert m.n_moe_layers == 32
+        assert m.n_dense_ffn_layers == 0
+
+    def test_dense_models_have_no_moe_layers(self):
+        assert opt_66b().n_moe_layers == 0
+        assert llama3_70b().n_moe_layers == 0
+
+    def test_moe_weights_dominate_mixtral(self):
+        # The paper: expert FFNs are the majority of MoE model weights.
+        m = mixtral()
+        moe_bytes = m.total_weight_bytes - m.non_expert_weight_bytes
+        assert moe_bytes > 0.9 * m.total_weight_bytes
+
+
+class TestKvSizing:
+    def test_gqa_shrinks_kv_by_group_degree(self):
+        gqa = mixtral()
+        equivalent_mha = ModelConfig(
+            name="mixtral-mha",
+            n_layers=32,
+            hidden=4096,
+            intermediate=14336,
+            n_heads=32,
+            group_degree=1,
+            n_experts=8,
+            top_k=2,
+            moe_layer_interval=1,
+        )
+        ratio = equivalent_mha.kv_bytes_per_token / gqa.kv_bytes_per_token
+        assert ratio == pytest.approx(gqa.group_degree)
+
+    def test_kv_bytes_per_token_mixtral(self):
+        # 32 layers x 2 x 8 KV heads x 128 x 2 B = 128 KiB per token.
+        assert mixtral().kv_bytes_per_token == 128 * 1024
+
+
+class TestValidation:
+    def test_rejects_head_mismatch(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(
+                name="bad", n_layers=2, hidden=100, intermediate=400, n_heads=3,
+                group_degree=1, n_experts=0, top_k=0, moe_layer_interval=0,
+            )
+
+    def test_rejects_group_degree_not_dividing_heads(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(
+                name="bad", n_layers=2, hidden=128, intermediate=512, n_heads=8,
+                group_degree=3, n_experts=0, top_k=0, moe_layer_interval=0,
+            )
+
+    def test_rejects_topk_above_experts(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(
+                name="bad", n_layers=2, hidden=128, intermediate=512, n_heads=8,
+                group_degree=1, n_experts=4, top_k=5, moe_layer_interval=1,
+            )
+
+    def test_rejects_dense_model_with_moe_interval(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(
+                name="bad", n_layers=2, hidden=128, intermediate=512, n_heads=8,
+                group_degree=1, n_experts=0, top_k=0, moe_layer_interval=1,
+            )
+
+    def test_rejects_bad_ffn_matrices(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(
+                name="bad", n_layers=2, hidden=128, intermediate=512, n_heads=8,
+                group_degree=1, n_experts=0, top_k=0, moe_layer_interval=0, ffn_matrices=4,
+            )

@@ -1,0 +1,35 @@
+"""Tests for KV-cache sizing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.config import mixtral, opt_66b
+from repro.models.kv_cache import kv_bytes_per_token, max_resident_tokens, request_kv_bytes
+from repro.units import GiB
+
+
+class TestSizing:
+    def test_request_bytes_linear_in_length(self):
+        m = mixtral()
+        assert request_kv_bytes(m, 2048) == pytest.approx(2 * request_kv_bytes(m, 1024))
+
+    def test_mha_model_has_heavier_kv(self):
+        assert kv_bytes_per_token(opt_66b()) > kv_bytes_per_token(mixtral())
+
+    def test_zero_length_request(self):
+        assert request_kv_bytes(mixtral(), 0) == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigError):
+            request_kv_bytes(mixtral(), -1)
+
+
+class TestCapacity:
+    def test_max_resident_tokens(self):
+        m = mixtral()
+        tokens = max_resident_tokens(m, 10 * GiB)
+        assert tokens == int(10 * GiB // m.kv_bytes_per_token)
+
+    def test_no_free_bytes_means_no_tokens(self):
+        assert max_resident_tokens(mixtral(), 0) == 0
+        assert max_resident_tokens(mixtral(), -5) == 0

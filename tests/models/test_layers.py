@@ -1,0 +1,167 @@
+"""Tests for the closed-form layer math.
+
+The key assertions mirror the paper's Section III analysis: decode attention
+sits at Op/B ~ deggrp, MoE experts at Op/B ~ routed token count, FC layers
+at Op/B ~ batch size, prefill attention high.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.models.config import glam, mixtral, opt_66b
+from repro.models.layers import DeviceShard, LayerMath
+from repro.models.ops import OpCategory
+
+
+@pytest.fixture(scope="module")
+def mixtral_math():
+    return LayerMath(mixtral())
+
+
+class TestDeviceShard:
+    def test_defaults_are_full(self):
+        shard = DeviceShard()
+        assert shard.fc_fraction == shard.expert_fraction == shard.kv_fraction == 1.0
+
+    @pytest.mark.parametrize("field", ["fc_fraction", "expert_fraction", "kv_fraction"])
+    def test_rejects_zero_or_above_one(self, field):
+        with pytest.raises(ConfigError):
+            DeviceShard(**{field: 0.0})
+        with pytest.raises(ConfigError):
+            DeviceShard(**{field: 1.5})
+
+
+class TestAttentionDecode:
+    def test_opb_tracks_group_degree(self, mixtral_math):
+        op = mixtral_math.attention_decode(np.full(32, 2048))
+        assert op.opb == pytest.approx(mixtral().group_degree, rel=0.05)
+
+    def test_mha_opb_near_one(self):
+        op = LayerMath(glam()).attention_decode(np.full(32, 2048))
+        assert op.opb == pytest.approx(1.0, rel=0.05)
+
+    def test_opb_independent_of_context_length(self, mixtral_math):
+        short = mixtral_math.attention_decode(np.full(16, 256))
+        long = mixtral_math.attention_decode(np.full(16, 8192))
+        assert short.opb == pytest.approx(long.opb, rel=0.05)
+
+    def test_bytes_scale_with_context(self, mixtral_math):
+        short = mixtral_math.attention_decode(np.full(16, 1024))
+        long = mixtral_math.attention_decode(np.full(16, 4096))
+        assert long.bytes_read == pytest.approx(4 * short.bytes_read, rel=0.02)
+
+    def test_empty_batch_is_free(self, mixtral_math):
+        op = mixtral_math.attention_decode(np.array([]))
+        assert op.flops == 0 and op.total_bytes == 0
+
+    def test_kv_fraction_scales_everything(self, mixtral_math):
+        full = mixtral_math.attention_decode(np.full(8, 1024), kv_fraction=1.0)
+        quarter = mixtral_math.attention_decode(np.full(8, 1024), kv_fraction=0.25)
+        assert quarter.flops == pytest.approx(full.flops / 4)
+        assert quarter.bytes_read == pytest.approx(full.bytes_read / 4)
+
+    def test_negative_context_rejected(self, mixtral_math):
+        with pytest.raises(ConfigError):
+            mixtral_math.attention_decode(np.array([10, -1]))
+
+
+class TestAttentionPrefill:
+    def test_high_opb(self, mixtral_math):
+        op = mixtral_math.attention_prefill([2048])
+        assert op.opb > 100
+
+    def test_quadratic_flops(self, mixtral_math):
+        small = mixtral_math.attention_prefill([1024])
+        large = mixtral_math.attention_prefill([2048])
+        assert large.flops == pytest.approx(4 * small.flops, rel=0.01)
+
+    def test_multiple_requests_sum(self, mixtral_math):
+        two = mixtral_math.attention_prefill([1024, 1024])
+        one = mixtral_math.attention_prefill([1024])
+        assert two.flops == pytest.approx(2 * one.flops)
+
+    def test_zero_length_skipped(self, mixtral_math):
+        assert mixtral_math.attention_prefill([0]).flops == 0
+
+
+class TestMoE:
+    def test_expert_opb_equals_token_count(self, mixtral_math):
+        # The Section III identity: expert Op/B ~ tokens routed to it.
+        for tokens in (1, 8, 32):
+            op = mixtral_math.expert_ffn(0, tokens)
+            assert op.opb == pytest.approx(tokens, rel=0.1)
+
+    def test_zero_token_expert_is_free(self, mixtral_math):
+        op = mixtral_math.expert_ffn(0, 0)
+        assert op.flops == 0 and op.total_bytes == 0
+
+    def test_expert_fraction_shards_weights(self, mixtral_math):
+        full = mixtral_math.expert_ffn(0, 16, expert_fraction=1.0)
+        quarter = mixtral_math.expert_ffn(0, 16, expert_fraction=0.25)
+        assert quarter.flops == pytest.approx(full.flops / 4, rel=0.01)
+
+    def test_expert_ffns_skips_empty(self, mixtral_math):
+        ops = mixtral_math.expert_ffns(np.array([4, 0, 2, 0, 0, 0, 0, 1]))
+        assert len(ops) == 3
+
+    def test_expert_ffns_accepts_dict(self, mixtral_math):
+        ops = mixtral_math.expert_ffns({3: 5, 6: 0, 7: 2})
+        assert [op.name for op in ops] == ["expert[3]", "expert[7]"]
+
+    def test_gate_on_dense_model_rejected(self):
+        with pytest.raises(ConfigError):
+            LayerMath(opt_66b()).gate(16)
+
+    def test_gate_category_is_moe(self, mixtral_math):
+        assert mixtral_math.gate(16).category is OpCategory.MOE
+
+
+class TestFcLayers:
+    def test_qkv_opb_tracks_batch(self, mixtral_math):
+        small = mixtral_math.qkv_and_projection(8)
+        large = mixtral_math.qkv_and_projection(64)
+        assert large.opb > 4 * small.opb
+
+    def test_fc_fraction_shards_weights(self, mixtral_math):
+        full = mixtral_math.qkv_and_projection(32, fc_fraction=1.0)
+        quarter = mixtral_math.qkv_and_projection(32, fc_fraction=0.25)
+        assert quarter.flops == pytest.approx(full.flops / 4)
+
+    def test_dense_ffn_matches_expert_shape(self):
+        math_opt = LayerMath(opt_66b())
+        ffn = math_opt.dense_ffn(16)
+        assert ffn.flops == pytest.approx(2 * 16 * opt_66b().dense_ffn_params, rel=0.01)
+
+    def test_lm_head_reads_vocab_weights(self, mixtral_math):
+        op = mixtral_math.lm_head(32)
+        expected = mixtral().vocab_size * mixtral().hidden * 2
+        assert op.bytes_read > expected
+
+    def test_embedding_has_no_flops(self, mixtral_math):
+        assert mixtral_math.embedding(32).flops == 0
+
+    def test_negative_tokens_rejected(self, mixtral_math):
+        with pytest.raises(ConfigError):
+            mixtral_math.qkv_and_projection(-1)
+
+
+class TestScalingProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(tokens=st.integers(1, 512), factor=st.integers(2, 8))
+    def test_fc_flops_linear_in_tokens(self, tokens, factor):
+        math = LayerMath(mixtral())
+        base = math.qkv_and_projection(tokens)
+        scaled = math.qkv_and_projection(tokens * factor)
+        assert scaled.flops == pytest.approx(base.flops * factor, rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(tokens=st.integers(1, 64))
+    def test_expert_weight_bytes_independent_of_tokens(self, tokens):
+        math = LayerMath(mixtral())
+        weights = mixtral().expert_bytes
+        op = math.expert_ffn(0, tokens)
+        activation_bytes = op.total_bytes - weights
+        assert 0 < activation_bytes < 0.2 * weights

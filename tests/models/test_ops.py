@@ -1,0 +1,58 @@
+"""Tests for the operator descriptor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.models.ops import OpCategory, Operator
+
+
+def make_op(flops=100.0, read=10.0, written=0.0, category=OpCategory.FC):
+    return Operator("op", category, flops, read, written)
+
+
+class TestOpb:
+    def test_opb_is_flops_per_byte(self):
+        assert make_op(flops=100, read=10).opb == pytest.approx(10.0)
+
+    def test_writes_count_in_opb(self):
+        assert make_op(flops=100, read=10, written=10).opb == pytest.approx(5.0)
+
+    def test_pure_compute_is_infinite(self):
+        assert make_op(flops=1, read=0).opb == float("inf")
+
+    def test_empty_op_is_zero(self):
+        assert make_op(flops=0, read=0).opb == 0.0
+
+
+class TestScaling:
+    @given(factor=st.floats(0.0, 64.0))
+    def test_scaled_preserves_opb(self, factor):
+        op = make_op(flops=100, read=10, written=5)
+        scaled = op.scaled(factor)
+        assert scaled.flops == pytest.approx(op.flops * factor)
+        if factor > 0:
+            assert scaled.opb == pytest.approx(op.opb)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            make_op().scaled(-1.0)
+
+
+class TestMerging:
+    def test_merge_sums_components(self):
+        merged = make_op(flops=10, read=1).merged_with(make_op(flops=20, read=2, written=3))
+        assert merged.flops == 30
+        assert merged.bytes_read == 3
+        assert merged.bytes_written == 3
+
+    def test_merge_across_categories_rejected(self):
+        fc = make_op(category=OpCategory.FC)
+        moe = make_op(category=OpCategory.MOE)
+        with pytest.raises(ConfigError):
+            fc.merged_with(moe)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ConfigError):
+            Operator("bad", OpCategory.FC, -1.0, 0.0)

@@ -1,0 +1,91 @@
+"""Tests for collective cost models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.parallel.collectives import CollectiveModel
+from repro.parallel.topology import ClusterTopology
+from repro.units import MB
+
+
+@pytest.fixture(scope="module")
+def single_node():
+    return CollectiveModel(ClusterTopology(1, 4))
+
+
+@pytest.fixture(scope="module")
+def two_nodes():
+    return CollectiveModel(ClusterTopology(2, 8))
+
+
+class TestAllReduce:
+    def test_single_device_is_free(self, single_node):
+        assert single_node.all_reduce_time(1 * MB, group_size=1) == 0.0
+
+    def test_zero_bytes_is_free(self, single_node):
+        assert single_node.all_reduce_time(0.0, group_size=4) == 0.0
+
+    def test_ring_formula(self, single_node):
+        # 2 x 3/4 of the payload per device at 900 GB/s plus 6 hops.
+        time = single_node.all_reduce_time(900 * MB, group_size=4)
+        expected = (2 * 3 / 4) * 900 * MB / (900e9) + 6 * 1e-6
+        assert time == pytest.approx(expected)
+
+    def test_inter_node_is_slower(self, two_nodes):
+        intra = two_nodes.all_reduce_time(1 * MB, 8, crosses_nodes=False)
+        inter = two_nodes.all_reduce_time(1 * MB, 8, crosses_nodes=True)
+        assert inter > intra
+
+    @given(nbytes=st.floats(1e3, 1e9), group=st.integers(2, 16))
+    def test_time_positive_and_bounded(self, single_node, nbytes, group):
+        time = single_node.all_reduce_time(nbytes, group)
+        assert 0 < time < 2 * nbytes / 900e9 + group * 1e-5 + 1
+
+
+class TestAllToAll:
+    def test_moves_less_than_all_reduce(self, single_node):
+        a2a = single_node.all_to_all_time(1 * MB, 4)
+        ar = single_node.all_reduce_time(1 * MB, 4)
+        assert a2a < ar
+
+    def test_wire_bytes_fraction(self, single_node):
+        assert single_node.all_to_all_wire_bytes(8 * MB, 4) == pytest.approx(6 * MB)
+
+    def test_single_device_free(self, single_node):
+        assert single_node.all_to_all_time(1 * MB, 1) == 0.0
+
+
+class TestPointToPoint:
+    def test_intra_node_transfer(self, single_node):
+        time = single_node.point_to_point_time(900 * MB)
+        assert time == pytest.approx(1e-3 + 1e-6)
+
+    def test_zero_transfer_free(self, single_node):
+        assert single_node.point_to_point_time(0.0) == 0.0
+
+    def test_negative_rejected(self, single_node):
+        with pytest.raises(ConfigError):
+            single_node.point_to_point_time(-1.0)
+
+
+class TestEnergy:
+    def test_wire_energy_scales_with_bytes(self, single_node):
+        assert single_node.wire_energy(2 * MB) == pytest.approx(2 * single_node.wire_energy(1 * MB))
+
+    def test_all_reduce_wire_bytes(self, single_node):
+        assert single_node.all_reduce_wire_bytes(4 * MB, 4) == pytest.approx(6 * MB)
+
+    def test_group_of_one_puts_nothing_on_wire(self, single_node):
+        assert single_node.all_reduce_wire_bytes(4 * MB, 1) == 0.0
+
+
+class TestValidation:
+    def test_rejects_negative_bytes(self, single_node):
+        with pytest.raises(ConfigError):
+            single_node.all_reduce_time(-1.0, 4)
+
+    def test_rejects_empty_group(self, single_node):
+        with pytest.raises(ConfigError):
+            single_node.all_to_all_time(1.0, 0)

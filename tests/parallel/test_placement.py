@@ -1,0 +1,170 @@
+"""Tests for model placement over clusters.
+
+The reference deployments come straight from Section VI: Mixtral on one node
+of four devices, GLaM on one node of eight, Grok1 on two nodes of eight.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.config import glam, grok1, llama3_70b, mixtral
+from repro.parallel.placement import ExpertPlacement, ModelPlacement
+from repro.parallel.topology import ClusterTopology
+from repro.units import GiB
+
+
+def mixtral_ep():
+    return ModelPlacement(mixtral(), ClusterTopology(1, 4))
+
+
+def mixtral_etp():
+    return ModelPlacement(
+        mixtral(), ClusterTopology(1, 4), ExpertPlacement.EXPERT_TENSOR_PARALLEL
+    )
+
+
+def grok1_ep():
+    return ModelPlacement(grok1(), ClusterTopology(2, 8))
+
+
+class TestShardFractions:
+    def test_fc_fraction_is_tensor_parallel_share(self):
+        assert mixtral_ep().fc_fraction == 0.25
+        assert grok1_ep().fc_fraction == 0.125
+
+    def test_node_batch_fraction_is_data_parallel_share(self):
+        assert mixtral_ep().node_batch_fraction == 1.0
+        assert grok1_ep().node_batch_fraction == 0.5
+
+    def test_ep_expert_fraction_full_when_experts_outnumber_devices(self):
+        assert mixtral_ep().expert_fraction == 1.0
+        assert mixtral_ep().resident_experts_per_device == 2
+
+    def test_ep_shards_experts_when_devices_outnumber_them(self):
+        # Grok1: 16 devices, 8 experts -> 2-way tensor shards per expert.
+        placement = grok1_ep()
+        assert placement.expert_fraction == 0.5
+        assert placement.resident_experts_per_device == 1
+
+    def test_etp_gives_every_device_all_node_experts(self):
+        placement = mixtral_etp()
+        assert placement.expert_fraction == 0.25
+        assert placement.resident_experts_per_device == 8
+
+    def test_glam_eight_experts_per_device(self):
+        placement = ModelPlacement(glam(), ClusterTopology(1, 8))
+        assert placement.resident_experts_per_device == 8
+        assert placement.expert_fraction == 1.0
+
+
+class TestCommunicationStructure:
+    def test_ep_uses_all_to_all(self):
+        assert mixtral_ep().moe_uses_all_to_all
+        assert mixtral_ep().moe_all_to_all_group == (4, False)
+
+    def test_etp_single_node_needs_no_all_to_all(self):
+        assert not mixtral_etp().moe_uses_all_to_all
+
+    def test_etp_multi_node_keeps_inter_node_all_to_all(self):
+        placement = ModelPlacement(
+            grok1(), ClusterTopology(2, 8), ExpertPlacement.EXPERT_TENSOR_PARALLEL
+        )
+        assert placement.moe_uses_all_to_all
+        assert placement.moe_all_to_all_group == (2, True)
+
+    def test_etp_needs_tp_all_reduce(self):
+        assert mixtral_etp().moe_uses_tp_all_reduce
+        assert not mixtral_ep().moe_uses_tp_all_reduce
+
+    def test_ep_sharded_experts_need_all_reduce(self):
+        # Grok1 EP shards each expert over two devices.
+        assert grok1_ep().moe_uses_tp_all_reduce
+
+    def test_dense_model_has_no_moe_comm(self):
+        placement = ModelPlacement(llama3_70b(), ClusterTopology(1, 4))
+        assert not placement.moe_uses_all_to_all
+        assert not placement.moe_uses_tp_all_reduce
+
+
+class TestTokenPartition:
+    def test_ep_partition_splits_experts(self):
+        counts = np.arange(8)
+        parts = mixtral_ep().per_device_expert_counts(counts)
+        assert len(parts) == 4
+        assert [list(p) for p in parts] == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_etp_partition_replicates_within_node(self):
+        counts = np.arange(8)
+        parts = mixtral_etp().per_device_expert_counts(counts)
+        assert len(parts) == 4
+        assert all((p == counts).all() for p in parts)
+
+    def test_ep_sharded_partition_replicates_per_expert(self):
+        counts = np.arange(8)
+        parts = grok1_ep().per_device_expert_counts(counts)
+        assert len(parts) == 16
+        assert list(parts[0]) == [0] and list(parts[1]) == [0]
+        assert list(parts[14]) == [7] and list(parts[15]) == [7]
+
+    def test_partition_conserves_tokens(self):
+        counts = np.array([5, 3, 9, 1, 0, 7, 2, 4])
+        parts = mixtral_ep().per_device_expert_counts(counts)
+        assert sum(int(p.sum()) for p in parts) == counts.sum()
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            mixtral_ep().per_device_expert_counts(np.zeros(5))
+
+    def test_dense_model_rejected(self):
+        placement = ModelPlacement(llama3_70b(), ClusterTopology(1, 4))
+        with pytest.raises(ConfigError):
+            placement.per_device_expert_counts(np.zeros(1))
+
+
+class TestMemoryFootprint:
+    def test_mixtral_fits_four_80gb_devices(self):
+        per_device = mixtral_ep().weight_bytes_per_device()
+        assert per_device < 30 * GiB  # 94 GB total / 4 plus margin
+
+    def test_expert_strategies_use_same_memory(self):
+        # No duplication either way — the paper's argument against hetero.
+        assert mixtral_ep().weight_bytes_per_device() == pytest.approx(
+            mixtral_etp().weight_bytes_per_device()
+        )
+
+    def test_total_weights_conserved_across_cluster(self):
+        placement = mixtral_ep()
+        total = placement.weight_bytes_per_device() * placement.topology.n_devices
+        model = mixtral()
+        # Non-expert weights replicated per node (1 node here): exact match.
+        assert total == pytest.approx(model.total_weight_bytes, rel=0.001)
+
+    def test_grok1_replicates_non_expert_per_node(self):
+        placement = grok1_ep()
+        total = placement.weight_bytes_per_device() * placement.topology.n_devices
+        model = grok1()
+        expected = model.total_weight_bytes + model.non_expert_weight_bytes  # 2 nodes
+        assert total == pytest.approx(expected, rel=0.001)
+
+    def test_kv_bytes_per_token_per_device(self):
+        assert mixtral_ep().kv_bytes_per_token_per_device() == pytest.approx(
+            mixtral().kv_bytes_per_token / 4
+        )
+
+
+class TestValidation:
+    def test_rejects_indivisible_experts(self):
+        with pytest.raises(ConfigError):
+            ModelPlacement(mixtral(), ClusterTopology(1, 3))
+
+    def test_rejects_indivisible_device_sharding(self):
+        with pytest.raises(ConfigError):
+            # 12 devices over 8 experts: not an even shard.
+            ModelPlacement(mixtral(), ClusterTopology(2, 6))
+
+    def test_rejects_etp_with_indivisible_nodes(self):
+        with pytest.raises(ConfigError):
+            ModelPlacement(
+                grok1(), ClusterTopology(3, 8), ExpertPlacement.EXPERT_TENSOR_PARALLEL
+            )

@@ -1,0 +1,59 @@
+"""Tests for cluster topology."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel.topology import ClusterTopology, InterconnectSpec
+from repro.units import GB_PER_S
+
+
+class TestTopology:
+    def test_device_count(self):
+        assert ClusterTopology(2, 8).n_devices == 16
+
+    def test_single_node_does_not_span(self):
+        assert not ClusterTopology(1, 4).spans_nodes
+        assert ClusterTopology(2, 8).spans_nodes
+
+    def test_link_selection(self):
+        topo = ClusterTopology(2, 8)
+        intra_bw, _ = topo.link(crosses_nodes=False)
+        inter_bw, _ = topo.link(crosses_nodes=True)
+        assert intra_bw == 900 * GB_PER_S
+        assert inter_bw == 400 * GB_PER_S
+
+    def test_rejects_oversized_node(self):
+        with pytest.raises(ConfigError):
+            ClusterTopology(1, 9)
+
+    def test_rejects_no_nodes(self):
+        with pytest.raises(ConfigError):
+            ClusterTopology(0, 4)
+
+
+class TestDoubling:
+    def test_four_devices_become_one_node_of_eight(self):
+        doubled = ClusterTopology(1, 4).doubled()
+        assert (doubled.n_nodes, doubled.devices_per_node) == (1, 8)
+
+    def test_eight_devices_become_two_nodes(self):
+        doubled = ClusterTopology(1, 8).doubled()
+        assert (doubled.n_nodes, doubled.devices_per_node) == (2, 8)
+
+    def test_sixteen_devices_become_four_nodes(self):
+        doubled = ClusterTopology(2, 8).doubled()
+        assert (doubled.n_nodes, doubled.devices_per_node) == (4, 8)
+
+
+class TestInterconnectValidation:
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigError):
+            InterconnectSpec(intra_node_bandwidth=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            InterconnectSpec(inter_node_latency_s=-1)
+
+    def test_rejects_negative_link_energy(self):
+        with pytest.raises(ConfigError):
+            InterconnectSpec(link_energy_pj_per_bit=-1)

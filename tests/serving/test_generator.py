@@ -1,0 +1,95 @@
+"""Tests for synthetic request generation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.generator import RequestGenerator, WorkloadSpec
+
+
+class TestClosedLoop:
+    def test_always_has_a_request(self):
+        gen = RequestGenerator(WorkloadSpec(lin_mean=512, lout_mean=512))
+        assert gen.has_request_at(0.0)
+        assert gen.has_request_at(1e9)
+
+    def test_arrival_matches_take_time(self):
+        gen = RequestGenerator(WorkloadSpec(lin_mean=512, lout_mean=512))
+        request = gen.take(42.0)
+        assert request.arrival_time_s == 42.0
+
+    def test_fixed_lengths_with_zero_cv(self):
+        gen = RequestGenerator(WorkloadSpec(lin_mean=512, lout_mean=256))
+        for _ in range(5):
+            request = gen.take(0.0)
+            assert (request.input_len, request.output_len) == (512, 256)
+
+    def test_ids_unique_and_increasing(self):
+        gen = RequestGenerator(WorkloadSpec(lin_mean=8, lout_mean=8))
+        ids = [gen.take(0.0).request_id for _ in range(10)]
+        assert ids == sorted(set(ids))
+
+
+class TestPoissonArrivals:
+    def test_arrivals_increase(self):
+        gen = RequestGenerator(WorkloadSpec(lin_mean=512, lout_mean=512, qps=10.0), seed=3)
+        times = []
+        for _ in range(20):
+            times.append(gen.peek_arrival())
+            gen.take(times[-1])
+        assert times == sorted(times)
+
+    def test_mean_rate_close_to_qps(self):
+        qps = 8.0
+        gen = RequestGenerator(WorkloadSpec(lin_mean=16, lout_mean=16, qps=qps), seed=7)
+        last = 0.0
+        n = 2000
+        for _ in range(n):
+            last = gen.peek_arrival()
+            gen.take(last)
+        assert n / last == pytest.approx(qps, rel=0.1)
+
+    def test_not_ready_before_arrival(self):
+        gen = RequestGenerator(WorkloadSpec(lin_mean=16, lout_mean=16, qps=0.001), seed=0)
+        assert not gen.has_request_at(0.0)
+
+
+class TestGaussianLengths:
+    def test_lengths_vary_with_cv(self):
+        spec = WorkloadSpec(lin_mean=1000, lout_mean=1000, lin_cv=0.3, lout_cv=0.3)
+        gen = RequestGenerator(spec, seed=5)
+        lengths = {gen.take(0.0).input_len for _ in range(20)}
+        assert len(lengths) > 5
+
+    def test_min_len_floor(self):
+        spec = WorkloadSpec(lin_mean=4, lout_mean=4, lin_cv=2.0, lout_cv=2.0, min_len=4)
+        gen = RequestGenerator(spec, seed=11)
+        for _ in range(50):
+            request = gen.take(0.0)
+            assert request.input_len >= 4
+            assert request.output_len >= 4
+
+    def test_sample_mean_near_spec_mean(self):
+        spec = WorkloadSpec(lin_mean=2048, lout_mean=512, lin_cv=0.2)
+        gen = RequestGenerator(spec, seed=13)
+        mean = sum(gen.take(0.0).input_len for _ in range(500)) / 500
+        assert mean == pytest.approx(2048, rel=0.05)
+
+    def test_seed_reproducibility(self):
+        spec = WorkloadSpec(lin_mean=1000, lout_mean=1000, lin_cv=0.5)
+        a = [RequestGenerator(spec, seed=9).take(0.0).input_len for _ in range(1)]
+        b = [RequestGenerator(spec, seed=9).take(0.0).input_len for _ in range(1)]
+        assert a == b
+
+
+class TestValidation:
+    def test_rejects_zero_mean(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(lin_mean=0, lout_mean=10)
+
+    def test_rejects_negative_cv(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(lin_mean=10, lout_mean=10, lin_cv=-0.1)
+
+    def test_rejects_zero_qps(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(lin_mean=10, lout_mean=10, qps=0.0)

@@ -1,0 +1,112 @@
+"""Tests for serving metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, SimulationError
+from repro.models.ops import OpCategory
+from repro.serving.metrics import MetricsCollector, weighted_percentile
+
+
+class TestWeightedPercentile:
+    def test_uniform_weights_match_median(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        weights = np.ones(5)
+        assert weighted_percentile(values, weights, 50) == 3.0
+
+    def test_heavy_weight_dominates(self):
+        values = np.array([1.0, 100.0])
+        weights = np.array([99.0, 1.0])
+        assert weighted_percentile(values, weights, 50) == 1.0
+        assert weighted_percentile(values, weights, 99.5) == 100.0
+
+    def test_unsorted_input(self):
+        values = np.array([5.0, 1.0, 3.0])
+        weights = np.ones(3)
+        assert weighted_percentile(values, weights, 0) == 1.0
+        assert weighted_percentile(values, weights, 100) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            weighted_percentile(np.array([]), np.array([]), 50)
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(ConfigError):
+            weighted_percentile(np.array([1.0]), np.array([1.0]), 101)
+
+    @given(q=st.floats(0, 100), values=st.lists(st.floats(0.1, 1e6), min_size=1, max_size=50))
+    def test_result_is_an_observed_value(self, q, values):
+        arr = np.asarray(values)
+        result = weighted_percentile(arr, np.ones(arr.size), q)
+        assert result in arr
+
+
+class TestCollector:
+    def _record_simple(self, collector, latency=0.01, mixed=False, decode_tokens=8):
+        collector.record_stage(
+            latency_s=latency,
+            is_mixed=mixed,
+            decode_tokens=decode_tokens,
+            total_tokens_generated=decode_tokens + (1 if mixed else 0),
+            dram_energy={OpCategory.MOE: 1.0},
+            compute_energy={OpCategory.FC: 0.5},
+            comm_energy_j=0.1,
+        )
+
+    def test_throughput(self):
+        collector = MetricsCollector()
+        for _ in range(10):
+            self._record_simple(collector, latency=0.01, decode_tokens=8)
+        report = collector.report()
+        assert report.throughput_tokens_per_s == pytest.approx(800.0)
+
+    def test_stage_ratio(self):
+        collector = MetricsCollector()
+        for i in range(10):
+            self._record_simple(collector, mixed=(i == 0))
+        assert collector.report().decoding_only_stage_ratio == pytest.approx(0.9)
+
+    def test_tbt_percentiles_weighted_by_tokens(self):
+        collector = MetricsCollector()
+        self._record_simple(collector, latency=0.001, decode_tokens=99)
+        self._record_simple(collector, latency=1.0, decode_tokens=1)
+        report = collector.report()
+        assert report.tbt_p50_s == pytest.approx(0.001)
+        assert report.tbt_p99_s == pytest.approx(0.001)
+
+    def test_energy_accounting(self):
+        collector = MetricsCollector()
+        self._record_simple(collector, decode_tokens=16)
+        report = collector.report()
+        assert report.energy_by_component["moe:dram"] == 1.0
+        assert report.energy_by_component["fc:compute"] == 0.5
+        assert report.energy_by_component["fabric"] == pytest.approx(0.1)
+        assert report.energy_per_token_j == pytest.approx(1.6 / 16)
+
+    def test_latency_metrics(self):
+        collector = MetricsCollector()
+        self._record_simple(collector)
+        collector.record_first_token(0.2)
+        collector.record_first_token(0.4)
+        collector.record_completion(2.0)
+        report = collector.report()
+        assert report.t2ft_p50_s == pytest.approx(0.3)
+        assert report.e2e_p50_s == pytest.approx(2.0)
+        assert report.requests_completed == 1
+
+    def test_idle_time_counts_toward_elapsed(self):
+        collector = MetricsCollector()
+        self._record_simple(collector, latency=0.01, decode_tokens=10)
+        collector.record_idle(0.09)
+        assert collector.report().throughput_tokens_per_s == pytest.approx(100.0)
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(SimulationError):
+            MetricsCollector().report()
+
+    def test_non_positive_latency_rejected(self):
+        collector = MetricsCollector()
+        with pytest.raises(SimulationError):
+            self._record_simple(collector, latency=0.0)

@@ -1,0 +1,156 @@
+"""Tests for KV migration and recomputation (Section VIII-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigError, SchedulingError
+from repro.serving.paging import EvictionPolicy, HostLink, PagedKvManager
+
+
+def make_manager(capacity=1000, policy=EvictionPolicy.MIGRATE, host_capacity=None):
+    return PagedKvManager(
+        capacity_tokens=capacity,
+        kv_bytes_per_token=1024.0,
+        policy=policy,
+        host_capacity_tokens=host_capacity,
+    )
+
+
+class TestHostLink:
+    def test_transfer_time(self):
+        link = HostLink(bandwidth=64e9, latency_s=10e-6)
+        assert link.transfer_time(64e9) == pytest.approx(1.0 + 10e-6)
+
+    def test_zero_transfer_free(self):
+        assert HostLink().transfer_time(0) == 0.0
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ConfigError):
+            HostLink(bandwidth=0)
+
+
+class TestAdmission:
+    def test_admit_and_release(self):
+        manager = make_manager()
+        manager.admit(1, 400)
+        manager.admit(2, 400)
+        assert manager.resident_tokens == 800
+        manager.release(1)
+        assert manager.resident_tokens == 400
+
+    def test_overflow_rejected(self):
+        manager = make_manager(capacity=500)
+        manager.admit(1, 400)
+        with pytest.raises(CapacityError):
+            manager.admit(2, 200)
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(CapacityError):
+            make_manager(capacity=100).admit(1, 200)
+
+    def test_double_admit_rejected(self):
+        manager = make_manager()
+        manager.admit(1, 100)
+        with pytest.raises(SchedulingError):
+            manager.admit(1, 100)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(SchedulingError):
+            make_manager().release(9)
+
+
+class TestMigration:
+    def test_eviction_frees_device_and_charges_link(self):
+        manager = make_manager(capacity=500)
+        manager.admit(1, 400)
+        outcome = manager.evict(1, cached_tokens=300)
+        assert manager.resident_tokens == 0
+        assert manager.evicted_tokens == 400
+        # 300 tokens * 1 KiB over 64 GB/s plus latency.
+        assert outcome.transfer_time_s == pytest.approx(300 * 1024 / 64e9 + 10e-6)
+        assert manager.stats.evictions == 1
+
+    def test_resume_brings_kv_back(self):
+        manager = make_manager(capacity=500)
+        manager.admit(1, 400)
+        manager.evict(1, cached_tokens=300)
+        outcome = manager.resume(1, cached_tokens=300)
+        assert manager.resident_tokens == 400
+        assert outcome.transfer_time_s > 0
+        assert manager.stats.migrated_in_bytes == manager.stats.migrated_out_bytes
+
+    def test_resume_requires_room(self):
+        manager = make_manager(capacity=500)
+        manager.admit(1, 400)
+        manager.evict(1, cached_tokens=100)
+        manager.admit(2, 300)
+        with pytest.raises(CapacityError):
+            manager.resume(1, cached_tokens=100)
+
+    def test_host_capacity_enforced(self):
+        manager = make_manager(capacity=500, host_capacity=300)
+        manager.admit(1, 400)
+        with pytest.raises(CapacityError):
+            manager.evict(1, cached_tokens=200)
+
+
+class TestRecompute:
+    def test_eviction_is_free(self):
+        manager = make_manager(policy=EvictionPolicy.RECOMPUTE)
+        manager.admit(1, 400)
+        outcome = manager.evict(1, cached_tokens=250)
+        assert outcome.transfer_time_s == 0.0
+        assert outcome.recompute_tokens == 0
+
+    def test_resume_carries_recompute_debt(self):
+        manager = make_manager(policy=EvictionPolicy.RECOMPUTE)
+        manager.admit(1, 400)
+        manager.evict(1, cached_tokens=250)
+        outcome = manager.resume(1, cached_tokens=250)
+        assert outcome.recompute_tokens == 250
+        assert manager.stats.recomputed_tokens == 250
+
+
+class TestVictimSelection:
+    def test_largest_first(self):
+        manager = make_manager(capacity=1000)
+        manager.admit(1, 500)
+        manager.admit(2, 300)
+        manager.admit(3, 200)
+        victims = manager.pick_victims(needed_tokens=400)
+        assert victims == [1]
+
+    def test_multiple_victims_when_needed(self):
+        manager = make_manager(capacity=1000)
+        manager.admit(1, 400)
+        manager.admit(2, 400)
+        manager.admit(3, 200)
+        victims = manager.pick_victims(needed_tokens=900)
+        assert set(victims) == {1, 2, 3} or len(victims) >= 2
+
+    def test_impossible_request_rejected(self):
+        manager = make_manager(capacity=100)
+        manager.admit(1, 50)
+        with pytest.raises(CapacityError):
+            manager.pick_victims(needed_tokens=500)
+
+    def test_no_eviction_needed_returns_empty(self):
+        manager = make_manager(capacity=1000)
+        manager.admit(1, 100)
+        assert manager.pick_victims(needed_tokens=200) == []
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(reservations=st.lists(st.integers(1, 200), min_size=1, max_size=12))
+    def test_tokens_conserved_through_evict_resume(self, reservations):
+        manager = make_manager(capacity=sum(reservations))
+        for rid, tokens in enumerate(reservations):
+            manager.admit(rid, tokens)
+        total = manager.resident_tokens
+        manager.evict(0, cached_tokens=reservations[0])
+        assert manager.resident_tokens + manager.evicted_tokens == total
+        manager.resume(0, cached_tokens=reservations[0])
+        assert manager.resident_tokens == total
+        assert manager.evicted_tokens == 0

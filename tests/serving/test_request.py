@@ -1,0 +1,76 @@
+"""Tests for the request lifecycle."""
+
+import pytest
+
+from repro.errors import ConfigError, SchedulingError
+from repro.serving.request import Request, RequestState
+
+
+def make_request(input_len=100, output_len=10, arrival=0.0):
+    return Request(request_id=0, arrival_time_s=arrival, input_len=input_len, output_len=output_len)
+
+
+class TestLifecycle:
+    def test_full_lifecycle(self):
+        request = make_request(output_len=3, arrival=1.0)
+        request.start_prefill()
+        request.finish_prefill(now_s=2.0)
+        assert request.state is RequestState.DECODING
+        assert request.tokens_generated == 1
+        assert request.context_len == 100
+        request.advance_decode(now_s=2.5)
+        request.advance_decode(now_s=3.0)
+        assert request.state is RequestState.FINISHED
+        assert request.t2ft_s == pytest.approx(1.0)
+        assert request.e2e_s == pytest.approx(2.0)
+
+    def test_context_grows_per_decode(self):
+        request = make_request(output_len=5)
+        request.start_prefill()
+        request.finish_prefill(0.1)
+        request.advance_decode(0.2)
+        assert request.context_len == 101
+
+    def test_single_token_output_finishes_at_prefill(self):
+        request = make_request(output_len=1)
+        request.start_prefill()
+        request.finish_prefill(0.5)
+        assert request.state is RequestState.FINISHED
+
+    def test_total_seq_len(self):
+        assert make_request(input_len=100, output_len=10).total_seq_len == 110
+
+
+class TestInvalidTransitions:
+    def test_cannot_decode_before_prefill(self):
+        with pytest.raises(SchedulingError):
+            make_request().advance_decode(1.0)
+
+    def test_cannot_prefill_twice(self):
+        request = make_request()
+        request.start_prefill()
+        with pytest.raises(SchedulingError):
+            request.start_prefill()
+
+    def test_t2ft_requires_first_token(self):
+        with pytest.raises(SchedulingError):
+            _ = make_request().t2ft_s
+
+    def test_e2e_requires_completion(self):
+        request = make_request()
+        request.start_prefill()
+        request.finish_prefill(0.5)
+        with pytest.raises(SchedulingError):
+            _ = request.e2e_s
+
+
+class TestValidation:
+    def test_rejects_zero_lengths(self):
+        with pytest.raises(ConfigError):
+            make_request(input_len=0)
+        with pytest.raises(ConfigError):
+            make_request(output_len=0)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ConfigError):
+            make_request(arrival=-1.0)

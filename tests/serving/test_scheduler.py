@@ -1,0 +1,144 @@
+"""Tests for the continuous-batching and static-batching schedulers."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.serving.generator import RequestGenerator, WorkloadSpec
+from repro.serving.request import RequestState
+from repro.serving.scheduler import ContinuousBatchingScheduler, StaticBatchingScheduler
+
+
+def make_scheduler(max_batch=4, lout=4, qps=None, capacity_tokens=None, seed=0):
+    spec = WorkloadSpec(lin_mean=64, lout_mean=lout, qps=qps, min_len=1)
+    return ContinuousBatchingScheduler(
+        RequestGenerator(spec, seed=seed), max_batch, capacity_tokens
+    )
+
+
+class TestAdmission:
+    def test_first_stage_is_all_prefill(self):
+        scheduler = make_scheduler()
+        stage = scheduler.build_stage()
+        assert stage is not None
+        assert stage.n_prefill == 4
+        assert stage.n_decode == 0
+
+    def test_batch_capped(self):
+        scheduler = make_scheduler(max_batch=2)
+        stage = scheduler.build_stage()
+        assert stage.n_requests == 2
+
+    def test_new_request_joins_after_completion(self):
+        scheduler = make_scheduler(max_batch=2, lout=2)
+        scheduler.build_stage()
+        scheduler.complete_stage(0.01)  # prefill -> first token
+        stage = scheduler.build_stage()  # decode-only stage
+        assert stage.n_prefill == 0
+        finished = scheduler.complete_stage(0.01)  # second token: lout=2 done
+        assert len(finished) == 2
+        stage = scheduler.build_stage()
+        assert stage.n_prefill == 2  # replacements admitted immediately
+
+    def test_capacity_blocks_admission(self):
+        # Each request commits 64+4 tokens; capacity of 100 fits only one.
+        scheduler = make_scheduler(max_batch=4, capacity_tokens=100)
+        stage = scheduler.build_stage()
+        assert stage.n_requests == 1
+
+    def test_oversized_request_raises(self):
+        scheduler = make_scheduler(capacity_tokens=10)
+        with pytest.raises(SchedulingError):
+            scheduler.build_stage()
+
+    def test_open_loop_idle_returns_none(self):
+        scheduler = make_scheduler(qps=0.0001)
+        assert scheduler.build_stage() is None
+
+
+class TestStageProgression:
+    def test_mixed_then_decode_only(self):
+        scheduler = make_scheduler(max_batch=2, lout=8)
+        first = scheduler.build_stage()
+        assert first.is_mixed
+        scheduler.complete_stage(0.01)
+        second = scheduler.build_stage()
+        assert not second.is_mixed
+        assert second.n_decode == 2
+
+    def test_context_lengths_grow(self):
+        scheduler = make_scheduler(max_batch=1, lout=8)
+        scheduler.build_stage()
+        scheduler.complete_stage(0.01)
+        ctx_values = []
+        for _ in range(3):
+            stage = scheduler.build_stage()
+            ctx_values.append(int(stage.decode_context_lengths[0]))
+            scheduler.complete_stage(0.01)
+        assert ctx_values == [64, 65, 66]
+
+    def test_clock_advances_by_latency(self):
+        scheduler = make_scheduler()
+        scheduler.build_stage()
+        scheduler.complete_stage(0.25)
+        assert scheduler.now_s == pytest.approx(0.25)
+
+    def test_complete_without_stage_raises(self):
+        with pytest.raises(SchedulingError):
+            make_scheduler().complete_stage(0.01)
+
+    def test_kv_released_on_completion(self):
+        scheduler = make_scheduler(max_batch=1, lout=2, capacity_tokens=70)
+        scheduler.build_stage()
+        scheduler.complete_stage(0.01)
+        scheduler.build_stage()
+        scheduler.complete_stage(0.01)  # finished: 66 tokens released
+        assert scheduler._committed_tokens == 0
+
+
+class TestWarmStart:
+    def test_staggered_progress(self):
+        scheduler = make_scheduler(max_batch=8, lout=64)
+        synthetic = scheduler.warm_start(8)
+        progress = sorted(r.tokens_generated for r in synthetic)
+        assert len(set(progress)) > 4  # staggered, not lock-stepped
+        assert all(r.state is RequestState.DECODING for r in synthetic)
+
+    def test_warm_start_fills_batch(self):
+        scheduler = make_scheduler(max_batch=4, lout=16)
+        scheduler.warm_start(4)
+        stage = scheduler.build_stage()
+        assert stage.n_decode == 4
+        assert stage.n_prefill == 0
+
+    def test_warm_start_on_running_system_raises(self):
+        scheduler = make_scheduler()
+        scheduler.build_stage()
+        with pytest.raises(SchedulingError):
+            scheduler.warm_start(2)
+
+
+class TestStaticBatching:
+    def test_cohort_blocks_until_all_finish(self):
+        spec = WorkloadSpec(lin_mean=64, lout_mean=8, lout_cv=0.5)
+        scheduler = StaticBatchingScheduler(RequestGenerator(spec, seed=3), max_batch=4)
+        stage = scheduler.build_stage()
+        assert stage.n_prefill == 4
+        louts = sorted(r.output_len for r in scheduler.running)
+        # Run until the longest request finishes; no admissions in between.
+        stages = 0
+        while any(r.state is not RequestState.FINISHED for r in scheduler.running):
+            scheduler.complete_stage(0.01)
+            stages += 1
+            active = [r for r in scheduler.running if r.state is not RequestState.FINISHED]
+            if active:
+                assert scheduler.build_stage().n_prefill == 0
+        assert stages == louts[-1]
+
+    def test_next_cohort_after_drain(self):
+        spec = WorkloadSpec(lin_mean=64, lout_mean=2, min_len=1)
+        scheduler = StaticBatchingScheduler(RequestGenerator(spec, seed=0), max_batch=2)
+        scheduler.build_stage()
+        scheduler.complete_stage(0.01)
+        scheduler.complete_stage(0.01)
+        stage = scheduler.build_stage()
+        assert stage.n_prefill == 2

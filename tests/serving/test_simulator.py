@@ -1,0 +1,125 @@
+"""Integration tests: full serving simulations reproducing paper effects."""
+
+import pytest
+
+from repro.core.system import duplex_system, gpu_system, hetero_system
+from repro.errors import CapacityError
+from repro.models.config import mixtral
+from repro.serving.generator import WorkloadSpec
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+from repro.serving.split import SplitServingSimulator, split_partitions
+
+
+LIMITS = SimulationLimits(max_stages=300, warmup_stages=8)
+
+
+def simulate(system, lin=1024, lout=512, batch=32, qps=None, limits=LIMITS, seed=1):
+    spec = WorkloadSpec(lin_mean=lin, lout_mean=lout, qps=qps)
+    sim = ServingSimulator(system, mixtral(), spec, max_batch=batch, seed=seed)
+    return sim.run(limits)
+
+
+class TestClosedLoopBasics:
+    def test_throughput_positive(self):
+        report = simulate(gpu_system(mixtral()))
+        assert report.throughput_tokens_per_s > 0
+
+    def test_decoding_only_dominates(self):
+        # Fig. 5(a): almost all stages are decoding-only.
+        report = simulate(gpu_system(mixtral()))
+        assert report.decoding_only_stage_ratio > 0.9
+
+    def test_duplex_beats_gpu_throughput(self):
+        gpu = simulate(gpu_system(mixtral()))
+        duplex = simulate(duplex_system(mixtral(), co_processing=True, expert_tensor_parallel=True))
+        assert 1.5 < duplex.throughput_tokens_per_s / gpu.throughput_tokens_per_s < 4.0
+
+    def test_duplex_cuts_median_tbt(self):
+        gpu = simulate(gpu_system(mixtral()))
+        duplex = simulate(duplex_system(mixtral()))
+        assert duplex.tbt_p50_s < 0.6 * gpu.tbt_p50_s
+
+    def test_energy_per_token_lower_on_duplex(self):
+        gpu = simulate(gpu_system(mixtral()))
+        duplex = simulate(duplex_system(mixtral()))
+        assert duplex.energy_per_token_j < gpu.energy_per_token_j
+
+    def test_t2ft_recorded_without_completions(self):
+        # Closed loop with long outputs: completions are rare, but T2FT
+        # samples appear as soon as replacements prefill.
+        report = simulate(gpu_system(mixtral()), lout=4096)
+        assert report.t2ft_p50_s > 0
+
+    def test_reproducible_with_seed(self):
+        a = simulate(gpu_system(mixtral()), seed=7)
+        b = simulate(gpu_system(mixtral()), seed=7)
+        assert a.throughput_tokens_per_s == b.throughput_tokens_per_s
+
+
+class TestHeteroTail:
+    def test_hetero_improves_median_but_hurts_tail(self):
+        gpu = simulate(gpu_system(mixtral()), lin=2048, lout=512)
+        hetero = simulate(hetero_system(mixtral()), lin=2048, lout=512)
+        assert hetero.tbt_p50_s < gpu.tbt_p50_s  # p50 improves (Fig. 5(b))
+        assert hetero.tbt_p99_s > 1.5 * gpu.tbt_p99_s  # tail explodes
+
+
+class TestCapacityLimits:
+    def test_effective_batch_reduced_when_kv_overflows(self):
+        # Long sequences at batch 128: hetero runs out first (Fig. 5(c)).
+        spec = WorkloadSpec(lin_mean=8192, lout_mean=4096)
+        gpu_sim = ServingSimulator(gpu_system(mixtral()), mixtral(), spec, max_batch=128)
+        het_sim = ServingSimulator(hetero_system(mixtral()), mixtral(), spec, max_batch=128)
+        assert het_sim.effective_batch < gpu_sim.effective_batch
+
+    def test_impossible_workload_raises(self):
+        spec = WorkloadSpec(lin_mean=2_000_000, lout_mean=1024)
+        with pytest.raises(CapacityError):
+            ServingSimulator(gpu_system(mixtral()), mixtral(), spec, max_batch=8)
+
+
+class TestOpenLoop:
+    def test_low_qps_has_idle_time(self):
+        report = simulate(
+            gpu_system(mixtral()),
+            lin=256,
+            lout=64,
+            qps=0.5,
+            limits=SimulationLimits(max_stages=200, warmup_stages=0),
+        )
+        # With half a request per second the system is mostly idle: the
+        # measured window is far longer than the busy time.
+        assert report.throughput_tokens_per_s < 100
+
+    def test_overload_blows_up_t2ft(self):
+        fast = simulate(gpu_system(mixtral()), lin=1024, lout=256, qps=2.0,
+                        limits=SimulationLimits(max_stages=400, warmup_stages=0))
+        slow = simulate(gpu_system(mixtral()), lin=1024, lout=256, qps=50.0,
+                        limits=SimulationLimits(max_stages=400, warmup_stages=0))
+        assert slow.t2ft_p50_s > 2 * fast.t2ft_p50_s
+
+
+class TestSplitServing:
+    def test_partitions_duplicate_weights(self):
+        prefill, decode = split_partitions(mixtral())
+        full = duplex_system(mixtral(), co_processing=True)
+        split_weights = prefill.memory_profiles(mixtral())[0].weight_bytes
+        full_weights = full.memory_profiles(mixtral())[0].weight_bytes
+        assert split_weights == pytest.approx(2 * full_weights, rel=0.01)
+
+    def test_split_never_sees_mixed_decode_stages(self):
+        spec = WorkloadSpec(lin_mean=1024, lout_mean=256)
+        sim = SplitServingSimulator(mixtral(), spec, max_batch=16, seed=1)
+        report = sim.run(SimulationLimits(max_stages=200, warmup_stages=4))
+        # Decode-partition TBT is flat: p99 close to p50 (Fig. 16's benefit).
+        assert report.tbt_p99_s < 1.3 * report.tbt_p50_s
+
+    def test_split_loses_throughput(self):
+        spec = WorkloadSpec(lin_mean=1024, lout_mean=256)
+        non_split = ServingSimulator(
+            duplex_system(mixtral(), co_processing=True), mixtral(), spec, max_batch=32, seed=1
+        ).run(SimulationLimits(max_stages=250, warmup_stages=8))
+        split = SplitServingSimulator(mixtral(), spec, max_batch=32, seed=1).run(
+            SimulationLimits(max_stages=250, warmup_stages=8)
+        )
+        assert split.throughput_tokens_per_s < non_split.throughput_tokens_per_s

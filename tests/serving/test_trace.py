@@ -1,0 +1,139 @@
+"""Tests for trace recording/replay and SLO metrics."""
+
+import pytest
+
+from repro.core.system import gpu_system
+from repro.core.executor import StageExecutor
+from repro.errors import ConfigError, SimulationError
+from repro.models.config import mixtral
+from repro.models.ops import OpCategory
+from repro.serving.metrics import MetricsCollector
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.trace import TraceRecord, TraceReplayGenerator, load_trace, save_trace
+
+
+def make_records(n=5, gap=0.5):
+    return [TraceRecord(arrival_s=i * gap, input_len=128 + i, output_len=16) for i in range(n)]
+
+
+class TestTraceRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = make_records()
+        assert save_trace(records, path) == 5
+        assert load_trace(path) == records
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"arrival_s": 0, "input_len": 8, "output_len": 4}\n\n')
+        assert len(load_trace(path)) == 1
+
+    def test_malformed_record_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"arrival_s": 0}\n')
+        with pytest.raises(ConfigError):
+            load_trace(path)
+
+    def test_unsorted_trace_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(
+            [
+                TraceRecord(arrival_s=1.0, input_len=8, output_len=4),
+                TraceRecord(arrival_s=0.5, input_len=8, output_len=4),
+            ],
+            path,
+        )
+        with pytest.raises(ConfigError):
+            load_trace(path)
+
+    def test_record_validation(self):
+        with pytest.raises(ConfigError):
+            TraceRecord(arrival_s=-1.0, input_len=8, output_len=4)
+        with pytest.raises(ConfigError):
+            TraceRecord(arrival_s=0.0, input_len=0, output_len=4)
+
+
+class TestReplayGenerator:
+    def test_replay_order_and_exhaustion(self):
+        generator = TraceReplayGenerator(make_records(3))
+        taken = []
+        now = 10.0  # everything has arrived
+        while generator.has_request_at(now):
+            taken.append(generator.take(now))
+        assert [r.input_len for r in taken] == [128, 129, 130]
+        assert generator.exhausted
+        assert generator.peek_arrival() == float("inf")
+
+    def test_arrivals_respected(self):
+        generator = TraceReplayGenerator(make_records(3, gap=1.0))
+        assert generator.has_request_at(0.0)
+        generator.take(0.0)
+        assert not generator.has_request_at(0.5)
+        assert generator.has_request_at(1.0)
+
+    def test_time_scale_compresses_load(self):
+        generator = TraceReplayGenerator(make_records(2, gap=1.0), time_scale=0.5)
+        generator.take(0.0)
+        assert generator.peek_arrival() == pytest.approx(0.5)
+
+    def test_take_after_exhaustion_rejected(self):
+        generator = TraceReplayGenerator(make_records(1))
+        generator.take(0.0)
+        with pytest.raises(ConfigError):
+            generator.take(0.0)
+
+    def test_zero_time_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceReplayGenerator(make_records(1), time_scale=0.0)
+
+    def test_drives_the_scheduler_end_to_end(self):
+        model = mixtral()
+        system = gpu_system(model)
+        executor = StageExecutor(system, model, seed=0)
+        generator = TraceReplayGenerator(make_records(4, gap=0.0))
+        scheduler = ContinuousBatchingScheduler(generator, max_batch=4)
+        stages = 0
+        while True:
+            workload = scheduler.build_stage()
+            if workload is None:
+                break
+            result = executor.run_stage(workload)
+            scheduler.complete_stage(result.latency_s)
+            stages += 1
+        assert generator.exhausted
+        assert stages == 16  # one prefill + 15 decode stages for lout 16
+
+
+class TestSloMetrics:
+    def _collector(self):
+        collector = MetricsCollector()
+        for latency, tokens in ((0.005, 90), (0.050, 10)):
+            collector.record_stage(
+                latency_s=latency,
+                is_mixed=False,
+                decode_tokens=tokens,
+                total_tokens_generated=tokens,
+                dram_energy={OpCategory.MOE: 1.0},
+                compute_energy={},
+                comm_energy_j=0.0,
+            )
+        collector.record_first_token(0.2)
+        collector.record_first_token(0.9)
+        return collector
+
+    def test_tbt_attainment(self):
+        collector = self._collector()
+        assert collector.tbt_slo_attainment(0.010) == pytest.approx(0.9)
+        assert collector.tbt_slo_attainment(0.100) == 1.0
+
+    def test_t2ft_attainment(self):
+        collector = self._collector()
+        assert collector.t2ft_slo_attainment(0.5) == pytest.approx(0.5)
+
+    def test_bad_slo_rejected(self):
+        with pytest.raises(ConfigError):
+            self._collector().tbt_slo_attainment(0.0)
+
+    def test_empty_collector_rejected(self):
+        with pytest.raises(SimulationError):
+            MetricsCollector().tbt_slo_attainment(0.1)

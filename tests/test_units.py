@@ -1,0 +1,49 @@
+"""Tests for unit constants and the public package surface."""
+
+import pytest
+
+import repro
+from repro import units
+
+
+class TestUnits:
+    def test_binary_vs_decimal_capacity(self):
+        assert units.GiB == 2**30
+        assert units.GB == 1e9
+        assert units.GiB > units.GB
+
+    def test_bandwidth_constants(self):
+        assert units.TB_PER_S == 1000 * units.GB_PER_S
+
+    def test_bits(self):
+        assert units.bits(2) == 16
+
+    def test_seconds_to_ms(self):
+        assert units.seconds_to_ms(0.5) == pytest.approx(500.0)
+
+    def test_tokens_per_second(self):
+        assert units.tokens_per_second(100, 2.0) == 50.0
+        assert units.tokens_per_second(100, 0.0) == 0.0
+
+    def test_fp16_bytes(self):
+        assert units.FP16_BYTES == 2
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_error_hierarchy(self):
+        for error in (
+            repro.ConfigError,
+            repro.CapacityError,
+            repro.SchedulingError,
+            repro.SimulationError,
+            repro.AllocationError,
+            repro.TimingError,
+        ):
+            assert issubclass(error, repro.ReproError)
