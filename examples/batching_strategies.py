@@ -11,9 +11,7 @@ Run:
     python examples/batching_strategies.py
 """
 
-import numpy as np
-
-from repro import SimulationLimits, StageExecutor, gpu_system, mixtral
+from repro import StageExecutor, gpu_system, mixtral
 from repro.analysis.report import format_table
 from repro.serving.generator import RequestGenerator, WorkloadSpec
 from repro.serving.metrics import MetricsCollector

@@ -52,24 +52,52 @@ from repro.models.config import (
     opt_66b,
     paper_models,
 )
-from repro.serving.generator import WorkloadSpec
+from repro.serving.cluster import (
+    ClusterReport,
+    ClusterSimulator,
+    LeastOutstandingTokensRouter,
+    PowerOfTwoChoicesRouter,
+    RoundRobinRouter,
+    Router,
+)
+from repro.serving.generator import QueueSource, RequestGenerator, RequestSource, WorkloadSpec
 from repro.serving.metrics import ServingReport
+from repro.serving.policy import (
+    ChunkedPrefillPolicy,
+    FcfsPolicy,
+    SchedulingPolicy,
+    SloAwarePolicy,
+)
 from repro.serving.simulator import ServingSimulator, SimulationLimits
 from repro.serving.split import SplitServingSimulator
+from repro.serving.trace import TraceReplayGenerator, load_trace, save_trace
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AllocationError",
     "CapacityError",
+    "ChunkedPrefillPolicy",
+    "ClusterReport",
+    "ClusterSimulator",
     "ConfigError",
+    "FcfsPolicy",
+    "LeastOutstandingTokensRouter",
     "ModelConfig",
+    "PowerOfTwoChoicesRouter",
+    "QueueSource",
     "ReproError",
+    "RequestGenerator",
+    "RequestSource",
+    "RoundRobinRouter",
+    "Router",
     "SchedulingError",
+    "SchedulingPolicy",
     "ServingReport",
     "ServingSimulator",
     "SimulationError",
     "SimulationLimits",
+    "SloAwarePolicy",
     "SplitServingSimulator",
     "StageExecutor",
     "StageResult",
@@ -77,6 +105,7 @@ __all__ = [
     "SystemConfig",
     "SystemKind",
     "TimingError",
+    "TraceReplayGenerator",
     "WorkloadSpec",
     "__version__",
     "bank_pim_system",
@@ -87,7 +116,9 @@ __all__ = [
     "grok1",
     "hetero_system",
     "llama3_70b",
+    "load_trace",
     "mixtral",
     "opt_66b",
     "paper_models",
+    "save_trace",
 ]

@@ -54,11 +54,16 @@ class StageWorkload:
 
     Attributes:
         decode_context_lengths: cached KV length per ongoing decode request.
-        prefill_lengths: input length per newly admitted request.
+        prefill_lengths: input tokens processed this stage per prefilling
+            request (the whole input, or one chunk under chunked prefill).
+        prefill_context_lengths: per-prefill tokens already processed by
+            earlier chunks (empty = none; must parallel ``prefill_lengths``
+            otherwise).
     """
 
     decode_context_lengths: np.ndarray
     prefill_lengths: tuple[int, ...] = ()
+    prefill_context_lengths: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         lengths = np.asarray(self.decode_context_lengths)
@@ -67,6 +72,11 @@ class StageWorkload:
             raise ConfigError("decode context lengths must be non-negative")
         if any(length < 1 for length in self.prefill_lengths):
             raise ConfigError("prefill lengths must be positive")
+        if self.prefill_context_lengths:
+            if len(self.prefill_context_lengths) != len(self.prefill_lengths):
+                raise ConfigError("prefill context lengths must parallel prefill lengths")
+            if any(context < 0 for context in self.prefill_context_lengths):
+                raise ConfigError("prefill context lengths must be non-negative")
         if lengths.size == 0 and not self.prefill_lengths:
             raise ConfigError("a stage needs at least one request")
 
@@ -74,6 +84,11 @@ class StageWorkload:
     def is_mixed(self) -> bool:
         """True when a prefill participates in the stage."""
         return len(self.prefill_lengths) > 0
+
+    @property
+    def prefill_contexts(self) -> tuple[int, ...]:
+        """Per-prefill cached context (zero-padded when not chunked)."""
+        return self.prefill_context_lengths or (0,) * len(self.prefill_lengths)
 
     @property
     def n_decode(self) -> int:
@@ -99,7 +114,12 @@ class StageWorkload:
 
 @dataclass
 class StageResult:
-    """Latency and energy of one stage, with per-category breakdowns."""
+    """Latency and energy of one stage, with per-category breakdowns.
+
+    ``tokens_generated`` counts the stage's requests — an upper bound on
+    tokens actually produced when prefills are chunked (a non-final chunk
+    emits no token); schedulers track the exact count.
+    """
 
     latency_s: float = 0.0
     time_by_category: dict[OpCategory, float] = field(default_factory=dict)
@@ -135,6 +155,20 @@ class StageResult:
         )
 
 
+@dataclass(frozen=True)
+class PricingCacheInfo:
+    """Hit/miss counters of the memoized stage-pricing cache."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 class StageExecutor:
     """Times and energises stages for one system serving one model.
 
@@ -146,6 +180,21 @@ class StageExecutor:
         seed: RNG seed for gating.
         deterministic_gating: use expected token counts instead of sampling
             (useful for tests and calibration sweeps).
+        memoize: cache stage prices behind a quantized composition key.
+            Decode context lengths are bucketed to ``context_bucket_tokens``
+            and snapped to sorted bucket midpoints, and identical keys
+            return the cached result — large sweeps re-price only ~one
+            stage per bucket crossing instead of every stage.  The
+            quantization error is bounded by half a bucket of context per
+            decode (well under 1% of stage latency at paper sequence
+            lengths).  Cached entries also price expert routing with
+            *expected* counts rather than per-stage samples — a
+            distribution change, not a bounded error: sampled-routing
+            straggler stages disappear, so MoE tail percentiles (TBT
+            p99) come out tighter than the exact path's.  Use
+            ``memoize=False`` (the default) wherever sampled-gating tails
+            are the point of the experiment.
+        context_bucket_tokens: bucket width for the memoization key.
     """
 
     def __init__(
@@ -155,12 +204,21 @@ class StageExecutor:
         gating_skew: float = 0.0,
         seed: int | None = 0,
         deterministic_gating: bool = False,
+        memoize: bool = False,
+        context_bucket_tokens: int = 64,
     ) -> None:
+        if context_bucket_tokens < 1:
+            raise ConfigError("context_bucket_tokens must be at least 1")
         self.system = system
         self.model = model
         self.math = LayerMath(model)
         self.collectives = CollectiveModel(system.topology)
         self.deterministic_gating = deterministic_gating
+        self.memoize = memoize
+        self.context_bucket_tokens = context_bucket_tokens
+        self._price_cache: dict[tuple, StageResult] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
         if system.kind is SystemKind.HETERO:
             n_gpu, n_pim = system.hetero_gpu_count, system.hetero_pim_count
@@ -216,13 +274,97 @@ class StageExecutor:
     # main entry
     # ------------------------------------------------------------------
     def run_stage(self, workload: StageWorkload) -> StageResult:
-        """Execute one stage and return its latency/energy breakdown."""
+        """Execute one stage and return its latency/energy breakdown.
+
+        With ``memoize`` enabled, stages whose quantized composition was
+        priced before return the cached breakdown (copied, so callers may
+        mutate); otherwise the stage is priced exactly.
+        """
+        if not self.memoize:
+            return self._price_stage(workload, deterministic=self.deterministic_gating)
+        key = self._cache_key(workload)
+        cached = self._price_cache.get(key)
+        if cached is None:
+            self._cache_misses += 1
+            cached = self._price_stage(self._quantize(workload), deterministic=True)
+            self._price_cache[key] = cached
+        else:
+            self._cache_hits += 1
+        return self._copy_result(cached)
+
+    # ------------------------------------------------------------------
+    # memoized pricing
+    # ------------------------------------------------------------------
+    def pricing_cache_info(self) -> PricingCacheInfo:
+        """Hit/miss/size counters of the memoized pricing cache."""
+        return PricingCacheInfo(self._cache_hits, self._cache_misses, len(self._price_cache))
+
+    def clear_pricing_cache(self) -> None:
+        self._price_cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def _cache_key(self, workload: StageWorkload) -> tuple:
+        bucket = self.context_bucket_tokens
+        decode = np.asarray(workload.decode_context_lengths, dtype=np.int64) // bucket
+        return (
+            tuple(sorted(decode.tolist())),
+            workload.prefill_lengths,
+            tuple(context // bucket for context in workload.prefill_contexts),
+        )
+
+    def _bucket_midpoint(self, length: int) -> int:
+        bucket = self.context_bucket_tokens
+        return 0 if length == 0 else (length // bucket) * bucket + bucket // 2
+
+    def _quantize(self, workload: StageWorkload) -> StageWorkload:
+        """Snap context lengths to bucket midpoints (the key's representative).
+
+        Decode contexts are also *sorted*: the cache key is a multiset, so
+        the priced representative must be canonical too — node 0's
+        ``[::n_nodes]`` data-parallel share is order-sensitive, and pricing
+        the arrival order would let permutations of one multiset silently
+        share a wrong price on multi-node systems.
+        """
+        decode = np.sort(
+            np.asarray(
+                [self._bucket_midpoint(int(c)) for c in workload.decode_context_lengths],
+                dtype=np.int64,
+            )
+        )
+        return StageWorkload(
+            decode_context_lengths=decode,
+            prefill_lengths=workload.prefill_lengths,
+            prefill_context_lengths=tuple(
+                self._bucket_midpoint(int(c)) for c in workload.prefill_contexts
+            )
+            if workload.prefill_context_lengths
+            else (),
+        )
+
+    @staticmethod
+    def _copy_result(cached: StageResult) -> StageResult:
+        return StageResult(
+            latency_s=cached.latency_s,
+            time_by_category=dict(cached.time_by_category),
+            dram_energy_by_category=dict(cached.dram_energy_by_category),
+            compute_energy_by_category=dict(cached.compute_energy_by_category),
+            comm_energy_j=cached.comm_energy_j,
+            is_mixed=cached.is_mixed,
+            tokens_generated=cached.tokens_generated,
+        )
+
+    # ------------------------------------------------------------------
+    # exact pricing
+    # ------------------------------------------------------------------
+    def _price_stage(self, workload: StageWorkload, deterministic: bool) -> StageResult:
         result = StageResult(is_mixed=workload.is_mixed, tokens_generated=workload.n_requests)
         model, system = self.model, self.system
 
         # Data parallelism: node 0 takes the round-robin share (worst case).
         local_ctx = np.asarray(workload.decode_context_lengths)[:: self._n_nodes]
         local_prefill = tuple(workload.prefill_lengths[:: self._n_nodes])
+        local_prefill_ctx = tuple(workload.prefill_contexts[:: self._n_nodes])
         local_tokens = int(local_ctx.size) + int(sum(local_prefill))
 
         fc_unit = self._xpu if self._xpu is not None else self._pim
@@ -245,7 +387,9 @@ class StageExecutor:
                 result, decode_unit, decode_op, self._attention_replicas(), n_layers
             )
         if local_prefill:
-            prefill_op = self.math.attention_prefill(local_prefill, self._prefill_kv_fraction)
+            prefill_op = self.math.attention_prefill(
+                local_prefill, self._prefill_kv_fraction, local_prefill_ctx
+            )
             prefill_time = self._charge(result, fc_unit, prefill_op, self._fc_replicas(), n_layers)
         overlap = (
             workload.is_mixed
@@ -258,7 +402,7 @@ class StageExecutor:
 
         # ---- FFN / MoE ------------------------------------------------------
         if model.is_moe:
-            latency += self._moe_layers_time(result, workload, local_tokens)
+            latency += self._moe_layers_time(result, workload, local_tokens, deterministic)
             if model.n_dense_ffn_layers > 0 and local_tokens > 0:
                 latency += self._dense_ffn_time(result, local_tokens, model.n_dense_ffn_layers)
         elif local_tokens > 0:
@@ -285,7 +429,7 @@ class StageExecutor:
     # MoE
     # ------------------------------------------------------------------
     def _moe_layers_time(
-        self, result: StageResult, workload: StageWorkload, local_tokens: int
+        self, result: StageResult, workload: StageWorkload, local_tokens: int, deterministic: bool
     ) -> float:
         """Latency contribution of all MoE layers (gate + experts)."""
         assert self._router is not None
@@ -293,7 +437,7 @@ class StageExecutor:
         layers = model.n_moe_layers
         if workload.total_tokens == 0 or layers == 0:
             return 0.0
-        if self.deterministic_gating:
+        if deterministic:
             counts = np.rint(self._router.expected_counts(workload.total_tokens)).astype(np.int64)
         else:
             counts = self._router.route(workload.total_tokens)

@@ -6,6 +6,13 @@ stages are bandwidth-bound); at high QPS the 2xGPU system wins the tail
 (it has twice the compute for the now-frequent mixed stages); the GPU
 saturates first — beyond its capacity the queue grows without bound and
 T2FT explodes — while Duplex sustains roughly the 2xGPU arrival rate.
+
+The 21-point grid can fan out over a process pool (``workers``) and/or
+use memoized stage pricing (``memoize=True``, several times faster).
+The default stays exact: memoized pricing replaces sampled expert
+routing with expected counts, which removes the gating-straggler stages
+that this figure's tail percentiles exist to show — use the fast path
+for load exploration, the exact one for the paper artefact.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.core.system import SystemConfig, duplex_system, gpu_system
 from repro.experiments.presets import model_by_key
+from repro.experiments.sweep import run_sweep
 from repro.serving.generator import WorkloadSpec
 from repro.serving.simulator import ServingSimulator, SimulationLimits
 
@@ -42,6 +50,31 @@ def default_systems() -> dict[str, SystemConfig]:
     }
 
 
+def _qps_point(
+    system_key: str,
+    qps: float,
+    lin: int,
+    lout: int,
+    max_batch: int,
+    limits: SimulationLimits,
+    seed: int,
+    memoize: bool,
+) -> QpsRow:
+    """Price one (system, QPS) grid point (process-pool worker)."""
+    model = model_by_key("mixtral")
+    system = default_systems()[system_key]
+    spec = WorkloadSpec(lin_mean=lin, lout_mean=lout, qps=qps)
+    sim = ServingSimulator(
+        system, model, spec, max_batch=max_batch, seed=seed, memoize_pricing=memoize
+    )
+    report = sim.run(limits)
+    return QpsRow(
+        system_key, qps,
+        report.tbt_p50_s, report.tbt_p90_s, report.tbt_p99_s,
+        report.t2ft_p50_s, report.e2e_p50_s, report.throughput_tokens_per_s,
+    )
+
+
 def run(
     qps_values: tuple[float, ...] = (4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0),
     lin: int = 4096,
@@ -49,24 +82,28 @@ def run(
     max_batch: int = 128,
     limits: SimulationLimits | None = None,
     seed: int = 0,
+    memoize: bool = False,
+    workers: int | None = 1,
 ) -> list[QpsRow]:
-    """Regenerate the Fig. 13 QPS sweep."""
+    """Regenerate the Fig. 13 QPS sweep.
+
+    Args:
+        memoize: memoized stage pricing — several times faster, but
+            expected-counts gating tightens the MoE tail percentiles
+            (exact sampled pricing is the default, and the artefact).
+        workers: process-pool width; 1 (default) runs in-process,
+            None uses one worker per CPU.
+    """
     limits = limits or SimulationLimits(max_stages=1500, warmup_stages=150)
-    model = model_by_key("mixtral")
-    rows = []
-    for name, system in default_systems().items():
-        for qps in qps_values:
-            spec = WorkloadSpec(lin_mean=lin, lout_mean=lout, qps=qps)
-            sim = ServingSimulator(system, model, spec, max_batch=max_batch, seed=seed)
-            report = sim.run(limits)
-            rows.append(
-                QpsRow(
-                    name, qps,
-                    report.tbt_p50_s, report.tbt_p90_s, report.tbt_p99_s,
-                    report.t2ft_p50_s, report.e2e_p50_s, report.throughput_tokens_per_s,
-                )
-            )
-    return rows
+    param_sets = [
+        dict(
+            system_key=name, qps=qps, lin=lin, lout=lout,
+            max_batch=max_batch, limits=limits, seed=seed, memoize=memoize,
+        )
+        for name in default_systems()
+        for qps in qps_values
+    ]
+    return run_sweep(_qps_point, param_sets, workers=workers)
 
 
 def saturation_qps(rows: list[QpsRow], system: str, blowup_factor: float = 10.0) -> float:

@@ -159,27 +159,43 @@ class LayerMath:
         )
 
     def attention_prefill(
-        self, prefill_lengths: Iterable[int], kv_fraction: float = 1.0
+        self,
+        prefill_lengths: Iterable[int],
+        kv_fraction: float = 1.0,
+        context_lengths: Iterable[int] | None = None,
     ) -> Operator:
         """Prefill (summarisation) attention of one block.
 
         Causal attention over each new request's full input: L^2-scaled
         compute against L-scaled traffic, i.e. high Op/B.
+
+        Args:
+            prefill_lengths: new input tokens per request this stage.
+            kv_fraction: share of KV heads this device holds.
+            context_lengths: per-request tokens already prefilled in earlier
+                chunks (chunked prefill); each new query also attends to
+                that cached context, so a chunk of ``c`` tokens after ``p``
+                cached ones scores ``p*c + c^2/2`` pairs and re-reads the
+                cached KV.  None means no prior context.
         """
         m = self.model
+        lengths = list(prefill_lengths)
+        contexts = [0] * len(lengths) if context_lengths is None else list(context_lengths)
+        if len(contexts) != len(lengths):
+            raise ConfigError("context_lengths must parallel prefill_lengths")
         flops = 0.0
         bytes_read = 0.0
         bytes_written = 0.0
-        for length in prefill_lengths:
-            if length < 0:
+        for length, past in zip(lengths, contexts):
+            if length < 0 or past < 0:
                 raise ConfigError("prefill lengths must be non-negative")
             if length == 0:
                 continue
-            causal_scores = 0.5 * length * length
+            causal_scores = past * length + 0.5 * length * length
             flops += 4.0 * m.n_heads * m.d_head * causal_scores * kv_fraction
             flops += SOFTMAX_FLOPS_PER_SCORE * m.n_heads * causal_scores * kv_fraction
             q_bytes = length * m.n_heads * m.d_head * m.dtype_bytes * kv_fraction
-            kv_bytes = length * m.kv_bytes_per_token_per_layer * kv_fraction
+            kv_bytes = (past + length) * m.kv_bytes_per_token_per_layer * kv_fraction
             bytes_read += q_bytes + kv_bytes
             bytes_written += q_bytes  # attention output, same shape as Q
         return Operator(

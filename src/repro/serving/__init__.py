@@ -1,14 +1,21 @@
 """LLM serving substrate: requests, scheduling, metrics, simulation.
 
 * :mod:`repro.serving.request` — the request lifecycle.
-* :mod:`repro.serving.generator` — synthetic workloads: Gaussian
-  input/output lengths, Poisson or closed-loop arrivals (Section VI).
+* :mod:`repro.serving.generator` — request sources: the
+  :class:`RequestSource` protocol, synthetic workloads (Gaussian lengths,
+  Poisson or closed-loop arrivals, Section VI), and the push-fed
+  :class:`QueueSource` cluster replicas consume.
 * :mod:`repro.serving.metrics` — TBT / T2FT / E2E percentiles, throughput,
-  stage-type ratios, energy per token.
+  stage-type ratios, energy per token, fleet-level pooling.
+* :mod:`repro.serving.policy` — pluggable scheduling policies: FCFS,
+  chunked prefill, SLO-aware priority admission.
 * :mod:`repro.serving.scheduler` — ORCA-style continuous batching (and the
   request-level static batching baseline of Fig. 2(a)).
 * :mod:`repro.serving.simulator` — the event loop tying scheduler, stage
   executor, and metrics together.
+* :mod:`repro.serving.cluster` — N replicas behind a pluggable router
+  (round-robin, least-outstanding-tokens, power-of-two-choices) with
+  fleet-level reporting.
 * :mod:`repro.serving.split` — Splitwise-style split prefill/decode serving
   (Section VIII-A, Fig. 16).
 * :mod:`repro.serving.paging` — KV migration/recomputation under capacity
@@ -16,9 +23,26 @@
 * :mod:`repro.serving.trace` — request-trace recording and replay.
 """
 
-from repro.serving.generator import RequestGenerator, WorkloadSpec
+from repro.serving.cluster import (
+    ClusterReport,
+    ClusterSimulator,
+    LeastOutstandingTokensRouter,
+    PowerOfTwoChoicesRouter,
+    QueueDepthSample,
+    ReplicaView,
+    RoundRobinRouter,
+    Router,
+)
+from repro.serving.generator import QueueSource, RequestGenerator, RequestSource, WorkloadSpec
 from repro.serving.metrics import MetricsCollector, ServingReport
 from repro.serving.paging import EvictionPolicy, HostLink, PagedKvManager
+from repro.serving.policy import (
+    AdmissionView,
+    ChunkedPrefillPolicy,
+    FcfsPolicy,
+    SchedulingPolicy,
+    SloAwarePolicy,
+)
 from repro.serving.request import Request, RequestState
 from repro.serving.scheduler import ContinuousBatchingScheduler, StaticBatchingScheduler
 from repro.serving.simulator import ServingSimulator, SimulationLimits
@@ -26,17 +50,32 @@ from repro.serving.split import SplitServingSimulator, split_partitions
 from repro.serving.trace import TraceRecord, TraceReplayGenerator, load_trace, save_trace
 
 __all__ = [
+    "AdmissionView",
+    "ChunkedPrefillPolicy",
+    "ClusterReport",
+    "ClusterSimulator",
     "ContinuousBatchingScheduler",
     "EvictionPolicy",
+    "FcfsPolicy",
     "HostLink",
+    "LeastOutstandingTokensRouter",
     "MetricsCollector",
     "PagedKvManager",
+    "PowerOfTwoChoicesRouter",
+    "QueueDepthSample",
+    "QueueSource",
+    "ReplicaView",
     "Request",
     "RequestGenerator",
+    "RequestSource",
     "RequestState",
+    "RoundRobinRouter",
+    "Router",
+    "SchedulingPolicy",
     "ServingReport",
     "ServingSimulator",
     "SimulationLimits",
+    "SloAwarePolicy",
     "SplitServingSimulator",
     "StaticBatchingScheduler",
     "TraceRecord",

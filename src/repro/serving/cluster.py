@@ -1,0 +1,423 @@
+"""Multi-replica cluster serving: N engines behind a pluggable router.
+
+The paper evaluates one device serving one continuous-batching stream;
+production MoE deployments run *fleets* of identical replicas behind a
+router.  This module simulates that layer: one shared arrival stream
+(synthetic Poisson or a replayed trace) is routed request-by-request onto
+``n_replicas`` independent serving engines — each its own
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler` +
+:class:`~repro.core.executor.StageExecutor` + metrics — and the per-replica
+measurements are pooled into a fleet-level
+:class:`~repro.serving.metrics.ServingReport`.
+
+Routing policies:
+
+* :class:`RoundRobinRouter` — cyclic assignment, load-blind.
+* :class:`LeastOutstandingTokensRouter` — full information: the replica
+  with the fewest admitted+queued KV tokens wins.
+* :class:`PowerOfTwoChoicesRouter` — sample two replicas, pick the lighter
+  (Mitzenmacher's classic trick: nearly least-loaded quality at O(1) cost).
+
+Time model: replicas advance independently in stage-latency jumps.  Before
+a request is routed at arrival time ``t``, every replica simulates up to
+``t``, so routers observe each replica's load as of (at worst one stage
+before) the arrival — the same staleness a real router tolerates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.executor import StageExecutor
+from repro.core.system import SystemConfig
+from repro.errors import CapacityError, ConfigError, SimulationError
+from repro.models.config import ModelConfig
+from repro.serving.generator import QueueSource, RequestSource, WorkloadSpec, resolve_source
+from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.policy import SchedulingPolicy
+from repro.serving.request import Request, RequestState
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.simulator import SimulationLimits
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaView:
+    """What a router sees of one replica at a routing decision.
+
+    Attributes:
+        index: replica id.
+        queue_depth: requests routed but not yet admitted to the batch.
+        outstanding_tokens: worst-case KV tokens admitted or queued.
+        now_s: the replica's simulation clock.
+    """
+
+    index: int
+    queue_depth: int
+    outstanding_tokens: int
+    now_s: float
+
+
+class Router(ABC):
+    """Chooses the replica each arriving request is sent to."""
+
+    name = "router"
+
+    @abstractmethod
+    def choose(self, views: Sequence[ReplicaView], request: Request) -> int:
+        """Return the index of the replica to route ``request`` to."""
+
+
+class RoundRobinRouter(Router):
+    """Cyclic assignment, blind to load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, views: Sequence[ReplicaView], request: Request) -> int:
+        index = self._next % len(views)
+        self._next += 1
+        return index
+
+
+class LeastOutstandingTokensRouter(Router):
+    """Full-information routing: fewest outstanding KV tokens wins."""
+
+    name = "least-outstanding-tokens"
+
+    def choose(self, views: Sequence[ReplicaView], request: Request) -> int:
+        return min(views, key=lambda v: (v.outstanding_tokens, v.index)).index
+
+
+class PowerOfTwoChoicesRouter(Router):
+    """Sample two replicas uniformly, route to the lighter one."""
+
+    name = "power-of-two-choices"
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, views: Sequence[ReplicaView], request: Request) -> int:
+        if len(views) == 1:
+            return views[0].index
+        first, second = (views[int(i)] for i in self._rng.choice(len(views), 2, replace=False))
+        if first.outstanding_tokens == second.outstanding_tokens:
+            # Random tie-break: a deterministic one hot-spots low-index
+            # replicas whenever the fleet drains idle.
+            return first.index if self._rng.random() < 0.5 else second.index
+        return min((first, second), key=lambda v: v.outstanding_tokens).index
+
+
+# ----------------------------------------------------------------------
+# one replica
+# ----------------------------------------------------------------------
+class _Replica:
+    """One serving engine: inbox + scheduler + executor + metrics."""
+
+    def __init__(
+        self,
+        index: int,
+        system: SystemConfig,
+        model: ModelConfig,
+        effective_batch: int,
+        capacity_tokens: int | None,
+        policy: SchedulingPolicy | None,
+        gating_skew: float,
+        seed: int | None,
+        memoize_pricing: bool,
+    ) -> None:
+        self.index = index
+        self.inbox = QueueSource()
+        self.executor = StageExecutor(
+            system, model, gating_skew=gating_skew, seed=seed, memoize=memoize_pricing
+        )
+        self.scheduler = ContinuousBatchingScheduler(
+            self.inbox, effective_batch, capacity_tokens, policy=policy
+        )
+        self.metrics = MetricsCollector()
+        self.metrics.effective_batch = effective_batch
+        self.stages = 0
+        self.measured = 0
+        self.completions = 0
+
+    @property
+    def now_s(self) -> float:
+        return self.scheduler.now_s
+
+    def view(self) -> ReplicaView:
+        return ReplicaView(
+            index=self.index,
+            queue_depth=len(self.inbox) + len(self.scheduler.waiting),
+            outstanding_tokens=self.scheduler.outstanding_tokens + self.inbox.queued_tokens,
+            now_s=self.now_s,
+        )
+
+    def budget_spent(self, limits: SimulationLimits) -> bool:
+        return (
+            self.measured >= limits.max_stages
+            or self.stages >= limits.warmup_stages + limits.max_stages
+        )
+
+    def step(self, limits: SimulationLimits) -> bool:
+        """Run one stage if work is available; True when one ran."""
+        if self.budget_spent(limits):
+            return False
+        workload = self.scheduler.build_stage()
+        if workload is None:
+            return False
+        prefilling = [r for r in self.scheduler.running if r.state is RequestState.PREFILLING]
+        result = self.executor.run_stage(workload)
+        finished = self.scheduler.complete_stage(result.latency_s)
+        self.stages += 1
+        first_tokens = [r for r in prefilling if r.state is not RequestState.PREFILLING]
+        if self.stages > limits.warmup_stages:
+            self.measured += 1
+            self.metrics.record_stage(
+                latency_s=result.latency_s,
+                is_mixed=result.is_mixed,
+                decode_tokens=workload.n_decode,
+                total_tokens_generated=workload.n_decode + len(first_tokens),
+                dram_energy=result.dram_energy_by_category,
+                compute_energy=result.compute_energy_by_category,
+                comm_energy_j=result.comm_energy_j,
+            )
+            for request in first_tokens:
+                self.metrics.record_first_token(request.t2ft_s)
+            for request in finished:
+                self.metrics.record_completion(request.e2e_s)
+                self.completions += 1
+        return True
+
+    def advance_to(self, t: float, limits: SimulationLimits) -> None:
+        """Simulate until the replica clock reaches ``t`` (stages may overshoot)."""
+        while self.now_s < t:
+            if self.step(limits):
+                continue
+            # Idle (or out of stage budget): jump to the next queued
+            # arrival, or to t if the inbox is empty until then.
+            target = min(t, self.inbox.peek_arrival()) if not self.budget_spent(limits) else t
+            target = max(target, self.now_s)
+            gap = target - self.now_s
+            if gap > 0:
+                if self.stages >= limits.warmup_stages and not self.budget_spent(limits):
+                    self.metrics.record_idle(gap)
+                self.scheduler.now_s = target
+            if target >= t:
+                break
+
+    def drain(self, limits: SimulationLimits) -> None:
+        """Finish everything routed here (until the stage budget runs out)."""
+        while not self.budget_spent(limits):
+            if self.step(limits):
+                continue
+            next_arrival = self.inbox.peek_arrival()
+            if next_arrival == float("inf"):
+                break
+            self.advance_to(next_arrival, limits)
+
+
+# ----------------------------------------------------------------------
+# fleet report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueueDepthSample:
+    """Per-replica routed-but-unserved depth right after one routing event."""
+
+    time_s: float
+    depths: tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        return sum(self.depths)
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Fleet-level and per-replica results of one cluster simulation.
+
+    Attributes:
+        fleet: pooled report — latency percentiles over every replica's
+            samples, tokens and energy summed, elapsed = fleet wall clock.
+        replicas: per-replica reports (None for a replica that recorded no
+            measured stage, e.g. under very light load).
+        requests_routed: arrivals each replica received.
+        requests_rejected: requests shed by SLO-aware policies, fleet-wide.
+        queue_depth_samples: queue-depth time series, one per routing event.
+    """
+
+    fleet: ServingReport
+    replicas: tuple[ServingReport | None, ...]
+    requests_routed: tuple[int, ...]
+    requests_rejected: int
+    queue_depth_samples: tuple[QueueDepthSample, ...]
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest any replica's queue got (0 with no routing events)."""
+        return max((max(s.depths) for s in self.queue_depth_samples), default=0)
+
+    @property
+    def routing_imbalance(self) -> float:
+        """Max over mean requests per replica (1.0 = perfectly balanced)."""
+        routed = self.requests_routed
+        mean = sum(routed) / len(routed) if routed else 0.0
+        return max(routed) / mean if mean > 0 else 1.0
+
+
+# ----------------------------------------------------------------------
+# the cluster engine
+# ----------------------------------------------------------------------
+class ClusterSimulator:
+    """Simulates ``n_replicas`` identical engines behind one router.
+
+    Args:
+        system: per-replica system configuration.
+        model: model served by every replica.
+        workload: an *open-loop* workload spec (``qps`` set), or any finite
+            request source (e.g. a trace replayer).  The offered load is
+            fleet-wide; each replica sees roughly ``qps / n_replicas``.
+        n_replicas: fleet size.
+        router: routing policy (default round-robin).
+        max_batch: per-replica batch-size request (KV-capacity capped).
+        seed: base RNG seed; replica k's executor uses ``seed + k``.
+        gating_skew: expert routing skew, per replica.
+        policy_factory: builds one scheduling policy per replica (policies
+            are stateful, so replicas must not share an instance); None
+            means FCFS everywhere.
+        memoize_pricing: memoize stage pricing in every replica (on by
+            default — fleet sweeps are exactly the workload memoization
+            exists for).  Memoized pricing routes experts by expected
+            counts, so fleet tail percentiles omit gating-straggler
+            stages; pass False for exact per-stage sampled pricing.
+        max_requests: stop feeding arrivals after this many (bounds endless
+            Poisson streams when limits alone should not decide).
+        worst_case_tokens: KV sizing override for sources that cannot
+            report their own worst case.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        model: ModelConfig,
+        workload: WorkloadSpec | RequestSource,
+        n_replicas: int,
+        router: Router | None = None,
+        max_batch: int = 32,
+        seed: int | None = 0,
+        gating_skew: float = 0.0,
+        policy_factory: Callable[[], SchedulingPolicy] | None = None,
+        memoize_pricing: bool = True,
+        max_requests: int | None = None,
+        worst_case_tokens: int | None = None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ConfigError("a cluster needs at least one replica")
+        if isinstance(workload, WorkloadSpec) and workload.closed_loop:
+            raise ConfigError(
+                "cluster simulation needs an open-loop workload (qps set) "
+                "or a finite request source"
+            )
+        self.source, worst_seq = resolve_source(workload, seed, worst_case_tokens)
+        if getattr(self.source, "closed_loop", False):
+            raise ConfigError("cluster simulation needs an open-loop request source")
+        self.system = system
+        self.model = model
+        self.router = router if router is not None else RoundRobinRouter()
+        self.max_requests = max_requests
+        self.effective_batch = min(max_batch, system.max_batch_for(model, worst_seq))
+        if self.effective_batch < 1:
+            raise CapacityError(
+                f"{system.name} cannot hold even one worst-case "
+                f"({worst_seq}-token) request for {model.name}"
+            )
+        capacity_tokens = system.max_resident_kv_tokens(model)
+        self.replicas = [
+            _Replica(
+                index=k,
+                system=system,
+                model=model,
+                effective_batch=self.effective_batch,
+                capacity_tokens=capacity_tokens,
+                policy=policy_factory() if policy_factory is not None else None,
+                gating_skew=gating_skew,
+                seed=None if seed is None else seed + k,
+                memoize_pricing=memoize_pricing,
+            )
+            for k in range(n_replicas)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self, limits: SimulationLimits | None = None) -> ClusterReport:
+        """Route the arrival stream, drain the fleet, and report.
+
+        ``limits`` applies per replica (stage budgets) and fleet-wide
+        (``target_completions``, ``max_sim_time_s``).  Single-shot, like
+        :meth:`ServingSimulator.run`.
+        """
+        limits = limits or SimulationLimits()
+        samples: list[QueueDepthSample] = []
+        routed = 0
+        while True:
+            if self.max_requests is not None and routed >= self.max_requests:
+                break
+            if all(replica.budget_spent(limits) for replica in self.replicas):
+                break
+            if (
+                limits.target_completions is not None
+                and sum(r.completions for r in self.replicas) >= limits.target_completions
+            ):
+                break
+            arrival = self.source.peek_arrival()
+            if arrival == float("inf"):
+                break
+            if limits.max_sim_time_s is not None and arrival > limits.max_sim_time_s:
+                break
+            for replica in self.replicas:
+                replica.advance_to(arrival, limits)
+            request = self.source.take(arrival)
+            views = [replica.view() for replica in self.replicas]
+            index = self.router.choose(views, request)
+            if not 0 <= index < len(self.replicas):
+                raise ConfigError(f"{self.router.name} routed to invalid replica {index}")
+            self.replicas[index].inbox.push(request)
+            routed += 1
+            samples.append(
+                QueueDepthSample(
+                    time_s=arrival,
+                    depths=tuple(replica.view().queue_depth for replica in self.replicas),
+                )
+            )
+        for replica in self.replicas:
+            replica.drain(limits)
+        return self._report(samples)
+
+    def _report(self, samples: list[QueueDepthSample]) -> ClusterReport:
+        fleet = MetricsCollector.merged([replica.metrics for replica in self.replicas])
+        if not fleet.stages_recorded:
+            raise SimulationError(
+                "the cluster recorded no stages — no requests were routed, or "
+                "warmup_stages outlasted every replica's run"
+            )
+        per_replica = tuple(
+            replica.metrics.report() if replica.metrics.stages_recorded else None
+            for replica in self.replicas
+        )
+        return ClusterReport(
+            fleet=fleet.report(),
+            replicas=per_replica,
+            requests_routed=tuple(replica.inbox.accepted for replica in self.replicas),
+            requests_rejected=sum(len(replica.scheduler.rejected) for replica in self.replicas),
+            queue_depth_samples=tuple(samples),
+        )

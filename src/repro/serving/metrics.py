@@ -8,6 +8,7 @@ a per-token trace would give, without storing one entry per token.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -140,6 +141,36 @@ class MetricsCollector:
         if seconds < 0:
             raise SimulationError("idle time cannot be negative")
         self._elapsed_s += seconds
+
+    # ------------------------------------------------------------------
+    # fleet aggregation
+    # ------------------------------------------------------------------
+    @classmethod
+    def merged(cls, collectors: Sequence[MetricsCollector]) -> MetricsCollector:
+        """Pool several replicas' samples into one fleet-level collector.
+
+        Latency samples, tokens, stage counts, and energy are concatenated/
+        summed; elapsed time is the *maximum* across replicas, because
+        replicas serve concurrently — fleet throughput is total tokens over
+        the fleet's wall clock, not over the sum of per-replica clocks.
+        """
+        fleet = cls()
+        for collector in collectors:
+            fleet._tbt_values.extend(collector._tbt_values)
+            fleet._tbt_weights.extend(collector._tbt_weights)
+            fleet._t2ft.extend(collector._t2ft)
+            fleet._e2e.extend(collector._e2e)
+            fleet._stages_total += collector._stages_total
+            fleet._stages_mixed += collector._stages_mixed
+            fleet._tokens += collector._tokens
+            fleet._elapsed_s = max(fleet._elapsed_s, collector._elapsed_s)
+            fleet._requests_completed += collector._requests_completed
+            fleet.effective_batch += collector.effective_batch
+            for key, joules in collector._energy_by_component.items():
+                fleet._energy_by_component[key] = (
+                    fleet._energy_by_component.get(key, 0.0) + joules
+                )
+        return fleet
 
     # ------------------------------------------------------------------
     # reporting

@@ -17,7 +17,7 @@ else.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import CapacityError, ConfigError, SchedulingError
 from repro.units import GB_PER_S, US

@@ -1,0 +1,158 @@
+"""Pluggable scheduling policies for the continuous-batching scheduler.
+
+The :class:`~repro.serving.scheduler.ContinuousBatchingScheduler` owns the
+*mechanics* of stage-level batching (KV accounting, request lifecycle, the
+stage clock); a :class:`SchedulingPolicy` owns the *decisions*: in what
+order waiting requests are admitted, whether a candidate may join the batch
+right now, which queued requests to give up on, and how many prefill tokens
+a single stage may carry.
+
+Three policies ship here:
+
+* :class:`FcfsPolicy` — the paper's ORCA-style behaviour: admit in arrival
+  order whenever a slot and KV capacity are free (the seed scheduler's
+  hard-wired policy, now extracted).
+* :class:`ChunkedPrefillPolicy` — caps prefill tokens per stage so a long
+  prompt is processed in chunks across stages instead of one huge mixed
+  stage; this bounds the mixed-stage latency that ongoing decodes see
+  (their TBT), at the cost of slower first tokens (Sarathi/vLLM-style).
+* :class:`SloAwarePolicy` — deadline-driven admission: orders the queue by
+  T2FT deadline (optionally preferring short prompts, which prefill
+  fastest), and sheds requests whose deadline has already passed so a
+  saturated system spends capacity only on requests that can still meet
+  their SLO.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.serving.request import Request
+
+
+@dataclass(frozen=True)
+class AdmissionView:
+    """Scheduler state a policy sees when judging one admission.
+
+    Attributes:
+        now_s: the scheduler clock.
+        running: requests currently in the batch.
+        max_batch: batch-size cap.
+        committed_tokens: KV tokens reserved by running requests.
+        capacity_tokens: total KV tokens that fit (None = unbounded).
+    """
+
+    now_s: float
+    running: int
+    max_batch: int
+    committed_tokens: int
+    capacity_tokens: int | None
+
+
+class SchedulingPolicy(ABC):
+    """Decision hooks the scheduler calls at every stage boundary.
+
+    The base class implements FCFS-compatible defaults; subclasses override
+    only the decisions they change.  Policies may keep per-run state (e.g. a
+    rotation counter), so schedulers must not share one instance.
+    """
+
+    name = "policy"
+
+    def order_waiting(self, waiting: list[Request], now_s: float) -> None:
+        """Reorder the arrived-but-not-admitted queue in place."""
+
+    def shed(self, waiting: list[Request], now_s: float) -> list[Request]:
+        """Return queued requests to reject outright (subset of ``waiting``)."""
+        return []
+
+    def may_admit(self, view: AdmissionView, candidate: Request) -> bool:
+        """Whether ``candidate`` may join the batch this stage boundary.
+
+        Called only after the scheduler has checked slot and KV capacity;
+        returning False ends admission for this stage (head-of-line order
+        is preserved).
+        """
+        return True
+
+    def prefill_budget(self) -> int | None:
+        """Max prefill tokens a single stage may carry (None = unlimited)."""
+        return None
+
+
+class FcfsPolicy(SchedulingPolicy):
+    """First-come-first-served admission — the seed scheduler's behaviour."""
+
+    name = "fcfs"
+
+
+class ChunkedPrefillPolicy(SchedulingPolicy):
+    """FCFS admission with a per-stage prefill-token budget.
+
+    Args:
+        max_prefill_tokens: prefill tokens one stage may process.  A request
+            whose (remaining) input exceeds the budget prefills over several
+            stages; the scheduler guarantees at least one request makes
+            progress per stage, so the budget bounds mixed-stage latency
+            without risking livelock.
+    """
+
+    name = "chunked-prefill"
+
+    def __init__(self, max_prefill_tokens: int = 512) -> None:
+        if max_prefill_tokens < 1:
+            raise ConfigError("the prefill budget must be at least one token")
+        self.max_prefill_tokens = max_prefill_tokens
+
+    def prefill_budget(self) -> int | None:
+        return self.max_prefill_tokens
+
+
+class SloAwarePolicy(SchedulingPolicy):
+    """Deadline-ordered admission with expired-request shedding.
+
+    Every request carries an implicit first-token deadline
+    ``arrival + t2ft_slo_s``.  The queue is served earliest-deadline-first
+    (with uniform SLOs this equals arrival order, so the ``prefer_short_inputs``
+    tiebreak is what reorders: short prompts prefill fastest and therefore
+    maximise the number of deadlines met).  When ``shed_expired`` is set,
+    requests whose deadline has already passed are rejected instead of
+    admitted — under overload this stops the queue from dragging every
+    later arrival past its SLO too.
+
+    Args:
+        t2ft_slo_s: time-to-first-token objective.
+        shed_expired: reject requests that can no longer meet the deadline.
+        prefer_short_inputs: among equal deadlines, admit shorter prompts
+            first (shortest-job-first prefill).
+    """
+
+    name = "slo-aware"
+
+    def __init__(
+        self,
+        t2ft_slo_s: float,
+        shed_expired: bool = True,
+        prefer_short_inputs: bool = False,
+    ) -> None:
+        if t2ft_slo_s <= 0:
+            raise ConfigError("the T2FT SLO must be positive")
+        self.t2ft_slo_s = t2ft_slo_s
+        self.shed_expired = shed_expired
+        self.prefer_short_inputs = prefer_short_inputs
+
+    def deadline(self, request: Request) -> float:
+        return request.arrival_time_s + self.t2ft_slo_s
+
+    def order_waiting(self, waiting: list[Request], now_s: float) -> None:
+        if self.prefer_short_inputs:
+            waiting.sort(key=lambda r: (self.deadline(r), r.input_len, r.request_id))
+        else:
+            waiting.sort(key=lambda r: (self.deadline(r), r.request_id))
+
+    def shed(self, waiting: list[Request], now_s: float) -> list[Request]:
+        if not self.shed_expired:
+            return []
+        return [request for request in waiting if self.deadline(request) < now_s]

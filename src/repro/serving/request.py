@@ -5,6 +5,10 @@ batch, runs one prefill stage (producing its first token), then ``output_len
 - 1`` decoding stages.  The timestamps recorded along the way yield the
 paper's three latency metrics: T2FT (arrival to first token), TBT (between
 consecutive tokens), and E2E (arrival to completion) — Fig. 2.
+
+Under a chunked-prefill policy the prefill is spread over several stages:
+each stage advances ``prefilled_tokens`` by that stage's chunk, and the
+first token appears only when the whole input has been processed.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ class Request:
     state: RequestState = RequestState.QUEUED
     context_len: int = 0
     tokens_generated: int = 0
+    prefilled_tokens: int = 0
     first_token_time_s: float | None = field(default=None, repr=False)
     completion_time_s: float | None = field(default=None, repr=False)
 
@@ -62,11 +67,34 @@ class Request:
         if self.state is not RequestState.PREFILLING:
             raise SchedulingError(f"request {self.request_id}: finish_prefill from {self.state}")
         self.state = RequestState.DECODING
+        self.prefilled_tokens = self.input_len
         self.context_len = self.input_len
         self.tokens_generated = 1
         self.first_token_time_s = now_s
         if self.is_complete:
             self.finish(now_s)
+
+    def advance_prefill(self, chunk_tokens: int, now_s: float) -> None:
+        """One stage processed ``chunk_tokens`` of the input (chunked prefill).
+
+        When the chunk completes the input, the stage also produced the
+        first output token (equivalent to :meth:`finish_prefill`).
+        """
+        if self.state is not RequestState.PREFILLING:
+            raise SchedulingError(f"request {self.request_id}: prefill chunk from {self.state}")
+        if chunk_tokens < 1 or chunk_tokens > self.remaining_prefill:
+            raise SchedulingError(
+                f"request {self.request_id}: chunk of {chunk_tokens} with "
+                f"{self.remaining_prefill} input tokens remaining"
+            )
+        self.prefilled_tokens += chunk_tokens
+        if self.prefilled_tokens >= self.input_len:
+            self.state = RequestState.DECODING
+            self.context_len = self.input_len
+            self.tokens_generated = 1
+            self.first_token_time_s = now_s
+            if self.is_complete:
+                self.finish(now_s)
 
     def advance_decode(self, now_s: float) -> None:
         """One decoding stage produced one more token."""
@@ -87,6 +115,11 @@ class Request:
     @property
     def is_complete(self) -> bool:
         return self.tokens_generated >= self.output_len
+
+    @property
+    def remaining_prefill(self) -> int:
+        """Input tokens not yet processed (non-zero only while prefilling)."""
+        return self.input_len - self.prefilled_tokens
 
     @property
     def total_seq_len(self) -> int:

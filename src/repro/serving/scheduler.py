@@ -4,7 +4,10 @@
 scheduling (Section II-C): at every stage boundary it admits newly arrived
 requests (capacity and batch-size permitting), so prefills of new requests
 batch with decodes of ongoing ones (*mixed* stages); with nothing new to
-admit the stage is *decoding-only*.
+admit the stage is *decoding-only*.  The admission *decisions* — order,
+eligibility, shedding, and the per-stage prefill budget — are delegated to
+a pluggable :class:`~repro.serving.policy.SchedulingPolicy`; the scheduler
+keeps the mechanics (KV accounting, chunk bookkeeping, the stage clock).
 
 :class:`StaticBatchingScheduler` is the request-level baseline of Fig. 2(a):
 a batch runs prefill together and decodes until the longest member finishes;
@@ -17,7 +20,8 @@ import numpy as np
 
 from repro.core.executor import StageWorkload
 from repro.errors import ConfigError, SchedulingError
-from repro.serving.generator import RequestGenerator
+from repro.serving.generator import RequestSource
+from repro.serving.policy import AdmissionView, FcfsPolicy, SchedulingPolicy
 from repro.serving.request import Request, RequestState
 
 
@@ -25,23 +29,34 @@ class ContinuousBatchingScheduler:
     """Stage-level scheduler with KV-capacity admission control.
 
     Args:
-        generator: source of requests.
+        source: source of requests (synthetic generator, trace replayer, or
+            a cluster replica's queue).
         max_batch: maximum requests per stage.
         capacity_tokens: cluster-wide cached tokens that fit in memory;
             a request reserves ``input_len + output_len`` on admission.
+        policy: admission/shaping policy; defaults to FCFS (the paper's
+            ORCA-style behaviour).
     """
 
     def __init__(
-        self, generator: RequestGenerator, max_batch: int, capacity_tokens: int | None = None
+        self,
+        source: RequestSource,
+        max_batch: int,
+        capacity_tokens: int | None = None,
+        policy: SchedulingPolicy | None = None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError("max_batch must be at least 1")
-        self.generator = generator
+        self.source = source
         self.max_batch = max_batch
         self.capacity_tokens = capacity_tokens
+        self.policy = policy if policy is not None else FcfsPolicy()
         self.now_s = 0.0
         self.running: list[Request] = []
+        self.waiting: list[Request] = []
+        self.rejected: list[Request] = []
         self._committed_tokens = 0
+        self._stage_chunks: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # stage construction
@@ -61,30 +76,88 @@ class ContinuousBatchingScheduler:
             [r.context_len for r in self.running if r.state is RequestState.DECODING],
             dtype=np.int64,
         )
-        prefill = tuple(r.input_len for r in self.running if r.state is RequestState.PREFILLING)
-        return StageWorkload(decode_context_lengths=decode_ctx, prefill_lengths=prefill)
+        prefill_lengths: list[int] = []
+        prefill_contexts: list[int] = []
+        self._stage_chunks = {}
+        budget = self.policy.prefill_budget()
+        remaining_budget = budget
+        for request in self.running:
+            if request.state is not RequestState.PREFILLING:
+                continue
+            if remaining_budget is None:
+                chunk = request.remaining_prefill
+            else:
+                # The first prefill always progresses, so a small budget
+                # throttles rather than livelocks.
+                if remaining_budget <= 0 and prefill_lengths:
+                    continue
+                chunk = min(request.remaining_prefill, max(1, remaining_budget))
+                remaining_budget -= chunk
+            self._stage_chunks[request.request_id] = chunk
+            prefill_lengths.append(chunk)
+            prefill_contexts.append(request.prefilled_tokens)
+        # A non-empty batch always yields a stage: the first prefill gets a
+        # chunk even under a tiny budget, so StageWorkload cannot be empty.
+        return StageWorkload(
+            decode_context_lengths=decode_ctx,
+            prefill_lengths=tuple(prefill_lengths),
+            prefill_context_lengths=tuple(prefill_contexts),
+        )
 
     def _admit(self) -> None:
-        while len(self.running) < self.max_batch and self.generator.has_request_at(self.now_s):
-            candidate_tokens = self._peek_candidate_tokens()
+        self._drain_arrivals()
+        for request in self.policy.shed(self.waiting, self.now_s):
+            self.waiting.remove(request)
+            self.rejected.append(request)
+        self.policy.order_waiting(self.waiting, self.now_s)
+        while len(self.running) < self.max_batch:
+            candidate = self.waiting[0] if self.waiting else self._peek_source()
+            if candidate is None:
+                break
+            tokens = candidate.total_seq_len
             if self.capacity_tokens is not None:
-                if candidate_tokens > self.capacity_tokens:
+                if tokens > self.capacity_tokens:
                     raise SchedulingError(
                         "a single request exceeds the KV capacity of the system"
                     )
-                if self._committed_tokens + candidate_tokens > self.capacity_tokens:
+                if self._committed_tokens + tokens > self.capacity_tokens:
                     break  # full: wait for completions to release KV
-            request = self.generator.take(self.now_s)
-            request.start_prefill()
-            self.running.append(request)
-            self._committed_tokens += request.total_seq_len
+            view = AdmissionView(
+                now_s=self.now_s,
+                running=len(self.running),
+                max_batch=self.max_batch,
+                committed_tokens=self._committed_tokens,
+                capacity_tokens=self.capacity_tokens,
+            )
+            if not self.policy.may_admit(view, candidate):
+                break
+            if self.waiting:
+                self.waiting.pop(0)
+            else:
+                taken = self.source.take(self.now_s)
+                assert taken is candidate
+            candidate.start_prefill()
+            self.running.append(candidate)
+            self._committed_tokens += tokens
 
-    def _peek_candidate_tokens(self) -> int:
-        # The generator materialises the next request lazily; peeking the
-        # arrival forces it so its lengths are fixed before admission.
-        self.generator.peek_arrival()
-        assert self.generator._pending is not None
-        return self.generator._pending.total_seq_len
+    def _drain_arrivals(self) -> None:
+        """Move every arrived request into the waiting queue.
+
+        Closed-loop sources have an unbounded supply — a fresh request is
+        ready the moment a slot frees — so there is no queue to drain;
+        admission peeks them directly.
+        """
+        if getattr(self.source, "closed_loop", False):
+            return
+        while self.source.has_request_at(self.now_s):
+            self.waiting.append(self.source.take(self.now_s))
+
+    def _peek_source(self) -> Request | None:
+        # Peeking forces the lazily materialised request so its lengths are
+        # fixed before admission (the public face of the old `_pending` leak).
+        if not self.source.has_request_at(self.now_s):
+            return None
+        return self.source.peek()
 
     # ------------------------------------------------------------------
     # stage completion
@@ -100,7 +173,11 @@ class ContinuousBatchingScheduler:
         still_running: list[Request] = []
         for request in self.running:
             if request.state is RequestState.PREFILLING:
-                request.finish_prefill(self.now_s)
+                chunk = self._stage_chunks.get(request.request_id)
+                if chunk is None:
+                    still_running.append(request)  # waited out this stage's budget
+                    continue
+                request.advance_prefill(chunk, self.now_s)
             elif request.state is RequestState.DECODING:
                 request.advance_decode(self.now_s)
             else:
@@ -111,7 +188,21 @@ class ContinuousBatchingScheduler:
             else:
                 still_running.append(request)
         self.running = still_running
+        self._stage_chunks = {}
         return finished
+
+    # ------------------------------------------------------------------
+    # load signals (cluster routing)
+    # ------------------------------------------------------------------
+    @property
+    def committed_tokens(self) -> int:
+        """KV tokens reserved by the running batch."""
+        return self._committed_tokens
+
+    @property
+    def outstanding_tokens(self) -> int:
+        """KV tokens of everything admitted or queued (router load signal)."""
+        return self._committed_tokens + sum(r.total_seq_len for r in self.waiting)
 
     # ------------------------------------------------------------------
     # warm start
@@ -133,7 +224,7 @@ class ContinuousBatchingScheduler:
             raise ConfigError("warm start needs at least one request")
         synthetic: list[Request] = []
         for slot in range(min(batch, self.max_batch)):
-            request = self.generator.take(self.now_s)
+            request = self.source.take(self.now_s)
             request.start_prefill()
             request.finish_prefill(self.now_s)
             if request.state is RequestState.FINISHED:
@@ -163,11 +254,11 @@ class StaticBatchingScheduler:
     """
 
     def __init__(
-        self, generator: RequestGenerator, max_batch: int, capacity_tokens: int | None = None
+        self, source: RequestSource, max_batch: int, capacity_tokens: int | None = None
     ) -> None:
         if max_batch < 1:
             raise ConfigError("max_batch must be at least 1")
-        self.generator = generator
+        self.source = source
         self.max_batch = max_batch
         self.capacity_tokens = capacity_tokens
         self.now_s = 0.0
@@ -191,16 +282,18 @@ class StaticBatchingScheduler:
     def _admit_cohort(self) -> None:
         self.running = []
         committed = 0
-        while len(self.running) < self.max_batch and self.generator.has_request_at(self.now_s):
-            self.generator.peek_arrival()
-            assert self.generator._pending is not None
-            candidate = self.generator._pending.total_seq_len
-            if self.capacity_tokens is not None and committed + candidate > self.capacity_tokens:
+        while len(self.running) < self.max_batch and self.source.has_request_at(self.now_s):
+            candidate = self.source.peek()
+            assert candidate is not None
+            if (
+                self.capacity_tokens is not None
+                and committed + candidate.total_seq_len > self.capacity_tokens
+            ):
                 break
-            request = self.generator.take(self.now_s)
+            request = self.source.take(self.now_s)
             request.start_prefill()
             self.running.append(request)
-            committed += candidate
+            committed += request.total_seq_len
 
     def complete_stage(self, latency_s: float) -> list[Request]:
         if latency_s <= 0:

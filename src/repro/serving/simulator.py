@@ -5,6 +5,13 @@ scheduler describes each stage's composition, the
 :class:`~repro.core.executor.StageExecutor` prices it, and the clock jumps
 by the stage latency.  Open-loop (Poisson) workloads can leave the system
 idle, in which case time advances to the next arrival.
+
+The simulator is source-agnostic: pass a
+:class:`~repro.serving.generator.WorkloadSpec` for the paper's synthetic
+workloads, or any :class:`~repro.serving.generator.RequestSource` — e.g. a
+:class:`~repro.serving.trace.TraceReplayGenerator` — to drive the same
+engine from recorded traffic.  Finite sources simply run out: the
+simulation ends when nothing is running and nothing more will arrive.
 """
 
 from __future__ import annotations
@@ -15,8 +22,9 @@ from repro.core.executor import StageExecutor
 from repro.core.system import SystemConfig
 from repro.errors import CapacityError, ConfigError
 from repro.models.config import ModelConfig
-from repro.serving.generator import RequestGenerator, WorkloadSpec
+from repro.serving.generator import RequestSource, WorkloadSpec, resolve_source
 from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.policy import SchedulingPolicy
 from repro.serving.scheduler import ContinuousBatchingScheduler
 from repro.serving.request import Request, RequestState
 
@@ -51,48 +59,61 @@ class ServingSimulator:
     Args:
         system: system configuration.
         model: model being served.
-        workload: synthetic workload spec.
+        workload: synthetic workload spec, or any request source (trace
+            replayer, cluster queue, ...).
         max_batch: requested batch size; the effective batch is capped by
             KV capacity (the paper's starred bars).
         seed: RNG seed shared by the generator and gating.
         warm_start: start closed-loop runs from the staggered steady state.
         gating_skew: expert routing skew (Section VIII-B).
+        policy: scheduling policy (default FCFS, the paper's behaviour).
+        memoize_pricing: reuse stage prices across equal quantized stage
+            compositions (see :class:`~repro.core.executor.StageExecutor`).
+        worst_case_tokens: KV tokens to size the effective batch for; only
+            needed for sources that cannot report their own worst case.
     """
 
     def __init__(
         self,
         system: SystemConfig,
         model: ModelConfig,
-        workload: WorkloadSpec,
+        workload: WorkloadSpec | RequestSource,
         max_batch: int = 32,
         seed: int | None = 0,
         warm_start: bool | None = None,
         gating_skew: float = 0.0,
+        policy: SchedulingPolicy | None = None,
+        memoize_pricing: bool = False,
+        worst_case_tokens: int | None = None,
     ) -> None:
         self.system = system
         self.model = model
         self.workload = workload
-        self.executor = StageExecutor(system, model, gating_skew=gating_skew, seed=seed)
-        self.generator = RequestGenerator(workload, seed=seed)
-        worst_seq = int(
-            workload.lin_mean * (1 + 3 * workload.lin_cv)
-            + workload.lout_mean * (1 + 3 * workload.lout_cv)
+        self.executor = StageExecutor(
+            system, model, gating_skew=gating_skew, seed=seed, memoize=memoize_pricing
         )
+        self.source, worst_seq = resolve_source(workload, seed, worst_case_tokens)
         self.effective_batch = min(max_batch, system.max_batch_for(model, worst_seq))
         if self.effective_batch < 1:
             raise CapacityError(
-                f"{system.name} cannot hold even one ({workload.lin_mean}, "
-                f"{workload.lout_mean}) request for {model.name}"
+                f"{system.name} cannot hold even one worst-case "
+                f"({worst_seq}-token) request for {model.name}"
             )
         capacity_tokens = system.max_resident_kv_tokens(model)
         self.scheduler = ContinuousBatchingScheduler(
-            self.generator, self.effective_batch, capacity_tokens
+            self.source, self.effective_batch, capacity_tokens, policy=policy
         )
-        self.warm_start = workload.closed_loop if warm_start is None else warm_start
+        closed_loop = bool(getattr(self.source, "closed_loop", False))
+        self.warm_start = closed_loop if warm_start is None else warm_start
         self._synthetic_ids: set[int] = set()
 
+    @property
+    def generator(self) -> RequestSource:
+        """The request source (kept under its historical name)."""
+        return self.source
+
     def run(self, limits: SimulationLimits | None = None) -> ServingReport:
-        """Run to the limits and return the measured report."""
+        """Run to the limits (or source exhaustion) and return the report."""
         limits = limits or SimulationLimits()
         metrics = MetricsCollector()
         metrics.effective_batch = self.effective_batch
@@ -110,8 +131,10 @@ class ServingSimulator:
                 break
             workload = self.scheduler.build_stage()
             if workload is None:
+                next_arrival = self.source.peek_arrival()
+                if next_arrival == float("inf"):
+                    break  # finite source exhausted, nothing running
                 # Idle: jump to the next arrival.
-                next_arrival = self.generator.peek_arrival()
                 gap = next_arrival - self.scheduler.now_s
                 if gap > 0:
                     if stage_index >= limits.warmup_stages:
@@ -124,18 +147,23 @@ class ServingSimulator:
             result = self.executor.run_stage(workload)
             finished = self.scheduler.complete_stage(result.latency_s)
             stage_index += 1
+            # A prefill emits its first token only when its final chunk
+            # lands; partial chunks generate nothing yet.
+            first_tokens = [
+                r for r in prefilling if r.state is not RequestState.PREFILLING
+            ]
             if stage_index > limits.warmup_stages:
                 measured_stages += 1
                 metrics.record_stage(
                     latency_s=result.latency_s,
                     is_mixed=result.is_mixed,
                     decode_tokens=workload.n_decode,
-                    total_tokens_generated=result.tokens_generated,
+                    total_tokens_generated=workload.n_decode + len(first_tokens),
                     dram_energy=result.dram_energy_by_category,
                     compute_energy=result.compute_energy_by_category,
                     comm_energy_j=result.comm_energy_j,
                 )
-                for request in prefilling:
+                for request in first_tokens:
                     if request.request_id not in self._synthetic_ids:
                         metrics.record_first_token(request.t2ft_s)
                 completions += self._record_completions(metrics, finished)

@@ -107,48 +107,51 @@ class TraceReplayGenerator:
         self._time_scale = time_scale
         self._cursor = 0
         self._next_id = 0
+        self._pending: Request | None = None
+
+    @property
+    def closed_loop(self) -> bool:
+        return False
 
     @property
     def exhausted(self) -> bool:
-        return self._cursor >= len(self._records)
+        return self._pending is None and self._cursor >= len(self._records)
 
     @property
     def remaining(self) -> int:
-        return len(self._records) - self._cursor
+        return len(self._records) - self._cursor + (1 if self._pending is not None else 0)
+
+    def worst_case_tokens(self) -> int:
+        """Largest input+output of any record (KV capacity sizing)."""
+        if not self._records:
+            raise ConfigError("empty trace has no worst case")
+        return max(record.input_len + record.output_len for record in self._records)
+
+    def peek(self) -> Request | None:
+        """The next replayed request, or None once the trace is exhausted."""
+        if self._pending is None and self._cursor < len(self._records):
+            record = self._records[self._cursor]
+            self._cursor += 1
+            self._pending = Request(
+                request_id=self._next_id,
+                arrival_time_s=record.arrival_s * self._time_scale,
+                input_len=record.input_len,
+                output_len=record.output_len,
+            )
+            self._next_id += 1
+        return self._pending
 
     def peek_arrival(self) -> float:
-        if self.exhausted:
-            return float("inf")
-        return self._records[self._cursor].arrival_s * self._time_scale
+        pending = self.peek()
+        return float("inf") if pending is None else pending.arrival_time_s
 
     def has_request_at(self, now_s: float) -> bool:
-        return not self.exhausted and self.peek_arrival() <= now_s
+        pending = self.peek()
+        return pending is not None and pending.arrival_time_s <= now_s
 
     def take(self, now_s: float) -> Request:
-        if self.exhausted:
+        pending = self.peek()
+        if pending is None:
             raise ConfigError("trace exhausted")
-        record = self._records[self._cursor]
-        self._cursor += 1
-        request = Request(
-            request_id=self._next_id,
-            arrival_time_s=record.arrival_s * self._time_scale,
-            input_len=record.input_len,
-            output_len=record.output_len,
-        )
-        self._next_id += 1
-        return request
-
-    # The continuous-batching scheduler peeks the pending request's length
-    # for admission control via the generator's `_pending` attribute; expose
-    # the same shape for compatibility.
-    @property
-    def _pending(self) -> Request | None:
-        if self.exhausted:
-            return None
-        record = self._records[self._cursor]
-        return Request(
-            request_id=self._next_id,
-            arrival_time_s=record.arrival_s * self._time_scale,
-            input_len=record.input_len,
-            output_len=record.output_len,
-        )
+        self._pending = None
+        return pending

@@ -8,7 +8,7 @@ dominates GPU decode time, energy falls on Duplex, and so on.
 import numpy as np
 import pytest
 
-from repro.core.executor import StageExecutor, StageResult, StageWorkload
+from repro.core.executor import StageExecutor, StageWorkload
 from repro.core.system import (
     bank_pim_system,
     duplex_system,

@@ -12,6 +12,18 @@ def test_artefact_registry_is_complete():
         assert any(name.startswith(figure) for name in names)
 
 
+def test_workers_flag_reaches_the_registry(tmp_path, monkeypatch):
+    captured = {}
+
+    def fake_artefacts(workers=None):
+        captured["workers"] = workers
+        return iter([])
+
+    monkeypatch.setattr(run_all, "_artefacts", fake_artefacts)
+    assert run_all.main([str(tmp_path), "--workers", "2"]) == 0
+    assert captured["workers"] == 2
+
+
 def test_main_writes_fast_artefacts(tmp_path, monkeypatch):
     # Restrict the registry to the cheap artefacts for the smoke test.
     fast = [

@@ -1,0 +1,50 @@
+"""Tests for the process-pool sweep runner."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.sweep import default_workers, run_sweep
+
+
+def _square_plus(x, offset=0):
+    """Module-level so the process pool can pickle it by reference."""
+    return x * x + offset
+
+
+def _explode(x):
+    raise ValueError(f"boom {x}")
+
+
+PARAMS = [{"x": 1}, {"x": 2, "offset": 10}, {"x": 3}]
+
+
+class TestRunSweep:
+    def test_serial_preserves_order(self):
+        assert run_sweep(_square_plus, PARAMS, workers=1) == [1, 14, 9]
+
+    def test_zero_workers_runs_serially(self):
+        assert run_sweep(_square_plus, PARAMS, workers=0) == [1, 14, 9]
+
+    def test_pool_preserves_order(self):
+        assert run_sweep(_square_plus, PARAMS, workers=2) == [1, 14, 9]
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_empty_sweep(self):
+        assert run_sweep(_square_plus, [], workers=2) == []
+
+    def test_single_point_stays_in_process(self):
+        assert run_sweep(_square_plus, [{"x": 4}], workers=8) == [16]
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            run_sweep(_square_plus, PARAMS, workers=-1)
+
+    def test_serial_error_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            run_sweep(_explode, [{"x": 1}, {"x": 2}], workers=1)
+
+    def test_pool_error_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            run_sweep(_explode, [{"x": 1}, {"x": 2}], workers=2)

@@ -42,6 +42,67 @@ class TestWeightedPercentile:
         result = weighted_percentile(arr, np.ones(arr.size), q)
         assert result in arr
 
+    def test_single_sample_is_every_percentile(self):
+        values = np.array([7.5])
+        weights = np.array([3.0])
+        for q in (0, 50, 100):
+            assert weighted_percentile(values, weights, q) == 7.5
+
+    def test_zero_weight_entries_are_ignored(self):
+        # A zero-weight value never owns cumulative mass, so it can only be
+        # returned at q=0 (threshold 0 lands on the smallest value).
+        values = np.array([1.0, 2.0, 3.0])
+        weights = np.array([1.0, 0.0, 1.0])
+        assert weighted_percentile(values, weights, 50) == 1.0
+        assert weighted_percentile(values, weights, 51) == 3.0
+        assert weighted_percentile(values, weights, 100) == 3.0
+
+    def test_q_zero_returns_smallest_value(self):
+        values = np.array([4.0, 2.0, 9.0])
+        weights = np.array([1.0, 5.0, 1.0])
+        assert weighted_percentile(values, weights, 0) == 2.0
+
+    def test_q_hundred_returns_largest_weighted_value(self):
+        values = np.array([4.0, 2.0, 9.0])
+        weights = np.array([1.0, 5.0, 1.0])
+        assert weighted_percentile(values, weights, 100) == 9.0
+
+    def test_negative_percentile_rejected(self):
+        with pytest.raises(ConfigError):
+            weighted_percentile(np.array([1.0]), np.array([1.0]), -0.1)
+
+
+class TestMergedCollectors:
+    def _collector(self, latency, tokens, idle=0.0):
+        collector = MetricsCollector()
+        collector.effective_batch = 8
+        collector.record_stage(
+            latency_s=latency,
+            is_mixed=False,
+            decode_tokens=tokens,
+            total_tokens_generated=tokens,
+            dram_energy={OpCategory.MOE: 1.0},
+            compute_energy={},
+            comm_energy_j=0.0,
+        )
+        if idle:
+            collector.record_idle(idle)
+        return collector
+
+    def test_merge_pools_samples_and_takes_max_elapsed(self):
+        fast = self._collector(latency=0.01, tokens=10)
+        slow = self._collector(latency=0.04, tokens=10, idle=0.06)
+        fleet = MetricsCollector.merged([fast, slow]).report()
+        assert fleet.tokens_generated == 20
+        assert fleet.elapsed_s == pytest.approx(0.1)  # max, not sum
+        assert fleet.tbt_p50_s in (0.01, 0.04)
+        assert fleet.energy_by_component["moe:dram"] == pytest.approx(2.0)
+        assert fleet.effective_batch == 16
+
+    def test_merge_of_empty_collectors_rejected(self):
+        with pytest.raises(SimulationError):
+            MetricsCollector.merged([MetricsCollector()]).report()
+
 
 class TestCollector:
     def _record_simple(self, collector, latency=0.01, mixed=False, decode_tokens=8):

@@ -1,0 +1,155 @@
+"""Tests for the pluggable scheduling policies."""
+
+import pytest
+
+from repro.core.system import duplex_system
+from repro.errors import ConfigError
+from repro.models.config import mixtral
+from repro.serving.generator import RequestGenerator, WorkloadSpec
+from repro.serving.policy import ChunkedPrefillPolicy, FcfsPolicy, SloAwarePolicy
+from repro.serving.request import Request, RequestState
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+
+
+def make_scheduler(max_batch=4, lin=64, lout=4, qps=None, policy=None, seed=0):
+    spec = WorkloadSpec(lin_mean=lin, lout_mean=lout, qps=qps, min_len=1)
+    return ContinuousBatchingScheduler(
+        RequestGenerator(spec, seed=seed), max_batch, policy=policy
+    )
+
+
+class TestFcfsDefault:
+    def test_default_policy_is_fcfs(self):
+        scheduler = make_scheduler()
+        assert isinstance(scheduler.policy, FcfsPolicy)
+
+    def test_fcfs_matches_legacy_behaviour(self):
+        # The extracted policy must reproduce the seed scheduler: first
+        # stage all-prefill, then decode-only, replacements on completion.
+        scheduler = make_scheduler(max_batch=2, lout=2, policy=FcfsPolicy())
+        stage = scheduler.build_stage()
+        assert stage.n_prefill == 2
+        scheduler.complete_stage(0.01)
+        stage = scheduler.build_stage()
+        assert stage.n_prefill == 0 and stage.n_decode == 2
+        finished = scheduler.complete_stage(0.01)
+        assert len(finished) == 2
+
+
+class TestChunkedPrefill:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            ChunkedPrefillPolicy(max_prefill_tokens=0)
+
+    def test_long_prompt_prefills_across_stages(self):
+        policy = ChunkedPrefillPolicy(max_prefill_tokens=100)
+        scheduler = make_scheduler(max_batch=1, lin=250, lout=4, policy=policy)
+        chunks = []
+        for _ in range(3):
+            stage = scheduler.build_stage()
+            assert stage.n_prefill == 1
+            chunks.append(stage.prefill_lengths[0])
+            scheduler.complete_stage(0.01)
+        assert chunks == [100, 100, 50]
+        request = scheduler.running[0]
+        assert request.state is RequestState.DECODING
+        assert request.tokens_generated == 1  # first token only at final chunk
+
+    def test_chunk_context_carried_into_stage(self):
+        policy = ChunkedPrefillPolicy(max_prefill_tokens=100)
+        scheduler = make_scheduler(max_batch=1, lin=250, lout=4, policy=policy)
+        scheduler.build_stage()
+        scheduler.complete_stage(0.01)
+        stage = scheduler.build_stage()
+        assert stage.prefill_context_lengths == (100,)
+
+    def test_budget_shared_across_requests(self):
+        policy = ChunkedPrefillPolicy(max_prefill_tokens=100)
+        scheduler = make_scheduler(max_batch=4, lin=60, lout=4, policy=policy)
+        stage = scheduler.build_stage()
+        # 60 + 40 fit the budget; the second request's chunk is truncated
+        # and the remaining two wait.
+        assert stage.prefill_lengths == (60, 40)
+
+    def test_first_prefill_always_progresses(self):
+        # A prompt far above the budget still moves budget tokens per stage.
+        policy = ChunkedPrefillPolicy(max_prefill_tokens=1)
+        scheduler = make_scheduler(max_batch=2, lin=3, lout=2, policy=policy)
+        stage = scheduler.build_stage()
+        assert stage.prefill_lengths == (1,)
+        scheduler.complete_stage(0.01)
+        assert scheduler.running[0].prefilled_tokens == 1
+
+    def test_bounds_mixed_stage_tbt_tail(self):
+        # The point of chunked prefill: long prompts no longer blow up the
+        # TBT tail of ongoing decodes (at a T2FT cost).
+        model = mixtral()
+        system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+        spec = WorkloadSpec(lin_mean=4096, lout_mean=512, qps=8.0)
+        limits = SimulationLimits(max_stages=400, warmup_stages=20)
+        fcfs = ServingSimulator(system, model, spec, max_batch=64, seed=3).run(limits)
+        chunked = ServingSimulator(
+            system, model, spec, max_batch=64, seed=3,
+            policy=ChunkedPrefillPolicy(max_prefill_tokens=256),
+        ).run(limits)
+        assert chunked.tbt_p99_s < 0.5 * fcfs.tbt_p99_s
+        assert chunked.t2ft_p50_s > fcfs.t2ft_p50_s  # the documented trade-off
+
+
+class TestSloAware:
+    def test_slo_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            SloAwarePolicy(t2ft_slo_s=0.0)
+
+    def _request(self, request_id, arrival, lin=32):
+        return Request(request_id=request_id, arrival_time_s=arrival, input_len=lin, output_len=4)
+
+    def test_orders_by_deadline(self):
+        policy = SloAwarePolicy(t2ft_slo_s=1.0)
+        waiting = [self._request(0, 2.0), self._request(1, 0.5), self._request(2, 1.0)]
+        policy.order_waiting(waiting, now_s=2.0)
+        assert [r.request_id for r in waiting] == [1, 2, 0]
+
+    def test_prefers_short_inputs_on_deadline_ties(self):
+        policy = SloAwarePolicy(t2ft_slo_s=1.0, prefer_short_inputs=True)
+        waiting = [self._request(0, 1.0, lin=512), self._request(1, 1.0, lin=16)]
+        policy.order_waiting(waiting, now_s=1.0)
+        assert [r.request_id for r in waiting] == [1, 0]
+
+    def test_sheds_expired_requests(self):
+        policy = SloAwarePolicy(t2ft_slo_s=1.0)
+        fresh, stale = self._request(0, 5.0), self._request(1, 0.0)
+        assert policy.shed([fresh, stale], now_s=5.5) == [stale]
+
+    def test_shedding_disabled(self):
+        policy = SloAwarePolicy(t2ft_slo_s=1.0, shed_expired=False)
+        assert policy.shed([self._request(1, 0.0)], now_s=9.0) == []
+
+    def test_scheduler_rejects_expired_queue(self):
+        # Overloaded open loop: requests queue past their deadline and the
+        # policy sheds them instead of serving them uselessly late.
+        policy = SloAwarePolicy(t2ft_slo_s=0.05)
+        scheduler = make_scheduler(max_batch=1, lin=64, lout=8, qps=1000.0, policy=policy)
+        for _ in range(40):
+            if scheduler.build_stage() is None:
+                scheduler.now_s = scheduler.source.peek_arrival()
+                continue
+            scheduler.complete_stage(0.02)
+        assert len(scheduler.rejected) > 0
+        assert all(r.state is RequestState.QUEUED for r in scheduler.rejected)
+
+    def test_shedding_under_overload_serves_fresher_requests(self):
+        model = mixtral()
+        system = duplex_system(model, co_processing=True)
+        spec = WorkloadSpec(lin_mean=1024, lout_mean=256, qps=120.0)
+        limits = SimulationLimits(max_stages=400, warmup_stages=20)
+        fcfs = ServingSimulator(system, model, spec, max_batch=16, seed=3).run(limits)
+        slo_sim = ServingSimulator(
+            system, model, spec, max_batch=16, seed=3,
+            policy=SloAwarePolicy(t2ft_slo_s=0.5),
+        )
+        slo = slo_sim.run(limits)
+        assert len(slo_sim.scheduler.rejected) > 0
+        # Served requests meet their first-token deadline no worse than FCFS.
+        assert slo.t2ft_p50_s <= fcfs.t2ft_p50_s

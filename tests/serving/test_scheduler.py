@@ -94,6 +94,46 @@ class TestStageProgression:
         scheduler.complete_stage(0.01)  # finished: 66 tokens released
         assert scheduler._committed_tokens == 0
 
+    def test_admission_resumes_after_completion_frees_tokens(self):
+        # Capacity fits one 66-token request; the second is blocked until
+        # the first finishes, then admission resumes with the same request.
+        scheduler = make_scheduler(max_batch=4, lout=2, capacity_tokens=100)
+        blocked = scheduler.source.peek()
+        stage = scheduler.build_stage()
+        assert stage.n_requests == 1
+        scheduler.complete_stage(0.01)
+        blocked = scheduler.source.peek()  # still pending, lengths fixed
+        stage = scheduler.build_stage()
+        assert stage.n_requests == 1  # decode continues, still no room
+        scheduler.complete_stage(0.01)  # first request finishes, KV freed
+        stage = scheduler.build_stage()
+        assert stage.n_prefill == 1
+        assert blocked in scheduler.running
+
+
+class TestPublicPeek:
+    def test_peek_returns_pending_request(self):
+        spec = WorkloadSpec(lin_mean=64, lout_mean=4, min_len=1)
+        generator = RequestGenerator(spec, seed=0)
+        peeked = generator.peek()
+        assert peeked is not None
+        assert peeked.total_seq_len == peeked.input_len + peeked.output_len
+        # Peeking fixes the sample: take() returns the same object.
+        assert generator.take(0.0) is peeked
+
+    def test_peek_is_idempotent(self):
+        spec = WorkloadSpec(lin_mean=64, lout_mean=4, lin_cv=0.5, min_len=1)
+        generator = RequestGenerator(spec, seed=0)
+        assert generator.peek() is generator.peek()
+
+    def test_admission_uses_peeked_lengths(self):
+        # The scheduler sizes its capacity check off peek() — no access to
+        # the generator's private _pending.
+        scheduler = make_scheduler(max_batch=4, capacity_tokens=100)
+        candidate = scheduler.source.peek()
+        scheduler.build_stage()
+        assert scheduler._committed_tokens == candidate.total_seq_len
+
 
 class TestWarmStart:
     def test_staggered_progress(self):
