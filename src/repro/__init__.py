@@ -56,12 +56,23 @@ from repro.serving.cluster import (
     ClusterReport,
     ClusterSimulator,
     LeastOutstandingTokensRouter,
+    MonolithicReplicaSpec,
     PowerOfTwoChoicesRouter,
     RoundRobinRouter,
     Router,
+    SplitReplicaSpec,
 )
+from repro.serving.engine import ServingEngine, StageEvent, TransferFeed
 from repro.serving.generator import QueueSource, RequestGenerator, RequestSource, WorkloadSpec
 from repro.serving.metrics import ServingReport
+from repro.serving.scenarios import (
+    Scenario,
+    ScenarioSource,
+    TenantSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.serving.policy import (
     ChunkedPrefillPolicy,
     FcfsPolicy,
@@ -84,6 +95,7 @@ __all__ = [
     "FcfsPolicy",
     "LeastOutstandingTokensRouter",
     "ModelConfig",
+    "MonolithicReplicaSpec",
     "PowerOfTwoChoicesRouter",
     "QueueSource",
     "ReproError",
@@ -91,14 +103,21 @@ __all__ = [
     "RequestSource",
     "RoundRobinRouter",
     "Router",
+    "Scenario",
+    "ScenarioSource",
     "SchedulingError",
     "SchedulingPolicy",
+    "ServingEngine",
     "ServingReport",
     "ServingSimulator",
     "SimulationError",
     "SimulationLimits",
     "SloAwarePolicy",
+    "SplitReplicaSpec",
     "SplitServingSimulator",
+    "StageEvent",
+    "TenantSpec",
+    "TransferFeed",
     "StageExecutor",
     "StageResult",
     "StageWorkload",
@@ -120,5 +139,8 @@ __all__ = [
     "mixtral",
     "opt_66b",
     "paper_models",
+    "get_scenario",
+    "register_scenario",
     "save_trace",
+    "scenario_names",
 ]

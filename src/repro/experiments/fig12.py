@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.experiments.presets import eval_systems, latency_limits, model_by_key
 from repro.serving.generator import WorkloadSpec
-from repro.serving.simulator import ServingSimulator
+from repro.serving.simulator import ServingSimulator, SimulationLimits
 
 
 @dataclass(frozen=True)
@@ -36,8 +36,14 @@ def run(
     pairs: tuple[tuple[int, int], ...] = ((512, 512), (1024, 1024), (2048, 2048)),
     batch: int = 64,
     seed: int = 0,
+    limits: SimulationLimits | None = None,
 ) -> list[LatencyRow]:
-    """Regenerate the Fig. 12 latency sweep."""
+    """Regenerate the Fig. 12 latency sweep.
+
+    Args:
+        limits: simulation window override (default: ``latency_limits(lout)``
+            per pair — the paper-sized run).
+    """
     model = model_by_key(model_key)
     systems = eval_systems(model)
     rows = []
@@ -46,7 +52,7 @@ def run(
             sim = ServingSimulator(
                 system, model, WorkloadSpec(lin_mean=lin, lout_mean=lout), max_batch=batch, seed=seed
             )
-            report = sim.run(latency_limits(lout))
+            report = sim.run(limits or latency_limits(lout))
             rows.append(
                 LatencyRow(
                     name, lin, lout,

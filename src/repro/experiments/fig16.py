@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.core.system import duplex_system
-from repro.experiments.presets import THROUGHPUT_LIMITS, latency_limits, model_by_key
+from repro.experiments.presets import latency_limits, model_by_key
 from repro.serving.generator import WorkloadSpec
 from repro.serving.simulator import ServingSimulator, SimulationLimits
 from repro.serving.split import SplitServingSimulator
@@ -43,16 +43,22 @@ class SplitRow:
 def run(
     pairs: tuple[tuple[int, int], ...] = ((256, 256), (1024, 1024), (4096, 4096)),
     batch: int = 128,
-    limits: SimulationLimits = THROUGHPUT_LIMITS,
+    limits: SimulationLimits | None = None,
     seed: int = 0,
 ) -> list[SplitRow]:
-    """Regenerate the Fig. 16 comparison."""
+    """Regenerate the Fig. 16 comparison.
+
+    Args:
+        limits: simulation window override (default: ``latency_limits(lout)``
+            per pair — previously the ``limits`` argument was accepted but
+            silently ignored).
+    """
     model = model_by_key("mixtral")
     system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
     rows = []
     for lin, lout in pairs:
         spec = WorkloadSpec(lin_mean=lin, lout_mean=lout)
-        lat_limits = latency_limits(lout)
+        lat_limits = limits or latency_limits(lout)
         duplex_report = ServingSimulator(system, model, spec, max_batch=batch, seed=seed).run(
             lat_limits
         )

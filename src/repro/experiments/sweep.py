@@ -54,3 +54,35 @@ def run_sweep(
     with ProcessPoolExecutor(max_workers=min(n_workers, len(params))) as pool:
         futures = [pool.submit(fn, **p) for p in params]
         return [future.result() for future in futures]
+
+
+def scenario_param_sets(
+    scenarios: Sequence[str] | None = None, **common: Any
+) -> list[dict[str, Any]]:
+    """One sweep point per registered workload scenario.
+
+    Scenario *names* (not live sources, which hold RNG state) are what
+    cross the process boundary; the worker rebuilds the source via
+    :func:`repro.serving.scenarios.get_scenario`.  Typos fail here, before
+    any pool spins up.  Caveat: a worker process only sees scenarios whose
+    ``register_scenario`` call runs at *import* time of a module the
+    worker also imports — under spawn-based pools (macOS/Windows default),
+    names registered dynamically in the parent resolve here but not in the
+    worker; register in an imported module, or run with ``workers<=1``.
+
+    Args:
+        scenarios: scenario names to sweep (default: every registered one).
+        **common: keyword arguments shared by every point.
+
+    Returns:
+        One ``{"scenario": name, **common}`` mapping per scenario, ready
+        for :func:`run_sweep`.
+    """
+    from repro.serving.scenarios import get_scenario, scenario_names
+
+    names = tuple(scenarios) if scenarios is not None else scenario_names()
+    if not names:
+        raise ConfigError("no scenarios to sweep")
+    for name in names:
+        get_scenario(name)  # validate early: unknown names should not reach workers
+    return [dict(common, scenario=name) for name in names]

@@ -11,13 +11,18 @@
   chunked prefill, SLO-aware priority admission.
 * :mod:`repro.serving.scheduler` — ORCA-style continuous batching (and the
   request-level static batching baseline of Fig. 2(a)).
-* :mod:`repro.serving.simulator` — the event loop tying scheduler, stage
-  executor, and metrics together.
-* :mod:`repro.serving.cluster` — N replicas behind a pluggable router
+* :mod:`repro.serving.engine` — the discrete-event serving core every
+  simulator is a thin configuration of (virtual clock, admission, event
+  feed, shed/complete bookkeeping, stage observers).
+* :mod:`repro.serving.simulator` — one engine serving one system.
+* :mod:`repro.serving.cluster` — replicas behind a pluggable router
   (round-robin, least-outstanding-tokens, power-of-two-choices) with
-  fleet-level reporting.
+  fleet-level reporting; fleets may mix monolithic and split replicas.
 * :mod:`repro.serving.split` — Splitwise-style split prefill/decode serving
-  (Section VIII-A, Fig. 16).
+  (Section VIII-A, Fig. 16): two partition engines chained by KV-transfer
+  events.
+* :mod:`repro.serving.scenarios` — composable workload scenarios (arrival
+  processes × length distributions × tenant mixes) behind a registry.
 * :mod:`repro.serving.paging` — KV migration/recomputation under capacity
   pressure (Section VIII-C).
 * :mod:`repro.serving.trace` — request-trace recording and replay.
@@ -27,13 +32,33 @@ from repro.serving.cluster import (
     ClusterReport,
     ClusterSimulator,
     LeastOutstandingTokensRouter,
+    MonolithicReplicaSpec,
     PowerOfTwoChoicesRouter,
     QueueDepthSample,
     ReplicaView,
     RoundRobinRouter,
     Router,
+    SplitReplicaSpec,
 )
+from repro.serving.engine import ServingEngine, StageEvent, TransferFeed
 from repro.serving.generator import QueueSource, RequestGenerator, RequestSource, WorkloadSpec
+from repro.serving.scenarios import (
+    ArrivalProcess,
+    BimodalLengths,
+    BurstyArrivals,
+    DiurnalArrivals,
+    GaussianLengths,
+    LengthDistribution,
+    LognormalLengths,
+    PoissonArrivals,
+    ReplayedArrivals,
+    Scenario,
+    ScenarioSource,
+    TenantSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.serving.metrics import MetricsCollector, ServingReport
 from repro.serving.paging import EvictionPolicy, HostLink, PagedKvManager
 from repro.serving.policy import (
@@ -51,19 +76,29 @@ from repro.serving.trace import TraceRecord, TraceReplayGenerator, load_trace, s
 
 __all__ = [
     "AdmissionView",
+    "ArrivalProcess",
+    "BimodalLengths",
+    "BurstyArrivals",
     "ChunkedPrefillPolicy",
     "ClusterReport",
     "ClusterSimulator",
     "ContinuousBatchingScheduler",
+    "DiurnalArrivals",
     "EvictionPolicy",
     "FcfsPolicy",
+    "GaussianLengths",
     "HostLink",
     "LeastOutstandingTokensRouter",
+    "LengthDistribution",
+    "LognormalLengths",
     "MetricsCollector",
+    "MonolithicReplicaSpec",
     "PagedKvManager",
+    "PoissonArrivals",
     "PowerOfTwoChoicesRouter",
     "QueueDepthSample",
     "QueueSource",
+    "ReplayedArrivals",
     "ReplicaView",
     "Request",
     "RequestGenerator",
@@ -71,17 +106,27 @@ __all__ = [
     "RequestState",
     "RoundRobinRouter",
     "Router",
+    "Scenario",
+    "ScenarioSource",
     "SchedulingPolicy",
+    "ServingEngine",
     "ServingReport",
     "ServingSimulator",
     "SimulationLimits",
     "SloAwarePolicy",
+    "SplitReplicaSpec",
     "SplitServingSimulator",
+    "StageEvent",
     "StaticBatchingScheduler",
+    "TenantSpec",
     "TraceRecord",
     "TraceReplayGenerator",
+    "TransferFeed",
     "WorkloadSpec",
+    "get_scenario",
     "load_trace",
+    "register_scenario",
     "save_trace",
+    "scenario_names",
     "split_partitions",
 ]

@@ -1,14 +1,19 @@
 """Multi-replica cluster serving: N engines behind a pluggable router.
 
 The paper evaluates one device serving one continuous-batching stream;
-production MoE deployments run *fleets* of identical replicas behind a
-router.  This module simulates that layer: one shared arrival stream
-(synthetic Poisson or a replayed trace) is routed request-by-request onto
-``n_replicas`` independent serving engines — each its own
-:class:`~repro.serving.scheduler.ContinuousBatchingScheduler` +
-:class:`~repro.core.executor.StageExecutor` + metrics — and the per-replica
-measurements are pooled into a fleet-level
-:class:`~repro.serving.metrics.ServingReport`.
+production MoE deployments run *fleets* of replicas behind a router.  This
+module simulates that layer: one shared arrival stream (synthetic Poisson,
+a scenario source, or a replayed trace) is routed request-by-request onto
+independent serving engines and the per-replica measurements are pooled
+into a fleet-level :class:`~repro.serving.metrics.ServingReport`.
+
+Fleets may be **heterogeneous**: each replica is built from a
+:class:`ReplicaSpec` — either a :class:`MonolithicReplicaSpec` (one
+:class:`~repro.serving.engine.ServingEngine` on one system) or a
+:class:`SplitReplicaSpec` (a whole Splitwise-style two-partition
+:class:`~repro.serving.split.SplitServingSimulator` deployment) — so a
+router can balance, say, two monolithic Duplex replicas against one split
+deployment and the report shows where the tail went.
 
 Routing policies:
 
@@ -27,7 +32,7 @@ before) the arrival — the same staleness a real router tolerates.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -36,12 +41,13 @@ from repro.core.executor import StageExecutor
 from repro.core.system import SystemConfig
 from repro.errors import CapacityError, ConfigError, SimulationError
 from repro.models.config import ModelConfig
+from repro.serving.engine import ServingEngine, SimulationLimits
 from repro.serving.generator import QueueSource, RequestSource, WorkloadSpec, resolve_source
 from repro.serving.metrics import MetricsCollector, ServingReport
 from repro.serving.policy import SchedulingPolicy
-from repro.serving.request import Request, RequestState
+from repro.serving.request import Request
 from repro.serving.scheduler import ContinuousBatchingScheduler
-from repro.serving.simulator import SimulationLimits
+from repro.serving.split import SplitServingSimulator
 
 
 # ----------------------------------------------------------------------
@@ -56,12 +62,15 @@ class ReplicaView:
         queue_depth: requests routed but not yet admitted to the batch.
         outstanding_tokens: worst-case KV tokens admitted or queued.
         now_s: the replica's simulation clock.
+        kind: replica flavour (``monolithic`` / ``split``) for routers
+            that specialise — e.g. send long prompts to split replicas.
     """
 
     index: int
     queue_depth: int
     outstanding_tokens: int
     now_s: float
+    kind: str = "monolithic"
 
 
 class Router(ABC):
@@ -117,10 +126,52 @@ class PowerOfTwoChoicesRouter(Router):
 
 
 # ----------------------------------------------------------------------
-# one replica
+# replica specifications (heterogeneous fleets)
 # ----------------------------------------------------------------------
-class _Replica:
+@dataclass(frozen=True)
+class MonolithicReplicaSpec:
+    """One continuous-batching engine on one system.
+
+    Attributes:
+        system: system override (None = the cluster-level system).
+        max_batch: batch-size override (None = the cluster-level request).
+    """
+
+    system: SystemConfig | None = None
+    max_batch: int | None = None
+    kind: str = field(default="monolithic", init=False)
+
+
+@dataclass(frozen=True)
+class SplitReplicaSpec:
+    """A Splitwise-style split prefill/decode deployment as one replica.
+
+    The partitions are derived from the *model* via
+    :func:`~repro.serving.split.split_partitions`, so the cluster-level
+    ``system``, ``policy_factory``, ``gating_skew``, and
+    ``memoize_pricing`` arguments apply only to monolithic replicas —
+    a split replica always runs FCFS on its derived Duplex partitions
+    with exact pricing.
+
+    Attributes:
+        max_batch: decode-partition batch-size request (None = the
+            cluster-level request).
+    """
+
+    max_batch: int | None = None
+    kind: str = field(default="split", init=False)
+
+
+ReplicaSpec = MonolithicReplicaSpec | SplitReplicaSpec
+
+
+# ----------------------------------------------------------------------
+# replicas
+# ----------------------------------------------------------------------
+class _MonolithicReplica:
     """One serving engine: inbox + scheduler + executor + metrics."""
+
+    kind = "monolithic"
 
     def __init__(
         self,
@@ -142,15 +193,30 @@ class _Replica:
         self.scheduler = ContinuousBatchingScheduler(
             self.inbox, effective_batch, capacity_tokens, policy=policy
         )
-        self.metrics = MetricsCollector()
-        self.metrics.effective_batch = effective_batch
-        self.stages = 0
-        self.measured = 0
-        self.completions = 0
+        self.engine = ServingEngine(
+            self.scheduler, self.executor, label=f"{system.name}/replica{index}"
+        )
+        self.engine.metrics.effective_batch = effective_batch
+
+    @property
+    def engines(self) -> tuple[ServingEngine, ...]:
+        return (self.engine,)
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self.engine.metrics
+
+    @property
+    def completions(self) -> int:
+        return self.engine.completions
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self.scheduler.rejected)
 
     @property
     def now_s(self) -> float:
-        return self.scheduler.now_s
+        return self.engine.now_s
 
     def view(self) -> ReplicaView:
         return ReplicaView(
@@ -158,70 +224,94 @@ class _Replica:
             queue_depth=len(self.inbox) + len(self.scheduler.waiting),
             outstanding_tokens=self.scheduler.outstanding_tokens + self.inbox.queued_tokens,
             now_s=self.now_s,
+            kind=self.kind,
         )
 
     def budget_spent(self, limits: SimulationLimits) -> bool:
-        return (
-            self.measured >= limits.max_stages
-            or self.stages >= limits.warmup_stages + limits.max_stages
-        )
-
-    def step(self, limits: SimulationLimits) -> bool:
-        """Run one stage if work is available; True when one ran."""
-        if self.budget_spent(limits):
-            return False
-        workload = self.scheduler.build_stage()
-        if workload is None:
-            return False
-        prefilling = [r for r in self.scheduler.running if r.state is RequestState.PREFILLING]
-        result = self.executor.run_stage(workload)
-        finished = self.scheduler.complete_stage(result.latency_s)
-        self.stages += 1
-        first_tokens = [r for r in prefilling if r.state is not RequestState.PREFILLING]
-        if self.stages > limits.warmup_stages:
-            self.measured += 1
-            self.metrics.record_stage(
-                latency_s=result.latency_s,
-                is_mixed=result.is_mixed,
-                decode_tokens=workload.n_decode,
-                total_tokens_generated=workload.n_decode + len(first_tokens),
-                dram_energy=result.dram_energy_by_category,
-                compute_energy=result.compute_energy_by_category,
-                comm_energy_j=result.comm_energy_j,
-            )
-            for request in first_tokens:
-                self.metrics.record_first_token(request.t2ft_s)
-            for request in finished:
-                self.metrics.record_completion(request.e2e_s)
-                self.completions += 1
-        return True
+        return self.engine.budget_spent(limits)
 
     def advance_to(self, t: float, limits: SimulationLimits) -> None:
-        """Simulate until the replica clock reaches ``t`` (stages may overshoot)."""
-        while self.now_s < t:
-            if self.step(limits):
-                continue
-            # Idle (or out of stage budget): jump to the next queued
-            # arrival, or to t if the inbox is empty until then.
-            target = min(t, self.inbox.peek_arrival()) if not self.budget_spent(limits) else t
-            target = max(target, self.now_s)
-            gap = target - self.now_s
-            if gap > 0:
-                if self.stages >= limits.warmup_stages and not self.budget_spent(limits):
-                    self.metrics.record_idle(gap)
-                self.scheduler.now_s = target
-            if target >= t:
-                break
+        self.engine.advance_to(t, limits)
 
     def drain(self, limits: SimulationLimits) -> None:
-        """Finish everything routed here (until the stage budget runs out)."""
-        while not self.budget_spent(limits):
-            if self.step(limits):
-                continue
-            next_arrival = self.inbox.peek_arrival()
-            if next_arrival == float("inf"):
-                break
-            self.advance_to(next_arrival, limits)
+        self.engine.drain(limits)
+
+
+class _SplitReplica:
+    """A two-partition split deployment behind the cluster router."""
+
+    kind = "split"
+
+    def __init__(
+        self,
+        index: int,
+        model: ModelConfig,
+        max_batch: int,
+        seed: int | None,
+        worst_case_tokens: int,
+    ) -> None:
+        self.index = index
+        self.inbox = QueueSource()
+        self.deployment = SplitServingSimulator(
+            model,
+            self.inbox,
+            max_batch=max_batch,
+            seed=seed,
+            worst_case_tokens=worst_case_tokens,
+        )
+        # Disambiguate engine labels when a fleet hosts several split
+        # replicas (labels key diagnostics and invariant probes).
+        self.deployment.prefill_engine.label = f"Duplex-Split/replica{index}/prefill"
+        self.deployment.decode_engine.label = f"Duplex-Split/replica{index}/decode"
+
+    @property
+    def engines(self) -> tuple[ServingEngine, ...]:
+        return self.deployment.engines
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self.deployment.metrics
+
+    @property
+    def completions(self) -> int:
+        return self.deployment.decode_engine.completions
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self.deployment.prefill_engine.scheduler.rejected)
+
+    @property
+    def now_s(self) -> float:
+        return self.deployment.decode_engine.now_s
+
+    def view(self) -> ReplicaView:
+        deployment = self.deployment
+        prefill = deployment.prefill_engine.scheduler
+        decode = deployment.decode_engine.scheduler
+        in_transfer = len(deployment.transfers)
+        return ReplicaView(
+            index=self.index,
+            queue_depth=(
+                len(self.inbox) + len(prefill.waiting) + in_transfer + len(decode.waiting)
+            ),
+            outstanding_tokens=(
+                self.inbox.queued_tokens
+                + prefill.outstanding_tokens
+                + deployment.transfers.queued_tokens
+                + decode.outstanding_tokens
+            ),
+            now_s=self.now_s,
+            kind=self.kind,
+        )
+
+    def budget_spent(self, limits: SimulationLimits) -> bool:
+        return self.deployment.decode_engine.budget_spent(limits)
+
+    def advance_to(self, t: float, limits: SimulationLimits) -> None:
+        self.deployment.advance_to(t, limits)
+
+    def drain(self, limits: SimulationLimits) -> None:
+        self.deployment.drain(limits)
 
 
 # ----------------------------------------------------------------------
@@ -251,6 +341,7 @@ class ClusterReport:
         requests_routed: arrivals each replica received.
         requests_rejected: requests shed by SLO-aware policies, fleet-wide.
         queue_depth_samples: queue-depth time series, one per routing event.
+        replica_kinds: flavour of each replica (``monolithic`` / ``split``).
     """
 
     fleet: ServingReport
@@ -258,6 +349,7 @@ class ClusterReport:
     requests_routed: tuple[int, ...]
     requests_rejected: int
     queue_depth_samples: tuple[QueueDepthSample, ...]
+    replica_kinds: tuple[str, ...] = ()
 
     @property
     def n_replicas(self) -> int:
@@ -280,31 +372,39 @@ class ClusterReport:
 # the cluster engine
 # ----------------------------------------------------------------------
 class ClusterSimulator:
-    """Simulates ``n_replicas`` identical engines behind one router.
+    """Simulates a fleet of serving engines behind one router.
 
     Args:
-        system: per-replica system configuration.
+        system: per-replica system configuration (monolithic replicas).
         model: model served by every replica.
         workload: an *open-loop* workload spec (``qps`` set), or any finite
-            request source (e.g. a trace replayer).  The offered load is
-            fleet-wide; each replica sees roughly ``qps / n_replicas``.
-        n_replicas: fleet size.
+            request source (e.g. a trace replayer or scenario source).  The
+            offered load is fleet-wide; each replica sees roughly
+            ``qps / n_replicas``.
+        n_replicas: fleet size (homogeneous monolithic fleet).  Leave None
+            when passing ``replicas``.
         router: routing policy (default round-robin).
         max_batch: per-replica batch-size request (KV-capacity capped).
         seed: base RNG seed; replica k's executor uses ``seed + k``.
-        gating_skew: expert routing skew, per replica.
-        policy_factory: builds one scheduling policy per replica (policies
-            are stateful, so replicas must not share an instance); None
-            means FCFS everywhere.
-        memoize_pricing: memoize stage pricing in every replica (on by
-            default — fleet sweeps are exactly the workload memoization
-            exists for).  Memoized pricing routes experts by expected
-            counts, so fleet tail percentiles omit gating-straggler
-            stages; pass False for exact per-stage sampled pricing.
+        gating_skew: expert routing skew, per monolithic replica.
+        policy_factory: builds one scheduling policy per monolithic replica
+            (policies are stateful, so replicas must not share an
+            instance); None means FCFS everywhere.  Split replicas ignore
+            ``system``, ``policy_factory``, ``gating_skew``, and
+            ``memoize_pricing`` — see :class:`SplitReplicaSpec`.
+        memoize_pricing: memoize stage pricing in every monolithic replica
+            (on by default — fleet sweeps are exactly the workload
+            memoization exists for).  Memoized pricing routes experts by
+            expected counts, so fleet tail percentiles omit
+            gating-straggler stages; pass False for exact per-stage
+            sampled pricing.
         max_requests: stop feeding arrivals after this many (bounds endless
             Poisson streams when limits alone should not decide).
         worst_case_tokens: KV sizing override for sources that cannot
             report their own worst case.
+        replicas: explicit per-replica specifications for a heterogeneous
+            fleet (mix :class:`MonolithicReplicaSpec` and
+            :class:`SplitReplicaSpec`); overrides ``n_replicas``.
     """
 
     def __init__(
@@ -312,7 +412,7 @@ class ClusterSimulator:
         system: SystemConfig,
         model: ModelConfig,
         workload: WorkloadSpec | RequestSource,
-        n_replicas: int,
+        n_replicas: int | None = None,
         router: Router | None = None,
         max_batch: int = 32,
         seed: int | None = 0,
@@ -321,9 +421,20 @@ class ClusterSimulator:
         memoize_pricing: bool = True,
         max_requests: int | None = None,
         worst_case_tokens: int | None = None,
+        replicas: Sequence[ReplicaSpec] | None = None,
     ) -> None:
-        if n_replicas < 1:
-            raise ConfigError("a cluster needs at least one replica")
+        if replicas is None:
+            if n_replicas is None:
+                raise ConfigError("pass n_replicas (homogeneous) or replicas (explicit specs)")
+            if n_replicas < 1:
+                raise ConfigError("a cluster needs at least one replica")
+            replicas = tuple(MonolithicReplicaSpec() for _ in range(n_replicas))
+        else:
+            replicas = tuple(replicas)
+            if not replicas:
+                raise ConfigError("a cluster needs at least one replica")
+            if n_replicas is not None and n_replicas != len(replicas):
+                raise ConfigError("n_replicas disagrees with the replica spec list")
         if isinstance(workload, WorkloadSpec) and workload.closed_loop:
             raise ConfigError(
                 "cluster simulation needs an open-loop workload (qps set) "
@@ -336,27 +447,48 @@ class ClusterSimulator:
         self.model = model
         self.router = router if router is not None else RoundRobinRouter()
         self.max_requests = max_requests
-        self.effective_batch = min(max_batch, system.max_batch_for(model, worst_seq))
-        if self.effective_batch < 1:
-            raise CapacityError(
-                f"{system.name} cannot hold even one worst-case "
-                f"({worst_seq}-token) request for {model.name}"
-            )
-        capacity_tokens = system.max_resident_kv_tokens(model)
-        self.replicas = [
-            _Replica(
-                index=k,
-                system=system,
-                model=model,
-                effective_batch=self.effective_batch,
-                capacity_tokens=capacity_tokens,
-                policy=policy_factory() if policy_factory is not None else None,
-                gating_skew=gating_skew,
-                seed=None if seed is None else seed + k,
-                memoize_pricing=memoize_pricing,
-            )
-            for k in range(n_replicas)
-        ]
+        self.effective_batch = 0  # the largest replica batch, set below
+        self.replicas: list[_MonolithicReplica | _SplitReplica] = []
+        for k, spec in enumerate(replicas):
+            replica_seed = None if seed is None else seed + k
+            if isinstance(spec, SplitReplicaSpec):
+                replica = _SplitReplica(
+                    index=k,
+                    model=model,
+                    max_batch=spec.max_batch if spec.max_batch is not None else max_batch,
+                    seed=replica_seed,
+                    worst_case_tokens=worst_seq,
+                )
+                batch = replica.deployment.effective_batch
+            elif isinstance(spec, MonolithicReplicaSpec):
+                replica_system = spec.system if spec.system is not None else system
+                requested = spec.max_batch if spec.max_batch is not None else max_batch
+                batch = min(requested, replica_system.max_batch_for(model, worst_seq))
+                if batch < 1:
+                    raise CapacityError(
+                        f"{replica_system.name} cannot hold even one worst-case "
+                        f"({worst_seq}-token) request for {model.name}"
+                    )
+                replica = _MonolithicReplica(
+                    index=k,
+                    system=replica_system,
+                    model=model,
+                    effective_batch=batch,
+                    capacity_tokens=replica_system.max_resident_kv_tokens(model),
+                    policy=policy_factory() if policy_factory is not None else None,
+                    gating_skew=gating_skew,
+                    seed=replica_seed,
+                    memoize_pricing=memoize_pricing,
+                )
+            else:
+                raise ConfigError(f"unknown replica spec {spec!r}")
+            self.effective_batch = max(self.effective_batch, batch)
+            self.replicas.append(replica)
+
+    @property
+    def engines(self) -> tuple[ServingEngine, ...]:
+        """Every engine in the fleet, replica-major (invariant probes)."""
+        return tuple(engine for replica in self.replicas for engine in replica.engines)
 
     # ------------------------------------------------------------------
     def run(self, limits: SimulationLimits | None = None) -> ClusterReport:
@@ -418,6 +550,7 @@ class ClusterSimulator:
             fleet=fleet.report(),
             replicas=per_replica,
             requests_routed=tuple(replica.inbox.accepted for replica in self.replicas),
-            requests_rejected=sum(len(replica.scheduler.rejected) for replica in self.replicas),
+            requests_rejected=sum(replica.rejected_count for replica in self.replicas),
             queue_depth_samples=tuple(samples),
+            replica_kinds=tuple(replica.kind for replica in self.replicas),
         )

@@ -1,0 +1,380 @@
+"""The discrete-event serving core.
+
+Every serving simulation in this library — the single-system
+:class:`~repro.serving.simulator.ServingSimulator`, the two-partition
+:class:`~repro.serving.split.SplitServingSimulator`, and each replica of
+the :class:`~repro.serving.cluster.ClusterSimulator` fleet — is a thin
+configuration of one :class:`ServingEngine`:
+
+* a **virtual clock** (the scheduler's ``now_s``) advanced in
+  stage-latency jumps, idle gaps, or externally imposed targets;
+* **admission** delegated to a
+  :class:`~repro.serving.scheduler.ContinuousBatchingScheduler` pulling
+  from any :class:`~repro.serving.generator.RequestSource`;
+* an **event feed** (:class:`TransferFeed`) for requests that materialise
+  at a future instant — KV blocks landing after a transfer link delay;
+* **shed/complete bookkeeping** (``finished_ids``, ``handed_off_ids``,
+  the scheduler's ``rejected`` and ``admitted_log``) that invariant tests
+  audit through :class:`StageEvent` observers.
+
+Engines compose: the split deployment is a prefill-partition engine whose
+``handoff`` hook pushes each freshly prefilled request into a
+:class:`TransferFeed` that a second, decode-partition engine consumes as
+its request source.  A cluster replica is an engine whose source is the
+:class:`~repro.serving.generator.QueueSource` a router pushes into.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.core.executor import StageExecutor
+from repro.errors import ConfigError, SchedulingError
+from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.request import Request, RequestState
+from repro.serving.scheduler import ContinuousBatchingScheduler
+
+
+@dataclass(frozen=True)
+class SimulationLimits:
+    """When a simulation stops and what it measures.
+
+    Attributes:
+        max_stages: hard stage budget (post warm-up).
+        warmup_stages: stages executed but not recorded.
+        target_completions: stop once this many requests finish in the
+            measured window (None = run out the stage budget).
+        max_sim_time_s: stop once the simulated clock passes this.
+    """
+
+    max_stages: int = 2000
+    warmup_stages: int = 16
+    target_completions: int | None = None
+    max_sim_time_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_stages < 1:
+            raise ConfigError("max_stages must be positive")
+        if self.warmup_stages < 0:
+            raise ConfigError("warmup_stages must be non-negative")
+
+
+class StageObserver(Protocol):
+    """Callback invoked after every executed stage (invariant probes)."""
+
+    def __call__(self, event: "StageEvent") -> None: ...
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """Everything an invariant checker needs to audit one stage.
+
+    Attributes:
+        engine: the emitting engine's label.
+        now_s: the engine clock *after* the stage.
+        latency_s: stage latency.
+        decode_ids: requests that decoded one token this stage.
+        prefill_chunks: (request id, prefill tokens booked) this stage.
+        admitted: requests admitted at this stage boundary.
+        first_tokens: requests whose prefill completed this stage.
+        finished: requests that completed this stage.
+        handed_off: requests handed off to a downstream partition.
+        committed_tokens: KV tokens reserved after the stage.
+        capacity_tokens: the KV capacity those reservations live under.
+        measured: whether the stage landed in the measured window.
+    """
+
+    engine: str
+    now_s: float
+    latency_s: float
+    decode_ids: tuple[int, ...]
+    prefill_chunks: tuple[tuple[int, int], ...]
+    admitted: tuple[int, ...]
+    first_tokens: tuple[int, ...]
+    finished: tuple[int, ...]
+    handed_off: tuple[int, ...]
+    committed_tokens: int
+    capacity_tokens: int | None
+    measured: bool
+
+
+class TransferFeed:
+    """A time-ordered event feed of requests materialising in the future.
+
+    The split deployment's KV-transfer link: the prefill partition pushes
+    a request with the instant its KV lands on the decode partition, and
+    the decode engine consumes it through the standard
+    :class:`~repro.serving.generator.RequestSource` protocol.  Push order
+    breaks ties (a deterministic heap), so same-instant transfers admit in
+    prefill-completion order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Request]] = []
+        self._pushed = 0
+
+    def push(self, ready_s: float, request: Request) -> None:
+        """Schedule ``request`` to become available at ``ready_s``."""
+        heapq.heappush(self._heap, (ready_s, self._pushed, request))
+        self._pushed += 1
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def closed_loop(self) -> bool:
+        return False
+
+    @property
+    def queued_tokens(self) -> int:
+        """Worst-case KV tokens still in flight (router load signal)."""
+        return sum(entry[2].total_seq_len for entry in self._heap)
+
+    def peek(self) -> Request | None:
+        return self._heap[0][2] if self._heap else None
+
+    def peek_arrival(self) -> float:
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def has_request_at(self, now_s: float) -> bool:
+        return bool(self._heap) and self._heap[0][0] <= now_s
+
+    def take(self, now_s: float) -> Request:
+        if not self._heap:
+            raise SchedulingError("transfer feed is empty")
+        return heapq.heappop(self._heap)[2]
+
+
+class ServingEngine:
+    """One event-driven serving partition: scheduler + executor + metrics.
+
+    Args:
+        scheduler: the stage-level scheduler (owns the virtual clock).
+        executor: prices each stage the scheduler builds.
+        metrics: collector to record into; partitions of one deployment
+            share a collector (the split system reports as one system).
+        label: name used in :class:`StageEvent` and error messages.
+        record_idle: record open-loop idle gaps into elapsed time.  The
+            split decode partition measures busy time only (the paper's
+            Fig. 16 throughput accounting), so it opts out.
+        budget_exempt: this engine's stages never consume the simulation
+            stage budget (the split prefill partition: only decode stages
+            bound a run, exactly as the paper counts them).
+        record_gate: overrides the warm-up gate deciding whether a stage
+            is recorded (the split prefill partition records once the
+            *decode* partition has warmed up).  None = the standard
+            ``stages > warmup_stages`` gate on this engine's own counter.
+        handoff: when set, a request leaving prefill is released from this
+            engine's batch and passed to the callback with the current
+            clock — the KV-transfer hook that chains partitions.
+    """
+
+    def __init__(
+        self,
+        scheduler: ContinuousBatchingScheduler,
+        executor: StageExecutor,
+        metrics: MetricsCollector | None = None,
+        label: str = "engine",
+        record_idle: bool = True,
+        budget_exempt: bool = False,
+        record_gate: Callable[[SimulationLimits], bool] | None = None,
+        handoff: Callable[[Request, float], None] | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.executor = executor
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.label = label
+        self.record_idle = record_idle
+        self.budget_exempt = budget_exempt
+        self.record_gate = record_gate
+        self.handoff = handoff
+        self.stages = 0
+        self.measured = 0
+        self.completions = 0
+        #: Membership-only exclusion set: warm-start synthetics whose
+        #: metrics are meaningless (never iterated — ordering-safe).
+        self.synthetic_ids: set[int] = set()
+        #: Completion/handoff ledgers in event order (invariant audits).
+        self.finished_ids: list[int] = []
+        self.handed_off_ids: list[int] = []
+        self.observers: list[StageObserver] = []
+        self._admitted_seen = 0  # admitted_log cursor for StageEvent attribution
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now_s(self) -> float:
+        return self.scheduler.now_s
+
+    def jump_to(self, t: float) -> None:
+        """Advance the clock without recording idle time (event waits)."""
+        self.scheduler.now_s = max(self.scheduler.now_s, t)
+
+    def idle_until(self, t: float, limits: SimulationLimits) -> None:
+        """Advance the clock through an idle gap, recording it if measured."""
+        gap = t - self.now_s
+        if gap > 0:
+            if self.record_idle and self.stages >= limits.warmup_stages:
+                self.metrics.record_idle(gap)
+            self.scheduler.now_s = t
+
+    # ------------------------------------------------------------------
+    # budget
+    # ------------------------------------------------------------------
+    def budget_spent(self, limits: SimulationLimits) -> bool:
+        """Whether the stage budget (measured or total) is exhausted."""
+        if self.budget_exempt:
+            return False
+        return (
+            self.measured >= limits.max_stages
+            or self.stages >= limits.warmup_stages + limits.max_stages
+        )
+
+    # ------------------------------------------------------------------
+    # one stage
+    # ------------------------------------------------------------------
+    def step(self, limits: SimulationLimits, admit: bool = True) -> bool:
+        """Run one stage if work is available; True when one ran.
+
+        Args:
+            admit: run admission inside stage construction (default); the
+                split prefill partition admits separately at decode time.
+        """
+        if self.budget_spent(limits):
+            return False
+        scheduler = self.scheduler
+        workload = scheduler.build_stage(admit=admit)
+        if workload is None:
+            return False
+        observing = bool(self.observers)
+        if observing:
+            # Attribute every admission since the last stage event to this
+            # one — including admissions made outside step() (warm start,
+            # the split prefill partition's decode-time admit()).
+            admitted = tuple(scheduler.admitted_log[self._admitted_seen :])
+            decode_ids = tuple(
+                r.request_id for r in scheduler.running if r.state is RequestState.DECODING
+            )
+            chunks = tuple(scheduler.pending_chunks.items())
+        self._admitted_seen = len(scheduler.admitted_log)
+        prefilling = [r for r in scheduler.running if r.state is RequestState.PREFILLING]
+        result = self.executor.run_stage(workload)
+        finished = scheduler.complete_stage(result.latency_s)
+        self.stages += 1
+        first_tokens = [r for r in prefilling if r.state is not RequestState.PREFILLING]
+        in_window = self.stages > limits.warmup_stages
+        if in_window:
+            self.measured += 1
+        recording = self.record_gate(limits) if self.record_gate is not None else in_window
+        if recording:
+            self.metrics.record_stage(
+                latency_s=result.latency_s,
+                is_mixed=result.is_mixed,
+                decode_tokens=workload.n_decode,
+                total_tokens_generated=workload.n_decode + len(first_tokens),
+                dram_energy=result.dram_energy_by_category,
+                compute_energy=result.compute_energy_by_category,
+                comm_energy_j=result.comm_energy_j,
+            )
+            for request in first_tokens:
+                if request.request_id not in self.synthetic_ids:
+                    self.metrics.record_first_token(
+                        request.t2ft_s, tenant=request.tenant, slo_s=request.t2ft_slo_s
+                    )
+        for request in finished:
+            self.finished_ids.append(request.request_id)
+            if request.request_id in self.synthetic_ids:
+                self.synthetic_ids.discard(request.request_id)
+                continue
+            if recording:
+                self.metrics.record_completion(request.e2e_s, tenant=request.tenant)
+                self.completions += 1
+        handed_off: list[int] = []
+        if self.handoff is not None:
+            for request in first_tokens:
+                if request.state is RequestState.FINISHED:
+                    continue  # single-token output: done at prefill
+                scheduler.release(request)
+                handed_off.append(request.request_id)
+                self.handed_off_ids.append(request.request_id)
+                self.handoff(request, self.now_s)
+        if observing:
+            event = StageEvent(
+                engine=self.label,
+                now_s=self.now_s,
+                latency_s=result.latency_s,
+                decode_ids=decode_ids,
+                prefill_chunks=chunks,
+                admitted=admitted,
+                first_tokens=tuple(r.request_id for r in first_tokens),
+                finished=tuple(r.request_id for r in finished),
+                handed_off=tuple(handed_off),
+                committed_tokens=scheduler.committed_tokens,
+                capacity_tokens=scheduler.capacity_tokens,
+                measured=recording,
+            )
+            for observer in self.observers:
+                observer(event)
+        return True
+
+    # ------------------------------------------------------------------
+    # driving loops
+    # ------------------------------------------------------------------
+    def run(self, limits: SimulationLimits) -> ServingReport:
+        """Run to the limits (or source exhaustion) and return the report."""
+        while not self.budget_spent(limits):
+            if self.step(limits):
+                if self.stages > limits.warmup_stages:
+                    if (
+                        limits.target_completions is not None
+                        and self.completions >= limits.target_completions
+                    ):
+                        break
+                    if (
+                        limits.max_sim_time_s is not None
+                        and self.now_s >= limits.max_sim_time_s
+                    ):
+                        break
+                continue
+            next_arrival = self.scheduler.source.peek_arrival()
+            if next_arrival == float("inf"):
+                break  # finite source exhausted, nothing running
+            self.idle_until(next_arrival, limits)
+        return self.metrics.report()
+
+    def advance_to(self, t: float, limits: SimulationLimits) -> None:
+        """Simulate until the clock reaches ``t`` (stages may overshoot)."""
+        while self.now_s < t:
+            if self.step(limits):
+                continue
+            # Idle (or out of stage budget): jump to the next queued
+            # arrival, or to t if the source is quiet until then.
+            if self.budget_spent(limits):
+                target = t
+            else:
+                target = min(t, self.scheduler.source.peek_arrival())
+            target = max(target, self.now_s)
+            gap = target - self.now_s
+            if gap > 0:
+                if (
+                    self.record_idle
+                    and self.stages >= limits.warmup_stages
+                    and not self.budget_spent(limits)
+                ):
+                    self.metrics.record_idle(gap)
+                self.scheduler.now_s = target
+            if target >= t:
+                break
+
+    def drain(self, limits: SimulationLimits) -> None:
+        """Finish everything queued here (until the stage budget runs out)."""
+        while not self.budget_spent(limits):
+            if self.step(limits):
+                continue
+            next_arrival = self.scheduler.source.peek_arrival()
+            if next_arrival == float("inf"):
+                break
+            self.advance_to(next_arrival, limits)

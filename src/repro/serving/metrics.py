@@ -50,6 +50,10 @@ class ServingReport:
         energy_by_component: (category, dram|compute) -> joules.
         requests_completed: finished requests in the window.
         effective_batch: capacity-limited batch actually used.
+        per_tenant: tenant name -> summary dict (``requests_completed``,
+            ``t2ft_p50_s``, ``e2e_p50_s``, and — when requests carried a
+            per-request SLO — ``t2ft_slo_attainment``); empty for
+            single-tenant workloads.
     """
 
     tokens_generated: int
@@ -65,6 +69,7 @@ class ServingReport:
     energy_by_component: dict[str, float]
     requests_completed: int
     effective_batch: int
+    per_tenant: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
 @dataclass
@@ -81,6 +86,10 @@ class MetricsCollector:
     _elapsed_s: float = 0.0
     _energy_by_component: dict[str, float] = field(default_factory=dict)
     _requests_completed: int = 0
+    _tenant_t2ft: dict[str, list[float]] = field(default_factory=dict)
+    _tenant_t2ft_slo_met: dict[str, int] = field(default_factory=dict)
+    _tenant_t2ft_slo_total: dict[str, int] = field(default_factory=dict)
+    _tenant_e2e: dict[str, list[float]] = field(default_factory=dict)
     effective_batch: int = 0
 
     # ------------------------------------------------------------------
@@ -127,14 +136,34 @@ class MetricsCollector:
                 self._energy_by_component.get("fabric", 0.0) + comm_energy_j
             )
 
-    def record_first_token(self, t2ft_s: float) -> None:
-        """Record a T2FT sample (known at first token, before completion)."""
-        self._t2ft.append(t2ft_s)
+    def record_first_token(
+        self, t2ft_s: float, tenant: str | None = None, slo_s: float | None = None
+    ) -> None:
+        """Record a T2FT sample (known at first token, before completion).
 
-    def record_completion(self, e2e_s: float) -> None:
+        Args:
+            tenant: tenant the request belongs to (multi-tenant scenarios).
+            slo_s: the request's own T2FT objective; tenant SLO attainment
+                is the share of a tenant's samples meeting their carried SLO.
+        """
+        self._t2ft.append(t2ft_s)
+        if tenant is not None:
+            self._tenant_t2ft.setdefault(tenant, []).append(t2ft_s)
+            if slo_s is not None:
+                self._tenant_t2ft_slo_total[tenant] = (
+                    self._tenant_t2ft_slo_total.get(tenant, 0) + 1
+                )
+                if t2ft_s <= slo_s:
+                    self._tenant_t2ft_slo_met[tenant] = (
+                        self._tenant_t2ft_slo_met.get(tenant, 0) + 1
+                    )
+
+    def record_completion(self, e2e_s: float, tenant: str | None = None) -> None:
         """Record an E2E sample (the request's T2FT was recorded earlier)."""
         self._e2e.append(e2e_s)
         self._requests_completed += 1
+        if tenant is not None:
+            self._tenant_e2e.setdefault(tenant, []).append(e2e_s)
 
     def record_idle(self, seconds: float) -> None:
         """Advance measured time without work (open-loop idle gaps)."""
@@ -170,6 +199,18 @@ class MetricsCollector:
                 fleet._energy_by_component[key] = (
                     fleet._energy_by_component.get(key, 0.0) + joules
                 )
+            for tenant, samples in collector._tenant_t2ft.items():
+                fleet._tenant_t2ft.setdefault(tenant, []).extend(samples)
+            for tenant, samples in collector._tenant_e2e.items():
+                fleet._tenant_e2e.setdefault(tenant, []).extend(samples)
+            for tenant, met in collector._tenant_t2ft_slo_met.items():
+                fleet._tenant_t2ft_slo_met[tenant] = (
+                    fleet._tenant_t2ft_slo_met.get(tenant, 0) + met
+                )
+            for tenant, total in collector._tenant_t2ft_slo_total.items():
+                fleet._tenant_t2ft_slo_total[tenant] = (
+                    fleet._tenant_t2ft_slo_total.get(tenant, 0) + total
+                )
         return fleet
 
     # ------------------------------------------------------------------
@@ -203,6 +244,26 @@ class MetricsCollector:
         met = sum(1 for value in self._t2ft if value <= slo_s)
         return met / len(self._t2ft)
 
+    def _per_tenant_summary(self) -> dict[str, dict[str, float]]:
+        """Tenant name -> summary, with names sorted for determinism."""
+        names = sorted(set(self._tenant_t2ft) | set(self._tenant_e2e))
+        summary: dict[str, dict[str, float]] = {}
+        for name in names:
+            t2ft = self._tenant_t2ft.get(name, [])
+            e2e = self._tenant_e2e.get(name, [])
+            entry: dict[str, float] = {
+                "requests_completed": float(len(e2e)),
+                "t2ft_p50_s": float(np.median(t2ft)) if t2ft else 0.0,
+                "e2e_p50_s": float(np.median(e2e)) if e2e else 0.0,
+            }
+            total = self._tenant_t2ft_slo_total.get(name, 0)
+            if total:
+                entry["t2ft_slo_attainment"] = (
+                    self._tenant_t2ft_slo_met.get(name, 0) / total
+                )
+            summary[name] = entry
+        return summary
+
     def report(self) -> ServingReport:
         """Summarise everything recorded so far."""
         if self._stages_total == 0:
@@ -227,4 +288,5 @@ class MetricsCollector:
             energy_by_component=dict(self._energy_by_component),
             requests_completed=self._requests_completed,
             effective_batch=self.effective_batch,
+            per_tenant=self._per_tenant_summary(),
         )

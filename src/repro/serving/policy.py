@@ -114,7 +114,9 @@ class SloAwarePolicy(SchedulingPolicy):
     """Deadline-ordered admission with expired-request shedding.
 
     Every request carries an implicit first-token deadline
-    ``arrival + t2ft_slo_s``.  The queue is served earliest-deadline-first
+    ``arrival + t2ft_slo_s``; a request with its own ``t2ft_slo_s`` (a
+    multi-tenant scenario's per-tenant SLO) uses that instead of the
+    policy default.  The queue is served earliest-deadline-first
     (with uniform SLOs this equals arrival order, so the ``prefer_short_inputs``
     tiebreak is what reorders: short prompts prefill fastest and therefore
     maximise the number of deadlines met).  When ``shed_expired`` is set,
@@ -144,7 +146,8 @@ class SloAwarePolicy(SchedulingPolicy):
         self.prefer_short_inputs = prefer_short_inputs
 
     def deadline(self, request: Request) -> float:
-        return request.arrival_time_s + self.t2ft_slo_s
+        slo = request.t2ft_slo_s if request.t2ft_slo_s is not None else self.t2ft_slo_s
+        return request.arrival_time_s + slo
 
     def order_waiting(self, waiting: list[Request], now_s: float) -> None:
         if self.prefer_short_inputs:

@@ -35,12 +35,19 @@ class Request:
         arrival_time_s: when the request entered the system.
         input_len: prompt tokens (Lin).
         output_len: tokens to generate (Lout).
+        tenant: workload tenant the request belongs to (multi-tenant
+            scenarios; None for single-tenant workloads).
+        t2ft_slo_s: per-request time-to-first-token objective (None = no
+            per-request SLO; SLO-aware policies then fall back to their
+            own default).
     """
 
     request_id: int
     arrival_time_s: float
     input_len: int
     output_len: int
+    tenant: str | None = None
+    t2ft_slo_s: float | None = None
     state: RequestState = RequestState.QUEUED
     context_len: int = 0
     tokens_generated: int = 0
@@ -53,6 +60,8 @@ class Request:
             raise ConfigError("requests need at least one input and one output token")
         if self.arrival_time_s < 0:
             raise ConfigError("arrival time must be non-negative")
+        if self.t2ft_slo_s is not None and self.t2ft_slo_s <= 0:
+            raise ConfigError("a per-request T2FT SLO must be positive")
 
     # ------------------------------------------------------------------
     # lifecycle transitions

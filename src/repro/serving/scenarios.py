@@ -1,0 +1,632 @@
+"""Workload scenario library: traffic shapes beyond Gaussian-Poisson.
+
+The paper evaluates synthetic Gaussian-length workloads under closed-loop
+or Poisson arrivals (Section VI).  Production serving sees much richer
+regimes — flash crowds, diurnal cycles, heavy-tailed summarization
+prompts, tenants with different SLOs sharing a fleet.  This module makes
+those regimes first-class and composable:
+
+* an :class:`ArrivalProcess` shapes *when* requests arrive — Poisson,
+  Markov-modulated bursts, a diurnal sinusoid, or a replayed arrival
+  trace;
+* a :class:`LengthDistribution` shapes *what* arrives — Gaussian,
+  lognormal heavy-tail, or a bimodal chat/summarize mix;
+* a :class:`TenantSpec` attaches a name, traffic share, and optional
+  per-tenant T2FT SLO to one length distribution;
+* a :class:`Scenario` composes one arrival process with a tenant mix and
+  yields a standard :class:`~repro.serving.generator.RequestSource`, so
+  every simulator in this library — single engine, split deployment,
+  heterogeneous cluster — runs it unchanged.
+
+Scenarios are *specifications* (frozen dataclasses): building a source
+with a seed is what instantiates RNG state, so one scenario can drive many
+independent, reproducible runs.  The registry at the bottom maps names to
+scenario factories; ``repro.experiments.sweep.scenario_param_sets`` turns
+registered names into process-pool-safe sweep points, ``fig13`` accepts a
+``scenario=`` override, and ``examples/scenario_gallery.py`` tours the
+built-ins on a heterogeneous fleet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigError, SchedulingError
+from repro.serving.request import Request
+
+
+# ----------------------------------------------------------------------
+# arrival processes
+# ----------------------------------------------------------------------
+@runtime_checkable
+class ArrivalProcess(Protocol):
+    """When requests arrive.
+
+    ``stream`` yields non-decreasing absolute arrival times (seconds);
+    ``mean_qps`` is the long-run average rate (used to rescale a scenario
+    to a target load); ``scaled`` multiplies the offered load.
+    """
+
+    def stream(self, rng: np.random.Generator) -> Iterator[float]: ...
+
+    @property
+    def mean_qps(self) -> float: ...
+
+    def scaled(self, factor: float) -> "ArrivalProcess": ...
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ConfigError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals at a constant rate (the paper's Fig. 13 load)."""
+
+    qps: float
+
+    def __post_init__(self) -> None:
+        _require_positive("qps", self.qps)
+
+    @property
+    def mean_qps(self) -> float:
+        return self.qps
+
+    def scaled(self, factor: float) -> "PoissonArrivals":
+        _require_positive("scale factor", factor)
+        return replace(self, qps=self.qps * factor)
+
+    def stream(self, rng: np.random.Generator) -> Iterator[float]:
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / self.qps))
+            yield t
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """Two-state Markov-modulated Poisson process (flash crowds).
+
+    The process alternates between a *calm* state (rate ``base_qps``,
+    exponentially distributed dwell of mean ``mean_calm_s``) and a *burst*
+    state (rate ``burst_qps``, mean dwell ``mean_burst_s``).  Thanks to
+    memorylessness, resampling the inter-arrival gap at each state switch
+    is exact.
+    """
+
+    base_qps: float
+    burst_qps: float
+    mean_calm_s: float = 60.0
+    mean_burst_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        for name in ("base_qps", "burst_qps", "mean_calm_s", "mean_burst_s"):
+            _require_positive(name, getattr(self, name))
+        if self.burst_qps < self.base_qps:
+            raise ConfigError("burst_qps must be at least base_qps")
+
+    @property
+    def mean_qps(self) -> float:
+        weight = self.mean_calm_s + self.mean_burst_s
+        return (self.base_qps * self.mean_calm_s + self.burst_qps * self.mean_burst_s) / weight
+
+    def scaled(self, factor: float) -> "BurstyArrivals":
+        _require_positive("scale factor", factor)
+        return replace(
+            self, base_qps=self.base_qps * factor, burst_qps=self.burst_qps * factor
+        )
+
+    def stream(self, rng: np.random.Generator) -> Iterator[float]:
+        t = 0.0
+        in_burst = False
+        state_end = float(rng.exponential(self.mean_calm_s))
+        while True:
+            rate = self.burst_qps if in_burst else self.base_qps
+            gap = float(rng.exponential(1.0 / rate))
+            if t + gap <= state_end:
+                t += gap
+                yield t
+            else:
+                t = state_end
+                in_burst = not in_burst
+                dwell = self.mean_burst_s if in_burst else self.mean_calm_s
+                state_end = t + float(rng.exponential(dwell))
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Sinusoidally rate-modulated arrivals (day/night traffic).
+
+    The instantaneous rate swings between ``base_qps`` and ``peak_qps``
+    over one ``period_s``; sampling uses thinning against the peak rate,
+    which is exact because the rate never exceeds it.
+    """
+
+    base_qps: float
+    peak_qps: float
+    period_s: float = 3600.0
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("base_qps", "peak_qps", "period_s"):
+            _require_positive(name, getattr(self, name))
+        if self.peak_qps < self.base_qps:
+            raise ConfigError("peak_qps must be at least base_qps")
+
+    def rate_at(self, t: float) -> float:
+        swing = 0.5 * (1.0 + math.sin(2.0 * math.pi * (t + self.phase_s) / self.period_s))
+        return self.base_qps + (self.peak_qps - self.base_qps) * swing
+
+    @property
+    def mean_qps(self) -> float:
+        return 0.5 * (self.base_qps + self.peak_qps)
+
+    def scaled(self, factor: float) -> "DiurnalArrivals":
+        _require_positive("scale factor", factor)
+        return replace(
+            self, base_qps=self.base_qps * factor, peak_qps=self.peak_qps * factor
+        )
+
+    def stream(self, rng: np.random.Generator) -> Iterator[float]:
+        t = 0.0
+        while True:
+            while True:
+                t += float(rng.exponential(1.0 / self.peak_qps))
+                if float(rng.random()) * self.peak_qps <= self.rate_at(t):
+                    break
+            yield t
+
+
+@dataclass(frozen=True)
+class ReplayedArrivals:
+    """Arrivals replayed from an explicit (sorted) timestamp list.
+
+    The deterministic complement of the stochastic processes: spike
+    patterns, recorded production bursts, adversarial resonance traces.
+    The pattern repeats every ``period_s`` (default: its own span plus one
+    mean gap), so the stream never runs dry (simulation limits bound the
+    run instead).
+    """
+
+    times_s: tuple[float, ...]
+    period_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.times_s:
+            raise ConfigError("a replayed arrival pattern needs at least one timestamp")
+        if any(b < a for a, b in zip(self.times_s, self.times_s[1:])):
+            raise ConfigError("replayed arrival times must be non-decreasing")
+        if self.times_s[0] < 0:
+            raise ConfigError("replayed arrival times must be non-negative")
+        if self.period_s is None:
+            if len(self.times_s) > 1 and self.times_s[-1] <= 0:
+                # An all-zero multi-point pattern has zero span: its
+                # repetition never advances time and its rate is undefined.
+                raise ConfigError("a replayed arrival pattern must span a positive duration")
+        elif self.period_s <= 0 or self.period_s < self.times_s[-1]:
+            raise ConfigError("period_s must be positive and cover the whole pattern")
+
+    @property
+    def span_s(self) -> float:
+        """One repetition of the pattern (mean gap padding past the end)."""
+        if self.period_s is not None:
+            return self.period_s
+        if len(self.times_s) == 1:
+            return max(self.times_s[0], 1.0)
+        mean_gap = self.times_s[-1] / max(1, len(self.times_s) - 1)
+        return self.times_s[-1] + mean_gap
+
+    @property
+    def mean_qps(self) -> float:
+        return len(self.times_s) / self.span_s
+
+    def scaled(self, factor: float) -> "ReplayedArrivals":
+        # Pin the period explicitly so the rate scales exactly even where
+        # the derived span would not (single-timestamp patterns clamp
+        # their span to at least one second).
+        _require_positive("scale factor", factor)
+        return replace(
+            self,
+            times_s=tuple(t / factor for t in self.times_s),
+            period_s=self.span_s / factor,
+        )
+
+    def stream(self, rng: np.random.Generator) -> Iterator[float]:
+        offset = 0.0
+        while True:
+            for t in self.times_s:
+                yield offset + t
+            offset += self.span_s
+
+
+# ----------------------------------------------------------------------
+# length distributions
+# ----------------------------------------------------------------------
+@runtime_checkable
+class LengthDistribution(Protocol):
+    """What arrives: per-request (input, output) token lengths.
+
+    ``worst_case_tokens`` sizes KV-capacity admission (the effective
+    batch), exactly like a :class:`~repro.serving.generator.WorkloadSpec`'s
+    3-sigma estimate.
+    """
+
+    def sample(self, rng: np.random.Generator) -> tuple[int, int]: ...
+
+    def worst_case_tokens(self) -> int: ...
+
+
+@dataclass(frozen=True)
+class GaussianLengths:
+    """The paper's Gaussian (Lin, Lout) lengths (Section VI)."""
+
+    lin_mean: float
+    lout_mean: float
+    lin_cv: float = 0.0
+    lout_cv: float = 0.0
+    min_len: int = 4
+
+    def __post_init__(self) -> None:
+        if self.lin_mean < 1 or self.lout_mean < 1:
+            raise ConfigError("mean lengths must be at least one token")
+        if self.lin_cv < 0 or self.lout_cv < 0:
+            raise ConfigError("coefficients of variation must be non-negative")
+        if self.min_len < 1:
+            raise ConfigError("min_len must be at least one token")
+
+    def worst_case_tokens(self) -> int:
+        return int(
+            self.lin_mean * (1 + 3 * self.lin_cv) + self.lout_mean * (1 + 3 * self.lout_cv)
+        )
+
+    def _one(self, rng: np.random.Generator, mean: float, cv: float) -> int:
+        if cv == 0.0:
+            return max(self.min_len, int(round(mean)))
+        return max(self.min_len, int(round(float(rng.normal(mean, cv * mean)))))
+
+    def sample(self, rng: np.random.Generator) -> tuple[int, int]:
+        return (
+            self._one(rng, self.lin_mean, self.lin_cv),
+            self._one(rng, self.lout_mean, self.lout_cv),
+        )
+
+
+@dataclass(frozen=True)
+class LognormalLengths:
+    """Heavy-tailed lengths (document summarization, code context dumps).
+
+    Lengths are lognormal around the given medians; samples are clipped to
+    ``max_factor`` times the median so a single request cannot outgrow the
+    KV sizing this distribution reports (at sigma 0.8 the clip touches
+    roughly the 99.5th percentile).
+    """
+
+    lin_median: float
+    lout_median: float
+    sigma: float = 0.8
+    min_len: int = 4
+    max_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.lin_median < 1 or self.lout_median < 1:
+            raise ConfigError("median lengths must be at least one token")
+        _require_positive("sigma", self.sigma)
+        if self.min_len < 1:
+            raise ConfigError("min_len must be at least one token")
+        if self.max_factor < 1:
+            raise ConfigError("max_factor must be at least 1")
+
+    def worst_case_tokens(self) -> int:
+        return int(self.lin_median * self.max_factor + self.lout_median * self.max_factor)
+
+    def _one(self, rng: np.random.Generator, median: float) -> int:
+        sampled = float(rng.lognormal(math.log(median), self.sigma))
+        return int(min(max(self.min_len, round(sampled)), round(median * self.max_factor)))
+
+    def sample(self, rng: np.random.Generator) -> tuple[int, int]:
+        return self._one(rng, self.lin_median), self._one(rng, self.lout_median)
+
+
+@dataclass(frozen=True)
+class BimodalLengths:
+    """A chat/summarize mix: two Gaussian modes with a mixing weight."""
+
+    chat: GaussianLengths
+    summarize: GaussianLengths
+    summarize_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.summarize_fraction <= 1.0:
+            raise ConfigError("summarize_fraction must be within [0, 1]")
+
+    def worst_case_tokens(self) -> int:
+        return max(self.chat.worst_case_tokens(), self.summarize.worst_case_tokens())
+
+    def sample(self, rng: np.random.Generator) -> tuple[int, int]:
+        mode = self.summarize if float(rng.random()) < self.summarize_fraction else self.chat
+        return mode.sample(rng)
+
+
+# ----------------------------------------------------------------------
+# tenants and scenarios
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant in a shared-fleet mix.
+
+    Attributes:
+        name: tenant identifier (tags requests and per-tenant metrics).
+        lengths: the tenant's length distribution.
+        weight: share of arrivals belonging to this tenant.
+        t2ft_slo_s: the tenant's time-to-first-token objective, carried on
+            every request (None = no SLO; SLO-aware policies and
+            attainment metrics then skip this tenant).
+    """
+
+    name: str
+    lengths: LengthDistribution
+    weight: float = 1.0
+    t2ft_slo_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenants need a name")
+        _require_positive("weight", self.weight)
+        if self.t2ft_slo_s is not None and self.t2ft_slo_s <= 0:
+            raise ConfigError("a tenant T2FT SLO must be positive")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named traffic regime: arrivals × tenant mix.
+
+    A scenario is a pure specification; :meth:`source` instantiates it
+    into a seeded :class:`ScenarioSource` any simulator accepts.
+    """
+
+    name: str
+    arrivals: ArrivalProcess
+    tenants: tuple[TenantSpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ConfigError("a scenario needs at least one tenant")
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ConfigError("tenant names must be unique within a scenario")
+
+    @property
+    def mean_qps(self) -> float:
+        return self.arrivals.mean_qps
+
+    def worst_case_tokens(self) -> int:
+        return max(tenant.lengths.worst_case_tokens() for tenant in self.tenants)
+
+    def scaled(self, factor: float) -> "Scenario":
+        """The same regime at ``factor`` times the offered load."""
+        return replace(self, arrivals=self.arrivals.scaled(factor))
+
+    def at_qps(self, qps: float) -> "Scenario":
+        """The same regime rescaled to a target mean arrival rate."""
+        _require_positive("qps", qps)
+        return self.scaled(qps / self.arrivals.mean_qps)
+
+    def source(self, seed: int | None = 0, max_requests: int | None = None) -> "ScenarioSource":
+        """Instantiate a seeded request source for this scenario.
+
+        Args:
+            max_requests: make the source finite after this many requests
+                (cluster runs route arrivals until the source dries up).
+        """
+        return ScenarioSource(self, seed=seed, max_requests=max_requests)
+
+
+class ScenarioSource:
+    """A :class:`~repro.serving.generator.RequestSource` driven by a scenario.
+
+    Requests are sampled lazily (peeking materialises the next one, like
+    the synthetic generator), tagged with their tenant and its SLO, and
+    numbered in arrival order.
+    """
+
+    def __init__(
+        self, scenario: Scenario, seed: int | None = 0, max_requests: int | None = None
+    ) -> None:
+        if max_requests is not None and max_requests < 1:
+            raise ConfigError("max_requests must be positive (or None for unbounded)")
+        self.scenario = scenario
+        self.max_requests = max_requests
+        self._rng = np.random.default_rng(seed)
+        self._arrivals = scenario.arrivals.stream(self._rng)
+        self._weights = np.asarray([t.weight for t in scenario.tenants], dtype=float)
+        self._weights = self._weights / self._weights.sum()
+        self._next_id = 0
+        self._pending: Request | None = None
+
+    @property
+    def closed_loop(self) -> bool:
+        return False
+
+    def worst_case_tokens(self) -> int:
+        return self.scenario.worst_case_tokens()
+
+    def _ensure_pending(self) -> None:
+        if self._pending is not None:
+            return
+        if self.max_requests is not None and self._next_id >= self.max_requests:
+            return
+        arrival = next(self._arrivals)
+        tenant = self.scenario.tenants[
+            int(self._rng.choice(len(self.scenario.tenants), p=self._weights))
+        ]
+        input_len, output_len = tenant.lengths.sample(self._rng)
+        self._pending = Request(
+            request_id=self._next_id,
+            arrival_time_s=arrival,
+            input_len=input_len,
+            output_len=output_len,
+            tenant=tenant.name,
+            t2ft_slo_s=tenant.t2ft_slo_s,
+        )
+        self._next_id += 1
+
+    def peek(self) -> Request | None:
+        self._ensure_pending()
+        return self._pending
+
+    def peek_arrival(self) -> float:
+        pending = self.peek()
+        return float("inf") if pending is None else pending.arrival_time_s
+
+    def has_request_at(self, now_s: float) -> bool:
+        pending = self.peek()
+        return pending is not None and pending.arrival_time_s <= now_s
+
+    def take(self, now_s: float) -> Request:
+        pending = self.peek()
+        if pending is None:
+            raise SchedulingError("scenario source is exhausted")
+        self._pending = None
+        return pending
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[[], Scenario]] = {}
+
+
+def register_scenario(
+    name: str, factory: Callable[[], Scenario], overwrite: bool = False
+) -> None:
+    """Register a scenario factory under ``name``.
+
+    Factories (not instances) are registered so a registry entry is a pure
+    recipe: every lookup builds a fresh specification, and names stay
+    picklable for process-pool sweeps.
+    """
+    if not name:
+        raise ConfigError("scenarios need a name")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigError(f"scenario '{name}' is already registered (overwrite=True replaces)")
+    _REGISTRY[name] = factory
+
+
+def get_scenario(name: str) -> Scenario:
+    """Build the registered scenario ``name``."""
+    if name not in _REGISTRY:
+        raise ConfigError(f"unknown scenario '{name}'; choose from {scenario_names()}")
+    return _REGISTRY[name]()
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered scenario names, sorted for determinism."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# built-in scenarios
+# ----------------------------------------------------------------------
+def _steady_chat() -> Scenario:
+    return Scenario(
+        name="steady-chat",
+        description="Poisson chat traffic with Gaussian lengths (the paper's regime)",
+        arrivals=PoissonArrivals(qps=8.0),
+        tenants=(
+            TenantSpec("chat", GaussianLengths(1024, 256, lin_cv=0.3, lout_cv=0.4)),
+        ),
+    )
+
+
+def _bursty_chat() -> Scenario:
+    return Scenario(
+        name="bursty-chat",
+        description="Markov-modulated flash crowds over a calm chat baseline",
+        arrivals=BurstyArrivals(base_qps=4.0, burst_qps=24.0, mean_calm_s=60.0, mean_burst_s=15.0),
+        tenants=(
+            TenantSpec("chat", GaussianLengths(1024, 256, lin_cv=0.3, lout_cv=0.4)),
+        ),
+    )
+
+
+def _diurnal_mixed() -> Scenario:
+    return Scenario(
+        name="diurnal-mixed",
+        description="day/night sinusoidal load over a bimodal chat/summarize mix",
+        arrivals=DiurnalArrivals(base_qps=2.0, peak_qps=12.0, period_s=600.0),
+        tenants=(
+            TenantSpec(
+                "mixed",
+                BimodalLengths(
+                    chat=GaussianLengths(512, 256, lin_cv=0.3, lout_cv=0.3),
+                    summarize=GaussianLengths(4096, 256, lin_cv=0.2, lout_cv=0.3),
+                    summarize_fraction=0.2,
+                ),
+            ),
+        ),
+    )
+
+
+def _heavy_tail_summarize() -> Scenario:
+    return Scenario(
+        name="heavy-tail-summarize",
+        description="lognormal heavy-tailed summarization prompts under Poisson load",
+        arrivals=PoissonArrivals(qps=3.0),
+        tenants=(
+            TenantSpec("summarize", LognormalLengths(2048, 256, sigma=0.7)),
+        ),
+    )
+
+
+def _multi_tenant_slo() -> Scenario:
+    return Scenario(
+        name="multi-tenant-slo",
+        description="interactive and batch tenants sharing a fleet under distinct T2FT SLOs",
+        arrivals=PoissonArrivals(qps=8.0),
+        tenants=(
+            TenantSpec(
+                "interactive",
+                GaussianLengths(512, 128, lin_cv=0.3, lout_cv=0.3),
+                weight=0.7,
+                t2ft_slo_s=0.5,
+            ),
+            TenantSpec(
+                "batch",
+                LognormalLengths(4096, 512, sigma=0.6),
+                weight=0.3,
+                t2ft_slo_s=4.0,
+            ),
+        ),
+    )
+
+
+def _replayed_spike() -> Scenario:
+    # A deterministic resonance pattern: a steady drip, then a spike of
+    # twelve near-simultaneous arrivals (load balancers hate this).
+    drip = tuple(float(i) for i in range(10))
+    spike = tuple(10.0 + 0.01 * i for i in range(12))
+    return Scenario(
+        name="replayed-spike",
+        description="deterministic drip-then-spike arrival replay (router stress test)",
+        arrivals=ReplayedArrivals(times_s=drip + spike),
+        tenants=(
+            TenantSpec("chat", GaussianLengths(1024, 128, lin_cv=0.2, lout_cv=0.2)),
+        ),
+    )
+
+
+for _factory in (
+    _steady_chat,
+    _bursty_chat,
+    _diurnal_mixed,
+    _heavy_tail_summarize,
+    _multi_tenant_slo,
+    _replayed_spike,
+):
+    register_scenario(_factory().name, _factory)

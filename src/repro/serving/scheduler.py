@@ -55,21 +55,31 @@ class ContinuousBatchingScheduler:
         self.running: list[Request] = []
         self.waiting: list[Request] = []
         self.rejected: list[Request] = []
+        #: Request ids in admission order (shed/complete bookkeeping for
+        #: the engine's invariant probes; warm-start synthetics included).
+        self.admitted_log: list[int] = []
         self._committed_tokens = 0
         self._stage_chunks: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # stage construction
     # ------------------------------------------------------------------
-    def build_stage(self) -> StageWorkload | None:
+    def build_stage(self, admit: bool = True) -> StageWorkload | None:
         """Admit what can be admitted and describe the next stage.
+
+        Args:
+            admit: run admission first (default); pass False when the
+                caller already ran :meth:`admit` at a different timestamp
+                (the split prefill partition admits at decode time but
+                executes when the partition frees up).
 
         Returns:
             The stage workload, or None when the system is idle (nothing
             running and nothing arrived yet) — the caller should advance
             time to the next arrival.
         """
-        self._admit()
+        if admit:
+            self.admit()
         if not self.running:
             return None
         decode_ctx = np.asarray(
@@ -104,7 +114,15 @@ class ContinuousBatchingScheduler:
             prefill_context_lengths=tuple(prefill_contexts),
         )
 
-    def _admit(self) -> None:
+    def admit(self) -> None:
+        """Shed, order, and admit waiting/arrived requests into the batch.
+
+        Requests normally arrive :attr:`~RequestState.QUEUED` and start
+        prefilling on admission; a request already in
+        :attr:`~RequestState.DECODING` (its KV arrived over a transfer
+        link — the split deployment's decode partition) joins the batch
+        as-is.
+        """
         self._drain_arrivals()
         for request in self.policy.shed(self.waiting, self.now_s):
             self.waiting.remove(request)
@@ -136,8 +154,14 @@ class ContinuousBatchingScheduler:
             else:
                 taken = self.source.take(self.now_s)
                 assert taken is candidate
-            candidate.start_prefill()
+            if candidate.state is RequestState.QUEUED:
+                candidate.start_prefill()
+            elif candidate.state is not RequestState.DECODING:
+                raise SchedulingError(
+                    f"request {candidate.request_id} admitted in state {candidate.state}"
+                )
             self.running.append(candidate)
+            self.admitted_log.append(candidate.request_id)
             self._committed_tokens += tokens
 
     def _drain_arrivals(self) -> None:
@@ -191,6 +215,21 @@ class ContinuousBatchingScheduler:
         self._stage_chunks = {}
         return finished
 
+    def release(self, request: Request) -> None:
+        """Remove an in-flight request and free its reserved KV.
+
+        The split deployment's prefill partition hands a request off to the
+        decode partition the moment its prefill lands: the request leaves
+        this scheduler's batch and its KV reservation travels with it.
+        """
+        self.running.remove(request)
+        self._committed_tokens -= request.total_seq_len
+
+    @property
+    def pending_chunks(self) -> dict[int, int]:
+        """Prefill tokens planned per request id for the stage just built."""
+        return dict(self._stage_chunks)
+
     # ------------------------------------------------------------------
     # load signals (cluster routing)
     # ------------------------------------------------------------------
@@ -238,6 +277,7 @@ class ContinuousBatchingScheduler:
             ):
                 break
             self.running.append(request)
+            self.admitted_log.append(request.request_id)
             self._committed_tokens += request.total_seq_len
             synthetic.append(request)
         return synthetic

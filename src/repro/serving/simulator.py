@@ -1,56 +1,32 @@
-"""The serving simulator: scheduler + stage executor + metrics.
+"""The single-system serving simulator: one engine, one workload.
 
-Advances in stages (the unit of continuous batching), not cycles: the
-scheduler describes each stage's composition, the
-:class:`~repro.core.executor.StageExecutor` prices it, and the clock jumps
-by the stage latency.  Open-loop (Poisson) workloads can leave the system
-idle, in which case time advances to the next arrival.
+A thin configuration of the event-driven serving core in
+:mod:`repro.serving.engine`: the simulator builds a scheduler + stage
+executor for one system/model pair, optionally warm-starts the batch, and
+delegates the run loop to :meth:`~repro.serving.engine.ServingEngine.run`.
 
 The simulator is source-agnostic: pass a
 :class:`~repro.serving.generator.WorkloadSpec` for the paper's synthetic
 workloads, or any :class:`~repro.serving.generator.RequestSource` — e.g. a
-:class:`~repro.serving.trace.TraceReplayGenerator` — to drive the same
-engine from recorded traffic.  Finite sources simply run out: the
-simulation ends when nothing is running and nothing more will arrive.
+:class:`~repro.serving.trace.TraceReplayGenerator` or a
+:class:`~repro.serving.scenarios.Scenario` source — to drive the same
+engine from recorded or composed traffic.  Finite sources simply run out:
+the simulation ends when nothing is running and nothing more will arrive.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.executor import StageExecutor
 from repro.core.system import SystemConfig
-from repro.errors import CapacityError, ConfigError
+from repro.errors import CapacityError
 from repro.models.config import ModelConfig
+from repro.serving.engine import ServingEngine, SimulationLimits
 from repro.serving.generator import RequestSource, WorkloadSpec, resolve_source
-from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.metrics import ServingReport
 from repro.serving.policy import SchedulingPolicy
 from repro.serving.scheduler import ContinuousBatchingScheduler
-from repro.serving.request import Request, RequestState
 
-
-@dataclass(frozen=True)
-class SimulationLimits:
-    """When a simulation stops and what it measures.
-
-    Attributes:
-        max_stages: hard stage budget (post warm-up).
-        warmup_stages: stages executed but not recorded.
-        target_completions: stop once this many requests finish in the
-            measured window (None = run out the stage budget).
-        max_sim_time_s: stop once the simulated clock passes this.
-    """
-
-    max_stages: int = 2000
-    warmup_stages: int = 16
-    target_completions: int | None = None
-    max_sim_time_s: float | None = None
-
-    def __post_init__(self) -> None:
-        if self.max_stages < 1:
-            raise ConfigError("max_stages must be positive")
-        if self.warmup_stages < 0:
-            raise ConfigError("warmup_stages must be non-negative")
+__all__ = ["ServingSimulator", "SimulationLimits"]
 
 
 class ServingSimulator:
@@ -60,7 +36,7 @@ class ServingSimulator:
         system: system configuration.
         model: model being served.
         workload: synthetic workload spec, or any request source (trace
-            replayer, cluster queue, ...).
+            replayer, scenario source, cluster queue, ...).
         max_batch: requested batch size; the effective batch is capped by
             KV capacity (the paper's starred bars).
         seed: RNG seed shared by the generator and gating.
@@ -103,85 +79,30 @@ class ServingSimulator:
         self.scheduler = ContinuousBatchingScheduler(
             self.source, self.effective_batch, capacity_tokens, policy=policy
         )
+        self.engine = ServingEngine(self.scheduler, self.executor, label=system.name)
+        self.engine.metrics.effective_batch = self.effective_batch
         closed_loop = bool(getattr(self.source, "closed_loop", False))
         self.warm_start = closed_loop if warm_start is None else warm_start
-        self._synthetic_ids: set[int] = set()
 
     @property
     def generator(self) -> RequestSource:
         """The request source (kept under its historical name)."""
         return self.source
 
+    @property
+    def engines(self) -> tuple[ServingEngine, ...]:
+        """The engine(s) backing this simulation (invariant probes)."""
+        return (self.engine,)
+
     def run(self, limits: SimulationLimits | None = None) -> ServingReport:
-        """Run to the limits (or source exhaustion) and return the report."""
+        """Run to the limits (or source exhaustion) and return the report.
+
+        Single-shot: metrics, stage budgets, and completion counts live on
+        the engine, so a second call would pool both windows into one
+        report.  Build a fresh simulator per measurement.
+        """
         limits = limits or SimulationLimits()
-        metrics = MetricsCollector()
-        metrics.effective_batch = self.effective_batch
-
-        if self.warm_start:
+        if self.warm_start and not self.scheduler.running:
             synthetic = self.scheduler.warm_start(self.effective_batch)
-            self._synthetic_ids = {r.request_id for r in synthetic}
-
-        completions = 0
-        stage_index = 0
-        measured_stages = 0
-        total_budget = limits.warmup_stages + limits.max_stages
-        while measured_stages < limits.max_stages:
-            if stage_index >= total_budget:
-                break
-            workload = self.scheduler.build_stage()
-            if workload is None:
-                next_arrival = self.source.peek_arrival()
-                if next_arrival == float("inf"):
-                    break  # finite source exhausted, nothing running
-                # Idle: jump to the next arrival.
-                gap = next_arrival - self.scheduler.now_s
-                if gap > 0:
-                    if stage_index >= limits.warmup_stages:
-                        metrics.record_idle(gap)
-                    self.scheduler.now_s = next_arrival
-                continue
-            prefilling = [
-                r for r in self.scheduler.running if r.state is RequestState.PREFILLING
-            ]
-            result = self.executor.run_stage(workload)
-            finished = self.scheduler.complete_stage(result.latency_s)
-            stage_index += 1
-            # A prefill emits its first token only when its final chunk
-            # lands; partial chunks generate nothing yet.
-            first_tokens = [
-                r for r in prefilling if r.state is not RequestState.PREFILLING
-            ]
-            if stage_index > limits.warmup_stages:
-                measured_stages += 1
-                metrics.record_stage(
-                    latency_s=result.latency_s,
-                    is_mixed=result.is_mixed,
-                    decode_tokens=workload.n_decode,
-                    total_tokens_generated=workload.n_decode + len(first_tokens),
-                    dram_energy=result.dram_energy_by_category,
-                    compute_energy=result.compute_energy_by_category,
-                    comm_energy_j=result.comm_energy_j,
-                )
-                for request in first_tokens:
-                    if request.request_id not in self._synthetic_ids:
-                        metrics.record_first_token(request.t2ft_s)
-                completions += self._record_completions(metrics, finished)
-                if limits.target_completions is not None and completions >= limits.target_completions:
-                    break
-                if (
-                    limits.max_sim_time_s is not None
-                    and self.scheduler.now_s >= limits.max_sim_time_s
-                ):
-                    break
-        return metrics.report()
-
-    def _record_completions(self, metrics: MetricsCollector, finished: list[Request]) -> int:
-        counted = 0
-        for request in finished:
-            if request.request_id in self._synthetic_ids:
-                self._synthetic_ids.discard(request.request_id)
-                continue
-            metrics.record_completion(request.e2e_s)
-            counted += 1
-        return counted
+            self.engine.synthetic_ids.update(r.request_id for r in synthetic)
+        return self.engine.run(limits)

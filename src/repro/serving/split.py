@@ -6,25 +6,41 @@ is the capacity cost the paper calls out).  New requests prefill on the
 prefill partition, their KV is shipped over NVLink, and they join the
 decode partition's continuous batch — which therefore only ever runs
 decoding-only stages (the latency benefit: no mixed-stage tail).
+
+Both partitions are :class:`~repro.serving.engine.ServingEngine`
+configurations sharing one metrics collector:
+
+* the **prefill engine** admits arrivals (at decode-partition time, capped
+  so prefill + in-flight + decode never exceeds the effective batch),
+  prefills each cohort in one stage, and its ``handoff`` hook pushes every
+  freshly prefilled request into a KV-transfer event;
+* the **decode engine**'s request source is that
+  :class:`~repro.serving.engine.TransferFeed` — requests materialise when
+  their KV lands, already in the DECODING state.
+
+Timing quirks faithfully kept from the paper's accounting: the decode
+clock is the reference clock (prefill stages queue on ``prefill`` time but
+are recorded against the decode warm-up window), and idle gaps between
+decode cohorts do not count toward elapsed time (throughput is busy-time
+throughput).
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import replace
 
-import numpy as np
-
-from repro.core.executor import StageExecutor, StageWorkload
+from repro.core.executor import StageExecutor
 from repro.core.system import SystemConfig, default_topology, duplex_system
 from repro.errors import CapacityError, ConfigError
 from repro.models.config import ModelConfig
 from repro.parallel.collectives import CollectiveModel
 from repro.parallel.topology import ClusterTopology
-from repro.serving.generator import RequestGenerator, WorkloadSpec
+from repro.serving.engine import ServingEngine, SimulationLimits, TransferFeed
+from repro.serving.generator import RequestSource, WorkloadSpec, resolve_source
 from repro.serving.metrics import MetricsCollector, ServingReport
-from repro.serving.request import Request, RequestState
-from repro.serving.simulator import SimulationLimits
+from repro.serving.policy import AdmissionView, SchedulingPolicy
+from repro.serving.request import Request
+from repro.serving.scheduler import ContinuousBatchingScheduler
 
 
 def split_partitions(model: ModelConfig) -> tuple[SystemConfig, SystemConfig]:
@@ -47,23 +63,46 @@ def split_partitions(model: ModelConfig) -> tuple[SystemConfig, SystemConfig]:
     return prefill, decode
 
 
+class _SplitAdmissionPolicy(SchedulingPolicy):
+    """Caps prefill admission by the deployment-wide in-flight count.
+
+    The decode partition's effective batch bounds the *whole* pipeline:
+    requests decoding, requests in KV transfer, and the cohort being
+    admitted for prefill together must not exceed it, or transferred KV
+    would have nowhere to land.
+    """
+
+    name = "split-admission"
+
+    def __init__(self, effective_batch: int, downstream_in_flight) -> None:
+        self.effective_batch = effective_batch
+        self._downstream_in_flight = downstream_in_flight
+
+    def may_admit(self, view: AdmissionView, candidate: Request) -> bool:
+        return view.running + self._downstream_in_flight() < self.effective_batch
+
+
 class SplitServingSimulator:
     """Simulates a split prefill/decode deployment.
 
     Args:
         model: model being served.
-        workload: synthetic workload spec (closed loop).
+        workload: synthetic workload spec, or any request source (a
+            cluster replica's queue, a trace replayer, ...).
         max_batch: decode-partition batch-size request; capped by the decode
             partition's (duplication-reduced) KV capacity.
         seed: RNG seed.
+        worst_case_tokens: KV sizing override for sources that cannot
+            report their own worst case.
     """
 
     def __init__(
         self,
         model: ModelConfig,
-        workload: WorkloadSpec,
+        workload: WorkloadSpec | RequestSource,
         max_batch: int = 128,
         seed: int | None = 0,
+        worst_case_tokens: int | None = None,
     ) -> None:
         self.model = model
         self.workload = workload
@@ -72,114 +111,172 @@ class SplitServingSimulator:
         self.decode_system = decode_system
         self.prefill_executor = StageExecutor(prefill_system, model, seed=seed)
         self.decode_executor = StageExecutor(decode_system, model, seed=seed)
-        self.generator = RequestGenerator(workload, seed=seed)
+        self.source, worst_seq = resolve_source(workload, seed, worst_case_tokens)
         self._collectives = CollectiveModel(decode_system.topology)
-        worst_seq = int(
-            workload.lin_mean * (1 + 3 * workload.lin_cv)
-            + workload.lout_mean * (1 + 3 * workload.lout_cv)
-        )
         self.effective_batch = min(max_batch, decode_system.max_batch_for(model, worst_seq))
         if self.effective_batch < 1:
             raise CapacityError(
-                f"split decode partition cannot hold one ({workload.lin_mean}, "
-                f"{workload.lout_mean}) request for {model.name}"
+                f"split decode partition cannot hold one worst-case "
+                f"({worst_seq}-token) request for {model.name}"
             )
 
-    # ------------------------------------------------------------------
-    def run(self, limits: SimulationLimits | None = None) -> ServingReport:
-        """Run the two-partition pipeline and report decode-side metrics."""
-        limits = limits or SimulationLimits()
         metrics = MetricsCollector()
         metrics.effective_batch = self.effective_batch
+        self.transfers = TransferFeed()
+        decode_scheduler = ContinuousBatchingScheduler(
+            self.transfers,
+            self.effective_batch,
+            decode_system.max_resident_kv_tokens(model),
+        )
+        self.decode_engine = ServingEngine(
+            decode_scheduler,
+            self.decode_executor,
+            metrics=metrics,
+            label="Duplex-Split/decode",
+            record_idle=False,  # busy-time throughput, as the paper counts it
+        )
+        prefill_scheduler = ContinuousBatchingScheduler(
+            self.source,
+            self.effective_batch,
+            capacity_tokens=None,  # prefill KV is shipped out within the stage
+            policy=_SplitAdmissionPolicy(self.effective_batch, self._downstream_in_flight),
+        )
+        self.prefill_engine = ServingEngine(
+            prefill_scheduler,
+            self.prefill_executor,
+            metrics=metrics,
+            label="Duplex-Split/prefill",
+            budget_exempt=True,  # only decode stages consume the stage budget
+            record_gate=self._prefill_record_gate,
+            handoff=self._transfer_kv,
+        )
 
-        now = 0.0
-        prefill_free = 0.0
-        ready_heap: list[tuple[float, int, Request]] = []  # (ready time, id, request)
-        batch: list[Request] = []
-        stage_index = 0
-        measured = 0
-        completions = 0
-        tie = 0
+    # ------------------------------------------------------------------
+    @property
+    def generator(self) -> RequestSource:
+        """The request source (kept under its historical name)."""
+        return self.source
 
-        def dispatch_prefills() -> None:
-            """Send queued arrivals through the prefill partition."""
-            nonlocal prefill_free, tie
-            in_flight = len(batch) + len(ready_heap)
-            pending: list[Request] = []
-            while in_flight + len(pending) < self.effective_batch and self.generator.has_request_at(
-                now
-            ):
-                pending.append(self.generator.take(now))
-            if not pending:
-                return
-            start = max(now, prefill_free)
-            stage = StageWorkload(
-                decode_context_lengths=np.asarray([], dtype=np.int64),
-                prefill_lengths=tuple(r.input_len for r in pending),
-            )
-            result = self.prefill_executor.run_stage(stage)
-            prefill_free = start + result.latency_s
-            if stage_index >= limits.warmup_stages:
-                metrics.record_stage(
-                    latency_s=result.latency_s,
-                    is_mixed=True,
-                    decode_tokens=0,
-                    total_tokens_generated=len(pending),
-                    dram_energy=result.dram_energy_by_category,
-                    compute_energy=result.compute_energy_by_category,
-                    comm_energy_j=result.comm_energy_j,
-                )
-            for request in pending:
-                request.start_prefill()
-                request.finish_prefill(prefill_free)
-                if stage_index >= limits.warmup_stages:
-                    metrics.record_first_token(request.t2ft_s)
-                if request.state is RequestState.FINISHED:
-                    continue  # single-token output: done at prefill
-                kv_bytes = request.input_len * self.model.kv_bytes_per_token
-                transfer = self._collectives.point_to_point_time(kv_bytes)
-                heapq.heappush(ready_heap, (prefill_free + transfer, tie, request))
-                tie += 1
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The collector both partitions record into."""
+        return self.decode_engine.metrics
 
-        while measured < limits.max_stages:
-            if stage_index >= limits.warmup_stages + limits.max_stages:
-                break
-            dispatch_prefills()
-            while ready_heap and ready_heap[0][0] <= now:
-                batch.append(heapq.heappop(ready_heap)[2])
-            if not batch:
-                if ready_heap:
-                    now = max(now, ready_heap[0][0])
-                    continue
-                # Nothing anywhere: closed-loop should never get here.
-                now = max(now, prefill_free)
+    @property
+    def engines(self) -> tuple[ServingEngine, ...]:
+        """Both partition engines (invariant probes)."""
+        return (self.prefill_engine, self.decode_engine)
+
+    def _downstream_in_flight(self) -> int:
+        """Requests decoding or in KV transfer (admission back-pressure)."""
+        decode = self.decode_engine.scheduler
+        return len(decode.running) + len(decode.waiting) + len(self.transfers)
+
+    def _prefill_record_gate(self, limits: SimulationLimits) -> bool:
+        """Prefill stages are measured once the decode window has warmed up."""
+        return self.decode_engine.stages >= limits.warmup_stages
+
+    def _transfer_kv(self, request: Request, now_s: float) -> None:
+        """Ship a prefilled request's KV to the decode partition."""
+        kv_bytes = request.input_len * self.model.kv_bytes_per_token
+        transfer = self._collectives.point_to_point_time(kv_bytes)
+        self.transfers.push(now_s + transfer, request)
+
+    # ------------------------------------------------------------------
+    def _dispatch_prefills(self, limits: SimulationLimits) -> None:
+        """Send queued arrivals through the prefill partition.
+
+        Arrivals are admitted at *decode* time (requests queue for the
+        pipeline, not for the prefill devices), then the cohort's single
+        prefill stage starts when the prefill partition frees up.
+        """
+        engine = self.prefill_engine
+        scheduler = engine.scheduler
+        busy_until = scheduler.now_s
+        scheduler.now_s = self.decode_engine.now_s
+        scheduler.admit()
+        if not scheduler.running:
+            scheduler.now_s = busy_until
+            return
+        scheduler.now_s = max(scheduler.now_s, busy_until)
+        engine.step(limits, admit=False)
+
+    def _next_event(self, now: float) -> float:
+        """The next instant anything can change: a KV transfer landing, or
+        a *future* arrival starting a prefill.  An arrival already in the
+        past is waiting on pipeline capacity and cannot progress before a
+        transfer lands, so it never gates the jump (jumping to it would
+        freeze the clock)."""
+        next_ready = self.transfers.peek_arrival()
+        arrival = self.source.peek_arrival()
+        return min(next_ready, arrival if arrival > now else float("inf"))
+
+    def _idle_jump(self, limits: SimulationLimits) -> bool:
+        """Advance the decode clock to the next event; False when exhausted."""
+        decode = self.decode_engine
+        target = self._next_event(decode.now_s)
+        if target == float("inf"):
+            if self.source.peek_arrival() == float("inf"):
+                return False  # finite source exhausted, pipeline empty
+            # Closed loop with nothing in flight: wait for the prefill
+            # partition before dispatching again.
+            target = self.prefill_engine.now_s
+            if target <= decode.now_s:
+                return False  # nothing can ever become ready
+        decode.jump_to(target)
+        return True
+
+    def run(self, limits: SimulationLimits | None = None) -> ServingReport:
+        """Run the two-partition pipeline and report deployment metrics.
+
+        Single-shot, like :meth:`ServingSimulator.run`: build a fresh
+        simulator per measurement.
+        """
+        limits = limits or SimulationLimits()
+        decode = self.decode_engine
+        while not decode.budget_spent(limits):
+            self._dispatch_prefills(limits)
+            if decode.step(limits):
+                if decode.stages > limits.warmup_stages:
+                    if (
+                        limits.target_completions is not None
+                        and decode.completions >= limits.target_completions
+                    ):
+                        break
+                    if (
+                        limits.max_sim_time_s is not None
+                        and decode.now_s >= limits.max_sim_time_s
+                    ):
+                        break
                 continue
-            stage = StageWorkload(
-                decode_context_lengths=np.asarray([r.context_len for r in batch], dtype=np.int64)
-            )
-            result = self.decode_executor.run_stage(stage)
-            now += result.latency_s
-            stage_index += 1
-            finished: list[Request] = []
-            for request in batch:
-                request.advance_decode(now)
-                if request.state is RequestState.FINISHED:
-                    finished.append(request)
-            batch = [r for r in batch if r.state is not RequestState.FINISHED]
-            if stage_index > limits.warmup_stages:
-                measured += 1
-                metrics.record_stage(
-                    latency_s=result.latency_s,
-                    is_mixed=False,
-                    decode_tokens=stage.n_decode,
-                    total_tokens_generated=stage.n_decode,
-                    dram_energy=result.dram_energy_by_category,
-                    compute_energy=result.compute_energy_by_category,
-                    comm_energy_j=result.comm_energy_j,
-                )
-                for request in finished:
-                    metrics.record_completion(request.e2e_s)
-                    completions += 1
-                if limits.target_completions is not None and completions >= limits.target_completions:
-                    break
-        return metrics.report()
+            if not self._idle_jump(limits):
+                break
+        return self.metrics.report()
+
+    # ------------------------------------------------------------------
+    # cluster-replica driving (heterogeneous fleets)
+    # ------------------------------------------------------------------
+    def advance_to(self, t: float, limits: SimulationLimits) -> None:
+        """Simulate until the decode clock reaches ``t`` (may overshoot)."""
+        decode = self.decode_engine
+        while decode.now_s < t:
+            if decode.budget_spent(limits):
+                decode.jump_to(t)
+                break
+            self._dispatch_prefills(limits)
+            if decode.step(limits):
+                continue
+            target = min(t, self._next_event(decode.now_s))
+            decode.jump_to(target)
+            if target >= t:
+                break
+
+    def drain(self, limits: SimulationLimits) -> None:
+        """Finish everything queued here (until the stage budget runs out)."""
+        decode = self.decode_engine
+        while not decode.budget_spent(limits):
+            self._dispatch_prefills(limits)
+            if decode.step(limits):
+                continue
+            if not self._idle_jump(limits):
+                break

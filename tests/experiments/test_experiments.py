@@ -121,6 +121,21 @@ class TestFig13:
         assert fig13.saturation_qps(rows, "GPU", blowup_factor=1.5) <= 16.0
         assert fig13.saturation_qps(rows, "2xGPU", blowup_factor=1.5) == float("inf")
 
+    def test_scenario_override_sweeps_registered_traffic(self):
+        # The QPS grid can sweep any registered scenario; each point
+        # rescales the scenario's arrival process to the target rate.
+        rows = fig13.run(
+            qps_values=(6.0,), max_batch=32, limits=FAST, memoize=True,
+            scenario="bursty-chat",
+        )
+        assert len(rows) == 3
+        assert all(r.qps == 6.0 for r in rows)
+        assert all(r.throughput > 0 for r in rows)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            fig13.run(qps_values=(6.0,), limits=FAST, scenario="no-such-scenario")
+
 
 class TestFig14:
     def test_opt_prefers_bank_pim(self):

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.experiments.sweep import default_workers, run_sweep
+from repro.experiments.sweep import default_workers, run_sweep, scenario_param_sets
+from repro.serving.scenarios import scenario_names
 
 
 def _square_plus(x, offset=0):
@@ -48,3 +49,34 @@ class TestRunSweep:
     def test_pool_error_propagates(self):
         with pytest.raises(ValueError, match="boom"):
             run_sweep(_explode, [{"x": 1}, {"x": 2}], workers=2)
+
+
+def _scenario_echo(scenario, tag=""):
+    """Module-level pool-picklable worker: proves names cross the boundary."""
+    from repro.serving.scenarios import get_scenario
+
+    return (scenario, get_scenario(scenario).mean_qps > 0, tag)
+
+
+class TestScenarioParamSets:
+    def test_defaults_to_every_registered_scenario(self):
+        points = scenario_param_sets(seed=7)
+        assert [p["scenario"] for p in points] == list(scenario_names())
+        assert all(p["seed"] == 7 for p in points)
+
+    def test_explicit_subset_preserves_order(self):
+        points = scenario_param_sets(["bursty-chat", "steady-chat"])
+        assert [p["scenario"] for p in points] == ["bursty-chat", "steady-chat"]
+
+    def test_unknown_scenario_fails_before_the_pool(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            scenario_param_sets(["no-such-scenario"])
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ConfigError):
+            scenario_param_sets([])
+
+    def test_names_survive_the_process_pool(self):
+        points = scenario_param_sets(["steady-chat", "bursty-chat"], tag="t")
+        results = run_sweep(_scenario_echo, points, workers=2)
+        assert results == [("steady-chat", True, "t"), ("bursty-chat", True, "t")]

@@ -8,9 +8,11 @@ from repro.models.config import mixtral
 from repro.serving.cluster import (
     ClusterSimulator,
     LeastOutstandingTokensRouter,
+    MonolithicReplicaSpec,
     PowerOfTwoChoicesRouter,
     ReplicaView,
     RoundRobinRouter,
+    SplitReplicaSpec,
 )
 from repro.serving.generator import QueueSource, WorkloadSpec
 from repro.serving.policy import SloAwarePolicy
@@ -171,6 +173,71 @@ class TestClusterSimulation:
             policy_factory=lambda: SloAwarePolicy(t2ft_slo_s=0.25),
         ).run(LIMITS)
         assert report.requests_rejected > 0
+
+
+class TestHeterogeneousFleet:
+    def _hetero(self, router=None, qps=30.0, seed=1, **kwargs):
+        spec = WorkloadSpec(lin_mean=1024, lout_mean=96, lin_cv=0.3, lout_cv=0.3, qps=qps)
+        return ClusterSimulator(
+            SYSTEM, MODEL, spec, router=router, max_batch=16, seed=seed,
+            max_requests=kwargs.pop("max_requests", 120),
+            replicas=(MonolithicReplicaSpec(), MonolithicReplicaSpec(), SplitReplicaSpec()),
+            **kwargs,
+        )
+
+    def test_mixed_fleet_serves_end_to_end(self):
+        report = self._hetero(RoundRobinRouter()).run(LIMITS)
+        assert report.n_replicas == 3
+        assert report.replica_kinds == ("monolithic", "monolithic", "split")
+        assert report.fleet.requests_completed > 0
+        # Every replica flavour took traffic and produced tokens.
+        assert all(routed > 0 for routed in report.requests_routed)
+        per_replica = [r for r in report.replicas if r is not None]
+        assert len(per_replica) == 3
+        assert all(r.tokens_generated > 0 for r in per_replica)
+
+    def test_split_replica_runs_decode_only_stages(self):
+        report = self._hetero(RoundRobinRouter()).run(LIMITS)
+        split_report = report.replicas[2]
+        # The split replica's decode partition never mixes prefills into
+        # decode stages, but its prefill stages are recorded as mixed —
+        # so its decoding-only ratio sits strictly between the two.
+        assert split_report is not None
+        assert 0.0 < split_report.decoding_only_stage_ratio < 1.0
+
+    def test_router_views_expose_replica_kinds(self):
+        sim = self._hetero(RoundRobinRouter())
+        kinds = [replica.view().kind for replica in sim.replicas]
+        assert kinds == ["monolithic", "monolithic", "split"]
+
+    def test_load_aware_router_balances_mixed_fleet(self):
+        report = self._hetero(LeastOutstandingTokensRouter()).run(LIMITS)
+        assert report.fleet.requests_completed > 0
+        # Routing stops when every replica's stage budget is spent, so not
+        # all 120 offered requests necessarily route — but each routing
+        # event must be sampled, and every replica must participate.
+        assert sum(report.requests_routed) == len(report.queue_depth_samples)
+        assert all(routed > 0 for routed in report.requests_routed)
+
+    def test_replica_spec_overrides_batch(self):
+        spec = WorkloadSpec(lin_mean=256, lout_mean=32, qps=10.0)
+        sim = ClusterSimulator(
+            SYSTEM, MODEL, spec, seed=0,
+            replicas=(MonolithicReplicaSpec(max_batch=2), MonolithicReplicaSpec(max_batch=8)),
+        )
+        assert sim.replicas[0].engine.metrics.effective_batch == 2
+        assert sim.replicas[1].engine.metrics.effective_batch == 8
+
+    def test_spec_list_and_n_replicas_must_agree(self):
+        spec = WorkloadSpec(lin_mean=256, lout_mean=32, qps=10.0)
+        with pytest.raises(ConfigError):
+            ClusterSimulator(
+                SYSTEM, MODEL, spec, n_replicas=2, replicas=(MonolithicReplicaSpec(),)
+            )
+        with pytest.raises(ConfigError):
+            ClusterSimulator(SYSTEM, MODEL, spec, n_replicas=None, replicas=())
+        with pytest.raises(ConfigError):
+            ClusterSimulator(SYSTEM, MODEL, spec)  # neither count nor specs
 
 
 class TestRoutingQuality:

@@ -126,6 +126,21 @@ class TestSloAware:
         policy = SloAwarePolicy(t2ft_slo_s=1.0, shed_expired=False)
         assert policy.shed([self._request(1, 0.0)], now_s=9.0) == []
 
+    def test_per_request_slo_overrides_policy_default(self):
+        # Multi-tenant scenarios stamp each request with its tenant's SLO:
+        # a lenient batch request must not be shed on the strict default.
+        policy = SloAwarePolicy(t2ft_slo_s=0.5)
+        batch = Request(
+            request_id=0, arrival_time_s=0.0, input_len=32, output_len=4, t2ft_slo_s=4.0
+        )
+        interactive = self._request(1, 0.0)
+        assert policy.deadline(batch) == 4.0
+        assert policy.deadline(interactive) == 0.5
+        assert policy.shed([batch, interactive], now_s=1.0) == [interactive]
+        waiting = [batch, interactive]
+        policy.order_waiting(waiting, now_s=0.0)
+        assert [r.request_id for r in waiting] == [1, 0]
+
     def test_scheduler_rejects_expired_queue(self):
         # Overloaded open loop: requests queue past their deadline and the
         # policy sheds them instead of serving them uselessly late.

@@ -1,0 +1,240 @@
+"""Tests for the workload scenario library and its registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import duplex_system
+from repro.errors import ConfigError
+from repro.models.config import mixtral
+from repro.serving.scenarios import (
+    BimodalLengths,
+    BurstyArrivals,
+    DiurnalArrivals,
+    GaussianLengths,
+    LognormalLengths,
+    PoissonArrivals,
+    ReplayedArrivals,
+    Scenario,
+    TenantSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+
+MODEL = mixtral()
+SYSTEM = duplex_system(MODEL, co_processing=True, expert_tensor_parallel=True)
+
+
+def _first_n(process, n, seed=0):
+    stream = process.stream(np.random.default_rng(seed))
+    return [next(stream) for _ in range(n)]
+
+
+class TestArrivalProcesses:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            PoissonArrivals(qps=5.0),
+            BurstyArrivals(base_qps=2.0, burst_qps=20.0, mean_calm_s=5.0, mean_burst_s=2.0),
+            DiurnalArrivals(base_qps=2.0, peak_qps=10.0, period_s=60.0),
+            ReplayedArrivals(times_s=(0.0, 0.5, 0.5, 2.0)),
+        ],
+        ids=["poisson", "bursty", "diurnal", "replayed"],
+    )
+    def test_streams_are_non_decreasing_and_reproducible(self, process):
+        times = _first_n(process, 200)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert all(t >= 0 for t in times)
+        assert times == _first_n(process, 200)  # same seed, same stream
+
+    def test_poisson_empirical_rate_matches(self):
+        times = _first_n(PoissonArrivals(qps=20.0), 4000)
+        assert times[-1] == pytest.approx(4000 / 20.0, rel=0.1)
+
+    def test_bursty_mixes_two_rates(self):
+        process = BurstyArrivals(base_qps=1.0, burst_qps=100.0, mean_calm_s=5.0, mean_burst_s=5.0)
+        gaps = np.diff(_first_n(process, 3000))
+        # Burst gaps cluster near 10ms, calm gaps near 1s: both present.
+        assert (gaps < 0.05).mean() > 0.3
+        assert (gaps > 0.2).mean() > 0.005
+        assert 1.0 < process.mean_qps < 100.0
+
+    def test_diurnal_rate_swings_with_phase(self):
+        process = DiurnalArrivals(base_qps=1.0, peak_qps=9.0, period_s=100.0)
+        quarter, three_quarters = process.rate_at(25.0), process.rate_at(75.0)
+        assert quarter == pytest.approx(9.0)  # sin peak
+        assert three_quarters == pytest.approx(1.0)  # sin trough
+        assert process.mean_qps == pytest.approx(5.0)
+
+    def test_replayed_pattern_repeats_shifted(self):
+        process = ReplayedArrivals(times_s=(0.0, 1.0, 2.0))
+        times = _first_n(process, 6)
+        assert times[:3] == [0.0, 1.0, 2.0]
+        assert times[3] > times[2]
+        assert times[4] - times[3] == pytest.approx(1.0)
+
+    def test_scaling_compresses_arrivals(self):
+        base = PoissonArrivals(qps=4.0)
+        doubled = base.scaled(2.0)
+        assert doubled.mean_qps == pytest.approx(8.0)
+        assert ReplayedArrivals((0.0, 4.0)).scaled(2.0).times_s == (0.0, 2.0)
+
+    def test_replayed_scaling_is_rate_exact(self):
+        # Scaling pins the repetition period, so mean_qps scales exactly —
+        # including single-timestamp patterns whose derived span is clamped.
+        for pattern in (ReplayedArrivals((0.5,)), ReplayedArrivals((0.0,)),
+                        ReplayedArrivals((0.0, 1.0, 1.5))):
+            assert pattern.scaled(2.0).mean_qps == pytest.approx(2.0 * pattern.mean_qps)
+            assert pattern.scaled(0.5).mean_qps == pytest.approx(0.5 * pattern.mean_qps)
+        explicit = ReplayedArrivals((0.0, 1.0), period_s=10.0)
+        assert explicit.mean_qps == pytest.approx(0.2)
+        times = _first_n(explicit, 4)
+        assert times == [0.0, 1.0, 10.0, 11.0]
+        with pytest.raises(ConfigError):
+            ReplayedArrivals((0.0, 5.0), period_s=4.0)  # period shorter than pattern
+
+    def test_invalid_processes_rejected(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(qps=0.0)
+        with pytest.raises(ConfigError):
+            BurstyArrivals(base_qps=5.0, burst_qps=1.0)
+        with pytest.raises(ConfigError):
+            DiurnalArrivals(base_qps=5.0, peak_qps=1.0)
+        with pytest.raises(ConfigError):
+            ReplayedArrivals(times_s=(1.0, 0.5))
+        with pytest.raises(ConfigError):
+            # Zero-span patterns would freeze time when repeated.
+            ReplayedArrivals(times_s=(0.0, 0.0))
+
+
+class TestLengthDistributions:
+    def test_gaussian_matches_workload_spec_worst_case(self):
+        lengths = GaussianLengths(1024, 256, lin_cv=0.5, lout_cv=0.5)
+        assert lengths.worst_case_tokens() == int(1024 * 2.5 + 256 * 2.5)
+
+    def test_lognormal_is_heavy_tailed_but_capped(self):
+        lengths = LognormalLengths(512, 64, sigma=0.8, max_factor=8.0)
+        rng = np.random.default_rng(0)
+        samples = [lengths.sample(rng) for _ in range(2000)]
+        lins = np.asarray([s[0] for s in samples])
+        assert lins.max() <= 512 * 8
+        assert lins.min() >= 4
+        assert lins.max() > np.median(lins) * 3  # a real tail
+        assert (lins + np.asarray([s[1] for s in samples])).max() <= lengths.worst_case_tokens()
+
+    def test_bimodal_mixes_modes(self):
+        lengths = BimodalLengths(
+            chat=GaussianLengths(128, 64),
+            summarize=GaussianLengths(4096, 64),
+            summarize_fraction=0.5,
+        )
+        rng = np.random.default_rng(0)
+        lins = {lengths.sample(rng)[0] for _ in range(50)}
+        assert lins == {128, 4096}
+        assert lengths.worst_case_tokens() == 4096 + 64
+
+
+class TestScenarioSource:
+    def _scenario(self):
+        return Scenario(
+            name="two-tenants",
+            arrivals=PoissonArrivals(qps=50.0),
+            tenants=(
+                TenantSpec("a", GaussianLengths(64, 16), weight=3.0, t2ft_slo_s=0.5),
+                TenantSpec("b", GaussianLengths(256, 16), weight=1.0),
+            ),
+        )
+
+    def test_requests_tagged_with_tenant_and_slo(self):
+        source = self._scenario().source(seed=1)
+        tenants = set()
+        for _ in range(100):
+            request = source.take(1e9)
+            tenants.add(request.tenant)
+            if request.tenant == "a":
+                assert request.t2ft_slo_s == 0.5
+                assert request.input_len == 64
+            else:
+                assert request.t2ft_slo_s is None
+        assert tenants == {"a", "b"}
+
+    def test_weights_steer_the_mix(self):
+        source = self._scenario().source(seed=2)
+        sample = [source.take(1e9).tenant for _ in range(400)]
+        share = sample.count("a") / len(sample)
+        assert 0.65 < share < 0.85  # weight 3:1
+
+    def test_max_requests_makes_source_finite(self):
+        source = self._scenario().source(seed=0, max_requests=5)
+        for _ in range(5):
+            source.take(1e9)
+        assert source.peek() is None
+        assert source.peek_arrival() == float("inf")
+
+    def test_at_qps_rescales_load(self):
+        scenario = self._scenario().at_qps(10.0)
+        assert scenario.mean_qps == pytest.approx(10.0)
+
+    def test_worst_case_sizes_the_batch(self):
+        assert self._scenario().worst_case_tokens() == 256 + 16
+
+    def test_drives_the_simulator_with_per_tenant_metrics(self):
+        source = self._scenario().source(seed=0)
+        report = ServingSimulator(SYSTEM, MODEL, source, max_batch=8, seed=0).run(
+            SimulationLimits(max_stages=120, warmup_stages=4)
+        )
+        assert report.requests_completed > 0
+        assert set(report.per_tenant) <= {"a", "b"}
+        assert "a" in report.per_tenant
+        stats = report.per_tenant["a"]
+        assert stats["requests_completed"] > 0
+        assert 0.0 <= stats["t2ft_slo_attainment"] <= 1.0
+        assert "t2ft_slo_attainment" not in report.per_tenant.get("b", {})
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = scenario_names()
+        assert {
+            "steady-chat",
+            "bursty-chat",
+            "diurnal-mixed",
+            "heavy-tail-summarize",
+            "multi-tenant-slo",
+            "replayed-spike",
+        } <= set(names)
+        assert list(names) == sorted(names)
+
+    def test_lookup_builds_fresh_specifications(self):
+        first, second = get_scenario("steady-chat"), get_scenario("steady-chat")
+        assert first == second
+        assert first is not second
+
+    def test_unknown_name_rejected_with_choices(self):
+        with pytest.raises(ConfigError, match="steady-chat"):
+            get_scenario("no-such-scenario")
+
+    def test_duplicate_registration_rejected_unless_overwritten(self):
+        factory = lambda: get_scenario("steady-chat")  # noqa: E731
+        register_scenario("test-dup-scenario", factory)
+        try:
+            with pytest.raises(ConfigError):
+                register_scenario("test-dup-scenario", factory)
+            register_scenario("test-dup-scenario", factory, overwrite=True)
+        finally:
+            from repro.serving import scenarios
+
+            scenarios._REGISTRY.pop("test-dup-scenario", None)
+
+    def test_every_builtin_generates_sane_traffic(self):
+        for name in scenario_names():
+            source = get_scenario(name).source(seed=0, max_requests=20)
+            last = 0.0
+            for _ in range(20):
+                request = source.take(1e9)
+                assert request.arrival_time_s >= last
+                last = request.arrival_time_s
+                assert request.input_len >= 1
+                assert request.output_len >= 1
+                assert request.tenant is not None
