@@ -1,0 +1,91 @@
+"""Compare two ``BENCH_PERF.json`` files and gate on regressions.
+
+Usage::
+
+    python benchmarks/perf/compare.py BASELINE.json NEW.json \
+        [--max-regression 0.20] [--raw]
+
+Prints a per-benchmark speedup table (new vs baseline) and exits non-zero
+when any benchmark present in both files regresses by more than
+``--max-regression`` (default 20%).  Comparison uses the
+calibration-normalized values by default so differently-sized CI runners
+do not read as code regressions; ``--raw`` compares raw values instead
+(meaningful only on identical hardware).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def speedup(baseline: dict, fresh: dict, raw: bool) -> float:
+    """New-over-baseline improvement factor (>1 = faster)."""
+    key = "value" if raw else "normalized"
+    old = baseline[key]
+    new = fresh[key]
+    if old == 0 or new == 0:
+        return 1.0
+    if baseline.get("lower_is_better"):
+        return old / new
+    return new / old
+
+
+def compare(baseline: dict, fresh: dict, max_regression: float, raw: bool) -> list[str]:
+    """Return the list of regression messages (empty = gate passes)."""
+    failures: list[str] = []
+    shared = sorted(set(baseline["benchmarks"]) & set(fresh["benchmarks"]))
+    if not shared:
+        return ["no benchmarks in common between the two files"]
+    print(f"{'benchmark':26s} {'baseline':>14s} {'new':>14s} {'speedup':>8s}")
+    for name in shared:
+        old = baseline["benchmarks"][name]
+        new = fresh["benchmarks"][name]
+        factor = speedup(old, new, raw)
+        flag = ""
+        if factor < 1.0 - max_regression:
+            flag = "  REGRESSION"
+            failures.append(
+                f"{name}: {factor:.2f}x of baseline "
+                f"(allowed >= {1.0 - max_regression:.2f}x)"
+            )
+        print(
+            f"{name:26s} {old['value']:>12.2f} {old['unit']:<2s}"
+            f" {new['value']:>12.2f} {new['unit']:<2s} {factor:>7.2f}x{flag}"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path, help="committed BENCH_PERF.json")
+    parser.add_argument("fresh", type=Path, help="freshly produced BENCH_PERF.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="compare raw values instead of calibration-normalized ones",
+    )
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    failures = compare(baseline, fresh, args.max_regression, args.raw)
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Produce ``BENCH_PERF.json`` — the repo's perf-trajectory record.
+
+Usage (from the repo root, with ``PYTHONPATH=src``)::
+
+    python benchmarks/perf/run_perf.py [--output BENCH_PERF.json]
+                                       [--scale 1.0] [--repeats 3]
+
+The output schema is described in :mod:`perf_suite`.  Commit the refreshed
+file whenever a PR intentionally changes performance; CI re-runs the suite
+and fails if the fresh normalized numbers regress >20% against the
+committed ones (see ``compare.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from perf_suite import run_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[2] / "BENCH_PERF.json",
+        help="where to write the results (default: repo-root BENCH_PERF.json)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="iteration multiplier")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of timing repetitions")
+    args = parser.parse_args()
+
+    payload = run_suite(scale=args.scale, repeats=args.repeats)
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {args.output}")
+    print(f"calibration: {payload['calibration_ops_per_s']:.1f} ops/s")
+    for name, entry in sorted(payload["benchmarks"].items()):
+        print(f"  {name:24s} {entry['value']:12.2f} {entry['unit']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,24 +13,44 @@
   latency and energy with a per-category breakdown.
 """
 
-from repro.core.coprocessing import ExpertAssignment, ExpertTimeLookup, assign_experts
+from repro.core.coprocessing import (
+    ExpertAssignment,
+    ExpertTimeLookup,
+    SpaceGroupPlan,
+    assign_experts,
+    assign_from_times,
+)
 from repro.core.device import DeviceModel, bank_pim_duplex_device, duplex_device, gpu_device, pim_only_device
-from repro.core.executor import StageExecutor, StageResult, StageWorkload
+from repro.core.executor import (
+    GLOBAL_PRICING_CACHE,
+    SharedPricingCache,
+    StageExecutor,
+    StageResult,
+    StageWorkload,
+    install_shared_pricing_cache,
+    snapshot_shared_pricing_cache,
+)
 from repro.core.system import SystemConfig, SystemKind, default_topology
 
 __all__ = [
     "DeviceModel",
     "ExpertAssignment",
     "ExpertTimeLookup",
+    "GLOBAL_PRICING_CACHE",
+    "SharedPricingCache",
+    "SpaceGroupPlan",
     "StageExecutor",
     "StageResult",
     "StageWorkload",
     "SystemConfig",
     "SystemKind",
     "assign_experts",
+    "assign_from_times",
     "bank_pim_duplex_device",
     "default_topology",
     "duplex_device",
     "gpu_device",
+    "install_shared_pricing_cache",
     "pim_only_device",
+    "snapshot_shared_pricing_cache",
 ]

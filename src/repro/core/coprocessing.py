@@ -13,6 +13,14 @@ Section V-C adds a granularity constraint: experts living in the same
 bank-bundle memory space must move together, so the two units never touch
 the same bundle concurrently.  :func:`assign_experts` supports both expert
 granularity (``groups=None``) and space granularity.
+
+The greedy is evaluated as array operations: a stable argsort orders the
+move candidates, and cumulative sums over the sorted per-group times give
+every prefix's makespan in one pass.  Running totals are formed with
+cumulative sums seeded by the initial all-xPU total, which reproduces the
+original iterative ``-=``/``+=`` accumulation bit-for-bit — serving-stack
+exact pricing (and the golden snapshots) depend on that equivalence, which
+:func:`assign_experts_reference` exists to pin down.
 """
 
 from __future__ import annotations
@@ -59,7 +67,10 @@ class ExpertTimeLookup:
     """Cached per-unit expert processing times keyed by token count.
 
     Mirrors the paper's runtime lookup table: the first query for a token
-    count computes the roofline time; later queries hit the cache.
+    count computes the roofline time; later queries hit the cache.  The
+    :meth:`unit_times` variant prices all resident experts of a stage in
+    one numpy pass instead (no cache needed — the batched evaluation is
+    cheaper than the dict lookups it replaces).
 
     Args:
         layer_math: layer math of the model being served.
@@ -91,9 +102,58 @@ class ExpertTimeLookup:
             self._pim_cache[tokens] = cached
         return cached
 
+    def unit_times(
+        self, token_counts: np.ndarray | Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-expert (xPU, Logic-PIM) times for a whole count vector.
+
+        Each element is bit-identical to the scalar :meth:`xpu_time` /
+        :meth:`pim_time` for the same count; zero-count experts cost 0.0.
+        """
+        flops, bytes_read, bytes_written = self.layer_math.expert_ffn_arrays(
+            token_counts, self.expert_fraction
+        )
+        return (
+            self.xpu.op_times(flops, bytes_read, bytes_written),
+            self.pim.op_times(flops, bytes_read, bytes_written),
+        )
+
     def _op_time(self, unit: ProcessingUnit, tokens: int) -> float:
         op = self.layer_math.expert_ffn(0, tokens, self.expert_fraction)
         return unit.op_time(op.flops, op.bytes_read, op.bytes_written)
+
+
+def _group_structure(
+    n_experts: int, groups: Sequence[Sequence[int]] | None
+) -> list[tuple[int, ...]]:
+    """Validate and normalise the move-granularity units."""
+    if groups is None:
+        return [(i,) for i in range(n_experts)]
+    seen = [index for group in groups for index in group]
+    if sorted(seen) != list(range(n_experts)):
+        raise ConfigError("groups must partition the resident experts exactly")
+    return [tuple(group) for group in groups]
+
+
+class SpaceGroupPlan:
+    """Precompiled move-granularity groups for repeated greedy assignments.
+
+    Validating and normalising the group structure costs more than the
+    assignment itself on small expert counts, so callers pricing thousands
+    of stages (the stage executor) compile the groups once and pass the
+    plan to :func:`assign_from_times`.
+
+    Args:
+        n_experts: resident experts the plan covers.
+        groups: space-granularity groups, or None for expert granularity.
+    """
+
+    __slots__ = ("n_experts", "units", "singletons")
+
+    def __init__(self, n_experts: int, groups: Sequence[Sequence[int]] | None) -> None:
+        self.n_experts = n_experts
+        self.units = _group_structure(n_experts, groups)
+        self.singletons = groups is None
 
 
 def assign_experts(
@@ -119,15 +179,202 @@ def assign_experts(
         raise ConfigError("token_counts must be one-dimensional")
     if (counts < 0).any():
         raise ConfigError("token counts must be non-negative")
-    n_experts = counts.size
+    xpu_times, pim_times = lookup.unit_times(counts)
+    return assign_from_times(counts, xpu_times, pim_times, groups)
 
-    if groups is None:
-        units: list[tuple[int, ...]] = [(i,) for i in range(n_experts)]
+
+#: Below this many movable experts the scalar greedy beats the array one.
+_SCALAR_GREEDY_MAX = 32
+
+
+def _scalar_scan(
+    tokens: list[int], xpu_times: list[float], pim_times: list[float]
+) -> tuple[list[int], int, float, float]:
+    """The greedy prefix scan on Python scalars (small movable-unit counts).
+
+    Returns (lightest-first order, units moved to PIM, xPU time, PIM time);
+    the accumulation sequence matches the array pipeline exactly.
+    """
+    order = sorted(range(len(tokens)), key=tokens.__getitem__)
+    xpu_total = 0.0
+    for time in xpu_times:
+        xpu_total += time
+    pim_total = 0.0
+    best_k, best_makespan, best_xpu, best_pim = 0, max(xpu_total, 0.0), xpu_total, 0.0
+    moved = 0
+    for g in order:
+        xpu_total -= xpu_times[g]
+        pim_total += pim_times[g]
+        moved += 1
+        makespan = max(xpu_total, pim_total)
+        if makespan < best_makespan:
+            best_k, best_makespan, best_xpu, best_pim = moved, makespan, xpu_total, pim_total
+    return order, best_k, best_xpu, best_pim
+
+
+def _accumulate_groups(
+    counts: list[int],
+    xpu_times: list[float],
+    pim_times: list[float],
+    units: Sequence[tuple[int, ...]],
+) -> tuple[list[int], list[float], list[float]]:
+    """Per-group (tokens, xPU time, PIM time) sums in member order.
+
+    Sequential member-order Python sums reproduce the scalar group walk of
+    the reference greedy bit-for-bit (numpy reductions would reassociate);
+    both greedy entry points share this single implementation so the
+    pinned accumulation order cannot drift between them.
+    """
+    tokens_acc: list[int] = []
+    xpu_acc: list[float] = []
+    pim_acc: list[float] = []
+    for members in units:
+        tokens = 0
+        xpu_sum = 0.0
+        pim_sum = 0.0
+        for index in members:
+            tokens += counts[index]
+            xpu_sum += xpu_times[index]
+            pim_sum += pim_times[index]
+        tokens_acc.append(tokens)
+        xpu_acc.append(xpu_sum)
+        pim_acc.append(pim_sum)
+    return tokens_acc, xpu_acc, pim_acc
+
+
+def assign_from_time_lists(
+    counts: list[int],
+    xpu_times: list[float],
+    pim_times: list[float],
+    plan: SpaceGroupPlan,
+) -> ExpertAssignment:
+    """The greedy over Python lists of precomputed per-expert times.
+
+    The all-scalar fast path for small expert counts: the stage executor's
+    per-token-count expert price cache hands times over as plain floats,
+    and every accumulation below runs in the exact sequence of the original
+    iterative greedy (bit-identical results, no array overhead).
+    """
+    if plan.singletons:
+        order, best_k, best_xpu, best_pim = _scalar_scan(counts, xpu_times, pim_times)
+        return ExpertAssignment(
+            xpu_experts=tuple(sorted(order[best_k:])),
+            pim_experts=tuple(sorted(order[:best_k])),
+            xpu_time_s=best_xpu,
+            pim_time_s=best_pim,
+        )
+    tokens_acc, xpu_acc, pim_acc = _accumulate_groups(counts, xpu_times, pim_times, plan.units)
+    group_order, best_k, best_xpu, best_pim = _scalar_scan(tokens_acc, xpu_acc, pim_acc)
+    return _expand_groups(plan, group_order, best_k, best_xpu, best_pim)
+
+
+def assign_from_times(
+    counts: np.ndarray,
+    xpu_times: np.ndarray,
+    pim_times: np.ndarray,
+    groups: SpaceGroupPlan | Sequence[Sequence[int]] | None = None,
+) -> ExpertAssignment:
+    """The greedy over precomputed per-expert unit times (validated inputs).
+
+    :class:`~repro.core.executor.StageExecutor` prices per-expert times and
+    energies from one shared array pass; this entry point lets it reuse
+    those times for the assignment instead of re-deriving them.  Pass a
+    :class:`SpaceGroupPlan` to skip per-call group validation.
+    """
+    if isinstance(groups, SpaceGroupPlan):
+        plan = groups
     else:
-        seen = [index for group in groups for index in group]
-        if sorted(seen) != list(range(n_experts)):
-            raise ConfigError("groups must partition the resident experts exactly")
-        units = [tuple(group) for group in groups]
+        plan = SpaceGroupPlan(int(counts.size), groups)
+    if counts.size <= _SCALAR_GREEDY_MAX or (
+        not plan.singletons and len(plan.units) <= _SCALAR_GREEDY_MAX
+    ):
+        # Small movable-unit counts: the fixed overhead of the array
+        # pipeline exceeds the whole scan; the identical greedy on Python
+        # floats (same accumulation sequence) is bit-identical and faster.
+        return assign_from_time_lists(
+            counts.tolist(), xpu_times.tolist(), pim_times.tolist(), plan
+        )
+    if plan.singletons:
+        group_tokens = counts
+        group_xpu = xpu_times
+        group_pim = pim_times
+    else:
+        tokens_acc, xpu_acc, pim_acc = _accumulate_groups(
+            counts.tolist(), xpu_times.tolist(), pim_times.tolist(), plan.units
+        )
+        group_tokens = np.asarray(tokens_acc, dtype=np.int64)
+        group_xpu = np.asarray(xpu_acc)
+        group_pim = np.asarray(pim_acc)
+
+    # Start with everything on the xPU, then move the lightest groups to
+    # Logic-PIM while the makespan improves (the paper's greedy).  Prefix k
+    # of the sorted order == "k lightest groups moved"; the cumulative sums
+    # below — seeded by the all-xPU total — reproduce the running
+    # ``-=``/``+=`` totals of the iterative version bit-for-bit.
+    order = np.argsort(group_tokens, kind="stable")
+    all_xpu = float(group_xpu.cumsum()[-1]) if group_xpu.size else 0.0
+    running_xpu = np.concatenate(([all_xpu], -group_xpu[order])).cumsum()
+    running_pim = np.concatenate(([0.0], group_pim[order])).cumsum()
+    makespans = np.maximum(running_xpu, running_pim)
+    best_k = int(makespans.argmin())  # first minimum == strict-improvement greedy
+
+    if plan.singletons:
+        xpu_experts = tuple(np.sort(order[best_k:]).tolist())
+        pim_experts = tuple(np.sort(order[:best_k]).tolist())
+        return ExpertAssignment(
+            xpu_experts=xpu_experts,
+            pim_experts=pim_experts,
+            xpu_time_s=float(running_xpu[best_k]),
+            pim_time_s=float(running_pim[best_k]),
+        )
+    return _expand_groups(
+        plan,
+        order.tolist(),
+        best_k,
+        float(running_xpu[best_k]),
+        float(running_pim[best_k]),
+    )
+
+
+def _expand_groups(
+    plan: SpaceGroupPlan,
+    group_order: list[int],
+    best_k: int,
+    best_xpu: float,
+    best_pim: float,
+) -> ExpertAssignment:
+    """Expand a group-level greedy outcome to per-expert assignments."""
+    moved = set(group_order[:best_k])
+    xpu_experts: list[int] = []
+    pim_experts: list[int] = []
+    for g, members in enumerate(plan.units):
+        target = pim_experts if g in moved else xpu_experts
+        target.extend(members)
+    return ExpertAssignment(
+        xpu_experts=tuple(sorted(xpu_experts)),
+        pim_experts=tuple(sorted(pim_experts)),
+        xpu_time_s=best_xpu,
+        pim_time_s=best_pim,
+    )
+
+
+def assign_experts_reference(
+    token_counts: np.ndarray | Sequence[int],
+    lookup: ExpertTimeLookup,
+    groups: Sequence[Sequence[int]] | None = None,
+) -> ExpertAssignment:
+    """The pre-vectorization iterative greedy, kept as a property-test oracle.
+
+    Property tests assert :func:`assign_experts` reproduces this loop's
+    chosen sets and accumulated times bit-for-bit; it is not used on any
+    serving path.
+    """
+    counts = np.asarray(token_counts, dtype=np.int64)
+    if counts.ndim != 1:
+        raise ConfigError("token_counts must be one-dimensional")
+    if (counts < 0).any():
+        raise ConfigError("token counts must be non-negative")
+    units = _group_structure(counts.size, groups)
 
     def group_tokens(group: tuple[int, ...]) -> int:
         return int(counts[list(group)].sum())
@@ -141,8 +388,6 @@ def assign_experts(
             time += lookup.pim_time(tokens) if on_pim else lookup.xpu_time(tokens)
         return time
 
-    # Start with everything on the xPU, then move the lightest groups to
-    # Logic-PIM while the makespan improves (the paper's greedy).
     order = sorted(range(len(units)), key=lambda g: group_tokens(units[g]))
     xpu_total = sum(group_time(group, on_pim=False) for group in units)
     pim_total = 0.0

@@ -33,11 +33,17 @@ Accounting conventions:
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.coprocessing import ExpertTimeLookup, assign_experts, round_robin_space_groups
+from repro.core.coprocessing import (
+    SpaceGroupPlan,
+    assign_from_time_lists,
+    assign_from_times,
+    round_robin_space_groups,
+)
 from repro.core.system import SystemConfig, SystemKind
 from repro.errors import ConfigError, SimulationError
 from repro.hardware.processor import ProcessingUnit
@@ -80,6 +86,27 @@ class StageWorkload:
         if lengths.size == 0 and not self.prefill_lengths:
             raise ConfigError("a stage needs at least one request")
 
+    @classmethod
+    def trusted(
+        cls,
+        decode_context_lengths: np.ndarray,
+        prefill_lengths: tuple[int, ...] = (),
+        prefill_context_lengths: tuple[int, ...] = (),
+    ) -> "StageWorkload":
+        """Construct without re-validating (per-stage hot path).
+
+        Schedulers build stages from state that is valid by construction —
+        an int64 context array and positive chunk lengths — so the
+        ``__post_init__`` checks (and its array conversion) are pure
+        per-stage overhead for them.  All other callers should use the
+        validating constructor.
+        """
+        workload = object.__new__(cls)
+        object.__setattr__(workload, "decode_context_lengths", decode_context_lengths)
+        object.__setattr__(workload, "prefill_lengths", prefill_lengths)
+        object.__setattr__(workload, "prefill_context_lengths", prefill_context_lengths)
+        return workload
+
     @property
     def is_mixed(self) -> bool:
         """True when a prefill participates in the stage."""
@@ -112,7 +139,7 @@ class StageWorkload:
         return self.n_decode + self.prefill_tokens
 
 
-@dataclass
+@dataclass(slots=True)
 class StageResult:
     """Latency and energy of one stage, with per-category breakdowns.
 
@@ -169,6 +196,80 @@ class PricingCacheInfo:
         return self.hits / total if total else 0.0
 
 
+class SharedPricingCache:
+    """Process-wide memoized stage prices, keyed by executor pricing spec.
+
+    Every executor with identical pricing inputs — system, model, bucket
+    width, gating skew — prices a given quantized composition to exactly the
+    same :class:`StageResult` (memoized entries always use deterministic
+    expected-counts gating), so their caches can share one store.  Cluster
+    replicas do exactly that: N replicas of one spec re-derive each bucketed
+    price once instead of N times.  Hit/miss counters stay per executor;
+    only the store is shared.
+
+    The cache pickles cleanly (specs are frozen configs, values are plain
+    dataclasses), so a warmed cache can be shipped to sweep workers — see
+    :func:`snapshot_shared_pricing_cache` / :func:`install_shared_pricing_cache`
+    and the ``warm_cache`` argument of :func:`repro.experiments.sweep.run_sweep`.
+    """
+
+    def __init__(self) -> None:
+        self._stores: dict[tuple, dict[tuple, StageResult]] = {}
+
+    def store_for(self, spec: tuple) -> dict[tuple, StageResult]:
+        """The (shared, mutable) price store for one pricing spec."""
+        return self._stores.setdefault(spec, {})
+
+    @property
+    def n_specs(self) -> int:
+        return len(self._stores)
+
+    def __len__(self) -> int:
+        """Total cached stage prices across all specs."""
+        return sum(len(store) for store in self._stores.values())
+
+    def clear(self) -> None:
+        """Drop every store's entries (stores stay bound to live executors)."""
+        for store in self._stores.values():
+            store.clear()
+
+    def merge(self, other: "SharedPricingCache") -> int:
+        """Absorb another cache's entries (warm start); returns entries added."""
+        added = 0
+        for spec, store in other._stores.items():
+            mine = self._stores.setdefault(spec, {})
+            before = len(mine)
+            for key, result in store.items():
+                mine.setdefault(key, result)
+            added += len(mine) - before
+        return added
+
+
+#: The process-wide cache executors opt into with ``shared_cache=True``.
+GLOBAL_PRICING_CACHE = SharedPricingCache()
+
+#: At or below this many resident experts, the scalar per-count price cache
+#: beats the batched numpy pass (dict hits vs fixed array overhead).
+_SCALAR_EXPERT_MAX = 16
+
+
+def snapshot_shared_pricing_cache() -> bytes:
+    """Serialize the process-wide pricing cache for warm-starting workers."""
+    return pickle.dumps(GLOBAL_PRICING_CACHE)
+
+
+def install_shared_pricing_cache(payload: bytes | SharedPricingCache) -> int:
+    """Merge a snapshot into this process's cache; returns entries added.
+
+    Sweep workers call this (via ``run_sweep(..., warm_cache=...)``) so each
+    process starts from the parent's already-derived bucketed prices.
+    """
+    cache = pickle.loads(payload) if isinstance(payload, (bytes, bytearray)) else payload
+    if not isinstance(cache, SharedPricingCache):
+        raise ConfigError("expected a SharedPricingCache snapshot")
+    return GLOBAL_PRICING_CACHE.merge(cache)
+
+
 class StageExecutor:
     """Times and energises stages for one system serving one model.
 
@@ -195,6 +296,13 @@ class StageExecutor:
             ``memoize=False`` (the default) wherever sampled-gating tails
             are the point of the experiment.
         context_bucket_tokens: bucket width for the memoization key.
+        shared_cache: where memoized prices live.  ``False`` (default)
+            keeps a private per-executor store; ``True`` joins the
+            process-wide :data:`GLOBAL_PRICING_CACHE`, sharing bucketed
+            prices with every executor of the same pricing spec (system,
+            model, bucket, skew) — what cluster replicas and warm-started
+            sweep workers use; a :class:`SharedPricingCache` instance
+            scopes sharing explicitly.  Ignored unless ``memoize=True``.
     """
 
     def __init__(
@@ -206,6 +314,7 @@ class StageExecutor:
         deterministic_gating: bool = False,
         memoize: bool = False,
         context_bucket_tokens: int = 64,
+        shared_cache: bool | SharedPricingCache = False,
     ) -> None:
         if context_bucket_tokens < 1:
             raise ConfigError("context_bucket_tokens must be at least 1")
@@ -216,9 +325,31 @@ class StageExecutor:
         self.deterministic_gating = deterministic_gating
         self.memoize = memoize
         self.context_bucket_tokens = context_bucket_tokens
-        self._price_cache: dict[tuple, StageResult] = {}
+        self._gating_skew = gating_skew
+        # NB: `shared_cache is not False`, not truthiness — an *empty*
+        # SharedPricingCache has len() == 0 and must still be joined.
+        if memoize and shared_cache is not False:
+            cache = GLOBAL_PRICING_CACHE if shared_cache is True else shared_cache
+            self._price_cache = cache.store_for(self.pricing_spec())
+        else:
+            self._price_cache = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        # Exact-pricing charge caches: every FC-side operator of a stage
+        # depends only on its token count, and the per-stage collective time
+        # only on the local token count, so each distinct count is priced
+        # once — (category, per-layer time, per-replica energies) — and
+        # replayed afterwards.  Cached values are the very floats the
+        # uncached path would compute: exact reuse, not approximation.
+        self._fc_stage_cache: dict[tuple[int, int], tuple] = {}
+        self._gate_cache: dict[int, tuple] = {}
+        self._comm_cache: dict[int, tuple[float, float]] = {}
+        self._expected_counts_cache: dict[int, np.ndarray] = {}
+        # Scalar per-token-count expert prices — the runtime lookup table of
+        # Section V-B extended with energies.  Decode-stage routing repeats
+        # the same small counts constantly, so small expert sets price from
+        # dict hits; large sets use the batched numpy pass instead.
+        self._expert_price_cache: dict[int, tuple] = {}
 
         if system.kind is SystemKind.HETERO:
             n_gpu, n_pim = system.hetero_gpu_count, system.hetero_pim_count
@@ -242,19 +373,68 @@ class StageExecutor:
         )
         self._xpu = self._resolve_xpu()
         self._pim = self._resolve_pim()
-        self._lookup = (
-            ExpertTimeLookup(self.math, self._xpu, self._pim, self._expert_fraction)
-            if self._xpu is not None and self._pim is not None
-            else None
-        )
         if model.is_moe and self._placement is not None:
             self._space_groups = round_robin_space_groups(
                 self._placement.resident_experts_per_device, system.device.num_memory_spaces
             )
         else:
             self._space_groups = None
+        self._assign_groups = (
+            self._space_groups if self._space_groups and len(self._space_groups) > 1 else None
+        )
+        self._assign_plan = (
+            SpaceGroupPlan(self._placement.resident_experts_per_device, self._assign_groups)
+            if model.is_moe and self._placement is not None
+            else None
+        )
         self._n_nodes = system.topology.n_nodes
         self._n_devices = system.topology.n_devices
+        self._expert_segments = self._build_expert_segments() if model.is_moe else []
+        self._fc_replica_count = self._fc_replicas()
+        self._attention_replica_count = self._attention_replicas()
+
+    def pricing_spec(self) -> tuple:
+        """Identity of this executor's memoized prices (shared-cache key).
+
+        Memoized entries are priced deterministically from the quantized
+        composition, so two executors agree on every cached price exactly
+        when these inputs agree (the seed and gating mode never matter).
+        """
+        return ("stage-prices", self.system, self.model, self.context_bucket_tokens, self._gating_skew)
+
+    def _build_expert_segments(self) -> list[tuple[int, int, int]]:
+        """Precomputed (start, stop, multiplicity) slices of the global counts.
+
+        Derived once from the canonical partition —
+        :meth:`~repro.parallel.placement.ModelPlacement.per_device_expert_counts`
+        applied to the expert indices (Hetero systems split over the PIM
+        devices, as their pricing always has) — with the identical-array
+        dedup the per-stage path used: devices handed the *same* array
+        object (tensor-parallel expert replicas, sharded-expert groups)
+        collapse into one segment with a device multiplicity.  Segments are
+        contiguous index ranges, so a stage's device counts are plain
+        slices of the routed global counts; every partition mode yields one
+        uniform multiplicity across its segments.
+        """
+        experts = np.arange(self.model.n_experts)
+        if self.system.kind is SystemKind.HETERO:
+            parts = list(np.array_split(experts, self.system.hetero_pim_count))
+        else:
+            assert self._placement is not None
+            parts = self._placement.per_device_expert_counts(experts)
+        segments: list[tuple[int, int, int]] = []
+        seen: dict[int, int] = {}
+        for part in parts:
+            key = id(part)
+            if key in seen:
+                start, stop, multiplicity = segments[seen[key]]
+                segments[seen[key]] = (start, stop, multiplicity + 1)
+                continue
+            seen[key] = len(segments)
+            start = int(part[0]) if part.size else 0
+            stop = int(part[-1]) + 1 if part.size else 0
+            segments.append((start, stop, 1))
+        return segments
 
     # ------------------------------------------------------------------
     # unit resolution
@@ -307,8 +487,9 @@ class StageExecutor:
     def _cache_key(self, workload: StageWorkload) -> tuple:
         bucket = self.context_bucket_tokens
         decode = np.asarray(workload.decode_context_lengths, dtype=np.int64) // bucket
+        decode.sort()
         return (
-            tuple(sorted(decode.tolist())),
+            tuple(decode.tolist()),
             workload.prefill_lengths,
             tuple(context // bucket for context in workload.prefill_contexts),
         )
@@ -326,12 +507,11 @@ class StageExecutor:
         the arrival order would let permutations of one multiset silently
         share a wrong price on multi-node systems.
         """
-        decode = np.sort(
-            np.asarray(
-                [self._bucket_midpoint(int(c)) for c in workload.decode_context_lengths],
-                dtype=np.int64,
-            )
-        )
+        bucket = self.context_bucket_tokens
+        ctx = np.asarray(workload.decode_context_lengths, dtype=np.int64)
+        midpoints = (ctx // bucket) * bucket + bucket // 2
+        midpoints[ctx == 0] = 0
+        decode = np.sort(midpoints)
         return StageWorkload(
             decode_context_lengths=decode,
             prefill_lengths=workload.prefill_lengths,
@@ -355,42 +535,115 @@ class StageExecutor:
         )
 
     # ------------------------------------------------------------------
+    # incremental (delta) pricing
+    # ------------------------------------------------------------------
+    def reprice_decode_delta(
+        self, base: StageResult, context_lengths: np.ndarray
+    ) -> StageResult:
+        """Re-price only decode attention of a decoding-only stage.
+
+        The delta-aware fast path of
+        :class:`~repro.serving.engine.IncrementalStagePricer`: in steady
+        decode, consecutive stages keep the same request set (every other
+        operator depends only on the unchanged token count) and grow each
+        context by one token, so only the decode-attention operator — and
+        the latency it contributes — needs re-deriving.  The unit choice is
+        re-evaluated too, so a stage crossing the xPU/PIM break-even point
+        still lands on the right unit.  Latency is adjusted by the
+        attention-time delta, which matches a full exact reprice to within
+        float re-association (well under 1e-9 relative).
+        """
+        local_ctx = np.asarray(context_lengths)[:: self._n_nodes]
+        flops, bytes_read, bytes_written = self.math.attention_decode_fields(
+            local_ctx, self._decode_kv_fraction, validate=False
+        )
+        unit = self._decode_attention_unit(flops, bytes_read, bytes_written)
+        n_layers = self.model.n_layers
+        replicas = self._attention_replica_count
+        time = unit.op_time(flops, bytes_read, bytes_written) * n_layers
+        result = self._copy_result(base)
+        previous = result.time_by_category.get(OpCategory.ATTENTION_DECODE, 0.0)
+        result.time_by_category[OpCategory.ATTENTION_DECODE] = time
+        result.dram_energy_by_category[OpCategory.ATTENTION_DECODE] = (
+            unit.dram_energy(bytes_read, bytes_written) * replicas * n_layers
+        )
+        result.compute_energy_by_category[OpCategory.ATTENTION_DECODE] = (
+            unit.compute_energy(flops) * replicas * n_layers
+        )
+        result.latency_s = base.latency_s - previous + time
+        return result
+
+    # ------------------------------------------------------------------
     # exact pricing
     # ------------------------------------------------------------------
     def _price_stage(self, workload: StageWorkload, deterministic: bool) -> StageResult:
-        result = StageResult(is_mixed=workload.is_mixed, tokens_generated=workload.n_requests)
         model, system = self.model, self.system
+        decode_ctx = workload.decode_context_lengths
+        prefills = workload.prefill_lengths
+        result = StageResult(
+            is_mixed=bool(prefills), tokens_generated=int(decode_ctx.size) + len(prefills)
+        )
 
         # Data parallelism: node 0 takes the round-robin share (worst case).
-        local_ctx = np.asarray(workload.decode_context_lengths)[:: self._n_nodes]
-        local_prefill = tuple(workload.prefill_lengths[:: self._n_nodes])
-        local_prefill_ctx = tuple(workload.prefill_contexts[:: self._n_nodes])
+        if self._n_nodes == 1:
+            local_ctx = decode_ctx
+            local_prefill = prefills
+            local_prefill_ctx = workload.prefill_contexts if prefills else ()
+        else:
+            local_ctx = np.asarray(decode_ctx)[:: self._n_nodes]
+            local_prefill = tuple(prefills[:: self._n_nodes])
+            local_prefill_ctx = tuple(workload.prefill_contexts[:: self._n_nodes])
         local_tokens = int(local_ctx.size) + int(sum(local_prefill))
 
-        fc_unit = self._xpu if self._xpu is not None else self._pim
-        assert fc_unit is not None
         n_layers = model.n_layers
         latency = 0.0
 
-        # ---- per-layer FC work (QKV generation + projection) --------------
+        # ---- FC-side work, fused (QKV+projection, dense FFN, embedding,
+        # LM head) — every piece depends only on the token counts, so one
+        # cache entry replays the whole per-stage FC charge.  The bucket
+        # totals are written here (the FC keys were created first in the
+        # unfused accumulation, and downstream float sums iterate dicts in
+        # insertion order); latency contributions land at their original
+        # positions below.
+        fc_charge = None
         if local_tokens > 0:
-            qkv = self.math.qkv_and_projection(local_tokens, self._fc_fraction)
-            latency += self._charge(result, fc_unit, qkv, self._fc_replicas(), n_layers) * n_layers
+            outputs = int(local_ctx.size) + len(local_prefill)
+            fc_key = (local_tokens, outputs)
+            fc_charge = self._fc_stage_cache.get(fc_key)
+            if fc_charge is None:
+                fc_charge = self._build_fc_stage_charge(local_tokens, outputs)
+                self._fc_stage_cache[fc_key] = fc_charge
+            latency += fc_charge[0]  # QKV + projection, all layers
+            result.time_by_category[OpCategory.FC] = fc_charge[4]
+            result.dram_energy_by_category[OpCategory.FC] = fc_charge[5]
+            result.compute_energy_by_category[OpCategory.FC] = fc_charge[6]
 
         # ---- attention ------------------------------------------------------
         decode_time = 0.0
         prefill_time = 0.0
         if local_ctx.size:
-            decode_op = self.math.attention_decode(local_ctx, self._decode_kv_fraction)
-            decode_unit = self._attention_decode_unit(decode_op)
-            decode_time = self._charge(
-                result, decode_unit, decode_op, self._attention_replicas(), n_layers
+            flops, bytes_read, bytes_written = self.math.attention_decode_fields(
+                local_ctx, self._decode_kv_fraction, validate=False
+            )
+            decode_unit = self._decode_attention_unit(flops, bytes_read, bytes_written)
+            decode_time = decode_unit.op_time(flops, bytes_read, bytes_written)
+            replicas = self._attention_replica_count
+            result.time_by_category[OpCategory.ATTENTION_DECODE] = decode_time * n_layers
+            result.dram_energy_by_category[OpCategory.ATTENTION_DECODE] = (
+                decode_unit.dram_energy(bytes_read, bytes_written) * replicas * n_layers
+            )
+            result.compute_energy_by_category[OpCategory.ATTENTION_DECODE] = (
+                decode_unit.compute_energy(flops) * replicas * n_layers
             )
         if local_prefill:
+            fc_unit = self._xpu if self._xpu is not None else self._pim
+            assert fc_unit is not None
             prefill_op = self.math.attention_prefill(
                 local_prefill, self._prefill_kv_fraction, local_prefill_ctx
             )
-            prefill_time = self._charge(result, fc_unit, prefill_op, self._fc_replicas(), n_layers)
+            prefill_time = self._charge(
+                result, fc_unit, prefill_op, self._fc_replica_count, n_layers
+            )
         overlap = (
             workload.is_mixed
             and system.attention_coprocessing
@@ -403,27 +656,76 @@ class StageExecutor:
         # ---- FFN / MoE ------------------------------------------------------
         if model.is_moe:
             latency += self._moe_layers_time(result, workload, local_tokens, deterministic)
-            if model.n_dense_ffn_layers > 0 and local_tokens > 0:
-                latency += self._dense_ffn_time(result, local_tokens, model.n_dense_ffn_layers)
-        elif local_tokens > 0:
-            latency += self._dense_ffn_time(result, local_tokens, n_layers)
+        if fc_charge is not None:
+            latency += fc_charge[1]  # dense FFN layers (exact 0.0 for pure MoE)
 
         # ---- communication ---------------------------------------------------
         latency += self._communication_time(result, local_tokens)
 
         # ---- stage-level work -------------------------------------------------
-        if local_tokens > 0:
-            embed = self.math.embedding(local_tokens)
-            latency += self._charge(result, fc_unit, embed, self._fc_replicas(), 1)
-            outputs = int(local_ctx.size) + len(local_prefill)
-            head = self.math.lm_head(outputs, self._fc_fraction)
-            latency += self._charge(result, fc_unit, head, self._fc_replicas(), 1)
+        if fc_charge is not None:
+            latency += fc_charge[2]  # embedding
+            latency += fc_charge[3]  # LM head
         latency += self._kv_migration_time(result, local_prefill)
 
         result.latency_s = latency
         if latency <= 0:
             raise SimulationError("stage produced non-positive latency")
         return result
+
+    def _build_fc_stage_charge(self, local_tokens: int, outputs: int) -> tuple:
+        """Fused FC-side charge of one stage composition.
+
+        (qkv latency over all layers, dense-FFN latency over its layers,
+        embedding time, LM-head time, FC busy time, FC dram J, FC compute
+        J) — the bucket totals accumulate in the unfused operator order, so
+        replaying them is bit-identical to charging each operator apart.
+        """
+        fc_unit = self._xpu if self._xpu is not None else self._pim
+        assert fc_unit is not None
+        model = self.model
+        n_layers = model.n_layers
+        replicas = self._fc_replica_count
+        qkv = self._build_charge(
+            fc_unit, self.math.qkv_and_projection(local_tokens, self._fc_fraction), replicas
+        )
+        qkv_latency = qkv[1] * n_layers
+        fc_time = qkv[1] * n_layers
+        fc_dram = qkv[2] * n_layers
+        fc_compute = qkv[3] * n_layers
+        dense_layers = model.n_dense_ffn_layers if model.is_moe else n_layers
+        dense_latency = 0.0
+        if dense_layers > 0:
+            op = self.math.dense_ffn(local_tokens, self._fc_fraction)
+            if self.system.kind is SystemKind.DUPLEX:
+                dense_unit = self._min_time_unit(op)
+            else:
+                dense_unit = fc_unit
+            assert dense_unit is not None
+            dense = self._build_charge(dense_unit, op, replicas)
+            dense_latency = dense[1] * dense_layers
+            fc_time = fc_time + dense[1] * dense_layers
+            fc_dram = fc_dram + dense[2] * dense_layers
+            fc_compute = fc_compute + dense[3] * dense_layers
+        embed = self._build_charge(fc_unit, self.math.embedding(local_tokens), replicas)
+        fc_time = fc_time + embed[1] * 1
+        fc_dram = fc_dram + embed[2] * 1
+        fc_compute = fc_compute + embed[3] * 1
+        head = self._build_charge(
+            fc_unit, self.math.lm_head(outputs, self._fc_fraction), replicas
+        )
+        fc_time = fc_time + head[1] * 1
+        fc_dram = fc_dram + head[2] * 1
+        fc_compute = fc_compute + head[3] * 1
+        return (
+            qkv_latency,
+            dense_latency,
+            embed[1],
+            head[1],
+            fc_time,
+            fc_dram,
+            fc_compute,
+        )
 
     # ------------------------------------------------------------------
     # MoE
@@ -438,120 +740,287 @@ class StageExecutor:
         if workload.total_tokens == 0 or layers == 0:
             return 0.0
         if deterministic:
-            counts = np.rint(self._router.expected_counts(workload.total_tokens)).astype(np.int64)
+            counts = self._expected_counts_cache.get(workload.total_tokens)
+            if counts is None:
+                counts = np.rint(
+                    self._router.expected_counts(workload.total_tokens)
+                ).astype(np.int64)
+                self._expected_counts_cache[workload.total_tokens] = counts
         else:
             counts = self._router.route(workload.total_tokens)
 
-        gate_unit = self._xpu if self._xpu is not None else self._pim
-        assert gate_unit is not None
         gate_time = 0.0
         if local_tokens > 0:
-            gate = self.math.gate(local_tokens, self._fc_fraction)
-            gate_time = self._charge(result, gate_unit, gate, self._fc_replicas(), layers)
+            charge = self._gate_cache.get(local_tokens)
+            if charge is None:
+                gate_unit = self._xpu if self._xpu is not None else self._pim
+                assert gate_unit is not None
+                gate = self.math.gate(local_tokens, self._fc_fraction)
+                charge = self._build_charge(gate_unit, gate, self._fc_replicas())
+                self._gate_cache[local_tokens] = charge
+            gate_time = self._apply_charge(result, charge, layers)
 
-        # Devices sharing the same count array (tensor-parallel expert
-        # replicas, sharded-expert groups) are priced once; energy is still
-        # charged per replica via the multiplicity.
-        unique: dict[int, tuple[np.ndarray, int]] = {}
-        for device_counts in self._per_device_expert_counts(counts):
-            key = id(device_counts)
-            if key in unique:
-                unique[key] = (device_counts, unique[key][1] + 1)
-            else:
-                unique[key] = (device_counts, 1)
-        worst = 0.0
-        for device_counts, multiplicity in unique.values():
-            worst = max(
-                worst, self._device_expert_time(result, device_counts, layers * multiplicity)
-            )
+        # Devices sharing the same count vector (tensor-parallel expert
+        # replicas, sharded-expert groups) are priced once via the
+        # precomputed segments; energy is still charged per replica via the
+        # multiplicity.  Single-unit systems (GPU, Hetero) price every
+        # device's experts in one batched pass; the Duplex family runs the
+        # per-device co-processing split.
+        if self.system.kind is SystemKind.GPU or self.system.kind is SystemKind.HETERO:
+            worst = self._single_unit_expert_time(result, counts, layers)
+        else:
+            worst = 0.0
+            for start, stop, multiplicity in self._expert_segments:
+                worst = max(
+                    worst,
+                    self._device_expert_time(result, counts[start:stop], layers * multiplicity),
+                )
         result.add_time(OpCategory.MOE, worst * layers)
         return (gate_time + worst) * layers
 
-    def _per_device_expert_counts(self, counts: np.ndarray) -> list[np.ndarray]:
-        if self.system.kind is SystemKind.HETERO:
-            return list(np.array_split(counts, self.system.hetero_pim_count))
-        assert self._placement is not None
-        return self._placement.per_device_expert_counts(counts)
+    def _expert_price(self, tokens: int) -> tuple:
+        """Scalar price of one expert at one token count, per unit.
+
+        (xPU time, dram J, compute J, PIM time, dram J, compute J) —
+        computed once per distinct count via the scalar operator path and
+        replayed from the dict afterwards, exactly the paper's runtime
+        lookup table (Section V-B) extended with energies.  Zero-count
+        experts price to exact zeros.
+        """
+        cached = self._expert_price_cache.get(tokens)
+        if cached is None:
+            op = self.math.expert_ffn(0, tokens, self._expert_fraction)
+            xpu, pim = self._xpu, self._pim
+            if xpu is not None:
+                xpu_price = (
+                    xpu.op_time(op.flops, op.bytes_read, op.bytes_written),
+                    xpu.dram_energy(op.bytes_read, op.bytes_written),
+                    xpu.compute_energy(op.flops),
+                )
+            else:
+                xpu_price = (0.0, 0.0, 0.0)
+            if pim is not None:
+                pim_price = (
+                    pim.op_time(op.flops, op.bytes_read, op.bytes_written),
+                    pim.dram_energy(op.bytes_read, op.bytes_written),
+                    pim.compute_energy(op.flops),
+                )
+            else:
+                pim_price = (0.0, 0.0, 0.0)
+            cached = xpu_price + pim_price
+            self._expert_price_cache[tokens] = cached
+        return cached
+
+    def _charge_expert_prices(
+        self, result: StageResult, prices: list[tuple], indices, offset: int, layers: int
+    ) -> None:
+        """Charge cached expert energies (offset 0 = xPU, 3 = PIM) in order."""
+        dram_bucket = result.dram_energy_by_category
+        compute_bucket = result.compute_energy_by_category
+        dram = dram_bucket.get(OpCategory.MOE, 0.0)
+        compute = compute_bucket.get(OpCategory.MOE, 0.0)
+        for i in indices:
+            price = prices[i]
+            dram += price[offset + 1] * layers
+            compute += price[offset + 2] * layers
+        dram_bucket[OpCategory.MOE] = dram
+        compute_bucket[OpCategory.MOE] = compute
+
+    def _single_unit_expert_time(
+        self, result: StageResult, counts: np.ndarray, layers: int
+    ) -> float:
+        """Worst per-device expert time when one unit runs every expert.
+
+        GPU and Hetero systems have no co-processing split, so all devices'
+        experts are priced in one pass over the global count vector — the
+        per-count price cache for small expert sets, a batched numpy pass
+        for large ones — and the per-device makespan is a max over
+        precomputed segment sums.  Times, energies, and accumulation order
+        are bit-identical to the per-device path.
+        """
+        if not counts.any():
+            return 0.0
+        on_gpu = self.system.kind is SystemKind.GPU
+        unit = self._xpu if on_gpu else self._pim
+        assert unit is not None
+        # Every partition mode yields one uniform multiplicity across its
+        # segments (see _build_expert_segments), so one energy pass covers
+        # all devices.
+        charged_layers = layers * self._expert_segments[0][2]
+        if counts.size <= _SCALAR_EXPERT_MAX:
+            price_of = self._expert_price
+            prices = [price_of(tokens) for tokens in counts.tolist()]
+            offset = 0 if on_gpu else 3
+            times = [price[offset] for price in prices]
+            worst = 0.0
+            for start, stop, _ in self._expert_segments:
+                total = 0.0
+                for time in times[start:stop]:
+                    total += time
+                if total > worst:
+                    worst = total
+            self._charge_expert_prices(
+                result, prices, range(len(prices)), offset, charged_layers
+            )
+            return worst
+        idle = counts == 0
+        flops, bytes_read, bytes_written = self.math.expert_ffn_arrays(
+            counts, self._expert_fraction, validate=False, idle=idle
+        )
+        times_list = unit.op_times(
+            flops, bytes_read, bytes_written, zero_mask=idle, validate=False
+        ).tolist()
+        worst = 0.0
+        for start, stop, _ in self._expert_segments:
+            total = 0.0
+            for time in times_list[start:stop]:
+                total += time
+            if total > worst:
+                worst = total
+        self._charge_expert_energy(
+            result, unit, flops, bytes_read, bytes_written, None, charged_layers
+        )
+        return worst
 
     def _device_expert_time(
         self, result: StageResult, device_counts: np.ndarray, layers: int
     ) -> float:
-        """One device's expert time per MoE layer; charges its energy."""
+        """One device's expert time per MoE layer; charges its energy.
+
+        All resident experts are priced in one numpy pass (per-expert
+        operator fields and roofline times elementwise); energies accumulate
+        in the scalar loop's expert order, so the result is bit-identical
+        to per-expert iteration at a fraction of the cost.
+        """
         system = self.system
-        if not device_counts.size or device_counts.sum() == 0:
+        if not device_counts.size or not device_counts.any():
             return 0.0
-        if system.kind is SystemKind.GPU:
-            assert self._xpu is not None
-            return self._expert_set_cost(result, self._xpu, device_counts, range(len(device_counts)), layers)
-        if system.kind is SystemKind.HETERO:
-            assert self._pim is not None
-            return self._expert_set_cost(result, self._pim, device_counts, range(len(device_counts)), layers)
+        if device_counts.size <= _SCALAR_EXPERT_MAX:
+            return self._device_expert_time_scalar(result, device_counts.tolist(), layers)
+        idle = device_counts == 0
+        flops, bytes_read, bytes_written = self.math.expert_ffn_arrays(
+            device_counts, self._expert_fraction, validate=False, idle=idle
+        )
+        if system.kind is SystemKind.GPU or system.kind is SystemKind.HETERO:
+            unit = self._xpu if system.kind is SystemKind.GPU else self._pim
+            assert unit is not None
+            times = unit.op_times(flops, bytes_read, bytes_written, zero_mask=idle, validate=False)
+            self._charge_expert_energy(result, unit, flops, bytes_read, bytes_written, None, layers)
+            return float(times.cumsum()[-1])
         # Duplex family.
-        assert self._xpu is not None and self._pim is not None and self._lookup is not None
+        assert self._xpu is not None and self._pim is not None
+        xpu_times = self._xpu.op_times(flops, bytes_read, bytes_written, zero_mask=idle, validate=False)
+        pim_times = self._pim.op_times(flops, bytes_read, bytes_written, zero_mask=idle, validate=False)
         if not system.expert_coprocessing or not system.device.supports_coprocessing:
             # Base Duplex: the whole layer on whichever unit finishes sooner.
-            xpu_total = sum(self._lookup.xpu_time(int(t)) for t in device_counts if t > 0)
-            pim_total = sum(self._lookup.pim_time(int(t)) for t in device_counts if t > 0)
-            unit = self._xpu if xpu_total <= pim_total else self._pim
-            return self._expert_set_cost(result, unit, device_counts, range(len(device_counts)), layers)
-        groups = self._space_groups if self._space_groups and len(self._space_groups) > 1 else None
-        assignment = assign_experts(device_counts, self._lookup, groups)
-        self._expert_set_cost(result, self._xpu, device_counts, assignment.xpu_experts, layers)
-        self._expert_set_cost(result, self._pim, device_counts, assignment.pim_experts, layers)
+            xpu_total = float(xpu_times.cumsum()[-1])
+            pim_total = float(pim_times.cumsum()[-1])
+            on_xpu = xpu_total <= pim_total
+            unit = self._xpu if on_xpu else self._pim
+            self._charge_expert_energy(result, unit, flops, bytes_read, bytes_written, None, layers)
+            return xpu_total if on_xpu else pim_total
+        assignment = assign_from_times(device_counts, xpu_times, pim_times, self._assign_plan)
+        self._charge_expert_energy(
+            result, self._xpu, flops, bytes_read, bytes_written, assignment.xpu_experts, layers
+        )
+        self._charge_expert_energy(
+            result, self._pim, flops, bytes_read, bytes_written, assignment.pim_experts, layers
+        )
         return assignment.makespan_s
 
-    def _expert_set_cost(
+    def _device_expert_time_scalar(
+        self, result: StageResult, counts: list[int], layers: int
+    ) -> float:
+        """:meth:`_device_expert_time` on the per-count price cache.
+
+        For small expert sets, per-expert dict hits beat the batched array
+        pass; time and energy values are the very scalars the array path
+        (and the original per-operator loop) computes.
+        """
+        system = self.system
+        price_of = self._expert_price
+        prices = [price_of(tokens) for tokens in counts]
+        if system.kind is SystemKind.GPU or system.kind is SystemKind.HETERO:
+            offset = 0 if system.kind is SystemKind.GPU else 3
+            total = 0.0
+            for price in prices:
+                total += price[offset]
+            self._charge_expert_prices(result, prices, range(len(prices)), offset, layers)
+            return total
+        # Duplex family.
+        xpu_times = [price[0] for price in prices]
+        pim_times = [price[3] for price in prices]
+        if not system.expert_coprocessing or not system.device.supports_coprocessing:
+            xpu_total = 0.0
+            for time in xpu_times:
+                xpu_total += time
+            pim_total = 0.0
+            for time in pim_times:
+                pim_total += time
+            on_xpu = xpu_total <= pim_total
+            self._charge_expert_prices(
+                result, prices, range(len(prices)), 0 if on_xpu else 3, layers
+            )
+            return xpu_total if on_xpu else pim_total
+        assert self._assign_plan is not None
+        assignment = assign_from_time_lists(counts, xpu_times, pim_times, self._assign_plan)
+        self._charge_expert_prices(result, prices, assignment.xpu_experts, 0, layers)
+        self._charge_expert_prices(result, prices, assignment.pim_experts, 3, layers)
+        return assignment.makespan_s
+
+    def _charge_expert_energy(
         self,
         result: StageResult,
         unit: ProcessingUnit,
-        counts: np.ndarray,
-        expert_indices,
+        flops: np.ndarray,
+        bytes_read: np.ndarray,
+        bytes_written: np.ndarray,
+        expert_indices: tuple[int, ...] | None,
         layers: int,
-    ) -> float:
-        """Serial time of a set of experts on one unit; charges energy x layers.
+    ) -> None:
+        """Charge one unit's expert energies into the MoE buckets.
 
-        Critical-path MoE *time* is recorded by the caller (it is a max over
-        devices, not a sum), so only energy is charged here.
+        Energies come from the unit's own batch formulas
+        (:meth:`~repro.hardware.processor.ProcessingUnit.dram_energies` /
+        :meth:`~repro.hardware.processor.ProcessingUnit.compute_energies`);
+        the cumulative sum seeded with the bucket's current value then
+        reproduces the old per-operator expert-by-expert accumulation
+        bit-for-bit.  Zero-token experts hold exact zeros and contribute
+        nothing.  ``None`` indices mean every expert of the device.
         """
-        total = 0.0
-        for expert_index in expert_indices:
-            tokens = int(counts[expert_index])
-            if tokens == 0:
-                continue
-            op = self.math.expert_ffn(expert_index, tokens, self._expert_fraction)
-            total += unit.op_time(op.flops, op.bytes_read, op.bytes_written)
-            result.add_dram_energy(
-                OpCategory.MOE, unit.dram_energy(op.bytes_read, op.bytes_written) * layers
-            )
-            result.add_compute_energy(OpCategory.MOE, unit.compute_energy(op.flops) * layers)
-        return total
-
-    # ------------------------------------------------------------------
-    # dense FFN
-    # ------------------------------------------------------------------
-    def _dense_ffn_time(self, result: StageResult, local_tokens: int, layers: int) -> float:
-        """Latency contribution of ``layers`` dense FFN layers."""
-        op = self.math.dense_ffn(local_tokens, self._fc_fraction)
-        if self.system.kind is SystemKind.DUPLEX:
-            unit = self._min_time_unit(op)
-        else:
-            unit = self._xpu if self._xpu is not None else self._pim
-        assert unit is not None
-        return self._charge(result, unit, op, self._fc_replicas(), layers) * layers
+        if expert_indices is not None:
+            if not expert_indices:
+                return
+            select = np.asarray(expert_indices, dtype=np.intp)
+            flops = flops[select]
+            bytes_read = bytes_read[select]
+            bytes_written = bytes_written[select]
+        dram = unit.dram_energies(bytes_read, bytes_written) * layers
+        compute = unit.compute_energies(flops) * layers
+        dram_bucket = result.dram_energy_by_category
+        compute_bucket = result.compute_energy_by_category
+        base = dram_bucket.get(OpCategory.MOE, 0.0)
+        dram_bucket[OpCategory.MOE] = float(np.concatenate(([base], dram)).cumsum()[-1])
+        base = compute_bucket.get(OpCategory.MOE, 0.0)
+        compute_bucket[OpCategory.MOE] = float(np.concatenate(([base], compute)).cumsum()[-1])
 
     # ------------------------------------------------------------------
     # attention unit selection
     # ------------------------------------------------------------------
-    def _attention_decode_unit(self, op: Operator) -> ProcessingUnit:
+    def _decode_attention_unit(
+        self, flops: float, bytes_read: float, bytes_written: float
+    ) -> ProcessingUnit:
         system = self.system
         if system.kind is SystemKind.GPU or self._pim is None:
             assert self._xpu is not None
             return self._xpu
         if system.kind is SystemKind.HETERO:
             return self._pim
-        chosen = self._min_time_unit(op)
-        assert chosen is not None
-        return chosen
+        if self._xpu is None:
+            return self._pim
+        t_x = self._xpu.op_time(flops, bytes_read, bytes_written)
+        t_p = self._pim.op_time(flops, bytes_read, bytes_written)
+        return self._xpu if t_x <= t_p else self._pim
 
     def _min_time_unit(self, op: Operator) -> ProcessingUnit | None:
         if self._xpu is None:
@@ -566,10 +1035,28 @@ class StageExecutor:
     # communication
     # ------------------------------------------------------------------
     def _communication_time(self, result: StageResult, local_tokens: int) -> float:
-        """Per-stage collective time (all layers), recorded and returned."""
-        model, system = self.model, self.system
+        """Per-stage collective time (all layers), recorded and returned.
+
+        Collective time and wire energy depend only on the local token
+        count, so each distinct count is derived once and replayed from the
+        cache afterwards (the cached floats are exactly what the uncached
+        path computed).
+        """
         if local_tokens == 0:
             return 0.0
+        cached = self._comm_cache.get(local_tokens)
+        if cached is None:
+            cached = self._communication_cost(local_tokens)
+            self._comm_cache[local_tokens] = cached
+        total, energy = cached
+        if total > 0:
+            result.add_time(OpCategory.COMMUNICATION, total)
+            result.comm_energy_j += energy
+        return total
+
+    def _communication_cost(self, local_tokens: int) -> tuple[float, float]:
+        """(collective seconds, wire joules) for one stage's local tokens."""
+        model, system = self.model, self.system
         coll = self.collectives
         activation_bytes = local_tokens * model.hidden * model.dtype_bytes
         if system.kind is SystemKind.HETERO:
@@ -611,10 +1098,7 @@ class StageExecutor:
             total += coll.all_reduce_time(activation_bytes, tp_group) * model.n_layers
             wire += coll.all_reduce_wire_bytes(activation_bytes, tp_group) * model.n_layers
 
-        if total > 0:
-            result.add_time(OpCategory.COMMUNICATION, total)
-            result.comm_energy_j += coll.wire_energy(wire) * self._n_devices
-        return total
+        return total, coll.wire_energy(wire) * self._n_devices
 
     # ------------------------------------------------------------------
     # KV migration (Section V-C)
@@ -667,4 +1151,31 @@ class StageExecutor:
             op.category, unit.dram_energy(op.bytes_read, op.bytes_written) * replicas * layers
         )
         result.add_compute_energy(op.category, unit.compute_energy(op.flops) * replicas * layers)
+        return time
+
+    @staticmethod
+    def _build_charge(unit: ProcessingUnit, op: Operator, replicas: int) -> tuple:
+        """Precomputed :meth:`_charge` of one operator on one unit.
+
+        (category, per-layer time, per-replica-scaled dram J, compute J) —
+        everything :meth:`_apply_charge` needs, so token-count-keyed caches
+        can replay a charge without re-deriving time or energy.
+        """
+        return (
+            op.category,
+            unit.op_time(op.flops, op.bytes_read, op.bytes_written),
+            unit.dram_energy(op.bytes_read, op.bytes_written) * replicas,
+            unit.compute_energy(op.flops) * replicas,
+        )
+
+    @staticmethod
+    def _apply_charge(result: StageResult, charge: tuple, layers: int) -> float:
+        """Replay a precomputed charge across ``layers``; return per-layer time."""
+        category, time, dram_j, compute_j = charge
+        times = result.time_by_category
+        times[category] = times.get(category, 0.0) + time * layers
+        dram = result.dram_energy_by_category
+        dram[category] = dram.get(category, 0.0) + dram_j * layers
+        compute = result.compute_energy_by_category
+        compute[category] = compute.get(category, 0.0) + compute_j * layers
         return time

@@ -61,6 +61,7 @@ def _qps_point(
     seed: int,
     memoize: bool,
     scenario: str | None = None,
+    incremental: bool = False,
 ) -> QpsRow:
     """Price one (system, QPS) grid point (process-pool worker).
 
@@ -75,7 +76,14 @@ def _qps_point(
     else:
         workload = WorkloadSpec(lin_mean=lin, lout_mean=lout, qps=qps)
     sim = ServingSimulator(
-        system, model, workload, max_batch=max_batch, seed=seed, memoize_pricing=memoize
+        system,
+        model,
+        workload,
+        max_batch=max_batch,
+        seed=seed,
+        memoize_pricing=memoize,
+        incremental_pricing=incremental,
+        shared_pricing_cache=memoize,
     )
     report = sim.run(limits)
     return QpsRow(
@@ -95,6 +103,8 @@ def run(
     memoize: bool = False,
     workers: int | None = 1,
     scenario: str | None = None,
+    incremental: bool = False,
+    warm_cache: bytes | None = None,
 ) -> list[QpsRow]:
     """Regenerate the Fig. 13 QPS sweep.
 
@@ -102,24 +112,35 @@ def run(
         memoize: memoized stage pricing — several times faster, but
             expected-counts gating tightens the MoE tail percentiles
             (exact sampled pricing is the default, and the artefact).
+            Memoized points share the process-wide pricing cache, so a
+            sweep prices each bucketed composition once across its grid.
         workers: process-pool width; 1 (default) runs in-process,
             None uses one worker per CPU.
         scenario: registered scenario name (see
             :mod:`repro.serving.scenarios`) to sweep instead of the
             Gaussian-Poisson spec; each grid point rescales its arrival
             process to the point's QPS.
+        incremental: delta-price steady-decode stages (the serving-layer
+            fast path; see
+            :class:`~repro.serving.engine.IncrementalStagePricer`).  Like
+            ``memoize``, this trades sampled-gating tails for speed —
+            keep it off for the paper artefact.
+        warm_cache: optional
+            :func:`~repro.core.executor.snapshot_shared_pricing_cache`
+            payload installed in every worker before pricing (useful with
+            ``memoize=True`` and ``workers > 1``).
     """
     limits = limits or SimulationLimits(max_stages=1500, warmup_stages=150)
     param_sets = [
         dict(
             system_key=name, qps=qps, lin=lin, lout=lout,
             max_batch=max_batch, limits=limits, seed=seed, memoize=memoize,
-            scenario=scenario,
+            scenario=scenario, incremental=incremental,
         )
         for name in default_systems()
         for qps in qps_values
     ]
-    return run_sweep(_qps_point, param_sets, workers=workers)
+    return run_sweep(_qps_point, param_sets, workers=workers, warm_cache=warm_cache)
 
 
 def saturation_qps(rows: list[QpsRow], system: str, blowup_factor: float = 10.0) -> float:

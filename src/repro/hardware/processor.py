@@ -10,12 +10,21 @@ The ridge point ``effective_flops / bandwidth`` is the Op/B at which the
 unit transitions from memory- to compute-bound — the quantity the whole
 paper argues about (xPU ridge in the hundreds, Logic-PIM ridge at 8,
 Bank-PIM ridge at 1).
+
+The ``op_times`` / ``dram_energies`` / ``compute_energies`` array variants
+evaluate whole batches of operators (one element per operator) in a single
+numpy pass.  They apply the scalar formulas elementwise in the same
+floating-point operation order, so each element is bit-identical to the
+corresponding scalar call — the serving stack's exact pricing path relies
+on that equivalence.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import ConfigError
 from repro.units import PJ
@@ -103,6 +112,44 @@ class ProcessingUnit:
         busy = max(self.compute_time(flops), self.memory_time(bytes_read + bytes_written))
         return busy + self.launch_overhead_s
 
+    def op_times(
+        self,
+        flops: np.ndarray,
+        bytes_read: np.ndarray,
+        bytes_written: np.ndarray,
+        *,
+        zero_mask: np.ndarray | None = None,
+        validate: bool = True,
+    ) -> np.ndarray:
+        """Roofline times for a batch of operators (elementwise :meth:`op_time`).
+
+        Each element is bit-identical to the scalar call on the same
+        operands; zero-work operators (all three inputs zero) cost exactly
+        0.0, launch overhead included.
+
+        Args:
+            flops: per-operator floating-point operations.
+            bytes_read: per-operator DRAM bytes streamed in.
+            bytes_written: per-operator DRAM bytes written back.
+            zero_mask: precomputed zero-work mask, if the caller has one
+                (e.g. the expert pricer's ``tokens == 0``).
+            validate: skip the non-negativity checks when the caller
+                already guarantees them (per-stage hot paths).
+        """
+        if validate and (
+            (flops < 0).any() or (bytes_read < 0).any() or (bytes_written < 0).any()
+        ):
+            raise ConfigError("operator flops/bytes must be non-negative")
+        busy = np.maximum(
+            flops / self.effective_flops, (bytes_read + bytes_written) / self.mem_bandwidth
+        )
+        times = busy + self.launch_overhead_s
+        if zero_mask is None:
+            zero_mask = (flops == 0) & (bytes_read == 0) & (bytes_written == 0)
+        if zero_mask.any():
+            times[zero_mask] = 0.0
+        return times
+
     # ------------------------------------------------------------------
     # energy
     # ------------------------------------------------------------------
@@ -124,6 +171,17 @@ class ProcessingUnit:
 
     def compute_energy(self, flops: float) -> float:
         """Compute energy (J) alone — used for breakdown reporting."""
+        return flops * self.flop_energy_pj * PJ
+
+    def dram_energies(self, bytes_read: np.ndarray, bytes_written: np.ndarray) -> np.ndarray:
+        """DRAM-traffic energies for a batch of operators (elementwise)."""
+        return (
+            bytes_read * 8.0 * self.read_energy_pj_per_bit
+            + bytes_written * 8.0 * self.write_energy_pj_per_bit
+        ) * PJ
+
+    def compute_energies(self, flops: np.ndarray) -> np.ndarray:
+        """Compute energies for a batch of operators (elementwise)."""
         return flops * self.flop_energy_pj * PJ
 
     # ------------------------------------------------------------------

@@ -62,7 +62,8 @@ class ExpertRouter:
             raise ConfigError("token count must be non-negative")
         if n_tokens == 0:
             return np.zeros(self.n_experts, dtype=np.int64)
-        return self._rng.multinomial(n_tokens * self.top_k, self._probabilities).astype(np.int64)
+        counts = self._rng.multinomial(n_tokens * self.top_k, self._probabilities)
+        return counts.astype(np.int64, copy=False)
 
     def expected_counts(self, n_tokens: int) -> np.ndarray:
         """Expected token count per expert (deterministic runs and tests)."""

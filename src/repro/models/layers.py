@@ -136,13 +136,37 @@ class LayerMath:
             context_lengths: per-request KV lengths (tokens already cached).
             kv_fraction: share of KV heads this device holds.
         """
-        lengths = np.asarray(context_lengths, dtype=np.float64)
-        if lengths.size == 0 or float(lengths.sum()) == 0.0:
-            return Operator("attention_decode", OpCategory.ATTENTION_DECODE, 0.0, 0.0)
-        if (lengths < 0).any():
+        flops, bytes_read, bytes_written = self.attention_decode_fields(
+            context_lengths, kv_fraction
+        )
+        return Operator(
+            "attention_decode", OpCategory.ATTENTION_DECODE, flops, bytes_read, bytes_written
+        )
+
+    def attention_decode_fields(
+        self,
+        context_lengths: np.ndarray | Sequence[int],
+        kv_fraction: float = 1.0,
+        *,
+        validate: bool = True,
+    ) -> tuple[float, float, float]:
+        """Decode-attention (flops, bytes read, bytes written), no Operator.
+
+        The stage executor prices decode attention every stage (contexts
+        grow each token, so nothing caches); returning the raw fields skips
+        the per-stage operator construction.  ``validate=False`` skips the
+        negativity check for callers whose contexts are non-negative by
+        construction (the scheduler's state machine).
+        """
+        lengths = np.asarray(context_lengths)
+        # add.reduce is ndarray.sum without the method-dispatch wrapper —
+        # same pairwise reduction, so the value is bit-identical.
+        total_ctx = float(np.add.reduce(lengths)) if lengths.size else 0.0
+        if total_ctx == 0.0:
+            return 0.0, 0.0, 0.0
+        if validate and (lengths < 0).any():
             raise ConfigError("context lengths must be non-negative")
         m = self.model
-        total_ctx = float(lengths.sum())
         n_requests = float(lengths.size)
         # QK^T and PV: 2 GEMMs of (deggrp x d_head x L) per KV head.
         flops = 4.0 * m.n_heads * m.d_head * total_ctx * kv_fraction
@@ -150,13 +174,7 @@ class LayerMath:
         kv_read = total_ctx * m.kv_bytes_per_token_per_layer * kv_fraction
         q_read = n_requests * m.n_heads * m.d_head * m.dtype_bytes * kv_fraction
         out_write = n_requests * m.n_heads * m.d_head * m.dtype_bytes * kv_fraction
-        return Operator(
-            "attention_decode",
-            OpCategory.ATTENTION_DECODE,
-            flops,
-            kv_read + q_read,
-            out_write,
-        )
+        return flops, kv_read + q_read, out_write
 
     def attention_prefill(
         self,
@@ -179,25 +197,37 @@ class LayerMath:
                 cached KV.  None means no prior context.
         """
         m = self.model
-        lengths = list(prefill_lengths)
-        contexts = [0] * len(lengths) if context_lengths is None else list(context_lengths)
-        if len(contexts) != len(lengths):
-            raise ConfigError("context_lengths must parallel prefill_lengths")
-        flops = 0.0
-        bytes_read = 0.0
-        bytes_written = 0.0
-        for length, past in zip(lengths, contexts):
-            if length < 0 or past < 0:
-                raise ConfigError("prefill lengths must be non-negative")
-            if length == 0:
-                continue
-            causal_scores = past * length + 0.5 * length * length
-            flops += 4.0 * m.n_heads * m.d_head * causal_scores * kv_fraction
-            flops += SOFTMAX_FLOPS_PER_SCORE * m.n_heads * causal_scores * kv_fraction
-            q_bytes = length * m.n_heads * m.d_head * m.dtype_bytes * kv_fraction
-            kv_bytes = (past + length) * m.kv_bytes_per_token_per_layer * kv_fraction
-            bytes_read += q_bytes + kv_bytes
-            bytes_written += q_bytes  # attention output, same shape as Q
+        lengths = np.array(list(prefill_lengths), dtype=np.float64)
+        if context_lengths is None:
+            contexts = np.zeros_like(lengths)
+        else:
+            contexts = np.array(list(context_lengths), dtype=np.float64)
+            if contexts.shape != lengths.shape:
+                raise ConfigError("context_lengths must parallel prefill_lengths")
+        if lengths.size == 0:
+            return Operator("attention_prefill", OpCategory.ATTENTION_PREFILL, 0.0, 0.0, 0.0)
+        if (lengths < 0).any() or (contexts < 0).any():
+            raise ConfigError("prefill lengths must be non-negative")
+        # Elementwise terms mirror the scalar per-request formulas in the
+        # same floating-point operation order; zero-length requests (which
+        # the scalar loop skipped) are masked to contribute exactly nothing.
+        causal_scores = contexts * lengths + 0.5 * lengths * lengths
+        qk_flops = 4.0 * m.n_heads * m.d_head * causal_scores * kv_fraction
+        softmax_flops = SOFTMAX_FLOPS_PER_SCORE * m.n_heads * causal_scores * kv_fraction
+        q_bytes = lengths * m.n_heads * m.d_head * m.dtype_bytes * kv_fraction
+        kv_bytes = (contexts + lengths) * m.kv_bytes_per_token_per_layer * kv_fraction
+        empty = lengths == 0
+        if empty.any():
+            kv_bytes[empty] = 0.0
+        # The scalar loop interleaved the two flop terms per request; a
+        # cumulative sum over the interleaved terms reproduces that exact
+        # left-to-right accumulation bit-for-bit (np.sum would reassociate).
+        interleaved = np.empty(2 * lengths.size)
+        interleaved[0::2] = qk_flops
+        interleaved[1::2] = softmax_flops
+        flops = float(interleaved.cumsum()[-1])
+        bytes_read = float((q_bytes + kv_bytes).cumsum()[-1])
+        bytes_written = float(q_bytes.cumsum()[-1])  # attention output, same shape as Q
         return Operator(
             "attention_prefill", OpCategory.ATTENTION_PREFILL, flops, bytes_read, bytes_written
         )
@@ -254,6 +284,47 @@ class LayerMath:
             if count > 0
         ]
 
+    def expert_ffn_arrays(
+        self,
+        tokens_per_expert: np.ndarray | Sequence[int],
+        expert_fraction: float = 1.0,
+        *,
+        validate: bool = True,
+        idle: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`expert_ffn`: per-expert (flops, bytes read, bytes written).
+
+        One numpy pass over all resident experts replaces the per-expert
+        operator loop; each element is bit-identical to the corresponding
+        scalar :meth:`expert_ffn` field.  Zero-token experts cost exactly
+        nothing (their weights are never streamed).
+
+        Args:
+            tokens_per_expert: routed token count per resident expert.
+            expert_fraction: weight share of each expert on this device.
+            validate: skip the non-negativity check when the caller already
+                guarantees it (the stage executor's per-stage hot path).
+            idle: precomputed ``tokens == 0`` mask, if the caller has one.
+        """
+        m = self.model
+        if not m.is_moe:
+            raise ConfigError(f"{m.name} has no MoE layers")
+        tokens = np.asarray(tokens_per_expert, dtype=np.float64)
+        if validate and (tokens < 0).any():
+            raise ConfigError("token count must be non-negative")
+        params = m.expert_params * expert_fraction
+        flops = 2.0 * tokens * params + tokens * m.intermediate * expert_fraction
+        act = tokens * m.hidden * m.dtype_bytes
+        bytes_read = params * m.dtype_bytes + act
+        bytes_written = act * expert_fraction
+        if idle is None:
+            idle = tokens == 0
+        if idle.any():
+            flops[idle] = 0.0
+            bytes_read[idle] = 0.0
+            bytes_written[idle] = 0.0
+        return flops, bytes_read, bytes_written
+
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
@@ -261,3 +332,39 @@ class LayerMath:
     def _check_tokens(n_tokens: float) -> None:
         if n_tokens < 0:
             raise ConfigError("token count must be non-negative")
+
+
+def attention_prefill_reference(
+    math: LayerMath,
+    prefill_lengths: Iterable[int],
+    kv_fraction: float = 1.0,
+    context_lengths: Iterable[int] | None = None,
+) -> Operator:
+    """The pre-vectorization scalar prefill-attention loop, kept as an oracle.
+
+    Property tests assert :meth:`LayerMath.attention_prefill` reproduces this
+    accumulation bit-for-bit; it is not used on any serving path.
+    """
+    m = math.model
+    lengths = list(prefill_lengths)
+    contexts = [0] * len(lengths) if context_lengths is None else list(context_lengths)
+    if len(contexts) != len(lengths):
+        raise ConfigError("context_lengths must parallel prefill_lengths")
+    flops = 0.0
+    bytes_read = 0.0
+    bytes_written = 0.0
+    for length, past in zip(lengths, contexts):
+        if length < 0 or past < 0:
+            raise ConfigError("prefill lengths must be non-negative")
+        if length == 0:
+            continue
+        causal_scores = past * length + 0.5 * length * length
+        flops += 4.0 * m.n_heads * m.d_head * causal_scores * kv_fraction
+        flops += SOFTMAX_FLOPS_PER_SCORE * m.n_heads * causal_scores * kv_fraction
+        q_bytes = length * m.n_heads * m.d_head * m.dtype_bytes * kv_fraction
+        kv_bytes = (past + length) * m.kv_bytes_per_token_per_layer * kv_fraction
+        bytes_read += q_bytes + kv_bytes
+        bytes_written += q_bytes
+    return Operator(
+        "attention_prefill", OpCategory.ATTENTION_PREFILL, flops, bytes_read, bytes_written
+    )

@@ -25,6 +25,18 @@ class OpCategory(enum.Enum):
     COMMUNICATION = "communication"
     MIGRATION = "migration"  # KV migration after a mixed stage
 
+    def __hash__(self) -> int:
+        # Stage pricing keys every time/energy bucket by category, dozens of
+        # dict operations per stage; the stock Enum hash re-hashes the member
+        # *name string* on each of them.  Returning a precomputed int (set
+        # right below the class body) keeps the same value per member.
+        return self._cached_hash  # type: ignore[attr-defined]
+
+
+for _member in OpCategory:
+    _member._cached_hash = hash(_member._name_)  # type: ignore[attr-defined]
+del _member
+
 
 @dataclass(frozen=True)
 class Operator:

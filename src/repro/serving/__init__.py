@@ -40,7 +40,12 @@ from repro.serving.cluster import (
     Router,
     SplitReplicaSpec,
 )
-from repro.serving.engine import ServingEngine, StageEvent, TransferFeed
+from repro.serving.engine import (
+    IncrementalStagePricer,
+    ServingEngine,
+    StageEvent,
+    TransferFeed,
+)
 from repro.serving.generator import QueueSource, RequestGenerator, RequestSource, WorkloadSpec
 from repro.serving.scenarios import (
     ArrivalProcess,
@@ -88,6 +93,7 @@ __all__ = [
     "FcfsPolicy",
     "GaussianLengths",
     "HostLink",
+    "IncrementalStagePricer",
     "LeastOutstandingTokensRouter",
     "LengthDistribution",
     "LognormalLengths",

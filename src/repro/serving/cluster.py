@@ -37,11 +37,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.executor import StageExecutor
+from repro.core.executor import SharedPricingCache, StageExecutor
 from repro.core.system import SystemConfig
 from repro.errors import CapacityError, ConfigError, SimulationError
 from repro.models.config import ModelConfig
-from repro.serving.engine import ServingEngine, SimulationLimits
+from repro.serving.engine import IncrementalStagePricer, ServingEngine, SimulationLimits
 from repro.serving.generator import QueueSource, RequestSource, WorkloadSpec, resolve_source
 from repro.serving.metrics import MetricsCollector, ServingReport
 from repro.serving.policy import SchedulingPolicy
@@ -184,17 +184,27 @@ class _MonolithicReplica:
         gating_skew: float,
         seed: int | None,
         memoize_pricing: bool,
+        incremental_pricing: bool = False,
+        shared_cache: bool | SharedPricingCache = True,
     ) -> None:
         self.index = index
         self.inbox = QueueSource()
         self.executor = StageExecutor(
-            system, model, gating_skew=gating_skew, seed=seed, memoize=memoize_pricing
+            system,
+            model,
+            gating_skew=gating_skew,
+            seed=seed,
+            memoize=memoize_pricing,
+            shared_cache=shared_cache,
         )
         self.scheduler = ContinuousBatchingScheduler(
             self.inbox, effective_batch, capacity_tokens, policy=policy
         )
         self.engine = ServingEngine(
-            self.scheduler, self.executor, label=f"{system.name}/replica{index}"
+            self.scheduler,
+            self.executor,
+            label=f"{system.name}/replica{index}",
+            pricer=IncrementalStagePricer(self.executor) if incremental_pricing else None,
         )
         self.engine.metrics.effective_batch = effective_batch
 
@@ -394,10 +404,24 @@ class ClusterSimulator:
             ``memoize_pricing`` — see :class:`SplitReplicaSpec`.
         memoize_pricing: memoize stage pricing in every monolithic replica
             (on by default — fleet sweeps are exactly the workload
-            memoization exists for).  Memoized pricing routes experts by
+            memoization exists for).  Memoized replicas share one
+            process-wide price store per pricing spec
+            (:data:`~repro.core.executor.GLOBAL_PRICING_CACHE`), so a
+            bucketed composition is priced once for the whole fleet, not
+            once per replica.  Memoized pricing routes experts by
             expected counts, so fleet tail percentiles omit
             gating-straggler stages; pass False for exact per-stage
             sampled pricing.
+        incremental_pricing: delta-price steady-decode stages in every
+            monolithic replica (see
+            :class:`~repro.serving.engine.IncrementalStagePricer`); exact
+            pricing remains the default.
+        shared_pricing_cache: where memoized replica prices live.  True
+            (default) joins the process-wide
+            :data:`~repro.core.executor.GLOBAL_PRICING_CACHE`; pass a
+            :class:`~repro.core.executor.SharedPricingCache` instance to
+            scope sharing to this fleet (prices then die with it), or
+            False for fully private per-replica stores.
         max_requests: stop feeding arrivals after this many (bounds endless
             Poisson streams when limits alone should not decide).
         worst_case_tokens: KV sizing override for sources that cannot
@@ -419,6 +443,8 @@ class ClusterSimulator:
         gating_skew: float = 0.0,
         policy_factory: Callable[[], SchedulingPolicy] | None = None,
         memoize_pricing: bool = True,
+        incremental_pricing: bool = False,
+        shared_pricing_cache: bool | SharedPricingCache = True,
         max_requests: int | None = None,
         worst_case_tokens: int | None = None,
         replicas: Sequence[ReplicaSpec] | None = None,
@@ -479,6 +505,8 @@ class ClusterSimulator:
                     gating_skew=gating_skew,
                     seed=replica_seed,
                     memoize_pricing=memoize_pricing,
+                    incremental_pricing=incremental_pricing,
+                    shared_cache=shared_pricing_cache,
                 )
             else:
                 raise ConfigError(f"unknown replica spec {spec!r}")

@@ -30,7 +30,9 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
-from repro.core.executor import StageExecutor
+import numpy as np
+
+from repro.core.executor import StageExecutor, StageResult
 from repro.errors import ConfigError, SchedulingError
 from repro.serving.metrics import MetricsCollector, ServingReport
 from repro.serving.request import Request, RequestState
@@ -114,11 +116,13 @@ class TransferFeed:
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Request]] = []
         self._pushed = 0
+        self._queued_tokens = 0
 
     def push(self, ready_s: float, request: Request) -> None:
         """Schedule ``request`` to become available at ``ready_s``."""
         heapq.heappush(self._heap, (ready_s, self._pushed, request))
         self._pushed += 1
+        self._queued_tokens += request.total_seq_len
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -129,8 +133,13 @@ class TransferFeed:
 
     @property
     def queued_tokens(self) -> int:
-        """Worst-case KV tokens still in flight (router load signal)."""
-        return sum(entry[2].total_seq_len for entry in self._heap)
+        """Worst-case KV tokens still in flight (router load signal).
+
+        Maintained as a running counter in :meth:`push`/:meth:`take` —
+        routers read this per routing decision, so an O(n) heap walk here
+        was a per-arrival hot spot.
+        """
+        return self._queued_tokens
 
     def peek(self) -> Request | None:
         return self._heap[0][2] if self._heap else None
@@ -144,7 +153,80 @@ class TransferFeed:
     def take(self, now_s: float) -> Request:
         if not self._heap:
             raise SchedulingError("transfer feed is empty")
-        return heapq.heappop(self._heap)[2]
+        request = heapq.heappop(self._heap)[2]
+        self._queued_tokens -= request.total_seq_len
+        return request
+
+
+class IncrementalStagePricer:
+    """Delta-aware stage pricing for steady decode runs (opt-in fast path).
+
+    In steady decode, consecutive stages carry the same request set with
+    every context one token longer — the previous stage's composition key
+    shifted by +1 per request.  Every operator except decode attention
+    depends only on the (unchanged) token count, so such stages re-derive
+    only the decode-attention operator from the prior
+    :class:`~repro.core.executor.StageResult`
+    (:meth:`~repro.core.executor.StageExecutor.reprice_decode_delta`);
+    admission, completion, and mixed stages fall back to exact pricing and
+    re-arm the delta chain.
+
+    Accuracy: a delta-priced stage matches a full exact reprice to within
+    float re-association (<< 1e-9 relative) when expert routing is
+    deterministic.  Under *sampled* gating the delta path necessarily
+    reuses the base stage's expert-routing sample instead of drawing a
+    fresh one per stage, so — like memoized pricing — it removes
+    gating-straggler stages and tightens MoE tail percentiles.  Exact
+    pricing stays the default everywhere; golden figures never use this.
+
+    Args:
+        executor: the stage executor to price through.
+    """
+
+    def __init__(self, executor: StageExecutor) -> None:
+        self.executor = executor
+        self.delta_stages = 0
+        self.exact_stages = 0
+        self._previous_contexts: np.ndarray | None = None
+        self._previous_result = None
+
+    def price(self, workload) -> "StageResult":
+        """Price one stage, by delta when the composition allows it.
+
+        Eligibility is verified against the *actual* context vectors
+        (rather than trusting the scheduler's own steady-decode flag) on
+        purpose: the pricer's accuracy contract must hold for any caller,
+        and comparing compositions fails safe — an upstream change can
+        only ever cost a fallback to exact pricing, never a wrong delta.
+        """
+        contexts = workload.decode_context_lengths
+        previous = self._previous_contexts
+        if (
+            not workload.is_mixed
+            and previous is not None
+            and contexts.size == previous.size
+            and np.array_equal(contexts, previous + 1)
+        ):
+            result = self.executor.reprice_decode_delta(self._previous_result, contexts)
+            self.delta_stages += 1
+        else:
+            result = self.executor.run_stage(workload)
+            self.exact_stages += 1
+        if workload.is_mixed:
+            # A mixed stage's successor never matches the +1 pattern
+            # (prefilled requests re-enter decode at full context).
+            self._previous_contexts = None
+            self._previous_result = None
+        else:
+            self._previous_contexts = contexts.copy()
+            self._previous_result = result
+        return result
+
+    @property
+    def delta_rate(self) -> float:
+        """Fraction of stages priced by delta."""
+        total = self.delta_stages + self.exact_stages
+        return self.delta_stages / total if total else 0.0
 
 
 class ServingEngine:
@@ -169,6 +251,10 @@ class ServingEngine:
         handoff: when set, a request leaving prefill is released from this
             engine's batch and passed to the callback with the current
             clock — the KV-transfer hook that chains partitions.
+        pricer: optional :class:`IncrementalStagePricer` wrapping the
+            executor; steady-decode stages are then priced by delta (the
+            opt-in fast path) instead of a full
+            :meth:`~repro.core.executor.StageExecutor.run_stage`.
     """
 
     def __init__(
@@ -181,9 +267,11 @@ class ServingEngine:
         budget_exempt: bool = False,
         record_gate: Callable[[SimulationLimits], bool] | None = None,
         handoff: Callable[[Request, float], None] | None = None,
+        pricer: IncrementalStagePricer | None = None,
     ) -> None:
         self.scheduler = scheduler
         self.executor = executor
+        self.pricer = pricer
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.label = label
         self.record_idle = record_idle
@@ -249,19 +337,22 @@ class ServingEngine:
         workload = scheduler.build_stage(admit=admit)
         if workload is None:
             return False
+        # The scheduler partitioned the batch while building the stage; no
+        # re-filtering of `running` per stage.
+        decoding, prefilling = scheduler.stage_partitions
         observing = bool(self.observers)
         if observing:
             # Attribute every admission since the last stage event to this
             # one — including admissions made outside step() (warm start,
             # the split prefill partition's decode-time admit()).
             admitted = tuple(scheduler.admitted_log[self._admitted_seen :])
-            decode_ids = tuple(
-                r.request_id for r in scheduler.running if r.state is RequestState.DECODING
-            )
+            decode_ids = tuple(r.request_id for r in decoding)
             chunks = tuple(scheduler.pending_chunks.items())
         self._admitted_seen = len(scheduler.admitted_log)
-        prefilling = [r for r in scheduler.running if r.state is RequestState.PREFILLING]
-        result = self.executor.run_stage(workload)
+        if self.pricer is not None:
+            result = self.pricer.price(workload)
+        else:
+            result = self.executor.run_stage(workload)
         finished = scheduler.complete_stage(result.latency_s)
         self.stages += 1
         first_tokens = [r for r in prefilling if r.state is not RequestState.PREFILLING]

@@ -15,6 +15,11 @@ import numpy as np
 from repro.errors import ConfigError, SimulationError
 from repro.models.ops import OpCategory
 
+#: Energy-component labels, precomputed per category (f-string construction
+#: on every recorded stage was a measurable per-stage cost).
+_DRAM_KEYS = {category: f"{category.value}:dram" for category in OpCategory}
+_COMPUTE_KEYS = {category: f"{category.value}:compute" for category in OpCategory}
+
 
 def weighted_percentile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
     """Percentile ``q`` (0-100) of a weighted sample.
@@ -125,16 +130,15 @@ class MetricsCollector:
             self._tbt_weights.append(float(decode_tokens))
         self._tokens += total_tokens_generated
         self._elapsed_s += latency_s
+        components = self._energy_by_component
         for category, joules in dram_energy.items():
-            key = f"{category.value}:dram"
-            self._energy_by_component[key] = self._energy_by_component.get(key, 0.0) + joules
+            key = _DRAM_KEYS[category]
+            components[key] = components.get(key, 0.0) + joules
         for category, joules in compute_energy.items():
-            key = f"{category.value}:compute"
-            self._energy_by_component[key] = self._energy_by_component.get(key, 0.0) + joules
+            key = _COMPUTE_KEYS[category]
+            components[key] = components.get(key, 0.0) + joules
         if comm_energy_j:
-            self._energy_by_component["fabric"] = (
-                self._energy_by_component.get("fabric", 0.0) + comm_energy_j
-            )
+            components["fabric"] = components.get("fabric", 0.0) + comm_energy_j
 
     def record_first_token(
         self, t2ft_s: float, tenant: str | None = None, slo_s: float | None = None

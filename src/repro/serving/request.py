@@ -26,7 +26,7 @@ class RequestState(enum.Enum):
     FINISHED = "finished"
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One inference request.
 

@@ -60,6 +60,15 @@ class ContinuousBatchingScheduler:
         self.admitted_log: list[int] = []
         self._committed_tokens = 0
         self._stage_chunks: dict[int, int] = {}
+        self._stage_decoding: list[Request] = []
+        self._stage_prefilling: list[Request] = []
+        # Steady-decode fast path: while the batch membership is unchanged
+        # and everything decodes, the next stage's composition is exactly
+        # the previous context vector plus one — no re-partitioning, no
+        # per-request array rebuild.  Any admission, completion, handoff,
+        # or prefill invalidates it.
+        self._steady = False
+        self._steady_ctx: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # stage construction
@@ -80,20 +89,46 @@ class ContinuousBatchingScheduler:
         """
         if admit:
             self.admit()
+        self._stage_chunks = {}
+        if self._steady and self._steady_ctx is not None and self.running:
+            # Same membership as the last stage, all decoding: contexts are
+            # the previous vector plus one token each (bit-identical to the
+            # rebuilt array — complete_stage advanced every request by one).
+            decode_ctx = self._steady_ctx + 1
+            self._steady_ctx = decode_ctx
+            self._stage_decoding = self.running
+            self._stage_prefilling = []
+            return StageWorkload.trusted(decode_ctx)
+        decoding: list[Request] = []
+        prefilling: list[Request] = []
+        self._stage_decoding = decoding
+        self._stage_prefilling = prefilling
         if not self.running:
+            self._steady = False
+            self._steady_ctx = None
             return None
-        decode_ctx = np.asarray(
-            [r.context_len for r in self.running if r.state is RequestState.DECODING],
-            dtype=np.int64,
-        )
+        # One pass over the batch partitions it by state (the engine reuses
+        # the partitions instead of re-filtering the batch per stage).
+        for request in self.running:
+            state = request.state
+            if state is RequestState.DECODING:
+                decoding.append(request)
+            elif state is RequestState.PREFILLING:
+                prefilling.append(request)
+        decode_ctx = np.array([r.context_len for r in decoding], dtype=np.int64)
+        if prefilling:
+            self._steady = False
+            self._steady_ctx = None
+        else:
+            # Candidate for the fast path: if this stage completes with no
+            # exits, the next one is this composition shifted by +1.
+            self._steady = True
+            self._steady_ctx = decode_ctx
         prefill_lengths: list[int] = []
         prefill_contexts: list[int] = []
-        self._stage_chunks = {}
         budget = self.policy.prefill_budget()
         remaining_budget = budget
-        for request in self.running:
-            if request.state is not RequestState.PREFILLING:
-                continue
+        for request in prefilling:
             if remaining_budget is None:
                 chunk = request.remaining_prefill
             else:
@@ -108,10 +143,12 @@ class ContinuousBatchingScheduler:
             prefill_contexts.append(request.prefilled_tokens)
         # A non-empty batch always yields a stage: the first prefill gets a
         # chunk even under a tiny budget, so StageWorkload cannot be empty.
-        return StageWorkload(
-            decode_context_lengths=decode_ctx,
-            prefill_lengths=tuple(prefill_lengths),
-            prefill_context_lengths=tuple(prefill_contexts),
+        # Trusted construction: contexts/chunks here are valid by the
+        # request state machine, so per-stage re-validation is skipped.
+        return StageWorkload.trusted(
+            decode_ctx,
+            tuple(prefill_lengths),
+            tuple(prefill_contexts),
         )
 
     def admit(self) -> None:
@@ -124,10 +161,11 @@ class ContinuousBatchingScheduler:
         as-is.
         """
         self._drain_arrivals()
-        for request in self.policy.shed(self.waiting, self.now_s):
-            self.waiting.remove(request)
-            self.rejected.append(request)
-        self.policy.order_waiting(self.waiting, self.now_s)
+        if self.waiting:  # policies only shed/order what is actually queued
+            for request in self.policy.shed(self.waiting, self.now_s):
+                self.waiting.remove(request)
+                self.rejected.append(request)
+            self.policy.order_waiting(self.waiting, self.now_s)
         while len(self.running) < self.max_batch:
             candidate = self.waiting[0] if self.waiting else self._peek_source()
             if candidate is None:
@@ -163,6 +201,8 @@ class ContinuousBatchingScheduler:
             self.running.append(candidate)
             self.admitted_log.append(candidate.request_id)
             self._committed_tokens += tokens
+            self._steady = False
+            self._steady_ctx = None
 
     def _drain_arrivals(self) -> None:
         """Move every arrived request into the waiting queue.
@@ -193,17 +233,32 @@ class ContinuousBatchingScheduler:
         if not self.running:
             raise SchedulingError("no stage in flight")
         self.now_s += latency_s
+        now_s = self.now_s
         finished: list[Request] = []
         still_running: list[Request] = []
+        chunks = self._stage_chunks
         for request in self.running:
-            if request.state is RequestState.PREFILLING:
-                chunk = self._stage_chunks.get(request.request_id)
+            state = request.state
+            if state is RequestState.DECODING:
+                # Inlined Request.advance_decode (state already verified):
+                # one attribute-level step per running request per stage is
+                # the scheduler's hottest loop.
+                request.context_len += 1
+                generated = request.tokens_generated + 1
+                request.tokens_generated = generated
+                if generated >= request.output_len:
+                    request.finish(now_s)
+                    finished.append(request)
+                    self._committed_tokens -= request.total_seq_len
+                else:
+                    still_running.append(request)
+                continue
+            if state is RequestState.PREFILLING:
+                chunk = chunks.get(request.request_id)
                 if chunk is None:
                     still_running.append(request)  # waited out this stage's budget
                     continue
-                request.advance_prefill(chunk, self.now_s)
-            elif request.state is RequestState.DECODING:
-                request.advance_decode(self.now_s)
+                request.advance_prefill(chunk, now_s)
             else:
                 raise SchedulingError(f"request {request.request_id} in state {request.state}")
             if request.state is RequestState.FINISHED:
@@ -213,6 +268,9 @@ class ContinuousBatchingScheduler:
                 still_running.append(request)
         self.running = still_running
         self._stage_chunks = {}
+        if finished:
+            self._steady = False
+            self._steady_ctx = None
         return finished
 
     def release(self, request: Request) -> None:
@@ -224,11 +282,23 @@ class ContinuousBatchingScheduler:
         """
         self.running.remove(request)
         self._committed_tokens -= request.total_seq_len
+        self._steady = False
+        self._steady_ctx = None
 
     @property
     def pending_chunks(self) -> dict[int, int]:
         """Prefill tokens planned per request id for the stage just built."""
         return dict(self._stage_chunks)
+
+    @property
+    def stage_partitions(self) -> tuple[list[Request], list[Request]]:
+        """(decoding, prefilling) requests of the stage just built.
+
+        Built in :meth:`build_stage`'s single pass over the batch, in batch
+        order, so the engine never re-filters ``running`` per stage.  Valid
+        until the next :meth:`build_stage` call.
+        """
+        return self._stage_decoding, self._stage_prefilling
 
     # ------------------------------------------------------------------
     # load signals (cluster routing)

@@ -16,11 +16,11 @@ the simulation ends when nothing is running and nothing more will arrive.
 
 from __future__ import annotations
 
-from repro.core.executor import StageExecutor
+from repro.core.executor import SharedPricingCache, StageExecutor
 from repro.core.system import SystemConfig
 from repro.errors import CapacityError
 from repro.models.config import ModelConfig
-from repro.serving.engine import ServingEngine, SimulationLimits
+from repro.serving.engine import IncrementalStagePricer, ServingEngine, SimulationLimits
 from repro.serving.generator import RequestSource, WorkloadSpec, resolve_source
 from repro.serving.metrics import ServingReport
 from repro.serving.policy import SchedulingPolicy
@@ -45,6 +45,14 @@ class ServingSimulator:
         policy: scheduling policy (default FCFS, the paper's behaviour).
         memoize_pricing: reuse stage prices across equal quantized stage
             compositions (see :class:`~repro.core.executor.StageExecutor`).
+        incremental_pricing: price steady-decode stages by delta from the
+            previous stage (see
+            :class:`~repro.serving.engine.IncrementalStagePricer`) — the
+            opt-in fast path; exact pricing stays the default.
+        shared_pricing_cache: with ``memoize_pricing``, share bucketed
+            prices through the process-wide
+            :data:`~repro.core.executor.GLOBAL_PRICING_CACHE` (or a given
+            :class:`~repro.core.executor.SharedPricingCache`).
         worst_case_tokens: KV tokens to size the effective batch for; only
             needed for sources that cannot report their own worst case.
     """
@@ -60,13 +68,20 @@ class ServingSimulator:
         gating_skew: float = 0.0,
         policy: SchedulingPolicy | None = None,
         memoize_pricing: bool = False,
+        incremental_pricing: bool = False,
+        shared_pricing_cache: bool | SharedPricingCache = False,
         worst_case_tokens: int | None = None,
     ) -> None:
         self.system = system
         self.model = model
         self.workload = workload
         self.executor = StageExecutor(
-            system, model, gating_skew=gating_skew, seed=seed, memoize=memoize_pricing
+            system,
+            model,
+            gating_skew=gating_skew,
+            seed=seed,
+            memoize=memoize_pricing,
+            shared_cache=shared_pricing_cache,
         )
         self.source, worst_seq = resolve_source(workload, seed, worst_case_tokens)
         self.effective_batch = min(max_batch, system.max_batch_for(model, worst_seq))
@@ -79,7 +94,10 @@ class ServingSimulator:
         self.scheduler = ContinuousBatchingScheduler(
             self.source, self.effective_batch, capacity_tokens, policy=policy
         )
-        self.engine = ServingEngine(self.scheduler, self.executor, label=system.name)
+        pricer = IncrementalStagePricer(self.executor) if incremental_pricing else None
+        self.engine = ServingEngine(
+            self.scheduler, self.executor, label=system.name, pricer=pricer
+        )
         self.engine.metrics.effective_batch = self.effective_batch
         closed_loop = bool(getattr(self.source, "closed_loop", False))
         self.warm_start = closed_loop if warm_start is None else warm_start
