@@ -13,6 +13,9 @@ directly and records the repo's perf trajectory in a repo-root
 * ``incremental_decode`` — stages/second through
   :class:`~repro.serving.engine.IncrementalStagePricer` on a steady
   decode run (the delta fast path);
+* ``autoscaled_cluster`` — end-to-end stages/second of an elastic fleet
+  under the queue-depth policy (the control-plane hot path: routing,
+  control ticks, lifecycle, cadence telemetry, engine stepping);
 * ``fig13_sweep`` / ``fig13_sweep_fast`` — end-to-end Fig. 13 sweep
   wall-clock on a reduced grid, single worker, in exact mode and with
   the memoized+incremental fast path.
@@ -33,11 +36,13 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.executor import StageExecutor, StageWorkload
+from repro.core.executor import SharedPricingCache, StageExecutor, StageWorkload
 from repro.core.system import duplex_system
 from repro.experiments import fig13
 from repro.models.config import glam, mixtral
+from repro.serving.autoscaler import ElasticFleetSimulator, QueueDepthPolicy
 from repro.serving.engine import IncrementalStagePricer
+from repro.serving.generator import WorkloadSpec
 from repro.serving.simulator import SimulationLimits
 
 SCHEMA_VERSION = 1
@@ -168,6 +173,44 @@ def bench_incremental_decode(iterations: int, repeats: int) -> float:
     return _best_rate(run, repeats)
 
 
+def bench_autoscaled_cluster(requests: int, repeats: int) -> float:
+    """Stages/second through an elastic fleet end to end.
+
+    Exercises the control-plane hot path — per-arrival routing over
+    ACTIVE views, fixed-cadence control ticks (lifecycle + policy +
+    fleet telemetry), and sliced drain — on top of memoized stage
+    pricing, so regressions in the controller itself (not the pricing
+    math) dominate the measurement.  Each repeat rebuilds the fleet with
+    a fresh fleet-scoped cache so every run does identical work.
+    """
+    model = mixtral()
+    system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    workload = WorkloadSpec(lin_mean=512, lout_mean=48, lin_cv=0.3, lout_cv=0.3, qps=40.0)
+    limits = SimulationLimits(max_stages=100_000, warmup_stages=0)
+
+    def run() -> int:
+        sim = ElasticFleetSimulator(
+            system,
+            model,
+            workload,
+            policy=QueueDepthPolicy(scale_up_depth=2.0, scale_down_depth=0.25, cooldown_s=1.0),
+            min_replicas=1,
+            max_replicas=4,
+            control_interval_s=0.5,
+            provision_delay_s=0.5,
+            warmup_delay_s=0.5,
+            warm_start_delay_s=0.1,
+            max_batch=8,
+            seed=0,
+            max_requests=requests,
+            shared_pricing_cache=SharedPricingCache(),
+        )
+        sim.run(limits)
+        return sum(engine.stages for engine in sim.engines)
+
+    return _best_rate(run, repeats)
+
+
 def bench_fig13_sweep(repeats: int, fast: bool) -> float:
     limits = SimulationLimits(**FIG13_LIMITS)
 
@@ -213,6 +256,7 @@ def run_suite(scale: float = 1.0, repeats: int = 3) -> dict:
     record("mixed", bench_mixed(iters(3000), repeats), "stages/s")
     record("moe_heavy", bench_moe_heavy(iters(1500), repeats), "stages/s")
     record("incremental_decode", bench_incremental_decode(iters(3000), repeats), "stages/s")
+    record("autoscaled_cluster", bench_autoscaled_cluster(iters(400), repeats), "stages/s")
     if scale >= 0.99:
         record("fig13_sweep", bench_fig13_sweep(repeats, fast=False), "s", lower_is_better=True)
         record(

@@ -33,6 +33,13 @@ def main() -> None:
     args = parser.parse_args()
 
     payload = run_suite(scale=args.scale, repeats=args.repeats)
+    if args.output.exists():
+        # Preserve hand-added provenance (e.g. the `reference` block with
+        # pre-fast-path baselines) across refreshes: carry over any
+        # top-level key the suite itself does not produce.
+        previous = json.loads(args.output.read_text())
+        for key, value in previous.items():
+            payload.setdefault(key, value)
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     print(f"wrote {args.output}")

@@ -1,0 +1,50 @@
+"""Capacity-planning sweep smoke (CI slow stage).
+
+A reduced grid through the elastic fleet controller: checks the sweep
+machinery end-to-end (scenario rescaling, policy registry, process-pool
+compatibility of the worker) and the qualitative capacity-planning
+shape — always-max capacity is at least as good and at least as
+expensive as always-min.
+"""
+
+from repro.experiments import capacity
+from repro.serving.simulator import SimulationLimits
+
+SMOKE_LIMITS = SimulationLimits(max_stages=40_000, warmup_stages=0)
+
+
+def test_capacity_smoke_grid(save_result):
+    rows = capacity.run(
+        qps_values=(16.0,),
+        policies=("static-min", "static-max", "slo-tracking"),
+        max_requests=80,
+        limits=SMOKE_LIMITS,
+        workers=1,
+    )
+    assert len(rows) == 3
+    by_policy = {row.policy: row for row in rows}
+    assert set(by_policy) == {"static-min", "static-max", "slo-tracking"}
+    static_min = by_policy["static-min"]
+    static_max = by_policy["static-max"]
+    tracking = by_policy["slo-tracking"]
+    # The capacity-planning bracket: max capacity is at least as good on
+    # SLO attainment and at least as expensive as min capacity; the
+    # tracking policy stays inside the bracket on cost.
+    assert static_max.t2ft_attainment >= static_min.t2ft_attainment
+    assert static_max.replica_seconds > static_min.replica_seconds
+    assert static_min.replica_seconds <= tracking.replica_seconds <= (
+        static_max.replica_seconds
+    )
+    assert all(row.requests_completed > 0 for row in rows)
+    save_result("capacity_planning_smoke", capacity.format_rows(rows))
+
+
+def test_capacity_rows_are_deterministic():
+    kwargs = dict(
+        qps_values=(16.0,),
+        policies=("slo-tracking",),
+        max_requests=60,
+        limits=SMOKE_LIMITS,
+        workers=1,
+    )
+    assert capacity.run(**kwargs) == capacity.run(**kwargs)

@@ -42,6 +42,10 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "golden: byte-exact golden-report regression tests (refresh with --update-golden)",
     )
+    config.addinivalue_line(
+        "markers",
+        "elastic: elastic fleet control-plane tests (autoscaling policies, lifecycle, e2e)",
+    )
     try:
         from hypothesis import settings
     except ImportError:  # property tests skip themselves via importorskip

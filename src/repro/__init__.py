@@ -52,12 +52,24 @@ from repro.models.config import (
     opt_66b,
     paper_models,
 )
+from repro.serving.autoscaler import (
+    AutoscalingPolicy,
+    ElasticFleetSimulator,
+    FleetView,
+    QueueDepthPolicy,
+    ScheduledScalingPolicy,
+    SloTrackingPolicy,
+    StaticReplicaPolicy,
+)
 from repro.serving.cluster import (
     ClusterReport,
     ClusterSimulator,
+    FleetSample,
     LeastOutstandingTokensRouter,
     MonolithicReplicaSpec,
     PowerOfTwoChoicesRouter,
+    ReplicaEvent,
+    ReplicaState,
     RoundRobinRouter,
     Router,
     SplitReplicaSpec,
@@ -87,17 +99,24 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AllocationError",
+    "AutoscalingPolicy",
     "CapacityError",
     "ChunkedPrefillPolicy",
     "ClusterReport",
     "ClusterSimulator",
     "ConfigError",
+    "ElasticFleetSimulator",
     "FcfsPolicy",
+    "FleetSample",
+    "FleetView",
     "LeastOutstandingTokensRouter",
     "ModelConfig",
     "MonolithicReplicaSpec",
     "PowerOfTwoChoicesRouter",
+    "QueueDepthPolicy",
     "QueueSource",
+    "ReplicaEvent",
+    "ReplicaState",
     "ReproError",
     "RequestGenerator",
     "RequestSource",
@@ -105,6 +124,7 @@ __all__ = [
     "Router",
     "Scenario",
     "ScenarioSource",
+    "ScheduledScalingPolicy",
     "SchedulingError",
     "SchedulingPolicy",
     "ServingEngine",
@@ -113,9 +133,11 @@ __all__ = [
     "SimulationError",
     "SimulationLimits",
     "SloAwarePolicy",
+    "SloTrackingPolicy",
     "SplitReplicaSpec",
     "SplitServingSimulator",
     "StageEvent",
+    "StaticReplicaPolicy",
     "TenantSpec",
     "TransferFeed",
     "StageExecutor",

@@ -258,16 +258,26 @@ def snapshot_shared_pricing_cache() -> bytes:
     return pickle.dumps(GLOBAL_PRICING_CACHE)
 
 
-def install_shared_pricing_cache(payload: bytes | SharedPricingCache) -> int:
-    """Merge a snapshot into this process's cache; returns entries added.
+def install_shared_pricing_cache(
+    payload: bytes | SharedPricingCache, target: SharedPricingCache | None = None
+) -> int:
+    """Merge a snapshot into a pricing cache; returns entries added.
 
     Sweep workers call this (via ``run_sweep(..., warm_cache=...)``) so each
     process starts from the parent's already-derived bucketed prices.
+
+    Args:
+        payload: a :func:`snapshot_shared_pricing_cache` payload or a
+            live cache.
+        target: cache to merge into (default: the process-wide
+            :data:`GLOBAL_PRICING_CACHE`); the elastic fleet controller
+            passes its fleet-scoped cache here to warm-start spin-ups.
     """
     cache = pickle.loads(payload) if isinstance(payload, (bytes, bytearray)) else payload
     if not isinstance(cache, SharedPricingCache):
         raise ConfigError("expected a SharedPricingCache snapshot")
-    return GLOBAL_PRICING_CACHE.merge(cache)
+    destination = GLOBAL_PRICING_CACHE if target is None else target
+    return destination.merge(cache)
 
 
 class StageExecutor:

@@ -18,6 +18,12 @@
 * :mod:`repro.serving.cluster` — replicas behind a pluggable router
   (round-robin, least-outstanding-tokens, power-of-two-choices) with
   fleet-level reporting; fleets may mix monolithic and split replicas.
+  Replicas carry an explicit lifecycle (``PROVISIONING → WARMING →
+  ACTIVE → DRAINING → RETIRED``) managed by the control plane.
+* :mod:`repro.serving.autoscaler` — the elastic fleet controller:
+  pluggable autoscaling policies (static, queue-depth hysteresis,
+  SLO-target tracking, scheduled/predictive) provisioning and draining
+  replicas at runtime, with cold/warm starts and a fleet time series.
 * :mod:`repro.serving.split` — Splitwise-style split prefill/decode serving
   (Section VIII-A, Fig. 16): two partition engines chained by KV-transfer
   events.
@@ -28,13 +34,26 @@
 * :mod:`repro.serving.trace` — request-trace recording and replay.
 """
 
+from repro.serving.autoscaler import (
+    AutoscalingPolicy,
+    ElasticFleetSimulator,
+    FleetView,
+    QueueDepthPolicy,
+    ScheduledScalingPolicy,
+    SloTrackingPolicy,
+    StaticReplicaPolicy,
+)
 from repro.serving.cluster import (
     ClusterReport,
     ClusterSimulator,
+    FleetSample,
     LeastOutstandingTokensRouter,
+    ManagedReplica,
     MonolithicReplicaSpec,
     PowerOfTwoChoicesRouter,
     QueueDepthSample,
+    ReplicaEvent,
+    ReplicaState,
     ReplicaView,
     RoundRobinRouter,
     Router,
@@ -82,6 +101,7 @@ from repro.serving.trace import TraceRecord, TraceReplayGenerator, load_trace, s
 __all__ = [
     "AdmissionView",
     "ArrivalProcess",
+    "AutoscalingPolicy",
     "BimodalLengths",
     "BurstyArrivals",
     "ChunkedPrefillPolicy",
@@ -89,22 +109,29 @@ __all__ = [
     "ClusterSimulator",
     "ContinuousBatchingScheduler",
     "DiurnalArrivals",
+    "ElasticFleetSimulator",
     "EvictionPolicy",
     "FcfsPolicy",
+    "FleetSample",
+    "FleetView",
     "GaussianLengths",
     "HostLink",
     "IncrementalStagePricer",
     "LeastOutstandingTokensRouter",
     "LengthDistribution",
     "LognormalLengths",
+    "ManagedReplica",
     "MetricsCollector",
     "MonolithicReplicaSpec",
     "PagedKvManager",
     "PoissonArrivals",
     "PowerOfTwoChoicesRouter",
+    "QueueDepthPolicy",
     "QueueDepthSample",
     "QueueSource",
     "ReplayedArrivals",
+    "ReplicaEvent",
+    "ReplicaState",
     "ReplicaView",
     "Request",
     "RequestGenerator",
@@ -114,16 +141,19 @@ __all__ = [
     "Router",
     "Scenario",
     "ScenarioSource",
+    "ScheduledScalingPolicy",
     "SchedulingPolicy",
     "ServingEngine",
     "ServingReport",
     "ServingSimulator",
     "SimulationLimits",
     "SloAwarePolicy",
+    "SloTrackingPolicy",
     "SplitReplicaSpec",
     "SplitServingSimulator",
     "StageEvent",
     "StaticBatchingScheduler",
+    "StaticReplicaPolicy",
     "TenantSpec",
     "TraceRecord",
     "TraceReplayGenerator",

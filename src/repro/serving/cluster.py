@@ -7,13 +7,24 @@ a scenario source, or a replayed trace) is routed request-by-request onto
 independent serving engines and the per-replica measurements are pooled
 into a fleet-level :class:`~repro.serving.metrics.ServingReport`.
 
-Fleets may be **heterogeneous**: each replica is built from a
-:class:`ReplicaSpec` — either a :class:`MonolithicReplicaSpec` (one
-:class:`~repro.serving.engine.ServingEngine` on one system) or a
-:class:`SplitReplicaSpec` (a whole Splitwise-style two-partition
-:class:`~repro.serving.split.SplitServingSimulator` deployment) — so a
-router can balance, say, two monolithic Duplex replicas against one split
-deployment and the report shows where the tail went.
+The module is split control-plane / data-plane:
+
+* the **data plane** is the replicas themselves — a
+  :class:`_MonolithicReplica` (one engine) or :class:`_SplitReplica` (a
+  Splitwise-style two-partition deployment), built from a
+  :class:`ReplicaSpec`; fleets may mix both flavours;
+* the **control plane** wraps each data-plane replica in a
+  :class:`ManagedReplica` carrying an explicit lifecycle
+  (``PROVISIONING → WARMING → ACTIVE → DRAINING → RETIRED``, see
+  :class:`ReplicaState`) with a full transition log.  Routers only ever
+  see ACTIVE replicas; DRAINING replicas refuse new admissions while
+  finishing their in-flight requests.
+
+:class:`ClusterSimulator` runs a *fixed* fleet (every replica ACTIVE for
+the whole run — the lifecycle machinery is inert); the elastic fleet
+controller in :mod:`repro.serving.autoscaler` drives the same control
+plane with an :class:`~repro.serving.autoscaler.AutoscalingPolicy` that
+provisions and drains replicas at runtime.
 
 Routing policies:
 
@@ -26,20 +37,27 @@ Routing policies:
 Time model: replicas advance independently in stage-latency jumps.  Before
 a request is routed at arrival time ``t``, every replica simulates up to
 ``t``, so routers observe each replica's load as of (at worst one stage
-before) the arrival — the same staleness a real router tolerates.
+before) the arrival — the same staleness a real router tolerates.  The
+queue-depth telemetry samples on every routing event *and* on a fixed
+virtual-clock cadence (``sample_interval_s``), so idle, drain, and
+post-burst periods show up in the time series; cadence samples taken
+between arrivals read each replica's state as of its last advancement
+(the router's own staleness), while drain-phase cadence samples advance
+the fleet in time slices and read true depths.
 """
 
 from __future__ import annotations
 
+import enum
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.executor import SharedPricingCache, StageExecutor
 from repro.core.system import SystemConfig
-from repro.errors import CapacityError, ConfigError, SimulationError
+from repro.errors import CapacityError, ConfigError, SchedulingError, SimulationError
 from repro.models.config import ModelConfig
 from repro.serving.engine import IncrementalStagePricer, ServingEngine, SimulationLimits
 from repro.serving.generator import QueueSource, RequestSource, WorkloadSpec, resolve_source
@@ -48,6 +66,30 @@ from repro.serving.policy import SchedulingPolicy
 from repro.serving.request import Request
 from repro.serving.scheduler import ContinuousBatchingScheduler
 from repro.serving.split import SplitServingSimulator
+
+
+# ----------------------------------------------------------------------
+# replica lifecycle (control plane)
+# ----------------------------------------------------------------------
+class ReplicaState(enum.Enum):
+    """Where a replica is in its provision-to-retire lifecycle.
+
+    * ``PROVISIONING`` — capacity requested; hardware booting, weights
+      loading.  Invisible to routers, holds no work.
+    * ``WARMING`` — booted, warming caches (the stage-pricing cache warm
+      start shortens this dwell — see
+      :class:`~repro.serving.autoscaler.ElasticFleetSimulator`).
+    * ``ACTIVE`` — in the routing set, serving traffic.
+    * ``DRAINING`` — removed from the routing set; refuses new
+      admissions but finishes everything already routed to it.
+    * ``RETIRED`` — drained empty; permanently out of the fleet.
+    """
+
+    PROVISIONING = "provisioning"
+    WARMING = "warming"
+    ACTIVE = "active"
+    DRAINING = "draining"
+    RETIRED = "retired"
 
 
 # ----------------------------------------------------------------------
@@ -64,6 +106,9 @@ class ReplicaView:
         now_s: the replica's simulation clock.
         kind: replica flavour (``monolithic`` / ``split``) for routers
             that specialise — e.g. send long prompts to split replicas.
+        state: lifecycle state name; routers only ever receive ACTIVE
+            views, but the field makes fleet-membership changes visible
+            to routers that track replicas across decisions.
     """
 
     index: int
@@ -71,10 +116,18 @@ class ReplicaView:
     outstanding_tokens: int
     now_s: float
     kind: str = "monolithic"
+    state: str = ReplicaState.ACTIVE.value
 
 
 class Router(ABC):
-    """Chooses the replica each arriving request is sent to."""
+    """Chooses the replica each arriving request is sent to.
+
+    ``choose`` receives the views of the currently *routable* (ACTIVE)
+    replicas and must return the :attr:`ReplicaView.index` of one of
+    them.  Under an elastic fleet the view list grows and shrinks between
+    calls as replicas are provisioned and drained, so routers must not
+    assume a fixed fleet size or contiguous indices.
+    """
 
     name = "router"
 
@@ -92,9 +145,12 @@ class RoundRobinRouter(Router):
         self._next = 0
 
     def choose(self, views: Sequence[ReplicaView], request: Request) -> int:
-        index = self._next % len(views)
+        # Cycle over the *views*, returning the chosen view's own index —
+        # on a full fixed fleet this is the classic 0..n-1 cycle, and on a
+        # partial (elastic) fleet it cycles over whatever is routable.
+        view = views[self._next % len(views)]
         self._next += 1
-        return index
+        return view.index
 
 
 class LeastOutstandingTokensRouter(Router):
@@ -116,11 +172,13 @@ class PowerOfTwoChoicesRouter(Router):
 
     def choose(self, views: Sequence[ReplicaView], request: Request) -> int:
         if len(views) == 1:
+            # A fleet of one consumes no randomness: the choice sequence
+            # stays aligned with the seed when the fleet later grows.
             return views[0].index
         first, second = (views[int(i)] for i in self._rng.choice(len(views), 2, replace=False))
         if first.outstanding_tokens == second.outstanding_tokens:
-            # Random tie-break: a deterministic one hot-spots low-index
-            # replicas whenever the fleet drains idle.
+            # Seeded random tie-break: a deterministic one hot-spots
+            # low-index replicas whenever the fleet drains idle.
             return first.index if self._rng.random() < 0.5 else second.index
         return min((first, second), key=lambda v: v.outstanding_tokens).index
 
@@ -166,7 +224,7 @@ ReplicaSpec = MonolithicReplicaSpec | SplitReplicaSpec
 
 
 # ----------------------------------------------------------------------
-# replicas
+# replicas (data plane)
 # ----------------------------------------------------------------------
 class _MonolithicReplica:
     """One serving engine: inbox + scheduler + executor + metrics."""
@@ -228,6 +286,11 @@ class _MonolithicReplica:
     def now_s(self) -> float:
         return self.engine.now_s
 
+    @property
+    def in_flight(self) -> int:
+        """Requests routed here and not yet finished (drain tracking)."""
+        return len(self.inbox) + len(self.scheduler.waiting) + len(self.scheduler.running)
+
     def view(self) -> ReplicaView:
         return ReplicaView(
             index=self.index,
@@ -240,11 +303,17 @@ class _MonolithicReplica:
     def budget_spent(self, limits: SimulationLimits) -> bool:
         return self.engine.budget_spent(limits)
 
+    def jump_to(self, t: float) -> None:
+        self.engine.jump_to(t)
+
     def advance_to(self, t: float, limits: SimulationLimits) -> None:
         self.engine.advance_to(t, limits)
 
     def drain(self, limits: SimulationLimits) -> None:
         self.engine.drain(limits)
+
+    def drain_until(self, t: float, limits: SimulationLimits) -> None:
+        self.engine.drain_until(t, limits)
 
 
 class _SplitReplica:
@@ -294,6 +363,21 @@ class _SplitReplica:
     def now_s(self) -> float:
         return self.deployment.decode_engine.now_s
 
+    @property
+    def in_flight(self) -> int:
+        """Requests anywhere in the two-partition pipeline."""
+        deployment = self.deployment
+        prefill = deployment.prefill_engine.scheduler
+        decode = deployment.decode_engine.scheduler
+        return (
+            len(self.inbox)
+            + len(prefill.waiting)
+            + len(prefill.running)
+            + len(deployment.transfers)
+            + len(decode.waiting)
+            + len(decode.running)
+        )
+
     def view(self) -> ReplicaView:
         deployment = self.deployment
         prefill = deployment.prefill_engine.scheduler
@@ -317,11 +401,111 @@ class _SplitReplica:
     def budget_spent(self, limits: SimulationLimits) -> bool:
         return self.deployment.decode_engine.budget_spent(limits)
 
+    def jump_to(self, t: float) -> None:
+        self.deployment.prefill_engine.jump_to(t)
+        self.deployment.decode_engine.jump_to(t)
+
     def advance_to(self, t: float, limits: SimulationLimits) -> None:
         self.deployment.advance_to(t, limits)
 
     def drain(self, limits: SimulationLimits) -> None:
         self.deployment.drain(limits)
+
+    def drain_until(self, t: float, limits: SimulationLimits) -> None:
+        self.deployment.drain_until(t, limits)
+
+
+ClusterReplica = _MonolithicReplica | _SplitReplica
+
+
+class ManagedReplica:
+    """Control-plane handle of one replica: lifecycle state + data plane.
+
+    A fixed-fleet :class:`ClusterSimulator` creates every handle ACTIVE at
+    time zero and never transitions it; the elastic controller walks
+    handles through the full :class:`ReplicaState` lifecycle and records
+    every transition (with its virtual-clock timestamp) for the fleet
+    time series.
+
+    Attributes:
+        replica: the data-plane replica this handle manages.
+        spec: the :class:`ReplicaSpec` it was built from.
+        state: current lifecycle state.
+        provisioned_at: when capacity was requested.
+        warming_at: planned boot-complete instant (PROVISIONING ends).
+        active_at: planned serve-ready instant (WARMING ends).
+        activated_at: when the replica actually entered ACTIVE.
+        draining_at / retired_at: drain/retire instants (None until then).
+        transitions: full ``(time_s, state)`` log, in order.
+    """
+
+    def __init__(
+        self,
+        replica: ClusterReplica,
+        spec: ReplicaSpec,
+        state: ReplicaState = ReplicaState.ACTIVE,
+        provisioned_at: float = 0.0,
+        warming_at: float | None = None,
+        active_at: float | None = None,
+    ) -> None:
+        self.replica = replica
+        self.spec = spec
+        self.state = state
+        self.provisioned_at = provisioned_at
+        self.warming_at = provisioned_at if warming_at is None else warming_at
+        self.active_at = provisioned_at if active_at is None else active_at
+        self.activated_at: float | None = (
+            provisioned_at if state is ReplicaState.ACTIVE else None
+        )
+        self.draining_at: float | None = None
+        self.retired_at: float | None = None
+        self.transitions: list[tuple[float, ReplicaState]] = [(provisioned_at, state)]
+
+    @property
+    def index(self) -> int:
+        return self.replica.index
+
+    @property
+    def kind(self) -> str:
+        return self.replica.kind
+
+    @property
+    def has_work(self) -> bool:
+        return self.replica.in_flight > 0
+
+    def budget_spent(self, limits: SimulationLimits) -> bool:
+        return self.replica.budget_spent(limits)
+
+    def set_state(self, t: float, state: ReplicaState) -> None:
+        """Transition to ``state`` at virtual time ``t`` (logged)."""
+        if state is self.state:
+            return
+        self.state = state
+        self.transitions.append((t, state))
+        if state is ReplicaState.ACTIVE:
+            self.activated_at = t
+        elif state is ReplicaState.DRAINING:
+            self.draining_at = t
+        elif state is ReplicaState.RETIRED:
+            self.retired_at = t
+
+    def routing_view(self) -> ReplicaView:
+        """The router-facing view, stamped with the lifecycle state."""
+        return replace(self.replica.view(), state=self.state.value)
+
+    def route(self, request: Request) -> None:
+        """Accept a routed request (ACTIVE replicas only)."""
+        if self.state is not ReplicaState.ACTIVE:
+            raise SchedulingError(
+                f"replica {self.index} is {self.state.value}; "
+                "only ACTIVE replicas accept new requests"
+            )
+        self.replica.inbox.push(request)
+
+    def lifetime_s(self, fleet_end_s: float) -> float:
+        """Provisioned replica-seconds: provision to retire (or fleet end)."""
+        end = self.retired_at if self.retired_at is not None else fleet_end_s
+        return max(0.0, end - self.provisioned_at)
 
 
 # ----------------------------------------------------------------------
@@ -329,14 +513,65 @@ class _SplitReplica:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class QueueDepthSample:
-    """Per-replica routed-but-unserved depth right after one routing event."""
+    """Per-replica routed-but-unserved depth at one telemetry instant.
+
+    ``kind`` distinguishes event-driven samples (``"routing"`` — taken
+    right after one routing decision) from fixed-cadence samples
+    (``"cadence"`` — taken on the ``sample_interval_s`` virtual-time
+    grid, including through drain and idle periods; consecutive
+    identical cadence samples are compressed to the first, so a long
+    idle horizon costs one sample, not one per grid point).  Under an
+    elastic fleet the ``depths`` tuple covers every replica provisioned
+    so far, so its length can grow from sample to sample.
+    """
 
     time_s: float
     depths: tuple[int, ...]
+    kind: str = "routing"
 
     @property
     def total(self) -> int:
         return sum(self.depths)
+
+
+@dataclass(frozen=True)
+class FleetSample:
+    """One fixed-cadence snapshot of fleet composition and load.
+
+    The elastic controller records one per control tick (and per drain
+    slice), so the series shows scaling behaviour over virtual time:
+    replica counts per lifecycle state, aggregate queue depth and
+    outstanding KV tokens, the ACTIVE replicas' busy fraction *since the
+    previous sample* (an instantaneous load signal, like queue depth),
+    and the cumulative routed/shed counters (shed *rate* is the
+    difference between consecutive samples over the cadence).
+    """
+
+    time_s: float
+    provisioning: int
+    warming: int
+    active: int
+    draining: int
+    retired: int
+    queue_depth: int
+    outstanding_tokens: int
+    utilization: float
+    routed_requests: int
+    shed_requests: int
+
+    @property
+    def provisioned(self) -> int:
+        """Replicas currently paid for (everything except RETIRED)."""
+        return self.provisioning + self.warming + self.active + self.draining
+
+
+@dataclass(frozen=True)
+class ReplicaEvent:
+    """One replica lifecycle transition (time-ordered in the report)."""
+
+    time_s: float
+    replica: int
+    state: str
 
 
 @dataclass(frozen=True)
@@ -350,8 +585,16 @@ class ClusterReport:
             measured stage, e.g. under very light load).
         requests_routed: arrivals each replica received.
         requests_rejected: requests shed by SLO-aware policies, fleet-wide.
-        queue_depth_samples: queue-depth time series, one per routing event.
+        queue_depth_samples: queue-depth time series — one ``routing``
+            sample per routing event plus ``cadence`` samples on the
+            fixed virtual-clock sampling grid (idle/drain visibility).
         replica_kinds: flavour of each replica (``monolithic`` / ``split``).
+        replica_states: final lifecycle state of each replica.
+        replica_events: every lifecycle transition, time-ordered.
+        fleet_samples: fixed-cadence fleet composition/load time series
+            (populated by the elastic controller; empty for fixed fleets).
+        replica_seconds: provisioned replica-seconds summed over the
+            fleet — the capacity-planning "cost" axis.
     """
 
     fleet: ServingReport
@@ -360,6 +603,10 @@ class ClusterReport:
     requests_rejected: int
     queue_depth_samples: tuple[QueueDepthSample, ...]
     replica_kinds: tuple[str, ...] = ()
+    replica_states: tuple[str, ...] = ()
+    replica_events: tuple[ReplicaEvent, ...] = ()
+    fleet_samples: tuple[FleetSample, ...] = ()
+    replica_seconds: float = 0.0
 
     @property
     def n_replicas(self) -> int:
@@ -367,8 +614,8 @@ class ClusterReport:
 
     @property
     def max_queue_depth(self) -> int:
-        """Deepest any replica's queue got (0 with no routing events)."""
-        return max((max(s.depths) for s in self.queue_depth_samples), default=0)
+        """Deepest any replica's queue got (0 with no samples)."""
+        return max((max(s.depths) for s in self.queue_depth_samples if s.depths), default=0)
 
     @property
     def routing_imbalance(self) -> float:
@@ -377,12 +624,24 @@ class ClusterReport:
         mean = sum(routed) / len(routed) if routed else 0.0
         return max(routed) / mean if mean > 0 else 1.0
 
+    @property
+    def peak_active_replicas(self) -> int:
+        """Most replicas simultaneously ACTIVE (fleet_samples-based)."""
+        return max((s.active for s in self.fleet_samples), default=len(self.replicas))
+
+    @property
+    def mean_active_replicas(self) -> float:
+        """Mean ACTIVE count over the fleet time series."""
+        if not self.fleet_samples:
+            return float(len(self.replicas))
+        return sum(s.active for s in self.fleet_samples) / len(self.fleet_samples)
+
 
 # ----------------------------------------------------------------------
 # the cluster engine
 # ----------------------------------------------------------------------
 class ClusterSimulator:
-    """Simulates a fleet of serving engines behind one router.
+    """Simulates a fixed fleet of serving engines behind one router.
 
     Args:
         system: per-replica system configuration (monolithic replicas).
@@ -429,6 +688,12 @@ class ClusterSimulator:
         replicas: explicit per-replica specifications for a heterogeneous
             fleet (mix :class:`MonolithicReplicaSpec` and
             :class:`SplitReplicaSpec`); overrides ``n_replicas``.
+        sample_interval_s: virtual-clock cadence of the queue-depth (and,
+            for elastic fleets, fleet-composition) telemetry.  Cadence
+            samples never advance the engines during the routing phase
+            (they read the same possibly-stale state routers see), and
+            slice the drain phase so post-arrival queue decay is visible.
+            None disables cadence sampling (routing-event samples only).
     """
 
     def __init__(
@@ -448,6 +713,7 @@ class ClusterSimulator:
         max_requests: int | None = None,
         worst_case_tokens: int | None = None,
         replicas: Sequence[ReplicaSpec] | None = None,
+        sample_interval_s: float | None = 1.0,
     ) -> None:
         if replicas is None:
             if n_replicas is None:
@@ -466,58 +732,175 @@ class ClusterSimulator:
                 "cluster simulation needs an open-loop workload (qps set) "
                 "or a finite request source"
             )
-        self.source, worst_seq = resolve_source(workload, seed, worst_case_tokens)
+        if sample_interval_s is not None and sample_interval_s <= 0:
+            raise ConfigError("sample_interval_s must be positive (or None to disable)")
+        self.source, self._worst_seq = resolve_source(workload, seed, worst_case_tokens)
         if getattr(self.source, "closed_loop", False):
             raise ConfigError("cluster simulation needs an open-loop request source")
         self.system = system
         self.model = model
         self.router = router if router is not None else RoundRobinRouter()
         self.max_requests = max_requests
+        self.sample_interval_s = sample_interval_s
+        self._seed = seed
+        self._max_batch = max_batch
+        self._gating_skew = gating_skew
+        self._policy_factory = policy_factory
+        self._memoize_pricing = memoize_pricing
+        self._incremental_pricing = incremental_pricing
+        self._shared_pricing_cache = shared_pricing_cache
         self.effective_batch = 0  # the largest replica batch, set below
-        self.replicas: list[_MonolithicReplica | _SplitReplica] = []
-        for k, spec in enumerate(replicas):
-            replica_seed = None if seed is None else seed + k
-            if isinstance(spec, SplitReplicaSpec):
-                replica = _SplitReplica(
-                    index=k,
-                    model=model,
-                    max_batch=spec.max_batch if spec.max_batch is not None else max_batch,
-                    seed=replica_seed,
-                    worst_case_tokens=worst_seq,
+        self.handles: list[ManagedReplica] = []
+        for spec in replicas:
+            self._provision(spec)
+        # run-state lives in _begin_run() (single-shot, like the engines)
+
+    # ------------------------------------------------------------------
+    # construction (control plane -> data plane)
+    # ------------------------------------------------------------------
+    def _build_replica(self, index: int, spec: ReplicaSpec) -> ClusterReplica:
+        """Build the data-plane replica for one spec (also bumps
+        :attr:`effective_batch` to the largest batch seen)."""
+        replica_seed = None if self._seed is None else self._seed + index
+        if isinstance(spec, SplitReplicaSpec):
+            replica: ClusterReplica = _SplitReplica(
+                index=index,
+                model=self.model,
+                max_batch=spec.max_batch if spec.max_batch is not None else self._max_batch,
+                seed=replica_seed,
+                worst_case_tokens=self._worst_seq,
+            )
+            batch = replica.deployment.effective_batch
+        elif isinstance(spec, MonolithicReplicaSpec):
+            replica_system = spec.system if spec.system is not None else self.system
+            requested = spec.max_batch if spec.max_batch is not None else self._max_batch
+            batch = min(requested, replica_system.max_batch_for(self.model, self._worst_seq))
+            if batch < 1:
+                raise CapacityError(
+                    f"{replica_system.name} cannot hold even one worst-case "
+                    f"({self._worst_seq}-token) request for {self.model.name}"
                 )
-                batch = replica.deployment.effective_batch
-            elif isinstance(spec, MonolithicReplicaSpec):
-                replica_system = spec.system if spec.system is not None else system
-                requested = spec.max_batch if spec.max_batch is not None else max_batch
-                batch = min(requested, replica_system.max_batch_for(model, worst_seq))
-                if batch < 1:
-                    raise CapacityError(
-                        f"{replica_system.name} cannot hold even one worst-case "
-                        f"({worst_seq}-token) request for {model.name}"
-                    )
-                replica = _MonolithicReplica(
-                    index=k,
-                    system=replica_system,
-                    model=model,
-                    effective_batch=batch,
-                    capacity_tokens=replica_system.max_resident_kv_tokens(model),
-                    policy=policy_factory() if policy_factory is not None else None,
-                    gating_skew=gating_skew,
-                    seed=replica_seed,
-                    memoize_pricing=memoize_pricing,
-                    incremental_pricing=incremental_pricing,
-                    shared_cache=shared_pricing_cache,
-                )
-            else:
-                raise ConfigError(f"unknown replica spec {spec!r}")
-            self.effective_batch = max(self.effective_batch, batch)
-            self.replicas.append(replica)
+            replica = _MonolithicReplica(
+                index=index,
+                system=replica_system,
+                model=self.model,
+                effective_batch=batch,
+                capacity_tokens=replica_system.max_resident_kv_tokens(self.model),
+                policy=self._policy_factory() if self._policy_factory is not None else None,
+                gating_skew=self._gating_skew,
+                seed=replica_seed,
+                memoize_pricing=self._memoize_pricing,
+                incremental_pricing=self._incremental_pricing,
+                shared_cache=self._shared_pricing_cache,
+            )
+        else:
+            raise ConfigError(f"unknown replica spec {spec!r}")
+        self.effective_batch = max(self.effective_batch, batch)
+        return replica
+
+    def _provision(
+        self,
+        spec: ReplicaSpec,
+        state: ReplicaState = ReplicaState.ACTIVE,
+        provisioned_at: float = 0.0,
+        warming_at: float | None = None,
+        active_at: float | None = None,
+    ) -> ManagedReplica:
+        """Build one replica and register its control-plane handle."""
+        replica = self._build_replica(len(self.handles), spec)
+        handle = ManagedReplica(
+            replica,
+            spec,
+            state=state,
+            provisioned_at=provisioned_at,
+            warming_at=warming_at,
+            active_at=active_at,
+        )
+        self.handles.append(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # data-plane views
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> list[ClusterReplica]:
+        """The data-plane replicas, in provision order."""
+        return [handle.replica for handle in self.handles]
 
     @property
     def engines(self) -> tuple[ServingEngine, ...]:
         """Every engine in the fleet, replica-major (invariant probes)."""
-        return tuple(engine for replica in self.replicas for engine in replica.engines)
+        return tuple(engine for handle in self.handles for engine in handle.replica.engines)
 
+    # ------------------------------------------------------------------
+    # fleet-shape hooks (the elastic controller overrides these)
+    # ------------------------------------------------------------------
+    def _live_handles(self) -> list[ManagedReplica]:
+        """Handles still part of the fleet (everything but RETIRED)."""
+        return [h for h in self.handles if h.state is not ReplicaState.RETIRED]
+
+    def _advanceable_handles(self) -> list[ManagedReplica]:
+        """Handles whose engines advance with the fleet clock."""
+        return self._live_handles()
+
+    def _routable_handles(self) -> list[ManagedReplica]:
+        """Handles routers may send new requests to (ACTIVE only)."""
+        return [h for h in self.handles if h.state is ReplicaState.ACTIVE]
+
+    def _completions(self) -> int:
+        return sum(handle.replica.completions for handle in self.handles)
+
+    # ------------------------------------------------------------------
+    # control ticks (fixed-cadence telemetry; elastic adds lifecycle)
+    # ------------------------------------------------------------------
+    def _begin_run(self, limits: SimulationLimits) -> None:
+        """Per-run state initialisation (the single init site)."""
+        self._samples: list[QueueDepthSample] = []
+        self._routed = 0
+        self._next_sample_s = (
+            self.sample_interval_s if self.sample_interval_s is not None else float("inf")
+        )
+
+    def _next_control_s(self) -> float:
+        """Next fixed-cadence control/telemetry instant (inf = disabled)."""
+        return self._next_sample_s
+
+    def _fleet_depths(self) -> tuple[int, ...]:
+        return tuple(handle.replica.view().queue_depth for handle in self.handles)
+
+    def _emit_cadence_sample(self, t: float) -> None:
+        depths = self._fleet_depths()
+        # Consecutive identical cadence samples carry no information
+        # (between arrivals nothing advances), so long idle horizons —
+        # e.g. a day-long low-QPS run — compress to one sample per
+        # change instead of one per virtual second.
+        last = self._samples[-1] if self._samples else None
+        if last is not None and last.kind == "cadence" and last.depths == depths:
+            return
+        self._samples.append(QueueDepthSample(time_s=t, depths=depths, kind="cadence"))
+
+    def _control_tick(self, t: float, limits: SimulationLimits) -> None:
+        """One fixed-cadence tick during the routing phase.
+
+        The fixed fleet only samples telemetry here — *without* advancing
+        any engine, so cadence sampling cannot perturb the simulation
+        (a fixed fleet with and without sampling is stage-for-stage
+        identical).  The elastic controller overrides this to also run
+        lifecycle updates and the autoscaling policy.
+        """
+        self._emit_cadence_sample(t)
+        self._next_sample_s = t + self.sample_interval_s
+
+    def _after_drain_slice(self, t: float, limits: SimulationLimits) -> None:
+        """Telemetry/lifecycle work after one drain-phase time slice."""
+        self._emit_cadence_sample(t)
+        self._next_sample_s = t + self.sample_interval_s
+
+    def _finish_drain(self, limits: SimulationLimits) -> None:
+        """Post-drain lifecycle hook (the elastic controller retires)."""
+
+    # ------------------------------------------------------------------
+    # the run loop
     # ------------------------------------------------------------------
     def run(self, limits: SimulationLimits | None = None) -> ClusterReport:
         """Route the arrival stream, drain the fleet, and report.
@@ -527,58 +910,121 @@ class ClusterSimulator:
         :meth:`ServingSimulator.run`.
         """
         limits = limits or SimulationLimits()
-        samples: list[QueueDepthSample] = []
-        routed = 0
+        self._begin_run(limits)
+        horizon = limits.max_sim_time_s if limits.max_sim_time_s is not None else float("inf")
         while True:
-            if self.max_requests is not None and routed >= self.max_requests:
+            if self.max_requests is not None and self._routed >= self.max_requests:
                 break
-            if all(replica.budget_spent(limits) for replica in self.replicas):
+            live = self._live_handles()
+            if live and all(handle.budget_spent(limits) for handle in live):
                 break
             if (
                 limits.target_completions is not None
-                and sum(r.completions for r in self.replicas) >= limits.target_completions
+                and self._completions() >= limits.target_completions
             ):
                 break
             arrival = self.source.peek_arrival()
+            tick = self._next_control_s()
+            if arrival < float("inf") and tick <= min(arrival, horizon):
+                self._control_tick(tick, limits)
+                continue
             if arrival == float("inf"):
                 break
-            if limits.max_sim_time_s is not None and arrival > limits.max_sim_time_s:
+            if arrival > horizon:
                 break
-            for replica in self.replicas:
-                replica.advance_to(arrival, limits)
-            request = self.source.take(arrival)
-            views = [replica.view() for replica in self.replicas]
-            index = self.router.choose(views, request)
-            if not 0 <= index < len(self.replicas):
-                raise ConfigError(f"{self.router.name} routed to invalid replica {index}")
-            self.replicas[index].inbox.push(request)
-            routed += 1
-            samples.append(
-                QueueDepthSample(
-                    time_s=arrival,
-                    depths=tuple(replica.view().queue_depth for replica in self.replicas),
-                )
-            )
-        for replica in self.replicas:
-            replica.drain(limits)
-        return self._report(samples)
+            self._route_arrival(arrival, limits)
+        self._drain_fleet(limits)
+        return self._report(self._samples)
 
+    def _route_arrival(self, arrival: float, limits: SimulationLimits) -> None:
+        """Advance the fleet to ``arrival`` and route the next request."""
+        for handle in self._advanceable_handles():
+            handle.replica.advance_to(arrival, limits)
+        request = self.source.take(arrival)
+        candidates = self._routable_handles()
+        if not candidates:
+            raise SimulationError(
+                "no ACTIVE replica to route to — the controller drained the whole fleet"
+            )
+        views = [handle.routing_view() for handle in candidates]
+        index = self.router.choose(views, request)
+        chosen = next((h for h in candidates if h.index == index), None)
+        if chosen is None:
+            raise ConfigError(f"{self.router.name} routed to invalid replica {index}")
+        chosen.route(request)
+        self._routed += 1
+        self._samples.append(
+            QueueDepthSample(time_s=arrival, depths=self._fleet_depths(), kind="routing")
+        )
+
+    def _drain_fleet(self, limits: SimulationLimits) -> None:
+        """Finish everything routed, sampling on the cadence grid.
+
+        With sampling disabled this is the classic whole-replica drain.
+        With sampling enabled the fleet drains in ``sample_interval_s``
+        time slices — each slice runs exactly the stage sequence a
+        monolithic drain would (see
+        :meth:`~repro.serving.engine.ServingEngine.drain_until`), so the
+        telemetry gains drain-phase samples without perturbing metrics.
+        """
+        if self._next_control_s() == float("inf"):
+            for handle in self._live_handles():
+                handle.replica.drain(limits)
+            self._finish_drain(limits)
+            return
+        t = self._next_control_s()
+        while True:
+            workers = [
+                h
+                for h in self._live_handles()
+                if h.has_work and not h.budget_spent(limits)
+            ]
+            if not workers:
+                break
+            for handle in workers:
+                handle.replica.drain_until(t, limits)
+            self._after_drain_slice(t, limits)
+            t = self._next_control_s()
+        for handle in self._live_handles():
+            handle.replica.drain(limits)
+        self._finish_drain(limits)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
     def _report(self, samples: list[QueueDepthSample]) -> ClusterReport:
-        fleet = MetricsCollector.merged([replica.metrics for replica in self.replicas])
+        fleet = MetricsCollector.merged([handle.replica.metrics for handle in self.handles])
         if not fleet.stages_recorded:
             raise SimulationError(
                 "the cluster recorded no stages — no requests were routed, or "
                 "warmup_stages outlasted every replica's run"
             )
         per_replica = tuple(
-            replica.metrics.report() if replica.metrics.stages_recorded else None
-            for replica in self.replicas
+            handle.replica.metrics.report() if handle.replica.metrics.stages_recorded else None
+            for handle in self.handles
+        )
+        fleet_end = max((handle.replica.now_s for handle in self.handles), default=0.0)
+        events = sorted(
+            (
+                ReplicaEvent(time_s=t, replica=handle.index, state=state.value)
+                for handle in self.handles
+                for t, state in handle.transitions
+            ),
+            key=lambda e: (e.time_s, e.replica),
         )
         return ClusterReport(
             fleet=fleet.report(),
             replicas=per_replica,
-            requests_routed=tuple(replica.inbox.accepted for replica in self.replicas),
-            requests_rejected=sum(replica.rejected_count for replica in self.replicas),
+            requests_routed=tuple(handle.replica.inbox.accepted for handle in self.handles),
+            requests_rejected=sum(handle.replica.rejected_count for handle in self.handles),
             queue_depth_samples=tuple(samples),
-            replica_kinds=tuple(replica.kind for replica in self.replicas),
+            replica_kinds=tuple(handle.kind for handle in self.handles),
+            replica_states=tuple(handle.state.value for handle in self.handles),
+            replica_events=tuple(events),
+            fleet_samples=self._fleet_sample_series(),
+            replica_seconds=sum(handle.lifetime_s(fleet_end) for handle in self.handles),
         )
+
+    def _fleet_sample_series(self) -> tuple[FleetSample, ...]:
+        """Fleet composition time series (elastic controller overrides)."""
+        return ()

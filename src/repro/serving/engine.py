@@ -469,3 +469,21 @@ class ServingEngine:
             if next_arrival == float("inf"):
                 break
             self.advance_to(next_arrival, limits)
+
+    def drain_until(self, t: float, limits: SimulationLimits) -> None:
+        """Drain work until the clock reaches ``t`` (stages may overshoot).
+
+        A time-sliced :meth:`drain`: a sequence of slices executes
+        exactly the stage sequence (and the same idle-gap recordings —
+        each gap advances to the same arrival instant) one :meth:`drain`
+        call would, stopping early only at the slice boundary.  The
+        cluster's cadence-sampled fleet drain depends on that
+        equivalence.  An arrival beyond ``t`` is left for a later slice.
+        """
+        while self.now_s < t and not self.budget_spent(limits):
+            if self.step(limits):
+                continue
+            next_arrival = self.scheduler.source.peek_arrival()
+            if next_arrival == float("inf") or next_arrival > t:
+                break
+            self.advance_to(next_arrival, limits)

@@ -89,6 +89,7 @@ class MetricsCollector:
     _stages_mixed: int = 0
     _tokens: int = 0
     _elapsed_s: float = 0.0
+    _busy_s: float = 0.0
     _energy_by_component: dict[str, float] = field(default_factory=dict)
     _requests_completed: int = 0
     _tenant_t2ft: dict[str, list[float]] = field(default_factory=dict)
@@ -130,6 +131,7 @@ class MetricsCollector:
             self._tbt_weights.append(float(decode_tokens))
         self._tokens += total_tokens_generated
         self._elapsed_s += latency_s
+        self._busy_s += latency_s
         components = self._energy_by_component
         for category, joules in dram_energy.items():
             key = _DRAM_KEYS[category]
@@ -197,6 +199,7 @@ class MetricsCollector:
             fleet._stages_mixed += collector._stages_mixed
             fleet._tokens += collector._tokens
             fleet._elapsed_s = max(fleet._elapsed_s, collector._elapsed_s)
+            fleet._busy_s += collector._busy_s
             fleet._requests_completed += collector._requests_completed
             fleet.effective_batch += collector.effective_batch
             for key, joules in collector._energy_by_component.items():
@@ -223,6 +226,36 @@ class MetricsCollector:
     @property
     def stages_recorded(self) -> int:
         return self._stages_total
+
+    @property
+    def busy_s(self) -> float:
+        """Recorded stage time, idle excluded (utilization numerator).
+
+        Merged fleet collectors *sum* busy time (total work done) while
+        ``elapsed`` takes the max (wall clock), so a fleet's mean
+        utilization is ``busy_s / (n * elapsed)``.
+        """
+        return self._busy_s
+
+    @property
+    def elapsed_s(self) -> float:
+        """Recorded wall-clock time so far (stage latencies plus idle)."""
+        return self._elapsed_s
+
+    @property
+    def t2ft_samples(self) -> Sequence[float]:
+        """T2FT samples recorded so far, in record order (read-only).
+
+        The autoscaling controller polls this incrementally (a cursor per
+        replica) to maintain rolling SLO-attainment windows without the
+        collector having to timestamp every sample.
+        """
+        return self._t2ft
+
+    @property
+    def tbt_samples(self) -> tuple[Sequence[float], Sequence[float]]:
+        """(values, weights) of the TBT samples recorded so far (read-only)."""
+        return self._tbt_values, self._tbt_weights
 
     def tbt_slo_attainment(self, slo_s: float) -> float:
         """Fraction of generated tokens whose TBT met ``slo_s``.

@@ -280,3 +280,17 @@ class SplitServingSimulator:
                 continue
             if not self._idle_jump(limits):
                 break
+
+    def drain_until(self, t: float, limits: SimulationLimits) -> None:
+        """Time-sliced :meth:`drain`: run the pipeline until the decode
+        clock reaches ``t`` or the queued work runs out.  Slices compose:
+        a sequence of ``drain_until`` calls executes exactly the stage
+        sequence one :meth:`drain` call would (see
+        :meth:`~repro.serving.engine.ServingEngine.drain_until`)."""
+        decode = self.decode_engine
+        while decode.now_s < t and not decode.budget_spent(limits):
+            self._dispatch_prefills(limits)
+            if decode.step(limits):
+                continue
+            if not self._idle_jump(limits):
+                break

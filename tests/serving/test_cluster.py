@@ -103,6 +103,51 @@ class TestRouters:
         choices = {router.choose(views, self._request()) for _ in range(100)}
         assert len(choices) == 4  # no deterministic hot spot
 
+    def test_power_of_two_single_replica_is_deterministic(self):
+        # A fleet of one must neither sample nor consume randomness: the
+        # later choice sequence stays seed-aligned once the fleet grows.
+        router = PowerOfTwoChoicesRouter(seed=7)
+        single = self._views([123])
+        for _ in range(5):
+            assert router.choose(single, self._request()) == 0
+        grown = self._views([0, 0, 0])
+        reference = PowerOfTwoChoicesRouter(seed=7)
+        assert [router.choose(grown, self._request()) for _ in range(20)] == [
+            reference.choose(grown, self._request()) for _ in range(20)
+        ]
+
+    def test_power_of_two_tie_break_is_seeded(self):
+        # Equal-load ties resolve identically for identical seeds and
+        # differently (somewhere in a long sequence) for different seeds.
+        views = self._views([10, 10, 10, 10])
+        a = PowerOfTwoChoicesRouter(seed=3)
+        b = PowerOfTwoChoicesRouter(seed=3)
+        seq_a = [a.choose(views, self._request()) for _ in range(50)]
+        seq_b = [b.choose(views, self._request()) for _ in range(50)]
+        assert seq_a == seq_b
+        c = PowerOfTwoChoicesRouter(seed=4)
+        assert seq_a != [c.choose(views, self._request()) for _ in range(50)]
+
+    def test_power_of_two_handles_non_contiguous_indices(self):
+        # Elastic fleets route over a filtered view list whose indices
+        # have gaps; the router must return a view's own index, never a
+        # position.
+        views = [
+            ReplicaView(index=2, queue_depth=0, outstanding_tokens=50, now_s=0.0),
+            ReplicaView(index=5, queue_depth=0, outstanding_tokens=10, now_s=0.0),
+        ]
+        router = PowerOfTwoChoicesRouter(seed=0)
+        for _ in range(20):
+            assert router.choose(views, self._request()) in (2, 5)
+
+    def test_round_robin_returns_view_indices(self):
+        views = [
+            ReplicaView(index=4, queue_depth=0, outstanding_tokens=0, now_s=0.0),
+            ReplicaView(index=7, queue_depth=0, outstanding_tokens=0, now_s=0.0),
+        ]
+        router = RoundRobinRouter()
+        assert [router.choose(views, self._request()) for _ in range(4)] == [4, 7, 4, 7]
+
 
 class TestClusterSimulation:
     def test_fleet_report_under_poisson(self):
@@ -111,7 +156,8 @@ class TestClusterSimulation:
         assert report.n_replicas == 4
         assert report.fleet.tokens_generated > 0
         assert report.fleet.tbt_p99_s >= report.fleet.tbt_p50_s > 0
-        assert sum(report.requests_routed) == len(report.queue_depth_samples)
+        routing = [s for s in report.queue_depth_samples if s.kind == "routing"]
+        assert sum(report.requests_routed) == len(routing)
         assert report.requests_rejected == 0
 
     def test_round_robin_spreads_requests_evenly(self):
@@ -132,6 +178,37 @@ class TestClusterSimulation:
         assert times == sorted(times)
         assert report.max_queue_depth >= 0
 
+    def test_cadence_samples_cover_drain_and_idle(self):
+        # Routing-event sampling alone leaves drain/idle periods
+        # invisible; the fixed virtual-clock cadence must keep sampling
+        # after the last arrival until the queues actually empty.
+        report = poisson_cluster(RoundRobinRouter(), qps=80.0, max_requests=120).run(
+            SimulationLimits(max_stages=2000, warmup_stages=0)
+        )
+        cadence = [s for s in report.queue_depth_samples if s.kind == "cadence"]
+        routing = [s for s in report.queue_depth_samples if s.kind == "routing"]
+        assert cadence, "cadence sampling is on by default"
+        last_arrival = routing[-1].time_s
+        drain_samples = [s for s in cadence if s.time_s > last_arrival]
+        assert drain_samples, "the drain phase must be sampled"
+        assert drain_samples[-1].total == 0, "queues visibly empty by the end"
+        # max_queue_depth stays correct: the peak is never in a cadence
+        # sample alone (depth peaks right after a routing push).
+        assert report.max_queue_depth == max(max(s.depths) for s in routing)
+
+    def test_cadence_sampling_does_not_perturb_metrics(self):
+        on = poisson_cluster(RoundRobinRouter(), seed=5).run(LIMITS)
+        off = poisson_cluster(RoundRobinRouter(), seed=5, sample_interval_s=None).run(LIMITS)
+        assert on.fleet == off.fleet
+        assert on.replicas == off.replicas
+        assert [s for s in on.queue_depth_samples if s.kind == "routing"] == list(
+            off.queue_depth_samples
+        )
+
+    def test_sample_interval_validated(self):
+        with pytest.raises(ConfigError):
+            poisson_cluster(RoundRobinRouter(), sample_interval_s=0.0)
+
     def test_reproducible_with_seed(self):
         a = poisson_cluster(RoundRobinRouter(), seed=5).run(LIMITS)
         b = poisson_cluster(RoundRobinRouter(), seed=5).run(LIMITS)
@@ -140,7 +217,8 @@ class TestClusterSimulation:
     def test_single_replica_matches_cluster_of_one(self):
         report = poisson_cluster(RoundRobinRouter(), n_replicas=1, qps=10.0).run(LIMITS)
         assert report.n_replicas == 1
-        assert report.requests_routed[0] == len(report.queue_depth_samples)
+        routing = [s for s in report.queue_depth_samples if s.kind == "routing"]
+        assert report.requests_routed[0] == len(routing)
 
     def test_closed_loop_workload_rejected(self):
         spec = WorkloadSpec(lin_mean=64, lout_mean=16)
@@ -216,7 +294,8 @@ class TestHeterogeneousFleet:
         # Routing stops when every replica's stage budget is spent, so not
         # all 120 offered requests necessarily route — but each routing
         # event must be sampled, and every replica must participate.
-        assert sum(report.requests_routed) == len(report.queue_depth_samples)
+        routing = [s for s in report.queue_depth_samples if s.kind == "routing"]
+        assert sum(report.requests_routed) == len(routing)
         assert all(routed > 0 for routed in report.requests_routed)
 
     def test_replica_spec_overrides_batch(self):

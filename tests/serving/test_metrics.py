@@ -103,6 +103,72 @@ class TestMergedCollectors:
         with pytest.raises(SimulationError):
             MetricsCollector.merged([MetricsCollector()]).report()
 
+    def test_merge_of_no_collectors_is_empty(self):
+        fleet = MetricsCollector.merged([])
+        assert fleet.stages_recorded == 0
+        with pytest.raises(SimulationError):
+            fleet.report()
+
+    def test_merge_skips_empty_members_without_distortion(self):
+        # An idle replica (nothing recorded) must not shift percentiles,
+        # counts, or the wall clock of the pooled report.
+        busy = self._collector(latency=0.02, tokens=10, idle=0.03)
+        alone = busy.report()
+        pooled = MetricsCollector.merged([MetricsCollector(), busy, MetricsCollector()]).report()
+        assert pooled.tokens_generated == alone.tokens_generated
+        assert pooled.elapsed_s == alone.elapsed_s
+        assert pooled.tbt_p50_s == alone.tbt_p50_s
+        assert pooled.requests_completed == alone.requests_completed
+
+    def test_merge_unions_heterogeneous_tenant_keys(self):
+        left = self._collector(latency=0.01, tokens=4)
+        left.record_first_token(0.1, tenant="interactive", slo_s=0.5)
+        left.record_completion(1.0, tenant="interactive")
+        right = self._collector(latency=0.01, tokens=4)
+        right.record_first_token(0.8, tenant="batch", slo_s=0.5)
+        right.record_completion(3.0, tenant="batch")
+        right.record_first_token(0.2, tenant="interactive", slo_s=0.5)
+        right.record_completion(1.5, tenant="interactive")
+        report = MetricsCollector.merged([left, right]).report()
+        assert set(report.per_tenant) == {"interactive", "batch"}
+        assert report.per_tenant["interactive"]["requests_completed"] == 2.0
+        assert report.per_tenant["batch"]["requests_completed"] == 1.0
+        # SLO attainment counters union too: interactive met 2/2, batch 0/1.
+        assert report.per_tenant["interactive"]["t2ft_slo_attainment"] == pytest.approx(1.0)
+        assert report.per_tenant["batch"]["t2ft_slo_attainment"] == pytest.approx(0.0)
+
+    def test_merge_with_one_sided_tenant_samples(self):
+        # A tenant with first tokens recorded but no completions (still
+        # mid-flight on one replica) must survive the union.
+        left = self._collector(latency=0.01, tokens=4)
+        left.record_first_token(0.1, tenant="a")
+        right = self._collector(latency=0.01, tokens=4)
+        right.record_completion(2.0, tenant="b")
+        report = MetricsCollector.merged([left, right]).report()
+        assert set(report.per_tenant) == {"a", "b"}
+        assert report.per_tenant["a"]["requests_completed"] == 0.0
+        assert report.per_tenant["a"]["t2ft_p50_s"] == pytest.approx(0.1)
+        assert report.per_tenant["b"]["e2e_p50_s"] == pytest.approx(2.0)
+
+    def test_merge_idle_time_accounting(self):
+        # Idle time lives in elapsed (max across replicas) but not in
+        # busy time (summed): a mostly-idle replica drags fleet
+        # throughput down without inflating fleet work done.
+        worker = self._collector(latency=0.05, tokens=50)
+        idler = self._collector(latency=0.01, tokens=2, idle=0.99)
+        fleet = MetricsCollector.merged([worker, idler])
+        assert fleet.elapsed_s == pytest.approx(1.0)  # the idler's clock
+        assert fleet.busy_s == pytest.approx(0.06)  # work sums, idle does not
+        report = fleet.report()
+        assert report.throughput_tokens_per_s == pytest.approx(52 / 1.0)
+
+    def test_busy_time_tracks_recorded_stages(self):
+        collector = self._collector(latency=0.04, tokens=10)
+        assert collector.busy_s == pytest.approx(0.04)
+        collector.record_idle(0.5)
+        assert collector.busy_s == pytest.approx(0.04)  # idle excluded
+        assert collector.elapsed_s == pytest.approx(0.54)
+
 
 class TestCollector:
     def _record_simple(self, collector, latency=0.01, mixed=False, decode_tokens=8):

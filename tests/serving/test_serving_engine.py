@@ -128,6 +128,41 @@ class TestEngineBudget:
         assert engine.metrics.stages_recorded == 1
 
 
+class TestDrainUntilComposesLikeDrain:
+    """Slices of drain_until must reproduce one drain() call exactly —
+    including across arrival gaps, where the engine advances (and books
+    idle) to the same future-arrival instants drain() would."""
+
+    def _gapped_source(self):
+        # Three bursts separated by idle gaps larger than any slice.
+        source = QueueSource()
+        for rid, arrival in enumerate((0.0, 0.1, 2.5, 2.6, 7.3)):
+            source.push(_request(rid, arrival=arrival, lin=64, lout=6))
+        return source
+
+    def test_slices_serve_work_beyond_idle_gaps(self):
+        limits = SimulationLimits(max_stages=500, warmup_stages=0)
+        whole = _engine(self._gapped_source())
+        whole.drain(limits)
+        sliced = _engine(self._gapped_source())
+        t = 0.5
+        for _ in range(200):
+            sliced.drain_until(t, limits)
+            t += 0.5
+        sliced.drain(limits)  # terminal no-op if the slices finished
+        assert sliced.finished_ids == whole.finished_ids == [0, 1, 2, 3, 4]
+        assert sliced.stages == whole.stages
+        assert sliced.metrics.elapsed_s == whole.metrics.elapsed_s  # idle splits agree
+        assert sliced.now_s == whole.now_s
+
+    def test_slice_leaves_arrivals_beyond_its_boundary(self):
+        limits = SimulationLimits(max_stages=500, warmup_stages=0)
+        engine = _engine(self._gapped_source())
+        engine.drain_until(1.0, limits)  # first burst only
+        assert engine.finished_ids == [0, 1]
+        assert engine.now_s < 2.5  # did not advance into the idle gap
+
+
 class TestSimulationLimitsHome:
     def test_simulator_reexports_limits(self):
         # The dataclass moved into the engine; the historical import path
