@@ -16,6 +16,10 @@ directly and records the repo's perf trajectory in a repo-root
 * ``autoscaled_cluster`` — end-to-end stages/second of an elastic fleet
   under the queue-depth policy (the control-plane hot path: routing,
   control ticks, lifecycle, cadence telemetry, engine stepping);
+* ``paged_serving`` — end-to-end stages/second of one engine serving the
+  long-context scenario beyond its KV capacity under MIGRATE paging (the
+  preemption hot path: victim selection, evict/resume accounting, the
+  resume feed, host-link pricing);
 * ``fig13_sweep`` / ``fig13_sweep_fast`` — end-to-end Fig. 13 sweep
   wall-clock on a reduced grid, single worker, in exact mode and with
   the memoized+incremental fast path.
@@ -211,6 +215,46 @@ def bench_autoscaled_cluster(requests: int, repeats: int) -> float:
     return _best_rate(run, repeats)
 
 
+def bench_paged_serving(requests: int, repeats: int) -> float:
+    """Stages/second through a KV-paged engine end to end.
+
+    The long-context scenario holds more resident KV than the device
+    fits, so every run exercises the live-preemption machinery — policy
+    victim ordering, manager evict/resume accounting, the resume
+    TransferFeed, and host-link pricing — on top of regular stage
+    pricing.  Each repeat rebuilds the simulator so every run does
+    identical work.
+    """
+    from repro.serving.paging import PagingConfig
+    from repro.serving.policy import SloAwarePolicy
+    from repro.serving.scenarios import long_context
+    from repro.serving.simulator import ServingSimulator
+
+    model = mixtral()
+    system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    scenario = long_context().at_qps(4.0)
+    limits = SimulationLimits(max_stages=1_000_000, warmup_stages=0)
+
+    def run() -> int:
+        sim = ServingSimulator(
+            system,
+            model,
+            scenario.source(seed=0, max_requests=requests),
+            max_batch=96,
+            seed=0,
+            policy=SloAwarePolicy(t2ft_slo_s=10.0, shed_expired=True),
+            paging=PagingConfig(),
+        )
+        sim.run(limits)
+        # Pressure only builds once ~70 concurrent residents accumulate,
+        # so only the full-scale configuration asserts real evictions.
+        if requests >= 80:
+            assert sim.paging.manager.stats.evictions > 0
+        return sim.engine.stages
+
+    return _best_rate(run, repeats)
+
+
 def bench_fig13_sweep(repeats: int, fast: bool) -> float:
     limits = SimulationLimits(**FIG13_LIMITS)
 
@@ -257,6 +301,7 @@ def run_suite(scale: float = 1.0, repeats: int = 3) -> dict:
     record("moe_heavy", bench_moe_heavy(iters(1500), repeats), "stages/s")
     record("incremental_decode", bench_incremental_decode(iters(3000), repeats), "stages/s")
     record("autoscaled_cluster", bench_autoscaled_cluster(iters(400), repeats), "stages/s")
+    record("paged_serving", bench_paged_serving(iters(80), repeats), "stages/s")
     if scale >= 0.99:
         record("fig13_sweep", bench_fig13_sweep(repeats, fast=False), "s", lower_is_better=True)
         record(

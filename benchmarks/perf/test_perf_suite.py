@@ -20,7 +20,14 @@ def test_suite_smoke_produces_all_microbenchmarks():
     payload = run_suite(scale=0.02, repeats=1)
     assert payload["schema"] == SCHEMA_VERSION
     assert payload["calibration_ops_per_s"] > 0
-    for name in ("pure_decode", "mixed", "moe_heavy", "incremental_decode", "autoscaled_cluster"):
+    for name in (
+        "pure_decode",
+        "mixed",
+        "moe_heavy",
+        "incremental_decode",
+        "autoscaled_cluster",
+        "paged_serving",
+    ):
         entry = payload["benchmarks"][name]
         assert entry["value"] > 0
         assert entry["normalized"] > 0

@@ -46,6 +46,10 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "elastic: elastic fleet control-plane tests (autoscaling policies, lifecycle, e2e)",
     )
+    config.addinivalue_line(
+        "markers",
+        "paging: memory-pressure serving tests (KV eviction, migration, recomputation)",
+    )
     try:
         from hypothesis import settings
     except ImportError:  # property tests skip themselves via importorskip

@@ -1,104 +1,95 @@
 #!/usr/bin/env python
-"""KV-cache paging under capacity pressure (the paper's Section VIII-C).
+"""Memory-pressure serving on a live engine (the paper's Section VIII-C).
 
-A Duplex node serving very long sequences runs out of KV capacity before it
-runs out of compute.  This example compares three policies when demand
-exceeds device memory:
+A Duplex node serving long-context traffic runs out of KV capacity before
+it runs out of compute.  This example drives the *real* serving engine —
+the same :class:`~repro.serving.simulator.ServingSimulator` behind every
+figure — through an over-capacity ``long-context`` workload under three
+policies:
 
-* **shrink the batch** (what the main simulator does — the paper's starred
-  bars);
-* **migrate** overflow KV to host memory over PCIe and bring it back;
-* **recompute** the prefill of evicted requests when they resume.
-
-The migration/recompute arithmetic uses :mod:`repro.serving.paging`; stage
-costs come from the same executor as every other experiment.
+* **queue (no paging)** — classic capacity-capped admission: arrivals
+  wait for free KV and the SLO-aware policy sheds the ones that expire;
+* **migrate** — live preemption: victims' KV moves to host memory over
+  PCIe and streams back before they resume;
+* **recompute** — live preemption: victims' KV is dropped and their
+  prefill replayed (priced by the same stage executor) when they resume.
 
 Run:
     python examples/kv_paging.py
 """
 
-import numpy as np
-
-from repro import StageExecutor, StageWorkload, duplex_system, mixtral
+from repro import duplex_system, mixtral
 from repro.analysis.report import format_table
-from repro.serving.paging import EvictionPolicy, PagedKvManager
+from repro.serving import (
+    EvictionPolicy,
+    PagingConfig,
+    ServingSimulator,
+    SimulationLimits,
+    SloAwarePolicy,
+    long_context,
+)
 
-LIN, LOUT = 12288, 4096
-REQUESTED_BATCH = 192
-
-
-def stage_time(executor, batch: int) -> float:
-    ctx = np.full(batch, LIN + LOUT // 2)
-    return executor.run_stage(StageWorkload(decode_context_lengths=ctx)).latency_s
+QPS = 4.0
+REQUESTS = 80
+SLO_S = 10.0
 
 
 def main() -> None:
     model = mixtral()
     system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
-    executor = StageExecutor(system, model, seed=0, deterministic_gating=True)
-
-    capacity_tokens = system.max_resident_kv_tokens(model)
-    tokens_per_request = LIN + LOUT
-    fit_batch = min(REQUESTED_BATCH, capacity_tokens // tokens_per_request)
-    overflow = REQUESTED_BATCH - fit_batch
+    scenario = long_context(t2ft_slo_s=SLO_S).at_qps(QPS)
+    limits = SimulationLimits(max_stages=200_000, warmup_stages=0)
 
     rows = []
-
-    # Policy 1: shrink the batch to what fits.
-    t_shrink = stage_time(executor, fit_batch)
-    rows.append(["shrink batch", fit_batch, fit_batch / t_shrink, 0.0])
-
-    # Policies 2 and 3: keep the full batch logically active by rotating the
-    # overflow through host memory, one eviction/resume pair per "round" of
-    # LOUT/overflow stages (each overflow request parks once per generation).
-    for policy, label in (
-        (EvictionPolicy.MIGRATE, "migrate to host"),
-        (EvictionPolicy.RECOMPUTE, "recompute prefill"),
+    for label, paging in (
+        ("queue (no paging)", None),
+        ("migrate to host", PagingConfig(policy=EvictionPolicy.MIGRATE)),
+        ("recompute prefill", PagingConfig(policy=EvictionPolicy.RECOMPUTE)),
     ):
-        manager = PagedKvManager(
-            capacity_tokens=capacity_tokens,
-            kv_bytes_per_token=model.kv_bytes_per_token,
-            policy=policy,
+        sim = ServingSimulator(
+            system,
+            model,
+            scenario.source(seed=0, max_requests=REQUESTS),
+            max_batch=96,
+            seed=0,
+            policy=SloAwarePolicy(t2ft_slo_s=SLO_S, shed_expired=True),
+            paging=paging,
         )
-        for rid in range(fit_batch):
-            manager.admit(rid, tokens_per_request)
-        # Steady state: fit_batch requests decode while `overflow` requests
-        # wait on the host; a swap (evict + resume) happens whenever a slot
-        # frees, i.e. `overflow` swaps per LOUT stages.
-        t_stage = stage_time(executor, fit_batch)
-        victim = 0
-        swap_overhead = 0.0
-        for swap in range(overflow):
-            evicted = manager.evict(victim, cached_tokens=tokens_per_request)
-            resumed_id = fit_batch + swap
-            manager.admit(resumed_id, tokens_per_request)
-            manager.release(resumed_id)  # the resumed request takes the slot
-            outcome = manager.resume(victim, cached_tokens=tokens_per_request)
-            swap_overhead += evicted.transfer_time_s + outcome.transfer_time_s
-            if outcome.recompute_tokens:
-                prefill = StageWorkload(
-                    decode_context_lengths=np.asarray([], dtype=np.int64),
-                    prefill_lengths=(outcome.recompute_tokens,),
-                )
-                swap_overhead += executor.run_stage(prefill).latency_s
-        total_time = LOUT * t_stage + swap_overhead
-        effective_throughput = REQUESTED_BATCH * LOUT / total_time
-        rows.append([label, REQUESTED_BATCH, effective_throughput, swap_overhead])
+        report = sim.run(limits)
+        attainment = sim.engine.metrics.t2ft_slo_attainment(SLO_S)
+        rows.append(
+            [
+                label,
+                report.requests_completed,
+                len(sim.scheduler.rejected),
+                attainment,
+                int(report.paging.get("preemptions", 0.0)),
+                report.paging.get("host_link_s", 0.0),
+                int(report.paging.get("recomputed_tokens", 0.0)),
+                report.energy_per_token_j,
+            ]
+        )
 
+    capacity = system.max_resident_kv_tokens(model)
     print(
         format_table(
-            headers=["policy", "logical batch", "tokens/s", "swap overhead (s)"],
+            headers=[
+                "policy", "completed", "shed", "SLO att",
+                "preemptions", "link (s)", "recomputed", "J/token",
+            ],
             rows=rows,
             title=(
-                f"Serving {REQUESTED_BATCH} requests of (Lin={LIN}, Lout={LOUT}) on a "
-                f"4-device Duplex node (capacity fits {fit_batch})"
+                f"Serving {REQUESTS} long-context requests at {QPS} QPS on a "
+                f"Duplex node holding {capacity:,} KV tokens"
             ),
         )
     )
     print()
-    print("Migration keeps the logical batch full at modest PCIe cost; recompute")
-    print("trades the host link for prefill FLOPs — cheaper when contexts are short,")
-    print("costlier here.  Both are complementary to Duplex, as Section VIII-C notes.")
+    print("Without paging the node sheds most of the workload: arrivals expire")
+    print("waiting for KV.  Both eviction policies admit everything by parking")
+    print("victims — migration pays bounded PCIe seconds, recomputation pays")
+    print("replayed-prefill energy (the J/token delta).  Section VIII-C calls")
+    print("exactly these policies complementary to Duplex.")
 
 
 if __name__ == "__main__":

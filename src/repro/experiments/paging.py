@@ -1,0 +1,224 @@
+"""Memory-pressure serving: MIGRATE vs RECOMPUTE vs no paging.
+
+The paper (Section VIII-C) calls KV eviction — host-memory migration or
+prefill recomputation — complementary to Duplex; this sweep quantifies
+that on the ``long-context`` scenario, whose heavy-tailed prompts
+overflow a single Duplex node's device KV.  Each grid point drives one
+:class:`~repro.serving.simulator.ServingSimulator` under an SLO-aware
+scheduling policy and one eviction policy:
+
+* ``none`` — classic capacity-capped admission: arrivals queue for free
+  KV and the SLO policy sheds the ones that expire waiting;
+* ``migrate`` — live preemption with KV round-trips over the host link;
+* ``recompute`` — live preemption that drops KV and replays the prefill
+  on resume (host link idle, compute and energy paid instead).
+
+Reported axes: completions vs sheds, T2FT SLO attainment and median,
+throughput, energy per token, and the paging activity itself
+(preemptions, migrated/recomputed tokens, host-link seconds).  Expected
+shape: both paging policies complete (nearly) everything the no-paging
+baseline sheds, migrate pays bounded host-link seconds, recompute pays
+replay energy — visible in J/token.
+
+Grid points are independent, so the sweep fans out over
+:func:`repro.experiments.sweep.run_sweep`'s process pool exactly like
+Fig. 13; ``run_all`` renders it as the ``paging_policies`` artefact, and
+``--smoke`` from the CLI runs a reduced grid (the CI slow stage uses it
+as a regression canary).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.core.system import duplex_system
+from repro.errors import ConfigError
+from repro.experiments.presets import model_by_key
+from repro.experiments.sweep import run_sweep
+from repro.serving.paging import EvictionPolicy, PagingConfig
+from repro.serving.policy import SloAwarePolicy
+from repro.serving.scenarios import long_context
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+
+#: Eviction-policy grid, in rendering order.
+DEFAULT_POLICIES = ("none", "migrate", "recompute")
+
+#: Offered-load grid (mean QPS the long-context scenario is rescaled to):
+#: long-context requests stay resident for ~15 simulated seconds, so a
+#: few QPS already hold ~60+ concurrent residents against the node's
+#: ~1.8M-token KV capacity — these rates bracket the pressure onset.
+DEFAULT_QPS = (4.0, 5.0)
+
+
+@dataclass(frozen=True)
+class PagingRow:
+    """One (eviction policy, QPS) memory-pressure sweep point."""
+
+    policy: str
+    qps: float
+    completed: int
+    shed: int
+    t2ft_attainment: float
+    t2ft_p50_s: float
+    throughput_tokens_per_s: float
+    energy_per_token_j: float
+    preemptions: int
+    migrated_tokens: int
+    recomputed_tokens: int
+    host_link_s: float
+
+
+def paging_config(key: str) -> PagingConfig | None:
+    """Map a grid key to a :class:`~repro.serving.paging.PagingConfig`."""
+    if key == "none":
+        return None
+    if key == "migrate":
+        return PagingConfig(policy=EvictionPolicy.MIGRATE)
+    if key == "recompute":
+        return PagingConfig(policy=EvictionPolicy.RECOMPUTE)
+    raise ConfigError(f"unknown paging policy '{key}'; choose from {DEFAULT_POLICIES}")
+
+
+def _paging_point(
+    policy_key: str,
+    qps: float,
+    max_requests: int,
+    max_batch: int,
+    limits: SimulationLimits,
+    seed: int,
+    slo_t2ft_s: float,
+) -> PagingRow:
+    """Price one memory-pressure grid point (process-pool worker)."""
+    model = model_by_key("mixtral")
+    system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    # Build the scenario with the sweep's SLO so the per-request deadline
+    # the policy enforces is the same objective attainment is scored
+    # against (requests carry their tenant SLO, which outranks the
+    # policy default).
+    scenario = long_context(t2ft_slo_s=slo_t2ft_s).at_qps(qps)
+    sim = ServingSimulator(
+        system,
+        model,
+        scenario.source(seed=seed, max_requests=max_requests),
+        max_batch=max_batch,
+        seed=seed,
+        policy=SloAwarePolicy(t2ft_slo_s=slo_t2ft_s, shed_expired=True),
+        paging=paging_config(policy_key),
+    )
+    report = sim.run(limits)
+    paging = report.paging
+    return PagingRow(
+        policy=policy_key,
+        qps=qps,
+        completed=report.requests_completed,
+        shed=len(sim.scheduler.rejected),
+        t2ft_attainment=sim.engine.metrics.t2ft_slo_attainment(slo_t2ft_s),
+        t2ft_p50_s=report.t2ft_p50_s,
+        throughput_tokens_per_s=report.throughput_tokens_per_s,
+        energy_per_token_j=report.energy_per_token_j,
+        preemptions=int(paging.get("preemptions", 0.0)),
+        # One direction only, so the column is volume-comparable with
+        # `recomputed` (each round-trip moves the same tokens twice;
+        # link(s) already carries the full round-trip time).
+        migrated_tokens=int(paging.get("migrated_out_tokens", 0.0)),
+        recomputed_tokens=int(paging.get("recomputed_tokens", 0.0)),
+        host_link_s=paging.get("host_link_s", 0.0),
+    )
+
+
+def run(
+    qps_values: tuple[float, ...] = DEFAULT_QPS,
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    max_requests: int = 80,
+    max_batch: int = 96,
+    limits: SimulationLimits | None = None,
+    seed: int = 0,
+    slo_t2ft_s: float = 10.0,
+    workers: int | None = 1,
+) -> list[PagingRow]:
+    """Run the memory-pressure sweep; rows in grid order.
+
+    Args:
+        qps_values: mean arrival rates the scenario is rescaled to.
+        policies: eviction-policy grid keys (see :func:`paging_config`).
+        max_requests: arrivals simulated per grid point.
+        max_batch: requested batch (paged points are not capacity-capped).
+        limits: stage budgets (default sized for the grid).
+        seed: RNG seed (workload and executor).
+        slo_t2ft_s: the T2FT objective attainment is scored against (also
+            the SLO-aware policy's shed deadline).
+        workers: process-pool width (1 = in-process; None = per CPU).
+    """
+    limits = limits or SimulationLimits(max_stages=100_000, warmup_stages=0)
+    for key in policies:
+        paging_config(key)  # validate grid keys before any pool spins up
+    param_sets = [
+        dict(
+            policy_key=key,
+            qps=qps,
+            max_requests=max_requests,
+            max_batch=max_batch,
+            limits=limits,
+            seed=seed,
+            slo_t2ft_s=slo_t2ft_s,
+        )
+        for qps in qps_values
+        for key in policies
+    ]
+    return run_sweep(_paging_point, param_sets, workers=workers)
+
+
+def format_rows(rows: list[PagingRow]) -> str:
+    if not rows:
+        raise ConfigError("no paging rows to format")
+    return format_table(
+        headers=[
+            "QPS", "policy", "done", "shed", "SLO att", "T2FT p50(s)",
+            "tokens/s", "J/token", "preempt", "migrated", "recomputed", "link(s)",
+        ],
+        rows=[
+            [
+                r.qps, r.policy, r.completed, r.shed, r.t2ft_attainment,
+                r.t2ft_p50_s, r.throughput_tokens_per_s, r.energy_per_token_j,
+                r.preemptions, r.migrated_tokens, r.recomputed_tokens, r.host_link_s,
+            ]
+            for r in rows
+        ],
+        title=(
+            "Memory-pressure serving — 'long-context' x eviction policy "
+            "on one Mixtral Duplex node (Section VIII-C)"
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", type=Path, default=None,
+                        help="write the rendered table here (default: stdout only)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: one per CPU)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced grid: 1 QPS x 3 policies, few requests (CI canary)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = run(
+            qps_values=(4.0,),
+            max_requests=80,
+            limits=SimulationLimits(max_stages=40_000, warmup_stages=0),
+            workers=args.workers if args.workers is not None else 1,
+        )
+    else:
+        rows = run(workers=args.workers)
+    text = format_rows(rows)
+    print(text)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,7 @@ from repro.serving.cluster import (
     FleetSample,
     LeastOutstandingTokensRouter,
     ManagedReplica,
+    MemoryPressureRouter,
     MonolithicReplicaSpec,
     PowerOfTwoChoicesRouter,
     QueueDepthSample,
@@ -61,6 +62,7 @@ from repro.serving.cluster import (
 )
 from repro.serving.engine import (
     IncrementalStagePricer,
+    KvPagingCoordinator,
     ServingEngine,
     StageEvent,
     TransferFeed,
@@ -80,11 +82,18 @@ from repro.serving.scenarios import (
     ScenarioSource,
     TenantSpec,
     get_scenario,
+    long_context,
     register_scenario,
     scenario_names,
 )
 from repro.serving.metrics import MetricsCollector, ServingReport
-from repro.serving.paging import EvictionPolicy, HostLink, PagedKvManager
+from repro.serving.paging import (
+    EvictionPolicy,
+    HostLink,
+    PagedKvManager,
+    PagingConfig,
+    PagingStats,
+)
 from repro.serving.policy import (
     AdmissionView,
     ChunkedPrefillPolicy,
@@ -117,13 +126,17 @@ __all__ = [
     "GaussianLengths",
     "HostLink",
     "IncrementalStagePricer",
+    "KvPagingCoordinator",
     "LeastOutstandingTokensRouter",
     "LengthDistribution",
     "LognormalLengths",
     "ManagedReplica",
+    "MemoryPressureRouter",
     "MetricsCollector",
     "MonolithicReplicaSpec",
     "PagedKvManager",
+    "PagingConfig",
+    "PagingStats",
     "PoissonArrivals",
     "PowerOfTwoChoicesRouter",
     "QueueDepthPolicy",
@@ -161,6 +174,7 @@ __all__ = [
     "WorkloadSpec",
     "get_scenario",
     "load_trace",
+    "long_context",
     "register_scenario",
     "save_trace",
     "scenario_names",

@@ -59,9 +59,15 @@ from repro.core.executor import SharedPricingCache, StageExecutor
 from repro.core.system import SystemConfig
 from repro.errors import CapacityError, ConfigError, SchedulingError, SimulationError
 from repro.models.config import ModelConfig
-from repro.serving.engine import IncrementalStagePricer, ServingEngine, SimulationLimits
+from repro.serving.engine import (
+    IncrementalStagePricer,
+    ServingEngine,
+    SimulationLimits,
+    paged_engine_setup,
+)
 from repro.serving.generator import QueueSource, RequestSource, WorkloadSpec, resolve_source
 from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.paging import PagingConfig
 from repro.serving.policy import SchedulingPolicy
 from repro.serving.request import Request
 from repro.serving.scheduler import ContinuousBatchingScheduler
@@ -109,6 +115,10 @@ class ReplicaView:
         state: lifecycle state name; routers only ever receive ACTIVE
             views, but the field makes fleet-membership changes visible
             to routers that track replicas across decisions.
+        resident_tokens: KV tokens currently reserved on the device (the
+            scheduler's committed tokens, including resumes in flight).
+        capacity_tokens: device KV capacity those reservations live under
+            (None when the replica does not report one, e.g. split).
     """
 
     index: int
@@ -117,6 +127,15 @@ class ReplicaView:
     now_s: float
     kind: str = "monolithic"
     state: str = ReplicaState.ACTIVE.value
+    resident_tokens: int = 0
+    capacity_tokens: int | None = None
+
+    @property
+    def memory_pressure(self) -> float:
+        """Resident-KV fraction of capacity (0.0 when capacity is unknown)."""
+        if not self.capacity_tokens:
+            return 0.0
+        return self.resident_tokens / self.capacity_tokens
 
 
 class Router(ABC):
@@ -160,6 +179,34 @@ class LeastOutstandingTokensRouter(Router):
 
     def choose(self, views: Sequence[ReplicaView], request: Request) -> int:
         return min(views, key=lambda v: (v.outstanding_tokens, v.index)).index
+
+
+class MemoryPressureRouter(Router):
+    """Least-outstanding-tokens with a resident-KV pressure penalty.
+
+    A replica close to its KV capacity admits slowly — or, under live
+    paging, starts evicting and paying host-link/recompute overheads — so
+    a plain outstanding-token count under-states its effective load.  The
+    score inflates each replica's outstanding tokens by
+    ``1 + pressure_weight * memory_pressure`` (resident-KV fraction), so
+    long-context traffic steers away from replicas already under memory
+    pressure; with weight 0 this degrades to
+    :class:`LeastOutstandingTokensRouter` exactly.
+    """
+
+    name = "memory-pressure"
+
+    def __init__(self, pressure_weight: float = 1.0) -> None:
+        if pressure_weight < 0:
+            raise ConfigError("pressure_weight must be non-negative")
+        self.pressure_weight = pressure_weight
+
+    def choose(self, views: Sequence[ReplicaView], request: Request) -> int:
+        def score(view: ReplicaView) -> tuple[float, int]:
+            penalty = 1.0 + self.pressure_weight * view.memory_pressure
+            return (penalty * view.outstanding_tokens, view.index)
+
+        return min(views, key=score).index
 
 
 class PowerOfTwoChoicesRouter(Router):
@@ -244,6 +291,8 @@ class _MonolithicReplica:
         memoize_pricing: bool,
         incremental_pricing: bool = False,
         shared_cache: bool | SharedPricingCache = True,
+        paging: PagingConfig | None = None,
+        worst_case_tokens: int | None = None,
     ) -> None:
         self.index = index
         self.inbox = QueueSource()
@@ -255,8 +304,15 @@ class _MonolithicReplica:
             memoize=memoize_pricing,
             shared_cache=shared_cache,
         )
+        coordinator = None
+        if paging is not None:
+            if worst_case_tokens is None:
+                raise ConfigError("paged replicas need the workload's worst case")
+            effective_batch, capacity_tokens, coordinator = paged_engine_setup(
+                paging, system, model, effective_batch, worst_case_tokens, self.executor
+            )
         self.scheduler = ContinuousBatchingScheduler(
-            self.inbox, effective_batch, capacity_tokens, policy=policy
+            self.inbox, effective_batch, capacity_tokens, policy=policy, paging=coordinator
         )
         self.engine = ServingEngine(
             self.scheduler,
@@ -288,8 +344,17 @@ class _MonolithicReplica:
 
     @property
     def in_flight(self) -> int:
-        """Requests routed here and not yet finished (drain tracking)."""
-        return len(self.inbox) + len(self.scheduler.waiting) + len(self.scheduler.running)
+        """Requests routed here and not yet finished (drain tracking).
+
+        Includes requests paged out of the batch (parked on host memory or
+        mid-resume) — they are admitted work the drain must still finish.
+        """
+        return (
+            len(self.inbox)
+            + len(self.scheduler.waiting)
+            + len(self.scheduler.running)
+            + self.scheduler.paged_count
+        )
 
     def view(self) -> ReplicaView:
         return ReplicaView(
@@ -298,6 +363,8 @@ class _MonolithicReplica:
             outstanding_tokens=self.scheduler.outstanding_tokens + self.inbox.queued_tokens,
             now_s=self.now_s,
             kind=self.kind,
+            resident_tokens=self.scheduler.committed_tokens,
+            capacity_tokens=self.scheduler.capacity_tokens,
         )
 
     def budget_spent(self, limits: SimulationLimits) -> bool:
@@ -688,6 +755,13 @@ class ClusterSimulator:
         replicas: explicit per-replica specifications for a heterogeneous
             fleet (mix :class:`MonolithicReplicaSpec` and
             :class:`SplitReplicaSpec`); overrides ``n_replicas``.
+        paging: live KV paging for every monolithic replica
+            (:class:`~repro.serving.paging.PagingConfig`): replicas then
+            admit beyond device KV capacity by evicting/resuming instead
+            of queueing, and the requested ``max_batch`` is no longer
+            capacity-capped.  Split replicas ignore it (like the other
+            monolithic-only arguments).  None (default) keeps the classic
+            behaviour.
         sample_interval_s: virtual-clock cadence of the queue-depth (and,
             for elastic fleets, fleet-composition) telemetry.  Cadence
             samples never advance the engines during the routing phase
@@ -714,6 +788,7 @@ class ClusterSimulator:
         worst_case_tokens: int | None = None,
         replicas: Sequence[ReplicaSpec] | None = None,
         sample_interval_s: float | None = 1.0,
+        paging: PagingConfig | None = None,
     ) -> None:
         if replicas is None:
             if n_replicas is None:
@@ -749,6 +824,7 @@ class ClusterSimulator:
         self._memoize_pricing = memoize_pricing
         self._incremental_pricing = incremental_pricing
         self._shared_pricing_cache = shared_pricing_cache
+        self._paging = paging
         self.effective_batch = 0  # the largest replica batch, set below
         self.handles: list[ManagedReplica] = []
         for spec in replicas:
@@ -774,12 +850,15 @@ class ClusterSimulator:
         elif isinstance(spec, MonolithicReplicaSpec):
             replica_system = spec.system if spec.system is not None else self.system
             requested = spec.max_batch if spec.max_batch is not None else self._max_batch
-            batch = min(requested, replica_system.max_batch_for(self.model, self._worst_seq))
-            if batch < 1:
-                raise CapacityError(
-                    f"{replica_system.name} cannot hold even one worst-case "
-                    f"({self._worst_seq}-token) request for {self.model.name}"
-                )
+            if self._paging is None:
+                batch = min(requested, replica_system.max_batch_for(self.model, self._worst_seq))
+                if batch < 1:
+                    raise CapacityError(
+                        f"{replica_system.name} cannot hold even one worst-case "
+                        f"({self._worst_seq}-token) request for {self.model.name}"
+                    )
+            else:
+                batch = requested  # sized in _MonolithicReplica (paged_engine_setup)
             replica = _MonolithicReplica(
                 index=index,
                 system=replica_system,
@@ -792,6 +871,8 @@ class ClusterSimulator:
                 memoize_pricing=self._memoize_pricing,
                 incremental_pricing=self._incremental_pricing,
                 shared_cache=self._shared_pricing_cache,
+                paging=self._paging,
+                worst_case_tokens=self._worst_seq,
             )
         else:
             raise ConfigError(f"unknown replica spec {spec!r}")

@@ -28,13 +28,23 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
 
-from repro.core.executor import StageExecutor, StageResult
-from repro.errors import ConfigError, SchedulingError
+from repro.core.executor import StageExecutor, StageResult, StageWorkload
+from repro.errors import CapacityError, ConfigError, SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.system import SystemConfig
+    from repro.models.config import ModelConfig
 from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.paging import (
+    EvictionOutcome,
+    EvictionPolicy,
+    PagedKvManager,
+    PagingConfig,
+)
 from repro.serving.request import Request, RequestState
 from repro.serving.scheduler import ContinuousBatchingScheduler
 
@@ -86,6 +96,10 @@ class StageEvent:
         committed_tokens: KV tokens reserved after the stage.
         capacity_tokens: the KV capacity those reservations live under.
         measured: whether the stage landed in the measured window.
+        preempted: requests evicted from device KV at this stage boundary
+            (paging-enabled engines only).
+        resumed: previously evicted requests that rejoined the batch at
+            this stage boundary (their KV landed / prefill replayed).
     """
 
     engine: str
@@ -100,6 +114,8 @@ class StageEvent:
     committed_tokens: int
     capacity_tokens: int | None
     measured: bool
+    preempted: tuple[int, ...] = ()
+    resumed: tuple[int, ...] = ()
 
 
 class TransferFeed:
@@ -156,6 +172,233 @@ class TransferFeed:
         request = heapq.heappop(self._heap)[2]
         self._queued_tokens -= request.total_seq_len
         return request
+
+
+class KvPagingCoordinator:
+    """Live KV paging for one engine: parks victims, prices their return.
+
+    The glue between the accounting-only
+    :class:`~repro.serving.paging.PagedKvManager` and the serving loop.
+    A paging-enabled :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`
+    evicts victims through :meth:`evict` (the request leaves the batch and
+    parks here), initiates resumes through :meth:`resume_next` once device
+    KV frees up, and collects landed requests through :meth:`take_ready`.
+
+    Costs are priced with the same machinery as everything else:
+
+    * **MIGRATE** round-trips are host-link transfers whose completion
+      instants flow through a standard :class:`TransferFeed` — the evicted
+      KV must finish streaming out before it can stream back in, and the
+      request rejoins the batch only when the in-transfer lands.  Each
+      link direction is a serial resource (a busy cursor): concurrent
+      evictions queue behind each other on the outbound link, concurrent
+      resumes on the inbound one, so N simultaneous migrations cost N
+      transfer times of wall clock, not one;
+    * **RECOMPUTE** resumes replay the evicted context as a prefill priced
+      by the engine's own :class:`~repro.core.executor.StageExecutor`
+      (same operators, same energy accounting); replays serialize on one
+      busy cursor, delay the victim's rejoin, and record their energy
+      against the run.  Modeling assumption: the replay runs alongside
+      the serving batch (spare accelerator capacity) — contention with
+      in-flight decode stages is *not* modeled, so recomputation's cost
+      shows up in victim latency and energy, not in batch throughput.
+
+    Attributes:
+        manager: the token-accounting capacity manager.
+        resume_feed: in-flight resumes (request available when KV lands).
+        metrics: collector paging activity is recorded into (wired by the
+            owning :class:`ServingEngine`).
+    """
+
+    def __init__(self, manager: PagedKvManager, executor: StageExecutor) -> None:
+        self.manager = manager
+        self.executor = executor
+        self.resume_feed = TransferFeed()
+        self.metrics: MetricsCollector | None = None
+        #: Parked victims in eviction order: (request, cached KV tokens,
+        #: instant the evicted KV has fully left the device).
+        self._parked: list[tuple[Request, int, float]] = []
+        self._replay_cache: dict[int, StageResult] = {}
+        # Serial-resource busy cursors: a transfer/replay starts no
+        # earlier than the previous one on the same resource finished.
+        self._link_out_free_s = 0.0
+        self._link_in_free_s = 0.0
+        self._replay_free_s = 0.0
+
+    # ------------------------------------------------------------------
+    # occupancy views (scheduler bookkeeping and router load signals)
+    # ------------------------------------------------------------------
+    @property
+    def parked_count(self) -> int:
+        """Evicted requests waiting for device KV to free up."""
+        return len(self._parked)
+
+    @property
+    def in_transit_count(self) -> int:
+        """Resumes initiated but not yet landed (device KV reserved)."""
+        return len(self.resume_feed)
+
+    @property
+    def paged_count(self) -> int:
+        """Requests out of the batch because of paging (parked or landing)."""
+        return len(self._parked) + len(self.resume_feed)
+
+    @property
+    def evicted_tokens(self) -> int:
+        """Reserved tokens of parked requests (future work, off device)."""
+        return self.manager.evicted_tokens
+
+    def next_ready_s(self) -> float:
+        """Next instant a resuming request lands (inf = none in flight)."""
+        return self.resume_feed.peek_arrival()
+
+    # ------------------------------------------------------------------
+    # admission mirroring (keeps the manager and the scheduler in sync)
+    # ------------------------------------------------------------------
+    def on_admit(self, request: Request) -> None:
+        self.manager.admit(request.request_id, request.total_seq_len)
+
+    def on_release(self, request: Request) -> None:
+        self.manager.release(request.request_id)
+
+    # ------------------------------------------------------------------
+    # evict / resume
+    # ------------------------------------------------------------------
+    def evict(self, request: Request, now_s: float) -> EvictionOutcome:
+        """Park a running victim; prices the outbound migration if any."""
+        cached = (
+            request.context_len
+            if request.state is RequestState.DECODING
+            else request.prefilled_tokens
+        )
+        outcome = self.manager.evict(request.request_id, cached)
+        if outcome.transfer_time_s:
+            started = max(now_s, self._link_out_free_s)
+            kv_clear_s = started + outcome.transfer_time_s
+            self._link_out_free_s = kv_clear_s
+        else:
+            kv_clear_s = now_s
+        self._parked.append((request, cached, kv_clear_s))
+        if self.metrics is not None:
+            migrated = cached if self.manager.policy is EvictionPolicy.MIGRATE else 0
+            self.metrics.record_preemption(
+                migrated_tokens=migrated, host_link_s=outcome.transfer_time_s
+            )
+        return outcome
+
+    def peek_parked(self) -> Request | None:
+        """The next request to resume (eviction order — no overtaking)."""
+        return self._parked[0][0] if self._parked else None
+
+    def resume_next(self, now_s: float) -> Request:
+        """Start bringing the head-of-line parked request back.
+
+        The caller must have verified device room (the manager re-checks).
+        Returns the request; it lands on :attr:`resume_feed` after the
+        inbound transfer (MIGRATE) or the replayed prefill (RECOMPUTE).
+        """
+        if not self._parked:
+            raise SchedulingError("no evicted request to resume")
+        request, cached, kv_clear_s = self._parked.pop(0)
+        outcome = self.manager.resume(request.request_id, cached)
+        ready_s = max(now_s, kv_clear_s)
+        if self.manager.policy is EvictionPolicy.RECOMPUTE:
+            replay = self._price_replay(outcome.recompute_tokens)
+            replay_s = replay.latency_s if replay is not None else 0.0
+            if replay_s:
+                started = max(ready_s, self._replay_free_s)
+                ready_s = started + replay_s
+                self._replay_free_s = ready_s
+            if self.metrics is not None:
+                self.metrics.record_paging_resume(
+                    recomputed_tokens=outcome.recompute_tokens,
+                    replay_s=replay_s,
+                    dram_energy=replay.dram_energy_by_category if replay else None,
+                    compute_energy=replay.compute_energy_by_category if replay else None,
+                    comm_energy_j=replay.comm_energy_j if replay else 0.0,
+                )
+        else:
+            if outcome.transfer_time_s:
+                started = max(ready_s, self._link_in_free_s)
+                ready_s = started + outcome.transfer_time_s
+                self._link_in_free_s = ready_s
+            if self.metrics is not None:
+                self.metrics.record_paging_resume(
+                    migrated_tokens=cached, host_link_s=outcome.transfer_time_s
+                )
+        self.resume_feed.push(ready_s, request)
+        return request
+
+    def take_ready(self, now_s: float) -> list[Request]:
+        """Requests whose KV has landed — ready to rejoin the batch."""
+        landed: list[Request] = []
+        while self.resume_feed.has_request_at(now_s):
+            landed.append(self.resume_feed.take(now_s))
+        return landed
+
+    def _price_replay(self, tokens: int) -> StageResult | None:
+        """Price the replayed prefill of ``tokens`` cached tokens.
+
+        Cached per token count: replays of equal length cost the same, and
+        caching keeps the engine's expert-routing RNG stream untouched by
+        repeat evictions of same-sized requests.
+        """
+        if tokens < 1:
+            return None
+        result = self._replay_cache.get(tokens)
+        if result is None:
+            workload = StageWorkload(
+                decode_context_lengths=np.asarray([], dtype=np.int64),
+                prefill_lengths=(tokens,),
+            )
+            result = self.executor.run_stage(workload)
+            self._replay_cache[tokens] = result
+        return result
+
+
+def build_paging_coordinator(
+    config: PagingConfig,
+    capacity_tokens: int,
+    kv_bytes_per_token: float,
+    executor: StageExecutor,
+) -> KvPagingCoordinator:
+    """Build the live-paging coordinator one engine's scheduler attaches to."""
+    manager = PagedKvManager(
+        capacity_tokens=capacity_tokens,
+        kv_bytes_per_token=kv_bytes_per_token,
+        policy=config.policy,
+        link=config.link,
+        host_capacity_tokens=config.host_capacity_tokens,
+    )
+    return KvPagingCoordinator(manager, executor)
+
+
+def paged_engine_setup(
+    config: PagingConfig,
+    system: "SystemConfig",
+    model: "ModelConfig",
+    requested_batch: int,
+    worst_case_tokens: int,
+    executor: StageExecutor,
+) -> tuple[int, int, KvPagingCoordinator]:
+    """Size and equip one paged engine: (batch, capacity, coordinator).
+
+    Paged engines admit *beyond* device KV, so the requested batch is not
+    capacity-capped — but one worst-case request must still fit on the
+    device.  Shared by :class:`~repro.serving.simulator.ServingSimulator`
+    and every paged cluster replica so the admission precondition cannot
+    silently diverge between the single-engine and fleet paths.
+    """
+    capacity_tokens = system.max_resident_kv_tokens(model)
+    if worst_case_tokens > capacity_tokens:
+        raise CapacityError(
+            f"{system.name} cannot hold even one worst-case "
+            f"({worst_case_tokens}-token) request for {model.name}"
+        )
+    coordinator = build_paging_coordinator(
+        config, capacity_tokens, model.kv_bytes_per_token, executor
+    )
+    return requested_batch, capacity_tokens, coordinator
 
 
 class IncrementalStagePricer:
@@ -289,6 +532,9 @@ class ServingEngine:
         self.handed_off_ids: list[int] = []
         self.observers: list[StageObserver] = []
         self._admitted_seen = 0  # admitted_log cursor for StageEvent attribution
+        paging = getattr(scheduler, "paging", None)
+        if paging is not None and paging.metrics is None:
+            paging.metrics = self.metrics
 
     # ------------------------------------------------------------------
     # clock
@@ -349,6 +595,7 @@ class ServingEngine:
             decode_ids = tuple(r.request_id for r in decoding)
             chunks = tuple(scheduler.pending_chunks.items())
         self._admitted_seen = len(scheduler.admitted_log)
+        preempted, resumed = scheduler.drain_paging_events()
         if self.pricer is not None:
             result = self.pricer.price(workload)
         else:
@@ -406,6 +653,8 @@ class ServingEngine:
                 committed_tokens=scheduler.committed_tokens,
                 capacity_tokens=scheduler.capacity_tokens,
                 measured=recording,
+                preempted=preempted,
+                resumed=resumed,
             )
             for observer in self.observers:
                 observer(event)
@@ -430,11 +679,17 @@ class ServingEngine:
                     ):
                         break
                 continue
-            next_arrival = self.scheduler.source.peek_arrival()
-            if next_arrival == float("inf"):
-                break  # finite source exhausted, nothing running
-            self.idle_until(next_arrival, limits)
+            next_event = self._next_event_s()
+            if next_event == float("inf"):
+                break  # finite source exhausted, nothing running or paging
+            self.idle_until(next_event, limits)
         return self.metrics.report()
+
+    def _next_event_s(self) -> float:
+        """Next instant new work can appear: an arrival, or a resume landing."""
+        return min(
+            self.scheduler.source.peek_arrival(), self.scheduler.next_paging_ready_s
+        )
 
     def advance_to(self, t: float, limits: SimulationLimits) -> None:
         """Simulate until the clock reaches ``t`` (stages may overshoot)."""
@@ -446,7 +701,7 @@ class ServingEngine:
             if self.budget_spent(limits):
                 target = t
             else:
-                target = min(t, self.scheduler.source.peek_arrival())
+                target = min(t, self._next_event_s())
             target = max(target, self.now_s)
             gap = target - self.now_s
             if gap > 0:
@@ -465,10 +720,10 @@ class ServingEngine:
         while not self.budget_spent(limits):
             if self.step(limits):
                 continue
-            next_arrival = self.scheduler.source.peek_arrival()
-            if next_arrival == float("inf"):
+            next_event = self._next_event_s()
+            if next_event == float("inf"):
                 break
-            self.advance_to(next_arrival, limits)
+            self.advance_to(next_event, limits)
 
     def drain_until(self, t: float, limits: SimulationLimits) -> None:
         """Drain work until the clock reaches ``t`` (stages may overshoot).
@@ -483,7 +738,7 @@ class ServingEngine:
         while self.now_s < t and not self.budget_spent(limits):
             if self.step(limits):
                 continue
-            next_arrival = self.scheduler.source.peek_arrival()
-            if next_arrival == float("inf") or next_arrival > t:
+            next_event = self._next_event_s()
+            if next_event == float("inf") or next_event > t:
                 break
-            self.advance_to(next_arrival, limits)
+            self.advance_to(next_event, limits)

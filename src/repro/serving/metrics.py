@@ -25,12 +25,27 @@ def weighted_percentile(values: np.ndarray, weights: np.ndarray, q: float) -> fl
     """Percentile ``q`` (0-100) of a weighted sample.
 
     Uses the cumulative-weight definition: the smallest value whose
-    cumulative weight share reaches ``q``.
+    cumulative weight share reaches ``q``.  Zero-weight entries are
+    dropped before the cumulative sum — they own no probability mass, so
+    they must never be returned (with ``side="left"`` a zero-weight
+    smallest value would otherwise win every low percentile).  Negative
+    weights, mismatched array sizes, and an all-zero weight vector are
+    rejected.
     """
     if not 0 <= q <= 100:
         raise ConfigError("percentile must be within 0..100")
     if values.size == 0:
         raise SimulationError("cannot take a percentile of an empty sample")
+    if weights.size != values.size:
+        raise ConfigError("weights must parallel values")
+    if (weights < 0).any():
+        raise ConfigError("percentile weights must be non-negative")
+    if (weights == 0).any():
+        keep = weights > 0
+        values = values[keep]
+        weights = weights[keep]
+        if values.size == 0:
+            raise SimulationError("cannot take a percentile of an all-zero-weight sample")
     order = np.argsort(values)
     sorted_values = values[order]
     cumulative = np.cumsum(weights[order])
@@ -59,6 +74,11 @@ class ServingReport:
             ``t2ft_p50_s``, ``e2e_p50_s``, and — when requests carried a
             per-request SLO — ``t2ft_slo_attainment``); empty for
             single-tenant workloads.
+        paging: KV-paging activity summary (``preemptions``, ``resumes``,
+            ``migrated_out_tokens``, ``migrated_in_tokens``,
+            ``recomputed_tokens``, ``host_link_s``, ``replay_s``); empty
+            when the run never paged (paging disabled, or never under
+            pressure).
     """
 
     tokens_generated: int
@@ -75,6 +95,7 @@ class ServingReport:
     requests_completed: int
     effective_batch: int
     per_tenant: dict[str, dict[str, float]] = field(default_factory=dict)
+    paging: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -96,6 +117,13 @@ class MetricsCollector:
     _tenant_t2ft_slo_met: dict[str, int] = field(default_factory=dict)
     _tenant_t2ft_slo_total: dict[str, int] = field(default_factory=dict)
     _tenant_e2e: dict[str, list[float]] = field(default_factory=dict)
+    _preemptions: int = 0
+    _paging_resumes: int = 0
+    _migrated_out_tokens: int = 0
+    _migrated_in_tokens: int = 0
+    _recomputed_tokens: int = 0
+    _host_link_s: float = 0.0
+    _replay_s: float = 0.0
     effective_batch: int = 0
 
     # ------------------------------------------------------------------
@@ -132,6 +160,14 @@ class MetricsCollector:
         self._tokens += total_tokens_generated
         self._elapsed_s += latency_s
         self._busy_s += latency_s
+        self._add_energy(dram_energy, compute_energy, comm_energy_j)
+
+    def _add_energy(
+        self,
+        dram_energy: dict[OpCategory, float],
+        compute_energy: dict[OpCategory, float],
+        comm_energy_j: float,
+    ) -> None:
         components = self._energy_by_component
         for category, joules in dram_energy.items():
             key = _DRAM_KEYS[category]
@@ -141,6 +177,54 @@ class MetricsCollector:
             components[key] = components.get(key, 0.0) + joules
         if comm_energy_j:
             components["fabric"] = components.get("fabric", 0.0) + comm_energy_j
+
+    # ------------------------------------------------------------------
+    # KV paging (evict/resume under memory pressure)
+    # ------------------------------------------------------------------
+    def record_preemption(self, migrated_tokens: int, host_link_s: float) -> None:
+        """Record one KV eviction (tokens leave the device under MIGRATE)."""
+        self._preemptions += 1
+        self._migrated_out_tokens += migrated_tokens
+        self._host_link_s += host_link_s
+
+    def record_paging_resume(
+        self,
+        migrated_tokens: int = 0,
+        recomputed_tokens: int = 0,
+        host_link_s: float = 0.0,
+        replay_s: float = 0.0,
+        dram_energy: dict[OpCategory, float] | None = None,
+        compute_energy: dict[OpCategory, float] | None = None,
+        comm_energy_j: float = 0.0,
+    ) -> None:
+        """Record one resume: KV streaming back, or a replayed prefill.
+
+        A RECOMPUTE resume carries the replayed prefill's energy (the
+        real cost of dropping KV), which folds into the same per-category
+        energy components regular stages use — so ``energy_per_token_j``
+        honestly reflects recomputation.
+        """
+        self._paging_resumes += 1
+        self._migrated_in_tokens += migrated_tokens
+        self._recomputed_tokens += recomputed_tokens
+        self._host_link_s += host_link_s
+        self._replay_s += replay_s
+        if dram_energy or compute_energy or comm_energy_j:
+            self._add_energy(dram_energy or {}, compute_energy or {}, comm_energy_j)
+
+    def _paging_summary(self) -> dict[str, float]:
+        """Paging counters for the report (empty when nothing ever paged)."""
+        if not self._preemptions and not self._paging_resumes:
+            return {}
+        return {
+            "preemptions": float(self._preemptions),
+            "resumes": float(self._paging_resumes),
+            "migrated_out_tokens": float(self._migrated_out_tokens),
+            "migrated_in_tokens": float(self._migrated_in_tokens),
+            "recomputed_tokens": float(self._recomputed_tokens),
+            "host_link_s": self._host_link_s,
+            "replay_s": self._replay_s,
+        }
 
     def record_first_token(
         self, t2ft_s: float, tenant: str | None = None, slo_s: float | None = None
@@ -201,6 +285,13 @@ class MetricsCollector:
             fleet._elapsed_s = max(fleet._elapsed_s, collector._elapsed_s)
             fleet._busy_s += collector._busy_s
             fleet._requests_completed += collector._requests_completed
+            fleet._preemptions += collector._preemptions
+            fleet._paging_resumes += collector._paging_resumes
+            fleet._migrated_out_tokens += collector._migrated_out_tokens
+            fleet._migrated_in_tokens += collector._migrated_in_tokens
+            fleet._recomputed_tokens += collector._recomputed_tokens
+            fleet._host_link_s += collector._host_link_s
+            fleet._replay_s += collector._replay_s
             fleet.effective_batch += collector.effective_batch
             for key, joules in collector._energy_by_component.items():
                 fleet._energy_by_component[key] = (
@@ -326,4 +417,5 @@ class MetricsCollector:
             requests_completed=self._requests_completed,
             effective_batch=self.effective_batch,
             per_tenant=self._per_tenant_summary(),
+            paging=self._paging_summary(),
         )

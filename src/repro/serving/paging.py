@@ -17,7 +17,8 @@ else.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.errors import CapacityError, ConfigError, SchedulingError
 from repro.units import GB_PER_S, US
@@ -55,6 +56,30 @@ class EvictionPolicy(enum.Enum):
 
     MIGRATE = "migrate"  # KV moves to host memory and back
     RECOMPUTE = "recompute"  # KV is dropped and the prefill replayed
+
+
+@dataclass(frozen=True)
+class PagingConfig:
+    """How a serving engine pages KV past device capacity.
+
+    Handed to :class:`~repro.serving.simulator.ServingSimulator` /
+    :class:`~repro.serving.cluster.ClusterSimulator` to turn on live
+    preemption: the engine then admits beyond its KV capacity by evicting
+    running requests under ``policy`` instead of queueing new arrivals.
+
+    Attributes:
+        policy: what eviction does with the KV (migrate or recompute).
+        link: the device-to-host path migrations are priced on.
+        host_capacity_tokens: host-side KV budget (None = unbounded).
+    """
+
+    policy: EvictionPolicy = EvictionPolicy.MIGRATE
+    link: HostLink = field(default_factory=HostLink)
+    host_capacity_tokens: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.host_capacity_tokens is not None and self.host_capacity_tokens < 1:
+            raise ConfigError("host capacity must be at least one token (or None)")
 
 
 @dataclass(frozen=True)
@@ -118,17 +143,22 @@ class PagedKvManager:
         self.stats = PagingStats()
         self._resident: dict[int, int] = {}  # request id -> reserved tokens
         self._evicted: dict[int, int] = {}  # request id -> reserved tokens
+        # Running totals: admission checks and router load signals read
+        # these once per arrival, so an O(n) re-sum here would be a
+        # per-arrival hot spot (same reasoning as TransferFeed.queued_tokens).
+        self._resident_total = 0
+        self._evicted_total = 0
 
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
     @property
     def resident_tokens(self) -> int:
-        return sum(self._resident.values())
+        return self._resident_total
 
     @property
     def evicted_tokens(self) -> int:
-        return sum(self._evicted.values())
+        return self._evicted_total
 
     def can_admit(self, tokens: int) -> bool:
         """Whether ``tokens`` fit right now without eviction."""
@@ -150,12 +180,13 @@ class PagedKvManager:
                 f"request {request_id} does not fit; evict {tokens - (self.capacity_tokens - self.resident_tokens)} tokens first"
             )
         self._resident[request_id] = tokens
+        self._resident_total += tokens
 
     def release(self, request_id: int) -> None:
         """A request finished: free its device KV."""
         if request_id not in self._resident:
             raise SchedulingError(f"request {request_id} is not resident")
-        del self._resident[request_id]
+        self._resident_total -= self._resident.pop(request_id)
 
     # ------------------------------------------------------------------
     # eviction / resume
@@ -170,7 +201,7 @@ class PagedKvManager:
         """
         if request_id not in self._resident:
             raise SchedulingError(f"request {request_id} is not resident")
-        reservation = self._resident.pop(request_id)
+        reservation = self._resident[request_id]
         if cached_tokens < 0 or cached_tokens > reservation:
             raise ConfigError("cached tokens must be within the reservation")
         if (
@@ -179,7 +210,12 @@ class PagedKvManager:
             and self.evicted_tokens + reservation > self.host_capacity_tokens
         ):
             raise CapacityError("host memory cannot hold another evicted request")
+        # Validation precedes the move: a rejected evict must leave the
+        # reservation resident, not leak it out of the accounting.
+        del self._resident[request_id]
+        self._resident_total -= reservation
         self._evicted[request_id] = reservation
+        self._evicted_total += reservation
         self.stats.evictions += 1
         if self.policy is EvictionPolicy.RECOMPUTE:
             return EvictionOutcome(request_id=request_id, tokens=cached_tokens)
@@ -202,7 +238,9 @@ class PagedKvManager:
         if self.resident_tokens + reservation > self.capacity_tokens:
             raise CapacityError(f"no room to resume request {request_id}")
         del self._evicted[request_id]
+        self._evicted_total -= reservation
         self._resident[request_id] = reservation
+        self._resident_total += reservation
         self.stats.resumes += 1
         if self.policy is EvictionPolicy.RECOMPUTE:
             self.stats.recomputed_tokens += cached_tokens
@@ -218,23 +256,42 @@ class PagedKvManager:
     # ------------------------------------------------------------------
     # victim selection
     # ------------------------------------------------------------------
-    def pick_victims(self, needed_tokens: int) -> list[int]:
+    def pick_victims(
+        self, needed_tokens: int, order: Sequence[int] | None = None
+    ) -> list[int]:
         """Smallest set of resident requests freeing ``needed_tokens``.
 
-        Evicts largest reservations first (fewest victims, PagedAttention's
-        all-or-nothing per request granularity).
+        Without ``order``, evicts largest reservations first (fewest
+        victims, PagedAttention's all-or-nothing per request granularity).
+        With ``order`` — a scheduler policy's
+        :meth:`~repro.serving.policy.SchedulingPolicy.preemption_order` —
+        victims are taken in exactly that preference order, and only ids
+        listed there are eligible (protected requests simply stay off the
+        list).
         """
         if needed_tokens < 1:
             raise ConfigError("needed tokens must be positive")
+        if order is None:
+            candidates = sorted(
+                self._resident.items(), key=lambda item: item[1], reverse=True
+            )
+        else:
+            candidates = []
+            for request_id in order:
+                if request_id not in self._resident:
+                    raise SchedulingError(
+                        f"victim candidate {request_id} is not resident"
+                    )
+                candidates.append((request_id, self._resident[request_id]))
         free = self.capacity_tokens - self.resident_tokens
         victims: list[int] = []
-        for request_id, reservation in sorted(
-            self._resident.items(), key=lambda item: item[1], reverse=True
-        ):
+        for request_id, reservation in candidates:
             if free >= needed_tokens:
                 break
             victims.append(request_id)
             free += reservation
         if free < needed_tokens:
-            raise CapacityError("evicting every request still cannot free enough KV")
+            raise CapacityError(
+                "evicting every eligible request still cannot free enough KV"
+            )
         return victims

@@ -81,6 +81,20 @@ class SchedulingPolicy(ABC):
         """Max prefill tokens a single stage may carry (None = unlimited)."""
         return None
 
+    def preemption_order(self, running: list[Request], now_s: float) -> list[Request]:
+        """Preferred KV-preemption victims, most preemptible first.
+
+        Consulted by a paging-enabled scheduler when an arrival does not
+        fit in device KV: victims are evicted in this order (all or
+        nothing per request) until the arrival fits.  Requests left off
+        the list are protected and never preempted.  The default is
+        FCFS-youngest-first — the most recently arrived request parks
+        first, so work that has waited longest keeps its residency.
+        """
+        return sorted(
+            running, key=lambda r: (r.arrival_time_s, r.request_id), reverse=True
+        )
+
 
 class FcfsPolicy(SchedulingPolicy):
     """First-come-first-served admission — the seed scheduler's behaviour."""
@@ -124,11 +138,20 @@ class SloAwarePolicy(SchedulingPolicy):
     admitted — under overload this stops the queue from dragging every
     later arrival past its SLO too.
 
+    Under KV paging the policy is also deadline-aware about *preemption*:
+    a request that has not yet produced its first token and whose T2FT
+    deadline is close (within ``preemption_guard_s``, default half its
+    SLO) is protected from eviction — parking it now would turn a
+    still-meetable deadline into a certain miss.
+
     Args:
         t2ft_slo_s: time-to-first-token objective.
         shed_expired: reject requests that can no longer meet the deadline.
         prefer_short_inputs: among equal deadlines, admit shorter prompts
             first (shortest-job-first prefill).
+        preemption_guard_s: protect pre-first-token requests whose T2FT
+            deadline is within this window from preemption (None = half
+            the request's SLO).
     """
 
     name = "slo-aware"
@@ -138,12 +161,16 @@ class SloAwarePolicy(SchedulingPolicy):
         t2ft_slo_s: float,
         shed_expired: bool = True,
         prefer_short_inputs: bool = False,
+        preemption_guard_s: float | None = None,
     ) -> None:
         if t2ft_slo_s <= 0:
             raise ConfigError("the T2FT SLO must be positive")
+        if preemption_guard_s is not None and preemption_guard_s < 0:
+            raise ConfigError("the preemption guard must be non-negative")
         self.t2ft_slo_s = t2ft_slo_s
         self.shed_expired = shed_expired
         self.prefer_short_inputs = prefer_short_inputs
+        self.preemption_guard_s = preemption_guard_s
 
     def deadline(self, request: Request) -> float:
         slo = request.t2ft_slo_s if request.t2ft_slo_s is not None else self.t2ft_slo_s
@@ -159,3 +186,30 @@ class SloAwarePolicy(SchedulingPolicy):
         if not self.shed_expired:
             return []
         return [request for request in waiting if self.deadline(request) < now_s]
+
+    def _preemption_guard(self, request: Request) -> float:
+        if self.preemption_guard_s is not None:
+            return self.preemption_guard_s
+        slo = request.t2ft_slo_s if request.t2ft_slo_s is not None else self.t2ft_slo_s
+        return 0.5 * slo
+
+    def preemption_order(self, running: list[Request], now_s: float) -> list[Request]:
+        """Youngest-first, but never a request racing its T2FT deadline.
+
+        Protection applies only to deadlines that are close *and still
+        meetable*: a pre-first-token request whose deadline has already
+        passed is a certain miss, so parking it costs nothing — keeping
+        it resident would evict healthy requests in its stead.
+        """
+
+        def preemptible(request: Request) -> bool:
+            if request.first_token_time_s is not None:
+                return True  # T2FT already settled; only E2E at stake
+            remaining = self.deadline(request) - now_s
+            return remaining <= 0 or remaining > self._preemption_guard(request)
+
+        return sorted(
+            (request for request in running if preemptible(request)),
+            key=lambda r: (r.arrival_time_s, r.request_id),
+            reverse=True,
+        )

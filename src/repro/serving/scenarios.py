@@ -606,6 +606,49 @@ def _multi_tenant_slo() -> Scenario:
     )
 
 
+def long_context(
+    qps: float = 2.0,
+    lin_median: float = 16384,
+    lout_median: float = 2048,
+    sigma: float = 0.8,
+    max_factor: float = 8.0,
+    t2ft_slo_s: float = 10.0,
+) -> Scenario:
+    """The memory-pressure scenario family (document QA over huge contexts).
+
+    Heavy-tailed lognormal prompts an order of magnitude longer than the
+    chat scenarios, with long generations that keep each request resident
+    for thousands of decode stages: KV demand outgrows a replica's device
+    memory long before its compute saturates, so classic capacity-capped
+    admission queues arrivals past their SLO or sheds them — the regime
+    KV paging (:mod:`repro.serving.paging`) exists for.  Any single
+    request still fits on the device (``max_factor`` clips the tail); it
+    is the *aggregate* that overflows.
+
+    Args:
+        qps: mean Poisson arrival rate.
+        lin_median / lout_median: median prompt / output lengths (tokens).
+        sigma: lognormal shape (heavier tail as it grows).
+        max_factor: per-request clip, in multiples of the median.
+        t2ft_slo_s: the tenant's first-token objective (long prefills
+            justify a looser SLO than chat).
+    """
+    return Scenario(
+        name="long-context",
+        description="heavy-tailed long-document prompts that overflow device KV (paging stress)",
+        arrivals=PoissonArrivals(qps=qps),
+        tenants=(
+            TenantSpec(
+                "long-context",
+                LognormalLengths(
+                    lin_median, lout_median, sigma=sigma, max_factor=max_factor
+                ),
+                t2ft_slo_s=t2ft_slo_s,
+            ),
+        ),
+    )
+
+
 def _replayed_spike() -> Scenario:
     # A deterministic resonance pattern: a steady drip, then a spike of
     # twelve near-simultaneous arrivals (load balancers hate this).
@@ -628,5 +671,6 @@ for _factory in (
     _heavy_tail_summarize,
     _multi_tenant_slo,
     _replayed_spike,
+    long_context,
 ):
     register_scenario(_factory().name, _factory)

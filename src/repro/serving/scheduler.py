@@ -16,17 +16,32 @@ nothing joins mid-flight.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.executor import StageWorkload
-from repro.errors import ConfigError, SchedulingError
+from repro.errors import CapacityError, ConfigError, SchedulingError
 from repro.serving.generator import RequestSource
+from repro.serving.paging import EvictionPolicy
 from repro.serving.policy import AdmissionView, FcfsPolicy, SchedulingPolicy
 from repro.serving.request import Request, RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.serving.engine import KvPagingCoordinator
 
 
 class ContinuousBatchingScheduler:
     """Stage-level scheduler with KV-capacity admission control.
+
+    With a :class:`~repro.serving.engine.KvPagingCoordinator` attached,
+    admission goes *beyond* ``capacity_tokens``: an arrival that does not
+    fit preempts running victims — chosen by the policy's
+    :meth:`~repro.serving.policy.SchedulingPolicy.preemption_order` through
+    :meth:`~repro.serving.paging.PagedKvManager.pick_victims` — instead of
+    queueing.  Victims park on the coordinator, resume in eviction order
+    once device KV frees up, and rejoin the batch when their KV lands
+    (migration) or their prefill replay completes (recomputation).
 
     Args:
         source: source of requests (synthetic generator, trace replayer, or
@@ -36,6 +51,8 @@ class ContinuousBatchingScheduler:
             a request reserves ``input_len + output_len`` on admission.
         policy: admission/shaping policy; defaults to FCFS (the paper's
             ORCA-style behaviour).
+        paging: live KV-paging coordinator; None (default) keeps the
+            classic behaviour — arrivals queue when capacity is full.
     """
 
     def __init__(
@@ -44,13 +61,24 @@ class ContinuousBatchingScheduler:
         max_batch: int,
         capacity_tokens: int | None = None,
         policy: SchedulingPolicy | None = None,
+        paging: "KvPagingCoordinator | None" = None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError("max_batch must be at least 1")
+        if paging is not None:
+            if capacity_tokens is None:
+                raise ConfigError("paging needs a finite capacity_tokens")
+            if paging.manager.capacity_tokens != capacity_tokens:
+                raise ConfigError(
+                    "the paging manager and the scheduler disagree on KV capacity"
+                )
         self.source = source
         self.max_batch = max_batch
         self.capacity_tokens = capacity_tokens
         self.policy = policy if policy is not None else FcfsPolicy()
+        self.paging = paging
+        self._stage_preempted: list[int] = []
+        self._stage_resumed: list[int] = []
         self.now_s = 0.0
         self.running: list[Request] = []
         self.waiting: list[Request] = []
@@ -160,24 +188,30 @@ class ContinuousBatchingScheduler:
         link — the split deployment's decode partition) joins the batch
         as-is.
         """
+        if self.paging is not None:
+            self._paging_boundary()
         self._drain_arrivals()
         if self.waiting:  # policies only shed/order what is actually queued
             for request in self.policy.shed(self.waiting, self.now_s):
                 self.waiting.remove(request)
                 self.rejected.append(request)
             self.policy.order_waiting(self.waiting, self.now_s)
-        while len(self.running) < self.max_batch:
+        resuming = self.paging.in_transit_count if self.paging is not None else 0
+        while len(self.running) + resuming < self.max_batch:
             candidate = self.waiting[0] if self.waiting else self._peek_source()
             if candidate is None:
                 break
             tokens = candidate.total_seq_len
+            needs_preemption = False
             if self.capacity_tokens is not None:
                 if tokens > self.capacity_tokens:
                     raise SchedulingError(
                         "a single request exceeds the KV capacity of the system"
                     )
                 if self._committed_tokens + tokens > self.capacity_tokens:
-                    break  # full: wait for completions to release KV
+                    if self.paging is None:
+                        break  # full: wait for completions to release KV
+                    needs_preemption = True
             view = AdmissionView(
                 now_s=self.now_s,
                 running=len(self.running),
@@ -187,6 +221,8 @@ class ContinuousBatchingScheduler:
             )
             if not self.policy.may_admit(view, candidate):
                 break
+            if needs_preemption and not self._preempt_for(tokens):
+                break  # nothing (eligible) to evict: queue after all
             if self.waiting:
                 self.waiting.pop(0)
             else:
@@ -201,8 +237,95 @@ class ContinuousBatchingScheduler:
             self.running.append(candidate)
             self.admitted_log.append(candidate.request_id)
             self._committed_tokens += tokens
+            if self.paging is not None:
+                self.paging.on_admit(candidate)
             self._steady = False
             self._steady_ctx = None
+
+    # ------------------------------------------------------------------
+    # KV paging (evict / resume under memory pressure)
+    # ------------------------------------------------------------------
+    def _paging_boundary(self) -> None:
+        """Stage-boundary paging work: land resumes, start new ones.
+
+        Landed requests rejoin the batch in their parked state (decoding
+        or mid-prefill); then parked victims resume strictly in eviction
+        order — head-of-line, no overtaking — as long as device KV and a
+        batch slot are free for each.
+        """
+        paging = self.paging
+        assert paging is not None
+        for request in paging.take_ready(self.now_s):
+            self.running.append(request)
+            self._stage_resumed.append(request.request_id)
+            self._steady = False
+            self._steady_ctx = None
+        assert self.capacity_tokens is not None
+        while True:
+            head = paging.peek_parked()
+            if head is None:
+                break
+            if len(self.running) + paging.in_transit_count >= self.max_batch:
+                break
+            if self._committed_tokens + head.total_seq_len > self.capacity_tokens:
+                break
+            paging.resume_next(self.now_s)
+            self._committed_tokens += head.total_seq_len
+
+    def _preempt_for(self, needed_tokens: int) -> bool:
+        """Evict policy-chosen victims until ``needed_tokens`` fit.
+
+        Returns False (and evicts nothing) when the eligible victims
+        cannot free enough KV — the candidate then queues exactly as it
+        would without paging.
+        """
+        paging = self.paging
+        assert paging is not None
+        order = [
+            request.request_id
+            for request in self.policy.preemption_order(list(self.running), self.now_s)
+        ]
+        try:
+            victim_ids = paging.manager.pick_victims(needed_tokens, order=order)
+        except CapacityError:
+            return False
+        by_id = {request.request_id: request for request in self.running}
+        host_budget = paging.manager.host_capacity_tokens
+        if host_budget is not None and paging.manager.policy is EvictionPolicy.MIGRATE:
+            # A full host must degrade to queueing, not crash mid-eviction.
+            parked = paging.manager.evicted_tokens
+            moving = sum(by_id[request_id].total_seq_len for request_id in victim_ids)
+            if parked + moving > host_budget:
+                return False
+        for request_id in victim_ids:
+            victim = by_id[request_id]
+            paging.evict(victim, self.now_s)
+            self.running.remove(victim)
+            self._committed_tokens -= victim.total_seq_len
+            self._stage_preempted.append(request_id)
+        if victim_ids:
+            self._steady = False
+            self._steady_ctx = None
+        return True
+
+    def drain_paging_events(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(preempted, resumed) request ids since the last drain (cleared)."""
+        if not self._stage_preempted and not self._stage_resumed:
+            return (), ()
+        events = (tuple(self._stage_preempted), tuple(self._stage_resumed))
+        self._stage_preempted = []
+        self._stage_resumed = []
+        return events
+
+    @property
+    def next_paging_ready_s(self) -> float:
+        """Next instant a resuming request lands (inf without paging)."""
+        return self.paging.next_ready_s() if self.paging is not None else float("inf")
+
+    @property
+    def paged_count(self) -> int:
+        """Requests out of the batch because of paging (0 without paging)."""
+        return self.paging.paged_count if self.paging is not None else 0
 
     def _drain_arrivals(self) -> None:
         """Move every arrived request into the waiting queue.
@@ -269,6 +392,9 @@ class ContinuousBatchingScheduler:
         self.running = still_running
         self._stage_chunks = {}
         if finished:
+            if self.paging is not None:
+                for request in finished:
+                    self.paging.on_release(request)
             self._steady = False
             self._steady_ctx = None
         return finished
@@ -282,6 +408,8 @@ class ContinuousBatchingScheduler:
         """
         self.running.remove(request)
         self._committed_tokens -= request.total_seq_len
+        if self.paging is not None:
+            self.paging.on_release(request)
         self._steady = False
         self._steady_ctx = None
 
@@ -310,8 +438,10 @@ class ContinuousBatchingScheduler:
 
     @property
     def outstanding_tokens(self) -> int:
-        """KV tokens of everything admitted or queued (router load signal)."""
-        return self._committed_tokens + sum(r.total_seq_len for r in self.waiting)
+        """KV tokens of everything admitted, queued, or paged out
+        (router load signal) — evicted requests are still future work."""
+        evicted = self.paging.evicted_tokens if self.paging is not None else 0
+        return self._committed_tokens + evicted + sum(r.total_seq_len for r in self.waiting)
 
     # ------------------------------------------------------------------
     # warm start
@@ -349,6 +479,8 @@ class ContinuousBatchingScheduler:
             self.running.append(request)
             self.admitted_log.append(request.request_id)
             self._committed_tokens += request.total_seq_len
+            if self.paging is not None:
+                self.paging.on_admit(request)
             synthetic.append(request)
         return synthetic
 

@@ -20,9 +20,15 @@ from repro.core.executor import SharedPricingCache, StageExecutor
 from repro.core.system import SystemConfig
 from repro.errors import CapacityError
 from repro.models.config import ModelConfig
-from repro.serving.engine import IncrementalStagePricer, ServingEngine, SimulationLimits
+from repro.serving.engine import (
+    IncrementalStagePricer,
+    ServingEngine,
+    SimulationLimits,
+    paged_engine_setup,
+)
 from repro.serving.generator import RequestSource, WorkloadSpec, resolve_source
 from repro.serving.metrics import ServingReport
+from repro.serving.paging import PagingConfig
 from repro.serving.policy import SchedulingPolicy
 from repro.serving.scheduler import ContinuousBatchingScheduler
 
@@ -55,6 +61,13 @@ class ServingSimulator:
             :class:`~repro.core.executor.SharedPricingCache`).
         worst_case_tokens: KV tokens to size the effective batch for; only
             needed for sources that cannot report their own worst case.
+        paging: live KV paging (:class:`~repro.serving.paging.PagingConfig`).
+            The engine then admits *beyond* device KV capacity — the
+            requested ``max_batch`` is no longer capacity-capped — by
+            evicting running requests (migrating their KV to host memory
+            or dropping it for later prefill recomputation) instead of
+            queueing arrivals.  None (default) keeps the classic
+            capacity-capped behaviour.
     """
 
     def __init__(
@@ -71,6 +84,7 @@ class ServingSimulator:
         incremental_pricing: bool = False,
         shared_pricing_cache: bool | SharedPricingCache = False,
         worst_case_tokens: int | None = None,
+        paging: PagingConfig | None = None,
     ) -> None:
         self.system = system
         self.model = model
@@ -84,15 +98,25 @@ class ServingSimulator:
             shared_cache=shared_pricing_cache,
         )
         self.source, worst_seq = resolve_source(workload, seed, worst_case_tokens)
-        self.effective_batch = min(max_batch, system.max_batch_for(model, worst_seq))
-        if self.effective_batch < 1:
-            raise CapacityError(
-                f"{system.name} cannot hold even one worst-case "
-                f"({worst_seq}-token) request for {model.name}"
+        if paging is not None:
+            self.effective_batch, capacity_tokens, self.paging = paged_engine_setup(
+                paging, system, model, max_batch, worst_seq, self.executor
             )
-        capacity_tokens = system.max_resident_kv_tokens(model)
+        else:
+            self.effective_batch = min(max_batch, system.max_batch_for(model, worst_seq))
+            if self.effective_batch < 1:
+                raise CapacityError(
+                    f"{system.name} cannot hold even one worst-case "
+                    f"({worst_seq}-token) request for {model.name}"
+                )
+            capacity_tokens = system.max_resident_kv_tokens(model)
+            self.paging = None
         self.scheduler = ContinuousBatchingScheduler(
-            self.source, self.effective_batch, capacity_tokens, policy=policy
+            self.source,
+            self.effective_batch,
+            capacity_tokens,
+            policy=policy,
+            paging=self.paging,
         )
         pricer = IncrementalStagePricer(self.executor) if incremental_pricing else None
         self.engine = ServingEngine(

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SchedulingError
 from repro.serving.request import Request
 
 
@@ -77,7 +77,9 @@ def load_trace(path: str | Path) -> list[TraceRecord]:
                     output_len=int(payload["output_len"]),
                 )
             except (KeyError, TypeError, ValueError) as error:
-                raise ConfigError(f"{path}:{line_number}: malformed trace record: {error}")
+                raise ConfigError(
+                    f"{path}:{line_number}: malformed trace record: {error}"
+                ) from error
             records.append(record)
     for earlier, later in zip(records, records[1:]):
         if later.arrival_s < earlier.arrival_s:
@@ -95,7 +97,9 @@ class TraceReplayGenerator:
     requests have been taken, and ``has_request_at`` then stays False.
 
     Args:
-        records: the trace, sorted by arrival.
+        records: the trace, sorted by arrival (validated here too, so
+            directly constructed generators get the same guarantee
+            :func:`load_trace` gives file-loaded ones).
         time_scale: stretch (>1) or compress (<1) inter-arrival gaps to
             explore load levels without editing the trace.
     """
@@ -104,6 +108,9 @@ class TraceReplayGenerator:
         if time_scale <= 0:
             raise ConfigError("time_scale must be positive")
         self._records = list(records)
+        for earlier, later in zip(self._records, self._records[1:]):
+            if later.arrival_s < earlier.arrival_s:
+                raise ConfigError("trace arrivals must be non-decreasing")
         self._time_scale = time_scale
         self._cursor = 0
         self._next_id = 0
@@ -153,5 +160,10 @@ class TraceReplayGenerator:
         pending = self.peek()
         if pending is None:
             raise ConfigError("trace exhausted")
+        if now_s < pending.arrival_time_s:
+            raise SchedulingError(
+                f"request {pending.request_id} taken at {now_s:.6f}s, "
+                f"before its arrival at {pending.arrival_time_s:.6f}s"
+            )
         self._pending = None
         return pending

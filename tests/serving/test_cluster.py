@@ -8,6 +8,7 @@ from repro.models.config import mixtral
 from repro.serving.cluster import (
     ClusterSimulator,
     LeastOutstandingTokensRouter,
+    MemoryPressureRouter,
     MonolithicReplicaSpec,
     PowerOfTwoChoicesRouter,
     ReplicaView,
@@ -15,8 +16,10 @@ from repro.serving.cluster import (
     SplitReplicaSpec,
 )
 from repro.serving.generator import QueueSource, WorkloadSpec
+from repro.serving.paging import PagingConfig
 from repro.serving.policy import SloAwarePolicy
 from repro.serving.request import Request
+from repro.serving.scenarios import long_context
 from repro.serving.simulator import SimulationLimits
 from repro.serving.trace import TraceRecord, TraceReplayGenerator
 
@@ -147,6 +150,52 @@ class TestRouters:
         ]
         router = RoundRobinRouter()
         assert [router.choose(views, self._request()) for _ in range(4)] == [4, 7, 4, 7]
+
+    def _pressured_views(self, loads):
+        return [
+            ReplicaView(
+                index=i,
+                queue_depth=0,
+                outstanding_tokens=tokens,
+                now_s=0.0,
+                resident_tokens=resident,
+                capacity_tokens=capacity,
+            )
+            for i, (tokens, resident, capacity) in enumerate(loads)
+        ]
+
+    def test_memory_pressure_penalizes_full_replicas(self):
+        router = MemoryPressureRouter(pressure_weight=1.0)
+        # Replica 0 is slightly lighter on outstanding tokens but nearly
+        # out of KV; replica 1 has headroom and wins.
+        views = self._pressured_views([(90, 95, 100), (100, 10, 100)])
+        assert router.choose(views, self._request()) == 1
+
+    def test_memory_pressure_weight_zero_is_least_outstanding(self):
+        blind = MemoryPressureRouter(pressure_weight=0.0)
+        reference = LeastOutstandingTokensRouter()
+        views = self._pressured_views([(50, 95, 100), (60, 0, 100), (40, 99, 100)])
+        assert blind.choose(views, self._request()) == reference.choose(
+            views, self._request()
+        )
+
+    def test_memory_pressure_handles_unknown_capacity(self):
+        router = MemoryPressureRouter()
+        views = [
+            ReplicaView(index=0, queue_depth=0, outstanding_tokens=50, now_s=0.0),
+            ReplicaView(index=1, queue_depth=0, outstanding_tokens=40, now_s=0.0),
+        ]
+        assert views[0].memory_pressure == 0.0
+        assert router.choose(views, self._request()) == 1
+
+    def test_memory_pressure_ties_break_low_index(self):
+        router = MemoryPressureRouter()
+        views = self._pressured_views([(50, 20, 100), (50, 20, 100)])
+        assert router.choose(views, self._request()) == 0
+
+    def test_negative_pressure_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryPressureRouter(pressure_weight=-0.5)
 
 
 class TestClusterSimulation:
@@ -348,3 +397,37 @@ class TestRoutingQuality:
             router=LeastOutstandingTokensRouter(), max_batch=24, seed=0,
         ).run(limits)
         assert lot.fleet.tbt_p99_s <= rr.fleet.tbt_p99_s
+
+
+@pytest.mark.paging
+class TestPagedCluster:
+    def _paged_cluster(self, paging, router=None, qps=20.0, n=60, seed=1):
+        scenario = long_context(
+            lin_median=49152, lout_median=512, sigma=0.8, max_factor=8.0,
+            t2ft_slo_s=30.0,
+        ).at_qps(qps)
+        return ClusterSimulator(
+            SYSTEM, MODEL, scenario.source(seed=seed, max_requests=n),
+            n_replicas=2, router=router, max_batch=96, seed=seed,
+            paging=paging,
+        )
+
+    def test_paged_fleet_reports_pooled_paging_activity(self):
+        limits = SimulationLimits(max_stages=100_000, warmup_stages=0)
+        sim = self._paged_cluster(
+            PagingConfig(), router=MemoryPressureRouter(), qps=30.0, n=70
+        )
+        report = sim.run(limits)
+        assert sum(report.requests_routed) == 70
+        # Nothing lost: every routed request completed or was shed.
+        assert report.fleet.requests_completed + report.requests_rejected == 70
+        assert report.fleet.paging["preemptions"] > 0
+        # Per-replica accounting drained clean.
+        for replica in sim.replicas:
+            manager = replica.scheduler.paging.manager
+            assert manager.resident_tokens == 0
+            assert manager.evicted_tokens == 0
+
+    def test_paging_disabled_fleet_reports_empty_paging(self):
+        report = poisson_cluster(RoundRobinRouter(), qps=10.0).run(LIMITS)
+        assert report.fleet.paging == {}

@@ -49,13 +49,41 @@ class TestWeightedPercentile:
             assert weighted_percentile(values, weights, q) == 7.5
 
     def test_zero_weight_entries_are_ignored(self):
-        # A zero-weight value never owns cumulative mass, so it can only be
-        # returned at q=0 (threshold 0 lands on the smallest value).
+        # A zero-weight value owns no cumulative mass and must never be
+        # returned, at any percentile.
         values = np.array([1.0, 2.0, 3.0])
         weights = np.array([1.0, 0.0, 1.0])
         assert weighted_percentile(values, weights, 50) == 1.0
         assert weighted_percentile(values, weights, 51) == 3.0
         assert weighted_percentile(values, weights, 100) == 3.0
+
+    def test_zero_weight_smallest_value_never_returned(self):
+        # Regression: with side="left" a zero-weight smallest value used to
+        # survive the cumsum and win every low percentile.
+        values = np.array([1.0, 2.0])
+        weights = np.array([0.0, 1.0])
+        for q in (0, 10, 50, 100):
+            assert weighted_percentile(values, weights, q) == 2.0
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(SimulationError):
+            weighted_percentile(np.array([1.0, 2.0]), np.zeros(2), 50)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            weighted_percentile(np.array([1.0, 2.0]), np.array([1.0, -1.0]), 50)
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            weighted_percentile(np.array([1.0, 2.0]), np.array([1.0]), 50)
+
+    @given(q=st.floats(0, 100), values=st.lists(st.floats(0.1, 1e6), min_size=2, max_size=20))
+    def test_result_always_carries_weight(self, q, values):
+        arr = np.asarray(values)
+        weights = np.ones(arr.size)
+        weights[::2] = 0.0  # zero out every other entry
+        result = weighted_percentile(arr, weights, q)
+        assert result in arr[weights > 0]
 
     def test_q_zero_returns_smallest_value(self):
         values = np.array([4.0, 2.0, 9.0])

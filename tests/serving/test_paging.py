@@ -5,7 +5,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import CapacityError, ConfigError, SchedulingError
-from repro.serving.paging import EvictionPolicy, HostLink, PagedKvManager
+from repro.serving.paging import EvictionPolicy, HostLink, PagedKvManager, PagingConfig
+
+pytestmark = pytest.mark.paging
 
 
 def make_manager(capacity=1000, policy=EvictionPolicy.MIGRATE, host_capacity=None):
@@ -112,6 +114,80 @@ class TestRecompute:
         assert manager.stats.recomputed_tokens == 250
 
 
+class TestAbusePaths:
+    """Misuse must fail loudly and leave the accounting intact."""
+
+    def test_double_evict_rejected(self):
+        manager = make_manager()
+        manager.admit(1, 200)
+        manager.evict(1, cached_tokens=100)
+        with pytest.raises(SchedulingError):
+            manager.evict(1, cached_tokens=100)
+        assert manager.resident_tokens + manager.evicted_tokens == 200
+
+    def test_resume_of_never_evicted_id_rejected(self):
+        manager = make_manager()
+        manager.admit(1, 200)
+        with pytest.raises(SchedulingError):
+            manager.resume(2, cached_tokens=100)
+        with pytest.raises(SchedulingError):
+            manager.resume(1, cached_tokens=100)  # resident, not evicted
+        assert manager.resident_tokens == 200
+        assert manager.evicted_tokens == 0
+
+    def test_evict_of_unknown_id_rejected(self):
+        with pytest.raises(SchedulingError):
+            make_manager().evict(9, cached_tokens=10)
+
+    def test_cached_tokens_beyond_reservation_rejected(self):
+        manager = make_manager()
+        manager.admit(1, 200)
+        with pytest.raises(ConfigError):
+            manager.evict(1, cached_tokens=201)
+        # The failed evict must not leak the reservation out of residency.
+        assert manager.resident_tokens + manager.evicted_tokens == 200
+        manager.evict(1, cached_tokens=200)
+        assert manager.resident_tokens + manager.evicted_tokens == 200
+
+    def test_release_of_evicted_request_rejected(self):
+        manager = make_manager()
+        manager.admit(1, 200)
+        manager.evict(1, cached_tokens=50)
+        with pytest.raises(SchedulingError):
+            manager.release(1)
+        assert manager.evicted_tokens == 200
+
+    def test_pick_victims_when_no_set_suffices(self):
+        manager = make_manager(capacity=1000)
+        manager.admit(1, 300)
+        manager.admit(2, 300)
+        before = manager.resident_tokens
+        with pytest.raises(CapacityError):
+            manager.pick_victims(needed_tokens=1001)
+        # Selection is read-only: a failed pick evicts nothing.
+        assert manager.resident_tokens == before
+        assert manager.evicted_tokens == 0
+
+    def test_readmit_while_evicted_rejected(self):
+        manager = make_manager()
+        manager.admit(1, 200)
+        manager.evict(1, cached_tokens=100)
+        with pytest.raises(SchedulingError):
+            manager.admit(1, 200)
+
+
+class TestPagingConfig:
+    def test_defaults(self):
+        config = PagingConfig()
+        assert config.policy is EvictionPolicy.MIGRATE
+        assert config.host_capacity_tokens is None
+        assert config.link.bandwidth > 0
+
+    def test_bad_host_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            PagingConfig(host_capacity_tokens=0)
+
+
 class TestVictimSelection:
     def test_largest_first(self):
         manager = make_manager(capacity=1000)
@@ -139,6 +215,28 @@ class TestVictimSelection:
         manager = make_manager(capacity=1000)
         manager.admit(1, 100)
         assert manager.pick_victims(needed_tokens=200) == []
+
+    def test_explicit_order_is_followed(self):
+        manager = make_manager(capacity=1000)
+        manager.admit(1, 500)
+        manager.admit(2, 300)
+        manager.admit(3, 200)
+        # Largest-first would take request 1 alone; the policy order wins.
+        assert manager.pick_victims(needed_tokens=400, order=[3, 2, 1]) == [3, 2]
+
+    def test_order_excludes_protected_requests(self):
+        manager = make_manager(capacity=1000)
+        manager.admit(1, 600)
+        manager.admit(2, 300)
+        # Request 1 is protected (off the list); 2 alone cannot free 500.
+        with pytest.raises(CapacityError):
+            manager.pick_victims(needed_tokens=500, order=[2])
+
+    def test_order_with_unknown_id_rejected(self):
+        manager = make_manager(capacity=1000)
+        manager.admit(1, 500)
+        with pytest.raises(SchedulingError):
+            manager.pick_victims(needed_tokens=600, order=[1, 7])
 
 
 class TestInvariants:

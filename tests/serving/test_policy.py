@@ -154,6 +154,51 @@ class TestSloAware:
         assert len(scheduler.rejected) > 0
         assert all(r.state is RequestState.QUEUED for r in scheduler.rejected)
 
+    def test_preemption_order_is_youngest_first(self):
+        # Default hook (any policy): most recently arrived parks first.
+        policy = FcfsPolicy()
+        running = [
+            Request(request_id=i, arrival_time_s=float(i), input_len=8, output_len=4)
+            for i in range(3)
+        ]
+        order = policy.preemption_order(running, now_s=10.0)
+        assert [r.request_id for r in order] == [2, 1, 0]
+
+    def test_slo_preemption_protects_near_deadline_requests(self):
+        policy = SloAwarePolicy(t2ft_slo_s=1.0)  # default guard: half the SLO
+        safe = Request(request_id=0, arrival_time_s=0.0, input_len=8, output_len=4)
+        racing = Request(request_id=1, arrival_time_s=0.35, input_len=8, output_len=4)
+        # At t=1.0: safe's deadline (1.0) passed and racing's (1.35) is
+        # within the 0.5s guard — but safe already produced a first token.
+        safe.start_prefill()
+        safe.finish_prefill(0.5)
+        racing.start_prefill()
+        order = policy.preemption_order([safe, racing], now_s=1.0)
+        assert [r.request_id for r in order] == [0]
+
+    def test_slo_preemption_guard_override_and_per_request_slo(self):
+        policy = SloAwarePolicy(t2ft_slo_s=1.0, preemption_guard_s=0.5)
+        racing = Request(request_id=1, arrival_time_s=0.0, input_len=8, output_len=4)
+        racing.start_prefill()
+        # Preemptible while the deadline is far, protected once inside the
+        # guard window, preemptible again once the deadline is lost (a
+        # certain miss must not keep healthier requests out of residency).
+        assert policy.preemption_order([racing], now_s=0.4) == [racing]
+        assert policy.preemption_order([racing], now_s=0.75) == []
+        assert policy.preemption_order([racing], now_s=1.0) == [racing]
+        tenant = Request(
+            request_id=2, arrival_time_s=0.0, input_len=8, output_len=4, t2ft_slo_s=10.0
+        )
+        tenant.start_prefill()
+        loose = SloAwarePolicy(t2ft_slo_s=1.0)  # guard = half the carried SLO
+        assert loose.preemption_order([tenant], now_s=4.0) == [tenant]
+        assert loose.preemption_order([tenant], now_s=6.0) == []
+        assert loose.preemption_order([tenant], now_s=11.0) == [tenant]
+
+    def test_negative_preemption_guard_rejected(self):
+        with pytest.raises(ConfigError):
+            SloAwarePolicy(t2ft_slo_s=1.0, preemption_guard_s=-0.1)
+
     def test_shedding_under_overload_serves_fresher_requests(self):
         model = mixtral()
         system = duplex_system(model, co_processing=True)

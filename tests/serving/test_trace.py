@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.system import gpu_system
 from repro.core.executor import StageExecutor
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError, SchedulingError, SimulationError
 from repro.models.config import mixtral
 from repro.models.ops import OpCategory
 from repro.serving.metrics import MetricsCollector
@@ -32,8 +32,17 @@ class TestTraceRoundTrip:
     def test_malformed_record_rejected(self, tmp_path):
         path = tmp_path / "trace.jsonl"
         path.write_text('{"arrival_s": 0}\n')
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError) as excinfo:
             load_trace(path)
+        # `raise ... from error` keeps the parse failure on the chain.
+        assert isinstance(excinfo.value.__cause__, KeyError)
+
+    def test_malformed_value_keeps_cause_chain(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"arrival_s": "soon", "input_len": 8, "output_len": 4}\n')
+        with pytest.raises(ConfigError) as excinfo:
+            load_trace(path)
+        assert isinstance(excinfo.value.__cause__, ValueError)
 
     def test_unsorted_trace_rejected(self, tmp_path):
         path = tmp_path / "trace.jsonl"
@@ -82,6 +91,34 @@ class TestReplayGenerator:
         generator.take(0.0)
         with pytest.raises(ConfigError):
             generator.take(0.0)
+
+    def test_take_before_arrival_rejected(self):
+        # Regression: take(now_s) used to ignore now_s entirely, handing a
+        # request out before it had arrived.
+        generator = TraceReplayGenerator(make_records(2, gap=1.0))
+        generator.take(0.0)  # first record arrives at t=0
+        with pytest.raises(SchedulingError):
+            generator.take(0.5)  # second arrives at t=1.0
+        # The early take must not consume the request.
+        assert generator.remaining == 1
+        assert generator.take(1.0).input_len == 129
+
+    def test_take_respects_time_scale(self):
+        generator = TraceReplayGenerator(make_records(2, gap=1.0), time_scale=2.0)
+        generator.take(0.0)
+        with pytest.raises(SchedulingError):
+            generator.take(1.5)  # scaled arrival is 2.0
+        assert generator.take(2.0) is not None
+
+    def test_unsorted_records_rejected_at_construction(self):
+        # Regression: only load_trace validated ordering; a directly
+        # constructed generator could replay time-travelling arrivals.
+        records = [
+            TraceRecord(arrival_s=1.0, input_len=8, output_len=4),
+            TraceRecord(arrival_s=0.5, input_len=8, output_len=4),
+        ]
+        with pytest.raises(ConfigError):
+            TraceReplayGenerator(records)
 
     def test_zero_time_scale_rejected(self):
         with pytest.raises(ConfigError):
