@@ -3,7 +3,7 @@
 Usage::
 
     python benchmarks/perf/compare.py BASELINE.json NEW.json \
-        [--max-regression 0.20] [--raw]
+        [--max-regression 0.20] [--raw] [--max-calibration-drift 2.0]
 
 Prints a per-benchmark speedup table (new vs baseline) and exits non-zero
 when any benchmark present in both files regresses by more than
@@ -11,6 +11,13 @@ when any benchmark present in both files regresses by more than
 calibration-normalized values by default so differently-sized CI runners
 do not read as code regressions; ``--raw`` compares raw values instead
 (meaningful only on identical hardware).
+
+The two files' ``calibration_ops_per_s`` scores are always printed and
+compared: a drift beyond ``--max-calibration-drift`` (ratio in either
+direction, default 2x) fails the gate, because normalized values from
+machines *that* different measure the calibration loop's fidelity more
+than the code under test — flag the mismatch instead of silently
+normalizing it away.  Pass 0 to disable the check.
 """
 
 from __future__ import annotations
@@ -33,12 +40,41 @@ def speedup(baseline: dict, fresh: dict, raw: bool) -> float:
     return new / old
 
 
-def compare(baseline: dict, fresh: dict, max_regression: float, raw: bool) -> list[str]:
+def calibration_drift(baseline: dict, fresh: dict) -> float | None:
+    """New-over-baseline calibration ratio (None when either is absent)."""
+    old = baseline.get("calibration_ops_per_s")
+    new = fresh.get("calibration_ops_per_s")
+    if not old or not new:
+        return None
+    return new / old
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    max_regression: float,
+    raw: bool,
+    max_calibration_drift: float = 0.0,
+) -> list[str]:
     """Return the list of regression messages (empty = gate passes)."""
     failures: list[str] = []
     shared = sorted(set(baseline["benchmarks"]) & set(fresh["benchmarks"]))
     if not shared:
         return ["no benchmarks in common between the two files"]
+    drift = calibration_drift(baseline, fresh)
+    if drift is not None:
+        print(
+            f"calibration: baseline {baseline['calibration_ops_per_s']:.1f} ops/s, "
+            f"new {fresh['calibration_ops_per_s']:.1f} ops/s ({drift:.2f}x)"
+        )
+        if max_calibration_drift > 0 and not (
+            1.0 / max_calibration_drift <= drift <= max_calibration_drift
+        ):
+            failures.append(
+                f"calibration drift {drift:.2f}x exceeds "
+                f"{max_calibration_drift:.2f}x — normalized values are not "
+                "comparable across machines this different"
+            )
     print(f"{'benchmark':26s} {'baseline':>14s} {'new':>14s} {'speedup':>8s}")
     for name in shared:
         old = baseline["benchmarks"][name]
@@ -73,11 +109,24 @@ def main() -> int:
         action="store_true",
         help="compare raw values instead of calibration-normalized ones",
     )
+    parser.add_argument(
+        "--max-calibration-drift",
+        type=float,
+        default=2.0,
+        help="allowed calibration ratio either way before failing "
+        "(default 2.0; 0 disables the check)",
+    )
     args = parser.parse_args()
 
     baseline = json.loads(args.baseline.read_text())
     fresh = json.loads(args.fresh.read_text())
-    failures = compare(baseline, fresh, args.max_regression, args.raw)
+    failures = compare(
+        baseline,
+        fresh,
+        args.max_regression,
+        args.raw,
+        max_calibration_drift=args.max_calibration_drift,
+    )
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
         for failure in failures:

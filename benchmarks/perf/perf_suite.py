@@ -6,10 +6,17 @@ replicas x sweep points — so this suite times the pricing hot paths
 directly and records the repo's perf trajectory in a repo-root
 ``BENCH_PERF.json``:
 
-* ``pure_decode`` / ``mixed`` / ``moe_heavy`` — exact-mode stages/second
-  through :class:`~repro.core.executor.StageExecutor` (Mixtral
-  Duplex+PE+ET for the first two; GLaM's 64 experts make the third the
-  MoE-dispatch stress test);
+* ``pure_decode`` — exact-mode stages/second through
+  :class:`~repro.core.executor.StageExecutor` (Mixtral Duplex+PE+ET), the
+  per-stage pricing floor the engine fast path amortizes away;
+* ``mixed`` / ``moe_heavy`` — end-to-end engine stages/second on a
+  closed-loop long-decode serving run through the columnar steady-run
+  fast path (Mixtral Duplex+PE+ET for ``mixed``, whose cycles interleave
+  admission/prefill stages with vectorized decode runs; GLaM's 64
+  experts make ``moe_heavy`` the MoE-dispatch stress test);
+* ``engine_grid`` — geometric-mean stages/second over the smoke cells of
+  the parameter-grid harness (``grid.py``: batch size x EventClock bucket
+  width x telemetry cadence x fleet size);
 * ``incremental_decode`` — stages/second through
   :class:`~repro.serving.engine.IncrementalStagePricer` on a steady
   decode run (the delta fast path);
@@ -47,7 +54,7 @@ from repro.models.config import glam, mixtral
 from repro.serving.autoscaler import ElasticFleetSimulator, QueueDepthPolicy
 from repro.serving.engine import IncrementalStagePricer
 from repro.serving.generator import WorkloadSpec
-from repro.serving.simulator import SimulationLimits
+from repro.serving.simulator import ServingSimulator, SimulationLimits
 
 SCHEMA_VERSION = 1
 
@@ -123,42 +130,36 @@ def bench_pure_decode(iterations: int, repeats: int) -> float:
     return _best_rate(run, repeats)
 
 
-def bench_mixed(iterations: int, repeats: int) -> float:
-    model = mixtral()
-    executor = StageExecutor(
-        duplex_system(model, co_processing=True, expert_tensor_parallel=True), model
-    )
-    contexts = np.random.default_rng(0).integers(100, 4000, size=64)
-    workload = StageWorkload(
-        decode_context_lengths=contexts,
-        prefill_lengths=(512, 1024),
-        prefill_context_lengths=(0, 256),
-    )
-    executor.run_stage(workload)
+def _engine_hot_loop_rate(model_factory, stages: int, repeats: int) -> float:
+    """End-to-end engine stages/second on a closed-loop long-decode run.
 
-    def run() -> int:
-        for _ in range(iterations):
-            executor.run_stage(workload)
-        return iterations
+    The workload that the columnar steady-run fast path exists for: a
+    warm-started closed loop whose cycles are one admission/prefill stage
+    followed by hundreds of pure-decode stages committed as vectorized
+    runs.  Simulators are single-shot, so each repeat rebuilds one (and
+    only times :meth:`run`, like the executor benches only time pricing).
+    """
+    model = model_factory()
+    system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    spec = WorkloadSpec(lin_mean=512, lout_mean=4096, lin_cv=0.3, lout_cv=0.3)
+    limits = SimulationLimits(max_stages=stages, warmup_stages=16)
+    best = 0.0
+    for _ in range(repeats):
+        sim = ServingSimulator(system, model, spec, max_batch=8, seed=0)
+        start = time.perf_counter()
+        sim.run(limits)
+        elapsed = time.perf_counter() - start
+        best = max(best, sim.engine.stages / elapsed)
+    return best
 
-    return _best_rate(run, repeats)
+
+def bench_mixed(stages: int, repeats: int) -> float:
+    return _engine_hot_loop_rate(mixtral, stages, repeats)
 
 
-def bench_moe_heavy(iterations: int, repeats: int) -> float:
-    model = glam()  # 64 experts: expert dispatch dominates the stage
-    executor = StageExecutor(
-        duplex_system(model, co_processing=True, expert_tensor_parallel=True), model
-    )
-    contexts = np.random.default_rng(1).integers(100, 2000, size=128)
-    workload = StageWorkload(decode_context_lengths=contexts)
-    executor.run_stage(workload)
-
-    def run() -> int:
-        for _ in range(iterations):
-            executor.run_stage(workload)
-        return iterations
-
-    return _best_rate(run, repeats)
+def bench_moe_heavy(stages: int, repeats: int) -> float:
+    # GLaM's 64 experts: expert dispatch dominates every decode stage.
+    return _engine_hot_loop_rate(glam, stages, repeats)
 
 
 def bench_incremental_decode(iterations: int, repeats: int) -> float:
@@ -255,6 +256,24 @@ def bench_paged_serving(requests: int, repeats: int) -> float:
     return _best_rate(run, repeats)
 
 
+def bench_engine_grid(requests: int, repeats: int) -> float:
+    """Geometric-mean stages/second over the grid harness's smoke cells.
+
+    One scalar summary of the batch x bucket-width x cadence x fleet-size
+    sweep (see ``grid.py``), so the regression gate covers the whole
+    columnar-engine parameter surface with a single BENCH_PERF key; the
+    per-cell breakdown ships as the ``engine_grid.json`` CI artifact.
+    """
+    from grid import run_grid, smoke_grid
+
+    best = 0.0
+    for _ in range(repeats):
+        cells = run_grid(smoke_grid(), requests=requests)
+        rates = [cell["stages_per_s"] for cell in cells]
+        best = max(best, float(np.exp(np.mean(np.log(rates)))))
+    return best
+
+
 def bench_fig13_sweep(repeats: int, fast: bool) -> float:
     limits = SimulationLimits(**FIG13_LIMITS)
 
@@ -297,8 +316,9 @@ def run_suite(scale: float = 1.0, repeats: int = 3) -> dict:
         }
 
     record("pure_decode", bench_pure_decode(iters(3000), repeats), "stages/s")
-    record("mixed", bench_mixed(iters(3000), repeats), "stages/s")
-    record("moe_heavy", bench_moe_heavy(iters(1500), repeats), "stages/s")
+    record("mixed", bench_mixed(iters(12000), repeats), "stages/s")
+    record("moe_heavy", bench_moe_heavy(iters(6000), repeats), "stages/s")
+    record("engine_grid", bench_engine_grid(iters(160), repeats), "stages/s")
     record("incremental_decode", bench_incremental_decode(iters(3000), repeats), "stages/s")
     record("autoscaled_cluster", bench_autoscaled_cluster(iters(400), repeats), "stages/s")
     record("paged_serving", bench_paged_serving(iters(80), repeats), "stages/s")

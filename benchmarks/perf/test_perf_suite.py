@@ -12,7 +12,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from compare import compare, speedup  # noqa: E402
+from compare import calibration_drift, compare, speedup  # noqa: E402
+from grid import run_grid, smoke_grid  # noqa: E402
 from perf_suite import SCHEMA_VERSION, calibration_score, run_suite  # noqa: E402
 
 
@@ -24,6 +25,7 @@ def test_suite_smoke_produces_all_microbenchmarks():
         "pure_decode",
         "mixed",
         "moe_heavy",
+        "engine_grid",
         "incremental_decode",
         "autoscaled_cluster",
         "paged_serving",
@@ -76,6 +78,32 @@ def test_gate_handles_lower_is_better(capsys):
     slow = _payload(2.0, lower_is_better=True)
     assert compare(fast, slow, max_regression=0.20, raw=False)  # slower wall = regression
     assert compare(slow, fast, max_regression=0.20, raw=False) == []  # faster passes
+    capsys.readouterr()
+
+
+def test_grid_smoke_cells_cover_both_clock_backends():
+    cells = run_grid(smoke_grid(), requests=8)
+    assert len(cells) == 4
+    widths = {cell["bucket_width_s"] for cell in cells}
+    assert None in widths and any(w is not None for w in widths)
+    for cell in cells:
+        assert cell["stages"] > 0
+        assert cell["stages_per_s"] > 0
+
+
+def test_calibration_drift_flags_mismatched_machines(capsys):
+    base = _payload(1000.0)
+    fresh = _payload(1000.0)
+    base["calibration_ops_per_s"] = 100.0
+    fresh["calibration_ops_per_s"] = 450.0  # 4.5x apart: not the same machine class
+    assert calibration_drift(base, fresh) == 4.5
+    failures = compare(base, fresh, max_regression=0.20, raw=False, max_calibration_drift=2.0)
+    assert any("calibration drift" in f for f in failures)
+    # Within the band (or with the check disabled) the gate stays quiet.
+    fresh["calibration_ops_per_s"] = 150.0
+    assert compare(base, fresh, max_regression=0.20, raw=False, max_calibration_drift=2.0) == []
+    fresh["calibration_ops_per_s"] = 450.0
+    assert compare(base, fresh, max_regression=0.20, raw=False, max_calibration_drift=0.0) == []
     capsys.readouterr()
 
 

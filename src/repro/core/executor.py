@@ -49,7 +49,7 @@ from repro.errors import ConfigError, SimulationError
 from repro.hardware.processor import ProcessingUnit
 from repro.models.config import ModelConfig
 from repro.models.gating import ExpertRouter
-from repro.models.layers import LayerMath
+from repro.models.layers import SOFTMAX_FLOPS_PER_SCORE, LayerMath
 from repro.models.ops import OpCategory, Operator
 from repro.parallel.collectives import CollectiveModel
 
@@ -180,6 +180,43 @@ class StageResult:
         self.compute_energy_by_category[category] = (
             self.compute_energy_by_category.get(category, 0.0) + joules
         )
+
+
+@dataclass(slots=True)
+class DecodeRunPricing:
+    """Vectorized pricing of a run of consecutive steady decode stages.
+
+    Produced by :meth:`StageExecutor.price_decode_run`: stage ``k`` of the
+    run (1-based) prices the batch with every context grown by ``k``
+    tokens.  Each element of every array is bit-identical to what the
+    scalar per-stage path would compute for that stage, so committing a
+    (possibly truncated) prefix of the run is indistinguishable from
+    having stepped the stages one by one.
+
+    Attributes:
+        latencies: per-stage latency, in stage order.
+        categories: energy categories in the scalar path's dict insertion
+            order (FC, decode attention, then MoE when present).
+        dram / compute: per-category per-stage joule vectors, parallel to
+            ``categories``.
+        comm_energy_j: constant per-stage fabric energy (0.0 when the
+            scalar path would record none).
+        total_tokens: the stage's global decode token count (the
+            :meth:`~repro.models.gating.ExpertRouter.route` argument).
+        rng_state: gating-RNG snapshot taken *before* the batched routing
+            draw, or None when no randomness was consumed (dense models,
+            deterministic gating) — what a truncating commit rewinds to.
+        n_stages: priced run length.
+    """
+
+    latencies: np.ndarray
+    categories: tuple
+    dram: tuple
+    compute: tuple
+    comm_energy_j: float
+    total_tokens: int
+    rng_state: dict | None
+    n_stages: int
 
 
 @dataclass(frozen=True)
@@ -355,6 +392,11 @@ class StageExecutor:
         self._gate_cache: dict[int, tuple] = {}
         self._comm_cache: dict[int, tuple[float, float]] = {}
         self._expected_counts_cache: dict[int, np.ndarray] = {}
+        # Count-indexed expert price lookup tables for the decode-run fast
+        # path, keyed by the routed-token bound (batch * top_k).  A LUT
+        # entry depends only on its own count, so indexing a full-range
+        # table yields the same floats as building one per run.
+        self._run_lut_cache: dict[int, tuple] = {}
         # Scalar per-token-count expert prices — the runtime lookup table of
         # Section V-B extended with energies.  Decode-stage routing repeats
         # the same small counts constantly, so small expert sets price from
@@ -582,6 +624,315 @@ class StageExecutor:
         )
         result.latency_s = base.latency_s - previous + time
         return result
+
+    # ------------------------------------------------------------------
+    # steady decode runs (the columnar fast path)
+    # ------------------------------------------------------------------
+    def price_decode_run(
+        self, context_lengths: np.ndarray, n_stages: int
+    ) -> DecodeRunPricing | None:
+        """Price ``n_stages`` consecutive steady decode stages in one pass.
+
+        Stage ``k`` (1-based) prices the decoding-only composition with
+        contexts ``context_lengths + k`` — exactly the stages a scheduler
+        in steady decode would emit.  Every float is produced by the same
+        IEEE operation sequence as ``n_stages`` scalar
+        :meth:`run_stage` calls (constant FC/gate/collective charges are
+        replayed from the same caches; attention and MoE vectorize over
+        the stage axis elementwise), so a committed run is bit-identical
+        to having priced the stages one at a time — including the gating
+        RNG stream, batched via
+        :meth:`~repro.models.gating.ExpertRouter.route_batch`.
+
+        Returns None when this executor cannot take the fast path
+        (memoized pricing quantizes compositions; the scalar path must
+        stay authoritative there).
+        """
+        if self.memoize or n_stages < 1:
+            return None
+        model = self.model
+        ctx = np.asarray(context_lengths, dtype=np.int64)
+        batch = int(ctx.size)
+        if batch == 0:
+            return None
+        n_run = int(n_stages)
+        local0 = ctx if self._n_nodes == 1 else ctx[:: self._n_nodes]
+        b_local = int(local0.size)
+        local_tokens = b_local
+        n_layers = model.n_layers
+
+        fc_key = (local_tokens, b_local)
+        fc_charge = self._fc_stage_cache.get(fc_key)
+        if fc_charge is None:
+            fc_charge = self._build_fc_stage_charge(local_tokens, b_local)
+            self._fc_stage_cache[fc_key] = fc_charge
+
+        # ---- attention, vectorized over the stage axis ----------------
+        m = model
+        kvf = self._decode_kv_fraction
+        total0 = int(np.add.reduce(local0))
+        steps = np.arange(1, n_run + 1, dtype=np.int64)
+        totals = (total0 + steps * b_local).astype(np.float64)
+        qk_coeff = 4.0 * m.n_heads * m.d_head
+        sm_coeff = SOFTMAX_FLOPS_PER_SCORE * m.n_heads
+        flops_v = (qk_coeff * totals) * kvf + (sm_coeff * totals) * kvf
+        kv_read_v = (totals * m.kv_bytes_per_token_per_layer) * kvf
+        q_read = float(b_local) * m.n_heads * m.d_head * m.dtype_bytes * kvf
+        br_v = kv_read_v + q_read
+        bw_v = np.full(n_run, q_read)
+        system = self.system
+        if system.kind is SystemKind.GPU or self._pim is None:
+            assert self._xpu is not None
+            attn_units: tuple[ProcessingUnit, ...] = (self._xpu,)
+        elif system.kind is SystemKind.HETERO or self._xpu is None:
+            attn_units = (self._pim,)
+        else:
+            attn_units = (self._xpu, self._pim)
+        if len(attn_units) == 1:
+            unit = attn_units[0]
+            attn_time_v = unit.op_times(flops_v, br_v, bw_v, validate=False)
+            attn_dram_v = unit.dram_energies(br_v, bw_v)
+            attn_comp_v = unit.compute_energies(flops_v)
+        else:
+            xpu, pim = attn_units
+            t_x = xpu.op_times(flops_v, br_v, bw_v, validate=False)
+            t_p = pim.op_times(flops_v, br_v, bw_v, validate=False)
+            on_xpu = t_x <= t_p
+            attn_time_v = np.where(on_xpu, t_x, t_p)
+            attn_dram_v = np.where(
+                on_xpu, xpu.dram_energies(br_v, bw_v), pim.dram_energies(br_v, bw_v)
+            )
+            attn_comp_v = np.where(
+                on_xpu, xpu.compute_energies(flops_v), pim.compute_energies(flops_v)
+            )
+        replicas = self._attention_replica_count
+        attn_dram_stage = (attn_dram_v * replicas) * n_layers
+        attn_comp_stage = (attn_comp_v * replicas) * n_layers
+
+        latency_v = fc_charge[0] + attn_time_v * n_layers
+
+        # ---- MoE, vectorized over the stage axis ----------------------
+        rng_state: dict | None = None
+        moe_priced = False
+        moe_dram_v = moe_comp_v = None
+        if model.is_moe and model.n_moe_layers > 0:
+            moe_priced = True
+            assert self._router is not None
+            if self.deterministic_gating:
+                counts0 = self._expected_counts_cache.get(batch)
+                if counts0 is None:
+                    counts0 = np.rint(self._router.expected_counts(batch)).astype(np.int64)
+                    self._expected_counts_cache[batch] = counts0
+                counts_mat = np.tile(counts0, (n_run, 1))
+            else:
+                rng_state = self._router.state_snapshot()
+                counts_mat = self._router.route_batch(batch, n_run)
+            moe_time_v, moe_dram_v, moe_comp_v = self._price_moe_run(
+                counts_mat, local_tokens, n_run, batch * self._router.top_k
+            )
+            latency_v = latency_v + moe_time_v
+        latency_v = latency_v + fc_charge[1]
+
+        comm = self._comm_cache.get(local_tokens)
+        if comm is None:
+            comm = self._communication_cost(local_tokens)
+            self._comm_cache[local_tokens] = comm
+        comm_total, comm_energy = comm
+        latency_v = latency_v + comm_total
+        latency_v = latency_v + fc_charge[2]
+        latency_v = latency_v + fc_charge[3]
+
+        categories: list[OpCategory] = [OpCategory.FC, OpCategory.ATTENTION_DECODE]
+        dram = [np.full(n_run, fc_charge[5]), attn_dram_stage]
+        compute = [np.full(n_run, fc_charge[6]), attn_comp_stage]
+        if moe_priced:
+            categories.append(OpCategory.MOE)
+            dram.append(moe_dram_v)
+            compute.append(moe_comp_v)
+        return DecodeRunPricing(
+            latencies=latency_v,
+            categories=tuple(categories),
+            dram=tuple(dram),
+            compute=tuple(compute),
+            comm_energy_j=comm_energy if comm_total > 0 else 0.0,
+            total_tokens=batch,
+            rng_state=rng_state,
+            n_stages=n_run,
+        )
+
+    def rewind_decode_run(self, pricing: DecodeRunPricing, n_committed: int) -> None:
+        """Reposition the gating RNG after a truncated run commit.
+
+        A run priced for ``pricing.n_stages`` stages but committed for
+        only ``n_committed`` must leave the random stream exactly where
+        ``n_committed`` scalar stages would have: restore the
+        pre-batch-draw snapshot and redraw the committed prefix (batched
+        multinomial rows are drawn in stream order, so the prefix rows —
+        already consumed by the commit — reproduce bit-for-bit).
+        """
+        if pricing.rng_state is None or n_committed >= pricing.n_stages:
+            return
+        assert self._router is not None
+        self._router.state_restore(pricing.rng_state)
+        if n_committed > 0:
+            self._router.route_batch(pricing.total_tokens, n_committed)
+
+    def _run_luts(self, max_count: int) -> tuple:
+        """Count-indexed expert price LUTs over ``0..max_count`` (cached).
+
+        GPU/HETERO executors get ``(time, dram, compute)``; Duplex-style
+        two-unit executors get ``(tx, tp, dx, dp, cx, cp)``.  Each LUT
+        entry is a pure function of its own count, so the cached
+        full-range table indexes to the same floats a per-run table
+        bounded by that run's maximum count would.
+        """
+        luts = self._run_lut_cache.get(max_count)
+        if luts is not None:
+            return luts
+        lut_counts = np.arange(max_count + 1, dtype=np.int64)
+        idle = lut_counts == 0
+        fl, brr, bww = self.math.expert_ffn_arrays(
+            lut_counts, self._expert_fraction, validate=False, idle=idle
+        )
+        system = self.system
+        if system.kind is SystemKind.GPU or system.kind is SystemKind.HETERO:
+            unit = self._xpu if system.kind is SystemKind.GPU else self._pim
+            assert unit is not None
+            luts = (
+                unit.op_times(fl, brr, bww, zero_mask=idle, validate=False),
+                unit.dram_energies(brr, bww),
+                unit.compute_energies(fl),
+            )
+        else:
+            assert self._xpu is not None and self._pim is not None
+            luts = (
+                self._xpu.op_times(fl, brr, bww, zero_mask=idle, validate=False),
+                self._pim.op_times(fl, brr, bww, zero_mask=idle, validate=False),
+                self._xpu.dram_energies(brr, bww),
+                self._pim.dram_energies(brr, bww),
+                self._xpu.compute_energies(fl),
+                self._pim.compute_energies(fl),
+            )
+        self._run_lut_cache[max_count] = luts
+        return luts
+
+    def _price_moe_run(
+        self, counts_mat: np.ndarray, local_tokens: int, n_run: int, max_count: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-stage MoE (latency, dram J, compute J) for a decode run.
+
+        ``counts_mat`` holds one routed-count row per stage.  Per-expert
+        prices come from a lookup table over every possible count (counts
+        are bounded by ``max_count = batch * top_k``), indexed per stage —
+        the exact floats the per-stage array path derives, in the same
+        accumulation order (segment by segment, xPU charges before
+        Logic-PIM, expert energies folded left-to-right from the gate's
+        contribution).
+        """
+        model, system = self.model, self.system
+        layers = model.n_moe_layers
+        charge = self._gate_cache.get(local_tokens)
+        if charge is None:
+            gate_unit = self._xpu if self._xpu is not None else self._pim
+            assert gate_unit is not None
+            gate = self.math.gate(local_tokens, self._fc_fraction)
+            charge = self._build_charge(gate_unit, gate, self._fc_replicas())
+            self._gate_cache[local_tokens] = charge
+        gate_time = charge[1]
+        gate_dram = charge[2] * layers
+        gate_comp = charge[3] * layers
+
+        luts = self._run_luts(max_count)
+        worst_v = np.zeros(n_run)
+        dram_blocks: list[np.ndarray] = []
+        comp_blocks: list[np.ndarray] = []
+
+        if system.kind is SystemKind.GPU or system.kind is SystemKind.HETERO:
+            t_lut, d_lut, c_lut = luts
+            times_mat = t_lut[counts_mat]
+            for start, stop, _ in self._expert_segments:
+                seg_sum = times_mat[:, start:stop].cumsum(axis=1)[:, -1]
+                worst_v = np.maximum(worst_v, seg_sum)
+            charged_layers = layers * self._expert_segments[0][2]
+            dram_blocks.append(d_lut[counts_mat] * charged_layers)
+            comp_blocks.append(c_lut[counts_mat] * charged_layers)
+        else:
+            tx_lut, tp_lut, dx_lut, dp_lut, cx_lut, cp_lut = luts
+            coprocess = system.expert_coprocessing and system.device.supports_coprocessing
+            for start, stop, multiplicity in self._expert_segments:
+                seg = counts_mat[:, start:stop]
+                seg_layers = layers * multiplicity
+                xt = tx_lut[seg]
+                pt = tp_lut[seg]
+                if not coprocess:
+                    x_tot = xt.cumsum(axis=1)[:, -1]
+                    p_tot = pt.cumsum(axis=1)[:, -1]
+                    on_xpu_row = (x_tot <= p_tot)[:, None]
+                    dram_blocks.append(
+                        np.where(on_xpu_row, dx_lut[seg], dp_lut[seg]) * seg_layers
+                    )
+                    comp_blocks.append(
+                        np.where(on_xpu_row, cx_lut[seg], cp_lut[seg]) * seg_layers
+                    )
+                    worst_v = np.maximum(
+                        worst_v, np.where(on_xpu_row[:, 0], x_tot, p_tot)
+                    )
+                    continue
+                # The paper's greedy (coprocessing.assign_from_times),
+                # vectorized across the stage axis: move the lightest
+                # groups to Logic-PIM while the makespan improves.
+                plan = self._assign_plan
+                assert plan is not None
+                if plan.singletons:
+                    g_tokens = seg
+                    g_x, g_p = xt, pt
+                    gid = None
+                else:
+                    n_groups = len(plan.units)
+                    g_tokens = np.zeros((n_run, n_groups), dtype=np.int64)
+                    g_x = np.zeros((n_run, n_groups))
+                    g_p = np.zeros((n_run, n_groups))
+                    gid = np.empty(stop - start, dtype=np.intp)
+                    for g, members in enumerate(plan.units):
+                        tok = np.zeros(n_run, dtype=np.int64)
+                        xs = np.zeros(n_run)
+                        ps = np.zeros(n_run)
+                        for index in members:
+                            tok = tok + seg[:, index]
+                            xs = xs + xt[:, index]
+                            ps = ps + pt[:, index]
+                            gid[index] = g
+                        g_tokens[:, g] = tok
+                        g_x[:, g] = xs
+                        g_p[:, g] = ps
+                order = np.argsort(g_tokens, axis=1, kind="stable")
+                rows = np.arange(n_run)[:, None]
+                sorted_x = g_x[rows, order]
+                sorted_p = g_p[rows, order]
+                all_x = g_x.cumsum(axis=1)[:, -1:]
+                running_x = np.concatenate([all_x, -sorted_x], axis=1).cumsum(axis=1)
+                running_p = np.concatenate(
+                    [np.zeros((n_run, 1)), sorted_p], axis=1
+                ).cumsum(axis=1)
+                makespans = np.maximum(running_x, running_p)
+                best_k = makespans.argmin(axis=1)
+                seg_time = makespans[rows[:, 0], best_k]
+                ranks = np.empty_like(order)
+                ranks[rows, order] = np.arange(order.shape[1])[None, :]
+                on_pim_g = ranks < best_k[:, None]
+                on_pim = on_pim_g if gid is None else on_pim_g[:, gid]
+                dram_blocks.append(np.where(on_pim, 0.0, dx_lut[seg] * seg_layers))
+                dram_blocks.append(np.where(on_pim, dp_lut[seg] * seg_layers, 0.0))
+                comp_blocks.append(np.where(on_pim, 0.0, cx_lut[seg] * seg_layers))
+                comp_blocks.append(np.where(on_pim, cp_lut[seg] * seg_layers, 0.0))
+                worst_v = np.maximum(worst_v, seg_time)
+
+        gate_dram_col = np.full((n_run, 1), gate_dram)
+        gate_comp_col = np.full((n_run, 1), gate_comp)
+        moe_dram_v = np.concatenate([gate_dram_col] + dram_blocks, axis=1).cumsum(axis=1)[:, -1]
+        moe_comp_v = np.concatenate([gate_comp_col] + comp_blocks, axis=1).cumsum(axis=1)[:, -1]
+        moe_time_v = (gate_time + worst_v) * layers
+        return moe_time_v, moe_dram_v, moe_comp_v
 
     # ------------------------------------------------------------------
     # exact pricing

@@ -65,6 +65,38 @@ class ExpertRouter:
         counts = self._rng.multinomial(n_tokens * self.top_k, self._probabilities)
         return counts.astype(np.int64, copy=False)
 
+    def route_batch(self, n_tokens: int, n_stages: int) -> np.ndarray:
+        """Sample ``n_stages`` consecutive stage routings in one draw.
+
+        Row ``k`` is bit-identical to the ``k``-th sequential
+        :meth:`route` call from the same RNG state (numpy's ``size=``
+        multinomial draws rows in stream order), which is what lets the
+        columnar decode fast path batch whole runs of stages without
+        perturbing the random stream.
+
+        Returns:
+            int64 array of shape ``(n_stages, n_experts)``; each row
+            sums to ``n_tokens * top_k``.
+        """
+        if n_tokens < 0:
+            raise ConfigError("token count must be non-negative")
+        if n_stages < 1:
+            raise ConfigError("stage count must be positive")
+        if n_tokens == 0:
+            return np.zeros((n_stages, self.n_experts), dtype=np.int64)
+        counts = self._rng.multinomial(
+            n_tokens * self.top_k, self._probabilities, size=n_stages
+        )
+        return counts.astype(np.int64, copy=False)
+
+    def state_snapshot(self) -> dict:
+        """Snapshot of the RNG stream position (for batched-draw rewind)."""
+        return self._rng.bit_generator.state
+
+    def state_restore(self, state: dict) -> None:
+        """Rewind the RNG stream to a prior :meth:`state_snapshot`."""
+        self._rng.bit_generator.state = state
+
     def expected_counts(self, n_tokens: int) -> np.ndarray:
         """Expected token count per expert (deterministic runs and tests)."""
         if n_tokens < 0:

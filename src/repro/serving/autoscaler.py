@@ -67,6 +67,7 @@ from repro.serving.cluster import (
     Router,
     _MonolithicReplica,
 )
+from repro.serving.columnar import EventClock
 from repro.serving.engine import SimulationLimits
 from repro.serving.generator import RequestSource, WorkloadSpec
 from repro.serving.policy import SchedulingPolicy
@@ -435,6 +436,13 @@ class ElasticFleetSimulator(ClusterSimulator):
             (default: five control intervals).
         slo_window: sliding sample-window length for rolling T2FT/TBT
             attainment.
+        lifecycle_bucket_width_s: bucket width of the lifecycle
+            :class:`~repro.serving.columnar.EventClock` (None, the
+            default, uses its binary-heap backend).  Purely a wakeup
+            index — both backends fire the same transitions at the same
+            instants — so this only matters as a perf knob for very
+            large fleets (see the grid harness in
+            ``benchmarks/perf/grid.py``).
     """
 
     def __init__(
@@ -464,6 +472,7 @@ class ElasticFleetSimulator(ClusterSimulator):
         worst_case_tokens: int | None = None,
         rate_window_s: float | None = None,
         slo_window: int = 64,
+        lifecycle_bucket_width_s: float | None = None,
     ) -> None:
         if min_replicas < 1:
             raise ConfigError("min_replicas must be at least 1 (routing needs a target)")
@@ -531,6 +540,15 @@ class ElasticFleetSimulator(ClusterSimulator):
             replicas=tuple(self.replica_template for _ in range(initial)),
             sample_interval_s=control_interval_s,
         )
+        # Lifecycle wakeups live on an EventClock keyed by replica index:
+        # boot milestones (PROVISIONING -> WARMING -> ACTIVE) are known
+        # instants, so _update_lifecycle pops exactly the due transitions
+        # instead of re-scanning every handle on every arrival and tick.
+        # DRAINING replicas are the one non-timed lifecycle (they retire
+        # when their in-flight work empties), so they sit in a separate
+        # small list that is walked each call.
+        self._lifecycle_clock = EventClock(bucket_width_s=lifecycle_bucket_width_s)
+        self._draining: list[ManagedReplica] = []
         # controller run-state: the sample list and cursors are (re)set
         # in _begin_run; the windows carry their maxlen configuration.
         self._arrival_times: deque[float] = deque()
@@ -553,32 +571,49 @@ class ElasticFleetSimulator(ClusterSimulator):
         ]
 
     def _update_lifecycle(self, t: float, limits: SimulationLimits) -> None:
-        """Advance every replica's lifecycle to virtual time ``t``."""
-        for handle in self.handles:
-            if handle.state is ReplicaState.PROVISIONING and t >= handle.warming_at:
-                handle.set_state(handle.warming_at, ReplicaState.WARMING)
-                # The warm-vs-cold dwell is decided when warming actually
-                # begins — the fleet cache may have been cold when this
-                # replica was provisioned yet warm by the time it boots.
-                dwell = (
-                    self.warm_start_delay_s
-                    if self._cache_is_warm(handle)
-                    else self.warmup_delay_s
-                )
-                handle.active_at = handle.warming_at + dwell
-            if handle.state is ReplicaState.WARMING and t >= handle.active_at:
-                handle.set_state(handle.active_at, ReplicaState.ACTIVE)
-                # The replica's virtual clock starts at activation — it
-                # did not exist (as serving capacity) before.
-                handle.replica.jump_to(handle.active_at)
-            if handle.state is ReplicaState.DRAINING:
-                handle.replica.drain_until(t, limits)
-                if not handle.has_work or handle.budget_spent(limits):
-                    # Stamped at the control-plane observation instant
-                    # (the tick), not the replica's own possibly-overshot
-                    # stage clock, so the event log replays consistently
-                    # against the fixed-cadence fleet samples.
-                    handle.set_state(t, ReplicaState.RETIRED)
+        """Advance replica lifecycles to virtual time ``t``.
+
+        Boot transitions pop off the :class:`EventClock` (nothing due and
+        nothing draining = this returns without touching a handle), so the
+        per-arrival cost no longer scans the whole provision history.
+        """
+        clock = self._lifecycle_clock
+        if clock.next_time() <= t:
+            for index in clock.pop_due(t):
+                handle = self.handles[index]
+                if handle.state is ReplicaState.PROVISIONING and t >= handle.warming_at:
+                    handle.set_state(handle.warming_at, ReplicaState.WARMING)
+                    # The warm-vs-cold dwell is decided when warming
+                    # actually begins — the fleet cache may have been cold
+                    # when this replica was provisioned yet warm by the
+                    # time it boots.
+                    dwell = (
+                        self.warm_start_delay_s
+                        if self._cache_is_warm(handle)
+                        else self.warmup_delay_s
+                    )
+                    handle.active_at = handle.warming_at + dwell
+                    if handle.active_at > t:
+                        clock.schedule(index, handle.active_at)
+                if handle.state is ReplicaState.WARMING and t >= handle.active_at:
+                    handle.set_state(handle.active_at, ReplicaState.ACTIVE)
+                    # The replica's virtual clock starts at activation — it
+                    # did not exist (as serving capacity) before.
+                    handle.replica.jump_to(handle.active_at)
+        if not self._draining:
+            return
+        still_draining: list[ManagedReplica] = []
+        for handle in self._draining:
+            handle.replica.drain_until(t, limits)
+            if not handle.has_work or handle.budget_spent(limits):
+                # Stamped at the control-plane observation instant (the
+                # tick), not the replica's own possibly-overshot stage
+                # clock, so the event log replays consistently against
+                # the fixed-cadence fleet samples.
+                handle.set_state(t, ReplicaState.RETIRED)
+            else:
+                still_draining.append(handle)
+        self._draining = still_draining
 
     def _cache_is_warm(self, handle: ManagedReplica) -> bool:
         """Whether the new replica's pricing spec is already cached."""
@@ -600,6 +635,7 @@ class ElasticFleetSimulator(ClusterSimulator):
             # Provisional (cold) schedule; _update_lifecycle re-derives
             # the dwell when WARMING actually begins.
             handle.active_at = handle.warming_at + self.warmup_delay_s
+            self._lifecycle_clock.schedule(handle.index, handle.warming_at)
 
     def _scale_down(self, t: float, n: int) -> None:
         # Cancel still-booting replicas first (no work to drain), newest
@@ -610,6 +646,7 @@ class ElasticFleetSimulator(ClusterSimulator):
                 if n == 0:
                     return
                 handle.set_state(t, ReplicaState.RETIRED)
+                self._lifecycle_clock.cancel(handle.index)
                 n -= 1
         active = [h for h in self.handles if h.state is ReplicaState.ACTIVE]
         droppable = len(active) - self.min_replicas
@@ -623,6 +660,7 @@ class ElasticFleetSimulator(ClusterSimulator):
         )[: min(n, droppable)]
         for handle in victims:
             handle.set_state(t, ReplicaState.DRAINING)
+            self._draining.append(handle)
 
     # ------------------------------------------------------------------
     # observation
@@ -663,11 +701,12 @@ class ElasticFleetSimulator(ClusterSimulator):
             if len(t2ft) > cursor:
                 self._t2ft_window.extend(t2ft[cursor:])
                 self._t2ft_cursors[handle.index] = len(t2ft)
-            values, weights = metrics.tbt_samples
-            cursor = self._tbt_cursors.get(handle.index, 0)
-            if len(values) > cursor:
-                self._tbt_window.extend(zip(values[cursor:], weights[cursor:]))
-                self._tbt_cursors[handle.index] = len(values)
+            values, weights, cursor = metrics.tbt_samples_since(
+                self._tbt_cursors.get(handle.index, 0)
+            )
+            if values:
+                self._tbt_window.extend(zip(values, weights))
+            self._tbt_cursors[handle.index] = cursor
 
     def _fleet_view(self, t: float, utilization: float) -> FleetView:
         counts = {state: 0 for state in ReplicaState}
@@ -795,6 +834,7 @@ class ElasticFleetSimulator(ClusterSimulator):
                 not handle.has_work or handle.budget_spent(limits)
             ):
                 handle.set_state(end, ReplicaState.RETIRED)
+        self._draining = [h for h in self._draining if h.state is ReplicaState.DRAINING]
         self._observe_latencies()
         self._record_fleet_sample(end, self._fleet_view(end, self._utilization_since_last()))
 

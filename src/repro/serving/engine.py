@@ -38,7 +38,12 @@ from repro.errors import CapacityError, ConfigError, SchedulingError
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.core.system import SystemConfig
     from repro.models.config import ModelConfig
-from repro.serving.metrics import MetricsCollector, ServingReport
+from repro.serving.metrics import (
+    _COMPUTE_KEYS,
+    _DRAM_KEYS,
+    MetricsCollector,
+    ServingReport,
+)
 from repro.serving.paging import (
     EvictionOutcome,
     EvictionPolicy,
@@ -47,6 +52,15 @@ from repro.serving.paging import (
 )
 from repro.serving.request import Request, RequestState
 from repro.serving.scheduler import ContinuousBatchingScheduler
+
+#: Longest steady decode run collapsed into one vectorized commit.  Caps
+#: per-run numpy working-set size; runs longer than this simply commit in
+#: back-to-back chunks with identical results.  256 amortizes the fixed
+#: per-run cost (routing draws, LUT lookups) over enough stages that the
+#: vectorized path clears its 5x target on long-decode workloads while
+#: keeping the working set (a few n_run x n_experts float64 matrices)
+#: comfortably in cache.
+_RUN_CAP = 256
 
 
 @dataclass(frozen=True)
@@ -79,7 +93,7 @@ class StageObserver(Protocol):
     def __call__(self, event: "StageEvent") -> None: ...
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StageEvent:
     """Everything an invariant checker needs to audit one stage.
 
@@ -498,6 +512,15 @@ class ServingEngine:
             executor; steady-decode stages are then priced by delta (the
             opt-in fast path) instead of a full
             :meth:`~repro.core.executor.StageExecutor.run_stage`.
+        columnar: enable the columnar steady-run fast path (default).
+            Provably steady decode runs are then priced, committed, and
+            recorded as vectorized batches — bit-identical results, one
+            Python-level iteration per *run* instead of per stage.  The
+            path disarms itself whenever anything could observe
+            individual stages (observers attached, a pricer or handoff
+            or record gate installed, memoized pricing); pass False to
+            force the scalar per-stage loop everywhere — the oracle the
+            property suite compares against.
     """
 
     def __init__(
@@ -511,10 +534,14 @@ class ServingEngine:
         record_gate: Callable[[SimulationLimits], bool] | None = None,
         handoff: Callable[[Request, float], None] | None = None,
         pricer: IncrementalStagePricer | None = None,
+        columnar: bool = True,
     ) -> None:
         self.scheduler = scheduler
         self.executor = executor
         self.pricer = pricer
+        self.columnar = columnar
+        self._steady_capable = hasattr(scheduler, "steady_run_threshold")
+        self._last_latency_s = 0.0
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.label = label
         self.record_idle = record_idle
@@ -600,6 +627,7 @@ class ServingEngine:
             result = self.pricer.price(workload)
         else:
             result = self.executor.run_stage(workload)
+        self._last_latency_s = result.latency_s
         finished = scheduler.complete_stage(result.latency_s)
         self.stages += 1
         first_tokens = [r for r in prefilling if r.state is not RequestState.PREFILLING]
@@ -661,12 +689,135 @@ class ServingEngine:
         return True
 
     # ------------------------------------------------------------------
+    # the columnar steady-run fast path
+    # ------------------------------------------------------------------
+    def _attempt_steady_run(
+        self,
+        limits: SimulationLimits,
+        horizon_s: float | None = None,
+        sim_time_s: float | None = None,
+    ) -> int:
+        """Collapse a provably steady decode run into one vectorized commit.
+
+        Returns the number of stages committed (0 = take the scalar
+        :meth:`step`).  A run happens only when nothing can observe or
+        perturb the intermediate stages — no observers, pricer, handoff,
+        or record-gate override — and the scheduler proves admission is a
+        no-op until a threshold instant.  Stage latencies, energies, the
+        clock trajectory, the metrics accumulators, and the gating RNG
+        stream all land bit-identical to stepping the same stages
+        scalar-wise: the caps below guarantee a run never straddles the
+        warm-up gate, the stage budget, the first in-batch completion, or
+        (via ``horizon_s`` / ``sim_time_s``) the driving loop's stopping
+        rules.
+        """
+        if (
+            not self.columnar
+            or not self._steady_capable
+            or self.pricer is not None
+            or self.handoff is not None
+            or self.record_gate is not None
+            or self.observers
+            or self.budget_spent(limits)
+        ):
+            return 0
+        # Disqualify incapable executors before touching the scheduler:
+        # memoized pricing quantizes compositions (price_decode_run would
+        # return None anyway), and the threshold/min-remaining probes below
+        # cost a table refresh — too much to pay on every scalar step.
+        price_run = getattr(self.executor, "price_decode_run", None)
+        if price_run is None or getattr(self.executor, "memoize", False):
+            return 0
+        scheduler = self.scheduler
+        threshold = scheduler.steady_run_threshold()
+        if threshold is None:
+            return 0
+        cap = min(scheduler.steady_min_remaining(), _RUN_CAP)
+        stages = self.stages
+        warmup = limits.warmup_stages
+        if stages < warmup:
+            cap = min(cap, warmup - stages)  # runs never straddle warm-up
+        if not self.budget_exempt:
+            cap = min(
+                cap,
+                limits.max_stages - self.measured,
+                warmup + limits.max_stages - stages,
+            )
+        now = self.now_s
+        if horizon_s is not None:
+            threshold = min(threshold, horizon_s)
+        if threshold != float("inf") and self._last_latency_s > 0.0:
+            # Cheap pre-truncation so a near-threshold attempt does not
+            # price stages that cannot fit (any cap is exact — this only
+            # sizes the batch, the searchsorted below decides membership).
+            estimate = int((threshold - now) / self._last_latency_s) + 2
+            cap = min(cap, estimate)
+        if cap < 2:
+            return 0
+        pricing = price_run(scheduler.steady_context_base(), cap)
+        if pricing is None:
+            return 0
+        # boundaries[k] is the clock after stage k; the seeded cumulative
+        # sum reproduces the scalar `now_s += latency` chain bit for bit.
+        boundaries = np.concatenate(([now], pricing.latencies)).cumsum()
+        n = cap
+        if threshold != float("inf"):
+            # A stage joins the run iff it *starts* strictly before the
+            # threshold — at the threshold instant the scalar loop would
+            # drain an arrival / land a resume at that stage boundary.
+            n = min(n, int(np.searchsorted(boundaries[:-1], threshold, side="left")))
+        if sim_time_s is not None and stages >= warmup:
+            # run() stops after the first stage whose *end* reaches the
+            # simulated-time limit — that stage itself still executes.
+            n = min(n, int(np.searchsorted(boundaries[1:], sim_time_s, side="left")) + 1)
+        if n < 2:
+            self.executor.rewind_decode_run(pricing, 0)
+            return 0
+        if n < cap:
+            self.executor.rewind_decode_run(pricing, n)
+        final_now = float(boundaries[n])
+        decode_tokens = len(scheduler.running)
+        finished = scheduler.commit_steady_run(n, final_now)
+        self.stages += n
+        self._last_latency_s = float(pricing.latencies[n - 1])
+        # No straddling: the whole run is measured, or none of it is.
+        in_window = stages >= warmup
+        if in_window:
+            self.measured += n
+            truncate = n < cap
+            components = [
+                (_DRAM_KEYS[category], joules[:n] if truncate else joules)
+                for category, joules in zip(pricing.categories, pricing.dram)
+            ]
+            components += [
+                (_COMPUTE_KEYS[category], joules[:n] if truncate else joules)
+                for category, joules in zip(pricing.categories, pricing.compute)
+            ]
+            self.metrics.record_decode_run(
+                latencies=pricing.latencies[:n] if truncate else pricing.latencies,
+                decode_tokens=decode_tokens,
+                energy_components=components,
+                comm_energy_per_stage_j=pricing.comm_energy_j,
+            )
+        for request in finished:
+            self.finished_ids.append(request.request_id)
+            if request.request_id in self.synthetic_ids:
+                self.synthetic_ids.discard(request.request_id)
+                continue
+            if in_window:
+                self.metrics.record_completion(request.e2e_s, tenant=request.tenant)
+                self.completions += 1
+        return n
+
+    # ------------------------------------------------------------------
     # driving loops
     # ------------------------------------------------------------------
     def run(self, limits: SimulationLimits) -> ServingReport:
         """Run to the limits (or source exhaustion) and return the report."""
         while not self.budget_spent(limits):
-            if self.step(limits):
+            if self._attempt_steady_run(
+                limits, sim_time_s=limits.max_sim_time_s
+            ) or self.step(limits):
                 if self.stages > limits.warmup_stages:
                     if (
                         limits.target_completions is not None
@@ -694,7 +845,7 @@ class ServingEngine:
     def advance_to(self, t: float, limits: SimulationLimits) -> None:
         """Simulate until the clock reaches ``t`` (stages may overshoot)."""
         while self.now_s < t:
-            if self.step(limits):
+            if self._attempt_steady_run(limits, horizon_s=t) or self.step(limits):
                 continue
             # Idle (or out of stage budget): jump to the next queued
             # arrival, or to t if the source is quiet until then.
@@ -718,7 +869,7 @@ class ServingEngine:
     def drain(self, limits: SimulationLimits) -> None:
         """Finish everything queued here (until the stage budget runs out)."""
         while not self.budget_spent(limits):
-            if self.step(limits):
+            if self._attempt_steady_run(limits) or self.step(limits):
                 continue
             next_event = self._next_event_s()
             if next_event == float("inf"):
@@ -736,7 +887,7 @@ class ServingEngine:
         equivalence.  An arrival beyond ``t`` is left for a later slice.
         """
         while self.now_s < t and not self.budget_spent(limits):
-            if self.step(limits):
+            if self._attempt_steady_run(limits, horizon_s=t) or self.step(limits):
                 continue
             next_event = self._next_event_s()
             if next_event == float("inf") or next_event > t:

@@ -3,10 +3,28 @@
 TBT samples are weighted (one stage latency counts once per decode token it
 produced), so percentiles are computed over the token population exactly as
 a per-token trace would give, without storing one entry per token.
+
+TBT storage is *columnar-hot-loop friendly*: instead of unbounded
+per-stage Python lists (two appends per stage, unbounded growth over
+long fleets), the collector keeps
+
+* a latency histogram (``value -> summed token weight``) — percentiles
+  and SLO attainment over the histogram are byte-identical to the old
+  per-stage lists, because weights are integer-valued token counts whose
+  group sums are exact;
+* scalar Welford moments (token-weighted mean/M2) for streaming
+  mean/stddev without any list;
+* a small bounded deque of the most recent samples backing the
+  incremental :meth:`MetricsCollector.tbt_samples_since` cursor API the
+  autoscaling controller polls.
+
+Per-request T2FT/E2E samples stay as lists — they are bounded by request
+count, not stage count, and the report needs their medians.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -98,12 +116,25 @@ class ServingReport:
     paging: dict[str, float] = field(default_factory=dict)
 
 
+#: How many recent TBT samples back the incremental cursor API.  Far
+#: larger than any consumer's own window (the autoscaler keeps 64); a
+#: poll gap exceeding this only drops samples the consumer's sliding
+#: window would have evicted anyway.
+_TBT_RECENT_MAXLEN = 512
+
+
 @dataclass
 class MetricsCollector:
     """Accumulates per-stage and per-request measurements."""
 
-    _tbt_values: list[float] = field(default_factory=list)
-    _tbt_weights: list[float] = field(default_factory=list)
+    _tbt_hist: dict[float, float] = field(default_factory=dict)
+    _tbt_count: int = 0
+    _tbt_weight_total: float = 0.0
+    _tbt_mean: float = 0.0
+    _tbt_m2: float = 0.0
+    _tbt_recent: deque[tuple[float, float]] = field(
+        default_factory=lambda: deque(maxlen=_TBT_RECENT_MAXLEN)
+    )
     _t2ft: list[float] = field(default_factory=list)
     _e2e: list[float] = field(default_factory=list)
     _stages_total: int = 0
@@ -155,12 +186,77 @@ class MetricsCollector:
         if is_mixed:
             self._stages_mixed += 1
         if decode_tokens > 0:
-            self._tbt_values.append(latency_s)
-            self._tbt_weights.append(float(decode_tokens))
+            self._record_tbt(latency_s, float(decode_tokens))
         self._tokens += total_tokens_generated
         self._elapsed_s += latency_s
         self._busy_s += latency_s
         self._add_energy(dram_energy, compute_energy, comm_energy_j)
+
+    def _record_tbt(self, value: float, weight: float) -> None:
+        """Fold one token-weighted TBT sample into the scalar state."""
+        hist = self._tbt_hist
+        hist[value] = hist.get(value, 0.0) + weight
+        self._tbt_count += 1
+        self._tbt_weight_total += weight
+        # Token-weighted Welford update (numerically stable streaming
+        # mean/M2 — no per-stage list needed for mean/stddev).
+        delta = value - self._tbt_mean
+        self._tbt_mean += (weight / self._tbt_weight_total) * delta
+        self._tbt_m2 += weight * delta * (value - self._tbt_mean)
+        self._tbt_recent.append((value, weight))
+
+    def record_decode_run(
+        self,
+        latencies: np.ndarray,
+        decode_tokens: int,
+        energy_components: Sequence[tuple[str, np.ndarray]],
+        comm_energy_per_stage_j: float,
+    ) -> None:
+        """Record a run of consecutive decode-only stages in one call.
+
+        The batched twin of per-stage :meth:`record_stage` for the
+        columnar fast path: every accumulator lands on the exact floats
+        ``n`` sequential ``record_stage`` calls would produce (seeded
+        cumulative sums reproduce left-to-right addition order bit for
+        bit; histogram weights are exact integer-valued token counts).
+
+        Args:
+            latencies: per-stage latencies of the run, in stage order.
+            decode_tokens: decode tokens per stage (the batch width; in a
+                steady decode run it is also the total generated per
+                stage).
+            energy_components: ordered ``(component key, per-stage
+                joules vector)`` pairs, in the key order sequential
+                stages would first insert them.
+            comm_energy_per_stage_j: constant per-stage fabric energy
+                (0.0 records nothing, matching the scalar truthiness
+                gate).
+        """
+        n = int(latencies.size)
+        if n == 0:
+            return
+        if float(latencies.min()) <= 0:
+            raise SimulationError("stage latency must be positive")
+        self._stages_total += n
+        self._tokens += decode_tokens * n
+        self._elapsed_s = float(
+            np.concatenate(([self._elapsed_s], latencies)).cumsum()[-1]
+        )
+        self._busy_s = float(np.concatenate(([self._busy_s], latencies)).cumsum()[-1])
+        if decode_tokens > 0:
+            weight = float(decode_tokens)
+            for value in latencies.tolist():
+                self._record_tbt(value, weight)
+        components = self._energy_by_component
+        for key, joules in energy_components:
+            components[key] = float(
+                np.concatenate(([components.get(key, 0.0)], joules)).cumsum()[-1]
+            )
+        if comm_energy_per_stage_j:
+            fabric = np.full(n, comm_energy_per_stage_j)
+            components["fabric"] = float(
+                np.concatenate(([components.get("fabric", 0.0)], fabric)).cumsum()[-1]
+            )
 
     def _add_energy(
         self,
@@ -275,8 +371,19 @@ class MetricsCollector:
         """
         fleet = cls()
         for collector in collectors:
-            fleet._tbt_values.extend(collector._tbt_values)
-            fleet._tbt_weights.extend(collector._tbt_weights)
+            for value, weight in collector._tbt_hist.items():
+                fleet._tbt_hist[value] = fleet._tbt_hist.get(value, 0.0) + weight
+            fleet._tbt_count += collector._tbt_count
+            fleet._tbt_recent.extend(collector._tbt_recent)
+            if collector._tbt_weight_total > 0:
+                # Parallel (Chan et al.) combination of Welford moments.
+                wa = fleet._tbt_weight_total
+                wb = collector._tbt_weight_total
+                delta = collector._tbt_mean - fleet._tbt_mean
+                total = wa + wb
+                fleet._tbt_mean += delta * wb / total
+                fleet._tbt_m2 += collector._tbt_m2 + delta * delta * wa * wb / total
+                fleet._tbt_weight_total = total
             fleet._t2ft.extend(collector._t2ft)
             fleet._e2e.extend(collector._e2e)
             fleet._stages_total += collector._stages_total
@@ -345,8 +452,44 @@ class MetricsCollector:
 
     @property
     def tbt_samples(self) -> tuple[Sequence[float], Sequence[float]]:
-        """(values, weights) of the TBT samples recorded so far (read-only)."""
-        return self._tbt_values, self._tbt_weights
+        """(values, weights) of the TBT population recorded so far.
+
+        Values are the distinct stage latencies in first-seen order,
+        each carrying its total token weight (the histogram the
+        percentile/attainment math consumes) — equal-weighted-percentile
+        to the historical one-entry-per-stage lists, without the
+        unbounded storage.
+        """
+        return list(self._tbt_hist.keys()), list(self._tbt_hist.values())
+
+    def tbt_samples_since(self, cursor: int) -> tuple[list[float], list[float], int]:
+        """Incremental TBT poll: samples recorded after ``cursor``.
+
+        Returns ``(values, weights, new_cursor)`` where the cursor is an
+        opaque monotone sample count (start from 0).  Backed by a
+        bounded recent-sample buffer: a poll gap larger than the buffer
+        yields only the newest samples, which is lossless for every
+        sliding-window consumer narrower than the buffer (the dropped
+        samples would have been evicted from their window anyway).
+        """
+        gap = self._tbt_count - cursor
+        if gap <= 0:
+            return [], [], self._tbt_count
+        take = min(gap, len(self._tbt_recent))
+        recent = list(self._tbt_recent)[-take:] if take else []
+        return [v for v, _ in recent], [w for _, w in recent], self._tbt_count
+
+    @property
+    def tbt_mean_s(self) -> float:
+        """Token-weighted mean TBT (0.0 before any decode stage)."""
+        return self._tbt_mean if self._tbt_weight_total > 0 else 0.0
+
+    @property
+    def tbt_std_s(self) -> float:
+        """Token-weighted population TBT stddev (Welford moments)."""
+        if self._tbt_weight_total <= 0:
+            return 0.0
+        return float(np.sqrt(max(0.0, self._tbt_m2 / self._tbt_weight_total)))
 
     def tbt_slo_attainment(self, slo_s: float) -> float:
         """Fraction of generated tokens whose TBT met ``slo_s``.
@@ -356,10 +499,10 @@ class MetricsCollector:
         """
         if slo_s <= 0:
             raise ConfigError("SLO must be positive")
-        values = np.asarray(self._tbt_values)
-        weights = np.asarray(self._tbt_weights)
-        if values.size == 0:
+        if not self._tbt_hist:
             raise SimulationError("no TBT samples recorded")
+        values = np.asarray(list(self._tbt_hist.keys()))
+        weights = np.asarray(list(self._tbt_hist.values()))
         met = weights[values <= slo_s].sum()
         return float(met / weights.sum())
 
@@ -396,8 +539,8 @@ class MetricsCollector:
         """Summarise everything recorded so far."""
         if self._stages_total == 0:
             raise SimulationError("no stages recorded")
-        tbt_values = np.asarray(self._tbt_values)
-        tbt_weights = np.asarray(self._tbt_weights)
+        tbt_values = np.asarray(list(self._tbt_hist.keys()))
+        tbt_weights = np.asarray(list(self._tbt_hist.values()))
         if tbt_values.size == 0:
             tbt_values = np.asarray([0.0])
             tbt_weights = np.asarray([1.0])

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.executor import StageWorkload
 from repro.errors import CapacityError, ConfigError, SchedulingError
+from repro.serving.columnar import RequestTable
 from repro.serving.generator import RequestSource
 from repro.serving.paging import EvictionPolicy
 from repro.serving.policy import AdmissionView, FcfsPolicy, SchedulingPolicy
@@ -97,6 +98,10 @@ class ContinuousBatchingScheduler:
         # or prefill invalidates it.
         self._steady = False
         self._steady_ctx: np.ndarray | None = None
+        #: Struct-of-arrays mirror of the in-flight batch (columnar core).
+        #: Rows are registered on admission and freed on exit; dynamic
+        #: columns resync lazily whenever a scalar stage dirtied them.
+        self.table = RequestTable(capacity=max(2 * max_batch, 8))
 
     # ------------------------------------------------------------------
     # stage construction
@@ -236,6 +241,7 @@ class ContinuousBatchingScheduler:
                 )
             self.running.append(candidate)
             self.admitted_log.append(candidate.request_id)
+            self.table.add(candidate)
             self._committed_tokens += tokens
             if self.paging is not None:
                 self.paging.on_admit(candidate)
@@ -257,6 +263,7 @@ class ContinuousBatchingScheduler:
         assert paging is not None
         for request in paging.take_ready(self.now_s):
             self.running.append(request)
+            self.table.add(request)
             self._stage_resumed.append(request.request_id)
             self._steady = False
             self._steady_ctx = None
@@ -301,6 +308,7 @@ class ContinuousBatchingScheduler:
             victim = by_id[request_id]
             paging.evict(victim, self.now_s)
             self.running.remove(victim)
+            self.table.free(request_id)
             self._committed_tokens -= victim.total_seq_len
             self._stage_preempted.append(request_id)
         if victim_ids:
@@ -355,6 +363,7 @@ class ContinuousBatchingScheduler:
             raise SchedulingError("stage latency must be positive")
         if not self.running:
             raise SchedulingError("no stage in flight")
+        self.table.dirty = True
         self.now_s += latency_s
         now_s = self.now_s
         finished: list[Request] = []
@@ -392,11 +401,112 @@ class ContinuousBatchingScheduler:
         self.running = still_running
         self._stage_chunks = {}
         if finished:
+            for request in finished:
+                self.table.free(request.request_id)
             if self.paging is not None:
                 for request in finished:
                     self.paging.on_release(request)
             self._steady = False
             self._steady_ctx = None
+        return finished
+
+    # ------------------------------------------------------------------
+    # steady-decode runs (the columnar fast path)
+    # ------------------------------------------------------------------
+    def steady_run_threshold(self) -> float | None:
+        """Latest-exclusive start time up to which decode stages are steady.
+
+        A *steady run* is a sequence of stages over which admission is a
+        guaranteed no-op: the whole batch decodes, nothing is waiting, and
+        no arrival, paging landing, or parked-resume can change membership
+        before the returned instant.  Returns None when the next stage is
+        not provably steady (the engine falls back to one scalar stage);
+        otherwise every stage whose *start* time is strictly before the
+        threshold is safe to collapse into a vectorized run.
+
+        The run membership is frozen, so mid-run blockages are
+        time-invariant: a full batch stays full and an over-capacity
+        parked head stays parked until the first completion — and runs
+        are capped at ``min_remaining`` so completions only ever land on
+        a run's final stage.
+        """
+        if not self._steady or self._steady_ctx is None or not self.running or self.waiting:
+            return None
+        paging = self.paging
+        threshold = float("inf")
+        batch_full = (
+            len(self.running) + (paging.in_transit_count if paging is not None else 0)
+            >= self.max_batch
+        )
+        if paging is not None:
+            head = paging.peek_parked()
+            if head is not None and not batch_full:
+                assert self.capacity_tokens is not None
+                if self._committed_tokens + head.total_seq_len <= self.capacity_tokens:
+                    return None  # a parked victim would resume right now
+            threshold = paging.next_ready_s()
+        if getattr(self.source, "closed_loop", False):
+            # Closed-loop sources always have a request ready (peek_arrival
+            # is 0.0, not a future instant): steady only while the batch is
+            # full, and then with no time bound from arrivals.
+            if not batch_full:
+                return None
+        else:
+            threshold = min(threshold, self.source.peek_arrival())
+        return threshold
+
+    def steady_context_base(self) -> np.ndarray:
+        """Context-length vector of the last built stage (run stage k
+        prices at ``base + k``, 1-based)."""
+        assert self._steady_ctx is not None
+        return self._steady_ctx
+
+    def steady_min_remaining(self) -> int:
+        """Decode stages until the first in-batch completion (resyncs the
+        columnar table for the run about to be committed)."""
+        self.table.refresh(self.running)
+        return self.table.min_remaining()
+
+    def commit_steady_run(self, n_stages: int, final_now_s: float) -> list[Request]:
+        """Apply ``n_stages`` collapsed decode stages in one mutation.
+
+        Equivalent to ``n_stages`` build/complete cycles of an all-decode
+        batch: every running request emits ``n_stages`` tokens, the clock
+        jumps to ``final_now_s`` (the engine's exact cumulative-latency
+        endpoint), and requests whose budget ran out finish — in batch
+        order, exactly as the scalar loop would have finished them on the
+        run's last stage.
+        """
+        ctx = self._steady_ctx
+        assert ctx is not None
+        self.now_s = final_now_s
+        # Columnar first (refresh reads the pre-run object state), then the
+        # object layer in one pass — columns and objects land identical.
+        self.table.refresh(self.running)
+        self.table.advance_decode(n_stages)
+        finished: list[Request] = []
+        still_running: list[Request] = []
+        for request in self.running:
+            request.context_len += n_stages
+            generated = request.tokens_generated + n_stages
+            request.tokens_generated = generated
+            if generated >= request.output_len:
+                request.finish(final_now_s)
+                finished.append(request)
+                self._committed_tokens -= request.total_seq_len
+            else:
+                still_running.append(request)
+        self.running = still_running
+        if finished:
+            for request in finished:
+                self.table.free(request.request_id)
+            if self.paging is not None:
+                for request in finished:
+                    self.paging.on_release(request)
+            self._steady = False
+            self._steady_ctx = None
+        else:
+            self._steady_ctx = ctx + n_stages
         return finished
 
     def release(self, request: Request) -> None:
@@ -407,6 +517,7 @@ class ContinuousBatchingScheduler:
         this scheduler's batch and its KV reservation travels with it.
         """
         self.running.remove(request)
+        self.table.free(request.request_id)
         self._committed_tokens -= request.total_seq_len
         if self.paging is not None:
             self.paging.on_release(request)
@@ -415,8 +526,13 @@ class ContinuousBatchingScheduler:
 
     @property
     def pending_chunks(self) -> dict[int, int]:
-        """Prefill tokens planned per request id for the stage just built."""
-        return dict(self._stage_chunks)
+        """Prefill tokens planned per request id for the stage just built.
+
+        The live dict, not a copy: ``build_stage`` replaces (never mutates)
+        it, and per-stage defensive copies were a measurable allocation in
+        the hot loop.
+        """
+        return self._stage_chunks
 
     @property
     def stage_partitions(self) -> tuple[list[Request], list[Request]]:
@@ -478,6 +594,7 @@ class ContinuousBatchingScheduler:
                 break
             self.running.append(request)
             self.admitted_log.append(request.request_id)
+            self.table.add(request)
             self._committed_tokens += request.total_seq_len
             if self.paging is not None:
                 self.paging.on_admit(request)

@@ -61,6 +61,10 @@ class ServingSimulator:
             :class:`~repro.core.executor.SharedPricingCache`).
         worst_case_tokens: KV tokens to size the effective batch for; only
             needed for sources that cannot report their own worst case.
+        columnar: enable the engine's columnar steady-run fast path
+            (default; bit-identical results).  ``columnar=False`` forces
+            the scalar per-stage loop — the oracle the columnar property
+            suite compares trajectories against.
         paging: live KV paging (:class:`~repro.serving.paging.PagingConfig`).
             The engine then admits *beyond* device KV capacity — the
             requested ``max_batch`` is no longer capacity-capped — by
@@ -85,6 +89,7 @@ class ServingSimulator:
         shared_pricing_cache: bool | SharedPricingCache = False,
         worst_case_tokens: int | None = None,
         paging: PagingConfig | None = None,
+        columnar: bool = True,
     ) -> None:
         self.system = system
         self.model = model
@@ -120,7 +125,11 @@ class ServingSimulator:
         )
         pricer = IncrementalStagePricer(self.executor) if incremental_pricing else None
         self.engine = ServingEngine(
-            self.scheduler, self.executor, label=system.name, pricer=pricer
+            self.scheduler,
+            self.executor,
+            label=system.name,
+            pricer=pricer,
+            columnar=columnar,
         )
         self.engine.metrics.effective_batch = self.effective_batch
         closed_loop = bool(getattr(self.source, "closed_loop", False))

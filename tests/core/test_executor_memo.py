@@ -155,14 +155,18 @@ class TestMemoizedSpeed:
         # prompts) prices measurably faster with memoization.  The margin
         # is structural — decode-only stages repeat their quantized
         # composition for dozens of stages — so the assertion tolerates
-        # noisy CI clocks.
+        # noisy CI clocks.  Both arms pin the scalar per-stage loop
+        # (columnar=False): the subject here is per-stage pricing cost,
+        # and the columnar run path would otherwise make the *exact* arm
+        # faster than the memoized one (memoized pricing quantizes
+        # compositions, so it never takes vectorized runs).
         spec = WorkloadSpec(lin_mean=4096, lout_mean=512, qps=10.0)
         limits = SimulationLimits(max_stages=500, warmup_stages=30)
 
         def run_once(memoize):
             sim = ServingSimulator(
                 gpu_system(MODEL), MODEL, spec, max_batch=64, seed=0,
-                memoize_pricing=memoize,
+                memoize_pricing=memoize, columnar=False,
             )
             start = time.perf_counter()
             report = sim.run(limits)

@@ -1,0 +1,260 @@
+"""Columnar engine core: unit tests and the columnar↔scalar oracle suite.
+
+Two layers (tier 1 — see TESTING.md):
+
+* unit tests for the struct-of-arrays :class:`RequestTable` (slot
+  recycling, growth, lazy refresh, vectorized advance) and the
+  :class:`EventClock` (heap and calendar backends, lazy cancellation,
+  fire ordering);
+* the property suite pinning the tentpole exactness claim: a full run
+  with the columnar steady-run fast path enabled reproduces the scalar
+  per-stage oracle (``columnar=False``) trajectory *exactly* — same
+  finished ids in the same order, same completion/shed/admission
+  ledgers, same virtual clocks, and an identical ``ServingReport`` —
+  across all 8 invariant-suite configurations, plus both paging
+  policies under heavy preemption.  Exact equality is deliberately
+  stronger than the issue's 1e-9 tolerance: the fast path is built from
+  bit-stable primitives, so any drift is a bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+from repro.errors import ConfigError, SchedulingError  # noqa: E402
+from repro.serving.columnar import EventClock, RequestTable  # noqa: E402
+from repro.serving.request import Request  # noqa: E402
+
+from test_invariants import CONFIGURATIONS, spec_strategy  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# RequestTable
+# ----------------------------------------------------------------------
+def _request(rid: int, input_len: int = 16, output_len: int = 8) -> Request:
+    request = Request(
+        request_id=rid,
+        arrival_time_s=float(rid),
+        input_len=input_len,
+        output_len=output_len,
+    )
+    request.start_prefill()
+    request.finish_prefill(float(rid) + 0.5)
+    return request
+
+
+class TestRequestTable:
+    def test_add_free_recycles_slots_lifo(self):
+        table = RequestTable(capacity=2)
+        a = table.add(_request(1))
+        b = table.add(_request(2))
+        assert a != b and len(table) == 2
+        table.free(1)
+        assert 1 not in table and 2 in table
+        assert table.add(_request(3)) == a  # LIFO recycling
+        assert table.request_id[a] == 3
+
+    def test_duplicate_add_rejected_and_unknown_free_is_noop(self):
+        table = RequestTable(capacity=2)
+        table.add(_request(7))
+        with pytest.raises(SchedulingError):
+            table.add(_request(7))
+        table.free(999)  # silently ignored
+        assert len(table) == 1
+
+    def test_grows_by_doubling(self):
+        table = RequestTable(capacity=2)
+        for rid in range(5):
+            table.add(_request(rid))
+        assert table.capacity == 8
+        assert len(table) == 5
+        assert {int(table.request_id[table.slot_of(r)]) for r in range(5)} == set(range(5))
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            RequestTable(capacity=0)
+
+    def test_refresh_advance_matches_object_layer(self):
+        table = RequestTable(capacity=4)
+        running = [_request(1, output_len=5), _request(2, output_len=9)]
+        for request in running:
+            table.add(request)
+        slots = table.refresh(running)
+        assert not table.dirty
+        # finish_prefill emitted token 1, so request 1 needs 4 more stages.
+        assert table.min_remaining() == 4
+        table.advance_decode(3)
+        assert list(table.tokens_generated[slots]) == [4, 4]
+        assert list(table.context_len[slots]) == [r.context_len + 3 for r in running]
+        # A scalar stage mutates the objects; refresh resyncs when dirty.
+        running[0].advance_decode(0.0)
+        table.dirty = True
+        table.refresh(running)
+        assert table.tokens_generated[table.slot_of(1)] == 2
+        assert table.min_remaining() == 3
+
+    def test_residency_flag(self):
+        table = RequestTable(capacity=2)
+        slot = table.add(_request(1))
+        assert bool(table.kv_resident[slot])
+        table.set_residency(1, False)
+        assert not bool(table.kv_resident[slot])
+        table.set_residency(404, True)  # unknown id: no-op
+
+
+# ----------------------------------------------------------------------
+# EventClock
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bucket_width_s", [None, 0.5, 2.0])
+class TestEventClock:
+    def test_fires_in_time_then_insertion_order(self, bucket_width_s):
+        clock = EventClock(bucket_width_s=bucket_width_s)
+        clock.schedule("b", 2.0)
+        clock.schedule("a", 1.0)
+        clock.schedule("c", 2.0)
+        assert clock.next_time() == 1.0
+        assert clock.pop_due(0.5) == []
+        assert clock.pop_due(2.0) == ["a", "b", "c"]
+        assert clock.next_time() == float("inf")
+        assert len(clock) == 0
+
+    def test_reschedule_moves_and_cancel_forgets(self, bucket_width_s):
+        clock = EventClock(bucket_width_s=bucket_width_s)
+        clock.schedule("a", 5.0)
+        clock.schedule("b", 1.0)
+        clock.schedule("a", 0.25)  # moved earlier
+        clock.cancel("b")
+        assert clock.next_time() == 0.25
+        assert clock.pop_due(10.0) == ["a"]
+        clock.cancel("missing")  # no-op
+
+    def test_partial_bucket_drain_keeps_future_events(self, bucket_width_s):
+        clock = EventClock(bucket_width_s=bucket_width_s)
+        clock.extend([("early", 0.1), ("late", 0.4), ("far", 3.7)])
+        assert clock.pop_due(0.2) == ["early"]
+        # "late" may share a calendar bucket with "early"; it must survive
+        # the partial drain and still fire later.
+        assert clock.next_time() == 0.4
+        assert clock.pop_due(5.0) == ["late", "far"]
+
+    def test_rejects_non_finite_times(self, bucket_width_s):
+        clock = EventClock(bucket_width_s=bucket_width_s)
+        with pytest.raises(ConfigError):
+            clock.schedule("a", float("inf"))
+
+
+def test_clock_backends_agree_on_a_random_schedule():
+    rng = np.random.default_rng(0)
+    heap = EventClock()
+    calendar = EventClock(bucket_width_s=0.3)
+    for key in range(200):
+        when = float(rng.uniform(0.0, 20.0))
+        heap.schedule(key, when)
+        calendar.schedule(key, when)
+    for key in rng.choice(200, size=40, replace=False):
+        heap.cancel(int(key))
+        calendar.cancel(int(key))
+    now = 0.0
+    while heap.next_time() < float("inf") or calendar.next_time() < float("inf"):
+        assert heap.next_time() == calendar.next_time()
+        now += float(rng.uniform(0.1, 2.0))
+        assert heap.pop_due(now) == calendar.pop_due(now)
+
+
+def test_bad_bucket_width_rejected():
+    with pytest.raises(ConfigError):
+        EventClock(bucket_width_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# columnar ↔ scalar oracle equivalence
+# ----------------------------------------------------------------------
+def _run_config(config: str, spec_params, seed: int, columnar: bool):
+    """Run one invariant-suite config with the fast path on or off.
+
+    The invariant builders attach a :class:`StageEvent` probe; observers
+    force the scalar loop (batched runs would have to synthesize their
+    per-stage events), so the probe is detached on both arms and the
+    engines are pinned to the requested mode.
+    """
+    run, probe, recorder = CONFIGURATIONS[config](spec_params, seed)
+    for engine in probe.engines:
+        engine.observers.clear()
+        engine.columnar = columnar
+    report = run()
+    return report, probe.engines
+
+
+def _trajectory(report, engines):
+    fleet = getattr(report, "fleet", report)
+    return {
+        "report": fleet,
+        "routed": getattr(report, "requests_routed", None),
+        "engines": [
+            (
+                engine.label,
+                engine.stages,
+                engine.measured,
+                engine.completions,
+                engine.now_s,
+                tuple(engine.finished_ids),
+                tuple(engine.handed_off_ids),
+                tuple(engine.scheduler.admitted_log),
+                tuple(r.request_id for r in engine.scheduler.rejected),
+                tuple(
+                    (r.request_id, r.context_len, r.tokens_generated)
+                    for r in engine.scheduler.running
+                ),
+            )
+            for engine in engines
+        ],
+    }
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGURATIONS))
+@given(spec_params=spec_strategy, seed=st.integers(min_value=0, max_value=2**16))
+def test_columnar_matches_scalar_oracle(config, spec_params, seed):
+    fast_report, fast_engines = _run_config(config, spec_params, seed, columnar=True)
+    oracle_report, oracle_engines = _run_config(config, spec_params, seed, columnar=False)
+    assert _trajectory(fast_report, fast_engines) == _trajectory(
+        oracle_report, oracle_engines
+    )
+
+
+@pytest.mark.paging
+@pytest.mark.parametrize("policy", ["migrate", "recompute"])
+def test_columnar_matches_scalar_under_paging_pressure(policy):
+    """Heavy live preemption (thousands of evictions) stays bit-exact."""
+    from repro.core.system import duplex_system
+    from repro.models.config import mixtral
+    from repro.serving.generator import WorkloadSpec
+    from repro.serving.paging import EvictionPolicy, PagingConfig
+    from repro.serving.simulator import ServingSimulator, SimulationLimits
+
+    model = mixtral()
+    system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    spec = WorkloadSpec(lin_mean=30000, lout_mean=64, lin_cv=0.3, lout_cv=0.3, qps=40.0)
+    limits = SimulationLimits(max_stages=600, warmup_stages=20)
+    config = PagingConfig(policy=EvictionPolicy(policy))
+
+    def run(columnar: bool):
+        sim = ServingSimulator(
+            system, model, spec, max_batch=64, seed=0, paging=config, columnar=columnar
+        )
+        report = sim.run(limits)
+        stats = sim.paging.manager.stats
+        return report, sim.engine, (stats.evictions, stats.resumes)
+
+    fast_report, fast_engine, fast_stats = run(True)
+    oracle_report, oracle_engine, oracle_stats = run(False)
+    assert fast_stats == oracle_stats
+    assert fast_stats[0] > 0, "the workload must actually exercise preemption"
+    assert fast_report == oracle_report
+    assert _trajectory(fast_report, [fast_engine]) == _trajectory(
+        oracle_report, [oracle_engine]
+    )

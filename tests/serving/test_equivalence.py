@@ -67,8 +67,8 @@ class TestClusterOfOneEqualsSimulator:
         replica_metrics = fleet.replicas[0].metrics
         assert solo_metrics._t2ft == replica_metrics._t2ft
         assert solo_metrics._e2e == replica_metrics._e2e
-        assert solo_metrics._tbt_values == replica_metrics._tbt_values
-        assert solo_metrics._tbt_weights == replica_metrics._tbt_weights
+        assert solo_metrics._tbt_hist == replica_metrics._tbt_hist
+        assert solo_metrics._tbt_count == replica_metrics._tbt_count
 
     def test_every_report_field_matches(self):
         # Report every diverging field by name (debuggability when it breaks).
