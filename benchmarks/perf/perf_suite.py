@@ -216,6 +216,44 @@ def bench_autoscaled_cluster(requests: int, repeats: int) -> float:
     return _best_rate(run, repeats)
 
 
+def bench_sharded_fleet(requests: int, repeats: int) -> float:
+    """Stages/second through a heterogeneous sharded fleet end to end.
+
+    Exercises the TP x EP replica path — per-spec system construction,
+    shared-expert-free all-to-all pricing over multi-node topologies, and
+    device-budget accounting — behind the cluster router.  The fleet
+    mixes a wide single replica with two narrow ones, so routing sees
+    genuinely unequal replicas.  Each repeat rebuilds the fleet with a
+    fresh fleet-scoped cache so every run does identical work.
+    """
+    from repro.serving.cluster import ClusterSimulator, ShardedReplicaSpec
+
+    model = mixtral()
+    system = duplex_system(model, co_processing=True)
+    workload = WorkloadSpec(lin_mean=512, lout_mean=48, lin_cv=0.3, lout_cv=0.3, qps=40.0)
+    limits = SimulationLimits(max_stages=100_000, warmup_stages=0)
+
+    def run() -> int:
+        sim = ClusterSimulator(
+            system,
+            model,
+            workload,
+            replicas=[
+                ShardedReplicaSpec(tp=4, ep=2),
+                ShardedReplicaSpec(tp=2, ep=1),
+                ShardedReplicaSpec(tp=2, ep=1),
+            ],
+            max_batch=8,
+            seed=0,
+            max_requests=requests,
+            shared_pricing_cache=SharedPricingCache(),
+        )
+        sim.run(limits)
+        return sum(handle.replica.engine.stages for handle in sim.handles)
+
+    return _best_rate(run, repeats)
+
+
 def bench_paged_serving(requests: int, repeats: int) -> float:
     """Stages/second through a KV-paged engine end to end.
 
@@ -321,6 +359,7 @@ def run_suite(scale: float = 1.0, repeats: int = 3) -> dict:
     record("engine_grid", bench_engine_grid(iters(160), repeats), "stages/s")
     record("incremental_decode", bench_incremental_decode(iters(3000), repeats), "stages/s")
     record("autoscaled_cluster", bench_autoscaled_cluster(iters(400), repeats), "stages/s")
+    record("sharded_fleet", bench_sharded_fleet(iters(400), repeats), "stages/s")
     record("paged_serving", bench_paged_serving(iters(80), repeats), "stages/s")
     if scale >= 0.99:
         record("fig13_sweep", bench_fig13_sweep(repeats, fast=False), "s", lower_is_better=True)

@@ -28,6 +28,7 @@ def test_suite_smoke_produces_all_microbenchmarks():
         "engine_grid",
         "incremental_decode",
         "autoscaled_cluster",
+        "sharded_fleet",
         "paged_serving",
     ):
         entry = payload["benchmarks"][name]

@@ -50,6 +50,10 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "paging: memory-pressure serving tests (KV eviction, migration, recomputation)",
     )
+    config.addinivalue_line(
+        "markers",
+        "sharded: sharded-replica tests (TP x EP fleets, device budgets, shared experts)",
+    )
     try:
         from hypothesis import settings
     except ImportError:  # property tests skip themselves via importorskip

@@ -72,6 +72,7 @@ from repro.serving.cluster import (
     ReplicaState,
     RoundRobinRouter,
     Router,
+    ShardedReplicaSpec,
     SplitReplicaSpec,
 )
 from repro.serving.engine import ServingEngine, StageEvent, TransferFeed
@@ -134,6 +135,7 @@ __all__ = [
     "SimulationLimits",
     "SloAwarePolicy",
     "SloTrackingPolicy",
+    "ShardedReplicaSpec",
     "SplitReplicaSpec",
     "SplitServingSimulator",
     "StageEvent",

@@ -390,6 +390,7 @@ class StageExecutor:
         # uncached path would compute: exact reuse, not approximation.
         self._fc_stage_cache: dict[tuple[int, int], tuple] = {}
         self._gate_cache: dict[int, tuple] = {}
+        self._shared_expert_cache: dict[int, tuple] = {}
         self._comm_cache: dict[int, tuple[float, float]] = {}
         self._expected_counts_cache: dict[int, np.ndarray] = {}
         # Count-indexed expert price lookup tables for the decode-run fast
@@ -841,6 +842,7 @@ class StageExecutor:
         gate_time = charge[1]
         gate_dram = charge[2] * layers
         gate_comp = charge[3] * layers
+        shared = self._shared_expert_charge(local_tokens) if local_tokens > 0 else None
 
         luts = self._run_luts(max_count)
         worst_v = np.zeros(n_run)
@@ -927,11 +929,18 @@ class StageExecutor:
                 comp_blocks.append(np.where(on_pim, cp_lut[seg] * seg_layers, 0.0))
                 worst_v = np.maximum(worst_v, seg_time)
 
-        gate_dram_col = np.full((n_run, 1), gate_dram)
-        gate_comp_col = np.full((n_run, 1), gate_comp)
-        moe_dram_v = np.concatenate([gate_dram_col] + dram_blocks, axis=1).cumsum(axis=1)[:, -1]
-        moe_comp_v = np.concatenate([gate_comp_col] + comp_blocks, axis=1).cumsum(axis=1)[:, -1]
-        moe_time_v = (gate_time + worst_v) * layers
+        head_dram = [np.full((n_run, 1), gate_dram)]
+        head_comp = [np.full((n_run, 1), gate_comp)]
+        shared_time = 0.0
+        if shared is not None:
+            # Same accumulation order as the scalar path: gate, then the
+            # shared experts, then the routed-expert segments.
+            shared_time = shared[1]
+            head_dram.append(np.full((n_run, 1), shared[2] * layers))
+            head_comp.append(np.full((n_run, 1), shared[3] * layers))
+        moe_dram_v = np.concatenate(head_dram + dram_blocks, axis=1).cumsum(axis=1)[:, -1]
+        moe_comp_v = np.concatenate(head_comp + comp_blocks, axis=1).cumsum(axis=1)[:, -1]
+        moe_time_v = (gate_time + shared_time + worst_v) * layers
         return moe_time_v, moe_dram_v, moe_comp_v
 
     # ------------------------------------------------------------------
@@ -1111,6 +1120,7 @@ class StageExecutor:
             counts = self._router.route(workload.total_tokens)
 
         gate_time = 0.0
+        shared_time = 0.0
         if local_tokens > 0:
             charge = self._gate_cache.get(local_tokens)
             if charge is None:
@@ -1120,6 +1130,9 @@ class StageExecutor:
                 charge = self._build_charge(gate_unit, gate, self._fc_replicas())
                 self._gate_cache[local_tokens] = charge
             gate_time = self._apply_charge(result, charge, layers)
+            shared = self._shared_expert_charge(local_tokens)
+            if shared is not None:
+                shared_time = self._apply_charge(result, shared, layers)
 
         # Devices sharing the same count vector (tensor-parallel expert
         # replicas, sharded-expert groups) are priced once via the
@@ -1137,7 +1150,38 @@ class StageExecutor:
                     self._device_expert_time(result, counts[start:stop], layers * multiplicity),
                 )
         result.add_time(OpCategory.MOE, worst * layers)
-        return (gate_time + worst) * layers
+        return (gate_time + shared_time + worst) * layers
+
+    def _shared_expert_charge(self, local_tokens: int) -> tuple | None:
+        """Charge of the always-on shared experts at one local token count.
+
+        Shared experts (DeepSeekMoE) are replicated on every device and run
+        sequence-parallel within the tensor-parallel group: each device
+        pushes its ``ceil(local_tokens / tp)`` token slice through every
+        shared expert at full width, and the slices are gathered back (the
+        all-gather is priced in :meth:`_communication_cost`).  Cached per
+        token count so the scalar and columnar paths replay the exact same
+        floats.
+        """
+        model = self.model
+        if model.num_shared_experts == 0 or local_tokens == 0:
+            return None
+        charge = self._shared_expert_cache.get(local_tokens)
+        if charge is None:
+            if self.system.kind is SystemKind.HETERO:
+                split = self.system.hetero_gpu_count
+            else:
+                assert self._placement is not None
+                split = self._placement.tp_group_size
+            shard_tokens = -(-local_tokens // split)
+            op = self.math.expert_ffn(0, shard_tokens, 1.0)
+            unit = self._min_time_unit(op)
+            assert unit is not None
+            base = self._build_charge(unit, op, self._fc_replicas())
+            n = model.num_shared_experts
+            charge = (base[0], base[1] * n, base[2] * n, base[3] * n)
+            self._shared_expert_cache[local_tokens] = charge
+        return charge
 
     def _expert_price(self, tokens: int) -> tuple:
         """Scalar price of one expert at one token count, per unit.
@@ -1449,6 +1493,12 @@ class StageExecutor:
             if uses_ar and tp_group > 1:
                 total += coll.all_reduce_time(activation_bytes, tp_group) * model.n_moe_layers
                 wire += coll.all_reduce_wire_bytes(activation_bytes, tp_group) * model.n_moe_layers
+            if model.num_shared_experts > 0 and tp_group > 1:
+                # Sequence-parallel shared experts: gather every device's
+                # output slice back across the tensor-parallel group.
+                shard_bytes = (-(-local_tokens // tp_group)) * model.hidden * model.dtype_bytes
+                total += coll.all_gather_time(shard_bytes, tp_group) * model.n_moe_layers
+                wire += coll.all_gather_wire_bytes(shard_bytes, tp_group) * model.n_moe_layers
             if model.n_dense_ffn_layers > 0 and tp_group > 1:
                 total += coll.all_reduce_time(activation_bytes, tp_group) * model.n_dense_ffn_layers
                 wire += (

@@ -247,6 +247,33 @@ def duplex_system(
     )
 
 
+def sharded_system(
+    model: ModelConfig,
+    tp: int,
+    ep: int,
+    expert_tensor_parallel: bool = False,
+) -> SystemConfig:
+    """A TP x EP sharded Duplex deployment (Section III's layout as a knob).
+
+    Attention and non-expert FC layers are tensor parallel over ``tp``
+    devices within each node; the ``ep`` nodes are data parallel for
+    attention and expert parallel for the MoE FFNs, exchanging routed
+    tokens with all-to-all dispatch/combine.  With
+    ``expert_tensor_parallel`` each node instead keeps its expert share
+    whole and slices it across the node (Duplex+PE+ET).
+    """
+    if tp < 1 or ep < 1:
+        raise ConfigError("tp and ep degrees must be at least 1")
+    topology = ClusterTopology(n_nodes=ep, devices_per_node=tp)
+    base = duplex_system(
+        model,
+        co_processing=True,
+        expert_tensor_parallel=expert_tensor_parallel,
+        topology=topology,
+    )
+    return replace(base, name=f"{base.name}-TP{tp}xEP{ep}")
+
+
 def bank_pim_system(model: ModelConfig, co_processing: bool = True) -> SystemConfig:
     """The Bank-PIM device of Section VII-C under the Duplex policy."""
     base = duplex_system(model, co_processing=co_processing)

@@ -72,6 +72,7 @@ class CapacityRow:
     t2ft_p50_s: float
     tbt_p99_s: float
     replica_seconds: float
+    device_seconds: float
     energy_per_token_j: float
     requests_completed: int
     requests_shed: int
@@ -167,6 +168,7 @@ def _capacity_point(
         t2ft_p50_s=report.fleet.t2ft_p50_s,
         tbt_p99_s=report.fleet.tbt_p99_s,
         replica_seconds=report.replica_seconds,
+        device_seconds=report.device_seconds,
         energy_per_token_j=report.fleet.energy_per_token_j,
         requests_completed=report.fleet.requests_completed,
         requests_shed=report.requests_rejected,
@@ -239,12 +241,12 @@ def format_rows(rows: list[CapacityRow]) -> str:
     return format_table(
         headers=[
             "QPS", "policy", "SLO att", "T2FT p50(s)", "TBT p99(ms)",
-            "replica-s", "J/token", "peak", "mean", "shed",
+            "replica-s", "device-s", "J/token", "peak", "mean", "shed",
         ],
         rows=[
             [
                 r.qps, r.policy, r.t2ft_attainment, r.t2ft_p50_s, r.tbt_p99_s * 1e3,
-                r.replica_seconds, r.energy_per_token_j, r.peak_active,
+                r.replica_seconds, r.device_seconds, r.energy_per_token_j, r.peak_active,
                 r.mean_active, r.requests_shed,
             ]
             for r in rows

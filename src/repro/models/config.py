@@ -37,6 +37,9 @@ class ModelConfig:
         ffn_matrices: matrices per FFN/expert (3 = gated, 2 = classic).
         vocab_size: vocabulary for embedding and LM head.
         dtype_bytes: bytes per weight/activation scalar (FP16 = 2).
+        num_shared_experts: DeepSeekMoE-style shared experts per MoE layer.
+            Shared experts are always activated for every token, alongside
+            the top-k routed experts, and are replicated on every device.
     """
 
     name: str
@@ -51,6 +54,7 @@ class ModelConfig:
     ffn_matrices: int = 3
     vocab_size: int = 32000
     dtype_bytes: int = 2
+    num_shared_experts: int = 0
 
     def __post_init__(self) -> None:
         if self.n_layers < 1 or self.hidden < 1 or self.intermediate < 1:
@@ -67,6 +71,10 @@ class ModelConfig:
             raise ConfigError(f"{self.name}: a dense model must use moe_layer_interval = 0")
         if self.ffn_matrices not in (2, 3):
             raise ConfigError(f"{self.name}: ffn_matrices must be 2 or 3")
+        if self.num_shared_experts < 0:
+            raise ConfigError(f"{self.name}: num_shared_experts must be non-negative")
+        if self.num_shared_experts > 0 and not self.is_moe:
+            raise ConfigError(f"{self.name}: a dense model cannot have shared experts")
 
     # ------------------------------------------------------------------
     # structure
@@ -132,7 +140,8 @@ class ModelConfig:
     @property
     def total_params(self) -> int:
         attention = self.n_layers * self.attention_params_per_layer
-        moe = self.n_moe_layers * (self.n_experts * self.expert_params + self.gate_params)
+        experts_per_layer = self.n_experts + self.num_shared_experts
+        moe = self.n_moe_layers * (experts_per_layer * self.expert_params + self.gate_params)
         dense = self.n_dense_ffn_layers * self.dense_ffn_params
         return attention + moe + dense + self.embedding_params
 
@@ -148,10 +157,15 @@ class ModelConfig:
         return self.total_params * self.dtype_bytes
 
     @property
+    def shared_expert_weight_bytes(self) -> float:
+        """Weights of the always-on shared experts across all MoE layers."""
+        return self.n_moe_layers * self.num_shared_experts * self.expert_bytes
+
+    @property
     def non_expert_weight_bytes(self) -> float:
         """Everything the xPU streams for non-MoE work (incl. dense FFNs)."""
         moe_bytes = self.n_moe_layers * self.n_experts * self.expert_bytes
-        return self.total_weight_bytes - moe_bytes
+        return self.total_weight_bytes - moe_bytes - self.shared_expert_weight_bytes
 
     @property
     def kv_bytes_per_token_per_layer(self) -> float:

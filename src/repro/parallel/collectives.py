@@ -96,6 +96,19 @@ class CollectiveModel:
             return 0.0
         return nbytes * (group_size - 1) / group_size
 
+    def all_gather_wire_bytes(self, nbytes: float, group_size: int) -> float:
+        """Bytes an all-gather puts on the wire per device (for energy)."""
+        self._check(nbytes, group_size)
+        if group_size == 1:
+            return 0.0
+        return nbytes * (group_size - 1)
+
+    def point_to_point_wire_bytes(self, nbytes: float) -> float:
+        """Bytes a point-to-point transfer puts on the wire (for energy)."""
+        if nbytes < 0:
+            raise ConfigError("transfer size must be non-negative")
+        return nbytes
+
     @staticmethod
     def _check(nbytes: float, group_size: int) -> None:
         if nbytes < 0:

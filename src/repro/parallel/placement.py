@@ -202,7 +202,8 @@ class ModelPlacement:
         if not model.is_moe:
             return non_expert
         experts = model.n_moe_layers * model.n_experts * model.expert_bytes / topo.n_devices
-        return non_expert + experts
+        # Shared experts serve every token on every device: fully replicated.
+        return non_expert + experts + model.shared_expert_weight_bytes
 
     def kv_bytes_per_token_per_device(self) -> float:
         """KV bytes one cached token of a node-local request costs a device."""

@@ -77,10 +77,14 @@ class ClusterTopology:
         return ic.intra_node_bandwidth, ic.intra_node_latency_s
 
     def doubled(self) -> "ClusterTopology":
-        """The paper's 2xGPU scaling rule: fill nodes to eight, then add nodes."""
+        """The paper's 2xGPU scaling rule: fill nodes to eight, then add nodes.
+
+        Fleets whose doubled size cannot form 8-device nodes (e.g. 6 -> 12)
+        instead double the node count at the current node width.
+        """
         target = self.n_devices * 2
         if target <= 8:
             return ClusterTopology(1, target, self.interconnect)
         if target % 8 != 0:
-            raise ConfigError(f"cannot form {target} devices into 8-device nodes")
+            return ClusterTopology(self.n_nodes * 2, self.devices_per_node, self.interconnect)
         return ClusterTopology(target // 8, 8, self.interconnect)

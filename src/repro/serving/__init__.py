@@ -58,6 +58,7 @@ from repro.serving.cluster import (
     ReplicaView,
     RoundRobinRouter,
     Router,
+    ShardedReplicaSpec,
     SplitReplicaSpec,
 )
 from repro.serving.engine import (
@@ -162,6 +163,7 @@ __all__ = [
     "SimulationLimits",
     "SloAwarePolicy",
     "SloTrackingPolicy",
+    "ShardedReplicaSpec",
     "SplitReplicaSpec",
     "SplitServingSimulator",
     "StageEvent",

@@ -66,6 +66,7 @@ from repro.serving.cluster import (
     ReplicaState,
     Router,
     _MonolithicReplica,
+    replica_spec_devices,
 )
 from repro.serving.columnar import EventClock
 from repro.serving.engine import SimulationLimits
@@ -409,6 +410,12 @@ class ElasticFleetSimulator(ClusterSimulator):
         min_replicas: lower clamp; the controller never drains below it.
         max_replicas: upper clamp on provisioned (booting + serving)
             replicas.
+        max_devices: optional fleet-wide *device* budget.  The replica
+            count clamp becomes ``min(max_replicas, max_devices //
+            devices_per_replica)`` where ``devices_per_replica`` is the
+            template's footprint (``tp * ep`` for a sharded template),
+            so an eight-device sharded replica and a one-device monolith
+            are bounded by the same hardware pool, not the same count.
         initial_replicas: fleet size at time zero (ACTIVE immediately —
             the pre-existing deployment); defaults to ``min_replicas``.
         replica_template: spec cloned for every provisioned replica
@@ -453,6 +460,7 @@ class ElasticFleetSimulator(ClusterSimulator):
         policy: AutoscalingPolicy,
         min_replicas: int = 1,
         max_replicas: int = 8,
+        max_devices: int | None = None,
         initial_replicas: int | None = None,
         replica_template: ReplicaSpec | None = None,
         control_interval_s: float = 1.0,
@@ -478,6 +486,17 @@ class ElasticFleetSimulator(ClusterSimulator):
             raise ConfigError("min_replicas must be at least 1 (routing needs a target)")
         if max_replicas < min_replicas:
             raise ConfigError("max_replicas must be at least min_replicas")
+        template = replica_template if replica_template is not None else MonolithicReplicaSpec()
+        self.devices_per_replica = replica_spec_devices(template, system, model)
+        self.max_devices = max_devices
+        if max_devices is not None:
+            device_cap = max_devices // self.devices_per_replica
+            if device_cap < min_replicas:
+                raise ConfigError(
+                    f"max_devices={max_devices} holds only {device_cap} replicas of "
+                    f"{self.devices_per_replica} devices — below min_replicas={min_replicas}"
+                )
+            max_replicas = min(max_replicas, device_cap)
         initial = min_replicas if initial_replicas is None else initial_replicas
         if not min_replicas <= initial <= max_replicas:
             raise ConfigError("initial_replicas must lie within [min_replicas, max_replicas]")
@@ -495,9 +514,7 @@ class ElasticFleetSimulator(ClusterSimulator):
         self.policy = policy
         self.min_replicas = min_replicas
         self.max_replicas = max_replicas
-        self.replica_template = (
-            replica_template if replica_template is not None else MonolithicReplicaSpec()
-        )
+        self.replica_template = template
         self.control_interval_s = control_interval_s
         self.provision_delay_s = provision_delay_s
         self.warmup_delay_s = warmup_delay_s

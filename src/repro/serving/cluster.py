@@ -56,7 +56,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.executor import SharedPricingCache, StageExecutor
-from repro.core.system import SystemConfig
+from repro.core.system import SystemConfig, default_topology, sharded_system
 from repro.errors import CapacityError, ConfigError, SchedulingError, SimulationError
 from repro.models.config import ModelConfig
 from repro.serving.engine import (
@@ -267,7 +267,62 @@ class SplitReplicaSpec:
     kind: str = field(default="split", init=False)
 
 
-ReplicaSpec = MonolithicReplicaSpec | SplitReplicaSpec
+@dataclass(frozen=True)
+class ShardedReplicaSpec:
+    """One replica spanning ``tp * ep`` devices of a declared topology.
+
+    The replica runs the paper's production layout
+    (:func:`~repro.core.system.sharded_system`): attention and non-expert
+    layers head/tensor parallel over ``tp`` devices within a node, experts
+    spread over all ``tp * ep`` devices with all-to-all dispatch/combine
+    (or, with ``expert_tensor_parallel``, sliced within each of the ``ep``
+    nodes).  The cluster-level ``system`` argument is ignored — the system
+    is derived from the degrees — but ``policy_factory``, ``gating_skew``,
+    and ``memoize_pricing`` apply as they do to monolithic replicas.
+
+    One sharded replica consumes ``n_devices = tp * ep`` devices of the
+    fleet's device budget (see :attr:`ClusterReport.device_seconds` and the
+    autoscaler's ``max_devices``).
+
+    Attributes:
+        tp: tensor-parallel degree (devices per node, at most eight).
+        ep: expert/data-parallel degree (nodes).
+        expert_tensor_parallel: use the Duplex+PE+ET expert layout.
+        max_batch: batch-size override (None = the cluster-level request).
+    """
+
+    tp: int = 1
+    ep: int = 1
+    expert_tensor_parallel: bool = False
+    max_batch: int | None = None
+    kind: str = field(default="sharded", init=False)
+
+    @property
+    def n_devices(self) -> int:
+        return self.tp * self.ep
+
+
+ReplicaSpec = MonolithicReplicaSpec | SplitReplicaSpec | ShardedReplicaSpec
+
+
+def replica_spec_devices(
+    spec: ReplicaSpec, system: SystemConfig, model: ModelConfig
+) -> int:
+    """Devices one replica built from ``spec`` would consume.
+
+    The fleet's cost axis: a sharded replica spans ``tp * ep`` devices, a
+    monolithic replica its system's topology, and a split replica both
+    half-size partitions of the model's default deployment.
+    """
+    if isinstance(spec, ShardedReplicaSpec):
+        return spec.n_devices
+    if isinstance(spec, SplitReplicaSpec):
+        half = default_topology(model).devices_per_node // 2
+        return 2 * half
+    if isinstance(spec, MonolithicReplicaSpec):
+        replica_system = spec.system if spec.system is not None else system
+        return replica_system.topology.n_devices
+    raise ConfigError(f"unknown replica spec {spec!r}")
 
 
 # ----------------------------------------------------------------------
@@ -383,6 +438,22 @@ class _MonolithicReplica:
         self.engine.drain_until(t, limits)
 
 
+class _ShardedReplica(_MonolithicReplica):
+    """A TP x EP sharded deployment: one engine spanning many devices.
+
+    The data plane is a :class:`_MonolithicReplica` whose executor prices
+    the sharded :class:`~repro.core.system.SystemConfig` (tensor-parallel
+    attention, expert-parallel MoE with collectives) — the engine loop is
+    identical; only the per-stage prices and the device footprint differ.
+    """
+
+    kind = "sharded"
+
+    def __init__(self, *args, n_devices: int = 1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.n_devices = n_devices
+
+
 class _SplitReplica:
     """A two-partition split deployment behind the cluster router."""
 
@@ -482,7 +553,7 @@ class _SplitReplica:
         self.deployment.drain_until(t, limits)
 
 
-ClusterReplica = _MonolithicReplica | _SplitReplica
+ClusterReplica = _MonolithicReplica | _ShardedReplica | _SplitReplica
 
 
 class ManagedReplica:
@@ -662,6 +733,10 @@ class ClusterReport:
             (populated by the elastic controller; empty for fixed fleets).
         replica_seconds: provisioned replica-seconds summed over the
             fleet — the capacity-planning "cost" axis.
+        device_seconds: provisioned *device*-seconds summed over the
+            fleet — replica lifetimes weighted by each replica's device
+            footprint, so a fleet of eight-device sharded replicas is not
+            accounted like a fleet of one-device monoliths.
     """
 
     fleet: ServingReport
@@ -674,6 +749,7 @@ class ClusterReport:
     replica_events: tuple[ReplicaEvent, ...] = ()
     fleet_samples: tuple[FleetSample, ...] = ()
     replica_seconds: float = 0.0
+    device_seconds: float = 0.0
 
     @property
     def n_replicas(self) -> int:
@@ -753,8 +829,9 @@ class ClusterSimulator:
         worst_case_tokens: KV sizing override for sources that cannot
             report their own worst case.
         replicas: explicit per-replica specifications for a heterogeneous
-            fleet (mix :class:`MonolithicReplicaSpec` and
-            :class:`SplitReplicaSpec`); overrides ``n_replicas``.
+            fleet (mix :class:`MonolithicReplicaSpec`,
+            :class:`SplitReplicaSpec`, and :class:`ShardedReplicaSpec`);
+            overrides ``n_replicas``.
         paging: live KV paging for every monolithic replica
             (:class:`~repro.serving.paging.PagingConfig`): replicas then
             admit beyond device KV capacity by evicting/resuming instead
@@ -847,6 +924,31 @@ class ClusterSimulator:
                 worst_case_tokens=self._worst_seq,
             )
             batch = replica.deployment.effective_batch
+        elif isinstance(spec, ShardedReplicaSpec):
+            replica_system = sharded_system(
+                self.model, spec.tp, spec.ep, spec.expert_tensor_parallel
+            )
+            requested = spec.max_batch if spec.max_batch is not None else self._max_batch
+            batch = min(requested, replica_system.max_batch_for(self.model, self._worst_seq))
+            if batch < 1:
+                raise CapacityError(
+                    f"{replica_system.name} cannot hold even one worst-case "
+                    f"({self._worst_seq}-token) request for {self.model.name}"
+                )
+            replica = _ShardedReplica(
+                index=index,
+                system=replica_system,
+                model=self.model,
+                effective_batch=batch,
+                capacity_tokens=replica_system.max_resident_kv_tokens(self.model),
+                policy=self._policy_factory() if self._policy_factory is not None else None,
+                gating_skew=self._gating_skew,
+                seed=replica_seed,
+                memoize_pricing=self._memoize_pricing,
+                incremental_pricing=self._incremental_pricing,
+                shared_cache=self._shared_pricing_cache,
+                n_devices=spec.n_devices,
+            )
         elif isinstance(spec, MonolithicReplicaSpec):
             replica_system = spec.system if spec.system is not None else self.system
             requested = spec.max_batch if spec.max_batch is not None else self._max_batch
@@ -1104,6 +1206,11 @@ class ClusterSimulator:
             replica_events=tuple(events),
             fleet_samples=self._fleet_sample_series(),
             replica_seconds=sum(handle.lifetime_s(fleet_end) for handle in self.handles),
+            device_seconds=sum(
+                handle.lifetime_s(fleet_end)
+                * replica_spec_devices(handle.spec, self.system, self.model)
+                for handle in self.handles
+            ),
         )
 
     def _fleet_sample_series(self) -> tuple[FleetSample, ...]:

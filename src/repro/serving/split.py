@@ -43,15 +43,29 @@ from repro.serving.request import Request
 from repro.serving.scheduler import ContinuousBatchingScheduler
 
 
-def split_partitions(model: ModelConfig) -> tuple[SystemConfig, SystemConfig]:
-    """Build the two half-size Duplex partitions of a split deployment."""
-    topology = default_topology(model)
+def split_partitions(
+    model: ModelConfig, topology: ClusterTopology | None = None
+) -> tuple[SystemConfig, SystemConfig]:
+    """Build the two half-size Duplex partitions of a split deployment.
+
+    A single-node topology (the default) is halved within the node, and the
+    KV handoff rides NVLink.  A multi-node topology is partitioned *by
+    nodes* — prefill takes the first half of the nodes — so the handoff
+    crosses the inter-node fabric.
+    """
+    topology = topology if topology is not None else default_topology(model)
     if topology.spans_nodes:
-        raise ConfigError("the split comparison is defined within one node")
-    half = topology.devices_per_node // 2
-    if half < 1:
-        raise ConfigError("splitting needs at least two devices")
-    half_topology = ClusterTopology(1, half)
+        half_nodes = topology.n_nodes // 2
+        if half_nodes < 1 or topology.n_nodes % 2 != 0:
+            raise ConfigError("a multi-node split needs an even node count")
+        half_topology = ClusterTopology(
+            half_nodes, topology.devices_per_node, topology.interconnect
+        )
+    else:
+        half = topology.devices_per_node // 2
+        if half < 1:
+            raise ConfigError("splitting needs at least two devices")
+        half_topology = ClusterTopology(1, half, topology.interconnect)
     prefill = replace(
         duplex_system(model, co_processing=True, topology=half_topology),
         name="Duplex-Split/prefill",
@@ -94,6 +108,10 @@ class SplitServingSimulator:
         seed: RNG seed.
         worst_case_tokens: KV sizing override for sources that cannot
             report their own worst case.
+        topology: deployment topology to partition (defaults to the
+            model's single-node default).  A multi-node topology puts the
+            two partitions on different nodes, so the KV handoff is priced
+            over the inter-node link.
     """
 
     def __init__(
@@ -103,10 +121,13 @@ class SplitServingSimulator:
         max_batch: int = 128,
         seed: int | None = 0,
         worst_case_tokens: int | None = None,
+        topology: ClusterTopology | None = None,
     ) -> None:
         self.model = model
         self.workload = workload
-        prefill_system, decode_system = split_partitions(model)
+        full_topology = topology if topology is not None else default_topology(model)
+        self._kv_crosses_nodes = full_topology.spans_nodes
+        prefill_system, decode_system = split_partitions(model, full_topology)
         self.prefill_system = prefill_system
         self.decode_system = decode_system
         self.prefill_executor = StageExecutor(prefill_system, model, seed=seed)
@@ -179,7 +200,9 @@ class SplitServingSimulator:
     def _transfer_kv(self, request: Request, now_s: float) -> None:
         """Ship a prefilled request's KV to the decode partition."""
         kv_bytes = request.input_len * self.model.kv_bytes_per_token
-        transfer = self._collectives.point_to_point_time(kv_bytes)
+        transfer = self._collectives.point_to_point_time(
+            kv_bytes, crosses_nodes=self._kv_crosses_nodes
+        )
         self.transfers.push(now_s + transfer, request)
 
     # ------------------------------------------------------------------

@@ -91,6 +91,46 @@ class TestKvSizing:
         assert mixtral().kv_bytes_per_token == 128 * 1024
 
 
+class TestSharedExperts:
+    """DeepSeekMoE-style always-on shared experts alongside top-k routing."""
+
+    @staticmethod
+    def _with_shared(n: int) -> ModelConfig:
+        import dataclasses
+
+        return dataclasses.replace(mixtral(), num_shared_experts=n)
+
+    def test_default_is_zero(self):
+        assert mixtral().num_shared_experts == 0
+        assert mixtral().shared_expert_weight_bytes == 0.0
+
+    def test_shared_experts_grow_params(self):
+        base, shared = mixtral(), self._with_shared(2)
+        grown = shared.total_params - base.total_params
+        assert grown == base.n_moe_layers * 2 * base.expert_params
+
+    def test_shared_expert_weight_bytes(self):
+        shared = self._with_shared(2)
+        assert shared.shared_expert_weight_bytes == pytest.approx(
+            shared.n_moe_layers * 2 * shared.expert_bytes
+        )
+
+    def test_non_expert_bytes_exclude_shared_experts(self):
+        # Shared experts are expert weights, not attention/FC weights.
+        base, shared = mixtral(), self._with_shared(2)
+        assert shared.non_expert_weight_bytes == pytest.approx(base.non_expert_weight_bytes)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            self._with_shared(-1)
+
+    def test_rejects_shared_experts_on_dense_model(self):
+        import dataclasses
+
+        with pytest.raises(ConfigError):
+            dataclasses.replace(llama3_70b(), num_shared_experts=1)
+
+
 class TestValidation:
     def test_rejects_head_mismatch(self):
         with pytest.raises(ConfigError):

@@ -77,8 +77,58 @@ class TestEnergy:
     def test_all_reduce_wire_bytes(self, single_node):
         assert single_node.all_reduce_wire_bytes(4 * MB, 4) == pytest.approx(6 * MB)
 
+    def test_all_gather_wire_bytes(self, single_node):
+        # Ring all-gather: each device forwards its shard to g-1 peers.
+        assert single_node.all_gather_wire_bytes(4 * MB, 4) == pytest.approx(12 * MB)
+
+    def test_point_to_point_wire_bytes(self, single_node):
+        assert single_node.point_to_point_wire_bytes(4 * MB) == 4 * MB
+
     def test_group_of_one_puts_nothing_on_wire(self, single_node):
         assert single_node.all_reduce_wire_bytes(4 * MB, 1) == 0.0
+        assert single_node.all_to_all_wire_bytes(4 * MB, 1) == 0.0
+        assert single_node.all_gather_wire_bytes(4 * MB, 1) == 0.0
+
+    def test_negative_wire_bytes_rejected(self, single_node):
+        with pytest.raises(ConfigError):
+            single_node.all_gather_wire_bytes(-1.0, 4)
+        with pytest.raises(ConfigError):
+            single_node.point_to_point_wire_bytes(-1.0)
+
+
+class TestTimeEnergySymmetry:
+    """Every collective that takes time puts bytes on the wire, and vice
+    versa — time and energy must agree on when a collective is free."""
+
+    COLLECTIVES = [
+        ("all_reduce", lambda m, b, g: m.all_reduce_time(b, g),
+         lambda m, b, g: m.all_reduce_wire_bytes(b, g)),
+        ("all_to_all", lambda m, b, g: m.all_to_all_time(b, g),
+         lambda m, b, g: m.all_to_all_wire_bytes(b, g)),
+        ("all_gather", lambda m, b, g: m.all_gather_time(b, g),
+         lambda m, b, g: m.all_gather_wire_bytes(b, g)),
+        ("point_to_point", lambda m, b, g: m.point_to_point_time(b),
+         lambda m, b, g: m.point_to_point_wire_bytes(b)),
+    ]
+
+    @pytest.mark.parametrize("name,time_fn,wire_fn", COLLECTIVES, ids=lambda v: str(v))
+    @given(nbytes=st.floats(1.0, 1e9), group=st.integers(1, 16))
+    def test_free_together(self, single_node, name, time_fn, wire_fn, nbytes, group):
+        time = time_fn(single_node, nbytes, group)
+        wire = wire_fn(single_node, nbytes, group)
+        if name == "point_to_point" or group > 1:
+            assert time > 0.0 and wire > 0.0
+        else:
+            assert time == 0.0 and wire == 0.0
+
+    @pytest.mark.parametrize("name,time_fn,wire_fn", COLLECTIVES, ids=lambda v: str(v))
+    @given(group=st.integers(2, 16))
+    def test_wire_bytes_scale_linearly(self, single_node, name, time_fn, wire_fn, group):
+        # Doubling the payload doubles the wire bytes (energy is linear in
+        # bytes, like the bandwidth term of the time model).
+        assert wire_fn(single_node, 2 * MB, group) == pytest.approx(
+            2 * wire_fn(single_node, 1 * MB, group)
+        )
 
 
 class TestValidation:

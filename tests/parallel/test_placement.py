@@ -6,6 +6,8 @@ of four devices, GLaM on one node of eight, Grok1 on two nodes of eight.
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import ConfigError
 from repro.models.config import glam, grok1, llama3_70b, mixtral
@@ -151,6 +153,62 @@ class TestMemoryFootprint:
         assert mixtral_ep().kv_bytes_per_token_per_device() == pytest.approx(
             mixtral().kv_bytes_per_token / 4
         )
+
+
+#: (placement factory, how many times each routed token lands on a device):
+#: EP with whole resident experts touches each token once; sharded or
+#: replicated experts touch it once per shard/replica.
+CONSERVATION_CASES = [
+    (mixtral_ep, 1),  # 4 devices, 8 experts: 2 whole experts per device
+    (mixtral_etp, 4),  # every device holds all 8 node experts
+    (grok1_ep, 2),  # 16 devices, 8 experts: 2-way shards per expert
+]
+
+
+class TestPartitionProperties:
+    @pytest.mark.parametrize("factory,multiplicity", CONSERVATION_CASES)
+    @given(seed=st.integers(0, 2**32 - 1), scale=st.integers(1, 10_000))
+    def test_partition_conserves_tokens(self, factory, multiplicity, seed, scale):
+        placement = factory()
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(0, scale, size=placement.model.n_experts)
+        parts = placement.per_device_expert_counts(counts)
+        assert len(parts) == placement.topology.n_devices
+        assert sum(int(p.sum()) for p in parts) == multiplicity * counts.sum()
+
+    @pytest.mark.parametrize("factory,_", CONSERVATION_CASES)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_partition_never_invents_tokens(self, factory, _, seed):
+        # Every per-device count traces back to one expert's count.
+        placement = factory()
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(0, 100, size=placement.model.n_experts)
+        for part in placement.per_device_expert_counts(counts):
+            assert all(int(c) in counts for c in part)
+
+    @pytest.mark.parametrize("factory", [mixtral_ep, mixtral_etp, grok1_ep])
+    def test_weight_fractions_compose_to_full_model(self, factory):
+        # Per-device weights times the cluster recover the whole model,
+        # plus one extra non-expert (and shared-expert) copy per extra node
+        # — those layers are replicated node-wise for data parallelism, and
+        # shared experts are replicated device-wise.
+        placement = factory()
+        model, topo = placement.model, placement.topology
+        total = placement.weight_bytes_per_device() * topo.n_devices
+        expected = (
+            model.total_weight_bytes
+            + (topo.n_nodes - 1) * model.non_expert_weight_bytes
+            + (topo.n_devices - 1) * model.shared_expert_weight_bytes
+        )
+        assert total == pytest.approx(expected, rel=1e-6)
+
+    @pytest.mark.parametrize("factory", [mixtral_ep, mixtral_etp, grok1_ep])
+    def test_kv_fractions_compose_to_full_cache(self, factory):
+        # KV is head-sharded within a node and data-parallel across nodes:
+        # one node's devices together hold exactly one full cache.
+        placement = factory()
+        per_node = placement.kv_bytes_per_token_per_device() * placement.topology.devices_per_node
+        assert per_node == pytest.approx(placement.model.kv_bytes_per_token)
 
 
 class TestValidation:

@@ -32,9 +32,27 @@ class TestTopology:
 
 
 class TestDoubling:
+    def test_one_device_becomes_two(self):
+        doubled = ClusterTopology(1, 1).doubled()
+        assert (doubled.n_nodes, doubled.devices_per_node) == (1, 2)
+
+    def test_two_devices_become_four(self):
+        doubled = ClusterTopology(1, 2).doubled()
+        assert (doubled.n_nodes, doubled.devices_per_node) == (1, 4)
+
     def test_four_devices_become_one_node_of_eight(self):
         doubled = ClusterTopology(1, 4).doubled()
         assert (doubled.n_nodes, doubled.devices_per_node) == (1, 8)
+
+    def test_six_devices_double_the_node_count(self):
+        # 12 devices do not pack into nodes of 8; keep nodes of 6.
+        doubled = ClusterTopology(1, 6).doubled()
+        assert (doubled.n_nodes, doubled.devices_per_node) == (2, 6)
+
+    def test_twelve_devices_repack_into_full_nodes(self):
+        # 24 devices pack evenly into nodes of 8 again.
+        doubled = ClusterTopology(2, 6).doubled()
+        assert (doubled.n_nodes, doubled.devices_per_node) == (3, 8)
 
     def test_eight_devices_become_two_nodes(self):
         doubled = ClusterTopology(1, 8).doubled()
@@ -43,6 +61,17 @@ class TestDoubling:
     def test_sixteen_devices_become_four_nodes(self):
         doubled = ClusterTopology(2, 8).doubled()
         assert (doubled.n_nodes, doubled.devices_per_node) == (4, 8)
+
+    def test_doubling_always_doubles_device_count(self):
+        for devices_per_node in (1, 2, 3, 4, 5, 6, 7, 8):
+            for n_nodes in (1, 2, 3):
+                topo = ClusterTopology(n_nodes, devices_per_node)
+                assert topo.doubled().n_devices == 2 * topo.n_devices
+
+    def test_doubling_preserves_interconnect(self):
+        link = InterconnectSpec(intra_node_bandwidth=123 * GB_PER_S)
+        doubled = ClusterTopology(1, 6, link).doubled()
+        assert doubled.interconnect is link
 
 
 class TestInterconnectValidation:

@@ -1,0 +1,270 @@
+"""Sharded-replica tier: TP x EP fleets, device budgets, shared experts.
+
+Run with ``pytest -m sharded`` (see TESTING.md).  The anchor test is the
+equivalence proof: a ``ShardedReplicaSpec(tp=1, ep=1)`` replica must
+reproduce a one-device monolithic replica *byte-exactly* — sharding is a
+deployment axis, never a pricing change at degree one.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.system import duplex_system, sharded_system
+from repro.errors import ConfigError
+from repro.models.config import ModelConfig, mixtral
+from repro.parallel.topology import ClusterTopology
+from repro.serving.cluster import (
+    ClusterSimulator,
+    MonolithicReplicaSpec,
+    ShardedReplicaSpec,
+    SplitReplicaSpec,
+    replica_spec_devices,
+)
+from repro.serving.generator import WorkloadSpec
+from repro.serving.simulator import SimulationLimits
+
+pytestmark = pytest.mark.sharded
+
+MODEL = mixtral()
+LIMITS = SimulationLimits(max_stages=200, warmup_stages=10)
+
+
+def tiny_moe() -> ModelConfig:
+    """A MoE model small enough to serve from a single 80 GB device."""
+    return ModelConfig(
+        name="tiny-moe",
+        n_layers=4,
+        hidden=1024,
+        intermediate=2048,
+        n_heads=8,
+        group_degree=2,
+        n_experts=4,
+        top_k=2,
+        moe_layer_interval=1,
+    )
+
+
+def _workload(qps: float = 30.0) -> WorkloadSpec:
+    return WorkloadSpec(lin_mean=512, lout_mean=32, lin_cv=0.5, lout_cv=0.5, qps=qps)
+
+
+class TestShardedSystemFactory:
+    def test_topology_is_tp_by_ep(self):
+        system = sharded_system(MODEL, tp=4, ep=2)
+        assert system.topology.n_nodes == 2
+        assert system.topology.devices_per_node == 4
+        assert system.name == "Duplex+PE-TP4xEP2"
+
+    def test_expert_tensor_parallel_variant(self):
+        system = sharded_system(MODEL, tp=4, ep=2, expert_tensor_parallel=True)
+        assert system.name == "Duplex+PE+ET-TP4xEP2"
+
+    def test_rejects_degenerate_degrees(self):
+        with pytest.raises(ConfigError):
+            sharded_system(MODEL, tp=0, ep=1)
+        with pytest.raises(ConfigError):
+            sharded_system(MODEL, tp=1, ep=0)
+
+    def test_rejects_oversized_node(self):
+        with pytest.raises(ConfigError):
+            sharded_system(MODEL, tp=9, ep=1)
+
+
+class TestDeviceAccounting:
+    def test_sharded_spec_spans_tp_times_ep(self):
+        assert ShardedReplicaSpec(tp=4, ep=2).n_devices == 8
+        assert replica_spec_devices(ShardedReplicaSpec(tp=2, ep=3), None, MODEL) == 6
+
+    def test_monolithic_spec_uses_its_system_topology(self):
+        system = duplex_system(MODEL, co_processing=True)
+        assert replica_spec_devices(MonolithicReplicaSpec(), system, MODEL) == 4
+        override = duplex_system(MODEL, co_processing=True, topology=ClusterTopology(2, 8))
+        assert replica_spec_devices(MonolithicReplicaSpec(system=override), system, MODEL) == 16
+
+    def test_split_spec_counts_both_partitions(self):
+        # Mixtral's default node of four splits 2 + 2.
+        assert replica_spec_devices(SplitReplicaSpec(), None, MODEL) == 4
+
+    def test_fixed_fleet_device_seconds(self):
+        system = duplex_system(MODEL, co_processing=True)
+        sim = ClusterSimulator(
+            system,
+            MODEL,
+            _workload(qps=40.0),
+            replicas=[ShardedReplicaSpec(tp=4, ep=2), ShardedReplicaSpec(tp=8, ep=1)],
+            max_batch=16,
+            seed=1,
+            max_requests=60,
+        )
+        report = sim.run(SimulationLimits(max_stages=300, warmup_stages=20))
+        assert tuple(h.spec.kind for h in sim.handles) == ("sharded", "sharded")
+        # Both replicas span eight devices and live for the whole run.
+        assert report.device_seconds == pytest.approx(8 * report.replica_seconds)
+        assert report.device_seconds > 0
+
+
+class TestDegreeOneEquivalence:
+    """TP=1 x EP=1 sharding must be pricing-invisible."""
+
+    def test_matches_monolithic_byte_exact(self):
+        model = tiny_moe()
+        one_device = duplex_system(model, co_processing=True, topology=ClusterTopology(1, 1))
+
+        def run(spec):
+            sim = ClusterSimulator(
+                one_device,
+                model,
+                _workload(),
+                replicas=[spec],
+                max_batch=8,
+                seed=3,
+                max_requests=80,
+            )
+            return sim.run(LIMITS)
+
+        sharded = run(ShardedReplicaSpec(tp=1, ep=1))
+        monolithic = run(MonolithicReplicaSpec(system=one_device))
+        # Everything except the replica label must agree exactly.
+        assert sharded.fleet == monolithic.fleet
+        assert sharded.requests_routed == monolithic.requests_routed
+        assert sharded.replica_seconds == monolithic.replica_seconds
+        assert sharded.device_seconds == monolithic.device_seconds
+        assert list(sharded.replicas) == list(monolithic.replicas)
+
+    def test_wider_tp_prefills_faster(self):
+        # The whole point of sharding wide: more devices per replica cut
+        # per-stage latency, so median T2FT drops with the TP degree.
+        def run(tp):
+            sim = ClusterSimulator(
+                duplex_system(MODEL, co_processing=True),
+                MODEL,
+                _workload(qps=10.0),
+                replicas=[ShardedReplicaSpec(tp=tp, ep=1)],
+                max_batch=8,
+                seed=5,
+                max_requests=40,
+            )
+            return sim.run(LIMITS)
+
+        assert run(8).fleet.t2ft_p50_s < run(2).fleet.t2ft_p50_s
+
+
+class TestSharedExpertPricing:
+    """DeepSeekMoE shared experts: priced, conserved, and golden-safe."""
+
+    def test_zero_shared_experts_price_identically(self):
+        # num_shared_experts=0 must not perturb a single bit of pricing
+        # (this is what keeps every golden snapshot byte-identical).
+        from repro.serving.simulator import ServingSimulator
+
+        base = mixtral()
+        explicit = replace(mixtral(), num_shared_experts=0)
+        reports = [
+            ServingSimulator(
+                duplex_system(m, co_processing=True), m, _workload(), max_batch=8, seed=2
+            ).run(LIMITS)
+            for m in (base, explicit)
+        ]
+        assert reports[0] == reports[1]
+
+    def test_shared_experts_cost_time_and_energy(self):
+        from repro.serving.simulator import ServingSimulator
+
+        def run(n_shared):
+            model = replace(mixtral(), num_shared_experts=n_shared)
+            sim = ServingSimulator(
+                duplex_system(model, co_processing=True), model, _workload(), max_batch=8, seed=2
+            )
+            return sim.run(LIMITS)
+
+        base, shared = run(0), run(2)
+        assert shared.elapsed_s > base.elapsed_s
+        assert shared.energy_per_token_j > base.energy_per_token_j
+
+    @pytest.mark.parametrize("n_shared", [1, 2])
+    def test_columnar_matches_scalar_with_shared_experts(self, n_shared):
+        from repro.serving.simulator import ServingSimulator
+
+        model = replace(mixtral(), num_shared_experts=n_shared)
+        system = duplex_system(model, co_processing=True)
+
+        def run(columnar):
+            sim = ServingSimulator(
+                system, model, _workload(qps=40.0), max_batch=16, seed=7, columnar=columnar
+            )
+            return sim.run(SimulationLimits(max_stages=300, warmup_stages=20))
+
+        assert run(True) == run(False)
+
+
+class TestAutoscalerDeviceBudget:
+    def test_max_devices_clamps_fleet_width(self):
+        from repro.serving.autoscaler import ElasticFleetSimulator, StaticReplicaPolicy
+
+        sim = ElasticFleetSimulator(
+            duplex_system(MODEL, co_processing=True),
+            MODEL,
+            _workload(qps=20.0),
+            policy=StaticReplicaPolicy(1),
+            min_replicas=1,
+            max_replicas=8,
+            max_devices=16,
+            replica_template=ShardedReplicaSpec(tp=4, ep=1),
+            max_batch=8,
+            seed=0,
+        )
+        assert sim.devices_per_replica == 4
+        assert sim.max_replicas == 4  # 16 devices / 4 per replica
+
+    def test_max_devices_below_min_replicas_rejected(self):
+        from repro.serving.autoscaler import ElasticFleetSimulator, StaticReplicaPolicy
+
+        with pytest.raises(ConfigError):
+            ElasticFleetSimulator(
+                duplex_system(MODEL, co_processing=True),
+                MODEL,
+                _workload(qps=20.0),
+                policy=StaticReplicaPolicy(2),
+                min_replicas=2,
+                max_replicas=8,
+                max_devices=7,
+                replica_template=ShardedReplicaSpec(tp=4, ep=1),
+                max_batch=8,
+                seed=0,
+            )
+
+
+class TestShardingExperiment:
+    def test_fleet_grid_spends_the_budget(self):
+        from repro.experiments import sharding
+
+        system = duplex_system(MODEL, co_processing=True)
+        for key in sharding.DEFAULT_FLEETS:
+            specs = sharding.build_fleet(key)
+            spent = sum(replica_spec_devices(s, system, MODEL) for s in specs)
+            assert spent == sharding.DEVICE_BUDGET
+
+    def test_unknown_fleet_rejected(self):
+        from repro.experiments import sharding
+
+        with pytest.raises(ConfigError):
+            sharding.build_fleet("3xTP3")
+
+    def test_single_point_runs(self):
+        from repro.experiments import sharding
+
+        rows = sharding.run(
+            fleets=("1xTP8",),
+            scenarios=("bursty-chat",),
+            max_requests=20,
+            limits=SimulationLimits(max_stages=20_000, warmup_stages=0),
+            workers=1,
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.devices == 8 and row.n_replicas == 1
+        assert row.requests_completed == 20
+        assert row.t2ft_p99_s > 0 and row.all_to_all_s > 0
+        text = sharding.format_rows(rows)
+        assert "1xTP8" in text and "8-device budget" in text

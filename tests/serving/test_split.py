@@ -1,9 +1,13 @@
 """Tests for the two-partition split deployment beyond the Fig. 16 path."""
 
+import pytest
+
+from repro.errors import ConfigError
 from repro.models.config import mixtral
+from repro.parallel.topology import ClusterTopology
 from repro.serving.generator import WorkloadSpec
 from repro.serving.simulator import SimulationLimits
-from repro.serving.split import SplitServingSimulator
+from repro.serving.split import SplitServingSimulator, split_partitions
 from repro.serving.trace import TraceRecord, TraceReplayGenerator
 
 MODEL = mixtral()
@@ -11,6 +15,58 @@ MODEL = mixtral()
 
 def _trace(records):
     return TraceReplayGenerator(records)
+
+
+class TestKvHandoffLink:
+    """The KV handoff must ride the link the topology actually provides."""
+
+    def test_single_node_split_stays_on_nvlink(self):
+        sim = SplitServingSimulator(
+            MODEL, _trace([TraceRecord(0.0, 256, 4)]), max_batch=8, seed=0
+        )
+        assert sim._kv_crosses_nodes is False
+
+    def test_multi_node_split_crosses_the_fabric(self):
+        sim = SplitServingSimulator(
+            MODEL,
+            _trace([TraceRecord(0.0, 256, 4)]),
+            max_batch=8,
+            seed=0,
+            topology=ClusterTopology(2, 8),
+        )
+        assert sim._kv_crosses_nodes is True
+
+    def test_handoff_prices_the_topology_link(self):
+        # Identical request, two deployments: the multi-node handoff must
+        # be priced over the slower inter-node link, never NVLink.
+        record = TraceRecord(arrival_s=0.0, input_len=4096, output_len=2)
+        kv_bytes = record.input_len * MODEL.kv_bytes_per_token
+
+        intra = SplitServingSimulator(MODEL, _trace([record]), max_batch=8, seed=0)
+        inter = SplitServingSimulator(
+            MODEL, _trace([record]), max_batch=8, seed=0, topology=ClusterTopology(2, 8)
+        )
+        t_intra = intra._collectives.point_to_point_time(
+            kv_bytes, crosses_nodes=intra._kv_crosses_nodes
+        )
+        t_inter = inter._collectives.point_to_point_time(
+            kv_bytes, crosses_nodes=inter._kv_crosses_nodes
+        )
+        assert t_inter > t_intra
+        # Both legs match a hand-priced transfer over their own link.
+        for sim, t in ((intra, t_intra), (inter, t_inter)):
+            bandwidth, latency = sim._collectives.topology.link(sim._kv_crosses_nodes)
+            assert t == pytest.approx(kv_bytes / bandwidth + latency)
+
+    def test_multi_node_partitions_split_by_nodes(self):
+        prefill, decode = split_partitions(MODEL, ClusterTopology(2, 8))
+        assert prefill.topology.n_nodes == 1
+        assert prefill.topology.devices_per_node == 8
+        assert decode.topology == prefill.topology
+
+    def test_odd_node_count_rejected(self):
+        with pytest.raises(ConfigError):
+            split_partitions(MODEL, ClusterTopology(3, 8))
 
 
 class TestOpenLoopSplit:
