@@ -27,6 +27,10 @@ directly and records the repo's perf trajectory in a repo-root
   long-context scenario beyond its KV capacity under MIGRATE paging (the
   preemption hot path: victim selection, evict/resume accounting, the
   resume feed, host-link pricing);
+* ``chaos_recovery`` — end-to-end stages/second of a fleet carrying an
+  armed-but-quiescent fault injector (beyond-horizon crash trace, empty
+  stage-time profiles): the overhead fault support adds to the
+  fault-free hot path, which must stay negligible;
 * ``fig13_sweep`` / ``fig13_sweep_fast`` — end-to-end Fig. 13 sweep
   wall-clock on a reduced grid, single worker, in exact mode and with
   the memoized+incremental fast path.
@@ -294,6 +298,47 @@ def bench_paged_serving(requests: int, repeats: int) -> float:
     return _best_rate(run, repeats)
 
 
+def bench_chaos_recovery(requests: int, repeats: int) -> float:
+    """Stages/second through a fault-armed fleet that never fires.
+
+    The fault machinery must be free when quiescent: every stage pays
+    the armed-injector checks (crash capping, detect-event polling, the
+    attached — but empty — stage-time profile) while the beyond-horizon
+    crash trace guarantees no fault ever fires, so the measurement
+    isolates exactly the overhead fault support adds to the fault-free
+    hot path.  Each repeat rebuilds the fleet with a fresh fleet-scoped
+    cache so every run does identical work.
+    """
+    from repro.serving.cluster import ClusterSimulator
+    from repro.serving.faults import FaultConfig, FaultInjector, RetryPolicy, StageTimeProfile
+
+    model = mixtral()
+    system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    workload = WorkloadSpec(lin_mean=512, lout_mean=48, lin_cv=0.3, lout_cv=0.3, qps=40.0)
+    limits = SimulationLimits(max_stages=100_000, warmup_stages=0)
+
+    def run() -> int:
+        sim = ClusterSimulator(
+            system,
+            model,
+            workload,
+            n_replicas=2,
+            max_batch=8,
+            seed=0,
+            max_requests=requests,
+            faults=FaultInjector(FaultConfig(crash_times=((1e9, 0),), crash_mttr_s=1.0)),
+            retry=RetryPolicy(),
+            shared_pricing_cache=SharedPricingCache(),
+        )
+        for handle in sim.handles:
+            for engine in handle.replica.engines:
+                engine.fault_profile = StageTimeProfile(())
+        sim.run(limits)
+        return sum(handle.replica.engine.stages for handle in sim.handles)
+
+    return _best_rate(run, repeats)
+
+
 def bench_engine_grid(requests: int, repeats: int) -> float:
     """Geometric-mean stages/second over the grid harness's smoke cells.
 
@@ -361,6 +406,7 @@ def run_suite(scale: float = 1.0, repeats: int = 3) -> dict:
     record("autoscaled_cluster", bench_autoscaled_cluster(iters(400), repeats), "stages/s")
     record("sharded_fleet", bench_sharded_fleet(iters(400), repeats), "stages/s")
     record("paged_serving", bench_paged_serving(iters(80), repeats), "stages/s")
+    record("chaos_recovery", bench_chaos_recovery(iters(400), repeats), "stages/s")
     if scale >= 0.99:
         record("fig13_sweep", bench_fig13_sweep(repeats, fast=False), "s", lower_is_better=True)
         record(

@@ -30,6 +30,7 @@ def test_suite_smoke_produces_all_microbenchmarks():
         "autoscaled_cluster",
         "sharded_fleet",
         "paged_serving",
+        "chaos_recovery",
     ):
         entry = payload["benchmarks"][name]
         assert entry["value"] > 0

@@ -54,6 +54,10 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "sharded: sharded-replica tests (TP x EP fleets, device budgets, shared experts)",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-tolerance tests (failure injection, health-checked recovery, retries)",
+    )
     try:
         from hypothesis import settings
     except ImportError:  # property tests skip themselves via importorskip

@@ -27,6 +27,7 @@ from repro.experiments import (
     ablations,
     area,
     capacity,
+    chaos,
     fig4,
     fig5,
     fig8,
@@ -59,6 +60,7 @@ def _artefacts(workers: int | None = None, fast: bool = False):
     yield "capacity_planning", lambda: capacity.format_rows(capacity.run(workers=workers))
     yield "paging_policies", lambda: paging.format_rows(paging.run(workers=workers))
     yield "sharded_fleet", lambda: sharding.format_rows(sharding.run(workers=workers))
+    yield "chaos_recovery", lambda: chaos.format_rows(chaos.run(workers=workers))
     yield "fig14_bankpim", lambda: fig14.format_rows(fig14.run())
     yield "fig15_energy", lambda: fig15.format_rows(fig15.run())
     yield "fig16_split", lambda: fig16.format_rows(fig16.run())

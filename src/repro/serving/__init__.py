@@ -31,6 +31,9 @@
   processes × length distributions × tenant mixes) behind a registry.
 * :mod:`repro.serving.paging` — KV migration/recomputation under capacity
   pressure (Section VIII-C).
+* :mod:`repro.serving.faults` — failure injection (replica/device crashes,
+  stragglers, link degradation) on an isolated RNG stream, plus the
+  retry/backoff policy the cluster recovery path applies.
 * :mod:`repro.serving.trace` — request-trace recording and replay.
 """
 
@@ -67,6 +70,13 @@ from repro.serving.engine import (
     ServingEngine,
     StageEvent,
     TransferFeed,
+)
+from repro.serving.faults import (
+    FaultConfig,
+    FaultInjector,
+    RetryPolicy,
+    StageTimeProfile,
+    stream_seed,
 )
 from repro.serving.generator import QueueSource, RequestGenerator, RequestSource, WorkloadSpec
 from repro.serving.scenarios import (
@@ -121,6 +131,8 @@ __all__ = [
     "DiurnalArrivals",
     "ElasticFleetSimulator",
     "EvictionPolicy",
+    "FaultConfig",
+    "FaultInjector",
     "FcfsPolicy",
     "FleetSample",
     "FleetView",
@@ -151,6 +163,7 @@ __all__ = [
     "RequestGenerator",
     "RequestSource",
     "RequestState",
+    "RetryPolicy",
     "RoundRobinRouter",
     "Router",
     "Scenario",
@@ -167,6 +180,7 @@ __all__ = [
     "SplitReplicaSpec",
     "SplitServingSimulator",
     "StageEvent",
+    "StageTimeProfile",
     "StaticBatchingScheduler",
     "StaticReplicaPolicy",
     "TenantSpec",
@@ -181,4 +195,5 @@ __all__ = [
     "save_trace",
     "scenario_names",
     "split_partitions",
+    "stream_seed",
 ]

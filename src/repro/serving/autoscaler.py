@@ -84,8 +84,8 @@ class FleetView:
 
     Attributes:
         now_s: the fleet virtual clock at the tick.
-        provisioning / warming / active / draining / retired: replica
-            counts per lifecycle state.
+        provisioning / warming / active / draining / retired / failed:
+            replica counts per lifecycle state.
         min_replicas / max_replicas: the controller's clamp bounds.
         queue_depth: routed-but-unadmitted requests across the fleet.
         outstanding_tokens: worst-case KV tokens admitted or queued.
@@ -117,14 +117,18 @@ class FleetView:
     recent_tbt_s: tuple[float, ...]
     recent_tbt_weights: tuple[float, ...]
     shed_requests: int
+    failed: int = 0
 
     @property
     def scaling_pool(self) -> int:
         """Replicas a scaling decision counts: booting or serving.
 
-        DRAINING replicas are already on their way out and RETIRED ones
-        are gone, so a policy's target is compared against
-        ``provisioning + warming + active``.
+        DRAINING replicas are already on their way out, RETIRED ones are
+        gone, and FAILED ones serve nothing until repaired — so a
+        policy's target is compared against ``provisioning + warming +
+        active``, and a crash shrinks the pool until the policy
+        provisions a replacement (or the health checker repairs in
+        place).
         """
         return self.provisioning + self.warming + self.active
 
@@ -587,6 +591,14 @@ class ElasticFleetSimulator(ClusterSimulator):
             if h.state in (ReplicaState.ACTIVE, ReplicaState.DRAINING)
         ]
 
+    def _expects_new_capacity(self) -> bool:
+        # While arrivals are still being routed, the policy can provision
+        # replacements at any future control tick — a total outage defers
+        # work to the recovery queue instead of losing it, even with no
+        # boot or repair currently scheduled.  During the final drain no
+        # scaling decisions fire, so only concrete restore instants count.
+        return super()._expects_new_capacity() or not self._drain_phase
+
     def _update_lifecycle(self, t: float, limits: SimulationLimits) -> None:
         """Advance replica lifecycles to virtual time ``t``.
 
@@ -617,16 +629,33 @@ class ElasticFleetSimulator(ClusterSimulator):
                     # The replica's virtual clock starts at activation — it
                     # did not exist (as serving capacity) before.
                     handle.replica.jump_to(handle.active_at)
+                    if self.faults is not None:
+                        # A replacement coming online ends the oldest open
+                        # outage (capacity is restored even if the crashed
+                        # replica itself never repairs) and becomes a
+                        # crash candidate in its own right.
+                        self._close_outage(handle.active_at)
+                        self._arm_crash(handle, handle.active_at)
         if not self._draining:
             return
         still_draining: list[ManagedReplica] = []
         for handle in self._draining:
-            handle.replica.drain_until(t, limits)
+            if handle.state is not ReplicaState.DRAINING:
+                # Crashed mid-drain (DRAINING -> FAILED): the health
+                # checker harvested its work; recovery owns it now, and
+                # its frozen clock must not be advanced past the crash.
+                continue
+            handle.replica.drain_until(self._capped(handle, t), limits)
             if not handle.has_work or handle.budget_spent(limits):
                 # Stamped at the control-plane observation instant (the
                 # tick), not the replica's own possibly-overshot stage
                 # clock, so the event log replays consistently against
-                # the fixed-cadence fleet samples.
+                # the fixed-cadence fleet samples.  A spent stage budget
+                # can retire the handle while routed-but-unadmitted
+                # requests still sit in its queue — hand those back to
+                # the router atomically with the transition, before the
+                # handle leaves the live set.
+                self._handoff_queued(t, handle)
                 handle.set_state(t, ReplicaState.RETIRED)
             else:
                 still_draining.append(handle)
@@ -731,7 +760,9 @@ class ElasticFleetSimulator(ClusterSimulator):
         outstanding = 0
         for handle in self.handles:
             counts[handle.state] += 1
-            if handle.state is ReplicaState.RETIRED:
+            if handle.state in (ReplicaState.RETIRED, ReplicaState.FAILED):
+                # A FAILED replica holds no load: the health checker
+                # harvested its queue and in-flight work at detection.
                 continue
             view = handle.replica.view()
             queue_depth += view.queue_depth
@@ -748,6 +779,7 @@ class ElasticFleetSimulator(ClusterSimulator):
             active=counts[ReplicaState.ACTIVE],
             draining=counts[ReplicaState.DRAINING],
             retired=counts[ReplicaState.RETIRED],
+            failed=counts[ReplicaState.FAILED],
             min_replicas=self.min_replicas,
             max_replicas=self.max_replicas,
             queue_depth=queue_depth,
@@ -770,6 +802,7 @@ class ElasticFleetSimulator(ClusterSimulator):
                 active=view.active,
                 draining=view.draining,
                 retired=view.retired,
+                failed=view.failed,
                 queue_depth=view.queue_depth,
                 outstanding_tokens=view.outstanding_tokens,
                 utilization=view.utilization,
@@ -830,6 +863,7 @@ class ElasticFleetSimulator(ClusterSimulator):
                 active=counts[ReplicaState.ACTIVE],
                 draining=counts[ReplicaState.DRAINING],
                 retired=counts[ReplicaState.RETIRED],
+                failed=counts[ReplicaState.FAILED],
             ),
         )
         super()._control_tick(t, limits)  # cadence sample + grid advance
@@ -850,6 +884,11 @@ class ElasticFleetSimulator(ClusterSimulator):
             if handle.state is ReplicaState.DRAINING and (
                 not handle.has_work or handle.budget_spent(limits)
             ):
+                # Same atomic handoff as _update_lifecycle: a spent-budget
+                # retirement must not swallow queued-but-unadmitted
+                # requests (here, at run end, they surface as undispatched
+                # recovery entries rather than silently vanishing).
+                self._handoff_queued(end, handle)
                 handle.set_state(end, ReplicaState.RETIRED)
         self._draining = [h for h in self._draining if h.state is ReplicaState.DRAINING]
         self._observe_latencies()

@@ -49,25 +49,28 @@ the fleet in time slices and read true depths.
 from __future__ import annotations
 
 import enum
+import heapq
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.executor import SharedPricingCache, StageExecutor
+from repro.core.executor import SharedPricingCache, StageExecutor, StageWorkload
 from repro.core.system import SystemConfig, default_topology, sharded_system
 from repro.errors import CapacityError, ConfigError, SchedulingError, SimulationError
 from repro.models.config import ModelConfig
 from repro.serving.engine import (
     IncrementalStagePricer,
+    KvPagingCoordinator,
     ServingEngine,
     SimulationLimits,
     paged_engine_setup,
 )
+from repro.serving.faults import FaultInjector, RetryPolicy
 from repro.serving.generator import QueueSource, RequestSource, WorkloadSpec, resolve_source
 from repro.serving.metrics import MetricsCollector, ServingReport
-from repro.serving.paging import PagingConfig
+from repro.serving.paging import EvictionPolicy, PagingConfig
 from repro.serving.policy import SchedulingPolicy
 from repro.serving.request import Request
 from repro.serving.scheduler import ContinuousBatchingScheduler
@@ -88,6 +91,10 @@ class ReplicaState(enum.Enum):
     * ``ACTIVE`` — in the routing set, serving traffic.
     * ``DRAINING`` — removed from the routing set; refuses new
       admissions but finishes everything already routed to it.
+    * ``FAILED`` — crashed (health-checker verdict): in-flight KV is
+      gone, the replica is out of the routing set, and its stranded
+      requests go through failure recovery.  Repairable back to ACTIVE
+      (``crash_mttr_s``) or replaced by the elastic controller.
     * ``RETIRED`` — drained empty; permanently out of the fleet.
     """
 
@@ -95,7 +102,26 @@ class ReplicaState(enum.Enum):
     WARMING = "warming"
     ACTIVE = "active"
     DRAINING = "draining"
+    FAILED = "failed"
     RETIRED = "retired"
+
+
+#: Legal lifecycle edges — :meth:`ManagedReplica.set_state` rejects
+#: anything else.  PROVISIONING/WARMING may retire directly (an elastic
+#: scale-down cancelling a boot) and any live state may FAIL; FAILED
+#: returns to ACTIVE only through an in-place repair.
+_LEGAL_TRANSITIONS: dict[ReplicaState, frozenset[ReplicaState]] = {
+    ReplicaState.PROVISIONING: frozenset(
+        {ReplicaState.WARMING, ReplicaState.RETIRED, ReplicaState.FAILED}
+    ),
+    ReplicaState.WARMING: frozenset(
+        {ReplicaState.ACTIVE, ReplicaState.RETIRED, ReplicaState.FAILED}
+    ),
+    ReplicaState.ACTIVE: frozenset({ReplicaState.DRAINING, ReplicaState.FAILED}),
+    ReplicaState.DRAINING: frozenset({ReplicaState.RETIRED, ReplicaState.FAILED}),
+    ReplicaState.FAILED: frozenset({ReplicaState.ACTIVE, ReplicaState.RETIRED}),
+    ReplicaState.RETIRED: frozenset(),
+}
 
 
 # ----------------------------------------------------------------------
@@ -422,6 +448,42 @@ class _MonolithicReplica:
             capacity_tokens=self.scheduler.capacity_tokens,
         )
 
+    def harvest_queued(self) -> list[Request]:
+        """Strip and return every routed-but-unadmitted request (handoff)."""
+        queued: list[Request] = []
+        while len(self.inbox):
+            queued.append(self.inbox.take(0.0))
+        queued.extend(self.scheduler.waiting)
+        self.scheduler.waiting.clear()
+        return queued
+
+    def harvest_in_flight(self) -> tuple[list[Request], list[Request], list[tuple[Request, int]]]:
+        """Strip all work off a crashed replica.
+
+        Returns ``(queued, active, parked)``: requests never admitted
+        (nothing lost — free re-route), requests whose device KV died
+        with the replica (admitted, mid-resume, or RECOMPUTE-parked),
+        and MIGRATE-parked victims whose host-side KV survived (adoptable
+        by another paged replica).  Afterwards :attr:`in_flight` is zero
+        and the scheduler's accounting is clean for an in-place repair.
+        """
+        queued = self.harvest_queued()
+        active = list(self.scheduler.running)
+        for request in active:
+            self.scheduler.release(request)
+        parked: list[tuple[Request, int]] = []
+        coordinator = self.scheduler.paging
+        if coordinator is not None:
+            pairs, in_transit = coordinator.abandon_all()
+            for request in in_transit:
+                self.scheduler.uncommit(request)
+            if coordinator.manager.policy is EvictionPolicy.MIGRATE:
+                parked = pairs
+            else:
+                active.extend(request for request, _ in pairs)
+            active.extend(in_transit)
+        return queued, active, parked
+
     def budget_spent(self, limits: SimulationLimits) -> bool:
         return self.engine.budget_spent(limits)
 
@@ -536,6 +598,40 @@ class _SplitReplica:
             kind=self.kind,
         )
 
+    def harvest_queued(self) -> list[Request]:
+        """Strip and return every routed-but-unadmitted request (handoff)."""
+        prefill = self.deployment.prefill_engine.scheduler
+        queued: list[Request] = []
+        while len(self.inbox):
+            queued.append(self.inbox.take(0.0))
+        queued.extend(prefill.waiting)
+        prefill.waiting.clear()
+        return queued
+
+    def harvest_in_flight(self) -> tuple[list[Request], list[Request], list[tuple[Request, int]]]:
+        """Strip all work off a crashed split replica.
+
+        Both partitions die together (they share the replica's blast
+        radius), so everything past admission — prefilling, in transfer
+        between the partitions, or decoding — lost its KV.
+        """
+        deployment = self.deployment
+        prefill = deployment.prefill_engine.scheduler
+        decode = deployment.decode_engine.scheduler
+        queued = self.harvest_queued()
+        active = list(prefill.running)
+        for request in active:
+            prefill.release(request)
+        while len(deployment.transfers):
+            active.append(deployment.transfers.take(float("inf")))
+        active.extend(decode.waiting)
+        decode.waiting.clear()
+        decoding = list(decode.running)
+        for request in decoding:
+            decode.release(request)
+        active.extend(decoding)
+        return queued, active, []
+
     def budget_spent(self, limits: SimulationLimits) -> bool:
         return self.deployment.decode_engine.budget_spent(limits)
 
@@ -574,7 +670,10 @@ class ManagedReplica:
         active_at: planned serve-ready instant (WARMING ends).
         activated_at: when the replica actually entered ACTIVE.
         draining_at / retired_at: drain/retire instants (None until then).
-        transitions: full ``(time_s, state)`` log, in order.
+        failed_at: when the health checker declared the replica FAILED
+            (None while healthy; reset never — the log keeps history).
+        transitions: full ``(time_s, state)`` log, in order; every edge
+            is validated against the legal lifecycle graph.
     """
 
     def __init__(
@@ -596,6 +695,7 @@ class ManagedReplica:
             provisioned_at if state is ReplicaState.ACTIVE else None
         )
         self.draining_at: float | None = None
+        self.failed_at: float | None = None
         self.retired_at: float | None = None
         self.transitions: list[tuple[float, ReplicaState]] = [(provisioned_at, state)]
 
@@ -615,15 +715,22 @@ class ManagedReplica:
         return self.replica.budget_spent(limits)
 
     def set_state(self, t: float, state: ReplicaState) -> None:
-        """Transition to ``state`` at virtual time ``t`` (logged)."""
+        """Transition to ``state`` at virtual time ``t`` (logged, validated)."""
         if state is self.state:
             return
+        if state not in _LEGAL_TRANSITIONS[self.state]:
+            raise SchedulingError(
+                f"replica {self.index}: illegal lifecycle transition "
+                f"{self.state.value} -> {state.value}"
+            )
         self.state = state
         self.transitions.append((t, state))
         if state is ReplicaState.ACTIVE:
             self.activated_at = t
         elif state is ReplicaState.DRAINING:
             self.draining_at = t
+        elif state is ReplicaState.FAILED:
+            self.failed_at = t
         elif state is ReplicaState.RETIRED:
             self.retired_at = t
 
@@ -641,8 +748,19 @@ class ManagedReplica:
         self.replica.inbox.push(request)
 
     def lifetime_s(self, fleet_end_s: float) -> float:
-        """Provisioned replica-seconds: provision to retire (or fleet end)."""
-        end = self.retired_at if self.retired_at is not None else fleet_end_s
+        """Provisioned replica-seconds: provision to retire (or fleet end).
+
+        A replica that ends the run FAILED stops accruing at its failure
+        instant — dead hardware serves nothing and is not billed as
+        provisioned capacity (a repaired replica accrues to fleet end
+        as usual).
+        """
+        if self.retired_at is not None:
+            end = self.retired_at
+        elif self.state is ReplicaState.FAILED and self.failed_at is not None:
+            end = self.failed_at
+        else:
+            end = fleet_end_s
         return max(0.0, end - self.provisioned_at)
 
 
@@ -696,11 +814,16 @@ class FleetSample:
     utilization: float
     routed_requests: int
     shed_requests: int
+    failed: int = 0
 
     @property
     def provisioned(self) -> int:
-        """Replicas currently paid for (everything except RETIRED)."""
-        return self.provisioning + self.warming + self.active + self.draining
+        """Replicas currently paid for (everything except RETIRED).
+
+        FAILED replicas count: the hardware is still allocated to the
+        fleet until it is repaired or the handle is retired.
+        """
+        return self.provisioning + self.warming + self.active + self.draining + self.failed
 
 
 @dataclass(frozen=True)
@@ -845,6 +968,16 @@ class ClusterSimulator:
             (they read the same possibly-stale state routers see), and
             slice the drain phase so post-arrival queue decay is visible.
             None disables cadence sampling (routing-event samples only).
+        faults: a :class:`~repro.serving.faults.FaultInjector` scheduling
+            crashes, stragglers, and link degradation against this fleet.
+            The injector draws on its own named RNG stream, so an armed
+            injector whose schedule produces nothing inside the run
+            leaves the trajectory byte-identical to ``faults=None``.
+        retry: how in-flight requests lost to a crash are re-admitted
+            (:class:`~repro.serving.faults.RetryPolicy`).  None loses
+            them permanently (the no-retry baseline); queued-but-never-
+            admitted requests are always re-routed free of an attempt
+            charge.
     """
 
     def __init__(
@@ -866,6 +999,8 @@ class ClusterSimulator:
         replicas: Sequence[ReplicaSpec] | None = None,
         sample_interval_s: float | None = 1.0,
         paging: PagingConfig | None = None,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if replicas is None:
             if n_replicas is None:
@@ -902,6 +1037,14 @@ class ClusterSimulator:
         self._incremental_pricing = incremental_pricing
         self._shared_pricing_cache = shared_pricing_cache
         self._paging = paging
+        self.faults = faults
+        self.retry = retry
+        if faults is not None:
+            # The injector derives its stream from the cluster seed (a
+            # no-op if it was built with an explicit seed) *before* any
+            # replica is built, so straggler/link schedules are sampled
+            # on the bound stream in provision order.
+            faults.bind(seed)
         self.effective_batch = 0  # the largest replica batch, set below
         self.handles: list[ManagedReplica] = []
         for spec in replicas:
@@ -991,6 +1134,7 @@ class ClusterSimulator:
     ) -> ManagedReplica:
         """Build one replica and register its control-plane handle."""
         replica = self._build_replica(len(self.handles), spec)
+        self._attach_fault_profiles(replica)
         handle = ManagedReplica(
             replica,
             spec,
@@ -1023,8 +1167,16 @@ class ClusterSimulator:
         return [h for h in self.handles if h.state is not ReplicaState.RETIRED]
 
     def _advanceable_handles(self) -> list[ManagedReplica]:
-        """Handles whose engines advance with the fleet clock."""
-        return self._live_handles()
+        """Handles whose engines advance with the fleet clock.
+
+        FAILED replicas are frozen at their crash boundary — dead
+        hardware processes nothing until repaired.
+        """
+        return [
+            h
+            for h in self.handles
+            if h.state is not ReplicaState.RETIRED and h.state is not ReplicaState.FAILED
+        ]
 
     def _routable_handles(self) -> list[ManagedReplica]:
         """Handles routers may send new requests to (ACTIVE only)."""
@@ -1043,10 +1195,35 @@ class ClusterSimulator:
         self._next_sample_s = (
             self.sample_interval_s if self.sample_interval_s is not None else float("inf")
         )
+        # Failure-recovery run state — all of it inert (empty heaps, no
+        # RNG draws) when no fault source fires, which is what keeps an
+        # armed-but-quiescent injector byte-identical to faults=None.
+        self._fault_due: list[tuple[float, int, str, int]] = []
+        self._retry_due: list[
+            tuple[float, int, Request, int, float, MetricsCollector | None]
+        ] = []
+        self._fault_seq = 0
+        self._crash_at: dict[int, float] = {}
+        self._crash_cause: dict[int, str] = {}
+        self._tenant_retry_spent: dict[str, int] = {}
+        self._lost_requests: list[Request] = []
+        self._open_outages: list[tuple[int, float]] = []
+        self._unavailability_s = 0.0
+        self._replay_price_cache: dict[tuple[int, int], tuple[float, float]] = {}
+        self._drain_phase = False
+        if self.faults is not None:
+            for handle in self.handles:
+                if handle.state is ReplicaState.ACTIVE:
+                    self._arm_crash(handle, handle.activated_at or 0.0)
 
     def _next_control_s(self) -> float:
-        """Next fixed-cadence control/telemetry instant (inf = disabled)."""
-        return self._next_sample_s
+        """Next control instant: telemetry cadence, fault event, or retry."""
+        t = self._next_sample_s
+        if self._fault_due:
+            t = min(t, self._fault_due[0][0])
+        if self._retry_due:
+            t = min(t, self._retry_due[0][0])
+        return t
 
     def _fleet_depths(self) -> tuple[int, ...]:
         return tuple(handle.replica.view().queue_depth for handle in self.handles)
@@ -1063,24 +1240,359 @@ class ClusterSimulator:
         self._samples.append(QueueDepthSample(time_s=t, depths=depths, kind="cadence"))
 
     def _control_tick(self, t: float, limits: SimulationLimits) -> None:
-        """One fixed-cadence tick during the routing phase.
+        """One control tick during the routing phase.
 
-        The fixed fleet only samples telemetry here — *without* advancing
-        any engine, so cadence sampling cannot perturb the simulation
-        (a fixed fleet with and without sampling is stage-for-stage
-        identical).  The elastic controller overrides this to also run
-        lifecycle updates and the autoscaling policy.
+        Fault events (crash detection, repair) and due retries are
+        serviced first; the telemetry cadence then samples only when the
+        tick actually lies on the sampling grid — fault events fire
+        between grid points without emitting extra samples, so a fixed
+        fleet with faults off is stage-for-stage identical to one that
+        never ticks faults at all.  The elastic controller overrides
+        this to also run lifecycle updates and the autoscaling policy.
         """
-        self._emit_cadence_sample(t)
-        self._next_sample_s = t + self.sample_interval_s
+        self._service_faults(t, limits)
+        if t >= self._next_sample_s:
+            self._emit_cadence_sample(t)
+            self._next_sample_s = t + self.sample_interval_s
 
     def _after_drain_slice(self, t: float, limits: SimulationLimits) -> None:
         """Telemetry/lifecycle work after one drain-phase time slice."""
-        self._emit_cadence_sample(t)
-        self._next_sample_s = t + self.sample_interval_s
+        self._service_faults(t, limits)
+        if t >= self._next_sample_s:
+            self._emit_cadence_sample(t)
+            self._next_sample_s = t + self.sample_interval_s
 
     def _finish_drain(self, limits: SimulationLimits) -> None:
         """Post-drain lifecycle hook (the elastic controller retires)."""
+
+    # ------------------------------------------------------------------
+    # failure injection and recovery
+    # ------------------------------------------------------------------
+    def _attach_fault_profiles(self, replica: ClusterReplica) -> None:
+        """Wire straggler/link degradation schedules into a new replica."""
+        if self.faults is None:
+            return
+        for engine in replica.engines:
+            engine.fault_profile = self.faults.straggler_profile(replica.index)
+        scheduler = getattr(replica, "scheduler", None)
+        if scheduler is not None and scheduler.paging is not None:
+            profile = self.faults.link_profile()
+            if profile is not None:
+                scheduler.paging.link_scale = profile.scale_at
+
+    def _arm_crash(self, handle: ManagedReplica, active_from_s: float) -> None:
+        """Schedule the replica's next crash (and its later detection)."""
+        if self.faults is None:
+            return
+        n_devices = replica_spec_devices(handle.spec, self.system, self.model)
+        sampled = self.faults.sample_crash(handle.index, active_from_s, n_devices)
+        if sampled is None:
+            return
+        crash_s, cause = sampled
+        self._crash_at[handle.index] = crash_s
+        self._crash_cause[handle.index] = cause
+        self._push_fault_event(
+            crash_s + self.faults.detection_latency_s, "detect", handle.index
+        )
+
+    def _push_fault_event(self, t: float, kind: str, index: int) -> None:
+        self._fault_seq += 1
+        heapq.heappush(self._fault_due, (t, self._fault_seq, kind, index))
+
+    def _push_retry(
+        self,
+        ready_s: float,
+        request: Request,
+        cached: int,
+        backoff_s: float,
+        metrics: MetricsCollector | None,
+    ) -> None:
+        """Queue a request for re-admission at ``ready_s``.
+
+        ``cached >= 0`` marks a MIGRATE-parked victim whose host-side KV
+        survived (adoptable); ``metrics`` is the dead replica's collector
+        (None for free re-routes of never-admitted requests).
+        """
+        self._fault_seq += 1
+        heapq.heappush(
+            self._retry_due, (ready_s, self._fault_seq, request, cached, backoff_s, metrics)
+        )
+
+    def _capped(self, handle: ManagedReplica, t: float) -> float:
+        """Advance target capped at the handle's undetected crash instant.
+
+        A crashed replica freezes at the first stage boundary at or
+        after its crash; between crash and detection it still *receives*
+        routed requests (the health checker has not noticed yet) but
+        processes nothing.
+        """
+        crash_s = self._crash_at.get(handle.index)
+        return t if crash_s is None else min(t, crash_s)
+
+    def _service_faults(self, t: float, limits: SimulationLimits) -> None:
+        """Process every fault event and due retry up to ``t``."""
+        while self._fault_due and self._fault_due[0][0] <= t:
+            te, _, kind, index = heapq.heappop(self._fault_due)
+            if kind == "detect":
+                self._detect_crash(te, index, limits)
+            else:
+                self._repair_replica(te, index)
+        if self._retry_due and self._retry_due[0][0] <= t:
+            due = []
+            while self._retry_due and self._retry_due[0][0] <= t:
+                due.append(heapq.heappop(self._retry_due))
+            # Drained before dispatching: a retry re-queued at exactly t
+            # (no capacity yet) must wait for the next tick, not spin.
+            for _, _, request, cached, backoff_s, metrics in due:
+                self._dispatch_retry(t, request, cached, backoff_s, metrics, limits)
+
+    def _detect_crash(self, t: float, index: int, limits: SimulationLimits) -> None:
+        """The health checker notices a crash: fail the replica, harvest.
+
+        ``t`` is the detection instant (crash + detection latency); the
+        outage window opens at the crash itself.  Queued requests are
+        re-routed free; admitted/parked ones go through the retry
+        policy, with MIGRATE-parked victims carrying their surviving
+        host-side KV so a paged target can adopt instead of re-prefill.
+        """
+        crash_s = self._crash_at.pop(index, None)
+        cause = self._crash_cause.pop(index, "replica")
+        if crash_s is None:
+            return
+        handle = self.handles[index]
+        if handle.state in (ReplicaState.RETIRED, ReplicaState.FAILED):
+            return
+        handle.set_state(t, ReplicaState.FAILED)
+        self._open_outages.append((index, crash_s))
+        metrics = handle.replica.metrics
+        metrics.record_crash(device_level=cause == "device")
+        queued, active, parked = handle.replica.harvest_in_flight()
+        for request in queued:
+            self._push_retry(t, request, -1, 0.0, None)
+        for request in active:
+            self._account_lost_work(metrics, handle.replica, request)
+            self._schedule_retry(t, request, -1, metrics)
+        for request, cached in parked:
+            self._schedule_retry(t, request, cached, metrics)
+        assert self.faults is not None
+        if self.faults.config.crash_mttr_s is not None:
+            self._push_fault_event(t + self.faults.config.crash_mttr_s, "repair", index)
+
+    def _repair_replica(self, t: float, index: int) -> None:
+        """In-place repair: the FAILED replica rejoins the routing set."""
+        handle = self.handles[index]
+        if handle.state is not ReplicaState.FAILED:
+            return
+        handle.set_state(t, ReplicaState.ACTIVE)
+        handle.replica.jump_to(t)
+        self._close_outage(t, index)
+        self._arm_crash(handle, t)
+
+    def _close_outage(self, t: float, index: int | None = None) -> None:
+        """Close ``index``'s outage (or the oldest open one) at ``t``."""
+        if not self._open_outages:
+            return
+        pos = 0
+        if index is not None:
+            pos = next(
+                (i for i, (idx, _) in enumerate(self._open_outages) if idx == index),
+                None,
+            )
+            if pos is None:
+                return
+        _, crash_s = self._open_outages.pop(pos)
+        self._unavailability_s += max(0.0, t - crash_s)
+
+    def _account_lost_work(
+        self, metrics: MetricsCollector, replica: ClusterReplica, request: Request
+    ) -> None:
+        """Charge one admitted request's lost progress to ``metrics``.
+
+        A first token already reported to the collector is retracted —
+        the retried request will earn a (later, honest) one on its next
+        attempt, or none at all if it is permanently lost.
+        """
+        if request.first_token_time_s is not None:
+            metrics.retract_first_token(request.t2ft_s, request.tenant, request.t2ft_slo_s)
+        replay_s, replay_energy_j = self._price_lost_prefill(replica, request.prefilled_tokens)
+        metrics.record_lost_work(
+            generated_tokens=request.tokens_generated,
+            prefill_tokens=request.prefilled_tokens,
+            replay_s=replay_s,
+            replay_energy_j=replay_energy_j,
+        )
+
+    def _price_lost_prefill(self, replica: ClusterReplica, tokens: int) -> tuple[float, float]:
+        """Estimated cost of re-running ``tokens`` of lost prefill.
+
+        Priced once per (executor, token count) on the dead replica's
+        own executor — a report-level estimate; the actual retry is
+        priced organically on whichever replica re-runs it.
+        """
+        if tokens < 1:
+            return 0.0, 0.0
+        executor = getattr(replica, "executor", None)
+        if executor is None:  # split replica: price on the prefill partition
+            executor = replica.deployment.prefill_engine.executor
+        key = (id(executor), tokens)
+        cached = self._replay_price_cache.get(key)
+        if cached is None:
+            workload = StageWorkload(
+                decode_context_lengths=np.asarray([], dtype=np.int64),
+                prefill_lengths=(tokens,),
+            )
+            result = executor.run_stage(workload)
+            energy_j = (
+                sum(result.dram_energy_by_category.values())
+                + sum(result.compute_energy_by_category.values())
+                + result.comm_energy_j
+            )
+            cached = (result.latency_s, energy_j)
+            self._replay_price_cache[key] = cached
+        return cached
+
+    def _schedule_retry(
+        self, t: float, request: Request, cached: int, metrics: MetricsCollector | None
+    ) -> None:
+        """Queue a lost request for re-admission, or declare it lost."""
+        retry = self.retry
+        if retry is None or request.attempts + 1 > retry.max_attempts:
+            self._lost_requests.append(request)
+            return
+        if retry.per_tenant_budget is not None and request.tenant is not None:
+            spent = self._tenant_retry_spent.get(request.tenant, 0)
+            if spent >= retry.per_tenant_budget:
+                self._lost_requests.append(request)
+                return
+            self._tenant_retry_spent[request.tenant] = spent + 1
+        request.attempts += 1
+        rng = self.faults.rng if self.faults is not None else None
+        delay = retry.delay_s(request.attempts, rng)
+        self._push_retry(t + delay, request, cached, delay, metrics)
+
+    def _dispatch_retry(
+        self,
+        t: float,
+        request: Request,
+        cached: int,
+        backoff_s: float,
+        source_metrics: MetricsCollector | None,
+        limits: SimulationLimits,
+    ) -> None:
+        """Re-route one recovered request through the cluster router."""
+        candidates = self._routable_handles()
+        if not candidates:
+            restore_s = self._capacity_restore_s()
+            if restore_s < float("inf"):
+                self._push_retry(max(t, restore_s), request, cached, backoff_s, source_metrics)
+            elif self._expects_new_capacity():
+                step = self.sample_interval_s if self.sample_interval_s is not None else 1.0
+                self._push_retry(t + step, request, cached, backoff_s, source_metrics)
+            else:
+                self._lost_requests.append(request)
+            return
+        for handle in candidates:
+            handle.replica.advance_to(self._capped(handle, t), limits)
+        views = [handle.routing_view() for handle in candidates]
+        index = self.router.choose(views, request)
+        chosen = next((h for h in candidates if h.index == index), None)
+        if chosen is None:
+            raise ConfigError(f"{self.router.name} routed to invalid replica {index}")
+        if cached >= 0:
+            coordinator = self._migrate_coordinator(chosen.replica)
+            if coordinator is not None:
+                try:
+                    coordinator.adopt(request, cached, t)
+                except CapacityError:
+                    pass  # target's host budget is full: fall back to requeue
+                else:
+                    chosen.replica.metrics.record_retry(
+                        tenant=request.tenant, backoff_s=backoff_s, migrate_recovery=True
+                    )
+                    self._samples.append(
+                        QueueDepthSample(
+                            time_s=t, depths=self._fleet_depths(), kind="routing"
+                        )
+                    )
+                    return
+            # No MIGRATE target for the host copy: its KV is lost after
+            # all and the request re-runs from scratch like any other.
+            self._account_lost_work(
+                source_metrics if source_metrics is not None else chosen.replica.metrics,
+                chosen.replica,
+                request,
+            )
+        request.requeue(t)
+        chosen.route(request)
+        if source_metrics is not None:
+            chosen.replica.metrics.record_retry(tenant=request.tenant, backoff_s=backoff_s)
+        self._samples.append(
+            QueueDepthSample(time_s=t, depths=self._fleet_depths(), kind="routing")
+        )
+
+    def _migrate_coordinator(self, replica: ClusterReplica) -> KvPagingCoordinator | None:
+        """The replica's MIGRATE-policy paging coordinator, if it has one."""
+        scheduler = getattr(replica, "scheduler", None)
+        if scheduler is None or scheduler.paging is None:
+            return None
+        coordinator = scheduler.paging
+        if coordinator.manager.policy is not EvictionPolicy.MIGRATE:
+            return None
+        return coordinator
+
+    def _recovery_pending(self, limits: SimulationLimits) -> bool:
+        """Whether the drain loop must keep slicing for recovery work.
+
+        True while retries wait for their backoff, or while a crashed
+        replica still holds stranded work the health checker has not
+        harvested yet.  A detect event whose crash falls beyond the
+        simulated work never blocks: its replica finishes (or exhausts
+        its stage budget — a truncated replica can never process the
+        stranded work anyway) and drops out of the worker set, and the
+        event dies with the calendar.
+        """
+        if self._retry_due:
+            return True
+        for _, _, kind, index in self._fault_due:
+            if kind != "detect":
+                continue
+            handle = self.handles[index]
+            if (
+                handle.state not in (ReplicaState.RETIRED, ReplicaState.FAILED)
+                and handle.has_work
+                and not handle.budget_spent(limits)
+            ):
+                return True
+        return False
+
+    def _capacity_restore_s(self) -> float:
+        """Earliest known instant routable capacity returns (inf = never)."""
+        best = float("inf")
+        for handle in self.handles:
+            if handle.state in (ReplicaState.PROVISIONING, ReplicaState.WARMING):
+                best = min(best, handle.active_at)
+        mttr = self.faults.config.crash_mttr_s if self.faults is not None else None
+        for te, _, kind, _ in self._fault_due:
+            if kind == "repair":
+                best = min(best, te)
+            elif mttr is not None:
+                best = min(best, te + mttr)
+        return best
+
+    def _expects_new_capacity(self) -> bool:
+        """Whether routable capacity can plausibly return (defer vs lose)."""
+        return self._capacity_restore_s() < float("inf")
+
+    def _handoff_queued(self, t: float, handle: ManagedReplica) -> None:
+        """Re-route a retiring replica's queued-but-unadmitted requests.
+
+        The DRAINING-exit edge case: a replica retired on a spent stage
+        budget may still hold routed requests it never admitted — they
+        are handed back to the router (free, no attempt charge) instead
+        of vanishing with the handle.
+        """
+        for request in handle.replica.harvest_queued():
+            self._push_retry(t, request, -1, 0.0, None)
 
     # ------------------------------------------------------------------
     # the run loop
@@ -1098,9 +1610,11 @@ class ClusterSimulator:
         while True:
             if self.max_requests is not None and self._routed >= self.max_requests:
                 break
-            live = self._live_handles()
-            if live and all(handle.budget_spent(limits) for handle in live):
+            advanceable = self._advanceable_handles()
+            if advanceable and all(handle.budget_spent(limits) for handle in advanceable):
                 break
+            if not advanceable and not self._expects_new_capacity():
+                break  # the whole fleet is dead with no repair in sight
             if (
                 limits.target_completions is not None
                 and self._completions() >= limits.target_completions
@@ -1122,10 +1636,23 @@ class ClusterSimulator:
     def _route_arrival(self, arrival: float, limits: SimulationLimits) -> None:
         """Advance the fleet to ``arrival`` and route the next request."""
         for handle in self._advanceable_handles():
-            handle.replica.advance_to(arrival, limits)
+            handle.replica.advance_to(self._capped(handle, arrival), limits)
         request = self.source.take(arrival)
         candidates = self._routable_handles()
         if not candidates:
+            if self.faults is not None and self._expects_new_capacity():
+                # Total outage: hold the arrival in the recovery queue
+                # until capacity returns (free — never an attempt charge).
+                # With no concrete restore instant (an elastic fleet may
+                # only *provision* at a future control tick) re-poll on
+                # the control cadence, as _dispatch_retry does.
+                restore_s = self._capacity_restore_s()
+                if restore_s == float("inf"):
+                    step = self.sample_interval_s if self.sample_interval_s is not None else 1.0
+                    restore_s = arrival + step
+                self._push_retry(max(arrival, restore_s), request, -1, 0.0, None)
+                self._routed += 1
+                return
             raise SimulationError(
                 "no ACTIVE replica to route to — the controller drained the whole fleet"
             )
@@ -1150,8 +1677,9 @@ class ClusterSimulator:
         :meth:`~repro.serving.engine.ServingEngine.drain_until`), so the
         telemetry gains drain-phase samples without perturbing metrics.
         """
+        self._drain_phase = True
         if self._next_control_s() == float("inf"):
-            for handle in self._live_handles():
+            for handle in self._advanceable_handles():
                 handle.replica.drain(limits)
             self._finish_drain(limits)
             return
@@ -1159,16 +1687,22 @@ class ClusterSimulator:
         while True:
             workers = [
                 h
-                for h in self._live_handles()
+                for h in self._advanceable_handles()
                 if h.has_work and not h.budget_spent(limits)
             ]
-            if not workers:
+            if not workers and not self._recovery_pending(limits):
                 break
-            for handle in workers:
-                handle.replica.drain_until(t, limits)
-            self._after_drain_slice(t, limits)
+            if t == float("inf"):
+                # The control calendar emptied (every armed crash either
+                # fired or fell beyond the simulated work): plain drain.
+                for handle in workers:
+                    handle.replica.drain(limits)
+            else:
+                for handle in workers:
+                    handle.replica.drain_until(self._capped(handle, t), limits)
+                self._after_drain_slice(t, limits)
             t = self._next_control_s()
-        for handle in self._live_handles():
+        for handle in self._advanceable_handles():
             handle.replica.drain(limits)
         self._finish_drain(limits)
 
@@ -1187,6 +1721,16 @@ class ClusterSimulator:
             for handle in self.handles
         )
         fleet_end = max((handle.replica.now_s for handle in self.handles), default=0.0)
+        # Fleet-level failure accounting: outages still open at fleet end
+        # run to fleet end, and permanently lost requests are charged to
+        # the pooled collector (all no-ops on a fault-free run).
+        for _, crash_s in self._open_outages:
+            self._unavailability_s += max(0.0, fleet_end - crash_s)
+        self._open_outages = []
+        if self._unavailability_s > 0.0:
+            fleet.record_unavailability(self._unavailability_s)
+        for request in self._lost_requests:
+            fleet.record_request_lost(request.tenant)
         events = sorted(
             (
                 ReplicaEvent(time_s=t, replica=handle.index, state=state.value)

@@ -229,6 +229,10 @@ class KvPagingCoordinator:
         self.executor = executor
         self.resume_feed = TransferFeed()
         self.metrics: MetricsCollector | None = None
+        #: Optional host-link degradation hook (interconnect faults): a
+        #: ``t -> multiplier`` callable scaling transfer times.  None (the
+        #: default) prices transfers exactly as configured.
+        self.link_scale: Callable[[float], float] | None = None
         #: Parked victims in eviction order: (request, cached KV tokens,
         #: instant the evicted KV has fully left the device).
         self._parked: list[tuple[Request, int, float]] = []
@@ -286,9 +290,12 @@ class KvPagingCoordinator:
             else request.prefilled_tokens
         )
         outcome = self.manager.evict(request.request_id, cached)
-        if outcome.transfer_time_s:
+        transfer_s = outcome.transfer_time_s
+        if transfer_s and self.link_scale is not None:
+            transfer_s *= self.link_scale(now_s)
+        if transfer_s:
             started = max(now_s, self._link_out_free_s)
-            kv_clear_s = started + outcome.transfer_time_s
+            kv_clear_s = started + transfer_s
             self._link_out_free_s = kv_clear_s
         else:
             kv_clear_s = now_s
@@ -296,7 +303,7 @@ class KvPagingCoordinator:
         if self.metrics is not None:
             migrated = cached if self.manager.policy is EvictionPolicy.MIGRATE else 0
             self.metrics.record_preemption(
-                migrated_tokens=migrated, host_link_s=outcome.transfer_time_s
+                migrated_tokens=migrated, host_link_s=transfer_s
             )
         return outcome
 
@@ -332,13 +339,16 @@ class KvPagingCoordinator:
                     comm_energy_j=replay.comm_energy_j if replay else 0.0,
                 )
         else:
-            if outcome.transfer_time_s:
+            transfer_s = outcome.transfer_time_s
+            if transfer_s and self.link_scale is not None:
+                transfer_s *= self.link_scale(ready_s)
+            if transfer_s:
                 started = max(ready_s, self._link_in_free_s)
-                ready_s = started + outcome.transfer_time_s
+                ready_s = started + transfer_s
                 self._link_in_free_s = ready_s
             if self.metrics is not None:
                 self.metrics.record_paging_resume(
-                    migrated_tokens=cached, host_link_s=outcome.transfer_time_s
+                    migrated_tokens=cached, host_link_s=transfer_s
                 )
         self.resume_feed.push(ready_s, request)
         return request
@@ -349,6 +359,43 @@ class KvPagingCoordinator:
         while self.resume_feed.has_request_at(now_s):
             landed.append(self.resume_feed.take(now_s))
         return landed
+
+    # ------------------------------------------------------------------
+    # failure recovery (crash harvest / failover adoption)
+    # ------------------------------------------------------------------
+    def adopt(self, request: Request, cached: int, now_s: float) -> None:
+        """Adopt a parked request whose host-side KV survived a crash.
+
+        Failure recovery for MIGRATE-paged requests: the device KV died
+        with the old replica, but the paged-out copy lives in host
+        memory, so the request re-enters *this* replica's parked queue
+        and resumes through the normal MIGRATE in-transfer — paying the
+        host-link price instead of a full prefill replay.
+        """
+        self.manager.adopt_evicted(request.request_id, request.total_seq_len)
+        self._parked.append((request, cached, now_s))
+
+    def abandon_all(self) -> tuple[list[tuple[Request, int]], list[Request]]:
+        """Strip all paging state off a crashed replica.
+
+        Returns ``(parked, in_transit)``: parked victims with their
+        cached token counts (under MIGRATE the host copy survives and
+        can be adopted elsewhere), and requests mid-resume — their KV
+        was in flight to the dead device, so they are lost either way.
+        The manager forgets every abandoned reservation so an in-place
+        repair starts from clean accounting (and a retried request can
+        be routed back here without a phantom-id collision).
+        """
+        parked = [(request, cached) for request, cached, _ in self._parked]
+        self._parked.clear()
+        in_transit: list[Request] = []
+        while len(self.resume_feed):
+            in_transit.append(self.resume_feed.take(float("inf")))
+        for request, _ in parked:
+            self.manager.forget(request.request_id)
+        for request in in_transit:
+            self.manager.forget(request.request_id)
+        return parked, in_transit
 
     def _price_replay(self, tokens: int) -> StageResult | None:
         """Price the replayed prefill of ``tokens`` cached tokens.
@@ -558,6 +605,11 @@ class ServingEngine:
         self.finished_ids: list[int] = []
         self.handed_off_ids: list[int] = []
         self.observers: list[StageObserver] = []
+        #: Optional straggler profile (transient slowdown fault): a
+        #: :class:`~repro.serving.faults.StageTimeProfile` multiplying
+        #: stage latencies inside its windows.  Set post-construction by
+        #: the cluster's fault wiring; None costs nothing.
+        self.fault_profile = None
         self._admitted_seen = 0  # admitted_log cursor for StageEvent attribution
         paging = getattr(scheduler, "paging", None)
         if paging is not None and paging.metrics is None:
@@ -627,8 +679,14 @@ class ServingEngine:
             result = self.pricer.price(workload)
         else:
             result = self.executor.run_stage(workload)
-        self._last_latency_s = result.latency_s
-        finished = scheduler.complete_stage(result.latency_s)
+        latency_s = result.latency_s
+        if self.fault_profile is not None:
+            # Straggler windows stretch wall-clock, not energy: a
+            # throttled device produces the same tokens for the same
+            # joules, just later.
+            latency_s *= self.fault_profile.scale_at(self.now_s)
+        self._last_latency_s = latency_s
+        finished = scheduler.complete_stage(latency_s)
         self.stages += 1
         first_tokens = [r for r in prefilling if r.state is not RequestState.PREFILLING]
         in_window = self.stages > limits.warmup_stages
@@ -637,7 +695,7 @@ class ServingEngine:
         recording = self.record_gate(limits) if self.record_gate is not None else in_window
         if recording:
             self.metrics.record_stage(
-                latency_s=result.latency_s,
+                latency_s=latency_s,
                 is_mixed=result.is_mixed,
                 decode_tokens=workload.n_decode,
                 total_tokens_generated=workload.n_decode + len(first_tokens),
@@ -671,7 +729,7 @@ class ServingEngine:
             event = StageEvent(
                 engine=self.label,
                 now_s=self.now_s,
-                latency_s=result.latency_s,
+                latency_s=latency_s,
                 decode_ids=decode_ids,
                 prefill_chunks=chunks,
                 admitted=admitted,
@@ -732,6 +790,16 @@ class ServingEngine:
         threshold = scheduler.steady_run_threshold()
         if threshold is None:
             return 0
+        profile = self.fault_profile
+        if profile is not None:
+            # Inside a straggler window every stage latency is scaled —
+            # the scalar step applies the multiplier, so the vectorized
+            # path stands down.  Outside a window, cap the run at the
+            # next window edge; a quiescent profile (no windows) costs
+            # exactly these two calls and disarms nothing.
+            if profile.scale_at(self.now_s) != 1.0:
+                return 0
+            threshold = min(threshold, profile.next_change_s(self.now_s))
         cap = min(scheduler.steady_min_remaining(), _RUN_CAP)
         stages = self.stages
         warmup = limits.warmup_stages

@@ -97,6 +97,14 @@ class ServingReport:
             ``recomputed_tokens``, ``host_link_s``, ``replay_s``); empty
             when the run never paged (paging disabled, or never under
             pressure).
+        faults: failure/recovery summary (``crashes``,
+            ``device_failures``, ``retries``, ``migrate_recoveries``,
+            ``requests_lost``, ``lost_generated_tokens``,
+            ``lost_prefill_tokens``, ``re_prefill_s``,
+            ``re_prefill_energy_j``, ``retry_backoff_s``,
+            ``unavailability_s``); empty when no fault was ever injected
+            — a faults-off run reports byte-identically to one predating
+            the fault subsystem.
     """
 
     tokens_generated: int
@@ -114,6 +122,7 @@ class ServingReport:
     effective_batch: int
     per_tenant: dict[str, dict[str, float]] = field(default_factory=dict)
     paging: dict[str, float] = field(default_factory=dict)
+    faults: dict[str, float] = field(default_factory=dict)
 
 
 #: How many recent TBT samples back the incremental cursor API.  Far
@@ -155,6 +164,19 @@ class MetricsCollector:
     _recomputed_tokens: int = 0
     _host_link_s: float = 0.0
     _replay_s: float = 0.0
+    _crashes: int = 0
+    _device_failures: int = 0
+    _retries: int = 0
+    _migrate_recoveries: int = 0
+    _requests_lost: int = 0
+    _lost_generated_tokens: int = 0
+    _lost_prefill_tokens: int = 0
+    _re_prefill_s: float = 0.0
+    _re_prefill_energy_j: float = 0.0
+    _retry_backoff_s: float = 0.0
+    _unavailability_s: float = 0.0
+    _tenant_retries: dict[str, int] = field(default_factory=dict)
+    _tenant_requests_lost: dict[str, int] = field(default_factory=dict)
     effective_batch: int = 0
 
     # ------------------------------------------------------------------
@@ -322,6 +344,121 @@ class MetricsCollector:
             "replay_s": self._replay_s,
         }
 
+    # ------------------------------------------------------------------
+    # failures and recovery (the fault-injection subsystem)
+    # ------------------------------------------------------------------
+    def record_crash(self, device_level: bool = False) -> None:
+        """Record one replica crash (``device_level`` when a single device
+        failure took the whole replica down)."""
+        self._crashes += 1
+        if device_level:
+            self._device_failures += 1
+
+    def record_lost_work(
+        self,
+        generated_tokens: int,
+        prefill_tokens: int,
+        replay_s: float = 0.0,
+        replay_energy_j: float = 0.0,
+    ) -> None:
+        """Record one in-flight request's KV lost to a crash.
+
+        ``replay_s``/``replay_energy_j`` estimate what re-running the
+        lost prefill will cost on the retry target — the honest price of
+        the crash, attributed where the work was lost.
+        """
+        self._lost_generated_tokens += generated_tokens
+        self._lost_prefill_tokens += prefill_tokens
+        self._re_prefill_s += replay_s
+        self._re_prefill_energy_j += replay_energy_j
+
+    def record_retry(
+        self,
+        tenant: str | None = None,
+        backoff_s: float = 0.0,
+        migrate_recovery: bool = False,
+    ) -> None:
+        """Record one re-admission of a request lost by a crash.
+
+        ``migrate_recovery`` marks retries that resumed from a surviving
+        host-side KV copy instead of re-running the prefill.
+        """
+        self._retries += 1
+        self._retry_backoff_s += backoff_s
+        if migrate_recovery:
+            self._migrate_recoveries += 1
+        if tenant is not None:
+            self._tenant_retries[tenant] = self._tenant_retries.get(tenant, 0) + 1
+
+    def record_request_lost(self, tenant: str | None = None) -> None:
+        """Record one request permanently lost (retry budget exhausted)."""
+        self._requests_lost += 1
+        if tenant is not None:
+            self._tenant_requests_lost[tenant] = (
+                self._tenant_requests_lost.get(tenant, 0) + 1
+            )
+
+    def record_unavailability(self, seconds: float) -> None:
+        """Record fleet capacity-outage time (crash to replacement/repair)."""
+        if seconds < 0:
+            raise SimulationError("unavailability cannot be negative")
+        self._unavailability_s += seconds
+
+    def retract_first_token(
+        self, t2ft_s: float, tenant: str | None = None, slo_s: float | None = None
+    ) -> None:
+        """Reverse one :meth:`record_first_token` (crash harvest).
+
+        A crashed replica may have produced a request's first token
+        before dying; the request re-runs elsewhere and will re-record a
+        (later, honest) T2FT, so the dead replica's sample must come
+        out — including its tenant SLO tally.  A sample never recorded
+        (warm-up gated) retracts to a no-op.
+        """
+        try:
+            self._t2ft.remove(t2ft_s)
+        except ValueError:
+            return  # never recorded (warm-up gate): nothing to reverse
+        if tenant is not None:
+            samples = self._tenant_t2ft.get(tenant)
+            if samples is not None:
+                try:
+                    samples.remove(t2ft_s)
+                except ValueError:
+                    pass
+            if slo_s is not None and self._tenant_t2ft_slo_total.get(tenant, 0) > 0:
+                self._tenant_t2ft_slo_total[tenant] -= 1
+                if t2ft_s <= slo_s and self._tenant_t2ft_slo_met.get(tenant, 0) > 0:
+                    self._tenant_t2ft_slo_met[tenant] -= 1
+
+    @property
+    def fault_activity(self) -> bool:
+        """Whether any failure/recovery event was ever recorded."""
+        return bool(
+            self._crashes
+            or self._retries
+            or self._requests_lost
+            or self._unavailability_s
+        )
+
+    def _fault_summary(self) -> dict[str, float]:
+        """Failure counters for the report (empty when nothing failed)."""
+        if not self.fault_activity:
+            return {}
+        return {
+            "crashes": float(self._crashes),
+            "device_failures": float(self._device_failures),
+            "retries": float(self._retries),
+            "migrate_recoveries": float(self._migrate_recoveries),
+            "requests_lost": float(self._requests_lost),
+            "lost_generated_tokens": float(self._lost_generated_tokens),
+            "lost_prefill_tokens": float(self._lost_prefill_tokens),
+            "re_prefill_s": self._re_prefill_s,
+            "re_prefill_energy_j": self._re_prefill_energy_j,
+            "retry_backoff_s": self._retry_backoff_s,
+            "unavailability_s": self._unavailability_s,
+        }
+
     def record_first_token(
         self, t2ft_s: float, tenant: str | None = None, slo_s: float | None = None
     ) -> None:
@@ -399,6 +536,25 @@ class MetricsCollector:
             fleet._recomputed_tokens += collector._recomputed_tokens
             fleet._host_link_s += collector._host_link_s
             fleet._replay_s += collector._replay_s
+            fleet._crashes += collector._crashes
+            fleet._device_failures += collector._device_failures
+            fleet._retries += collector._retries
+            fleet._migrate_recoveries += collector._migrate_recoveries
+            fleet._requests_lost += collector._requests_lost
+            fleet._lost_generated_tokens += collector._lost_generated_tokens
+            fleet._lost_prefill_tokens += collector._lost_prefill_tokens
+            fleet._re_prefill_s += collector._re_prefill_s
+            fleet._re_prefill_energy_j += collector._re_prefill_energy_j
+            fleet._retry_backoff_s += collector._retry_backoff_s
+            fleet._unavailability_s += collector._unavailability_s
+            for tenant, count in collector._tenant_retries.items():
+                fleet._tenant_retries[tenant] = (
+                    fleet._tenant_retries.get(tenant, 0) + count
+                )
+            for tenant, count in collector._tenant_requests_lost.items():
+                fleet._tenant_requests_lost[tenant] = (
+                    fleet._tenant_requests_lost.get(tenant, 0) + count
+                )
             fleet.effective_batch += collector.effective_batch
             for key, joules in collector._energy_by_component.items():
                 fleet._energy_by_component[key] = (
@@ -517,7 +673,12 @@ class MetricsCollector:
 
     def _per_tenant_summary(self) -> dict[str, dict[str, float]]:
         """Tenant name -> summary, with names sorted for determinism."""
-        names = sorted(set(self._tenant_t2ft) | set(self._tenant_e2e))
+        names = sorted(
+            set(self._tenant_t2ft)
+            | set(self._tenant_e2e)
+            | set(self._tenant_retries)
+            | set(self._tenant_requests_lost)
+        )
         summary: dict[str, dict[str, float]] = {}
         for name in names:
             t2ft = self._tenant_t2ft.get(name, [])
@@ -532,6 +693,14 @@ class MetricsCollector:
                 entry["t2ft_slo_attainment"] = (
                     self._tenant_t2ft_slo_met.get(name, 0) / total
                 )
+            # Failure-recovery keys appear only when the tenant was ever
+            # touched by a fault — faults-off summaries stay byte-stable.
+            retries = self._tenant_retries.get(name, 0)
+            if retries:
+                entry["retries"] = float(retries)
+            lost = self._tenant_requests_lost.get(name, 0)
+            if lost:
+                entry["requests_lost"] = float(lost)
             summary[name] = entry
         return summary
 
@@ -561,4 +730,5 @@ class MetricsCollector:
             effective_batch=self.effective_batch,
             per_tenant=self._per_tenant_summary(),
             paging=self._paging_summary(),
+            faults=self._fault_summary(),
         )

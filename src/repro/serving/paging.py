@@ -253,6 +253,41 @@ class PagedKvManager:
         self.stats.host_link_time_s += time
         return EvictionOutcome(request_id=request_id, tokens=cached_tokens, transfer_time_s=time)
 
+    def forget(self, request_id: int) -> None:
+        """Drop a request from the accounting entirely (crash harvest).
+
+        Unlike :meth:`release` this accepts evicted requests too and
+        tolerates the id being unknown — the caller is abandoning a dead
+        replica's state, not balancing the books of a live one.
+        """
+        if request_id in self._resident:
+            self._resident_total -= self._resident.pop(request_id)
+        elif request_id in self._evicted:
+            self._evicted_total -= self._evicted.pop(request_id)
+
+    def adopt_evicted(self, request_id: int, reservation: int) -> None:
+        """Register a foreign evicted request (failure recovery).
+
+        A MIGRATE-paged request whose replica crashed still has its KV in
+        host memory; a surviving replica *adopts* it by registering the
+        reservation as evicted here — no transfer is priced (the copy is
+        already host-resident; the inbound leg is priced by the normal
+        :meth:`resume` path).  ``reservation`` must be what :meth:`admit`
+        would have reserved (the request's full sequence budget), since
+        :meth:`resume` moves exactly that back on-device.
+        """
+        if reservation < 1:
+            raise ConfigError("a request reserves at least one token")
+        if request_id in self._resident or request_id in self._evicted:
+            raise SchedulingError(f"request {request_id} already tracked")
+        if (
+            self.host_capacity_tokens is not None
+            and self.evicted_tokens + reservation > self.host_capacity_tokens
+        ):
+            raise CapacityError("host memory cannot hold another adopted request")
+        self._evicted[request_id] = reservation
+        self._evicted_total += reservation
+
     # ------------------------------------------------------------------
     # victim selection
     # ------------------------------------------------------------------

@@ -40,6 +40,13 @@ class Request:
         t2ft_slo_s: per-request time-to-first-token objective (None = no
             per-request SLO; SLO-aware policies then fall back to their
             own default).
+        attempts: admission attempts so far (1 = the original routing;
+            failure retries increment it — see
+            :class:`~repro.serving.faults.RetryPolicy`).
+        first_arrival_s: the *original* submission instant, preserved
+            across failure re-routes (None until the first
+            :meth:`requeue` — latency metrics then measure from it, so
+            retried requests pay their full queueing + failure penalty).
     """
 
     request_id: int
@@ -54,6 +61,8 @@ class Request:
     prefilled_tokens: int = 0
     first_token_time_s: float | None = field(default=None, repr=False)
     completion_time_s: float | None = field(default=None, repr=False)
+    attempts: int = field(default=1, repr=False)
+    first_arrival_s: float | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.input_len < 1 or self.output_len < 1:
@@ -141,6 +150,29 @@ class Request:
         self.state = RequestState.FINISHED
         self.completion_time_s = now_s
 
+    def requeue(self, now_s: float) -> None:
+        """Return to QUEUED for re-admission after a failure or handoff.
+
+        Progress made on the dead replica (prefilled tokens, generated
+        tokens, the first-token timestamp) is discarded — the KV is gone
+        and the work re-runs from scratch — but the original submission
+        instant survives in :attr:`first_arrival_s` so T2FT/E2E keep
+        measuring from when the user actually submitted.
+        ``arrival_time_s`` becomes the resubmission instant, which keeps
+        the receiving :class:`~repro.serving.generator.QueueSource`'s
+        arrival-order invariant intact.
+        """
+        if self.state is RequestState.FINISHED:
+            raise SchedulingError(f"request {self.request_id} already finished")
+        if self.first_arrival_s is None:
+            self.first_arrival_s = self.arrival_time_s
+        self.arrival_time_s = now_s
+        self.state = RequestState.QUEUED
+        self.context_len = 0
+        self.tokens_generated = 0
+        self.prefilled_tokens = 0
+        self.first_token_time_s = None
+
     # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------
@@ -159,15 +191,20 @@ class Request:
         return self.input_len + self.output_len
 
     @property
+    def submitted_s(self) -> float:
+        """Original submission instant (failure re-routes preserve it)."""
+        return self.arrival_time_s if self.first_arrival_s is None else self.first_arrival_s
+
+    @property
     def t2ft_s(self) -> float:
         """Time to first token (requires the first token to exist)."""
         if self.first_token_time_s is None:
             raise SchedulingError(f"request {self.request_id} has no first token yet")
-        return self.first_token_time_s - self.arrival_time_s
+        return self.first_token_time_s - self.submitted_s
 
     @property
     def e2e_s(self) -> float:
         """End-to-end latency (requires completion)."""
         if self.completion_time_s is None:
             raise SchedulingError(f"request {self.request_id} is not finished")
-        return self.completion_time_s - self.arrival_time_s
+        return self.completion_time_s - self.submitted_s

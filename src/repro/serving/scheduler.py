@@ -509,6 +509,16 @@ class ContinuousBatchingScheduler:
             self._steady_ctx = ctx + n_stages
         return finished
 
+    def uncommit(self, request: Request) -> None:
+        """Drop the KV reservation of a mid-resume request (crash harvest).
+
+        A request whose resume was in flight when its replica crashed is
+        in neither ``running`` nor the table, but its reservation was
+        re-committed at :meth:`~repro.serving.engine.KvPagingCoordinator.resume_next`
+        time; a repaired replica must not inherit that phantom commitment.
+        """
+        self._committed_tokens -= request.total_seq_len
+
     def release(self, request: Request) -> None:
         """Remove an in-flight request and free its reserved KV.
 

@@ -498,3 +498,42 @@ class TestEndToEndSloScaling:
         assert a.replica_events == b.replica_events
         assert a.fleet_samples == b.fleet_samples
         assert a.replica_seconds == b.replica_seconds
+
+
+@pytest.mark.chaos
+class TestDrainingExitHandoff:
+    """A spent-budget DRAINING exit hands queued work back atomically.
+
+    White-box: drives ``_update_lifecycle`` directly so the test can pin
+    the exact instant the handle retires with a routed-but-unadmitted
+    request still in its queue — the request must land in the cluster
+    retry heap (free re-route, no attempt charge) in the same call that
+    logs the RETIRED transition, never vanish with the handle.
+    """
+
+    def test_spent_budget_retire_requeues_unadmitted_requests(self):
+        sim = elastic(StaticReplicaPolicy(1), max_batch=1)
+        limits = SimulationLimits(max_stages=1, warmup_stages=0)
+        sim._begin_run(limits)
+        handle = sim.handles[0]
+        first = Request(request_id=0, arrival_time_s=0.0, input_len=64, output_len=8)
+        second = Request(request_id=1, arrival_time_s=0.0, input_len=64, output_len=8)
+        handle.route(first)
+        handle.route(second)
+
+        handle.set_state(0.5, ReplicaState.DRAINING)
+        sim._draining.append(handle)
+        # One stage admits `first` (max_batch=1) and spends the whole
+        # budget; `second` is still queued when the drain walk observes
+        # the spent budget at t=1.0.
+        sim._update_lifecycle(1.0, limits)
+
+        assert handle.state is ReplicaState.RETIRED
+        assert sim._draining == []
+        assert len(handle.replica.inbox) == 0
+        assert not handle.replica.scheduler.waiting
+        [(ready_s, _, requeued, cached, backoff_s, metrics)] = sim._retry_due
+        assert requeued is second
+        assert ready_s == 1.0  # immediately re-routable at the tick
+        assert cached == -1 and backoff_s == 0.0 and metrics is None
+        assert requeued.attempts == 1  # free re-route: no attempt charge

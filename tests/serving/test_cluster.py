@@ -6,11 +6,14 @@ from repro.core.system import duplex_system
 from repro.errors import ConfigError, SchedulingError, SimulationError
 from repro.models.config import mixtral
 from repro.serving.cluster import (
+    _LEGAL_TRANSITIONS,
     ClusterSimulator,
     LeastOutstandingTokensRouter,
+    ManagedReplica,
     MemoryPressureRouter,
     MonolithicReplicaSpec,
     PowerOfTwoChoicesRouter,
+    ReplicaState,
     ReplicaView,
     RoundRobinRouter,
     SplitReplicaSpec,
@@ -431,3 +434,69 @@ class TestPagedCluster:
     def test_paging_disabled_fleet_reports_empty_paging(self):
         report = poisson_cluster(RoundRobinRouter(), qps=10.0).run(LIMITS)
         assert report.fleet.paging == {}
+
+
+@pytest.mark.chaos
+class TestLifecycleTransitionLog:
+    """Every legal edge logs with its timestamp; every illegal edge raises."""
+
+    @pytest.fixture(scope="class")
+    def replica(self):
+        # One shared data plane: these tests exercise only the
+        # control-plane handle wrapped around it.
+        sim = poisson_cluster(n_replicas=1)
+        handle = sim.handles[0]
+        return handle.replica, handle.spec
+
+    def _handle(self, replica, state):
+        return ManagedReplica(replica[0], replica[1], state=state)
+
+    def test_every_legal_edge_logs_with_timestamp(self, replica):
+        for source, targets in _LEGAL_TRANSITIONS.items():
+            for target in targets:
+                handle = self._handle(replica, source)
+                handle.set_state(2.5, target)
+                assert handle.state is target
+                assert handle.transitions == [(0.0, source), (2.5, target)]
+
+    def test_every_illegal_edge_raises(self, replica):
+        for source, targets in _LEGAL_TRANSITIONS.items():
+            for target in ReplicaState:
+                if target is source or target in targets:
+                    continue
+                handle = self._handle(replica, source)
+                with pytest.raises(SchedulingError, match="illegal lifecycle transition"):
+                    handle.set_state(2.5, target)
+                assert handle.state is source  # the refused edge left no trace
+                assert handle.transitions == [(0.0, source)]
+
+    def test_same_state_is_a_no_op(self, replica):
+        handle = self._handle(replica, ReplicaState.ACTIVE)
+        handle.set_state(1.0, ReplicaState.ACTIVE)
+        assert handle.transitions == [(0.0, ReplicaState.ACTIVE)]
+
+    def test_failure_and_repair_stamp_instants(self, replica):
+        handle = self._handle(replica, ReplicaState.ACTIVE)
+        handle.set_state(2.0, ReplicaState.FAILED)
+        assert handle.failed_at == 2.0
+        handle.set_state(3.0, ReplicaState.ACTIVE)
+        assert handle.activated_at == 3.0
+        assert handle.failed_at == 2.0  # the log keeps history
+        assert handle.transitions == [
+            (0.0, ReplicaState.ACTIVE),
+            (2.0, ReplicaState.FAILED),
+            (3.0, ReplicaState.ACTIVE),
+        ]
+
+    def test_failed_replica_stops_accruing_lifetime(self, replica):
+        handle = self._handle(replica, ReplicaState.ACTIVE)
+        handle.set_state(2.0, ReplicaState.FAILED)
+        assert handle.lifetime_s(10.0) == pytest.approx(2.0)
+        handle.set_state(3.0, ReplicaState.ACTIVE)  # repaired: accrues again
+        assert handle.lifetime_s(10.0) == pytest.approx(10.0)
+
+    def test_failed_replica_refuses_routing(self, replica):
+        handle = self._handle(replica, ReplicaState.ACTIVE)
+        handle.set_state(2.0, ReplicaState.FAILED)
+        with pytest.raises(SchedulingError, match="only ACTIVE"):
+            handle.route(Request(request_id=0, arrival_time_s=3.0, input_len=8, output_len=4))
