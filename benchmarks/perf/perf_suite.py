@@ -31,6 +31,11 @@ directly and records the repo's perf trajectory in a repo-root
   armed-but-quiescent fault injector (beyond-horizon crash trace, empty
   stage-time profiles): the overhead fault support adds to the
   fault-free hot path, which must stay negligible;
+* ``prefix_reuse`` — end-to-end stages/second of one engine serving the
+  agent-loop session scenario with shared-prefix KV dedup on (the
+  cache-hit admission hot path: radix acquire/commit/release per
+  request, suffix-only reservation, counterfactual saved-prefill
+  pricing);
 * ``fig13_sweep`` / ``fig13_sweep_fast`` — end-to-end Fig. 13 sweep
   wall-clock on a reduced grid, single worker, in exact mode and with
   the memoized+incremental fast path.
@@ -298,6 +303,41 @@ def bench_paged_serving(requests: int, repeats: int) -> float:
     return _best_rate(run, repeats)
 
 
+def bench_prefix_reuse(requests: int, repeats: int) -> float:
+    """Stages/second through a prefix-deduped engine end to end.
+
+    The agent-loop session scenario resubmits one long context every
+    iteration, so every admission exercises the radix-index hot path —
+    acquire/hit accounting, suffix-only reservation, commit on prefill
+    completion, release on finish, and the counterfactual saved-prefill
+    pricing (cached per distinct hit size).  Each repeat rebuilds the
+    simulator so every run does identical work.
+    """
+    from repro.serving.paging import PrefixConfig
+    from repro.serving.scenarios import agent_loop
+    from repro.serving.simulator import ServingSimulator
+
+    model = mixtral()
+    system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    scenario = agent_loop()
+    limits = SimulationLimits(max_stages=1_000_000, warmup_stages=0)
+
+    def run() -> int:
+        sim = ServingSimulator(
+            system,
+            model,
+            scenario.source(seed=0, max_requests=requests),
+            max_batch=64,
+            seed=0,
+            prefix=PrefixConfig(capacity_tokens=64 * 1024),
+        )
+        report = sim.run(limits)
+        assert report.prefix.get("hit_tokens", 0.0) > 0
+        return sim.engine.stages
+
+    return _best_rate(run, repeats)
+
+
 def bench_chaos_recovery(requests: int, repeats: int) -> float:
     """Stages/second through a fault-armed fleet that never fires.
 
@@ -407,6 +447,7 @@ def run_suite(scale: float = 1.0, repeats: int = 3) -> dict:
     record("sharded_fleet", bench_sharded_fleet(iters(400), repeats), "stages/s")
     record("paged_serving", bench_paged_serving(iters(80), repeats), "stages/s")
     record("chaos_recovery", bench_chaos_recovery(iters(400), repeats), "stages/s")
+    record("prefix_reuse", bench_prefix_reuse(iters(200), repeats), "stages/s")
     if scale >= 0.99:
         record("fig13_sweep", bench_fig13_sweep(repeats, fast=False), "s", lower_is_better=True)
         record(

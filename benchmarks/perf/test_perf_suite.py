@@ -31,6 +31,7 @@ def test_suite_smoke_produces_all_microbenchmarks():
         "sharded_fleet",
         "paged_serving",
         "chaos_recovery",
+        "prefix_reuse",
     ):
         entry = payload["benchmarks"][name]
         assert entry["value"] > 0

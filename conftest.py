@@ -58,6 +58,10 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "chaos: fault-tolerance tests (failure injection, health-checked recovery, retries)",
     )
+    config.addinivalue_line(
+        "markers",
+        "prefix: shared-prefix KV dedup tests (radix index properties, affinity routing)",
+    )
     try:
         from hypothesis import settings
     except ImportError:  # property tests skip themselves via importorskip

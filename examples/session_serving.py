@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Session-structured serving with shared-prefix KV dedup.
+
+Production traffic is rarely a stream of independent prompts: chats
+resend the growing conversation every turn, agent loops resubmit one
+long tool context per iteration, and best-of-N fan-outs share a root
+prompt.  Without dedup the engine re-prefills — and re-stores — tokens
+whose KV it just computed.
+
+This example drives the real serving engine through the ``agent-loops``
+scenario (the most prefix-heavy shape: a 3Ki-token context resent every
+iteration) twice:
+
+* **dedup off** — every request's KV is private, the full prompt
+  prefills (the classic baseline);
+* **dedup on** — a ref-counted radix index
+  (:class:`~repro.serving.paging.PrefixIndex`) keeps one copy of each
+  cached prefix; admission prices prefill only for the uncached suffix.
+
+Run:
+    python examples/session_serving.py
+"""
+
+from repro import duplex_system, mixtral
+from repro.analysis.report import format_table
+from repro.serving import (
+    PrefixConfig,
+    ServingSimulator,
+    SimulationLimits,
+    agent_loop,
+)
+
+REQUESTS = 200
+POOL_TOKENS = 64 * 1024
+
+
+def main() -> None:
+    model = mixtral()
+    system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    scenario = agent_loop()
+    limits = SimulationLimits(max_stages=60_000, warmup_stages=0)
+
+    rows = []
+    for label, prefix in (
+        ("dedup off", None),
+        ("dedup on", PrefixConfig(capacity_tokens=POOL_TOKENS)),
+    ):
+        sim = ServingSimulator(
+            system,
+            model,
+            scenario.source(seed=0, max_requests=REQUESTS),
+            max_batch=64,
+            seed=0,
+            prefix=prefix,
+        )
+        report = sim.run(limits)
+        rows.append(
+            [
+                label,
+                report.requests_completed,
+                int(report.prefix.get("hit_tokens", 0.0)),
+                report.prefix.get("saved_prefill_s", 0.0),
+                report.t2ft_p50_s,
+                report.e2e_p50_s,
+                report.energy_per_token_j,
+                int(report.prefix.get("peak_shared_tokens", 0.0)),
+            ]
+        )
+
+    print(
+        format_table(
+            headers=[
+                "mode", "completed", "hit tokens", "saved (s)",
+                "T2FT p50 (s)", "E2E p50 (s)", "J/token", "peak shared",
+            ],
+            rows=rows,
+            title=(
+                f"Agent-loop serving, {REQUESTS} requests on one Mixtral "
+                f"Duplex node ({POOL_TOKENS:,}-token shared pool)"
+            ),
+        )
+    )
+    print()
+    print("Every agent iteration resends the same long context, so with dedup")
+    print("on the cache absorbs nearly all of that prefill: time-to-first-token")
+    print("collapses and the skipped prefill shows up directly as J/token —")
+    print("the engine prices the counterfactual stage it did not run.  The")
+    print("pool is capped, ref-counted, and evicts cold prefixes LRU-first;")
+    print("with dedup off (the default) the simulator is byte-identical to")
+    print("the pre-dedup engine.")
+
+
+if __name__ == "__main__":
+    main()

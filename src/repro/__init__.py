@@ -68,6 +68,7 @@ from repro.serving.cluster import (
     LeastOutstandingTokensRouter,
     MonolithicReplicaSpec,
     PowerOfTwoChoicesRouter,
+    PrefixAffinityRouter,
     ReplicaEvent,
     ReplicaState,
     RoundRobinRouter,
@@ -81,7 +82,12 @@ from repro.serving.metrics import ServingReport
 from repro.serving.scenarios import (
     Scenario,
     ScenarioSource,
+    SessionScenario,
+    SessionSource,
     TenantSpec,
+    agent_loop,
+    chat_sessions,
+    fanout_tree,
     get_scenario,
     register_scenario,
     scenario_names,
@@ -114,6 +120,7 @@ __all__ = [
     "ModelConfig",
     "MonolithicReplicaSpec",
     "PowerOfTwoChoicesRouter",
+    "PrefixAffinityRouter",
     "QueueDepthPolicy",
     "QueueSource",
     "ReplicaEvent",
@@ -131,6 +138,8 @@ __all__ = [
     "ServingEngine",
     "ServingReport",
     "ServingSimulator",
+    "SessionScenario",
+    "SessionSource",
     "SimulationError",
     "SimulationLimits",
     "SloAwarePolicy",
@@ -151,7 +160,10 @@ __all__ = [
     "TraceReplayGenerator",
     "WorkloadSpec",
     "__version__",
+    "agent_loop",
     "bank_pim_system",
+    "chat_sessions",
+    "fanout_tree",
     "default_topology",
     "duplex_system",
     "glam",

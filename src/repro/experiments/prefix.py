@@ -1,0 +1,211 @@
+"""Prefix-reuse serving: shared-prefix KV dedup on session workloads.
+
+Production serving traffic is session-structured — multi-turn chats
+resend the growing conversation, agent loops resubmit one long tool
+context every iteration, best-of-N fan-outs share a root prompt — so a
+large fraction of prefill work re-processes tokens whose KV the fleet
+just computed.  Shared-prefix dedup
+(:class:`~repro.serving.paging.PrefixIndex`) keeps one ref-counted copy
+of each cached prefix and prices prefill only for the uncached suffix;
+this sweep quantifies the win on the session scenario family
+(:mod:`repro.serving.scenarios`) across dedup modes:
+
+* ``off`` — every request's KV is private and its full prompt prefills
+  (the classic baseline; byte-identical to the pre-dedup simulator);
+* ``cap-64k`` / ``cap-256k`` — dedup on, with the shared pool capped at
+  64Ki / 256Ki tokens of the device's KV (the cap bounds how much
+  residency the cache may hold; hot prefixes evict cold ones).
+
+Reported axes: completions, cache-hit vs missed prefix tokens, dedup-
+saved prefill seconds, T2FT/E2E medians, throughput, energy per token,
+and the shared pool's residency high-water mark.  Expected shape: with
+dedup on, hit tokens are nonzero and T2FT drops (prefill skipped) at
+equal capacity, with saved prefill seconds showing up as lower J/token
+on prefill-heavy shapes.
+
+Grid points are independent, so the sweep fans out over
+:func:`repro.experiments.sweep.run_sweep`'s process pool; ``run_all``
+renders it as the ``prefix_reuse`` artefact, and ``--smoke`` runs a
+reduced grid (the CI slow stage uses it as a regression canary).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.core.system import duplex_system
+from repro.errors import ConfigError
+from repro.experiments.presets import model_by_key
+from repro.experiments.sweep import run_sweep
+from repro.serving.paging import PrefixConfig
+from repro.serving.scenarios import get_scenario
+from repro.serving.simulator import ServingSimulator, SimulationLimits
+
+#: Session-scenario grid, in rendering order (the registered family).
+DEFAULT_SCENARIOS = ("agent-loops", "chat-sessions", "fanout-trees")
+
+#: Dedup-mode grid: off, and on at two shared-pool caps.
+DEFAULT_MODES = ("off", "cap-64k", "cap-256k")
+
+_MODE_CAPACITIES = {"cap-64k": 64 * 1024, "cap-256k": 256 * 1024}
+
+
+@dataclass(frozen=True)
+class PrefixRow:
+    """One (scenario, dedup mode) prefix-reuse sweep point."""
+
+    scenario: str
+    mode: str
+    completed: int
+    hit_tokens: int
+    miss_tokens: int
+    saved_prefill_s: float
+    t2ft_p50_s: float
+    e2e_p50_s: float
+    throughput_tokens_per_s: float
+    energy_per_token_j: float
+    peak_shared_tokens: int
+
+
+def prefix_config(key: str) -> PrefixConfig | None:
+    """Map a grid key to a :class:`~repro.serving.paging.PrefixConfig`."""
+    if key == "off":
+        return None
+    capacity = _MODE_CAPACITIES.get(key)
+    if capacity is None:
+        raise ConfigError(f"unknown dedup mode '{key}'; choose from {DEFAULT_MODES}")
+    return PrefixConfig(capacity_tokens=capacity)
+
+
+def _prefix_point(
+    scenario_key: str,
+    mode_key: str,
+    max_requests: int,
+    max_batch: int,
+    limits: SimulationLimits,
+    seed: int,
+) -> PrefixRow:
+    """Price one prefix-reuse grid point (process-pool worker)."""
+    model = model_by_key("mixtral")
+    system = duplex_system(model, co_processing=True, expert_tensor_parallel=True)
+    scenario = get_scenario(scenario_key)
+    sim = ServingSimulator(
+        system,
+        model,
+        scenario.source(seed=seed, max_requests=max_requests),
+        max_batch=max_batch,
+        seed=seed,
+        prefix=prefix_config(mode_key),
+    )
+    report = sim.run(limits)
+    prefix = report.prefix
+    return PrefixRow(
+        scenario=scenario_key,
+        mode=mode_key,
+        completed=report.requests_completed,
+        hit_tokens=int(prefix.get("hit_tokens", 0.0)),
+        miss_tokens=int(prefix.get("miss_tokens", 0.0)),
+        saved_prefill_s=prefix.get("saved_prefill_s", 0.0),
+        t2ft_p50_s=report.t2ft_p50_s,
+        e2e_p50_s=report.e2e_p50_s,
+        throughput_tokens_per_s=report.throughput_tokens_per_s,
+        energy_per_token_j=report.energy_per_token_j,
+        peak_shared_tokens=int(prefix.get("peak_shared_tokens", 0.0)),
+    )
+
+
+def run(
+    scenarios: tuple[str, ...] = DEFAULT_SCENARIOS,
+    modes: tuple[str, ...] = DEFAULT_MODES,
+    max_requests: int = 300,
+    max_batch: int = 64,
+    limits: SimulationLimits | None = None,
+    seed: int = 0,
+    workers: int | None = 1,
+) -> list[PrefixRow]:
+    """Run the prefix-reuse sweep; rows in grid order.
+
+    Args:
+        scenarios: registered session-scenario names.
+        modes: dedup-mode grid keys (see :func:`prefix_config`).
+        max_requests: arrivals simulated per grid point.
+        max_batch: requested batch size (KV-capacity capped).
+        limits: stage budgets (default sized for the grid).
+        seed: RNG seed (workload and executor).
+        workers: process-pool width (1 = in-process; None = per CPU).
+    """
+    limits = limits or SimulationLimits(max_stages=60_000, warmup_stages=0)
+    for name in scenarios:
+        get_scenario(name)  # validate grid keys before any pool spins up
+    for key in modes:
+        prefix_config(key)
+    param_sets = [
+        dict(
+            scenario_key=name,
+            mode_key=key,
+            max_requests=max_requests,
+            max_batch=max_batch,
+            limits=limits,
+            seed=seed,
+        )
+        for name in scenarios
+        for key in modes
+    ]
+    return run_sweep(_prefix_point, param_sets, workers=workers)
+
+
+def format_rows(rows: list[PrefixRow]) -> str:
+    if not rows:
+        raise ConfigError("no prefix rows to format")
+    return format_table(
+        headers=[
+            "scenario", "dedup", "done", "hit tok", "miss tok", "saved(s)",
+            "T2FT p50(s)", "E2E p50(s)", "tokens/s", "J/token", "peak shared",
+        ],
+        rows=[
+            [
+                r.scenario, r.mode, r.completed, r.hit_tokens, r.miss_tokens,
+                r.saved_prefill_s, r.t2ft_p50_s, r.e2e_p50_s,
+                r.throughput_tokens_per_s, r.energy_per_token_j, r.peak_shared_tokens,
+            ]
+            for r in rows
+        ],
+        title=(
+            "Prefix-reuse serving — session scenarios x dedup mode "
+            "on one Mixtral Duplex node"
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", type=Path, default=None,
+                        help="write the rendered table here (default: stdout only)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: one per CPU)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced grid: 1 scenario x 2 modes, few requests (CI canary)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = run(
+            scenarios=("agent-loops",),
+            modes=("off", "cap-64k"),
+            max_requests=120,
+            limits=SimulationLimits(max_stages=20_000, warmup_stages=0),
+            workers=args.workers if args.workers is not None else 1,
+        )
+    else:
+        rows = run(workers=args.workers)
+    text = format_rows(rows)
+    print(text)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

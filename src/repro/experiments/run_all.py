@@ -38,6 +38,7 @@ from repro.experiments import (
     fig15,
     fig16,
     paging,
+    prefix,
     sharding,
     table1,
 )
@@ -59,6 +60,7 @@ def _artefacts(workers: int | None = None, fast: bool = False):
     yield "fig13_qps", lambda: fig13.format_rows(fig13.run(workers=workers, memoize=fast))
     yield "capacity_planning", lambda: capacity.format_rows(capacity.run(workers=workers))
     yield "paging_policies", lambda: paging.format_rows(paging.run(workers=workers))
+    yield "prefix_reuse", lambda: prefix.format_rows(prefix.run(workers=workers))
     yield "sharded_fleet", lambda: sharding.format_rows(sharding.run(workers=workers))
     yield "chaos_recovery", lambda: chaos.format_rows(chaos.run(workers=workers))
     yield "fig14_bankpim", lambda: fig14.format_rows(fig14.run())

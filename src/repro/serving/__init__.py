@@ -55,6 +55,7 @@ from repro.serving.cluster import (
     MemoryPressureRouter,
     MonolithicReplicaSpec,
     PowerOfTwoChoicesRouter,
+    PrefixAffinityRouter,
     QueueDepthSample,
     ReplicaEvent,
     ReplicaState,
@@ -80,10 +81,13 @@ from repro.serving.faults import (
 )
 from repro.serving.generator import QueueSource, RequestGenerator, RequestSource, WorkloadSpec
 from repro.serving.scenarios import (
+    AgentLoopShape,
     ArrivalProcess,
     BimodalLengths,
     BurstyArrivals,
+    ChatSessionShape,
     DiurnalArrivals,
+    FanoutTreeShape,
     GaussianLengths,
     LengthDistribution,
     LognormalLengths,
@@ -91,7 +95,14 @@ from repro.serving.scenarios import (
     ReplayedArrivals,
     Scenario,
     ScenarioSource,
+    SessionScenario,
+    SessionShape,
+    SessionSource,
+    SessionTurn,
     TenantSpec,
+    agent_loop,
+    chat_sessions,
+    fanout_tree,
     get_scenario,
     long_context,
     register_scenario,
@@ -104,6 +115,10 @@ from repro.serving.paging import (
     PagedKvManager,
     PagingConfig,
     PagingStats,
+    PrefixAcquisition,
+    PrefixConfig,
+    PrefixIndex,
+    PrefixStats,
 )
 from repro.serving.policy import (
     AdmissionView,
@@ -120,10 +135,12 @@ from repro.serving.trace import TraceRecord, TraceReplayGenerator, load_trace, s
 
 __all__ = [
     "AdmissionView",
+    "AgentLoopShape",
     "ArrivalProcess",
     "AutoscalingPolicy",
     "BimodalLengths",
     "BurstyArrivals",
+    "ChatSessionShape",
     "ChunkedPrefillPolicy",
     "ClusterReport",
     "ClusterSimulator",
@@ -131,6 +148,7 @@ __all__ = [
     "DiurnalArrivals",
     "ElasticFleetSimulator",
     "EvictionPolicy",
+    "FanoutTreeShape",
     "FaultConfig",
     "FaultInjector",
     "FcfsPolicy",
@@ -152,6 +170,11 @@ __all__ = [
     "PagingStats",
     "PoissonArrivals",
     "PowerOfTwoChoicesRouter",
+    "PrefixAcquisition",
+    "PrefixAffinityRouter",
+    "PrefixConfig",
+    "PrefixIndex",
+    "PrefixStats",
     "QueueDepthPolicy",
     "QueueDepthSample",
     "QueueSource",
@@ -173,6 +196,10 @@ __all__ = [
     "ServingEngine",
     "ServingReport",
     "ServingSimulator",
+    "SessionScenario",
+    "SessionShape",
+    "SessionSource",
+    "SessionTurn",
     "SimulationLimits",
     "SloAwarePolicy",
     "SloTrackingPolicy",
@@ -188,6 +215,9 @@ __all__ = [
     "TraceReplayGenerator",
     "TransferFeed",
     "WorkloadSpec",
+    "agent_loop",
+    "chat_sessions",
+    "fanout_tree",
     "get_scenario",
     "load_trace",
     "long_context",

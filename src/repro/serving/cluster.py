@@ -70,7 +70,7 @@ from repro.serving.engine import (
 from repro.serving.faults import FaultInjector, RetryPolicy
 from repro.serving.generator import QueueSource, RequestSource, WorkloadSpec, resolve_source
 from repro.serving.metrics import MetricsCollector, ServingReport
-from repro.serving.paging import EvictionPolicy, PagingConfig
+from repro.serving.paging import EvictionPolicy, PagingConfig, PrefixConfig, PrefixIndex
 from repro.serving.policy import SchedulingPolicy
 from repro.serving.request import Request
 from repro.serving.scheduler import ContinuousBatchingScheduler
@@ -235,6 +235,60 @@ class MemoryPressureRouter(Router):
         return min(views, key=score).index
 
 
+class PrefixAffinityRouter(Router):
+    """Session-sticky routing composed with memory-pressure steering.
+
+    Shared-prefix KV dedup (:class:`~repro.serving.paging.PrefixIndex`)
+    only pays off when a session's turns land on the replica that already
+    caches their prefix, so the router keys each request by the *root* of
+    its declared :attr:`~repro.serving.request.Request.prefix_blocks`
+    path (turn two of a chat shares turn one's root) and pins every key
+    to the replica its first request was sent to.
+
+    The pin is soft: when the owning replica leaves the routing set
+    (DRAINING, FAILED, retired — its view simply is not offered), or the
+    request declares no prefix, the router falls back to
+    :class:`MemoryPressureRouter` scoring — least outstanding tokens
+    inflated by ``1 + pressure_weight * memory_pressure`` — and the
+    chosen replica becomes the key's new owner (the old cache died with
+    the old placement).  Exact score ties break by a seeded coin rather
+    than by index, so an idle fleet does not funnel every new session
+    onto replica 0; a fleet of one consumes no randomness, keeping a
+    cluster-of-one byte-identical to the deterministic routers.
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(self, pressure_weight: float = 1.0, seed: int | None = 0) -> None:
+        if pressure_weight < 0:
+            raise ConfigError("pressure_weight must be non-negative")
+        self.pressure_weight = pressure_weight
+        self._rng = np.random.default_rng(seed)
+        self._owner: dict[int, int] = {}
+
+    def choose(self, views: Sequence[ReplicaView], request: Request) -> int:
+        key = request.prefix_blocks[0][0] if request.prefix_blocks else None
+        if key is not None:
+            owner = self._owner.get(key)
+            if owner is not None and any(view.index == owner for view in views):
+                return owner
+        if len(views) == 1:
+            # A fleet of one consumes no randomness: the choice sequence
+            # stays aligned with the seed when the fleet later grows.
+            chosen = views[0].index
+        else:
+            def score(view: ReplicaView) -> float:
+                penalty = 1.0 + self.pressure_weight * view.memory_pressure
+                return penalty * view.outstanding_tokens
+
+            best = min(score(view) for view in views)
+            ties = [view.index for view in views if score(view) == best]
+            chosen = ties[0] if len(ties) == 1 else ties[int(self._rng.integers(len(ties)))]
+        if key is not None:
+            self._owner[key] = chosen
+        return chosen
+
+
 class PowerOfTwoChoicesRouter(Router):
     """Sample two replicas uniformly, route to the lighter one."""
 
@@ -374,6 +428,7 @@ class _MonolithicReplica:
         shared_cache: bool | SharedPricingCache = True,
         paging: PagingConfig | None = None,
         worst_case_tokens: int | None = None,
+        prefix: PrefixConfig | None = None,
     ) -> None:
         self.index = index
         self.inbox = QueueSource()
@@ -392,8 +447,17 @@ class _MonolithicReplica:
             effective_batch, capacity_tokens, coordinator = paged_engine_setup(
                 paging, system, model, effective_batch, worst_case_tokens, self.executor
             )
+        # Each replica owns a private prefix pool: KV never leaves a
+        # device, so dedup is a per-replica affair (the router's job is
+        # landing a session's turns where its prefix already lives).
+        self.prefix_index = PrefixIndex(prefix) if prefix is not None else None
         self.scheduler = ContinuousBatchingScheduler(
-            self.inbox, effective_batch, capacity_tokens, policy=policy, paging=coordinator
+            self.inbox,
+            effective_batch,
+            capacity_tokens,
+            policy=policy,
+            paging=coordinator,
+            prefix=self.prefix_index,
         )
         self.engine = ServingEngine(
             self.scheduler,
@@ -444,7 +508,12 @@ class _MonolithicReplica:
             outstanding_tokens=self.scheduler.outstanding_tokens + self.inbox.queued_tokens,
             now_s=self.now_s,
             kind=self.kind,
-            resident_tokens=self.scheduler.committed_tokens,
+            # Shared-prefix pool tokens occupy the same device KV as the
+            # private reservations, so memory-pressure routing sees both
+            # (zero whenever dedup is off).
+            resident_tokens=(
+                self.scheduler.committed_tokens + self.scheduler.prefix_resident_tokens
+            ),
             capacity_tokens=self.scheduler.capacity_tokens,
         )
 
@@ -482,6 +551,11 @@ class _MonolithicReplica:
             else:
                 active.extend(request for request, _ in pairs)
             active.extend(in_transit)
+        if self.prefix_index is not None:
+            # The shared-prefix pool lived in the dead device's KV:
+            # every cached block is gone (the residency high-water mark
+            # survives for the report).
+            self.prefix_index.clear()
         return queued, active, parked
 
     def budget_spent(self, limits: SimulationLimits) -> bool:
@@ -962,6 +1036,14 @@ class ClusterSimulator:
             capacity-capped.  Split replicas ignore it (like the other
             monolithic-only arguments).  None (default) keeps the classic
             behaviour.
+        prefix: shared-prefix KV dedup for every monolithic and sharded
+            replica (:class:`~repro.serving.paging.PrefixConfig`).  Each
+            replica owns a private
+            :class:`~repro.serving.paging.PrefixIndex` — KV never crosses
+            devices — so pair it with :class:`PrefixAffinityRouter` to
+            land a session's turns where their prefix is already cached.
+            Split replicas ignore it.  None (default) keeps every
+            request's KV private.
         sample_interval_s: virtual-clock cadence of the queue-depth (and,
             for elastic fleets, fleet-composition) telemetry.  Cadence
             samples never advance the engines during the routing phase
@@ -999,6 +1081,7 @@ class ClusterSimulator:
         replicas: Sequence[ReplicaSpec] | None = None,
         sample_interval_s: float | None = 1.0,
         paging: PagingConfig | None = None,
+        prefix: PrefixConfig | None = None,
         faults: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
     ) -> None:
@@ -1037,6 +1120,7 @@ class ClusterSimulator:
         self._incremental_pricing = incremental_pricing
         self._shared_pricing_cache = shared_pricing_cache
         self._paging = paging
+        self._prefix = prefix
         self.faults = faults
         self.retry = retry
         if faults is not None:
@@ -1090,6 +1174,7 @@ class ClusterSimulator:
                 memoize_pricing=self._memoize_pricing,
                 incremental_pricing=self._incremental_pricing,
                 shared_cache=self._shared_pricing_cache,
+                prefix=self._prefix,
                 n_devices=spec.n_devices,
             )
         elif isinstance(spec, MonolithicReplicaSpec):
@@ -1118,6 +1203,7 @@ class ClusterSimulator:
                 shared_cache=self._shared_pricing_cache,
                 paging=self._paging,
                 worst_case_tokens=self._worst_seq,
+                prefix=self._prefix,
             )
         else:
             raise ConfigError(f"unknown replica spec {spec!r}")
@@ -1499,7 +1585,15 @@ class ClusterSimulator:
         if chosen is None:
             raise ConfigError(f"{self.router.name} routed to invalid replica {index}")
         if cached >= 0:
-            coordinator = self._migrate_coordinator(chosen.replica)
+            # A prefix-sharing victim's host copy covers only its private
+            # KV — the shared span lived in the dead replica's pool — so
+            # adoption cannot reconstitute it; the request re-runs from
+            # scratch like any other (requeue resets its prefix state).
+            coordinator = (
+                self._migrate_coordinator(chosen.replica)
+                if request.prefix_shared_tokens == 0
+                else None
+            )
             if coordinator is not None:
                 try:
                     coordinator.adopt(request, cached, t)

@@ -274,7 +274,10 @@ class KvPagingCoordinator:
     # admission mirroring (keeps the manager and the scheduler in sync)
     # ------------------------------------------------------------------
     def on_admit(self, request: Request) -> None:
-        self.manager.admit(request.request_id, request.total_seq_len)
+        # With prefix dedup, the pool holds the shared span; the manager
+        # accounts only the request's private remainder (equal to the full
+        # sequence whenever dedup is off).
+        self.manager.admit(request.request_id, request.unique_seq_len)
 
     def on_release(self, request: Request) -> None:
         self.manager.release(request.request_id)
@@ -289,6 +292,12 @@ class KvPagingCoordinator:
             if request.state is RequestState.DECODING
             else request.prefilled_tokens
         )
+        if request.prefix_shared_tokens:
+            # Only the privately held KV moves or replays: the shared span
+            # lives in the prefix pool, whose fate the scheduler settles
+            # (clamped because a cache hit starts prefilled_tokens inside
+            # the shared span).
+            cached = max(0, cached - request.prefix_shared_tokens)
         outcome = self.manager.evict(request.request_id, cached)
         transfer_s = outcome.transfer_time_s
         if transfer_s and self.link_scale is not None:
@@ -311,12 +320,18 @@ class KvPagingCoordinator:
         """The next request to resume (eviction order — no overtaking)."""
         return self._parked[0][0] if self._parked else None
 
-    def resume_next(self, now_s: float) -> Request:
+    def resume_next(self, now_s: float, replay_prefix_tokens: int = 0) -> Request:
         """Start bringing the head-of-line parked request back.
 
         The caller must have verified device room (the manager re-checks).
         Returns the request; it lands on :attr:`resume_feed` after the
         inbound transfer (MIGRATE) or the replayed prefill (RECOMPUTE).
+
+        Args:
+            replay_prefix_tokens: shared-prefix tokens whose pool blocks
+                were reclaimed while the request was parked; they are
+                recomputed on the way back in (after the KV stream under
+                MIGRATE, folded into the replay under RECOMPUTE).
         """
         if not self._parked:
             raise SchedulingError("no evicted request to resume")
@@ -324,7 +339,8 @@ class KvPagingCoordinator:
         outcome = self.manager.resume(request.request_id, cached)
         ready_s = max(now_s, kv_clear_s)
         if self.manager.policy is EvictionPolicy.RECOMPUTE:
-            replay = self._price_replay(outcome.recompute_tokens)
+            replay_tokens = outcome.recompute_tokens + replay_prefix_tokens
+            replay = self._price_replay(replay_tokens)
             replay_s = replay.latency_s if replay is not None else 0.0
             if replay_s:
                 started = max(ready_s, self._replay_free_s)
@@ -332,7 +348,7 @@ class KvPagingCoordinator:
                 self._replay_free_s = ready_s
             if self.metrics is not None:
                 self.metrics.record_paging_resume(
-                    recomputed_tokens=outcome.recompute_tokens,
+                    recomputed_tokens=replay_tokens,
                     replay_s=replay_s,
                     dram_energy=replay.dram_energy_by_category if replay else None,
                     compute_energy=replay.compute_energy_by_category if replay else None,
@@ -346,9 +362,25 @@ class KvPagingCoordinator:
                 started = max(ready_s, self._link_in_free_s)
                 ready_s = started + transfer_s
                 self._link_in_free_s = ready_s
+            replay = (
+                self._price_replay(replay_prefix_tokens) if replay_prefix_tokens else None
+            )
+            replay_s = replay.latency_s if replay is not None else 0.0
+            if replay_s:
+                # Lost prefix blocks replay on the same serial resource
+                # RECOMPUTE uses, after the private KV finishes streaming.
+                started = max(ready_s, self._replay_free_s)
+                ready_s = started + replay_s
+                self._replay_free_s = ready_s
             if self.metrics is not None:
                 self.metrics.record_paging_resume(
-                    migrated_tokens=cached, host_link_s=transfer_s
+                    migrated_tokens=cached,
+                    host_link_s=transfer_s,
+                    recomputed_tokens=replay_prefix_tokens,
+                    replay_s=replay_s,
+                    dram_energy=replay.dram_energy_by_category if replay else None,
+                    compute_energy=replay.compute_energy_by_category if replay else None,
+                    comm_energy_j=replay.comm_energy_j if replay else 0.0,
                 )
         self.resume_feed.push(ready_s, request)
         return request
@@ -372,7 +404,7 @@ class KvPagingCoordinator:
         and resumes through the normal MIGRATE in-transfer — paying the
         host-link price instead of a full prefill replay.
         """
-        self.manager.adopt_evicted(request.request_id, request.total_seq_len)
+        self.manager.adopt_evicted(request.request_id, request.unique_seq_len)
         self._parked.append((request, cached, now_s))
 
     def abandon_all(self) -> tuple[list[tuple[Request, int]], list[Request]]:
@@ -614,6 +646,12 @@ class ServingEngine:
         paging = getattr(scheduler, "paging", None)
         if paging is not None and paging.metrics is None:
             paging.metrics = self.metrics
+        #: Prefix-dedup attribution: when the scheduler carries a
+        #: PrefixIndex, cache-hit admissions are priced counterfactually
+        #: (what would the skipped prefill have cost?) through the real
+        #: executor, cached per token count like the paging replay cache.
+        self._prefix_enabled = getattr(scheduler, "prefix", None) is not None
+        self._prefix_price_cache: dict[int, StageResult] = {}
 
     # ------------------------------------------------------------------
     # clock
@@ -675,6 +713,8 @@ class ServingEngine:
             chunks = tuple(scheduler.pending_chunks.items())
         self._admitted_seen = len(scheduler.admitted_log)
         preempted, resumed = scheduler.drain_paging_events()
+        if self._prefix_enabled:
+            self._record_prefix_admissions()
         if self.pricer is not None:
             result = self.pricer.price(workload)
         else:
@@ -745,6 +785,42 @@ class ServingEngine:
             for observer in self.observers:
                 observer(event)
         return True
+
+    def _record_prefix_admissions(self) -> None:
+        """Attribute this boundary's prefix-carrying admissions to metrics.
+
+        Each cache hit's saved prefill is priced as the stage the request
+        did *not* run: a ``(hit,)``-token prefill through the engine's own
+        executor.  Pricing is cached per token count (session turns repeat
+        the same prefix lengths), so the counterfactual costs one real
+        stage evaluation per distinct hit size.
+        """
+        scheduler = self.scheduler
+        events = scheduler.drain_prefix_admissions()
+        if not events:
+            return
+        for hit, miss in events:
+            saved_s = 0.0
+            saved_j = 0.0
+            if hit:
+                result = self._prefix_price_cache.get(hit)
+                if result is None:
+                    workload = StageWorkload(
+                        decode_context_lengths=np.asarray([], dtype=np.int64),
+                        prefill_lengths=(hit,),
+                    )
+                    result = self.executor.run_stage(workload)
+                    self._prefix_price_cache[hit] = result
+                saved_s = result.latency_s
+                saved_j = (
+                    sum(result.dram_energy_by_category.values())
+                    + sum(result.compute_energy_by_category.values())
+                    + result.comm_energy_j
+                )
+            self.metrics.record_prefix_admission(
+                hit_tokens=hit, miss_tokens=miss, saved_s=saved_s, saved_energy_j=saved_j
+            )
+        self.metrics.record_prefix_residency(scheduler.prefix.peak_resident_tokens)
 
     # ------------------------------------------------------------------
     # the columnar steady-run fast path

@@ -105,6 +105,11 @@ class ServingReport:
             ``unavailability_s``); empty when no fault was ever injected
             — a faults-off run reports byte-identically to one predating
             the fault subsystem.
+        prefix: shared-prefix dedup summary (``hit_tokens``,
+            ``miss_tokens``, ``saved_prefill_s``, ``saved_energy_j``,
+            ``peak_shared_tokens``); empty when no prefix-carrying request
+            was ever admitted — a dedup-off run reports byte-identically
+            to one predating the prefix subsystem.
     """
 
     tokens_generated: int
@@ -123,6 +128,7 @@ class ServingReport:
     per_tenant: dict[str, dict[str, float]] = field(default_factory=dict)
     paging: dict[str, float] = field(default_factory=dict)
     faults: dict[str, float] = field(default_factory=dict)
+    prefix: dict[str, float] = field(default_factory=dict)
 
 
 #: How many recent TBT samples back the incremental cursor API.  Far
@@ -177,6 +183,12 @@ class MetricsCollector:
     _unavailability_s: float = 0.0
     _tenant_retries: dict[str, int] = field(default_factory=dict)
     _tenant_requests_lost: dict[str, int] = field(default_factory=dict)
+    _prefix_admissions: int = 0
+    _prefix_hit_tokens: int = 0
+    _prefix_miss_tokens: int = 0
+    _prefix_saved_s: float = 0.0
+    _prefix_saved_energy_j: float = 0.0
+    _prefix_peak_shared_tokens: int = 0
     effective_batch: int = 0
 
     # ------------------------------------------------------------------
@@ -342,6 +354,49 @@ class MetricsCollector:
             "recomputed_tokens": float(self._recomputed_tokens),
             "host_link_s": self._host_link_s,
             "replay_s": self._replay_s,
+        }
+
+    # ------------------------------------------------------------------
+    # shared-prefix dedup (radix KV cache)
+    # ------------------------------------------------------------------
+    def record_prefix_admission(
+        self,
+        hit_tokens: int,
+        miss_tokens: int,
+        saved_s: float = 0.0,
+        saved_energy_j: float = 0.0,
+    ) -> None:
+        """Record one prefix-carrying admission.
+
+        Args:
+            hit_tokens: prefill tokens skipped (the cached span).
+            miss_tokens: declared prefix tokens the request still had to
+                compute itself (cold blocks it inserts for later turns).
+            saved_s / saved_energy_j: the counterfactual cost of the
+                skipped prefill, priced by the owning engine's executor.
+        """
+        self._prefix_admissions += 1
+        self._prefix_hit_tokens += hit_tokens
+        self._prefix_miss_tokens += miss_tokens
+        self._prefix_saved_s += saved_s
+        self._prefix_saved_energy_j += saved_energy_j
+
+    def record_prefix_residency(self, peak_tokens: int) -> None:
+        """Track the shared pool's high-water mark (monotone max)."""
+        if peak_tokens > self._prefix_peak_shared_tokens:
+            self._prefix_peak_shared_tokens = peak_tokens
+
+    def _prefix_summary(self) -> dict[str, float]:
+        """Prefix counters for the report (empty when dedup never fired)."""
+        if not self._prefix_admissions:
+            return {}
+        return {
+            "admissions": float(self._prefix_admissions),
+            "hit_tokens": float(self._prefix_hit_tokens),
+            "miss_tokens": float(self._prefix_miss_tokens),
+            "saved_prefill_s": self._prefix_saved_s,
+            "saved_energy_j": self._prefix_saved_energy_j,
+            "peak_shared_tokens": float(self._prefix_peak_shared_tokens),
         }
 
     # ------------------------------------------------------------------
@@ -547,6 +602,15 @@ class MetricsCollector:
             fleet._re_prefill_energy_j += collector._re_prefill_energy_j
             fleet._retry_backoff_s += collector._retry_backoff_s
             fleet._unavailability_s += collector._unavailability_s
+            fleet._prefix_admissions += collector._prefix_admissions
+            fleet._prefix_hit_tokens += collector._prefix_hit_tokens
+            fleet._prefix_miss_tokens += collector._prefix_miss_tokens
+            fleet._prefix_saved_s += collector._prefix_saved_s
+            fleet._prefix_saved_energy_j += collector._prefix_saved_energy_j
+            # Summed, not maxed: each replica owns a distinct pool, so the
+            # fleet's shared-residency footprint is the sum of per-replica
+            # high-water marks (an upper bound on concurrent usage).
+            fleet._prefix_peak_shared_tokens += collector._prefix_peak_shared_tokens
             for tenant, count in collector._tenant_retries.items():
                 fleet._tenant_retries[tenant] = (
                     fleet._tenant_retries.get(tenant, 0) + count
@@ -731,4 +795,5 @@ class MetricsCollector:
             per_tenant=self._per_tenant_summary(),
             paging=self._paging_summary(),
             faults=self._fault_summary(),
+            prefix=self._prefix_summary(),
         )

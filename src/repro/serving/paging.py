@@ -23,6 +23,9 @@ from typing import Sequence
 from repro.errors import CapacityError, ConfigError, SchedulingError
 from repro.units import GB_PER_S, US
 
+#: A shared-prefix description: ordered ``(segment id, token count)`` blocks.
+PrefixBlocks = tuple[tuple[int, int], ...]
+
 
 @dataclass(frozen=True)
 class HostLink:
@@ -330,3 +333,386 @@ class PagedKvManager:
                 "evicting every eligible request still cannot free enough KV"
             )
         return victims
+
+
+# ----------------------------------------------------------------------
+# shared-prefix dedup (radix KV cache)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrefixConfig:
+    """Shared-prefix KV dedup for a serving engine.
+
+    Handed to :class:`~repro.serving.simulator.ServingSimulator` /
+    :class:`~repro.serving.cluster.ClusterSimulator` to turn on radix
+    prefix caching: requests that declare ``prefix_blocks`` share one KV
+    copy of the common prefix, and admission prices prefill only for the
+    uncached suffix.
+
+    Attributes:
+        capacity_tokens: cap on the shared pool itself (None = bounded
+            only by device capacity through scheduler admission).
+    """
+
+    capacity_tokens: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_tokens is not None and self.capacity_tokens < 1:
+            raise ConfigError("prefix pool capacity must be at least one token (or None)")
+
+
+@dataclass(frozen=True)
+class PrefixAcquisition:
+    """What :meth:`PrefixIndex.acquire` found and reserved.
+
+    Attributes:
+        hit_tokens: contiguous-from-root tokens whose KV is already
+            computed (ready) — the prefill the request can skip.
+        inserted_tokens: new pending tokens this request added to the pool
+            (it will compute them; they become ready at commit).
+        shared_tokens: all pool-held tokens on the request's path (hits,
+            pending hits, and inserts) — the request's KV reservation
+            outside the pool is its total minus this.
+    """
+
+    hit_tokens: int
+    inserted_tokens: int
+    shared_tokens: int
+
+
+@dataclass
+class PrefixStats:
+    """Aggregate prefix-pool activity."""
+
+    acquisitions: int = 0
+    hit_tokens: int = 0
+    inserted_tokens: int = 0
+    evicted_tokens: int = 0
+    dropped_pending_tokens: int = 0
+
+
+class _PrefixNode:
+    """One radix-tree block: a run of tokens shared below its parent."""
+
+    __slots__ = ("key", "tokens", "parent", "children", "refcount", "ready", "touch")
+
+    def __init__(self, key: int, tokens: int, parent: "_PrefixNode | None") -> None:
+        self.key = key
+        self.tokens = tokens
+        self.parent = parent
+        self.children: dict[int, _PrefixNode] = {}
+        self.refcount = 0
+        self.ready = False
+        self.touch = 0
+
+
+class _PrefixReleaseSim:
+    """Counts pool tokens a hypothetical set of releases would unpin.
+
+    Used by the scheduler's preemption planner: walking victims in policy
+    order, :meth:`release` returns the tokens of path blocks whose
+    simulated refcount reaches zero — pending blocks free immediately on a
+    real release, ready blocks become evictable — without mutating the
+    index.  Sound because every holder pins its whole root-to-leaf path,
+    so ``refcount(parent) >= refcount(child)`` always.
+    """
+
+    def __init__(self, index: "PrefixIndex") -> None:
+        self._index = index
+        self._remaining: dict[int, int] = {}  # id(node) -> simulated refcount
+
+    def release(self, request_id: int) -> int:
+        freed = 0
+        for node in self._index._holders.get(request_id, ()):
+            refs = self._remaining.get(id(node), node.refcount) - 1
+            self._remaining[id(node)] = refs
+            if refs == 0:
+                freed += node.tokens
+        return freed
+
+
+class PrefixIndex:
+    """Token-block-keyed radix tree with ref-counted KV residency.
+
+    Each node is a block of tokens identified by a segment id; a request's
+    ``prefix_blocks`` name a root-to-leaf path.  N concurrent holders of
+    an identical prefix occupy **one** copy: every holder pins the whole
+    path (so ``refcount(parent) >= refcount(child)``), new blocks enter
+    *pending* (reserved but not hit-able) until the owning prefill commits
+    them *ready*, and zero-ref ready blocks stay cached — that retained
+    KV *is* the cache — until :meth:`evict_cached` reclaims them in LRU
+    order under memory pressure.
+
+    The index accounts pool tokens only; the per-request remainder lives
+    in :class:`PagedKvManager` as usual.  Device occupancy is therefore
+    ``manager.resident_tokens + index.resident_tokens``, and the scheduler
+    enforces that sum against capacity at every admission and resume
+    boundary.
+    """
+
+    def __init__(self, config: PrefixConfig | None = None) -> None:
+        self.config = config or PrefixConfig()
+        self.stats = PrefixStats()
+        self._root = _PrefixNode(key=-1, tokens=0, parent=None)
+        self._holders: dict[int, list[_PrefixNode]] = {}
+        self._resident_tokens = 0
+        self._peak_resident_tokens = 0
+        self._touch_seq = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_tokens(self) -> int:
+        return self._resident_tokens
+
+    @property
+    def peak_resident_tokens(self) -> int:
+        return self._peak_resident_tokens
+
+    @property
+    def holder_count(self) -> int:
+        return len(self._holders)
+
+    def holds(self, request_id: int) -> bool:
+        return request_id in self._holders
+
+    def refcounts(self) -> dict[tuple[int, ...], int]:
+        """Path-keyed refcounts, for tests and debugging."""
+        out: dict[tuple[int, ...], int] = {}
+        stack = [(child, (child.key,)) for child in self._root.children.values()]
+        while stack:
+            node, path = stack.pop()
+            out[path] = node.refcount
+            stack.extend((c, path + (c.key,)) for c in node.children.values())
+        return out
+
+    # ------------------------------------------------------------------
+    # acquire / commit / release
+    # ------------------------------------------------------------------
+    def acquire(self, request_id: int, blocks: PrefixBlocks) -> PrefixAcquisition:
+        """Pin ``blocks``' path for a request, inserting missing tail blocks.
+
+        Existing blocks are shared (ready ones count as hits, pending ones
+        only as shared residency); missing blocks are inserted pending,
+        subject to the pool cap — insertion stops at the first block that
+        does not fit, so the shared span is always a block boundary.
+        """
+        if request_id in self._holders:
+            raise SchedulingError(f"request {request_id} already holds a prefix")
+        self._validate_blocks(blocks)
+        result = self._acquire(request_id, blocks, enforce_cap=True)
+        self.stats.acquisitions += 1
+        self.stats.hit_tokens += result.hit_tokens
+        self.stats.inserted_tokens += result.inserted_tokens
+        return result
+
+    def reacquire(
+        self, request_id: int, blocks: PrefixBlocks, shared_budget: int
+    ) -> PrefixAcquisition:
+        """Re-pin exactly the first blocks summing to ``shared_budget``.
+
+        Used when a paged-out request resumes: its KV reservation was
+        frozen at eviction as ``total - shared_budget``, so the resume
+        must re-pin exactly that span — missing blocks are re-inserted
+        pending (cap-exempt; the caller already gated device capacity) and
+        the non-ready remainder is the prefix the caller must replay.
+        """
+        if request_id in self._holders:
+            raise SchedulingError(f"request {request_id} already holds a prefix")
+        self._validate_blocks(blocks)
+        prefix: list[tuple[int, int]] = []
+        total = 0
+        for key, tokens in blocks:
+            if total >= shared_budget:
+                break
+            prefix.append((key, tokens))
+            total += tokens
+        if total != shared_budget:
+            raise SchedulingError(
+                f"shared budget {shared_budget} is not a block boundary of request "
+                f"{request_id}'s prefix"
+            )
+        return self._acquire(request_id, tuple(prefix), enforce_cap=False)
+
+    def probe_resume(self, blocks: PrefixBlocks, shared_budget: int) -> tuple[int, int]:
+        """(ready hit tokens, missing tokens) a :meth:`reacquire` would see.
+
+        Read-only: lets the scheduler gate a resume on device room for the
+        blocks that would be re-inserted before committing to it.
+        """
+        node = self._root
+        ready_hit = 0
+        missing = 0
+        total = 0
+        contiguous_ready = True
+        for key, tokens in blocks:
+            if total >= shared_budget:
+                break
+            total += tokens
+            child = node.children.get(key) if node is not None else None
+            if child is None:
+                missing += tokens
+                node = None
+                continue
+            if contiguous_ready and child.ready:
+                ready_hit += tokens
+            else:
+                contiguous_ready = False
+            node = child
+        return ready_hit, missing
+
+    def commit(self, request_id: int) -> None:
+        """Mark every pending block on the holder's path ready.
+
+        Called when the holder's prefill (or resume replay) completes: the
+        KV for those positions now exists on device.
+        """
+        for node in self._holders.get(request_id, ()):
+            node.ready = True
+
+    def release(self, request_id: int) -> int:
+        """Unpin a holder's path; returns pending tokens dropped.
+
+        Zero-ref *pending* blocks free immediately (no one will compute
+        them); zero-ref *ready* blocks stay cached for future hits.
+        """
+        path = self._holders.pop(request_id, None)
+        if path is None:
+            raise SchedulingError(f"request {request_id} holds no prefix")
+        dropped = 0
+        for node in reversed(path):
+            node.refcount -= 1
+            if node.refcount == 0 and not node.ready and not node.children:
+                self._remove(node)
+                dropped += node.tokens
+        self.stats.dropped_pending_tokens += dropped
+        return dropped
+
+    def forget(self, request_id: int) -> int:
+        """Tolerant :meth:`release` — a no-op when the id holds nothing."""
+        if request_id not in self._holders:
+            return 0
+        return self.release(request_id)
+
+    def clear(self) -> None:
+        """Drop every block and holder (crash harvest: device KV is gone)."""
+        self._root = _PrefixNode(key=-1, tokens=0, parent=None)
+        self._holders.clear()
+        self._resident_tokens = 0
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def evictable_tokens(self) -> int:
+        """Tokens :meth:`evict_cached` could reclaim right now."""
+        total = 0
+        stack = list(self._root.children.values())
+        while stack:
+            node = stack.pop()
+            if node.refcount == 0:
+                # Zero-ref implies the whole subtree is zero-ref
+                # (refcount(parent) >= refcount(child)); ready blocks are
+                # evictable and pending zero-ref blocks cannot survive a
+                # release, so the subtree is entirely reclaimable.
+                total += node.tokens
+            stack.extend(node.children.values())
+        return total
+
+    def evict_cached(self, needed_tokens: int) -> int:
+        """Reclaim zero-ref cached blocks, LRU-first, until ``needed_tokens``.
+
+        Only leaf blocks are removable (a block's KV prefix-closes over
+        its ancestors), so reclaiming walks leaves inward.  Returns the
+        tokens actually freed, which may fall short when everything left
+        is pinned by a live holder.
+        """
+        if needed_tokens <= 0:
+            return 0
+        freed = 0
+        while freed < needed_tokens:
+            victim: _PrefixNode | None = None
+            stack = list(self._root.children.values())
+            while stack:
+                node = stack.pop()
+                if node.refcount == 0 and not node.children:
+                    if victim is None or node.touch < victim.touch:
+                        victim = node
+                stack.extend(node.children.values())
+            if victim is None:
+                break
+            self._remove(victim)
+            freed += victim.tokens
+            self.stats.evicted_tokens += victim.tokens
+        return freed
+
+    def release_simulator(self) -> _PrefixReleaseSim:
+        """A read-only what-if counter for preemption planning."""
+        return _PrefixReleaseSim(self)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_blocks(blocks: PrefixBlocks) -> None:
+        if not blocks:
+            raise ConfigError("prefix blocks must be non-empty")
+        for key, tokens in blocks:
+            if tokens < 1:
+                raise ConfigError("every prefix block holds at least one token")
+
+    def _acquire(
+        self, request_id: int, blocks: PrefixBlocks, enforce_cap: bool
+    ) -> PrefixAcquisition:
+        cap = self.config.capacity_tokens
+        node = self._root
+        path: list[_PrefixNode] = []
+        hit = 0
+        inserted = 0
+        shared = 0
+        contiguous_ready = True
+        for key, tokens in blocks:
+            child = node.children.get(key)
+            if child is not None:
+                if child.tokens != tokens:
+                    raise ConfigError(
+                        f"prefix segment {key} re-declared with {tokens} tokens "
+                        f"(pool holds {child.tokens})"
+                    )
+                if contiguous_ready and child.ready:
+                    hit += tokens
+                else:
+                    contiguous_ready = False
+            else:
+                if enforce_cap and cap is not None and self._resident_tokens + tokens > cap:
+                    # Try to make room from the cold end of the cache; the
+                    # candidate's own path is pinned (refcount bumped
+                    # below the divergence point) so it cannot be chosen.
+                    self.evict_cached(self._resident_tokens + tokens - cap)
+                    if self._resident_tokens + tokens > cap:
+                        break  # pool full: the rest of the prefix stays private
+                child = _PrefixNode(key=key, tokens=tokens, parent=node)
+                node.children[key] = child
+                self._resident_tokens += tokens
+                inserted += tokens
+                contiguous_ready = False
+            child.refcount += 1
+            self._touch_seq += 1
+            child.touch = self._touch_seq
+            path.append(child)
+            shared += tokens
+            node = child
+        if not path:
+            return PrefixAcquisition(hit_tokens=0, inserted_tokens=0, shared_tokens=0)
+        self._holders[request_id] = path
+        if self._resident_tokens > self._peak_resident_tokens:
+            self._peak_resident_tokens = self._resident_tokens
+        return PrefixAcquisition(
+            hit_tokens=hit, inserted_tokens=inserted, shared_tokens=shared
+        )
+
+    def _remove(self, node: _PrefixNode) -> None:
+        parent = node.parent
+        assert parent is not None and not node.children
+        del parent.children[node.key]
+        node.parent = None
+        self._resident_tokens -= node.tokens

@@ -47,6 +47,16 @@ class Request:
             across failure re-routes (None until the first
             :meth:`requeue` — latency metrics then measure from it, so
             retried requests pay their full queueing + failure penalty).
+        prefix_blocks: the request's shareable prompt prefix as ordered
+            ``(segment id, token count)`` blocks (a root-to-leaf path in a
+            :class:`~repro.serving.paging.PrefixIndex`; None = nothing
+            shareable).  Declarative only — it has no effect unless the
+            scheduler runs with prefix dedup enabled.
+        prefix_shared_tokens: prefix tokens the pool actually holds for
+            this request (set at admission; the request's private KV
+            reservation is :attr:`unique_seq_len`).
+        prefix_hit_tokens: prefill tokens skipped thanks to a cache hit
+            (set at admission).
     """
 
     request_id: int
@@ -63,6 +73,9 @@ class Request:
     completion_time_s: float | None = field(default=None, repr=False)
     attempts: int = field(default=1, repr=False)
     first_arrival_s: float | None = field(default=None, repr=False)
+    prefix_blocks: tuple[tuple[int, int], ...] | None = field(default=None, repr=False)
+    prefix_shared_tokens: int = field(default=0, repr=False)
+    prefix_hit_tokens: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.input_len < 1 or self.output_len < 1:
@@ -71,6 +84,13 @@ class Request:
             raise ConfigError("arrival time must be non-negative")
         if self.t2ft_slo_s is not None and self.t2ft_slo_s <= 0:
             raise ConfigError("a per-request T2FT SLO must be positive")
+        if self.prefix_blocks is not None:
+            if not self.prefix_blocks:
+                raise ConfigError("prefix blocks must be non-empty (or None)")
+            if any(tokens < 1 for _, tokens in self.prefix_blocks):
+                raise ConfigError("every prefix block holds at least one token")
+            if sum(tokens for _, tokens in self.prefix_blocks) > self.input_len:
+                raise ConfigError("a prefix cannot exceed the input length")
 
     # ------------------------------------------------------------------
     # lifecycle transitions
@@ -172,6 +192,10 @@ class Request:
         self.tokens_generated = 0
         self.prefilled_tokens = 0
         self.first_token_time_s = None
+        # Shared-prefix state is per-admission: the KV (and any pool pins)
+        # died with the old placement, so the next admission renegotiates.
+        self.prefix_shared_tokens = 0
+        self.prefix_hit_tokens = 0
 
     # ------------------------------------------------------------------
     # derived quantities
@@ -189,6 +213,13 @@ class Request:
     def total_seq_len(self) -> int:
         """Worst-case cached tokens (what capacity is reserved for)."""
         return self.input_len + self.output_len
+
+    @property
+    def unique_seq_len(self) -> int:
+        """Privately reserved KV tokens: the total minus the shared-pool
+        span.  Equals :attr:`total_seq_len` whenever prefix dedup is off
+        or the request shares nothing."""
+        return self.input_len + self.output_len - self.prefix_shared_tokens
 
     @property
     def submitted_s(self) -> float:

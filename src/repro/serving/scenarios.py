@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from heapq import heappop, heappush
+from itertools import count
 from typing import Callable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
@@ -664,6 +666,429 @@ def _replayed_spike() -> Scenario:
     )
 
 
+# ----------------------------------------------------------------------
+# session-structured workloads (shared-prefix reuse)
+# ----------------------------------------------------------------------
+#
+# The scenarios above sample every request independently; real serving
+# traffic is heavily *session*-structured — a chat turn resends the whole
+# conversation so far, an agent loop resubmits the same long tool context
+# every iteration, a fan-out tree prompts N continuations of one root.
+# These shapes are what shared-prefix KV dedup
+# (:class:`~repro.serving.paging.PrefixIndex`) exists for, so the session
+# family tags every request with its
+# :attr:`~repro.serving.request.Request.prefix_blocks` path.  The tags are
+# declarative: with dedup disabled they are inert and the workload prices
+# exactly like independent requests of the same lengths.
+#
+# Segment-id convention: ids below ``_FIRST_SESSION_SEGMENT`` are
+# scenario-global (one system prompt shared by *every* session); fresh
+# per-session segments are allocated above it.  One scenario per
+# simulator — two scenarios sharing an index could collide on the global
+# ids.
+
+_GLOBAL_SYSTEM_SEGMENT = 0
+_FIRST_SESSION_SEGMENT = 1024
+
+
+def _sample_tokens(rng: np.random.Generator, mean: float, cv: float, min_len: int = 8) -> int:
+    """One Gaussian token count, clipped to [min_len, 2 * mean].
+
+    The hard 2x clip keeps every session shape's ``worst_case_tokens``
+    a deterministic bound (like ``LognormalLengths.max_factor``).
+    """
+    if cv == 0.0:
+        sampled = mean
+    else:
+        sampled = float(rng.normal(mean, cv * mean))
+    return int(min(max(min_len, round(sampled)), round(2 * mean)))
+
+
+@dataclass(frozen=True)
+class SessionTurn:
+    """One request of a session, relative to the session start."""
+
+    offset_s: float
+    input_len: int
+    output_len: int
+    prefix_blocks: tuple[tuple[int, int], ...] | None
+
+    def __post_init__(self) -> None:
+        if self.offset_s < 0:
+            raise ConfigError("turn offsets are measured from the session start")
+
+
+@runtime_checkable
+class SessionShape(Protocol):
+    """What one session looks like: a correlated sequence of turns.
+
+    ``turns`` samples a whole session; ``segments`` yields fresh
+    globally-unique segment ids for the session's own prefix blocks
+    (scenario-global segments are fixed small constants instead).
+    """
+
+    def turns(
+        self, rng: np.random.Generator, segments: Iterator[int]
+    ) -> tuple[SessionTurn, ...]: ...
+
+    def worst_case_tokens(self) -> int: ...
+
+
+@dataclass(frozen=True)
+class ChatSessionShape:
+    """Multi-turn chat: each turn resends the whole conversation so far.
+
+    Turn ``i``'s prompt is the shared system prompt, every earlier turn's
+    (message + reply) — all declared as prefix blocks, so a dedup-enabled
+    scheduler re-prefills none of it — plus a fresh user message.  The
+    system prompt uses the scenario-global segment: every session shares
+    one cached copy.
+    """
+
+    min_turns: int = 2
+    max_turns: int = 8
+    system_tokens: int = 512
+    message_mean: float = 192.0
+    reply_mean: float = 160.0
+    length_cv: float = 0.3
+    think_mean_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.min_turns < 1 or self.max_turns < self.min_turns:
+            raise ConfigError("need 1 <= min_turns <= max_turns")
+        if self.system_tokens < 1:
+            raise ConfigError("system_tokens must be at least one token")
+        _require_positive("message_mean", self.message_mean)
+        _require_positive("reply_mean", self.reply_mean)
+        if self.length_cv < 0:
+            raise ConfigError("length_cv must be non-negative")
+        _require_positive("think_mean_s", self.think_mean_s)
+
+    def worst_case_tokens(self) -> int:
+        turn = round(2 * self.message_mean) + round(2 * self.reply_mean)
+        return int(self.system_tokens + self.max_turns * turn)
+
+    def turns(
+        self, rng: np.random.Generator, segments: Iterator[int]
+    ) -> tuple[SessionTurn, ...]:
+        n_turns = int(rng.integers(self.min_turns, self.max_turns + 1))
+        history: list[tuple[int, int]] = [(_GLOBAL_SYSTEM_SEGMENT, self.system_tokens)]
+        turns: list[SessionTurn] = []
+        offset = 0.0
+        for i in range(n_turns):
+            if i:
+                offset += float(rng.exponential(self.think_mean_s))
+            message = _sample_tokens(rng, self.message_mean, self.length_cv)
+            reply = _sample_tokens(rng, self.reply_mean, self.length_cv)
+            shared = sum(tokens for _, tokens in history)
+            turns.append(
+                SessionTurn(
+                    offset_s=offset,
+                    input_len=shared + message,
+                    output_len=reply,
+                    prefix_blocks=tuple(history),
+                )
+            )
+            history.append((next(segments), message + reply))
+        return tuple(turns)
+
+
+@dataclass(frozen=True)
+class AgentLoopShape:
+    """An agent loop resubmitting one long tool context every iteration.
+
+    The prompt re-sent on every iteration is the scenario-global agent
+    context (system prompt + tool schemas — identical across *all*
+    sessions) plus the session's accumulated observation/action history,
+    all declared as prefix blocks; each iteration appends a fresh
+    observation and generates a short action.  Gaps model tool-execution
+    latency, so iterations come much faster than human chat turns.
+    """
+
+    min_iterations: int = 4
+    max_iterations: int = 10
+    context_tokens: int = 3072
+    observation_mean: float = 256.0
+    action_mean: float = 48.0
+    length_cv: float = 0.3
+    tool_mean_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.min_iterations < 1 or self.max_iterations < self.min_iterations:
+            raise ConfigError("need 1 <= min_iterations <= max_iterations")
+        if self.context_tokens < 1:
+            raise ConfigError("context_tokens must be at least one token")
+        _require_positive("observation_mean", self.observation_mean)
+        _require_positive("action_mean", self.action_mean)
+        if self.length_cv < 0:
+            raise ConfigError("length_cv must be non-negative")
+        _require_positive("tool_mean_s", self.tool_mean_s)
+
+    def worst_case_tokens(self) -> int:
+        step = round(2 * self.observation_mean) + round(2 * self.action_mean)
+        return int(self.context_tokens + self.max_iterations * step)
+
+    def turns(
+        self, rng: np.random.Generator, segments: Iterator[int]
+    ) -> tuple[SessionTurn, ...]:
+        n_iterations = int(rng.integers(self.min_iterations, self.max_iterations + 1))
+        history: list[tuple[int, int]] = [(_GLOBAL_SYSTEM_SEGMENT, self.context_tokens)]
+        turns: list[SessionTurn] = []
+        offset = 0.0
+        for i in range(n_iterations):
+            if i:
+                offset += float(rng.exponential(self.tool_mean_s))
+            observation = _sample_tokens(rng, self.observation_mean, self.length_cv)
+            action = _sample_tokens(rng, self.action_mean, self.length_cv, min_len=4)
+            shared = sum(tokens for _, tokens in history)
+            turns.append(
+                SessionTurn(
+                    offset_s=offset,
+                    input_len=shared + observation,
+                    output_len=action,
+                    prefix_blocks=tuple(history),
+                )
+            )
+            history.append((next(segments), observation + action))
+        return tuple(turns)
+
+
+@dataclass(frozen=True)
+class FanoutTreeShape:
+    """One root prompt fanned out into N parallel continuations.
+
+    Best-of-N sampling, tree search, and map-style document queries all
+    submit many requests that share one (session-private) root context
+    and differ only in a short leaf suffix.  Branches arrive in a quick
+    staggered burst; with dedup the first branch prefills the root once
+    and the rest hit it.
+    """
+
+    min_branches: int = 3
+    max_branches: int = 8
+    root_tokens: int = 2048
+    branch_mean: float = 64.0
+    reply_mean: float = 256.0
+    length_cv: float = 0.3
+    stagger_mean_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.min_branches < 1 or self.max_branches < self.min_branches:
+            raise ConfigError("need 1 <= min_branches <= max_branches")
+        if self.root_tokens < 1:
+            raise ConfigError("root_tokens must be at least one token")
+        _require_positive("branch_mean", self.branch_mean)
+        _require_positive("reply_mean", self.reply_mean)
+        if self.length_cv < 0:
+            raise ConfigError("length_cv must be non-negative")
+        _require_positive("stagger_mean_s", self.stagger_mean_s)
+
+    def worst_case_tokens(self) -> int:
+        return int(self.root_tokens + round(2 * self.branch_mean) + round(2 * self.reply_mean))
+
+    def turns(
+        self, rng: np.random.Generator, segments: Iterator[int]
+    ) -> tuple[SessionTurn, ...]:
+        n_branches = int(rng.integers(self.min_branches, self.max_branches + 1))
+        root = (next(segments), self.root_tokens)
+        turns: list[SessionTurn] = []
+        offset = 0.0
+        for i in range(n_branches):
+            if i:
+                offset += float(rng.exponential(self.stagger_mean_s))
+            branch = _sample_tokens(rng, self.branch_mean, self.length_cv)
+            reply = _sample_tokens(rng, self.reply_mean, self.length_cv)
+            turns.append(
+                SessionTurn(
+                    offset_s=offset,
+                    input_len=self.root_tokens + branch,
+                    output_len=reply,
+                    prefix_blocks=(root,),
+                )
+            )
+        return tuple(turns)
+
+
+@dataclass(frozen=True)
+class SessionScenario:
+    """A named session-structured traffic regime: arrivals × session shape.
+
+    Mirrors :class:`Scenario`'s surface (name, ``mean_qps``, ``scaled`` /
+    ``at_qps``, ``worst_case_tokens``, ``source``) so registries,
+    experiments, and simulators treat both interchangeably.  The arrival
+    process paces *session starts*; each session then expands into its
+    turns, so the request rate is the session rate times the mean turn
+    count.
+    """
+
+    name: str
+    arrivals: ArrivalProcess
+    shape: SessionShape
+    tenant: str = "session"
+    t2ft_slo_s: float | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("scenarios need a name")
+        if not self.tenant:
+            raise ConfigError("tenants need a name")
+        if self.t2ft_slo_s is not None and self.t2ft_slo_s <= 0:
+            raise ConfigError("a tenant T2FT SLO must be positive")
+
+    @property
+    def mean_qps(self) -> float:
+        """Mean *session* starts per second (turns multiply the request rate)."""
+        return self.arrivals.mean_qps
+
+    def worst_case_tokens(self) -> int:
+        return self.shape.worst_case_tokens()
+
+    def scaled(self, factor: float) -> "SessionScenario":
+        """The same regime at ``factor`` times the session arrival rate."""
+        return replace(self, arrivals=self.arrivals.scaled(factor))
+
+    def at_qps(self, qps: float) -> "SessionScenario":
+        """The same regime rescaled to a target mean session rate."""
+        _require_positive("qps", qps)
+        return self.scaled(qps / self.arrivals.mean_qps)
+
+    def source(self, seed: int | None = 0, max_requests: int | None = None) -> "SessionSource":
+        """Instantiate a seeded request source for this scenario."""
+        return SessionSource(self, seed=seed, max_requests=max_requests)
+
+
+class SessionSource:
+    """A :class:`~repro.serving.generator.RequestSource` expanding sessions.
+
+    Session starts come from the arrival process; each start samples a
+    whole session's turns at once.  Because sessions overlap in time, the
+    source merges turns through a heap keyed on absolute arrival, lazily
+    materialising every session that could still precede the earliest
+    queued turn — requests therefore emerge in exact global arrival
+    order, numbered like every other source.
+
+    Turn timing is open-loop: think-time gaps are sampled up front, so a
+    turn can arrive before its predecessor finished (its prefix blocks
+    are then still pending and it simply misses the cache — the honest
+    price of a thundering herd).
+    """
+
+    def __init__(
+        self, scenario: SessionScenario, seed: int | None = 0, max_requests: int | None = None
+    ) -> None:
+        if max_requests is not None and max_requests < 1:
+            raise ConfigError("max_requests must be positive (or None for unbounded)")
+        self.scenario = scenario
+        self.max_requests = max_requests
+        self._rng = np.random.default_rng(seed)
+        self._starts = scenario.arrivals.stream(self._rng)
+        self._next_start: float | None = None
+        self._segments = count(_FIRST_SESSION_SEGMENT)
+        self._heap: list[tuple[float, int, SessionTurn]] = []
+        self._heap_seq = 0
+        self._next_id = 0
+        self._pending: Request | None = None
+
+    @property
+    def closed_loop(self) -> bool:
+        return False
+
+    def worst_case_tokens(self) -> int:
+        return self.scenario.worst_case_tokens()
+
+    def _materialize(self, start_s: float) -> None:
+        for turn in self.scenario.shape.turns(self._rng, self._segments):
+            heappush(self._heap, (start_s + turn.offset_s, self._heap_seq, turn))
+            self._heap_seq += 1
+
+    def _ensure_pending(self) -> None:
+        if self._pending is not None:
+            return
+        if self.max_requests is not None and self._next_id >= self.max_requests:
+            return
+        if self._next_start is None:
+            self._next_start = float(next(self._starts))
+        # Materialise every session that could still beat the earliest
+        # queued turn (turn offsets are never negative, so a later session
+        # start cannot produce an earlier arrival).
+        while not self._heap or self._next_start <= self._heap[0][0]:
+            self._materialize(self._next_start)
+            self._next_start = float(next(self._starts))
+        arrival, _, turn = heappop(self._heap)
+        self._pending = Request(
+            request_id=self._next_id,
+            arrival_time_s=arrival,
+            input_len=turn.input_len,
+            output_len=turn.output_len,
+            tenant=self.scenario.tenant,
+            t2ft_slo_s=self.scenario.t2ft_slo_s,
+            prefix_blocks=turn.prefix_blocks,
+        )
+        self._next_id += 1
+
+    def peek(self) -> Request | None:
+        self._ensure_pending()
+        return self._pending
+
+    def peek_arrival(self) -> float:
+        pending = self.peek()
+        return float("inf") if pending is None else pending.arrival_time_s
+
+    def has_request_at(self, now_s: float) -> bool:
+        pending = self.peek()
+        return pending is not None and pending.arrival_time_s <= now_s
+
+    def take(self, now_s: float) -> Request:
+        pending = self.peek()
+        if pending is None:
+            raise SchedulingError("session source is exhausted")
+        self._pending = None
+        return pending
+
+
+def chat_sessions(
+    qps: float = 0.8, t2ft_slo_s: float = 1.0, shape: ChatSessionShape | None = None
+) -> SessionScenario:
+    """Multi-turn chat sessions with growing shared context."""
+    return SessionScenario(
+        name="chat-sessions",
+        description="multi-turn chat resending the growing conversation each turn",
+        arrivals=PoissonArrivals(qps=qps),
+        shape=shape if shape is not None else ChatSessionShape(),
+        tenant="chat-session",
+        t2ft_slo_s=t2ft_slo_s,
+    )
+
+
+def agent_loop(
+    qps: float = 0.5, t2ft_slo_s: float = 1.0, shape: AgentLoopShape | None = None
+) -> SessionScenario:
+    """Agent loops resubmitting one long shared tool context."""
+    return SessionScenario(
+        name="agent-loops",
+        description="tool-calling loops resubmitting a long shared context each iteration",
+        arrivals=PoissonArrivals(qps=qps),
+        shape=shape if shape is not None else AgentLoopShape(),
+        tenant="agent",
+        t2ft_slo_s=t2ft_slo_s,
+    )
+
+
+def fanout_tree(
+    qps: float = 0.4, t2ft_slo_s: float = 2.0, shape: FanoutTreeShape | None = None
+) -> SessionScenario:
+    """Fan-out trees: N near-simultaneous continuations of one root."""
+    return SessionScenario(
+        name="fanout-trees",
+        description="best-of-N fan-out bursts sharing one root prompt",
+        arrivals=PoissonArrivals(qps=qps),
+        shape=shape if shape is not None else FanoutTreeShape(),
+        tenant="fanout",
+        t2ft_slo_s=t2ft_slo_s,
+    )
+
+
 for _factory in (
     _steady_chat,
     _bursty_chat,
@@ -672,5 +1097,8 @@ for _factory in (
     _multi_tenant_slo,
     _replayed_spike,
     long_context,
+    chat_sessions,
+    agent_loop,
+    fanout_tree,
 ):
     register_scenario(_factory().name, _factory)

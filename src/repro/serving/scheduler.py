@@ -24,7 +24,7 @@ from repro.core.executor import StageWorkload
 from repro.errors import CapacityError, ConfigError, SchedulingError
 from repro.serving.columnar import RequestTable
 from repro.serving.generator import RequestSource
-from repro.serving.paging import EvictionPolicy
+from repro.serving.paging import EvictionPolicy, PrefixIndex
 from repro.serving.policy import AdmissionView, FcfsPolicy, SchedulingPolicy
 from repro.serving.request import Request, RequestState
 
@@ -54,6 +54,12 @@ class ContinuousBatchingScheduler:
             ORCA-style behaviour).
         paging: live KV-paging coordinator; None (default) keeps the
             classic behaviour — arrivals queue when capacity is full.
+        prefix: shared-prefix dedup index; None (default) keeps every
+            request's KV private.  With an index attached, requests that
+            declare :attr:`~repro.serving.request.Request.prefix_blocks`
+            share one pool copy of their common prefix, reserve only
+            their unique remainder against ``capacity_tokens``, and skip
+            the prefill of cached (ready) prefix tokens.
     """
 
     def __init__(
@@ -63,6 +69,7 @@ class ContinuousBatchingScheduler:
         capacity_tokens: int | None = None,
         policy: SchedulingPolicy | None = None,
         paging: "KvPagingCoordinator | None" = None,
+        prefix: PrefixIndex | None = None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError("max_batch must be at least 1")
@@ -73,11 +80,17 @@ class ContinuousBatchingScheduler:
                 raise ConfigError(
                     "the paging manager and the scheduler disagree on KV capacity"
                 )
+        if prefix is not None and capacity_tokens is None:
+            raise ConfigError("prefix dedup needs a finite capacity_tokens")
         self.source = source
         self.max_batch = max_batch
         self.capacity_tokens = capacity_tokens
         self.policy = policy if policy is not None else FcfsPolicy()
         self.paging = paging
+        self.prefix = prefix
+        #: (hit, miss) prefill-token pairs of prefix-carrying admissions
+        #: since the engine last drained them (metrics attribution).
+        self._prefix_admissions: list[tuple[int, int]] = []
         self._stage_preempted: list[int] = []
         self._stage_resumed: list[int] = []
         self.now_s = 0.0
@@ -207,13 +220,35 @@ class ContinuousBatchingScheduler:
             if candidate is None:
                 break
             tokens = candidate.total_seq_len
+            acquisition = None
             needs_preemption = False
             if self.capacity_tokens is not None:
                 if tokens > self.capacity_tokens:
                     raise SchedulingError(
                         "a single request exceeds the KV capacity of the system"
                     )
-                if self._committed_tokens + tokens > self.capacity_tokens:
+                if self.prefix is not None:
+                    # Acquire before the fit check so the candidate's own
+                    # path is pinned: cache relief below can never evict
+                    # the very blocks it is about to hit.
+                    if candidate.prefix_blocks is not None:
+                        acquisition = self.prefix.acquire(
+                            candidate.request_id, candidate.prefix_blocks
+                        )
+                        tokens -= acquisition.shared_tokens
+                    pool = self.prefix.resident_tokens
+                    if self._committed_tokens + pool + tokens > self.capacity_tokens:
+                        self.prefix.evict_cached(
+                            self._committed_tokens + pool + tokens - self.capacity_tokens
+                        )
+                        pool = self.prefix.resident_tokens
+                    if self._committed_tokens + pool + tokens > self.capacity_tokens:
+                        if self.paging is None:
+                            if acquisition is not None:
+                                self.prefix.forget(candidate.request_id)
+                            break  # full: wait for completions to release KV
+                        needs_preemption = True
+                elif self._committed_tokens + tokens > self.capacity_tokens:
                     if self.paging is None:
                         break  # full: wait for completions to release KV
                     needs_preemption = True
@@ -225,8 +260,12 @@ class ContinuousBatchingScheduler:
                 capacity_tokens=self.capacity_tokens,
             )
             if not self.policy.may_admit(view, candidate):
+                if acquisition is not None:
+                    self.prefix.forget(candidate.request_id)
                 break
             if needs_preemption and not self._preempt_for(tokens):
+                if acquisition is not None:
+                    self.prefix.forget(candidate.request_id)
                 break  # nothing (eligible) to evict: queue after all
             if self.waiting:
                 self.waiting.pop(0)
@@ -239,6 +278,18 @@ class ContinuousBatchingScheduler:
                 raise SchedulingError(
                     f"request {candidate.request_id} admitted in state {candidate.state}"
                 )
+            if acquisition is not None:
+                candidate.prefix_shared_tokens = acquisition.shared_tokens
+                hit_eff = 0
+                if candidate.state is RequestState.PREFILLING:
+                    # One token always prefills, so the first output token
+                    # still comes out of the normal prefill machinery.
+                    hit_eff = min(acquisition.hit_tokens, candidate.input_len - 1)
+                candidate.prefix_hit_tokens = hit_eff
+                if hit_eff:
+                    candidate.prefilled_tokens = hit_eff
+                declared = sum(count for _, count in candidate.prefix_blocks)
+                self._prefix_admissions.append((hit_eff, declared - hit_eff))
             self.running.append(candidate)
             self.admitted_log.append(candidate.request_id)
             self.table.add(candidate)
@@ -264,6 +315,10 @@ class ContinuousBatchingScheduler:
         for request in paging.take_ready(self.now_s):
             self.running.append(request)
             self.table.add(request)
+            if self.prefix is not None and request.prefix_shared_tokens:
+                # The landing carried the resume replay (if any): every
+                # pool block on the request's path is computed again.
+                self.prefix.commit(request.request_id)
             self._stage_resumed.append(request.request_id)
             self._steady = False
             self._steady_ctx = None
@@ -274,10 +329,46 @@ class ContinuousBatchingScheduler:
                 break
             if len(self.running) + paging.in_transit_count >= self.max_batch:
                 break
-            if self._committed_tokens + head.total_seq_len > self.capacity_tokens:
+            if not self._parked_head_fits(head):
                 break
-            paging.resume_next(self.now_s)
-            self._committed_tokens += head.total_seq_len
+            if self.prefix is not None and head.prefix_shared_tokens:
+                assert head.prefix_blocks is not None
+                ready_hit, _ = self.prefix.probe_resume(
+                    head.prefix_blocks, head.prefix_shared_tokens
+                )
+                self.prefix.reacquire(
+                    head.request_id, head.prefix_blocks, head.prefix_shared_tokens
+                )
+                # Pool blocks evicted while the request was parked must be
+                # recomputed on the way back in.
+                paging.resume_next(
+                    self.now_s,
+                    replay_prefix_tokens=head.prefix_shared_tokens - ready_hit,
+                )
+            else:
+                paging.resume_next(self.now_s)
+            self._committed_tokens += head.unique_seq_len
+
+    def _parked_head_fits(self, head: Request) -> bool:
+        """Device room for resuming the parked head right now.
+
+        Mirrored exactly by :meth:`steady_run_threshold`'s parked-head
+        check so a steady run is never entered while a resume is due.
+        """
+        assert self.capacity_tokens is not None
+        tokens = head.unique_seq_len
+        if self.prefix is None:
+            return self._committed_tokens + tokens <= self.capacity_tokens
+        missing = 0
+        if head.prefix_shared_tokens:
+            assert head.prefix_blocks is not None
+            _, missing = self.prefix.probe_resume(
+                head.prefix_blocks, head.prefix_shared_tokens
+            )
+        return (
+            self._committed_tokens + self.prefix.resident_tokens + missing + tokens
+            <= self.capacity_tokens
+        )
 
     def _preempt_for(self, needed_tokens: int) -> bool:
         """Evict policy-chosen victims until ``needed_tokens`` fit.
@@ -292,16 +383,21 @@ class ContinuousBatchingScheduler:
             request.request_id
             for request in self.policy.preemption_order(list(self.running), self.now_s)
         ]
-        try:
-            victim_ids = paging.manager.pick_victims(needed_tokens, order=order)
-        except CapacityError:
-            return False
+        if self.prefix is not None:
+            victim_ids = self._pick_prefix_victims(needed_tokens, order)
+            if victim_ids is None:
+                return False
+        else:
+            try:
+                victim_ids = paging.manager.pick_victims(needed_tokens, order=order)
+            except CapacityError:
+                return False
         by_id = {request.request_id: request for request in self.running}
         host_budget = paging.manager.host_capacity_tokens
         if host_budget is not None and paging.manager.policy is EvictionPolicy.MIGRATE:
             # A full host must degrade to queueing, not crash mid-eviction.
             parked = paging.manager.evicted_tokens
-            moving = sum(by_id[request_id].total_seq_len for request_id in victim_ids)
+            moving = sum(by_id[request_id].unique_seq_len for request_id in victim_ids)
             if parked + moving > host_budget:
                 return False
         for request_id in victim_ids:
@@ -309,12 +405,55 @@ class ContinuousBatchingScheduler:
             paging.evict(victim, self.now_s)
             self.running.remove(victim)
             self.table.free(request_id)
-            self._committed_tokens -= victim.total_seq_len
+            self._committed_tokens -= victim.unique_seq_len
+            if self.prefix is not None:
+                # The victim's pool pins drop with it: once the last
+                # running holder of a shared prefix is evicted, the whole
+                # family's blocks go zero-ref and the sweep below may
+                # reclaim them — "evicting a shared prefix preempts the
+                # whole session family".
+                self.prefix.forget(request_id)
             self._stage_preempted.append(request_id)
         if victim_ids:
+            if self.prefix is not None:
+                shortfall = needed_tokens - (
+                    self.capacity_tokens
+                    - self._committed_tokens
+                    - self.prefix.resident_tokens
+                )
+                self.prefix.evict_cached(shortfall)
             self._steady = False
             self._steady_ctx = None
         return True
+
+    def _pick_prefix_victims(self, needed_tokens: int, order: list[int]) -> list[int] | None:
+        """Victim set freeing ``needed_tokens`` with pool tokens counted once.
+
+        Walks the policy's preemption order accumulating each victim's
+        private reservation plus the pool blocks its release would unpin —
+        a block counts only when the *last* simulated holder releases it,
+        so shared prefixes are charged exactly once, to the final family
+        member evicted.  Returns None when even the full order cannot free
+        enough (the candidate then queues, mirroring
+        :meth:`~repro.serving.paging.PagedKvManager.pick_victims`).
+        """
+        assert self.prefix is not None and self.capacity_tokens is not None
+        free = (
+            self.capacity_tokens - self._committed_tokens - self.prefix.resident_tokens
+        )
+        by_id = {request.request_id: request for request in self.running}
+        sim = self.prefix.release_simulator()
+        victims: list[int] = []
+        freed = 0
+        for request_id in order:
+            if free + freed >= needed_tokens:
+                break
+            victim = by_id[request_id]
+            freed += victim.unique_seq_len + sim.release(request_id)
+            victims.append(request_id)
+        if free + freed < needed_tokens:
+            return None
+        return victims
 
     def drain_paging_events(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
         """(preempted, resumed) request ids since the last drain (cleared)."""
@@ -324,6 +463,21 @@ class ContinuousBatchingScheduler:
         self._stage_preempted = []
         self._stage_resumed = []
         return events
+
+    def drain_prefix_admissions(self) -> list[tuple[int, int]]:
+        """(hit, miss) prefill-token pairs of prefix-carrying admissions
+        since the last drain (cleared) — the engine prices the saved
+        prefill from these."""
+        if not self._prefix_admissions:
+            return self._prefix_admissions
+        events = self._prefix_admissions
+        self._prefix_admissions = []
+        return events
+
+    @property
+    def prefix_resident_tokens(self) -> int:
+        """Tokens held by the shared-prefix pool (0 without dedup)."""
+        return self.prefix.resident_tokens if self.prefix is not None else 0
 
     @property
     def next_paging_ready_s(self) -> float:
@@ -381,7 +535,7 @@ class ContinuousBatchingScheduler:
                 if generated >= request.output_len:
                     request.finish(now_s)
                     finished.append(request)
-                    self._committed_tokens -= request.total_seq_len
+                    self._committed_tokens -= request.unique_seq_len
                 else:
                     still_running.append(request)
                 continue
@@ -391,11 +545,19 @@ class ContinuousBatchingScheduler:
                     still_running.append(request)  # waited out this stage's budget
                     continue
                 request.advance_prefill(chunk, now_s)
+                if (
+                    self.prefix is not None
+                    and request.prefix_shared_tokens
+                    and request.state is not RequestState.PREFILLING
+                ):
+                    # Prefill done: the KV for the request's pending pool
+                    # blocks now exists — they become hit-able.
+                    self.prefix.commit(request.request_id)
             else:
                 raise SchedulingError(f"request {request.request_id} in state {request.state}")
             if request.state is RequestState.FINISHED:
                 finished.append(request)
-                self._committed_tokens -= request.total_seq_len
+                self._committed_tokens -= request.unique_seq_len
             else:
                 still_running.append(request)
         self.running = still_running
@@ -403,6 +565,9 @@ class ContinuousBatchingScheduler:
         if finished:
             for request in finished:
                 self.table.free(request.request_id)
+                if self.prefix is not None:
+                    # Unpin; ready blocks stay cached for the next turn.
+                    self.prefix.forget(request.request_id)
             if self.paging is not None:
                 for request in finished:
                     self.paging.on_release(request)
@@ -441,8 +606,7 @@ class ContinuousBatchingScheduler:
         if paging is not None:
             head = paging.peek_parked()
             if head is not None and not batch_full:
-                assert self.capacity_tokens is not None
-                if self._committed_tokens + head.total_seq_len <= self.capacity_tokens:
+                if self._parked_head_fits(head):
                     return None  # a parked victim would resume right now
             threshold = paging.next_ready_s()
         if getattr(self.source, "closed_loop", False):
@@ -493,13 +657,15 @@ class ContinuousBatchingScheduler:
             if generated >= request.output_len:
                 request.finish(final_now_s)
                 finished.append(request)
-                self._committed_tokens -= request.total_seq_len
+                self._committed_tokens -= request.unique_seq_len
             else:
                 still_running.append(request)
         self.running = still_running
         if finished:
             for request in finished:
                 self.table.free(request.request_id)
+                if self.prefix is not None:
+                    self.prefix.forget(request.request_id)
             if self.paging is not None:
                 for request in finished:
                     self.paging.on_release(request)
@@ -517,7 +683,7 @@ class ContinuousBatchingScheduler:
         re-committed at :meth:`~repro.serving.engine.KvPagingCoordinator.resume_next`
         time; a repaired replica must not inherit that phantom commitment.
         """
-        self._committed_tokens -= request.total_seq_len
+        self._committed_tokens -= request.unique_seq_len
 
     def release(self, request: Request) -> None:
         """Remove an in-flight request and free its reserved KV.
@@ -528,7 +694,9 @@ class ContinuousBatchingScheduler:
         """
         self.running.remove(request)
         self.table.free(request.request_id)
-        self._committed_tokens -= request.total_seq_len
+        self._committed_tokens -= request.unique_seq_len
+        if self.prefix is not None:
+            self.prefix.forget(request.request_id)
         if self.paging is not None:
             self.paging.on_release(request)
         self._steady = False

@@ -28,7 +28,7 @@ from repro.serving.engine import (
 )
 from repro.serving.generator import RequestSource, WorkloadSpec, resolve_source
 from repro.serving.metrics import ServingReport
-from repro.serving.paging import PagingConfig
+from repro.serving.paging import PagingConfig, PrefixConfig, PrefixIndex
 from repro.serving.policy import SchedulingPolicy
 from repro.serving.scheduler import ContinuousBatchingScheduler
 
@@ -72,6 +72,12 @@ class ServingSimulator:
             or dropping it for later prefill recomputation) instead of
             queueing arrivals.  None (default) keeps the classic
             capacity-capped behaviour.
+        prefix: shared-prefix KV dedup
+            (:class:`~repro.serving.paging.PrefixConfig`).  Requests that
+            declare :attr:`~repro.serving.request.Request.prefix_blocks`
+            then share one KV copy of their common prefix and skip the
+            prefill of cached prefix tokens.  None (default) keeps every
+            request's KV private — byte-identical to pre-dedup behaviour.
     """
 
     def __init__(
@@ -89,6 +95,7 @@ class ServingSimulator:
         shared_pricing_cache: bool | SharedPricingCache = False,
         worst_case_tokens: int | None = None,
         paging: PagingConfig | None = None,
+        prefix: PrefixConfig | None = None,
         columnar: bool = True,
     ) -> None:
         self.system = system
@@ -116,12 +123,14 @@ class ServingSimulator:
                 )
             capacity_tokens = system.max_resident_kv_tokens(model)
             self.paging = None
+        self.prefix = PrefixIndex(prefix) if prefix is not None else None
         self.scheduler = ContinuousBatchingScheduler(
             self.source,
             self.effective_batch,
             capacity_tokens,
             policy=policy,
             paging=self.paging,
+            prefix=self.prefix,
         )
         pricer = IncrementalStagePricer(self.executor) if incremental_pricing else None
         self.engine = ServingEngine(

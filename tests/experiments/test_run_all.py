@@ -5,17 +5,18 @@ from repro.experiments import run_all
 
 def test_artefact_registry_is_complete():
     names = [name for name, _ in run_all._artefacts()]
-    # Every paper artefact, the four ablations, and the four serving
+    # Every paper artefact, the four ablations, and the five serving
     # sweeps (capacity planning, memory-pressure paging, sharded fleets,
-    # chaos recovery).
-    assert len(names) == 22
-    assert len(set(names)) == 22
+    # chaos recovery, prefix reuse).
+    assert len(names) == 23
+    assert len(set(names)) == 23
     for figure in ("fig08", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"):
         assert any(name.startswith(figure) for name in names)
     assert "capacity_planning" in names
     assert "paging_policies" in names
     assert "sharded_fleet" in names
     assert "chaos_recovery" in names
+    assert "prefix_reuse" in names
 
 
 def test_workers_flag_reaches_the_registry(tmp_path, monkeypatch):
