@@ -60,7 +60,7 @@ SMOKE_AXES: dict[str, tuple] = {
 def _cells(axes: dict[str, tuple]) -> list[dict]:
     names = list(axes)
     return [
-        dict(zip(names, values))
+        dict(zip(names, values, strict=True))
         for values in itertools.product(*(axes[name] for name in names))
     ]
 

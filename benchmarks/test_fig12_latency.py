@@ -19,11 +19,11 @@ def test_fig12_latency(benchmark, save_result):
         by_system.setdefault(entry["system"], []).append(entry)
 
     # Duplex's median TBT beats even 2xGPU (bandwidth-bound decode stages).
-    for duplex, double in zip(by_system["Duplex"], by_system["2xGPU"]):
+    for duplex, double in zip(by_system["Duplex"], by_system["2xGPU"], strict=True):
         assert duplex["tbt_p50"] < double["tbt_p50"]
 
     # Co-processing pulls the tail in vs base Duplex.
-    for pe, base in zip(by_system["Duplex+PE"], by_system["Duplex"]):
+    for pe, base in zip(by_system["Duplex+PE"], by_system["Duplex"], strict=True):
         assert pe["tbt_p99"] <= base["tbt_p99"] * 1.02
 
     # E2E improves substantially over the GPU for the full configuration.

@@ -16,7 +16,7 @@ def test_fig13_qps(benchmark, save_result):
         group.sort(key=lambda r: r.qps)
 
     # Duplex's median TBT beats 2xGPU at every load (paper: "always").
-    for duplex, double in zip(by_system["Duplex"], by_system["2xGPU"]):
+    for duplex, double in zip(by_system["Duplex"], by_system["2xGPU"], strict=True):
         assert duplex.tbt_p50 < double.tbt_p50
 
     # The GPU saturates first: its T2FT blows up at a lower QPS than

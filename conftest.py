@@ -62,6 +62,10 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "prefix: shared-prefix KV dedup tests (radix index properties, affinity routing)",
     )
+    config.addinivalue_line(
+        "markers",
+        "simlint: determinism-linter tests (fixture-driven rules, suppressions, baseline)",
+    )
     try:
         from hypothesis import settings
     except ImportError:  # property tests skip themselves via importorskip

@@ -24,9 +24,8 @@ def normalize(values: Sequence[float], baseline: float | None = None) -> list[fl
 def format_cell(value: object, width: int) -> str:
     if isinstance(value, float):
         text = f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
-    else:
-        text = str(value)
-    return text.rjust(width)
+        return text.rjust(width)
+    return str(value).rjust(width)
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None) -> str:
@@ -47,9 +46,10 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title
     lines = []
     if title:
         lines.append(title)
-    header_line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    header_line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths, strict=True))
     lines.append(header_line)
     lines.append("-" * len(header_line))
     for row in materialised:
-        lines.append("  ".join(format_cell(cell, width) for cell, width in zip(row, widths)))
+        cells = zip(row, widths, strict=True)
+        lines.append("  ".join(format_cell(cell, width) for cell, width in cells))
     return "\n".join(lines)

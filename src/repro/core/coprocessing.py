@@ -281,10 +281,9 @@ def assign_from_times(
     those times for the assignment instead of re-deriving them.  Pass a
     :class:`SpaceGroupPlan` to skip per-call group validation.
     """
-    if isinstance(groups, SpaceGroupPlan):
-        plan = groups
-    else:
-        plan = SpaceGroupPlan(int(counts.size), groups)
+    plan = (
+        groups if isinstance(groups, SpaceGroupPlan) else SpaceGroupPlan(int(counts.size), groups)
+    )
     if counts.size <= _SCALAR_GREEDY_MAX or (
         not plan.singletons and len(plan.units) <= _SCALAR_GREEDY_MAX
     ):

@@ -426,12 +426,13 @@ class StageExecutor:
         )
         self._xpu = self._resolve_xpu()
         self._pim = self._resolve_pim()
-        if model.is_moe and self._placement is not None:
-            self._space_groups = round_robin_space_groups(
+        self._space_groups = (
+            round_robin_space_groups(
                 self._placement.resident_experts_per_device, system.device.num_memory_spaces
             )
-        else:
-            self._space_groups = None
+            if model.is_moe and self._placement is not None
+            else None
+        )
         self._assign_groups = (
             self._space_groups if self._space_groups and len(self._space_groups) > 1 else None
         )
@@ -1067,10 +1068,8 @@ class StageExecutor:
         dense_latency = 0.0
         if dense_layers > 0:
             op = self.math.dense_ffn(local_tokens, self._fc_fraction)
-            if self.system.kind is SystemKind.DUPLEX:
-                dense_unit = self._min_time_unit(op)
-            else:
-                dense_unit = fc_unit
+            is_duplex = self.system.kind is SystemKind.DUPLEX
+            dense_unit = self._min_time_unit(op) if is_duplex else fc_unit
             assert dense_unit is not None
             dense = self._build_charge(dense_unit, op, replicas)
             dense_latency = dense[1] * dense_layers
@@ -1195,24 +1194,17 @@ class StageExecutor:
         cached = self._expert_price_cache.get(tokens)
         if cached is None:
             op = self.math.expert_ffn(0, tokens, self._expert_fraction)
-            xpu, pim = self._xpu, self._pim
-            if xpu is not None:
-                xpu_price = (
-                    xpu.op_time(op.flops, op.bytes_read, op.bytes_written),
-                    xpu.dram_energy(op.bytes_read, op.bytes_written),
-                    xpu.compute_energy(op.flops),
+
+            def unit_price(unit: ProcessingUnit | None) -> tuple[float, float, float]:
+                if unit is None:
+                    return (0.0, 0.0, 0.0)
+                return (
+                    unit.op_time(op.flops, op.bytes_read, op.bytes_written),
+                    unit.dram_energy(op.bytes_read, op.bytes_written),
+                    unit.compute_energy(op.flops),
                 )
-            else:
-                xpu_price = (0.0, 0.0, 0.0)
-            if pim is not None:
-                pim_price = (
-                    pim.op_time(op.flops, op.bytes_read, op.bytes_written),
-                    pim.dram_energy(op.bytes_read, op.bytes_written),
-                    pim.compute_energy(op.flops),
-                )
-            else:
-                pim_price = (0.0, 0.0, 0.0)
-            cached = xpu_price + pim_price
+
+            cached = unit_price(self._xpu) + unit_price(self._pim)
             self._expert_price_cache[tokens] = cached
         return cached
 

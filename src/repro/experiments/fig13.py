@@ -159,12 +159,9 @@ def saturation_qps(rows: list[QpsRow], system: str, blowup_factor: float = 10.0)
 
 
 def format_rows(rows: list[QpsRow], scenario: str | None = None) -> str:
-    if scenario is not None:
-        # A scenario's own length distributions replace the (Lin, Lout)
-        # spec; naming the paper's lengths here would misattribute rows.
-        subtitle = f"scenario '{scenario}'"
-    else:
-        subtitle = "Lin 4096, Lout 512"
+    # A scenario's own length distributions replace the (Lin, Lout)
+    # spec; naming the paper's lengths here would misattribute rows.
+    subtitle = "Lin 4096, Lout 512" if scenario is None else f"scenario '{scenario}'"
     return format_table(
         headers=["system", "QPS", "TBT p50(ms)", "TBT p90(ms)", "TBT p99(ms)",
                  "T2FT p50(s)", "E2E p50(s)", "tokens/s"],

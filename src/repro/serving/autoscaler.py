@@ -160,7 +160,7 @@ class FleetView:
             return None
         met = sum(
             weight
-            for value, weight in zip(self.recent_tbt_s, self.recent_tbt_weights)
+            for value, weight in zip(self.recent_tbt_s, self.recent_tbt_weights, strict=True)
             if value <= slo_s
         )
         return met / total
@@ -751,7 +751,7 @@ class ElasticFleetSimulator(ClusterSimulator):
                 self._tbt_cursors.get(handle.index, 0)
             )
             if values:
-                self._tbt_window.extend(zip(values, weights))
+                self._tbt_window.extend(zip(values, weights, strict=True))
             self._tbt_cursors[handle.index] = cursor
 
     def _fleet_view(self, t: float, utilization: float) -> FleetView:

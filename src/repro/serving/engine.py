@@ -931,11 +931,11 @@ class ServingEngine:
             truncate = n < cap
             components = [
                 (_DRAM_KEYS[category], joules[:n] if truncate else joules)
-                for category, joules in zip(pricing.categories, pricing.dram)
+                for category, joules in zip(pricing.categories, pricing.dram, strict=True)
             ]
             components += [
                 (_COMPUTE_KEYS[category], joules[:n] if truncate else joules)
-                for category, joules in zip(pricing.categories, pricing.compute)
+                for category, joules in zip(pricing.categories, pricing.compute, strict=True)
             ]
             self.metrics.record_decode_run(
                 latencies=pricing.latencies[:n] if truncate else pricing.latencies,
@@ -993,10 +993,7 @@ class ServingEngine:
                 continue
             # Idle (or out of stage budget): jump to the next queued
             # arrival, or to t if the source is quiet until then.
-            if self.budget_spent(limits):
-                target = t
-            else:
-                target = min(t, self._next_event_s())
+            target = t if self.budget_spent(limits) else min(t, self._next_event_s())
             target = max(target, self.now_s)
             gap = target - self.now_s
             if gap > 0:

@@ -24,6 +24,7 @@ count, not stage count, and the report needs their medians.
 
 from __future__ import annotations
 
+import contextlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -477,10 +478,8 @@ class MetricsCollector:
         if tenant is not None:
             samples = self._tenant_t2ft.get(tenant)
             if samples is not None:
-                try:
+                with contextlib.suppress(ValueError):
                     samples.remove(t2ft_s)
-                except ValueError:
-                    pass
             if slo_s is not None and self._tenant_t2ft_slo_total.get(tenant, 0) > 0:
                 self._tenant_t2ft_slo_total[tenant] -= 1
                 if t2ft_s <= slo_s and self._tenant_t2ft_slo_met.get(tenant, 0) > 0:

@@ -103,9 +103,14 @@ class EvictionOutcome:
     recompute_tokens: int = 0
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class PagingStats:
-    """Aggregate paging activity."""
+    """Aggregate paging activity.
+
+    An immutable snapshot: :attr:`PagedKvManager.stats` accumulates in
+    private counters and materializes one of these per read, so a report
+    that captured the stats can never change under its feet (SL005).
+    """
 
     evictions: int = 0
     resumes: int = 0
@@ -143,7 +148,12 @@ class PagedKvManager:
         self.policy = policy
         self.link = link or HostLink()
         self.host_capacity_tokens = host_capacity_tokens
-        self.stats = PagingStats()
+        self._evictions = 0
+        self._resumes = 0
+        self._migrated_out_bytes = 0.0
+        self._migrated_in_bytes = 0.0
+        self._recomputed_tokens = 0
+        self._host_link_time_s = 0.0
         self._resident: dict[int, int] = {}  # request id -> reserved tokens
         self._evicted: dict[int, int] = {}  # request id -> reserved tokens
         # Running totals: admission checks and router load signals read
@@ -162,6 +172,18 @@ class PagedKvManager:
     @property
     def evicted_tokens(self) -> int:
         return self._evicted_total
+
+    @property
+    def stats(self) -> PagingStats:
+        """Immutable snapshot of the paging counters so far."""
+        return PagingStats(
+            evictions=self._evictions,
+            resumes=self._resumes,
+            migrated_out_bytes=self._migrated_out_bytes,
+            migrated_in_bytes=self._migrated_in_bytes,
+            recomputed_tokens=self._recomputed_tokens,
+            host_link_time_s=self._host_link_time_s,
+        )
 
     def can_admit(self, tokens: int) -> bool:
         """Whether ``tokens`` fit right now without eviction."""
@@ -219,13 +241,13 @@ class PagedKvManager:
         self._resident_total -= reservation
         self._evicted[request_id] = reservation
         self._evicted_total += reservation
-        self.stats.evictions += 1
+        self._evictions += 1
         if self.policy is EvictionPolicy.RECOMPUTE:
             return EvictionOutcome(request_id=request_id, tokens=cached_tokens)
         nbytes = cached_tokens * self.kv_bytes_per_token
         time = self.link.transfer_time(nbytes)
-        self.stats.migrated_out_bytes += nbytes
-        self.stats.host_link_time_s += time
+        self._migrated_out_bytes += nbytes
+        self._host_link_time_s += time
         return EvictionOutcome(request_id=request_id, tokens=cached_tokens, transfer_time_s=time)
 
     def resume(self, request_id: int, cached_tokens: int) -> EvictionOutcome:
@@ -244,16 +266,16 @@ class PagedKvManager:
         self._evicted_total -= reservation
         self._resident[request_id] = reservation
         self._resident_total += reservation
-        self.stats.resumes += 1
+        self._resumes += 1
         if self.policy is EvictionPolicy.RECOMPUTE:
-            self.stats.recomputed_tokens += cached_tokens
+            self._recomputed_tokens += cached_tokens
             return EvictionOutcome(
                 request_id=request_id, tokens=cached_tokens, recompute_tokens=cached_tokens
             )
         nbytes = cached_tokens * self.kv_bytes_per_token
         time = self.link.transfer_time(nbytes)
-        self.stats.migrated_in_bytes += nbytes
-        self.stats.host_link_time_s += time
+        self._migrated_in_bytes += nbytes
+        self._host_link_time_s += time
         return EvictionOutcome(request_id=request_id, tokens=cached_tokens, transfer_time_s=time)
 
     def forget(self, request_id: int) -> None:
@@ -379,9 +401,14 @@ class PrefixAcquisition:
     shared_tokens: int
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class PrefixStats:
-    """Aggregate prefix-pool activity."""
+    """Aggregate prefix-pool activity.
+
+    An immutable snapshot: :attr:`PrefixIndex.stats` accumulates in
+    private counters and materializes one of these per read, so a report
+    that captured the stats can never change under its feet (SL005).
+    """
 
     acquisitions: int = 0
     hit_tokens: int = 0
@@ -451,7 +478,11 @@ class PrefixIndex:
 
     def __init__(self, config: PrefixConfig | None = None) -> None:
         self.config = config or PrefixConfig()
-        self.stats = PrefixStats()
+        self._acquisitions = 0
+        self._hit_tokens = 0
+        self._inserted_tokens = 0
+        self._evicted_tokens_total = 0
+        self._dropped_pending_tokens = 0
         self._root = _PrefixNode(key=-1, tokens=0, parent=None)
         self._holders: dict[int, list[_PrefixNode]] = {}
         self._resident_tokens = 0
@@ -464,6 +495,17 @@ class PrefixIndex:
     @property
     def resident_tokens(self) -> int:
         return self._resident_tokens
+
+    @property
+    def stats(self) -> PrefixStats:
+        """Immutable snapshot of the prefix-pool counters so far."""
+        return PrefixStats(
+            acquisitions=self._acquisitions,
+            hit_tokens=self._hit_tokens,
+            inserted_tokens=self._inserted_tokens,
+            evicted_tokens=self._evicted_tokens_total,
+            dropped_pending_tokens=self._dropped_pending_tokens,
+        )
 
     @property
     def peak_resident_tokens(self) -> int:
@@ -501,9 +543,9 @@ class PrefixIndex:
             raise SchedulingError(f"request {request_id} already holds a prefix")
         self._validate_blocks(blocks)
         result = self._acquire(request_id, blocks, enforce_cap=True)
-        self.stats.acquisitions += 1
-        self.stats.hit_tokens += result.hit_tokens
-        self.stats.inserted_tokens += result.inserted_tokens
+        self._acquisitions += 1
+        self._hit_tokens += result.hit_tokens
+        self._inserted_tokens += result.inserted_tokens
         return result
 
     def reacquire(
@@ -585,7 +627,7 @@ class PrefixIndex:
             if node.refcount == 0 and not node.ready and not node.children:
                 self._remove(node)
                 dropped += node.tokens
-        self.stats.dropped_pending_tokens += dropped
+        self._dropped_pending_tokens += dropped
         return dropped
 
     def forget(self, request_id: int) -> int:
@@ -634,15 +676,15 @@ class PrefixIndex:
             stack = list(self._root.children.values())
             while stack:
                 node = stack.pop()
-                if node.refcount == 0 and not node.children:
-                    if victim is None or node.touch < victim.touch:
-                        victim = node
+                evictable = node.refcount == 0 and not node.children
+                if evictable and (victim is None or node.touch < victim.touch):
+                    victim = node
                 stack.extend(node.children.values())
             if victim is None:
                 break
             self._remove(victim)
             freed += victim.tokens
-            self.stats.evicted_tokens += victim.tokens
+            self._evicted_tokens_total += victim.tokens
         return freed
 
     def release_simulator(self) -> _PrefixReleaseSim:
@@ -656,7 +698,7 @@ class PrefixIndex:
     def _validate_blocks(blocks: PrefixBlocks) -> None:
         if not blocks:
             raise ConfigError("prefix blocks must be non-empty")
-        for key, tokens in blocks:
+        for _key, tokens in blocks:
             if tokens < 1:
                 raise ConfigError("every prefix block holds at least one token")
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from abc import ABC
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.errors import ConfigError
 from repro.serving.request import Request
@@ -59,7 +60,7 @@ class SchedulingPolicy(ABC):
     rotation counter), so schedulers must not share one instance.
     """
 
-    name = "policy"
+    name: ClassVar[str] = "policy"
 
     def order_waiting(self, waiting: list[Request], now_s: float) -> None:
         """Reorder the arrived-but-not-admitted queue in place."""
@@ -99,7 +100,7 @@ class SchedulingPolicy(ABC):
 class FcfsPolicy(SchedulingPolicy):
     """First-come-first-served admission — the seed scheduler's behaviour."""
 
-    name = "fcfs"
+    name: ClassVar[str] = "fcfs"
 
 
 class ChunkedPrefillPolicy(SchedulingPolicy):
@@ -113,7 +114,7 @@ class ChunkedPrefillPolicy(SchedulingPolicy):
             without risking livelock.
     """
 
-    name = "chunked-prefill"
+    name: ClassVar[str] = "chunked-prefill"
 
     def __init__(self, max_prefill_tokens: int = 512) -> None:
         if max_prefill_tokens < 1:
@@ -154,7 +155,7 @@ class SloAwarePolicy(SchedulingPolicy):
             the request's SLO).
     """
 
-    name = "slo-aware"
+    name: ClassVar[str] = "slo-aware"
 
     def __init__(
         self,

@@ -201,7 +201,7 @@ class ReplayedArrivals:
     def __post_init__(self) -> None:
         if not self.times_s:
             raise ConfigError("a replayed arrival pattern needs at least one timestamp")
-        if any(b < a for a, b in zip(self.times_s, self.times_s[1:])):
+        if any(b < a for a, b in zip(self.times_s, self.times_s[1:], strict=False)):
             raise ConfigError("replayed arrival times must be non-decreasing")
         if self.times_s[0] < 0:
             raise ConfigError("replayed arrival times must be non-negative")
@@ -697,10 +697,7 @@ def _sample_tokens(rng: np.random.Generator, mean: float, cv: float, min_len: in
     The hard 2x clip keeps every session shape's ``worst_case_tokens``
     a deterministic bound (like ``LognormalLengths.max_factor``).
     """
-    if cv == 0.0:
-        sampled = mean
-    else:
-        sampled = float(rng.normal(mean, cv * mean))
+    sampled = mean if cv == 0.0 else float(rng.normal(mean, cv * mean))
     return int(min(max(min_len, round(sampled)), round(2 * mean)))
 
 

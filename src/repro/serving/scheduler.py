@@ -605,9 +605,8 @@ class ContinuousBatchingScheduler:
         )
         if paging is not None:
             head = paging.peek_parked()
-            if head is not None and not batch_full:
-                if self._parked_head_fits(head):
-                    return None  # a parked victim would resume right now
+            if head is not None and not batch_full and self._parked_head_fits(head):
+                return None  # a parked victim would resume right now
             threshold = paging.next_ready_s()
         if getattr(self.source, "closed_loop", False):
             # Closed-loop sources always have a request ready (peek_arrival

@@ -81,7 +81,7 @@ def load_trace(path: str | Path) -> list[TraceRecord]:
                     f"{path}:{line_number}: malformed trace record: {error}"
                 ) from error
             records.append(record)
-    for earlier, later in zip(records, records[1:]):
+    for earlier, later in zip(records, records[1:], strict=False):
         if later.arrival_s < earlier.arrival_s:
             raise ConfigError(f"{path}: trace arrivals must be non-decreasing")
     return records
@@ -108,7 +108,7 @@ class TraceReplayGenerator:
         if time_scale <= 0:
             raise ConfigError("time_scale must be positive")
         self._records = list(records)
-        for earlier, later in zip(self._records, self._records[1:]):
+        for earlier, later in zip(self._records, self._records[1:], strict=False):
             if later.arrival_s < earlier.arrival_s:
                 raise ConfigError("trace arrivals must be non-decreasing")
         self._time_scale = time_scale

@@ -12,43 +12,45 @@ how DRAM is sold, so :data:`GiB` is the right constant for them.
 
 from __future__ import annotations
 
+from typing import Final
+
 # --- time ---------------------------------------------------------------
-S = 1.0
-MS = 1e-3
-US = 1e-6
-NS = 1e-9
+S: Final = 1.0
+MS: Final = 1e-3
+US: Final = 1e-6
+NS: Final = 1e-9
 
 # --- capacity (binary, for DRAM/SRAM sizes) ------------------------------
-KiB = 2**10
-MiB = 2**20
-GiB = 2**30
+KiB: Final = 2**10
+MiB: Final = 2**20
+GiB: Final = 2**30
 
 # --- capacity (decimal, for link payloads) -------------------------------
-KB = 1e3
-MB = 1e6
-GB = 1e9
+KB: Final = 1e3
+MB: Final = 1e6
+GB: Final = 1e9
 
 # --- bandwidth (decimal) --------------------------------------------------
-GB_PER_S = 1e9
-TB_PER_S = 1e12
+GB_PER_S: Final = 1e9
+TB_PER_S: Final = 1e12
 
 # --- compute ---------------------------------------------------------------
-GFLOPS = 1e9
-TFLOPS = 1e12
+GFLOPS: Final = 1e9
+TFLOPS: Final = 1e12
 
 # --- energy ----------------------------------------------------------------
-PJ = 1e-12
-NJ = 1e-9
-UJ = 1e-6
-MJ = 1e-3
+PJ: Final = 1e-12
+NJ: Final = 1e-9
+UJ: Final = 1e-6
+MJ: Final = 1e-3
 
 # --- frequency --------------------------------------------------------------
-MHZ = 1e6
-GHZ = 1e9
+MHZ: Final = 1e6
+GHZ: Final = 1e9
 
 # --- data types --------------------------------------------------------------
-FP16_BYTES = 2
-FP32_BYTES = 4
+FP16_BYTES: Final = 2
+FP32_BYTES: Final = 4
 
 
 def bits(byte_count: float) -> float:

@@ -39,7 +39,8 @@ class TestFactories:
 
 class TestAccessors:
     def test_require_xpu_on_gpu(self):
-        assert gpu_device().require_xpu() is gpu_device().xpu or True  # does not raise
+        device = gpu_device()
+        assert device.require_xpu() is device.xpu
 
     def test_require_pim_on_gpu_raises(self):
         with pytest.raises(ConfigError):

@@ -235,7 +235,7 @@ class TestWindowSchedules:
             assert end == pytest.approx(start + 5.0)
             assert factor == 2.0
         # Sorted and non-overlapping.
-        for (_, prev_end, _), (start, _, _) in zip(first, first[1:]):
+        for (_, prev_end, _), (start, _, _) in zip(first, first[1:], strict=False):
             assert start >= prev_end
 
     def test_link_windows_shared_with_per_replica_cursors(self):

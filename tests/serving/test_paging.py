@@ -252,3 +252,45 @@ class TestInvariants:
         manager.resume(0, cached_tokens=reservations[0])
         assert manager.resident_tokens == total
         assert manager.evicted_tokens == 0
+
+
+class TestStatsSnapshot:
+    """SL005 regression: ``manager.stats`` is an immutable snapshot.
+
+    The pre-simlint ``PagingStats`` was a mutable dataclass the manager
+    updated in place — any report or test that captured ``.stats`` held
+    an alias that kept changing as the run went on.  These tests pin the
+    frozen-snapshot contract that replaced it.
+    """
+
+    def test_snapshot_does_not_change_retroactively(self):
+        manager = make_manager(capacity=500)
+        manager.admit(1, 400)
+        manager.evict(1, cached_tokens=300)
+        before = manager.stats
+        assert before.evictions == 1
+        manager.resume(1, cached_tokens=300)
+        manager.evict(1, cached_tokens=300)
+        assert before.evictions == 1, "captured snapshot must not change under its feet"
+        assert manager.stats.evictions == 2
+        assert manager.stats.resumes == 1
+
+    def test_snapshot_is_frozen(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            make_manager().stats.evictions = 7
+
+    def test_seeded_runs_accumulate_identically(self):
+        """Same operation sequence -> equal snapshots, field for field."""
+
+        def run():
+            manager = make_manager(capacity=500, policy=EvictionPolicy.RECOMPUTE)
+            manager.admit(1, 300)
+            manager.admit(2, 200)
+            manager.evict(1, cached_tokens=250)
+            manager.resume(1, cached_tokens=250)
+            manager.evict(2, cached_tokens=100)
+            return manager.stats
+
+        assert run() == run()

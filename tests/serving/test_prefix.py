@@ -556,3 +556,41 @@ def test_fleet_report_pools_prefix_counters():
         assert fleet.prefix.get(key, 0.0) == pytest.approx(
             sum(replica.prefix.get(key, 0.0) for replica in measured)
         )
+
+
+# ----------------------------------------------------------------------
+# SL005 regression: ``index.stats`` is an immutable snapshot
+# ----------------------------------------------------------------------
+def test_stats_snapshot_does_not_change_retroactively():
+    """The pre-simlint PrefixStats was mutated in place; a captured
+    ``.stats`` alias kept changing as the pool worked.  Pin the frozen
+    snapshot contract that replaced it."""
+    index = PrefixIndex()
+    index.acquire(0, ((1, 16),))
+    before = index.stats
+    assert before.acquisitions == 1 and before.inserted_tokens == 16
+    index.commit(0)
+    index.acquire(1, ((1, 16),))
+    assert before.acquisitions == 1, "captured snapshot must not change under its feet"
+    assert index.stats.acquisitions == 2
+    assert index.stats.hit_tokens == 16
+
+
+def test_stats_snapshot_is_frozen():
+    import dataclasses
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        PrefixIndex().stats.acquisitions = 3
+
+
+def test_stats_snapshots_equal_across_identical_runs():
+    def run():
+        index = PrefixIndex(PrefixConfig(capacity_tokens=64))
+        index.acquire(0, ((1, 16), (2, 8)))
+        index.commit(0)
+        index.acquire(1, ((1, 16), (2, 8)))
+        index.release(0)
+        index.release(1)
+        return index.stats
+
+    assert run() == run()

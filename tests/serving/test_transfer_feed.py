@@ -109,7 +109,7 @@ class TestSerialLinkCursors:
             landings.append(coord.resume_feed.peek_arrival())
             coord.resume_feed.take(float("inf"))
         assert landings == pytest.approx([2.0, 3.0, 4.0])
-        for earlier, later in zip(landings, landings[1:]):
+        for earlier, later in zip(landings, landings[1:], strict=False):
             assert later - earlier >= 1.0  # >= one full transfer apart
 
     def test_idle_link_does_not_backdate(self):

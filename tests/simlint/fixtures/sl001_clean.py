@@ -1,0 +1,25 @@
+"""SL001 fixture: the sanctioned seed-plumbing shapes."""
+
+import numpy as np
+
+
+class SeededComponent:
+    def __init__(self, n: int, seed: int | None = None) -> None:
+        # constructing from a seed parameter is the sanctioned idiom.
+        self._rng = np.random.default_rng(seed)
+        self.n = n
+
+    def draw(self) -> int:
+        return int(self._rng.integers(self.n))
+
+
+def child_stream(seed: int, name_seed: int) -> np.random.Generator:
+    # named child streams derive from the parent seed parameter.
+    sequence = np.random.SeedSequence(seed, spawn_key=(name_seed,))
+    return np.random.default_rng(sequence)
+
+
+def consumes_rng(rng: np.random.Generator) -> float:
+    # receiving a Generator as a parameter is the other sanctioned shape
+    # (the annotation alone must not fire).
+    return float(rng.random())

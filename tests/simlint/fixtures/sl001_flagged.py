@@ -1,0 +1,24 @@
+"""SL001 fixture: every form of undisciplined RNG construction/use."""
+
+import random
+
+import numpy as np
+
+
+def midstream_stream():
+    # default_rng with no seed parameter in scope: a hidden stream.
+    rng = np.random.default_rng(1234)
+    return rng.integers(10)
+
+
+def stdlib_random():
+    return random.choice([1, 2, 3])
+
+
+def legacy_global_sampler(seed):
+    # even with a seed param, the legacy global samplers stay banned.
+    np.random.seed(seed)
+    return np.random.rand(3)
+
+
+MODULE_LEVEL = np.random.default_rng(0)

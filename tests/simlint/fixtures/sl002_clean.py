@@ -1,0 +1,14 @@
+"""SL002 fixture: virtual-clock discipline (and non-clock time uses)."""
+
+import time
+
+
+def advance(now_s: float, stage_time_s: float) -> float:
+    # simulation time comes in as data and goes out as data.
+    return now_s + stage_time_s
+
+
+def format_duration(seconds: float) -> str:
+    # strftime on a *given* value reads no clock.
+    epoch = time.struct_time((1970, 1, 1, 0, 0, 0, 3, 1, 0))
+    return time.strftime("%H:%M:%S", epoch) if seconds == 0 else f"{seconds:.3f}s"

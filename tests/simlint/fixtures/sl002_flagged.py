@@ -1,0 +1,19 @@
+"""SL002 fixture: wall-clock reads in simulation code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_report(report):
+    return (report, time.time())
+
+
+def measure(fn):
+    start = perf_counter()
+    fn()
+    return perf_counter() - start
+
+
+def label_run():
+    return datetime.now().isoformat()

@@ -1,0 +1,30 @@
+"""SL003 fixture: sets used safely (membership, sorted, order-free folds)."""
+
+
+class ReplicaBook:
+    def __init__(self) -> None:
+        self.active_ids: set[int] = set()
+
+    def drain_order(self) -> list[int]:
+        # sorted() makes the order part of the contract.
+        return sorted(self.active_ids)
+
+    def is_active(self, request_id: int) -> bool:
+        # membership tests never observe iteration order.
+        return request_id in self.active_ids
+
+    def any_overdue(self, deadlines: dict[int, float], now_s: float) -> bool:
+        # any() is order-insensitive.
+        return any(deadlines[i] < now_s for i in self.active_ids)
+
+    def count(self) -> int:
+        return len(self.active_ids)
+
+
+def tenants_of(requests) -> tuple[str, ...]:
+    return tuple(sorted({r.tenant for r in requests}))
+
+
+def ordered_dict_walk(table: dict[int, float]) -> list[float]:
+    # dicts iterate in insertion order — deterministic, not flagged.
+    return [table[key] for key in table]

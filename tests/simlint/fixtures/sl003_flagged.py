@@ -1,0 +1,28 @@
+"""SL003 fixture: hash-ordered set iteration in a pricing path."""
+
+
+class ReplicaBook:
+    def __init__(self) -> None:
+        self.active_ids: set[int] = set()
+
+    def drain_order(self) -> list[int]:
+        # materializing a set in hash order
+        return list(self.active_ids)
+
+    def total_cost(self, costs: dict[int, float]) -> float:
+        # float accumulation over a set: order-sensitive
+        return sum(costs[i] for i in self.active_ids)
+
+
+def tenants_of(requests) -> tuple[str, ...]:
+    names = {r.tenant for r in requests}
+    return tuple(names)
+
+
+def walk(pending: frozenset) -> None:
+    for item in pending:
+        print(item)
+
+
+def union_walk(a: set[int], b: set[int]) -> list[int]:
+    return [x for x in a | b]

@@ -1,0 +1,24 @@
+"""SL004 fixture: the (time, seq, payload) shape and friends."""
+
+import heapq
+
+
+class Feed:
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+
+    def push(self, when_s: float, request) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when_s, self._seq, request))
+
+    def push_ticket(self, when_s: float) -> None:
+        # a bare (time, seq) ordering ticket carries its own tiebreaker.
+        self._seq += 1
+        heapq.heappush(self._heap, (when_s, self._seq))
+
+
+def push_opaque(heap, entry) -> None:
+    # opaque values are not judged lexically (the call sites that build
+    # them are).
+    heapq.heappush(heap, entry)

@@ -1,0 +1,12 @@
+"""SL004 fixture: heap entries that break ties on payload contents."""
+
+import heapq
+
+
+def push_due(heap, when_s: float, request) -> None:
+    # two requests due at the same instant compare on `request`.
+    heapq.heappush(heap, (when_s, request))
+
+
+def push_bare(heap, when_s: float) -> None:
+    heapq.heappush(heap, (when_s,))

@@ -1,0 +1,43 @@
+"""SL005 fixture: immutable observation surfaces, private accumulators."""
+
+import enum
+from dataclasses import dataclass
+from typing import NamedTuple
+
+
+@dataclass(frozen=True)
+class DripStats:
+    drips: int = 0
+    volume: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class LeakEvent:
+    at_s: float = 0.0
+
+
+class TupleReport(NamedTuple):
+    total: float
+
+
+class KindOfEvent(enum.Enum):
+    START = "start"
+    END = "end"
+
+
+class Accumulator:
+    """Not suffix-named, free to be mutable."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+
+
+class QuietReport:
+    """Suffix-named but all state private, snapshot out."""
+
+    def __init__(self) -> None:
+        self._total = 0.0
+
+    @property
+    def total(self) -> float:
+        return self._total

@@ -1,0 +1,22 @@
+"""SL005 fixture: mutable observation-surface classes."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DripStats:
+    drips: int = 0
+    volume: float = 0.0
+
+
+@dataclass(frozen=False)
+class LeakEvent:
+    at_s: float = 0.0
+
+
+class PlainReport:
+    def __init__(self) -> None:
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        self.total += x

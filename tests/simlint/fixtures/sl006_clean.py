@@ -1,0 +1,16 @@
+"""SL006 fixture: None-then-materialize and immutable defaults."""
+
+
+def track(request, seen: list | None = None) -> list:
+    if seen is None:
+        seen = []
+    seen.append(request)
+    return seen
+
+
+def config(overrides: dict | None = None) -> dict:
+    return dict(overrides or {})
+
+
+def route(targets: tuple = (), weight: float = 1.0):
+    return targets, weight

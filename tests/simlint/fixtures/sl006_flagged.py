@@ -1,0 +1,18 @@
+"""SL006 fixture: mutable defaults shared across calls."""
+
+
+def track(request, seen=[]):
+    seen.append(request)
+    return seen
+
+
+def config(overrides={}):
+    return overrides
+
+
+def route(targets=set(), weights=list()):
+    return targets, weights
+
+
+def keyed(by=None, cache: dict | None = None, *, bins=dict()):
+    return by, cache, bins

@@ -1,0 +1,12 @@
+"""SL007 fixture: configuration arrives as explicit arguments."""
+
+import os.path
+
+
+def pick_workers(workers: int = 4) -> int:
+    return workers
+
+
+def artefact_path(output_dir: str, name: str) -> str:
+    # os APIs that do not read the environment stay available.
+    return os.path.join(output_dir, name)

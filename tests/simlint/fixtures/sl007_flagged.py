@@ -1,0 +1,11 @@
+"""SL007 fixture: environment reads inside simulation code."""
+
+import os
+
+
+def pick_workers() -> int:
+    return int(os.environ.get("WORKERS", "4"))
+
+
+def debug_enabled() -> bool:
+    return os.getenv("DEBUG") is not None

@@ -1,0 +1,141 @@
+"""Baseline mechanics: grandfathering works, and the file can only shrink."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tools.simlint import baseline as baseline_mod
+from tools.simlint.core import lint_paths
+
+pytestmark = pytest.mark.simlint
+
+VIOLATION = "import time\n\n\ndef f():\n    return time.perf_counter()\n"
+CLEAN = "def f(now_s: float) -> float:\n    return now_s\n"
+
+
+def write_module(tmp_path: Path, source: str) -> Path:
+    # the repro/serving path shape engages SL002's scope
+    mod_dir = tmp_path / "src" / "repro" / "serving"
+    mod_dir.mkdir(parents=True, exist_ok=True)
+    mod = mod_dir / "mod.py"
+    mod.write_text(source, encoding="utf-8")
+    return mod
+
+
+def lint(tmp_path: Path):
+    return lint_paths([tmp_path / "src"]).findings
+
+
+def test_baseline_grandfathers_known_finding(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write_module(tmp_path, VIOLATION)
+    findings = lint(tmp_path)
+    assert [f.code for f in findings] == ["SL002"]
+
+    entries = baseline_mod.build(findings)
+    assert len(entries) == 1 and entries[0].rule == "SL002"
+
+    outcome = baseline_mod.apply(findings, entries)
+    assert outcome.clean
+    assert outcome.grandfathered == 1
+    assert outcome.new_findings == ()
+
+
+def test_new_finding_not_in_baseline_fails(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write_module(tmp_path, VIOLATION)
+    entries = baseline_mod.build(lint(tmp_path))
+
+    # a second, different violation appears
+    write_module(tmp_path, VIOLATION + "\n\ndef g():\n    return time.time()\n")
+    outcome = baseline_mod.apply(lint(tmp_path), entries)
+    assert not outcome.clean
+    assert len(outcome.new_findings) == 1
+    assert "time.time" in outcome.new_findings[0].message
+
+
+def test_fixed_violation_makes_entry_stale(tmp_path, monkeypatch):
+    """The shrink guarantee: fixing the code *fails* the run until the
+    baseline entry is deleted, so the file can never quietly stay fat."""
+    monkeypatch.chdir(tmp_path)
+    write_module(tmp_path, VIOLATION)
+    entries = baseline_mod.build(lint(tmp_path))
+
+    write_module(tmp_path, CLEAN)
+    outcome = baseline_mod.apply(lint(tmp_path), entries)
+    assert outcome.new_findings == ()
+    assert len(outcome.stale_entries) == 1
+    assert not outcome.clean, "a stale entry must fail the run"
+
+    # deleting the stale entry restores a clean run
+    outcome = baseline_mod.apply(lint(tmp_path), [])
+    assert outcome.clean
+
+
+def test_fingerprint_survives_line_moves(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write_module(tmp_path, VIOLATION)
+    entries = baseline_mod.build(lint(tmp_path))
+
+    # prepend code: the finding moves lines but its content is unchanged
+    write_module(tmp_path, "X = 1\nY = 2\n" + VIOLATION)
+    outcome = baseline_mod.apply(lint(tmp_path), entries)
+    assert outcome.clean, "line churn must not invalidate the baseline"
+
+
+def test_fingerprint_dies_when_line_changes(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write_module(tmp_path, VIOLATION)
+    entries = baseline_mod.build(lint(tmp_path))
+
+    changed = VIOLATION.replace("return time.perf_counter()", "return 1.0 * time.perf_counter()")
+    write_module(tmp_path, changed)
+    outcome = baseline_mod.apply(lint(tmp_path), entries)
+    assert len(outcome.new_findings) == 1, "edited line is a new finding"
+    assert len(outcome.stale_entries) == 1, "and the old entry is stale"
+
+
+def test_meta_findings_cannot_be_grandfathered(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write_module(tmp_path, "def f(:\n")
+    findings = lint(tmp_path)
+    assert [f.code for f in findings] == ["SL000"]
+    assert baseline_mod.build(findings) == [], "SL000 never enters a baseline"
+    outcome = baseline_mod.apply(findings, [])
+    assert not outcome.clean
+
+
+def test_save_and_load_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write_module(tmp_path, VIOLATION)
+    entries = baseline_mod.build(lint(tmp_path))
+    path = tmp_path / "baseline.json"
+    baseline_mod.save(path, entries)
+
+    loaded = baseline_mod.load(path)
+    assert loaded == entries
+    payload = json.loads(path.read_text())
+    assert payload["version"] == baseline_mod.VERSION
+
+
+def test_build_preserves_reasons(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write_module(tmp_path, VIOLATION)
+    findings = lint(tmp_path)
+    first = baseline_mod.build(findings)
+    justified = [baseline_mod.BaselineEntry(
+        rule=e.rule, path=e.path, fingerprint=e.fingerprint, count=e.count,
+        reason="progress meter, priced outside the run",
+    ) for e in first]
+    rebuilt = baseline_mod.build(findings, justified)
+    assert rebuilt[0].reason == "progress meter, priced outside the run"
+
+
+def test_unsupported_version_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError):
+        baseline_mod.load(path)

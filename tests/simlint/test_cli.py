@@ -1,0 +1,120 @@
+"""End-to-end CLI tests: exit codes, formats, baseline flags.
+
+``test_cli_fails_on_seeded_synthetic_violation`` is the acceptance
+canary for the CI job: a planted violation must fail the exact command
+CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.simlint.cli import main
+
+pytestmark = pytest.mark.simlint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+VIOLATION = "import time\n\n\ndef f():\n    return time.perf_counter()\n"
+
+
+def seed_violation(tmp_path: Path) -> Path:
+    target = tmp_path / "src" / "repro" / "serving"
+    target.mkdir(parents=True)
+    mod = target / "planted.py"
+    mod.write_text(VIOLATION, encoding="utf-8")
+    return mod
+
+
+def run_cli(args: list[str], cwd: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "tools.simlint", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT)},
+    )
+
+
+def test_cli_fails_on_seeded_synthetic_violation(tmp_path):
+    seed_violation(tmp_path)
+    proc = run_cli([str(tmp_path / "src"), "--baseline", "none"], cwd=REPO_ROOT)
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "SL002" in proc.stdout
+
+
+def test_cli_clean_run_exits_zero(tmp_path):
+    target = tmp_path / "src" / "repro" / "serving"
+    target.mkdir(parents=True)
+    (target / "clean.py").write_text("def f(now_s):\n    return now_s\n", encoding="utf-8")
+    proc = run_cli([str(tmp_path / "src"), "--baseline", "none"], cwd=REPO_ROOT)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_github_format_annotations(tmp_path):
+    mod = seed_violation(tmp_path)
+    proc = run_cli(
+        [str(tmp_path / "src"), "--baseline", "none", "--format", "github"], cwd=REPO_ROOT
+    )
+    assert proc.returncode == 1
+    line = proc.stdout.strip().splitlines()[0]
+    assert line.startswith("::error file=")
+    assert mod.as_posix() in line and "title=simlint SL002" in line
+
+
+def test_cli_json_format(tmp_path):
+    seed_violation(tmp_path)
+    proc = run_cli([str(tmp_path / "src"), "--baseline", "none", "--format", "json"], cwd=REPO_ROOT)
+    findings = json.loads(proc.stdout)
+    assert [f["code"] for f in findings] == ["SL002"]
+
+
+def test_cli_update_then_enforce_baseline(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    seed_violation(tmp_path)
+    baseline = tmp_path / "baseline.json"
+
+    assert main(["src", "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert main(["src", "--baseline", str(baseline)]) == 0, "grandfathered"
+
+    # the planted violation gets fixed -> entry is stale -> must shrink
+    mod = tmp_path / "src" / "repro" / "serving" / "planted.py"
+    mod.write_text("def f(now_s):\n    return now_s\n", encoding="utf-8")
+    assert main(["src", "--baseline", str(baseline)]) == 1, "stale baseline entry must fail"
+
+    assert main(["src", "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert json.loads(baseline.read_text())["entries"] == []
+    assert main(["src", "--baseline", str(baseline)]) == 0
+
+
+def test_cli_select_restricts_rules(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    seed_violation(tmp_path)
+    assert main(["src", "--baseline", "none", "--select", "SL001"]) == 0
+    assert main(["src", "--baseline", "none", "--select", "SL002"]) == 1
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007"):
+        assert code in out
+
+
+def test_cli_fixture_dirs_excluded_by_default(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    bad_dir = tmp_path / "src" / "repro" / "serving" / "fixtures"
+    bad_dir.mkdir(parents=True)
+    (bad_dir / "bad.py").write_text(VIOLATION, encoding="utf-8")
+    assert main(["src", "--baseline", "none"]) == 0
+    assert main(["src", "--baseline", "none", "--include-fixtures"]) == 1
+
+
+def test_repo_tree_is_clean():
+    """The shipping invocation: the whole tree lints clean right now."""
+    assert main([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests"), "--baseline", "none"]) == 0

@@ -1,0 +1,139 @@
+"""Fixture-driven rule tests: one flagged and one clean fixture per rule.
+
+Each fixture under ``fixtures/`` is real Python source that either
+violates exactly one rule (``*_flagged``) or exercises the rule's
+sanctioned idioms (``*_clean``).  Fixtures are linted under a synthetic
+``src/repro/...`` path so the rules' path scopes engage; the scope
+exemptions themselves are pinned separately below.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tools.simlint.core import lint_source
+from tools.simlint.registry import RULES, all_rules
+
+pytestmark = pytest.mark.simlint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule -> (synthetic lint path, minimum flagged findings)
+CASES = {
+    "SL001": ("src/repro/serving/fixture_mod.py", 4),
+    "SL002": ("src/repro/serving/fixture_mod.py", 4),
+    "SL003": ("src/repro/serving/fixture_mod.py", 5),
+    "SL004": ("src/repro/serving/fixture_mod.py", 2),
+    "SL005": ("src/repro/serving/fixture_mod.py", 3),
+    "SL006": ("src/repro/serving/fixture_mod.py", 5),
+    "SL007": ("src/repro/serving/fixture_mod.py", 2),
+}
+
+
+def lint_fixture(name: str, path: str) -> list:
+    source = (FIXTURES / f"{name}.py").read_text(encoding="utf-8")
+    return lint_source(path, source)
+
+
+@pytest.mark.parametrize("code", sorted(CASES))
+def test_flagged_fixture_fires(code: str):
+    path, expected = CASES[code]
+    findings = lint_fixture(f"{code.lower()}_flagged", path)
+    fired = [f for f in findings if f.code == code]
+    assert len(fired) >= expected, [f.as_text() for f in findings]
+    assert all(f.code == code for f in findings), (
+        "flagged fixtures must violate exactly one rule: " + str([f.as_text() for f in findings])
+    )
+
+
+@pytest.mark.parametrize("code", sorted(CASES))
+def test_clean_fixture_is_silent(code: str):
+    path, _ = CASES[code]
+    findings = lint_fixture(f"{code.lower()}_clean", path)
+    assert findings == [], [f.as_text() for f in findings]
+
+
+def test_every_registered_rule_has_fixture_pair():
+    """Adding SL008 without fixtures must fail loudly."""
+    all_rules()  # force registration
+    for code in RULES:
+        assert code in CASES, f"no fixture case registered for {code}"
+        assert (FIXTURES / f"{code.lower()}_flagged.py").exists()
+        assert (FIXTURES / f"{code.lower()}_clean.py").exists()
+
+
+def test_rule_catalog_metadata():
+    for code, cls in RULES.items():
+        rule = cls()
+        assert rule.code == code
+        assert rule.name and rule.name != "unnamed"
+        assert rule.rationale
+
+
+# ----------------------------------------------------------------------
+# path-scope exemptions
+# ----------------------------------------------------------------------
+def test_sl002_exempts_run_all_and_nonrepro():
+    source = (FIXTURES / "sl002_flagged.py").read_text(encoding="utf-8")
+    assert lint_source("src/repro/experiments/run_all.py", source) == []
+    assert lint_source("benchmarks/perf/perf_suite.py", source) == []
+
+
+def test_sl003_scoped_to_serving_and_models():
+    source = (FIXTURES / "sl003_flagged.py").read_text(encoding="utf-8")
+    assert lint_source("src/repro/core/fixture_mod.py", source) == []
+    assert [f.code for f in lint_source("src/repro/models/fixture_mod.py", source)] != []
+
+
+def test_sl007_exempts_experiment_drivers():
+    source = (FIXTURES / "sl007_flagged.py").read_text(encoding="utf-8")
+    assert lint_source("src/repro/experiments/capacity.py", source) == []
+
+
+def test_sl001_scoped_to_repro():
+    """Tests construct seeded rngs freely; the rule watches the package."""
+    source = "import numpy as np\nRNG = np.random.default_rng(0)\n"
+    assert lint_source("tests/serving/test_something.py", source) == []
+    assert [f.code for f in lint_source("src/repro/serving/mod.py", source)] == ["SL001"]
+
+
+def test_sl006_applies_everywhere():
+    source = "def f(x=[]):\n    return x\n"
+    assert [f.code for f in lint_source("tests/helpers.py", source)] == ["SL006"]
+
+
+# ----------------------------------------------------------------------
+# targeted behaviors the repo relies on
+# ----------------------------------------------------------------------
+def test_sl004_eventclock_shapes_pass():
+    """The engine's real push shapes must stay clean."""
+    source = (
+        "import heapq\n"
+        "class Clock:\n"
+        "    def __init__(self):\n"
+        "        self._heap = []\n"
+        "        self._pushed = 0\n"
+        "    def push(self, ready_s, request):\n"
+        "        self._pushed += 1\n"
+        "        heapq.heappush(self._heap, (ready_s, self._pushed, request))\n"
+    )
+    assert lint_source("src/repro/serving/engine_like.py", source) == []
+
+
+def test_sl005_catches_plain_class_with_public_mutation():
+    source = (
+        "class RunStats:\n"
+        "    def __init__(self):\n"
+        "        self.count = 0\n"
+        "    def bump(self):\n"
+        "        self.count += 1\n"
+    )
+    assert [f.code for f in lint_source("src/repro/serving/mod.py", source)] == ["SL005"]
+
+
+def test_syntax_error_becomes_meta_finding():
+    findings = lint_source("src/repro/serving/broken.py", "def f(:\n")
+    assert [f.code for f in findings] == ["SL000"]
+    assert "does not parse" in findings[0].message

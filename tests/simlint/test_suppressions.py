@@ -1,0 +1,97 @@
+"""Suppression-comment parsing and enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from tools.simlint.core import META_CODE, lint_source, parse_suppressions
+
+pytestmark = pytest.mark.simlint
+
+PATH = "src/repro/serving/mod.py"
+CLOCKY = "import time\n\n\ndef f():\n    return time.perf_counter(){comment}\n"
+
+
+def codes(source: str) -> list[str]:
+    return [f.code for f in lint_source(PATH, source)]
+
+
+def test_justified_suppression_silences():
+    src = CLOCKY.format(comment="  # simlint: ignore[SL002] host-side progress meter only")
+    assert codes(src) == []
+
+
+def test_suppression_without_reason_is_a_finding():
+    src = CLOCKY.format(comment="  # simlint: ignore[SL002]")
+    assert codes(src) == [META_CODE, "SL002"], "unjustified suppression silences nothing"
+
+
+def test_suppression_of_wrong_code_does_not_silence():
+    src = CLOCKY.format(comment="  # simlint: ignore[SL001] wrong rule entirely")
+    got = codes(src)
+    assert "SL002" in got, "the finding survives"
+    assert META_CODE in got, "and the useless suppression is itself flagged"
+
+
+def test_comment_only_line_covers_next_line():
+    src = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def f():\n"
+        "    # simlint: ignore[SL002] measured outside the virtual clock on purpose\n"
+        "    return time.perf_counter()\n"
+    )
+    assert codes(src) == []
+
+
+def test_multi_code_suppression():
+    src = (
+        "import time, heapq\n"
+        "\n"
+        "\n"
+        "def f(h):\n"
+        "    heapq.heappush(h, (time.perf_counter(), h))  # simlint: ignore[SL002, SL004] fixture: both on one line\n"
+    )
+    assert codes(src) == []
+
+
+def test_unused_suppression_is_flagged():
+    src = "def f():\n    return 1  # simlint: ignore[SL002] nothing actually fires here\n"
+    findings = lint_source(PATH, src)
+    assert [f.code for f in findings] == [META_CODE]
+    assert "unused suppression" in findings[0].message
+
+
+def test_meta_code_cannot_be_suppressed():
+    src = "def f():\n    return 1  # simlint: ignore[SL000] trying to silence the meta rule\n"
+    findings = lint_source(PATH, src)
+    assert [f.code for f in findings] == [META_CODE]
+    assert "cannot be suppressed" in findings[0].message
+
+
+def test_malformed_codes_are_flagged():
+    src = "def f():\n    return 1  # simlint: ignore[SLxyz] not a code\n"
+    findings = lint_source(PATH, src)
+    assert [f.code for f in findings] == [META_CODE]
+    assert "malformed" in findings[0].message
+
+
+def test_syntax_inside_string_literal_is_inert():
+    src = 'DOC = "write # simlint: ignore[SL002] like this"\n'
+    assert codes(src) == []
+
+
+def test_parse_suppressions_unit():
+    lines = (
+        "x = 1  # simlint: ignore[SL001] one",
+        "# simlint: ignore[SL002, SL003] two",
+        "y = 2",
+    )
+    suppressions, problems = parse_suppressions(lines)
+    assert problems == []
+    assert [(s.covers, s.codes) for s in suppressions] == [
+        (1, ("SL001",)),
+        (3, ("SL002", "SL003")),
+    ]
+    assert suppressions[1].reason == "two"

@@ -1,0 +1,5 @@
+"""Repo-local developer tooling (not shipped with the ``repro`` package).
+
+Import these modules from the repository root (the directory that holds
+``src/`` and ``tests/``) — e.g. ``python -m tools.simlint src tests``.
+"""

@@ -1,0 +1,51 @@
+"""simlint — the determinism & invariant linter for this serving stack.
+
+Every verification tier in this repo — byte-exact golden snapshots, the
+columnar<->scalar oracle, armed-but-quiescent fault byte-identity, the
+off-by-default prefix equivalence anchors — is only sound because the
+simulator is *exactly* deterministic: same seed, same trajectory, same
+report, float for float.  That property rests on a handful of coding
+rules that used to live in reviewers' heads.  simlint encodes them as
+named, testable AST checks:
+
+========  =====================  ==============================================
+code      name                   contract
+========  =====================  ==============================================
+SL001     rng-discipline         RNG streams are constructed only at seed-
+                                 plumbing sites; stdlib/legacy-global RNG never
+SL002     no-wall-clock          simulation code never reads the wall clock
+SL003     ordered-iteration      serving/models code never iterates a set
+                                 without ``sorted(...)``
+SL004     event-ordering         heap pushes carry a (time, insertion-seq)
+                                 tiebreaker
+SL005     frozen-events          ``*Event``/``*Report``/``*Stats`` classes are
+                                 frozen (immutable observation surfaces)
+SL006     mutable-default-arg    no mutable default arguments
+SL007     env-freedom            simulation code never reads ``os.environ``
+========  =====================  ==============================================
+
+Run it from the repository root::
+
+    python -m tools.simlint src tests
+
+Suppress a finding inline — a justification is mandatory::
+
+    self._rng = np.random.default_rng(0)  # simlint: ignore[SL001] fixture rng, never reaches an engine
+
+Grandfathered findings live in ``tools/simlint/baseline.json``; the
+runner enforces that the baseline only ever shrinks (stale entries fail
+the run until they are deleted).
+"""
+
+from tools.simlint.core import Finding, LintResult, lint_paths, lint_source
+from tools.simlint.registry import RULES, Rule, all_rules
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m tools.simlint``."""
+
+import sys
+
+from tools.simlint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,159 @@
+"""Grandfathered-finding baseline: may shrink, must never grow.
+
+The baseline is a committed JSON file listing findings that predate the
+linter.  Each entry carries a content fingerprint (rule + path +
+whitespace-normalized source line), so entries survive pure line-number
+churn but die the moment the offending line changes — at which point the
+runner *fails* until the stale entry is deleted.  That asymmetry is the
+point: new violations fail immediately, old ones can only be removed.
+
+Schema::
+
+    {"version": 1,
+     "entries": [{"rule": "SL005", "path": "src/...", "fingerprint": "...",
+                  "count": 1, "reason": "grandfathered: ..."}]}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from tools.simlint.core import META_CODE
+from tools.simlint.findings import Finding
+
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    count: int
+    reason: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "count": self.count,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class BaselineOutcome:
+    """Findings left after baseline filtering, plus shrink violations."""
+
+    new_findings: tuple[Finding, ...]
+    grandfathered: int
+    stale_entries: tuple[BaselineEntry, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings and not self.stale_entries
+
+
+def fingerprint(finding: Finding, lines: Sequence[str] | None = None, line_text: str = "") -> str:
+    """Content fingerprint for one finding.
+
+    ``line_text`` is the source line the finding points at (the caller
+    reads it; findings do not carry source).  Whitespace-normalized so
+    reformatting does not churn the baseline.
+    """
+    if lines is not None and 1 <= finding.line <= len(lines):
+        line_text = lines[finding.line - 1]
+    normalized = " ".join(line_text.split())
+    digest = hashlib.sha1(f"{finding.code}|{finding.path}|{normalized}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _finding_fingerprints(findings: Sequence[Finding]) -> list[tuple[Finding, str]]:
+    cache: dict[str, list[str]] = {}
+    out: list[tuple[Finding, str]] = []
+    for finding in findings:
+        if finding.path not in cache:
+            try:
+                cache[finding.path] = Path(finding.path).read_text(encoding="utf-8").splitlines()
+            except OSError:
+                cache[finding.path] = []
+        out.append((finding, fingerprint(finding, cache[finding.path])))
+    return out
+
+
+def load(path: Path) -> list[BaselineEntry]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != VERSION:
+        raise ValueError(f"unsupported baseline version {data.get('version')!r} in {path}")
+    entries = []
+    for raw in data.get("entries", []):
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                fingerprint=str(raw["fingerprint"]),
+                count=int(raw.get("count", 1)),
+                reason=str(raw.get("reason", "")),
+            )
+        )
+    return entries
+
+
+def save(path: Path, entries: Sequence[BaselineEntry]) -> None:
+    payload = {
+        "version": VERSION,
+        "entries": [e.as_dict() for e in sorted(entries, key=lambda e: (e.path, e.rule, e.fingerprint))],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply(findings: Sequence[Finding], entries: Sequence[BaselineEntry]) -> BaselineOutcome:
+    """Split findings into new vs grandfathered; detect stale entries.
+
+    Meta findings (``SL000``) can never be grandfathered: a malformed
+    suppression or parse failure is always fresh.
+    """
+    remaining = {(e.rule, e.path, e.fingerprint): e.count for e in entries}
+    new: list[Finding] = []
+    grandfathered = 0
+    for finding, fp in _finding_fingerprints(findings):
+        key = (finding.code, finding.path, fp)
+        if finding.code != META_CODE and remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered += 1
+        else:
+            new.append(finding)
+    stale = tuple(e for e in entries if remaining.get((e.rule, e.path, e.fingerprint), 0) > 0)
+    return BaselineOutcome(
+        new_findings=tuple(new), grandfathered=grandfathered, stale_entries=stale
+    )
+
+
+def build(findings: Sequence[Finding], previous: Sequence[BaselineEntry] = ()) -> list[BaselineEntry]:
+    """Entries covering the given findings (for ``--update-baseline``).
+
+    Reasons from ``previous`` are preserved for fingerprints that still
+    fire; new fingerprints get a placeholder reason the author must edit.
+    """
+    reasons = {(e.rule, e.path, e.fingerprint): e.reason for e in previous}
+    counts: dict[tuple[str, str, str], int] = {}
+    for finding, fp in _finding_fingerprints(findings):
+        if finding.code == META_CODE:
+            continue
+        key = (finding.code, finding.path, fp)
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        BaselineEntry(
+            rule=rule,
+            path=path,
+            fingerprint=fp,
+            count=count,
+            reason=reasons.get((rule, path, fp), "grandfathered: TODO justify or fix"),
+        )
+        for (rule, path, fp), count in sorted(counts.items())
+    ]

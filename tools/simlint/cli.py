@@ -1,0 +1,136 @@
+"""The ``python -m tools.simlint`` command line.
+
+Exit codes: 0 clean, 1 findings (or a baseline that must shrink),
+2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from tools.simlint import baseline as baseline_mod
+from tools.simlint.core import LintResult, lint_paths
+from tools.simlint.findings import Finding
+from tools.simlint.registry import all_rules
+
+DEFAULT_BASELINE = Path("tools/simlint/baseline.json")
+
+
+def _print_findings(findings: Sequence[Finding], fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+        return
+    for finding in findings:
+        print(finding.as_github() if fmt == "github" else finding.as_text())
+
+
+def _list_rules() -> None:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name}")
+        print(f"       {rule.rationale}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.simlint",
+        description="AST-based determinism & invariant linter for the serving stack",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint (e.g. src tests)")
+    parser.add_argument(
+        "--format",
+        choices=("text", "github", "json"),
+        default="text",
+        help="finding output format (github emits workflow-command annotations)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="baseline JSON path, or 'none' to disable (default: %(default)s if it exists)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover current findings (reasons preserved) and exit",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help="also lint directories named 'fixtures' (excluded by default: test fixtures violate on purpose)",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules()
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m tools.simlint src tests)")
+
+    try:
+        rules = all_rules(args.select.split(",")) if args.select else all_rules()
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+
+    try:
+        result: LintResult = lint_paths(args.paths, rules, include_fixtures=args.include_fixtures)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    baseline_path: Path | None = None
+    entries: list[baseline_mod.BaselineEntry] = []
+    if args.baseline.lower() != "none":
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            try:
+                entries = baseline_mod.load(baseline_path)
+            except (ValueError, KeyError, json.JSONDecodeError) as exc:
+                print(f"simlint: unreadable baseline {baseline_path}: {exc}", file=sys.stderr)
+                return 2
+        elif args.baseline != str(DEFAULT_BASELINE) and not args.update_baseline:
+            parser.error(f"baseline file not found: {baseline_path}")
+
+    if args.update_baseline:
+        if baseline_path is None:
+            parser.error("--update-baseline requires a baseline path (not 'none')")
+        new_entries = baseline_mod.build(result.findings, entries)
+        baseline_mod.save(baseline_path, new_entries)
+        print(
+            f"simlint: baseline {baseline_path} rewritten with {len(new_entries)} entr"
+            f"{'y' if len(new_entries) == 1 else 'ies'} "
+            f"({result.files_checked} files checked)"
+        )
+        return 0
+
+    outcome = baseline_mod.apply(result.findings, entries)
+    _print_findings(outcome.new_findings, args.format)
+    for stale in outcome.stale_entries:
+        message = (
+            f"stale baseline entry {stale.rule} {stale.path} [{stale.fingerprint}] no longer "
+            "fires — the baseline must shrink: delete the entry"
+        )
+        if args.format == "github":
+            print(f"::error file={stale.path},title=simlint baseline::{message}")
+        else:
+            print(f"{stale.path}: {message}")
+
+    summary = (
+        f"simlint: {result.files_checked} files, {len(outcome.new_findings)} finding(s), "
+        f"{outcome.grandfathered} grandfathered, {len(outcome.stale_entries)} stale baseline entr"
+        f"{'y' if len(outcome.stale_entries) == 1 else 'ies'}"
+    )
+    print(summary, file=sys.stderr)
+    return 0 if outcome.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

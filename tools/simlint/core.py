@@ -1,0 +1,198 @@
+"""File discovery, suppression handling, and the per-file lint driver."""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from tools.simlint.findings import Finding
+from tools.simlint.registry import ModuleContext, Rule, all_rules
+
+#: ``SL000`` is reserved for meta findings (parse failures, malformed or
+#: unjustified suppressions); it cannot itself be suppressed.
+META_CODE = "SL000"
+
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore\[([^\]]*)\]\s*(.*)$")
+_CODE_RE = re.compile(r"^SL\d{3}$")
+
+#: Directory names never descended into.  ``fixtures`` is excluded by
+#: default because the simlint test fixtures *deliberately* violate the
+#: rules (pass ``include_fixtures=True`` to lint them anyway).
+EXCLUDED_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".hypothesis", ".pytest_cache", ".venv", "build", "dist"}
+)
+FIXTURE_DIR_NAME = "fixtures"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# simlint: ignore[...]`` comment."""
+
+    line: int  # line the comment sits on
+    covers: int  # line whose findings it silences
+    codes: tuple[str, ...]
+    reason: str
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of linting a set of paths (before baseline filtering)."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+
+
+def parse_suppressions(lines: Sequence[str]) -> tuple[list[Suppression], list[Finding]]:
+    """Extract inline suppressions; malformed ones become SL000 findings.
+
+    A suppression on a code line covers that line; a comment-only line
+    covers the next line.  The justification after the bracket is
+    mandatory — an unexplained suppression is a finding, not a silencer.
+
+    Comments are found with :mod:`tokenize` (falling back to a line scan
+    if tokenization fails), so the syntax appearing inside a string
+    literal — docs, test fixtures, this linter's own messages — is inert.
+    """
+    suppressions: list[Suppression] = []
+    problems: list[Finding] = []
+
+    def meta(path_line: int, message: str) -> Finding:
+        return Finding(code=META_CODE, path="", line=path_line, col=1, message=message)
+
+    comments: list[tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO("\n".join(lines) + "\n").readline)
+        comments = [(t.start[0], t.string) for t in tokens if t.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = [(n, line) for n, line in enumerate(lines, start=1) if "#" in line]
+
+    for lineno, raw in comments:
+        match = _SUPPRESS_RE.search(raw)
+        if match is None:
+            continue
+        codes = tuple(c.strip().upper() for c in match.group(1).split(",") if c.strip())
+        reason = match.group(2).strip()
+        bad = [c for c in codes if not _CODE_RE.fullmatch(c)]
+        if not codes or bad:
+            problems.append(
+                meta(lineno, f"malformed suppression: expected ignore[SLxxx, ...], got {raw.strip()!r}")
+            )
+            continue
+        if META_CODE in codes:
+            problems.append(meta(lineno, f"{META_CODE} is a meta finding and cannot be suppressed"))
+            continue
+        if not reason:
+            problems.append(
+                meta(
+                    lineno,
+                    f"suppression of {', '.join(codes)} missing justification "
+                    "(write `# simlint: ignore[SLxxx] why this is sound`)",
+                )
+            )
+            continue
+        comment_only = lines[lineno - 1].strip().startswith("#")
+        covers = lineno + 1 if comment_only else lineno
+        suppressions.append(Suppression(line=lineno, covers=covers, codes=codes, reason=reason))
+    return suppressions, problems
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], suppressions: Sequence[Suppression], path: str
+) -> list[Finding]:
+    """Silence suppressed findings; flag suppressions that silence nothing."""
+    kept: list[Finding] = []
+    used: set[int] = set()
+    for finding in findings:
+        silencers = [
+            i
+            for i, s in enumerate(suppressions)
+            if s.covers == finding.line and finding.code in s.codes
+        ]
+        if silencers and finding.code != META_CODE:
+            used.update(silencers)
+        else:
+            kept.append(finding)
+    for i, s in enumerate(suppressions):
+        if i not in used:
+            kept.append(
+                Finding(
+                    code=META_CODE,
+                    path=path,
+                    line=s.line,
+                    col=1,
+                    message=(
+                        f"unused suppression of {', '.join(s.codes)} — "
+                        "nothing fires on the covered line; delete it"
+                    ),
+                )
+            )
+    return kept
+
+
+def lint_source(path: str, source: str, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Lint one module's source text; returns sorted findings."""
+    norm = path.replace("\\", "/")
+    parts = tuple(p for p in norm.split("/") if p not in ("", "."))
+    try:
+        tree = ast.parse(source, filename=norm)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code=META_CODE,
+                path=norm,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    lines = tuple(source.splitlines())
+    ctx = ModuleContext(path=norm, parts=parts, tree=tree, lines=lines)
+    active = list(rules) if rules is not None else all_rules()
+
+    raw: list[Finding] = []
+    for rule in active:
+        raw.extend(rule.run(ctx))
+
+    suppressions, problems = parse_suppressions(lines)
+    findings = apply_suppressions(raw, suppressions, norm)
+    for p in problems:
+        findings.append(Finding(code=p.code, path=norm, line=p.line, col=p.col, message=p.message))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def discover(paths: Iterable[str | Path], include_fixtures: bool = False) -> list[Path]:
+    """Expand the CLI path arguments into a sorted list of .py files."""
+    excluded = set(EXCLUDED_DIR_NAMES)
+    if not include_fixtures:
+        excluded.add(FIXTURE_DIR_NAME)
+    files: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_file():
+            if p.suffix == ".py":
+                files.add(p)
+        elif p.is_dir():
+            for candidate in p.rglob("*.py"):
+                if not excluded.intersection(candidate.parts):
+                    files.add(candidate)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    include_fixtures: bool = False,
+) -> LintResult:
+    """Lint every .py file under ``paths``."""
+    files = discover(paths, include_fixtures=include_fixtures)
+    findings: list[Finding] = []
+    for file in files:
+        findings.extend(lint_source(file.as_posix(), file.read_text(encoding="utf-8"), rules))
+    return LintResult(findings=tuple(sorted(findings, key=Finding.sort_key)), files_checked=len(files))

@@ -1,0 +1,43 @@
+"""The finding record and its output formats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``col`` is 1-based (editor convention); ``line`` is 1-based as in
+    every Python traceback.
+    """
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def as_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_github(self) -> str:
+        """GitHub Actions workflow-command annotation."""
+        message = self.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title=simlint {self.code}::{message}"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

@@ -1,0 +1,80 @@
+"""Import-aware dotted-name resolution shared by the rule visitors.
+
+Rules ban *module-level* names (``numpy.random.default_rng``,
+``time.perf_counter``), but source code refers to them through whatever
+aliases its imports introduce (``np.random.default_rng``, ``from time
+import perf_counter as pc``).  :class:`ImportTable` records the aliases a
+module defines; :meth:`ImportTable.resolve` maps an ``ast`` expression
+back to its fully-qualified dotted name, or ``None`` when the expression
+is not a plain dotted reference rooted at an import (locals, attribute
+access on objects, and so on).
+
+This is intentionally a *lexical* approximation — no type inference, no
+cross-module analysis.  A determinism linter wants exactly that: flag
+syntactic uses of the banned names, never guess about dynamic dispatch.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportTable(ast.NodeVisitor):
+    """Alias -> fully-qualified module/name map for one module."""
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    @classmethod
+    def of(cls, tree: ast.Module) -> "ImportTable":
+        table = cls()
+        table.visit(tree)
+        return table
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".", 1)[0]
+            target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+            self.aliases[name] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:  # relative imports stay package-local
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully-qualified dotted name of ``node``, or None."""
+        chain: list[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            chain.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        root = self.aliases.get(cursor.id)
+        if root is None:
+            return None
+        chain.append(root)
+        return ".".join(reversed(chain))
+
+    def resolve_call(self, node: ast.AST) -> str | None:
+        """Resolve the callee of a call expression (else None)."""
+        if isinstance(node, ast.Call):
+            return self.resolve(node.func)
+        return None
+
+
+# numpy's submodule alias: ``import numpy as np`` makes ``np.random``
+# resolve to ``numpy.random`` through the attribute chain above, and
+# ``from numpy import random`` resolves uses of that (shadowing!) name
+# to ``numpy.random`` rather than the stdlib module of the same name.
+def is_stdlib_random(qualname: str) -> bool:
+    """True for ``random`` / ``random.<anything>`` (the stdlib module)."""
+    return qualname == "random" or qualname.startswith("random.")
+
+
+def is_numpy_random(qualname: str) -> bool:
+    return qualname == "numpy.random" or qualname.startswith("numpy.random.")

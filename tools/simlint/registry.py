@@ -1,0 +1,91 @@
+"""Shared rule registry: every simlint rule registers itself here.
+
+A rule is a small class with a stable ``code`` (``SLxxx``), a kebab-case
+``name``, a one-paragraph ``rationale`` (shown by ``--list-rules``), a
+path scope (``applies_to``), and a ``check`` that walks a parsed module
+and yields findings.  Rule modules under :mod:`tools.simlint.rules`
+decorate their class with :func:`register`; importing that package
+populates :data:`RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Type
+
+from tools.simlint.findings import Finding
+
+#: code -> rule class, populated by the ``@register`` decorators in
+#: ``tools.simlint.rules``.
+RULES: dict[str, Type["Rule"]] = {}
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule needs to know about one source file.
+
+    ``path`` is the path as given on the command line, normalized to
+    forward slashes; ``parts`` is its tuple of components, which is what
+    scope checks should test (substring tests on the raw string match
+    accidental prefixes like ``src/reprocessing``).
+    """
+
+    path: str
+    parts: tuple[str, ...]
+    tree: ast.Module
+    lines: tuple[str, ...] = field(repr=False)
+
+    def in_repro(self) -> bool:
+        """True for files of the shipping package (``src/repro/...``)."""
+        return "repro" in self.parts
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=code,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for simlint rules; subclass and :func:`register`."""
+
+    code: str = "SL000"
+    name: str = "unnamed"
+    rationale: str = ""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        """Path scope; default is every linted file."""
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if self.applies_to(ctx):
+            yield from self.check(ctx)
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULES` (codes are unique)."""
+    if cls.code in RULES:
+        raise ValueError(f"duplicate simlint rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the registered rules, optionally filtered by code."""
+    import tools.simlint.rules  # noqa: F401  (import for registration side effect)
+
+    codes = sorted(RULES)
+    if select is not None:
+        wanted = {c.strip().upper() for c in select if c.strip()}
+        unknown = wanted - set(codes)
+        if unknown:
+            raise KeyError(f"unknown simlint rule(s): {', '.join(sorted(unknown))}")
+        codes = [c for c in codes if c in wanted]
+    return [RULES[c]() for c in codes]

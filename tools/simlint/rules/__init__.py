@@ -1,0 +1,15 @@
+"""Rule modules; importing this package registers every rule.
+
+One module per rule keeps each visitor small and lets the fixture tests
+target a single rule in isolation.
+"""
+
+from tools.simlint.rules import (  # noqa: F401  (registration side effects)
+    sl001_rng_discipline,
+    sl002_no_wall_clock,
+    sl003_ordered_iteration,
+    sl004_event_ordering,
+    sl005_frozen_events,
+    sl006_mutable_default_arg,
+    sl007_env_freedom,
+)

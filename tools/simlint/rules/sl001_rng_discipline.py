@@ -1,0 +1,129 @@
+"""SL001 rng-discipline — RNG streams are born only at seed-plumbing sites.
+
+The engine's byte-exact goldens and the armed-but-quiescent fault
+anchors depend on every random draw coming from an explicitly seeded
+``numpy.random.Generator`` that was either passed in or derived as a
+named child stream (``stream_seed`` in ``serving/faults.py``).  Three
+things break that:
+
+* ``np.random.default_rng(...)`` conjured in the middle of simulation
+  logic (instead of arriving through a constructor's ``seed``/``rng``
+  parameter) — a hidden stream that per-call code can reorder;
+* the stdlib :mod:`random` module — one process-global stream that any
+  import can perturb;
+* numpy's legacy global samplers (``np.random.rand``, ``np.random.seed``,
+  ``RandomState``...) — the same hazard with a numpy accent.
+
+A ``default_rng``/``SeedSequence``/``Philox``-style *construction* is
+sanctioned when the enclosing function takes the seed as a parameter
+(a ``seed``-ish or ``rng`` argument) — that is precisely the
+constructor/seed-plumbing shape the codebase uses everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.simlint.findings import Finding
+from tools.simlint.names import ImportTable, is_numpy_random, is_stdlib_random
+from tools.simlint.registry import ModuleContext, Rule, register
+
+#: numpy.random names that are seed plumbing, not draws: constructing
+#: one of these from a seed *parameter* is the sanctioned idiom.
+_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "Philox",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+_SEEDY_PARAM = ("seed", "rng", "random_state")
+
+
+def _has_seed_param(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = fn.args
+    names = [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if a.arg not in ("self", "cls")
+    ]
+    return any(
+        name == wanted or name.endswith(f"_{wanted}") or name.startswith(f"{wanted}_")
+        for name in names
+        for wanted in _SEEDY_PARAM
+    )
+
+
+@register
+class RngDiscipline(Rule):
+    code = "SL001"
+    name = "rng-discipline"
+    rationale = (
+        "RNG streams must be constructed from an explicit seed parameter (or a stream_seed "
+        "child) and passed down; stdlib random and numpy's legacy global samplers are banned "
+        "outright.  Ad-hoc streams silently change draw order and break byte-exact replay."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_repro()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        table = ImportTable.of(ctx.tree)
+        # Map every node to its nearest enclosing function, so a
+        # default_rng call can be judged against that function's params.
+        enclosing: dict[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef | None] = {}
+
+        def fill(node: ast.AST, fn: ast.FunctionDef | ast.AsyncFunctionDef | None) -> None:
+            for child in ast.iter_child_nodes(node):
+                here = child if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) else fn
+                enclosing[child] = here
+                fill(child, here)
+
+        enclosing[ctx.tree] = None
+        fill(ctx.tree, None)
+
+        callees = {id(node.func) for node in ast.walk(ctx.tree) if isinstance(node, ast.Call)}
+
+        for node in ast.walk(ctx.tree):
+            qual = table.resolve(node)
+            if qual is None or qual in ("random", "numpy.random", "numpy"):
+                continue  # unresolvable or a bare module reference
+            if is_stdlib_random(qual):
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"stdlib `{qual}` is a process-global RNG stream; take a seeded "
+                    "numpy Generator as a parameter instead",
+                )
+                continue
+            if not is_numpy_random(qual):
+                continue
+            leaf = qual.rsplit(".", 1)[-1]
+            if leaf in _CONSTRUCTORS:
+                if id(node) not in callees:
+                    continue  # annotation or alias, not a stream being minted
+                fn = enclosing.get(node)
+                if fn is not None and _has_seed_param(fn):
+                    continue  # sanctioned: seed arrives as a parameter
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"`{qual}` outside a seed-plumbing site: construct RNGs only in a "
+                    "function that receives the seed (e.g. `def __init__(..., seed)`), "
+                    "or derive a named child via stream_seed(...)",
+                )
+            else:
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"legacy global sampler `{qual}` shares one hidden stream across the "
+                    "process; use an explicitly seeded Generator passed as a parameter",
+                )

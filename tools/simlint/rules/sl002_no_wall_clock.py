@@ -1,0 +1,70 @@
+"""SL002 no-wall-clock — simulation code never reads the host clock.
+
+Every latency, deadline, and energy figure in the simulator comes off
+the *virtual* clock (engine ``now_s``); a single ``time.time()`` in a
+pricing or scheduling path makes reports machine- and load-dependent,
+which the byte-exact golden tier cannot tolerate.  The only sanctioned
+wall-clock readers are the experiment driver's progress timer
+(``experiments/run_all.py``) and the perf harness under ``benchmarks/``
+(which measures the host on purpose and is outside ``src/repro``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.simlint.findings import Finding
+from tools.simlint.names import ImportTable
+from tools.simlint.registry import ModuleContext, Rule, register
+
+_BANNED = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class NoWallClock(Rule):
+    code = "SL002"
+    name = "no-wall-clock"
+    rationale = (
+        "Simulation results must be a pure function of (config, seed); reading the host "
+        "clock couples them to machine speed and load.  Time comes from the engine's "
+        "virtual clock.  Exempt: experiments/run_all.py progress timing."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if not ctx.in_repro():
+            return False
+        if "benchmarks" in ctx.parts:
+            return False
+        return not ctx.path.endswith("experiments/run_all.py")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        table = ImportTable.of(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            qual = table.resolve(node)
+            if qual in _BANNED:
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"wall-clock read `{qual}` in simulation code; use the engine's "
+                    "virtual clock (stage times / now_s) instead",
+                )

@@ -1,0 +1,246 @@
+"""SL003 ordered-iteration — never iterate a set without ``sorted(...)``.
+
+Sets (and frozensets) iterate in hash order.  For strings that order is
+randomized per process (PYTHONHASHSEED); for ints it is an accident of
+the current CPython implementation.  Any pricing, scheduling, or
+reporting path that walks a set can therefore visit requests, experts,
+or replicas in a different order on a different run — reordering float
+accumulation, RNG draw order, and tie-breaks, all of which the golden
+and oracle tiers pin byte-exactly.  The rule is scoped to ``serving/``
+and ``models/`` (the paths whose iteration order reaches reports).
+
+Allowed without ``sorted``: membership tests, ``len``, and genuinely
+order-insensitive reductions (``any``/``all``/``min``/``max``).
+``sum`` over a set is *not* exempt — float addition is not associative.
+
+Detection is lexical: an expression counts as a set when it is a set
+literal/comprehension, a ``set(...)``/``frozenset(...)`` call, a set
+operator over one, a local previously bound to one, a name annotated
+``set[...]``-ish, or a ``self`` attribute bound/annotated that way
+anywhere in the class.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.simlint.findings import Finding
+from tools.simlint.registry import ModuleContext, Rule, register
+
+_SET_ANNOTATION = re.compile(
+    r"^(typing\.)?(Optional\[)?\s*(set|frozenset|Set|FrozenSet|AbstractSet|MutableSet)\b"
+)
+
+#: calls that consume their (sole) iterable argument order-insensitively.
+_ORDER_FREE_CALLS = frozenset({"len", "any", "all", "min", "max", "sorted", "set", "frozenset"})
+
+#: calls that materialize or fold their argument in iteration order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "sum", "enumerate", "iter", "reversed"})
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+def _annotation_is_set(annotation: ast.AST | None) -> bool:
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+        return False
+    return bool(_SET_ANNOTATION.match(text.strip()))
+
+
+class _ScopeSets:
+    """Names/attributes known to hold sets, per lexical scope."""
+
+    def __init__(self) -> None:
+        self.module: set[str] = set()
+        self.local: set[str] = set()
+        self.self_attrs: set[str] = set()
+
+    def knows_name(self, name: str) -> bool:
+        return name in self.local or name in self.module
+
+    def knows_self_attr(self, attr: str) -> bool:
+        return attr in self.self_attrs
+
+
+def _is_set_expr(node: ast.AST, scope: _ScopeSets) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+            and _is_set_expr(node.func.value, scope)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+        return _is_set_expr(node.left, scope) or _is_set_expr(node.right, scope)
+    if isinstance(node, ast.Name):
+        return scope.knows_name(node.id)
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return scope.knows_self_attr(node.attr)
+    return False
+
+
+def _collect_bindings(body: list[ast.stmt], into: set[str]) -> None:
+    """Names bound to set expressions / annotations in a statement list."""
+    probe = _ScopeSets()
+    probe.local = into  # grows as we discover; ordering of simple bodies is top-down
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are collected separately
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value, probe):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        into.add(target.id)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and (
+                    _annotation_is_set(node.annotation)
+                    or (node.value is not None and _is_set_expr(node.value, probe))
+                )
+            ):
+                into.add(node.target.id)
+
+
+def _collect_self_attrs(cls: ast.ClassDef) -> set[str]:
+    """``self.<attr>`` names bound/annotated as sets anywhere in a class."""
+    attrs: set[str] = set()
+    probe = _ScopeSets()
+    for node in ast.walk(cls):
+        target: ast.AST | None = None
+        value: ast.AST | None = None
+        annotation: ast.AST | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value, annotation = node.target, node.value, node.annotation
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and (
+                _annotation_is_set(annotation)
+                or (value is not None and _is_set_expr(value, probe))
+            )
+        ):
+            attrs.add(target.attr)
+    return attrs
+
+
+@register
+class OrderedIteration(Rule):
+    code = "SL003"
+    name = "ordered-iteration"
+    rationale = (
+        "Iterating a set visits elements in hash order, which differs across processes for "
+        "strings and is an implementation accident for everything else.  Wrap the iteration "
+        "in sorted(...) (the order becomes part of the contract) or justify a suppression."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_repro() and ("serving" in ctx.parts or "models" in ctx.parts)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(ctx.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+
+        module_sets: set[str] = set()
+        _collect_bindings(ctx.tree.body, module_sets)
+
+        def class_of(node: ast.AST) -> ast.ClassDef | None:
+            cursor = parents.get(node)
+            while cursor is not None:
+                if isinstance(cursor, ast.ClassDef):
+                    return cursor
+                cursor = parents.get(cursor)
+            return None
+
+        self_attr_cache: dict[ast.ClassDef, set[str]] = {}
+
+        def scope_for(node: ast.AST) -> _ScopeSets:
+            scope = _ScopeSets()
+            scope.module = module_sets
+            cursor = parents.get(node)
+            fn: ast.FunctionDef | ast.AsyncFunctionDef | None = None
+            while cursor is not None:
+                if fn is None and isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fn = cursor
+                cursor = parents.get(cursor)
+            if fn is not None:
+                local: set[str] = set()
+                _collect_bindings(fn.body, local)
+                for arg in (*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs):
+                    if _annotation_is_set(arg.annotation):
+                        local.add(arg.arg)
+                scope.local = local
+            cls = class_of(node)
+            if cls is not None:
+                if cls not in self_attr_cache:
+                    self_attr_cache[cls] = _collect_self_attrs(cls)
+                scope.self_attrs = self_attr_cache[cls]
+            return scope
+
+        def flag(node: ast.AST, what: str) -> Finding:
+            return ctx.finding(
+                self.code,
+                node,
+                f"iteration over a set ({what}) is hash-ordered and non-reproducible; "
+                "wrap it in sorted(...) or justify a suppression",
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, scope_for(node)):
+                    yield flag(node.iter, "for-loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                scope = scope_for(node)
+                for gen in node.generators:
+                    if not _is_set_expr(gen.iter, scope):
+                        continue
+                    parent = parents.get(node)
+                    if (
+                        isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp))
+                        and isinstance(parent, ast.Call)
+                        and isinstance(parent.func, ast.Name)
+                        and parent.func.id in _ORDER_FREE_CALLS
+                        and parent.args
+                        and parent.args[0] is node
+                    ):
+                        continue  # e.g. any(x.done for x in pending_ids)
+                    yield flag(gen.iter, "comprehension")
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id in _ORDER_SENSITIVE_CALLS:
+                    if node.args and _is_set_expr(node.args[0], scope_for(node)):
+                        yield flag(node.args[0], f"{node.func.id}()")
+                elif (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in ("map", "filter")
+                    and len(node.args) >= 2
+                    and _is_set_expr(node.args[1], scope_for(node))
+                ):
+                    yield flag(node.args[1], f"{node.func.id}()")
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                    and _is_set_expr(node.args[0], scope_for(node))
+                ):
+                    yield flag(node.args[0], "str.join()")

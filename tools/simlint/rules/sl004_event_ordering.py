@@ -1,0 +1,78 @@
+"""SL004 event-ordering — heap entries carry an insertion-seq tiebreaker.
+
+The engine's contract is that simultaneous events fire in *insertion*
+order: every ``heapq.heappush`` site in the codebase pushes
+``(time, seq, payload...)`` where ``seq`` is a monotone per-heap
+counter (see ``EventClock.schedule`` and the engine's admission heap).
+Without the tiebreaker, two events at the same instant compare on the
+payload — which either raises (payloads are often uncomparable) or,
+worse, silently orders by request contents, so an unrelated change to a
+payload field reorders the simulation.  PR 8's drain-loop hang was this
+exact class of bug.
+
+The check is syntactic: a tuple literal pushed with fewer than three
+elements must name a seq-ish counter in its tail.  Pushes of opaque
+names are not judged (the fixture tests pin both behaviors).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.simlint.findings import Finding
+from tools.simlint.names import ImportTable
+from tools.simlint.registry import ModuleContext, Rule, register
+
+_SEQ_HINTS = ("seq", "count", "counter", "pushed", "order", "tick")
+
+
+def _names_a_counter(node: ast.AST) -> bool:
+    """Does this tuple element look like an insertion-sequence counter?"""
+    if isinstance(node, ast.Name):
+        text = node.id
+    elif isinstance(node, ast.Attribute):
+        text = node.attr
+    else:
+        return False
+    lowered = text.lower().lstrip("_")
+    return any(hint in lowered for hint in _SEQ_HINTS)
+
+
+@register
+class EventOrdering(Rule):
+    code = "SL004"
+    name = "event-ordering"
+    rationale = (
+        "Events at equal timestamps must fire in insertion order, so every heap entry needs "
+        "a (time, seq, payload) shape with a monotone per-heap counter as the tiebreaker; "
+        "otherwise ties compare on payload contents and any field change reorders the run."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_repro()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        table = ImportTable.of(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = table.resolve(node.func)
+            if qual not in ("heapq.heappush", "heapq.heappushpop"):
+                continue
+            if len(node.args) < 2:
+                continue
+            entry = node.args[1]
+            if not isinstance(entry, ast.Tuple):
+                continue  # opaque value; cannot judge lexically
+            if len(entry.elts) >= 3:
+                continue  # (time, seq, payload...) shape
+            if len(entry.elts) == 2 and _names_a_counter(entry.elts[1]):
+                continue  # (time, seq) — a bare ordering ticket is fine
+            yield ctx.finding(
+                self.code,
+                node,
+                "heap entry lacks an insertion-seq tiebreaker: push "
+                "(time, seq, payload) with a monotone per-heap counter, not "
+                f"a {len(entry.elts)}-tuple that breaks ties on payload contents",
+            )

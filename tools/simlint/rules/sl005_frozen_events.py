@@ -1,0 +1,126 @@
+"""SL005 frozen-events — observation surfaces are immutable.
+
+Classes named ``*Event``, ``*Report``, or ``*Stats`` are the simulator's
+observation surface: they cross layer boundaries (observers, pooled
+fleet reports, golden snapshots) and are frequently held by test
+assertions long after the engine moved on.  A mutable one invites
+exactly the aliasing bug the golden tier cannot see coming: some later
+stage mutates an object a report already references, and the "snapshot"
+silently changes after the fact.  Such classes must be frozen
+dataclasses (or NamedTuples / Enums), or expose no mutable public
+state at all.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.simlint.findings import Finding
+from tools.simlint.registry import ModuleContext, Rule, register
+
+_SUFFIX = re.compile(r"(Event|Report|Stats)$")
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> tuple[bool, bool]:
+    """(is_dataclass, is_frozen) from the decorator list."""
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", None)
+        if name != "dataclass":
+            continue
+        frozen = False
+        if isinstance(dec, ast.Call):
+            for kw in dec.keywords:
+                if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+                    frozen = bool(kw.value.value)
+        return True, frozen
+    return False, False
+
+
+def _base_names(cls: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+_IMMUTABLE_BASES = frozenset({"NamedTuple", "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"})
+
+
+def _public_mutable_fields(cls: ast.ClassDef) -> list[tuple[str, ast.AST]]:
+    """Public attributes a plain (non-dataclass) class exposes mutably."""
+    fields: list[tuple[str, ast.AST]] = []
+    seen: set[str] = set()
+    for stmt in cls.body:  # class-level annotated/plain assignments
+        targets: list[ast.AST] = []
+        if isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        for target in targets:
+            public = isinstance(target, ast.Name) and not target.id.startswith("_")
+            if public and target.id not in seen:
+                seen.add(target.id)
+                fields.append((target.id, stmt))
+    for node in ast.walk(cls):  # self.<public> assignments in any method
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            target = node.target
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and not target.attr.startswith("_")
+            and target.attr not in seen
+        ):
+            seen.add(target.attr)
+            fields.append((target.attr, node))
+    return fields
+
+
+@register
+class FrozenEvents(Rule):
+    code = "SL005"
+    name = "frozen-events"
+    rationale = (
+        "*Event/*Report/*Stats classes cross layer boundaries and get held by observers and "
+        "snapshots; a mutable one can change after a report already references it.  Freeze "
+        "them (dataclass(frozen=True), NamedTuple) or keep all state private."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_repro()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not _SUFFIX.search(node.name):
+                continue
+            if _IMMUTABLE_BASES & _base_names(node):
+                continue
+            is_dc, frozen = _dataclass_decorator(node)
+            if is_dc:
+                if not frozen:
+                    yield ctx.finding(
+                        self.code,
+                        node,
+                        f"`{node.name}` is an observation-surface class but its dataclass "
+                        "is not frozen=True; freeze it (accumulate in private counters and "
+                        "snapshot, if it is currently mutated in place)",
+                    )
+                continue
+            fields = _public_mutable_fields(node)
+            if fields:
+                names = ", ".join(name for name, _ in fields[:4])
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"`{node.name}` exposes mutable public field(s) {names}; observation "
+                    "surfaces must be frozen dataclasses/NamedTuples or keep state private",
+                )

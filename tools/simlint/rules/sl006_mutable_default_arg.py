@@ -1,0 +1,59 @@
+"""SL006 mutable-default-arg — default values must not be shared state.
+
+A mutable default is evaluated once at ``def`` time and shared by every
+call; in a simulator that means one request's bookkeeping leaks into the
+next run's, the purest form of cross-run nondeterminism (PR 5's leaked
+evict reservations were a cousin of this bug).  Use ``None`` and
+materialize inside the function, or a frozen/tuple default.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.simlint.findings import Finding
+from tools.simlint.registry import ModuleContext, Rule, register
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "OrderedDict", "deque"}
+)
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = (
+            node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else getattr(node.func, "id", None)
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultArg(Rule):
+    code = "SL006"
+    name = "mutable-default-arg"
+    rationale = (
+        "Mutable defaults are evaluated once and shared across calls — state leaks between "
+        "requests and between runs.  Default to None (or a tuple) and build inside."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [d for d in node.args.defaults if d is not None]
+            defaults += [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    where = getattr(node, "name", "<lambda>")
+                    yield ctx.finding(
+                        self.code,
+                        default,
+                        f"mutable default argument in `{where}` is shared across calls; "
+                        "use None and materialize inside, or a tuple",
+                    )

@@ -1,0 +1,45 @@
+"""SL007 env-freedom — simulation code never reads the process environment.
+
+``os.environ``/``os.getenv`` make a result depend on invisible host
+state: the same (config, seed) pair prices differently on two machines
+and no golden can catch it locally.  Configuration reaches the
+simulator as explicit arguments.  Experiment *drivers* (``experiments/``)
+may read the environment — worker counts, output dirs — because they sit
+outside the priced simulation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.simlint.findings import Finding
+from tools.simlint.names import ImportTable
+from tools.simlint.registry import ModuleContext, Rule, register
+
+_BANNED = frozenset({"os.environ", "os.getenv", "os.environb", "os.putenv"})
+
+
+@register
+class EnvFreedom(Rule):
+    code = "SL007"
+    name = "env-freedom"
+    rationale = (
+        "Reading os.environ couples simulation output to invisible host state; configuration "
+        "must arrive as explicit arguments.  Experiment drivers are exempt."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_repro() and "experiments" not in ctx.parts
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        table = ImportTable.of(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            qual = table.resolve(node)
+            if qual in _BANNED:
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"`{qual}` read in simulation code; pass configuration as explicit "
+                    "arguments instead of host environment state",
+                )
